@@ -1,0 +1,42 @@
+#ifndef DEHEALTH_BENCH_BENCH_COMMON_H_
+#define DEHEALTH_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dehealth::bench {
+
+/// Prints a section banner for a reproduced table/figure.
+inline void Banner(const char* experiment_id, const char* description) {
+  std::printf("\n============================================================\n");
+  std::printf("%s — %s\n", experiment_id, description);
+  std::printf("============================================================\n");
+}
+
+/// Prints one row of labeled values: "label: v1 v2 v3 ...".
+inline void PrintSeries(const std::string& label,
+                        const std::vector<double>& values,
+                        const char* fmt = "%8.3f") {
+  std::printf("%-24s", label.c_str());
+  for (double v : values) std::printf(fmt, v);
+  std::printf("\n");
+}
+
+/// Prints a header row of x-axis values.
+inline void PrintHeader(const std::string& label,
+                        const std::vector<int>& xs) {
+  std::printf("%-24s", label.c_str());
+  for (int x : xs) std::printf("%8d", x);
+  std::printf("\n");
+}
+
+/// Paper-vs-measured comparison line (for EXPERIMENTS.md extraction).
+inline void Compare(const char* metric, double paper, double measured) {
+  std::printf("  %-44s paper=%-10.3f measured=%.3f\n", metric, paper,
+              measured);
+}
+
+}  // namespace dehealth::bench
+
+#endif  // DEHEALTH_BENCH_BENCH_COMMON_H_

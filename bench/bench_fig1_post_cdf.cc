@@ -1,0 +1,77 @@
+// Reproduces Fig. 1 of the paper: CDF of users with respect to the number
+// of posts, for the WebMD-shaped and HealthBoards-shaped datasets.
+// Paper anchors: 87.3% of WebMD users and 75.4% of HB users have < 5
+// posts; both curves rise steeply and saturate near 1 long before 500.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "common/math_utils.h"
+#include "datagen/forum_generator.h"
+
+namespace {
+
+using namespace dehealth;
+
+void Reproduce() {
+  bench::Banner("Fig. 1", "CDF of users vs. number of posts");
+  const std::vector<int> thresholds = {1,  2,   4,   9,   19,  49,
+                                       99, 199, 299, 399, 499};
+  bench::PrintHeader("posts <=", thresholds);
+
+  const struct {
+    const char* name;
+    ForumConfig config;
+    double paper_under5;
+  } datasets[] = {
+      {"WebMD-like", WebMdLikeConfig(3000, 1), 0.873},
+      {"HealthBoards-like", HealthBoardsLikeConfig(3000, 2), 0.754},
+  };
+
+  for (const auto& d : datasets) {
+    auto forum = GenerateForum(d.config);
+    if (!forum.ok()) {
+      std::fprintf(stderr, "generation failed\n");
+      return;
+    }
+    const auto counts = forum->dataset.PostCounts();
+    std::vector<double> as_double(counts.begin(), counts.end());
+    std::vector<double> cut(thresholds.begin(), thresholds.end());
+    bench::PrintSeries(d.name, EmpiricalCdf(as_double, cut));
+
+    const DatasetStats stats = ComputeDatasetStats(forum->dataset);
+    bench::Compare("fraction of users with < 5 posts", d.paper_under5,
+                   stats.fraction_users_under_5_posts);
+    bench::Compare("mean posts per user",
+                   d.config.post_count_exponent == 2.0 ? 5.66 : 12.06,
+                   stats.mean_posts_per_user);
+  }
+}
+
+void BM_GenerateWebMdForum(benchmark::State& state) {
+  const int users = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto forum = GenerateForum(WebMdLikeConfig(users, 7));
+    benchmark::DoNotOptimize(forum);
+  }
+  state.SetItemsProcessed(state.iterations() * users);
+}
+BENCHMARK(BM_GenerateWebMdForum)->Arg(200)->Arg(800);
+
+void BM_PostCountStats(benchmark::State& state) {
+  auto forum = GenerateForum(WebMdLikeConfig(500, 9));
+  for (auto _ : state) {
+    auto stats = ComputeDatasetStats(forum->dataset);
+    benchmark::DoNotOptimize(stats);
+  }
+}
+BENCHMARK(BM_PostCountStats);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Reproduce();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Reproduces Fig. 2 of the paper: distribution of post lengths (words).
+// Paper anchors: mean length 127.59 words (WebMD) / 147.24 words (HB);
+// most posts are shorter than 300 words.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "common/math_utils.h"
+#include "datagen/forum_generator.h"
+#include "text/tokenizer.h"
+
+namespace {
+
+using namespace dehealth;
+
+void Reproduce() {
+  bench::Banner("Fig. 2", "post length distribution (fraction per bucket)");
+  constexpr int kBuckets = 16;
+  constexpr double kMaxLen = 800.0;
+
+  std::vector<int> centers;
+  for (int b = 0; b < kBuckets; ++b)
+    centers.push_back(static_cast<int>((b + 0.5) * kMaxLen / kBuckets));
+  bench::PrintHeader("length (words) ~", centers);
+
+  const struct {
+    const char* name;
+    ForumConfig config;
+    double paper_mean;
+  } datasets[] = {
+      {"WebMD-like", WebMdLikeConfig(1500, 3), 127.59},
+      {"HealthBoards-like", HealthBoardsLikeConfig(1500, 4), 147.24},
+  };
+
+  for (const auto& d : datasets) {
+    auto forum = GenerateForum(d.config);
+    if (!forum.ok()) {
+      std::fprintf(stderr, "generation failed\n");
+      return;
+    }
+    Histogram hist(0.0, kMaxLen, kBuckets);
+    for (double len : forum->dataset.PostWordLengths()) hist.Add(len);
+    std::vector<double> fractions;
+    for (size_t b = 0; b < hist.bin_count(); ++b)
+      fractions.push_back(hist.Fraction(b));
+    bench::PrintSeries(d.name, fractions, "%8.4f");
+
+    const DatasetStats stats = ComputeDatasetStats(forum->dataset);
+    bench::Compare("mean post length (words)", d.paper_mean,
+                   stats.mean_post_words);
+    bench::Compare("fraction of posts < 300 words", 0.9,
+                   stats.fraction_posts_under_300_words);
+  }
+}
+
+void BM_TokenizePost(benchmark::State& state) {
+  auto forum = GenerateForum(WebMdLikeConfig(50, 5));
+  const std::string& text = forum->dataset.posts[0].text;
+  for (auto _ : state) {
+    auto words = TokenizeWords(text);
+    benchmark::DoNotOptimize(words);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_TokenizePost);
+
+void BM_PostLengthScan(benchmark::State& state) {
+  auto forum = GenerateForum(WebMdLikeConfig(300, 5));
+  for (auto _ : state) {
+    auto lengths = forum->dataset.PostWordLengths();
+    benchmark::DoNotOptimize(lengths);
+  }
+}
+BENCHMARK(BM_PostLengthScan);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Reproduce();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Reproduces Fig. 7 (Appendix B): CDF of the user-degree distribution of
+// the WebMD and HealthBoards correlation graphs. Paper anchor: degrees are
+// low for most users — the CDF is close to 1 well before degree 100.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "common/math_utils.h"
+#include "datagen/forum_generator.h"
+#include "graph/graph_stats.h"
+
+namespace {
+
+using namespace dehealth;
+
+void Reproduce() {
+  bench::Banner("Fig. 7", "CDF of user degree in the correlation graph");
+  const std::vector<int> thresholds = {0,  1,   2,   5,   10,  20,
+                                       50, 100, 200, 350, 500};
+  bench::PrintHeader("degree <=", thresholds);
+
+  const struct {
+    const char* name;
+    ForumConfig config;
+  } datasets[] = {
+      {"WebMD-like", WebMdLikeConfig(3000, 21)},
+      {"HealthBoards-like", HealthBoardsLikeConfig(3000, 22)},
+  };
+  for (const auto& d : datasets) {
+    auto forum = GenerateForum(d.config);
+    if (!forum.ok()) {
+      std::fprintf(stderr, "generation failed\n");
+      return;
+    }
+    const CorrelationGraph graph = BuildCorrelationGraph(forum->dataset);
+    std::vector<double> degrees;
+    degrees.reserve(static_cast<size_t>(graph.num_nodes()));
+    for (NodeId u = 0; u < graph.num_nodes(); ++u)
+      degrees.push_back(graph.Degree(u));
+    std::vector<double> cut(thresholds.begin(), thresholds.end());
+    bench::PrintSeries(d.name, EmpiricalCdf(degrees, cut));
+    const GraphSummary summary = SummarizeGraph(graph);
+    bench::Compare("mean degree (paper: 'low')", 10.0, summary.mean_degree);
+    std::printf(
+        "  components=%d largest=%d isolated=%.2f clustering=%.3f\n",
+        summary.num_components, summary.largest_component,
+        summary.isolated_fraction, summary.mean_clustering);
+  }
+}
+
+void BM_BuildCorrelationGraph(benchmark::State& state) {
+  auto forum =
+      GenerateForum(WebMdLikeConfig(static_cast<int>(state.range(0)), 23));
+  for (auto _ : state) {
+    auto graph = BuildCorrelationGraph(forum->dataset);
+    benchmark::DoNotOptimize(graph);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(forum->dataset.posts.size()));
+}
+BENCHMARK(BM_BuildCorrelationGraph)->Arg(300)->Arg(1000);
+
+void BM_NcsVector(benchmark::State& state) {
+  auto forum = GenerateForum(HealthBoardsLikeConfig(500, 25));
+  const CorrelationGraph graph = BuildCorrelationGraph(forum->dataset);
+  NodeId hub = graph.NodesByDegreeDesc()[0];
+  for (auto _ : state) {
+    auto ncs = graph.NcsVector(hub);
+    benchmark::DoNotOptimize(ncs);
+  }
+}
+BENCHMARK(BM_NcsVector);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Reproduce();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Reproduces Fig. 8 (Appendix B): community structure of the WebMD
+// correlation graph when users below a degree cutoff are removed
+// (cutoffs 0 / 11 / 21 / 31, as in panels a-d). Paper anchors: the graph
+// is disconnected in every panel, with roughly 10-100 identifiable
+// communities that shrink as the cutoff rises.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "datagen/forum_generator.h"
+#include "graph/community.h"
+
+namespace {
+
+using namespace dehealth;
+
+void Reproduce() {
+  bench::Banner("Fig. 8",
+                "WebMD community structure vs. minimum-degree cutoff");
+  auto forum = GenerateForum(WebMdLikeConfig(3000, 31));
+  if (!forum.ok()) {
+    std::fprintf(stderr, "generation failed\n");
+    return;
+  }
+  const CorrelationGraph graph = BuildCorrelationGraph(forum->dataset);
+
+  std::printf("%-10s %12s %12s %14s %14s\n", "cutoff", "active users",
+              "components", "communities", "largest comp");
+  for (int cutoff : {0, 11, 21, 31}) {
+    Rng rng(5);
+    const CommunityStructureSummary s =
+        SummarizeCommunityStructure(graph, cutoff, rng);
+    std::printf("%-10d %12d %12d %14d %14d\n", s.min_degree,
+                s.active_nodes, s.num_components, s.num_communities,
+                s.largest_component);
+  }
+  Rng rng(5);
+  const auto base = SummarizeCommunityStructure(graph, 0, rng);
+  bench::Compare("graph is disconnected (components > 1)", 1.0,
+                 base.num_components > 1 ? 1.0 : 0.0);
+  bench::Compare("communities in the 10-100 band", 1.0,
+                 (base.num_communities >= 10) ? 1.0 : 0.0);
+}
+
+void BM_ConnectedComponents(benchmark::State& state) {
+  auto forum = GenerateForum(WebMdLikeConfig(1500, 33));
+  const CorrelationGraph graph = BuildCorrelationGraph(forum->dataset);
+  for (auto _ : state) {
+    auto comps = ConnectedComponents(graph);
+    benchmark::DoNotOptimize(comps);
+  }
+}
+BENCHMARK(BM_ConnectedComponents);
+
+void BM_LabelPropagation(benchmark::State& state) {
+  auto forum = GenerateForum(WebMdLikeConfig(1000, 35));
+  const CorrelationGraph graph = BuildCorrelationGraph(forum->dataset);
+  for (auto _ : state) {
+    Rng rng(7);
+    auto result = LabelPropagation(graph, rng);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_LabelPropagation);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Reproduce();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

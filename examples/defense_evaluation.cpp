@@ -1,0 +1,81 @@
+// Evaluates dataset-side anonymization defenses against De-Health: for
+// each defense, the Top-10 DA success on the defended data and the utility
+// (content-word retention) that remains. The trade-off curve is the
+// decision input a data publisher actually needs.
+
+#include <cstdio>
+
+#include "core/de_health.h"
+#include "datagen/forum_generator.h"
+#include "datagen/split.h"
+#include "defense/defense.h"
+#include "io/forum_io.h"
+
+using namespace dehealth;
+
+int main() {
+  ForumConfig forum_config = WebMdLikeConfig(250, 97);
+  forum_config.min_posts_per_user = 4;
+  auto forum = GenerateForum(forum_config);
+  if (!forum.ok()) {
+    std::fprintf(stderr, "generation failed\n");
+    return 1;
+  }
+  auto scenario = MakeClosedWorldScenario(forum->dataset, 0.5, 7);
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "split failed\n");
+    return 1;
+  }
+  const UdaGraph aux = BuildUdaGraph(scenario->auxiliary);
+
+  std::printf("%-28s %14s %14s\n", "published dataset", "top-10 DA",
+              "utility kept");
+  for (int level = 0; level <= 3; ++level) {
+    DefenseConfig defense;
+    const char* name = "raw (no defense)";
+    if (level >= 1) {
+      defense.scrub_text = true;
+      name = "+ surface scrubbing";
+    }
+    if (level >= 2) {
+      defense.drop_thread_structure = true;
+      name = "+ thread isolation";
+    }
+    if (level >= 3) {
+      defense.post_sample_fraction = 0.4;
+      name = "+ 40% subsampling";
+    }
+    auto defended = ApplyDefense(scenario->anonymized, defense);
+    if (!defended.ok()) {
+      std::fprintf(stderr, "defense failed\n");
+      return 1;
+    }
+    const UdaGraph anon = BuildUdaGraph(*defended);
+    const StructuralSimilarity sim(anon, aux, {});
+    auto candidates = SelectTopKCandidates(sim.ComputeMatrix(), 10);
+    if (!candidates.ok()) continue;
+    std::printf("%-28s %13.1f%% %13.1f%%\n", name,
+                100.0 * TopKSuccessRate(*candidates, scenario->truth),
+                100.0 * ContentWordRetention(scenario->anonymized,
+                                             *defended));
+  }
+
+  // Round-trip the defended dataset through the JSONL codec — the format a
+  // real publisher would release.
+  DefenseConfig full;
+  full.scrub_text = true;
+  full.drop_thread_structure = true;
+  auto defended = ApplyDefense(scenario->anonymized, full);
+  const std::string path = "/tmp/dehealth_defended.jsonl";
+  if (defended.ok() && SaveForumDataset(*defended, path).ok()) {
+    auto reloaded = LoadForumDataset(path);
+    std::printf("\nwrote defended dataset to %s (%zu posts, reload %s)\n",
+                path.c_str(), defended->posts.size(),
+                reloaded.ok() ? "ok" : "FAILED");
+    std::remove(path.c_str());
+  }
+  std::printf(
+      "\nNo single cheap defense stops the attack; layered defenses help "
+      "but cost utility.\n");
+  return 0;
+}

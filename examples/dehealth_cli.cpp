@@ -1,0 +1,214 @@
+// dehealth_cli: drive the library from the command line over JSONL forum
+// datasets — the adoption path for running De-Health on your own data.
+//
+//   dehealth_cli generate --preset webmd --users 300 --seed 7 --out d.jsonl
+//   dehealth_cli split    --dataset d.jsonl --aux-fraction 0.5 --seed 3 \
+//                         --anon-out anon.jsonl --aux-out aux.jsonl \
+//                         --truth-out truth.csv
+//   dehealth_cli attack   --anonymized anon.jsonl --auxiliary aux.jsonl \
+//                         --k 10 --learner smo [--idf] [--truth truth.csv] \
+//                         [--out predictions.csv]
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "core/de_health.h"
+#include "core/evaluation.h"
+#include "datagen/forum_generator.h"
+#include "datagen/split.h"
+#include "io/forum_io.h"
+
+using namespace dehealth;
+
+namespace {
+
+/// Minimal "--flag value" parser; flags may appear in any order.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      const std::string token = argv[i];
+      if (token.rfind("--", 0) != 0) continue;
+      if (token == "--idf") {  // boolean flags take no value
+        flags_.insert("idf");
+        continue;
+      }
+      if (i + 1 < argc) values_[token.substr(2)] = argv[++i];
+    }
+  }
+
+  std::string Get(const std::string& key,
+                  const std::string& fallback = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  int GetInt(const std::string& key, int fallback) const {
+    const std::string v = Get(key);
+    return v.empty() ? fallback : std::atoi(v.c_str());
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    const std::string v = Get(key);
+    return v.empty() ? fallback : std::atof(v.c_str());
+  }
+  bool Has(const std::string& flag) const { return flags_.count(flag) > 0; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::set<std::string> flags_;
+};
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+int CmdGenerate(const Args& args) {
+  const std::string preset = args.Get("preset", "webmd");
+  const int users = args.GetInt("users", 300);
+  const auto seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  const std::string out = args.Get("out");
+  if (out.empty()) return Fail("generate requires --out");
+
+  const ForumConfig config = preset == "hb"
+                                 ? HealthBoardsLikeConfig(users, seed)
+                                 : WebMdLikeConfig(users, seed);
+  auto forum = GenerateForum(config);
+  if (!forum.ok()) return Fail(forum.status().ToString());
+  Status st = SaveForumDataset(forum->dataset, out);
+  if (!st.ok()) return Fail(st.ToString());
+  const DatasetStats stats = ComputeDatasetStats(forum->dataset);
+  std::printf("wrote %s: %d users, %d posts (%.2f posts/user)\n",
+              out.c_str(), stats.num_users, stats.num_posts,
+              stats.mean_posts_per_user);
+  return 0;
+}
+
+int CmdSplit(const Args& args) {
+  const std::string in = args.Get("dataset");
+  const std::string anon_out = args.Get("anon-out");
+  const std::string aux_out = args.Get("aux-out");
+  const std::string truth_out = args.Get("truth-out");
+  if (in.empty() || anon_out.empty() || aux_out.empty())
+    return Fail("split requires --dataset, --anon-out, --aux-out");
+
+  auto dataset = LoadForumDataset(in);
+  if (!dataset.ok()) return Fail(dataset.status().ToString());
+  const double overlap = args.GetDouble("overlap", 0.0);
+  const auto seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  StatusOr<DaScenario> scenario =
+      overlap > 0.0
+          ? MakeOpenWorldScenario(*dataset, overlap, seed)
+          : MakeClosedWorldScenario(
+                *dataset, args.GetDouble("aux-fraction", 0.5), seed);
+  if (!scenario.ok()) return Fail(scenario.status().ToString());
+
+  Status st = SaveForumDataset(scenario->anonymized, anon_out);
+  if (st.ok()) st = SaveForumDataset(scenario->auxiliary, aux_out);
+  if (!st.ok()) return Fail(st.ToString());
+  if (!truth_out.empty()) {
+    std::ofstream truth(truth_out);
+    truth << "anon_id,aux_id\n";
+    for (size_t u = 0; u < scenario->truth.size(); ++u)
+      truth << u << "," << scenario->truth[u] << "\n";
+  }
+  std::printf("split %s: %d anonymized users, %d auxiliary users\n",
+              in.c_str(), scenario->anonymized.num_users,
+              scenario->auxiliary.num_users);
+  return 0;
+}
+
+int CmdAttack(const Args& args) {
+  const std::string anon_path = args.Get("anonymized");
+  const std::string aux_path = args.Get("auxiliary");
+  if (anon_path.empty() || aux_path.empty())
+    return Fail("attack requires --anonymized and --auxiliary");
+
+  auto anon_data = LoadForumDataset(anon_path);
+  if (!anon_data.ok()) return Fail(anon_data.status().ToString());
+  auto aux_data = LoadForumDataset(aux_path);
+  if (!aux_data.ok()) return Fail(aux_data.status().ToString());
+
+  DeHealthConfig config;
+  config.top_k = args.GetInt("k", 10);
+  config.similarity.idf_weight_attributes = args.Has("idf");
+  const std::string learner = args.Get("learner", "smo");
+  if (learner == "knn") {
+    config.refined.learner = LearnerKind::kKnn;
+  } else if (learner == "rlsc") {
+    config.refined.learner = LearnerKind::kRlsc;
+  } else if (learner == "centroid") {
+    config.refined.learner = LearnerKind::kNearestCentroid;
+  } else {
+    config.refined.learner = LearnerKind::kSmoSvm;
+  }
+
+  std::printf("building UDA graphs (%zu + %zu posts)...\n",
+              anon_data->posts.size(), aux_data->posts.size());
+  const UdaGraph anon = BuildUdaGraph(*anon_data);
+  const UdaGraph aux = BuildUdaGraph(*aux_data);
+  auto result = DeHealth(config).Run(anon, aux);
+  if (!result.ok()) return Fail(result.status().ToString());
+
+  const std::string out = args.Get("out");
+  if (!out.empty()) {
+    std::ofstream csv(out);
+    csv << "anon_id,prediction,top_candidates\n";
+    for (size_t u = 0; u < result->refined.predictions.size(); ++u) {
+      csv << u << "," << result->refined.predictions[u] << ",\"";
+      const auto& c = result->candidates[u];
+      for (size_t i = 0; i < c.size(); ++i)
+        csv << (i ? " " : "") << c[i];
+      csv << "\"\n";
+    }
+    std::printf("wrote predictions to %s\n", out.c_str());
+  }
+
+  // Optional evaluation against a truth CSV written by `split`.
+  const std::string truth_path = args.Get("truth");
+  if (!truth_path.empty()) {
+    std::ifstream truth_file(truth_path);
+    if (!truth_file) return Fail("cannot open truth file");
+    std::vector<int> truth(result->refined.predictions.size(),
+                           DaScenario::kNoTrueMapping);
+    std::string line;
+    std::getline(truth_file, line);  // header
+    while (std::getline(truth_file, line)) {
+      std::istringstream row(line);
+      std::string a, b;
+      if (std::getline(row, a, ',') && std::getline(row, b)) {
+        const size_t u = static_cast<size_t>(std::atoi(a.c_str()));
+        if (u < truth.size()) truth[u] = std::atoi(b.c_str());
+      }
+    }
+    const double top_k = TopKSuccessRate(result->candidates, truth);
+    const OpenWorldCounts counts =
+        EvaluateRefinedDa(result->refined, truth);
+    std::printf("top-%d success: %.1f%%   accuracy: %.1f%%   FP: %.1f%%\n",
+                config.top_k, 100.0 * top_k, 100.0 * counts.Accuracy(),
+                100.0 * counts.FalsePositiveRate());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: dehealth_cli <generate|split|attack> [--flag "
+                 "value ...]\n");
+    return 1;
+  }
+  const std::string command = argv[1];
+  const Args args(argc, argv, 2);
+  if (command == "generate") return CmdGenerate(args);
+  if (command == "split") return CmdSplit(args);
+  if (command == "attack") return CmdAttack(args);
+  std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+  return 1;
+}

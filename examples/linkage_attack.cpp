@@ -1,0 +1,73 @@
+// The Section-VI linkage attack: NameLink (username entropy) aggregates a
+// health-forum user's records across forums; AvatarLink (profile-photo
+// matching) connects them to social-network identities — full names,
+// birthdates, phone numbers.
+//
+// Runs against a synthetic identity universe (see DESIGN.md for the
+// substitution rationale) and prints a Section-VI-style report plus a few
+// anonymized example dossiers.
+
+#include <cstdio>
+
+#include "linkage/attack.h"
+#include "linkage/dossier.h"
+
+using namespace dehealth;
+
+int main() {
+  UniverseConfig universe_config;
+  universe_config.num_persons = 6000;
+  universe_config.seed = 31;
+  auto universe = BuildIdentityUniverse(universe_config);
+  if (!universe.ok()) {
+    std::fprintf(stderr, "universe failed: %s\n",
+                 universe.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Identity universe: %zu persons, %zu accounts\n",
+              universe->persons.size(), universe->accounts.size());
+
+  LinkageAttack attack(*universe);
+  const LinkageReport report = attack.Run();
+
+  std::printf("\n=== Linkage attack report (cf. paper Section VI-B) ===\n");
+  std::printf("health-forum accounts:              %d\n",
+              report.health_forum_accounts);
+  std::printf("avatar targets after 4 filters:     %d\n",
+              report.filtered_avatar_targets);
+  std::printf("NameLink links to the other forum:  %d (precision %.1f%%)\n",
+              report.name_links, 100.0 * report.NameLinkPrecision());
+  std::printf("AvatarLink: users linked to people: %d (%.1f%% of targets)\n",
+              report.avatar_linked_users, 100.0 * report.AvatarLinkRate());
+  std::printf("  on 2+ social networks:            %d (%.1f%%)\n",
+              report.users_on_two_plus_socials,
+              report.avatar_linked_users > 0
+                  ? 100.0 * report.users_on_two_plus_socials /
+                        report.avatar_linked_users
+                  : 0.0);
+  std::printf("  NameLink ∩ AvatarLink overlap:    %d users\n",
+              report.overlap_users);
+  std::printf("(paper: 1676 NameLink links; 347/2805 = 12.4%% AvatarLink; "
+              "137 overlap; 33.4%% on 2+ networks)\n");
+
+  // The dossiers the attacker assembles (identities are synthetic, so
+  // printing them is harmless — which is rather the point).
+  const auto dossiers =
+      BuildDossiers(*universe, attack.RunNameLink(), attack.RunAvatarLink());
+  std::printf("\n=== Example attacker dossiers (%zu total, precision "
+              "%.1f%%) ===\n",
+              dossiers.size(), 100.0 * DossierPrecision(dossiers));
+  int shown = 0;
+  for (const Dossier& d : dossiers) {
+    if (d.full_name.empty()) continue;
+    std::printf(
+        "  '%s' -> %s (b. %d, %s%s%s) socials=%d%s%s\n",
+        d.forum_username.c_str(), d.full_name.c_str(), d.birth_year,
+        d.city.c_str(), d.phone.empty() ? "" : ", phone ",
+        d.phone.c_str(), d.num_social_services,
+        d.has_other_forum_history ? " +forum-history" : "",
+        d.cross_validated ? " [cross-validated]" : "");
+    if (++shown == 5) break;
+  }
+  return 0;
+}

@@ -1,0 +1,105 @@
+#include "common/math_utils.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace dehealth {
+
+double CosineSimilarity(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  const size_t n = std::min(a.size(), b.size());
+  double dot = 0.0;
+  for (size_t i = 0; i < n; ++i) dot += a[i] * b[i];
+  double na = 0.0, nb = 0.0;
+  for (double x : a) na += x * x;
+  for (double x : b) nb += x * x;
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+double MinMaxRatio(double a, double b) {
+  assert(a >= 0.0 && b >= 0.0);
+  const double mx = std::max(a, b);
+  if (mx == 0.0) return 1.0;
+  return std::min(a, b) / mx;
+}
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  return sum / static_cast<double>(v.size());
+}
+
+double Variance(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = Mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(v.size());
+}
+
+double StdDev(const std::vector<double>& v) { return std::sqrt(Variance(v)); }
+
+SummaryStats Summarize(const std::vector<double>& v) {
+  SummaryStats s;
+  s.count = v.size();
+  if (v.empty()) return s;
+  s.mean = Mean(v);
+  s.stddev = StdDev(v);
+  s.min = *std::min_element(v.begin(), v.end());
+  s.max = *std::max_element(v.begin(), v.end());
+  return s;
+}
+
+std::vector<double> EmpiricalCdf(const std::vector<double>& values,
+                                 const std::vector<double>& thresholds) {
+  assert(std::is_sorted(thresholds.begin(), thresholds.end()));
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out(thresholds.size(), 0.0);
+  if (sorted.empty()) return out;
+  for (size_t i = 0; i < thresholds.size(); ++i) {
+    auto it = std::upper_bound(sorted.begin(), sorted.end(), thresholds[i]);
+    out[i] = static_cast<double>(it - sorted.begin()) /
+             static_cast<double>(sorted.size());
+  }
+  return out;
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  assert(hi > lo && bins > 0);
+}
+
+void Histogram::Add(double value) {
+  double t = (value - lo_) / (hi_ - lo_);
+  auto bin = static_cast<long>(t * static_cast<double>(counts_.size()));
+  if (bin < 0) bin = 0;
+  if (bin >= static_cast<long>(counts_.size()))
+    bin = static_cast<long>(counts_.size()) - 1;
+  ++counts_[static_cast<size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::BinCenter(size_t bin) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * (static_cast<double>(bin) + 0.5);
+}
+
+double Histogram::Fraction(size_t bin) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(counts_[bin]) / static_cast<double>(total_);
+}
+
+double LogBinomial(int n, int k) {
+  assert(n >= 0 && k >= 0 && k <= n);
+  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) - std::lgamma(n - k + 1.0);
+}
+
+double Clamp(double x, double lo, double hi) {
+  return std::max(lo, std::min(hi, x));
+}
+
+}  // namespace dehealth

@@ -1,0 +1,40 @@
+#ifndef DEHEALTH_COMMON_STRING_UTILS_H_
+#define DEHEALTH_COMMON_STRING_UTILS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dehealth {
+
+/// Splits `s` on any character in `delims`, dropping empty pieces.
+std::vector<std::string> SplitString(std::string_view s,
+                                     std::string_view delims);
+
+/// ASCII lowercase copy.
+std::string ToLowerAscii(std::string_view s);
+
+/// True if every character is an ASCII letter (and s non-empty).
+bool IsAlphaAscii(std::string_view s);
+
+/// True if every character is an ASCII digit (and s non-empty).
+bool IsDigitAscii(std::string_view s);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view TrimAscii(std::string_view s);
+
+/// Joins pieces with a separator.
+std::string JoinStrings(const std::vector<std::string>& pieces,
+                        std::string_view sep);
+
+/// True if `s` starts with `prefix` / ends with `suffix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_COMMON_STRING_UTILS_H_

@@ -1,0 +1,59 @@
+#include "core/de_health.h"
+
+#include <numeric>
+
+namespace dehealth {
+
+DeHealth::DeHealth(DeHealthConfig config) : config_(config) {}
+
+StatusOr<DeHealthResult> DeHealth::Run(const UdaGraph& anonymized,
+                                       const UdaGraph& auxiliary) const {
+  DeHealthResult result;
+
+  // Phase 1a: structural similarity (Algorithm 1, lines 2-4).
+  const StructuralSimilarity similarity(anonymized, auxiliary,
+                                        config_.similarity);
+  result.similarity = similarity.ComputeMatrix();
+
+  // Phase 1b: Top-K candidate sets (line 5).
+  StatusOr<CandidateSets> candidates = SelectTopKCandidates(
+      result.similarity, config_.top_k, config_.selection);
+  if (!candidates.ok()) return candidates.status();
+  result.candidates = std::move(candidates).value();
+  result.rejected.assign(result.candidates.size(), false);
+
+  // Phase 1c: optional threshold-vector filtering (line 6, Algorithm 2).
+  if (config_.enable_filtering) {
+    StatusOr<FilterResult> filtered = FilterCandidates(
+        result.similarity, result.candidates, config_.filter);
+    if (!filtered.ok()) return filtered.status();
+    result.candidates = std::move(filtered->candidates);
+    result.rejected = std::move(filtered->rejected);
+  }
+
+  // Phase 2: refined DA (lines 7-9).
+  StatusOr<RefinedDaResult> refined =
+      RunRefinedDa(anonymized, auxiliary, result.candidates,
+                   &result.rejected, result.similarity, config_.refined);
+  if (!refined.ok()) return refined.status();
+  result.refined = std::move(refined).value();
+  return result;
+}
+
+StatusOr<RefinedDaResult> RunStylometryBaseline(
+    const UdaGraph& anonymized, const UdaGraph& auxiliary,
+    const std::vector<std::vector<double>>& similarity,
+    const RefinedDaConfig& config) {
+  // Every auxiliary user is a candidate for every anonymized user; the
+  // training problem is therefore identical across anonymized users, so
+  // one shared classifier replaces per-user retraining (a ~|V1|x speedup
+  // with the same semantics).
+  std::vector<int> all(static_cast<size_t>(auxiliary.num_users()));
+  std::iota(all.begin(), all.end(), 0);
+  const CandidateSets candidates(
+      static_cast<size_t>(anonymized.num_users()), all);
+  return RunRefinedDaShared(anonymized, auxiliary, candidates, similarity,
+                            config);
+}
+
+}  // namespace dehealth

@@ -1,0 +1,64 @@
+#ifndef DEHEALTH_CORE_DE_HEALTH_H_
+#define DEHEALTH_CORE_DE_HEALTH_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/filtering.h"
+#include "core/refined_da.h"
+#include "core/similarity.h"
+#include "core/top_k.h"
+#include "core/uda_graph.h"
+
+namespace dehealth {
+
+/// End-to-end configuration of the De-Health attack (Algorithm 1).
+struct DeHealthConfig {
+  SimilarityConfig similarity;
+  int top_k = 10;  // K
+  CandidateSelection selection = CandidateSelection::kDirect;
+  /// The paper marks filtering optional ("no guarantee ... to improve the
+  /// DA performance. Therefore, we set the filtering process as an
+  /// optional choice") — off by default, like the closed-world evaluation.
+  bool enable_filtering = false;
+  FilterConfig filter;
+  RefinedDaConfig refined;
+};
+
+/// Everything the two phases produced; kept so benches and callers can
+/// evaluate Top-K success and refined accuracy from one run.
+struct DeHealthResult {
+  std::vector<std::vector<double>> similarity;  // s_uv matrix
+  CandidateSets candidates;                     // final candidate sets C_u
+  std::vector<bool> rejected;                   // u → ⊥ decided by filtering
+  RefinedDaResult refined;                      // phase-2 predictions
+};
+
+/// The De-Health framework: Top-K DA (structural similarity + candidate
+/// selection + optional filtering) followed by refined DA (per-user
+/// classifier + optional open-world verification).
+class DeHealth {
+ public:
+  explicit DeHealth(DeHealthConfig config = {});
+
+  /// Runs both phases of Algorithm 1 on an anonymized/auxiliary UDA-graph
+  /// pair. Deterministic given the config seeds.
+  StatusOr<DeHealthResult> Run(const UdaGraph& anonymized,
+                               const UdaGraph& auxiliary) const;
+
+  const DeHealthConfig& config() const { return config_; }
+
+ private:
+  DeHealthConfig config_;
+};
+
+/// The paper's "Stylometry" comparison method: the refined-DA classifier
+/// applied directly against *all* auxiliary users, without the Top-K phase.
+StatusOr<RefinedDaResult> RunStylometryBaseline(
+    const UdaGraph& anonymized, const UdaGraph& auxiliary,
+    const std::vector<std::vector<double>>& similarity,
+    const RefinedDaConfig& config);
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_CORE_DE_HEALTH_H_

@@ -1,0 +1,17 @@
+#include "core/evaluation.h"
+
+#include <cassert>
+
+namespace dehealth {
+
+OpenWorldCounts EvaluateRefinedDa(const RefinedDaResult& result,
+                                  const std::vector<int>& truth) {
+  assert(result.predictions.size() == truth.size());
+  // Normalize "no true mapping" markers to kNotPresent.
+  std::vector<int> normalized_truth(truth.size());
+  for (size_t i = 0; i < truth.size(); ++i)
+    normalized_truth[i] = truth[i] < 0 ? kNotPresent : truth[i];
+  return TallyOpenWorld(result.predictions, normalized_truth);
+}
+
+}  // namespace dehealth

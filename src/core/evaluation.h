@@ -1,0 +1,20 @@
+#ifndef DEHEALTH_CORE_EVALUATION_H_
+#define DEHEALTH_CORE_EVALUATION_H_
+
+#include <vector>
+
+#include "core/refined_da.h"
+#include "ml/metrics.h"
+
+namespace dehealth {
+
+/// Tallies refined-DA outcomes against a scenario's ground truth
+/// (truth[u] = auxiliary id, or negative for no-true-mapping users).
+/// Closed world: read `.Accuracy()`. Open world: also
+/// `.FalsePositiveRate()`.
+OpenWorldCounts EvaluateRefinedDa(const RefinedDaResult& result,
+                                  const std::vector<int>& truth);
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_CORE_EVALUATION_H_

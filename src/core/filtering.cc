@@ -1,0 +1,69 @@
+#include "core/filtering.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace dehealth {
+
+StatusOr<FilterResult> FilterCandidates(
+    const std::vector<std::vector<double>>& similarity,
+    const CandidateSets& candidates, FilterConfig config) {
+  if (config.num_thresholds < 1)
+    return Status::InvalidArgument(
+        "FilterCandidates: num_thresholds must be >= 1");
+  if (config.epsilon < 0.0)
+    return Status::InvalidArgument(
+        "FilterCandidates: epsilon must be >= 0");
+  if (similarity.size() != candidates.size())
+    return Status::InvalidArgument(
+        "FilterCandidates: similarity/candidate size mismatch");
+
+  FilterResult result;
+  result.candidates.resize(candidates.size());
+  result.rejected.assign(candidates.size(), false);
+  if (candidates.empty()) return result;
+
+  // Global similarity extremes (line 1-2 of Algorithm 2).
+  double s_max = -std::numeric_limits<double>::infinity();
+  double s_min = std::numeric_limits<double>::infinity();
+  for (const auto& row : similarity)
+    for (double s : row) {
+      s_max = std::max(s_max, s);
+      s_min = std::min(s_min, s);
+    }
+  if (s_min > s_max) {  // no auxiliary users at all
+    result.rejected.assign(candidates.size(), true);
+    return result;
+  }
+  const double s_upper = s_max;
+  const double s_lower = std::min(s_min + config.epsilon, s_upper);
+
+  // Threshold vector T_i = s_u - i/(l-1) · (s_u - s_l), largest first.
+  const int l = config.num_thresholds;
+  result.thresholds.resize(static_cast<size_t>(l));
+  for (int i = 0; i < l; ++i) {
+    const double frac =
+        l == 1 ? 0.0 : static_cast<double>(i) / static_cast<double>(l - 1);
+    result.thresholds[static_cast<size_t>(i)] =
+        s_upper - frac * (s_upper - s_lower);
+  }
+
+  for (size_t u = 0; u < candidates.size(); ++u) {
+    const auto& row = similarity[u];
+    bool kept = false;
+    for (double threshold : result.thresholds) {
+      std::vector<int> surviving;
+      for (int v : candidates[u])
+        if (row[static_cast<size_t>(v)] >= threshold) surviving.push_back(v);
+      if (!surviving.empty()) {
+        result.candidates[u] = std::move(surviving);
+        kept = true;
+        break;
+      }
+    }
+    if (!kept) result.rejected[u] = true;  // u → ⊥ (line 12-13)
+  }
+  return result;
+}
+
+}  // namespace dehealth

@@ -1,0 +1,141 @@
+#include "core/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/math_utils.h"
+#include "graph/landmarks.h"
+
+namespace dehealth {
+
+double FlattenedAttributeSimilarity(
+    const std::vector<std::pair<int, double>>& a,
+    const std::vector<std::pair<int, double>>& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  size_t set_intersection = 0;
+  double weight_intersection = 0.0, weight_union = 0.0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i].first < b[j].first) {
+      weight_union += a[i].second;
+      ++i;
+    } else if (b[j].first < a[i].first) {
+      weight_union += b[j].second;
+      ++j;
+    } else {
+      ++set_intersection;
+      weight_intersection += std::min(a[i].second, b[j].second);
+      weight_union += std::max(a[i].second, b[j].second);
+      ++i;
+      ++j;
+    }
+  }
+  for (; i < a.size(); ++i) weight_union += a[i].second;
+  for (; j < b.size(); ++j) weight_union += b[j].second;
+
+  const size_t set_union = a.size() + b.size() - set_intersection;
+  double sim = 0.0;
+  if (set_union > 0)
+    sim += static_cast<double>(set_intersection) /
+           static_cast<double>(set_union);
+  if (weight_union > 0) sim += weight_intersection / weight_union;
+  return sim;
+}
+
+double FlattenedAttributeSimilarity(
+    const std::vector<std::pair<int, int>>& a,
+    const std::vector<std::pair<int, int>>& b) {
+  std::vector<std::pair<int, double>> da(a.begin(), a.end());
+  std::vector<std::pair<int, double>> db(b.begin(), b.end());
+  return FlattenedAttributeSimilarity(da, db);
+}
+
+StructuralSimilarity::StructuralSimilarity(const UdaGraph& anonymized,
+                                           const UdaGraph& auxiliary,
+                                           SimilarityConfig config)
+    : anonymized_(anonymized), auxiliary_(auxiliary), config_(config) {
+  // Attribute document frequencies over the auxiliary side (IDF mode).
+  std::unordered_map<int, int> document_frequency;
+  if (config_.idf_weight_attributes) {
+    for (const UserProfile& profile : auxiliary_.profiles)
+      for (const auto& [id, weight] : profile.attributes())
+        ++document_frequency[id];
+  }
+  const double n2 = static_cast<double>(auxiliary_.num_users());
+  auto idf = [&](int id) {
+    if (!config_.idf_weight_attributes) return 1.0;
+    auto it = document_frequency.find(id);
+    const double df = it == document_frequency.end() ? 0.0 : it->second;
+    return std::log((1.0 + n2) / (1.0 + df));
+  };
+
+  const UdaGraph* sides[2] = {&anonymized_, &auxiliary_};
+  for (int s = 0; s < 2; ++s) {
+    const UdaGraph& side = *sides[s];
+    const int n = side.num_users();
+    const LandmarkIndex landmarks(side.graph, config_.num_landmarks);
+    hop_vectors_[s].reserve(static_cast<size_t>(n));
+    weighted_vectors_[s].reserve(static_cast<size_t>(n));
+    ncs_vectors_[s].reserve(static_cast<size_t>(n));
+    attributes_[s].reserve(static_cast<size_t>(n));
+    for (NodeId u = 0; u < n; ++u) {
+      hop_vectors_[s].push_back(landmarks.HopVector(u));
+      weighted_vectors_[s].push_back(landmarks.WeightedVector(u));
+      ncs_vectors_[s].push_back(side.graph.NcsVector(u));
+      std::vector<std::pair<int, double>> scaled;
+      for (const auto& [id, weight] :
+           side.profiles[static_cast<size_t>(u)].attributes())
+        scaled.emplace_back(id, weight * idf(id));
+      attributes_[s].push_back(std::move(scaled));
+    }
+  }
+}
+
+int StructuralSimilarity::num_anonymized() const {
+  return anonymized_.num_users();
+}
+int StructuralSimilarity::num_auxiliary() const {
+  return auxiliary_.num_users();
+}
+
+double StructuralSimilarity::DegreeSimilarity(NodeId u, NodeId v) const {
+  const double du = anonymized_.graph.Degree(u);
+  const double dv = auxiliary_.graph.Degree(v);
+  const double wdu = anonymized_.graph.WeightedDegree(u);
+  const double wdv = auxiliary_.graph.WeightedDegree(v);
+  return MinMaxRatio(du, dv) + MinMaxRatio(wdu, wdv) +
+         CosineSimilarity(ncs_vectors_[0][static_cast<size_t>(u)],
+                          ncs_vectors_[1][static_cast<size_t>(v)]);
+}
+
+double StructuralSimilarity::DistanceSimilarity(NodeId u, NodeId v) const {
+  return CosineSimilarity(hop_vectors_[0][static_cast<size_t>(u)],
+                          hop_vectors_[1][static_cast<size_t>(v)]) +
+         CosineSimilarity(weighted_vectors_[0][static_cast<size_t>(u)],
+                          weighted_vectors_[1][static_cast<size_t>(v)]);
+}
+
+double StructuralSimilarity::AttrSimilarity(NodeId u, NodeId v) const {
+  return FlattenedAttributeSimilarity(attributes_[0][static_cast<size_t>(u)],
+                                      attributes_[1][static_cast<size_t>(v)]);
+}
+
+double StructuralSimilarity::Combined(NodeId u, NodeId v) const {
+  return config_.c1 * DegreeSimilarity(u, v) +
+         config_.c2 * DistanceSimilarity(u, v) +
+         config_.c3 * AttrSimilarity(u, v);
+}
+
+std::vector<std::vector<double>> StructuralSimilarity::ComputeMatrix() const {
+  const int n1 = num_anonymized();
+  const int n2 = num_auxiliary();
+  std::vector<std::vector<double>> matrix(
+      static_cast<size_t>(n1), std::vector<double>(static_cast<size_t>(n2)));
+  for (NodeId u = 0; u < n1; ++u)
+    for (NodeId v = 0; v < n2; ++v)
+      matrix[static_cast<size_t>(u)][static_cast<size_t>(v)] = Combined(u, v);
+  return matrix;
+}
+
+}  // namespace dehealth

@@ -1,0 +1,90 @@
+#ifndef DEHEALTH_CORE_SIMILARITY_H_
+#define DEHEALTH_CORE_SIMILARITY_H_
+
+#include <vector>
+
+#include "core/uda_graph.h"
+
+namespace dehealth {
+
+/// Weights and parameters of the paper's structural similarity
+/// s_uv = c1·s^d_uv + c2·s^s_uv + c3·s^a_uv.
+struct SimilarityConfig {
+  /// Paper defaults (Section V): low weight on degree and distance because
+  /// the health graphs are sparse and disconnected; attribute similarity
+  /// dominates.
+  double c1 = 0.05;  // degree similarity weight
+  double c2 = 0.05;  // distance (landmark) similarity weight
+  double c3 = 0.9;   // attribute similarity weight
+  int num_landmarks = 50;  // ħ
+
+  /// Scale each attribute's weight l_u(A_i) by the inverse document
+  /// frequency log((1+n2)/(1+df_i)) computed over the auxiliary users.
+  /// The paper leaves the attribute weighting open; IDF suppresses
+  /// population-wide attributes (everyone writes 'e's and DT-NN bigrams)
+  /// so the rare, identifying ones dominate — essential when the corpus
+  /// is topic-noisy (see the Fig. 4 bench and EXPERIMENTS.md).
+  bool idf_weight_attributes = false;
+};
+
+/// Precomputes everything needed to score anonymized-vs-auxiliary user
+/// pairs: landmark proximity vectors on both UDA graphs, NCS vectors, and
+/// flattened attribute lists. The three components are exposed separately
+/// (the theory benches and the ablation bench sweep them independently).
+class StructuralSimilarity {
+ public:
+  /// `anonymized` and `auxiliary` must outlive this object.
+  StructuralSimilarity(const UdaGraph& anonymized, const UdaGraph& auxiliary,
+                       SimilarityConfig config = {});
+
+  /// s^d: min/max degree ratio + min/max weighted-degree ratio +
+  /// cos(D_u, D_v). Range [0, 3].
+  double DegreeSimilarity(NodeId u, NodeId v) const;
+
+  /// s^s: cos(H_u(S1), H_v(S2)) + cos(WH_u(S1), WH_v(S2)). Range [0, 2].
+  double DistanceSimilarity(NodeId u, NodeId v) const;
+
+  /// s^a: Jaccard + weighted Jaccard over attribute sets. Range [0, 2].
+  double AttrSimilarity(NodeId u, NodeId v) const;
+
+  /// c1·s^d + c2·s^s + c3·s^a.
+  double Combined(NodeId u, NodeId v) const;
+
+  /// Full similarity matrix: result[u][v] = Combined(u, v). O(n1·n2) —
+  /// intended for the scaled experiment sizes.
+  std::vector<std::vector<double>> ComputeMatrix() const;
+
+  const SimilarityConfig& config() const { return config_; }
+  int num_anonymized() const;
+  int num_auxiliary() const;
+
+ private:
+  const UdaGraph& anonymized_;
+  const UdaGraph& auxiliary_;
+  SimilarityConfig config_;
+
+  // Per-user precomputed vectors (index 0 = anonymized side, 1 = auxiliary).
+  std::vector<std::vector<double>> hop_vectors_[2];
+  std::vector<std::vector<double>> weighted_vectors_[2];
+  std::vector<std::vector<double>> ncs_vectors_[2];
+  // Flattened (attribute id, weight) lists for fast merge joins; weights
+  // are IDF-scaled when config_.idf_weight_attributes is set.
+  std::vector<std::vector<std::pair<int, double>>> attributes_[2];
+};
+
+/// Standalone weighted-Jaccard attribute similarity over flattened
+/// attribute lists (sorted by id). Exposed for testing.
+double FlattenedAttributeSimilarity(
+    const std::vector<std::pair<int, int>>& a,
+    const std::vector<std::pair<int, int>>& b);
+
+/// Real-weighted variant (used internally when IDF scaling is on):
+/// set Jaccard over the ids plus min/max weighted Jaccard over the
+/// (already scaled) weights.
+double FlattenedAttributeSimilarity(
+    const std::vector<std::pair<int, double>>& a,
+    const std::vector<std::pair<int, double>>& b);
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_CORE_SIMILARITY_H_

@@ -1,0 +1,131 @@
+#include "core/top_k.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "graph/bipartite_matching.h"
+
+namespace dehealth {
+
+namespace {
+
+CandidateSets DirectSelection(
+    const std::vector<std::vector<double>>& similarity, int k) {
+  CandidateSets candidates(similarity.size());
+  for (size_t u = 0; u < similarity.size(); ++u) {
+    const auto& row = similarity[u];
+    std::vector<int> order(row.size());
+    std::iota(order.begin(), order.end(), 0);
+    const size_t take = std::min(static_cast<size_t>(k), row.size());
+    std::partial_sort(order.begin(), order.begin() + static_cast<long>(take),
+                      order.end(), [&row](int a, int b) {
+                        if (row[static_cast<size_t>(a)] !=
+                            row[static_cast<size_t>(b)])
+                          return row[static_cast<size_t>(a)] >
+                                 row[static_cast<size_t>(b)];
+                        return a < b;
+                      });
+    candidates[u].assign(order.begin(),
+                         order.begin() + static_cast<long>(take));
+  }
+  return candidates;
+}
+
+CandidateSets GraphMatchingSelection(
+    const std::vector<std::vector<double>>& similarity, int k) {
+  // Mutable copy: matched edges get their weight zeroed between rounds.
+  std::vector<std::vector<double>> weights = similarity;
+  CandidateSets candidates(similarity.size());
+  const size_t n2 = similarity.empty() ? 0 : similarity[0].size();
+  const int rounds = std::min(static_cast<size_t>(k), n2) == 0
+                         ? 0
+                         : static_cast<int>(
+                               std::min(static_cast<size_t>(k), n2));
+  for (int round = 0; round < rounds; ++round) {
+    const std::vector<int> assignment = MaxWeightBipartiteMatching(weights);
+    for (size_t u = 0; u < assignment.size(); ++u) {
+      const int v = assignment[u];
+      if (v < 0) continue;
+      // Skip if already a candidate (possible when weights hit zero).
+      if (std::find(candidates[u].begin(), candidates[u].end(), v) ==
+          candidates[u].end())
+        candidates[u].push_back(v);
+      weights[u][static_cast<size_t>(v)] = 0.0;
+    }
+  }
+  // Order each candidate list by decreasing original similarity.
+  for (size_t u = 0; u < candidates.size(); ++u) {
+    const auto& row = similarity[u];
+    std::stable_sort(candidates[u].begin(), candidates[u].end(),
+                     [&row](int a, int b) {
+                       return row[static_cast<size_t>(a)] >
+                              row[static_cast<size_t>(b)];
+                     });
+  }
+  return candidates;
+}
+
+}  // namespace
+
+StatusOr<CandidateSets> SelectTopKCandidates(
+    const std::vector<std::vector<double>>& similarity, int k,
+    CandidateSelection method) {
+  if (k < 1)
+    return Status::InvalidArgument("SelectTopKCandidates: k must be >= 1");
+  if (similarity.empty()) return CandidateSets{};
+  const size_t n2 = similarity[0].size();
+  for (const auto& row : similarity)
+    if (row.size() != n2)
+      return Status::InvalidArgument(
+          "SelectTopKCandidates: ragged similarity matrix");
+  switch (method) {
+    case CandidateSelection::kDirect:
+      return DirectSelection(similarity, k);
+    case CandidateSelection::kGraphMatching:
+      return GraphMatchingSelection(similarity, k);
+  }
+  return Status::InvalidArgument("SelectTopKCandidates: unknown method");
+}
+
+double TopKSuccessRate(const CandidateSets& candidates,
+                       const std::vector<int>& truth) {
+  assert(candidates.size() == truth.size());
+  int overlapping = 0, hits = 0;
+  for (size_t u = 0; u < candidates.size(); ++u) {
+    if (truth[u] < 0) continue;
+    ++overlapping;
+    if (std::find(candidates[u].begin(), candidates[u].end(), truth[u]) !=
+        candidates[u].end())
+      ++hits;
+  }
+  if (overlapping == 0) return 0.0;
+  return static_cast<double>(hits) / static_cast<double>(overlapping);
+}
+
+std::vector<double> TopKSuccessCurve(const CandidateSets& candidates,
+                                     const std::vector<int>& truth,
+                                     const std::vector<int>& ks) {
+  assert(candidates.size() == truth.size());
+  assert(std::is_sorted(ks.begin(), ks.end()));
+  std::vector<int> hits_at(ks.size(), 0);
+  int overlapping = 0;
+  for (size_t u = 0; u < candidates.size(); ++u) {
+    if (truth[u] < 0) continue;
+    ++overlapping;
+    const auto& list = candidates[u];
+    const auto it = std::find(list.begin(), list.end(), truth[u]);
+    if (it == list.end()) continue;
+    const int rank = static_cast<int>(it - list.begin()) + 1;
+    for (size_t i = 0; i < ks.size(); ++i)
+      if (rank <= ks[i]) ++hits_at[i];
+  }
+  std::vector<double> rates(ks.size(), 0.0);
+  if (overlapping > 0)
+    for (size_t i = 0; i < ks.size(); ++i)
+      rates[i] = static_cast<double>(hits_at[i]) /
+                 static_cast<double>(overlapping);
+  return rates;
+}
+
+}  // namespace dehealth

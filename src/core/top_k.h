@@ -1,0 +1,49 @@
+#ifndef DEHEALTH_CORE_TOP_K_H_
+#define DEHEALTH_CORE_TOP_K_H_
+
+#include <vector>
+
+#include "common/status.h"
+
+namespace dehealth {
+
+/// How the Top-K candidate sets are selected from the similarity matrix.
+enum class CandidateSelection {
+  /// Per anonymized user, the K auxiliary users with the largest
+  /// similarity scores.
+  kDirect,
+  /// The paper's graph-matching variant: repeat K rounds of maximum-weight
+  /// bipartite matching, adding each user's matched partner to its
+  /// candidate set and deleting the matched edge. Globally consistent but
+  /// O(K·n^3) — use at small scale.
+  kGraphMatching,
+};
+
+/// A per-anonymized-user candidate list, ordered by decreasing similarity.
+using CandidateSets = std::vector<std::vector<int>>;
+
+/// Computes Top-K candidate sets. `similarity[u][v]` scores anonymized u
+/// against auxiliary v. K must be >= 1 (it is capped at the number of
+/// auxiliary users).
+StatusOr<CandidateSets> SelectTopKCandidates(
+    const std::vector<std::vector<double>>& similarity, int k,
+    CandidateSelection method = CandidateSelection::kDirect);
+
+/// Fraction of anonymized users whose true mapping appears in their
+/// candidate set (the paper's "successful Top-K DA" rate). `truth[u]` is
+/// the auxiliary id or a negative value for non-overlapping users, which
+/// are skipped.
+double TopKSuccessRate(const CandidateSets& candidates,
+                       const std::vector<int>& truth);
+
+/// Success rates for a sweep of K values over one (large-K) candidate
+/// computation: result[i] = success rate when candidate lists are truncated
+/// to ks[i]. `ks` must be sorted ascending; candidate lists must be ordered
+/// by decreasing similarity (as SelectTopKCandidates returns).
+std::vector<double> TopKSuccessCurve(const CandidateSets& candidates,
+                                     const std::vector<int>& truth,
+                                     const std::vector<int>& ks);
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_CORE_TOP_K_H_

@@ -1,0 +1,23 @@
+#include "core/uda_graph.h"
+
+#include "stylo/extractor.h"
+
+namespace dehealth {
+
+UdaGraph BuildUdaGraph(const ForumDataset& dataset) {
+  UdaGraph uda;
+  uda.graph = BuildCorrelationGraph(dataset);
+  uda.profiles.resize(static_cast<size_t>(dataset.num_users));
+  uda.post_features.resize(static_cast<size_t>(dataset.num_users));
+
+  const FeatureExtractor extractor;
+  for (const Post& post : dataset.posts) {
+    SparseVector features = extractor.ExtractPost(post.text);
+    const auto uid = static_cast<size_t>(post.user_id);
+    uda.profiles[uid].AddPost(features);
+    uda.post_features[uid].push_back(std::move(features));
+  }
+  return uda;
+}
+
+}  // namespace dehealth

@@ -1,0 +1,34 @@
+#ifndef DEHEALTH_CORE_UDA_GRAPH_H_
+#define DEHEALTH_CORE_UDA_GRAPH_H_
+
+#include <vector>
+
+#include "datagen/corpus.h"
+#include "graph/correlation_graph.h"
+#include "stylo/feature_vector.h"
+#include "stylo/user_profile.h"
+
+namespace dehealth {
+
+/// The paper's User-Data-Attribute graph G = (V, E, W, A, O, L): the user
+/// correlation graph extended with per-user attribute sets derived from the
+/// stylometric feature space. Per-post feature vectors are retained for the
+/// refined-DA (classifier) phase.
+struct UdaGraph {
+  CorrelationGraph graph;
+  /// profiles[u] holds A(u), WA(u) and the aggregated feature vector.
+  std::vector<UserProfile> profiles;
+  /// post_features[u] are the per-post stylometric vectors of user u.
+  std::vector<std::vector<SparseVector>> post_features;
+
+  int num_users() const { return graph.num_nodes(); }
+};
+
+/// Builds the UDA graph of a dataset: extracts Table-I features from every
+/// post, aggregates per-user attributes, and constructs the co-thread
+/// correlation graph. Cost: one extraction pass over all posts.
+UdaGraph BuildUdaGraph(const ForumDataset& dataset);
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_CORE_UDA_GRAPH_H_

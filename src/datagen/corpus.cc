@@ -1,0 +1,80 @@
+#include "datagen/corpus.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "text/tokenizer.h"
+
+namespace dehealth {
+
+std::vector<std::vector<int>> ForumDataset::PostsByUser() const {
+  std::vector<std::vector<int>> by_user(static_cast<size_t>(num_users));
+  for (size_t i = 0; i < posts.size(); ++i)
+    by_user[static_cast<size_t>(posts[i].user_id)].push_back(
+        static_cast<int>(i));
+  return by_user;
+}
+
+std::vector<int> ForumDataset::PostCounts() const {
+  std::vector<int> counts(static_cast<size_t>(num_users), 0);
+  for (const Post& p : posts) ++counts[static_cast<size_t>(p.user_id)];
+  return counts;
+}
+
+std::vector<double> ForumDataset::PostWordLengths() const {
+  std::vector<double> lengths;
+  lengths.reserve(posts.size());
+  for (const Post& p : posts)
+    lengths.push_back(static_cast<double>(TokenizeWords(p.text).size()));
+  return lengths;
+}
+
+CorrelationGraph BuildCorrelationGraph(const ForumDataset& dataset) {
+  CorrelationGraph graph(dataset.num_users);
+  // Distinct participants per thread.
+  std::map<int, std::set<int>> participants;
+  for (const Post& p : dataset.posts)
+    participants[p.thread_id].insert(p.user_id);
+  for (const auto& [thread, users] : participants) {
+    for (auto it = users.begin(); it != users.end(); ++it) {
+      auto jt = it;
+      for (++jt; jt != users.end(); ++jt)
+        graph.AddInteraction(*it, *jt, 1.0);
+    }
+  }
+  return graph;
+}
+
+DatasetStats ComputeDatasetStats(const ForumDataset& dataset) {
+  DatasetStats stats;
+  stats.num_users = dataset.num_users;
+  stats.num_posts = static_cast<int>(dataset.posts.size());
+  if (dataset.num_users > 0)
+    stats.mean_posts_per_user =
+        static_cast<double>(stats.num_posts) / dataset.num_users;
+
+  const std::vector<int> counts = dataset.PostCounts();
+  int under5 = 0;
+  for (int c : counts)
+    if (c < 5) ++under5;
+  if (!counts.empty())
+    stats.fraction_users_under_5_posts =
+        static_cast<double>(under5) / static_cast<double>(counts.size());
+
+  const std::vector<double> lengths = dataset.PostWordLengths();
+  double total = 0.0;
+  int under300 = 0;
+  for (double len : lengths) {
+    total += len;
+    if (len < 300.0) ++under300;
+  }
+  if (!lengths.empty()) {
+    stats.mean_post_words = total / static_cast<double>(lengths.size());
+    stats.fraction_posts_under_300_words =
+        static_cast<double>(under300) / static_cast<double>(lengths.size());
+  }
+  return stats;
+}
+
+}  // namespace dehealth

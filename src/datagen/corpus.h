@@ -1,0 +1,54 @@
+#ifndef DEHEALTH_DATAGEN_CORPUS_H_
+#define DEHEALTH_DATAGEN_CORPUS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/correlation_graph.h"
+
+namespace dehealth {
+
+/// One forum post: author, thread (topic) it was posted under, and text.
+struct Post {
+  int user_id = 0;
+  int thread_id = 0;
+  std::string text;
+};
+
+/// A forum dataset: `num_users` users (ids 0..num_users-1) and their posts.
+/// This is the in-memory equivalent of the paper's crawled WebMD/HB corpora.
+struct ForumDataset {
+  int num_users = 0;
+  int num_threads = 0;
+  std::vector<Post> posts;
+
+  /// Post indices per user (built on demand by PostsByUser).
+  std::vector<std::vector<int>> PostsByUser() const;
+
+  /// Number of posts per user.
+  std::vector<int> PostCounts() const;
+
+  /// Post lengths in words.
+  std::vector<double> PostWordLengths() const;
+};
+
+/// Builds the paper's user correlation graph from thread co-participation:
+/// users who posted in the same thread get an undirected edge whose weight
+/// counts the number of shared threads.
+CorrelationGraph BuildCorrelationGraph(const ForumDataset& dataset);
+
+/// Dataset-level statistics reported by Figs. 1-2 of the paper.
+struct DatasetStats {
+  int num_users = 0;
+  int num_posts = 0;
+  double mean_posts_per_user = 0.0;
+  double fraction_users_under_5_posts = 0.0;
+  double mean_post_words = 0.0;
+  double fraction_posts_under_300_words = 0.0;
+};
+
+DatasetStats ComputeDatasetStats(const ForumDataset& dataset);
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_DATAGEN_CORPUS_H_

@@ -1,0 +1,117 @@
+#include "datagen/forum_generator.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace dehealth {
+
+ForumConfig WebMdLikeConfig(int num_users, uint64_t seed) {
+  ForumConfig config;
+  config.num_users = num_users;
+  config.seed = seed;
+  config.post_count_exponent = 2.0;  // ~87% of users under 5 posts
+  config.max_posts_per_user = 2000;  // long tail pushes the mean toward 5.7
+  config.style.mean_post_words = 120.0;  // sentence-granularity raises ~7%
+  return config;
+}
+
+ForumConfig HealthBoardsLikeConfig(int num_users, uint64_t seed) {
+  ForumConfig config;
+  config.num_users = num_users;
+  config.seed = seed;
+  config.post_count_exponent = 1.62;  // ~75% under 5, mean ~10-12 posts
+  config.max_posts_per_user = 800;
+  config.style.mean_post_words = 139.0;
+  return config;
+}
+
+StatusOr<GeneratedForum> GenerateForum(const ForumConfig& config) {
+  if (config.num_users <= 0)
+    return Status::InvalidArgument("GenerateForum: num_users must be > 0");
+  if (config.post_count_exponent <= 0.0)
+    return Status::InvalidArgument(
+        "GenerateForum: post_count_exponent must be > 0");
+  if (config.max_posts_per_user < 1 || config.max_thread_posts < 1 ||
+      config.open_thread_window < 1 || config.min_posts_per_user < 1 ||
+      config.min_posts_per_user > config.max_posts_per_user)
+    return Status::InvalidArgument("GenerateForum: invalid limits");
+  if (config.style.vocabulary_size < 100)
+    return Status::InvalidArgument(
+        "GenerateForum: vocabulary_size must be >= 100");
+
+  Rng rng(config.seed);
+  GeneratedForum forum;
+  forum.dataset.num_users = config.num_users;
+
+  // Shared vocabulary and per-user style profiles.
+  const Vocabulary vocabulary(config.style.vocabulary_size, rng);
+  forum.profiles.reserve(static_cast<size_t>(config.num_users));
+  for (int u = 0; u < config.num_users; ++u)
+    forum.profiles.push_back(SampleStyleProfile(config.style, rng));
+
+  // Per-user post counts: truncated power law.
+  const ZipfSampler post_count_sampler(config.max_posts_per_user,
+                                       config.post_count_exponent);
+  std::vector<int> post_counts(static_cast<size_t>(config.num_users));
+  long long total_posts = 0;
+  for (int u = 0; u < config.num_users; ++u) {
+    post_counts[static_cast<size_t>(u)] =
+        std::max(config.min_posts_per_user, post_count_sampler.Sample(rng));
+    total_posts += post_counts[static_cast<size_t>(u)];
+  }
+
+  // Interleave posts across users in shuffled order so thread membership
+  // mixes users, then assign threads via the open-thread process.
+  std::vector<int> authoring_sequence;
+  authoring_sequence.reserve(static_cast<size_t>(total_posts));
+  for (int u = 0; u < config.num_users; ++u)
+    authoring_sequence.insert(authoring_sequence.end(),
+                              static_cast<size_t>(post_counts[
+                                  static_cast<size_t>(u)]),
+                              u);
+  rng.Shuffle(authoring_sequence);
+
+  struct OpenThread {
+    int id;
+    int posts;
+  };
+  std::deque<OpenThread> open_threads;
+  int next_thread_id = 0;
+
+  forum.dataset.posts.reserve(static_cast<size_t>(total_posts));
+  for (int author : authoring_sequence) {
+    int thread_id;
+    if (open_threads.empty() || rng.NextBool(config.new_thread_prob)) {
+      thread_id = next_thread_id++;
+      open_threads.push_back({thread_id, 1});
+    } else {
+      const size_t pick = rng.NextBounded(open_threads.size());
+      OpenThread& t = open_threads[pick];
+      thread_id = t.id;
+      if (++t.posts >= config.max_thread_posts)
+        open_threads.erase(open_threads.begin() + static_cast<long>(pick));
+    }
+    while (static_cast<int>(open_threads.size()) >
+           config.open_thread_window)
+      open_threads.pop_front();
+
+    Post post;
+    post.user_id = author;
+    post.thread_id = thread_id;
+    // Topic vocabulary is a deterministic function of (seed, thread), so
+    // every participant in a thread shares it.
+    const uint64_t topic_seed =
+        config.style.topic_word_rate > 0.0
+            ? config.seed * 0x9e3779b97f4a7c15ULL +
+                  static_cast<uint64_t>(thread_id) + 1
+            : 0;
+    post.text =
+        GeneratePost(forum.profiles[static_cast<size_t>(author)],
+                     vocabulary, rng, /*target_words=*/0, topic_seed);
+    forum.dataset.posts.push_back(std::move(post));
+  }
+  forum.dataset.num_threads = next_thread_id;
+  return forum;
+}
+
+}  // namespace dehealth

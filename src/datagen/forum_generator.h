@@ -1,0 +1,60 @@
+#ifndef DEHEALTH_DATAGEN_FORUM_GENERATOR_H_
+#define DEHEALTH_DATAGEN_FORUM_GENERATOR_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "datagen/corpus.h"
+#include "datagen/style_profile.h"
+
+namespace dehealth {
+
+/// Configuration of the synthetic health-forum generator.
+struct ForumConfig {
+  int num_users = 1000;
+  uint64_t seed = 1;
+
+  /// Per-user post counts follow a truncated power law
+  /// P(k) ∝ k^-post_count_exponent, k in [1, max_posts_per_user] — matching
+  /// the paper's heavy-tailed Fig. 1 (most users post fewer than 5 times).
+  double post_count_exponent = 1.7;
+  int max_posts_per_user = 400;
+  /// Floor on per-user post counts (the paper's refined-DA and open-world
+  /// evaluations draw users with fixed, larger post counts; raise this to
+  /// make every user splittable).
+  int min_posts_per_user = 1;
+
+  /// Thread (topic) formation: a post starts a new thread with probability
+  /// new_thread_prob, otherwise joins one of the most recent open threads;
+  /// a thread closes after max_thread_posts posts. Small threads keep the
+  /// correlation graph sparse and disconnected like the paper's (Appendix
+  /// B: low degrees, tens of components).
+  double new_thread_prob = 0.35;
+  int open_thread_window = 40;
+  int max_thread_posts = 8;
+
+  /// Writing-style population (Figs. 1-2 calibration lives here).
+  StylePopulationConfig style;
+};
+
+/// `WebMD`-shaped preset: ~5.7 posts/user, ~128-word posts.
+ForumConfig WebMdLikeConfig(int num_users, uint64_t seed = 1);
+
+/// `HealthBoards`-shaped preset: ~12 posts/user, ~147-word posts.
+ForumConfig HealthBoardsLikeConfig(int num_users, uint64_t seed = 2);
+
+/// Generated forum: the dataset plus the per-user generative profiles
+/// (kept so splits can regenerate consistent ground truth / extensions).
+struct GeneratedForum {
+  ForumDataset dataset;
+  std::vector<StyleProfile> profiles;
+};
+
+/// Generates a full synthetic forum. Deterministic in config.seed.
+/// Fails on non-positive user counts or invalid distribution parameters.
+StatusOr<GeneratedForum> GenerateForum(const ForumConfig& config);
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_DATAGEN_FORUM_GENERATOR_H_

@@ -1,0 +1,251 @@
+#include "datagen/split.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/rng.h"
+#include "common/string_utils.h"
+
+namespace dehealth {
+
+namespace {
+
+/// Builds a ForumDataset from a subset of posts, remapping user ids with
+/// `user_map` (original -> new id, or -1 to drop). Thread ids are preserved
+/// (interaction structure is observable on both sides, as in the paper).
+ForumDataset ProjectDataset(const ForumDataset& source,
+                            const std::vector<int>& post_indices,
+                            const std::vector<int>& user_map,
+                            int num_new_users) {
+  ForumDataset out;
+  out.num_users = num_new_users;
+  out.num_threads = source.num_threads;
+  out.posts.reserve(post_indices.size());
+  for (int idx : post_indices) {
+    const Post& p = source.posts[static_cast<size_t>(idx)];
+    const int new_id = user_map[static_cast<size_t>(p.user_id)];
+    if (new_id < 0) continue;
+    out.posts.push_back({new_id, p.thread_id, p.text});
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<DaScenario> MakeClosedWorldScenario(const ForumDataset& dataset,
+                                             double aux_fraction,
+                                             uint64_t seed) {
+  if (aux_fraction <= 0.0 || aux_fraction >= 1.0)
+    return Status::InvalidArgument(
+        "MakeClosedWorldScenario: aux_fraction must be in (0, 1)");
+  if (dataset.num_users == 0)
+    return Status::InvalidArgument(
+        "MakeClosedWorldScenario: empty dataset");
+
+  Rng rng(seed);
+  const auto by_user = dataset.PostsByUser();
+
+  std::vector<int> aux_posts, anon_posts;
+  std::vector<bool> in_anonymized(static_cast<size_t>(dataset.num_users),
+                                  false);
+  for (int u = 0; u < dataset.num_users; ++u) {
+    std::vector<int> posts = by_user[static_cast<size_t>(u)];
+    if (posts.empty()) continue;
+    if (posts.size() == 1) {
+      // Unsplittable: auxiliary only, so V1 ⊆ V2 holds.
+      aux_posts.push_back(posts[0]);
+      continue;
+    }
+    rng.Shuffle(posts);
+    // At least one post on each side.
+    size_t num_aux = static_cast<size_t>(
+        std::round(aux_fraction * static_cast<double>(posts.size())));
+    num_aux = std::clamp(num_aux, size_t{1}, posts.size() - 1);
+    for (size_t i = 0; i < posts.size(); ++i) {
+      if (i < num_aux) {
+        aux_posts.push_back(posts[i]);
+      } else {
+        anon_posts.push_back(posts[i]);
+      }
+    }
+    in_anonymized[static_cast<size_t>(u)] = true;
+  }
+
+  // Auxiliary keeps original user ids (identities are known there).
+  std::vector<int> aux_map(static_cast<size_t>(dataset.num_users));
+  std::iota(aux_map.begin(), aux_map.end(), 0);
+
+  // Anonymized users get shuffled pseudonym ids.
+  std::vector<int> anon_users;
+  for (int u = 0; u < dataset.num_users; ++u)
+    if (in_anonymized[static_cast<size_t>(u)]) anon_users.push_back(u);
+  rng.Shuffle(anon_users);
+  std::vector<int> anon_map(static_cast<size_t>(dataset.num_users), -1);
+  DaScenario scenario;
+  scenario.truth.resize(anon_users.size());
+  for (size_t new_id = 0; new_id < anon_users.size(); ++new_id) {
+    anon_map[static_cast<size_t>(anon_users[new_id])] =
+        static_cast<int>(new_id);
+    scenario.truth[new_id] = anon_users[new_id];  // aux keeps original ids
+  }
+
+  scenario.auxiliary =
+      ProjectDataset(dataset, aux_posts, aux_map, dataset.num_users);
+  scenario.anonymized = ProjectDataset(dataset, anon_posts, anon_map,
+                                       static_cast<int>(anon_users.size()));
+  return scenario;
+}
+
+StatusOr<ForumDataset> SampleUserPanel(const ForumDataset& dataset,
+                                       int num_users, int posts_per_user,
+                                       uint64_t seed) {
+  if (num_users <= 0 || posts_per_user <= 0)
+    return Status::InvalidArgument(
+        "SampleUserPanel: num_users and posts_per_user must be > 0");
+  Rng rng(seed);
+  const auto by_user = dataset.PostsByUser();
+  std::vector<int> qualifying;
+  for (int u = 0; u < dataset.num_users; ++u)
+    if (static_cast<int>(by_user[static_cast<size_t>(u)].size()) >=
+        posts_per_user)
+      qualifying.push_back(u);
+  if (static_cast<int>(qualifying.size()) < num_users)
+    return Status::FailedPrecondition(
+        StrFormat("SampleUserPanel: only %zu users have >= %d posts",
+                  qualifying.size(), posts_per_user));
+  rng.Shuffle(qualifying);
+  qualifying.resize(static_cast<size_t>(num_users));
+
+  ForumDataset panel;
+  panel.num_users = num_users;
+  panel.num_threads = dataset.num_threads;
+  for (int new_id = 0; new_id < num_users; ++new_id) {
+    std::vector<int> posts =
+        by_user[static_cast<size_t>(qualifying[static_cast<size_t>(new_id)])];
+    rng.Shuffle(posts);
+    posts.resize(static_cast<size_t>(posts_per_user));
+    for (int idx : posts) {
+      const Post& p = dataset.posts[static_cast<size_t>(idx)];
+      panel.posts.push_back({new_id, p.thread_id, p.text});
+    }
+  }
+  return panel;
+}
+
+StatusOr<DaScenario> MakeOpenWorldScenario(const ForumDataset& dataset,
+                                           double overlap_ratio,
+                                           uint64_t seed) {
+  if (overlap_ratio <= 0.0 || overlap_ratio > 1.0)
+    return Status::InvalidArgument(
+        "MakeOpenWorldScenario: overlap_ratio must be in (0, 1]");
+  if (dataset.num_users < 4)
+    return Status::InvalidArgument(
+        "MakeOpenWorldScenario: need at least 4 users");
+
+  // x overlapping + 2y exclusive users with x + 2y <= n and
+  // x / (x + y) = overlap_ratio  =>  x = n*r / (2 - r).
+  const int n = dataset.num_users;
+  int x = static_cast<int>(static_cast<double>(n) * overlap_ratio /
+                           (2.0 - overlap_ratio));
+  x = std::max(1, std::min(x, n));
+
+  Rng rng(seed);
+  // Overlapping users must be splittable (>= 2 posts, so each side gets
+  // data); single-post users can only serve as exclusive users.
+  const auto by_user_counts = dataset.PostCounts();
+  std::vector<int> splittable, unsplittable;
+  for (int u = 0; u < n; ++u) {
+    if (by_user_counts[static_cast<size_t>(u)] >= 2) {
+      splittable.push_back(u);
+    } else {
+      unsplittable.push_back(u);
+    }
+  }
+  rng.Shuffle(splittable);
+  x = std::min(x, static_cast<int>(splittable.size()));
+  const int y = (n - x) / 2;
+
+  enum class Side { kOverlap, kAuxOnly, kAnonOnly, kUnused };
+  std::vector<Side> side(static_cast<size_t>(n), Side::kUnused);
+  for (int i = 0; i < x; ++i)
+    side[static_cast<size_t>(splittable[static_cast<size_t>(i)])] =
+        Side::kOverlap;
+  // Remaining users (splittable leftovers + single-post users) fill the
+  // exclusive pools.
+  std::vector<int> rest(splittable.begin() + x, splittable.end());
+  rest.insert(rest.end(), unsplittable.begin(), unsplittable.end());
+  rng.Shuffle(rest);
+  int pos = 0;
+  for (int i = 0; i < y && pos < static_cast<int>(rest.size()); ++i)
+    side[static_cast<size_t>(rest[static_cast<size_t>(pos++)])] =
+        Side::kAuxOnly;
+  for (int i = 0; i < y && pos < static_cast<int>(rest.size()); ++i)
+    side[static_cast<size_t>(rest[static_cast<size_t>(pos++)])] =
+        Side::kAnonOnly;
+
+  const auto by_user = dataset.PostsByUser();
+  std::vector<int> aux_posts, anon_posts;
+  for (int u = 0; u < n; ++u) {
+    std::vector<int> posts = by_user[static_cast<size_t>(u)];
+    switch (side[static_cast<size_t>(u)]) {
+      case Side::kAuxOnly:
+        aux_posts.insert(aux_posts.end(), posts.begin(), posts.end());
+        break;
+      case Side::kAnonOnly:
+        anon_posts.insert(anon_posts.end(), posts.begin(), posts.end());
+        break;
+      case Side::kOverlap: {
+        rng.Shuffle(posts);
+        const size_t half = posts.size() / 2;
+        // Odd counts favor the auxiliary (training) side; a single-post
+        // overlap user contributes the post to the auxiliary side and has
+        // no anonymized data (it simply never appears in ∆1).
+        for (size_t i = 0; i < posts.size(); ++i) {
+          if (i < half || posts.size() == 1) {
+            aux_posts.push_back(posts[i]);
+          } else {
+            anon_posts.push_back(posts[i]);
+          }
+        }
+        break;
+      }
+      case Side::kUnused:
+        break;
+    }
+  }
+
+  // Auxiliary ids: compact, in original order (identities known).
+  std::vector<int> aux_map(static_cast<size_t>(n), -1);
+  int next_aux = 0;
+  for (int u = 0; u < n; ++u)
+    if (side[static_cast<size_t>(u)] == Side::kOverlap ||
+        side[static_cast<size_t>(u)] == Side::kAuxOnly)
+      aux_map[static_cast<size_t>(u)] = next_aux++;
+
+  // Anonymized ids: shuffled pseudonyms over users with anonymized posts.
+  std::vector<bool> has_anon_posts(static_cast<size_t>(n), false);
+  for (int idx : anon_posts)
+    has_anon_posts[static_cast<size_t>(
+        dataset.posts[static_cast<size_t>(idx)].user_id)] = true;
+  std::vector<int> anon_users;
+  for (int u = 0; u < n; ++u)
+    if (has_anon_posts[static_cast<size_t>(u)]) anon_users.push_back(u);
+  rng.Shuffle(anon_users);
+  std::vector<int> anon_map(static_cast<size_t>(n), -1);
+  DaScenario scenario;
+  scenario.truth.assign(anon_users.size(), DaScenario::kNoTrueMapping);
+  for (size_t new_id = 0; new_id < anon_users.size(); ++new_id) {
+    const int original = anon_users[new_id];
+    anon_map[static_cast<size_t>(original)] = static_cast<int>(new_id);
+    if (side[static_cast<size_t>(original)] == Side::kOverlap)
+      scenario.truth[new_id] = aux_map[static_cast<size_t>(original)];
+  }
+
+  scenario.auxiliary = ProjectDataset(dataset, aux_posts, aux_map, next_aux);
+  scenario.anonymized = ProjectDataset(dataset, anon_posts, anon_map,
+                                       static_cast<int>(anon_users.size()));
+  return scenario;
+}
+
+}  // namespace dehealth

@@ -1,0 +1,55 @@
+#ifndef DEHEALTH_DATAGEN_SPLIT_H_
+#define DEHEALTH_DATAGEN_SPLIT_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "datagen/corpus.h"
+
+namespace dehealth {
+
+/// A DA problem instance: the anonymized dataset ∆1 (user ids 0..n1-1,
+/// pseudonymized by shuffling), the auxiliary dataset ∆2 (ids 0..n2-1), and
+/// the hidden ground truth.
+struct DaScenario {
+  ForumDataset anonymized;
+  ForumDataset auxiliary;
+  /// truth[anon_id] = auxiliary id of the same real user, or
+  /// kNoTrueMapping when the user does not appear in the auxiliary data
+  /// (open world only).
+  std::vector<int> truth;
+
+  static constexpr int kNoTrueMapping = -1;
+};
+
+/// Closed-world split (Section V-A): each user's posts are divided —
+/// roughly `aux_fraction` to the auxiliary side, the rest anonymized. Every
+/// anonymized user is guaranteed a true mapping (V1 ⊆ V2): single-post
+/// users land in the auxiliary data only. Deterministic in `seed`.
+StatusOr<DaScenario> MakeClosedWorldScenario(const ForumDataset& dataset,
+                                             double aux_fraction,
+                                             uint64_t seed);
+
+/// Panel sampling for the refined-DA evaluations (Section V-A.2 / V-B.2):
+/// "randomly select `num_users` users each with `posts_per_user` posts" out
+/// of a larger forum. Users with at least that many posts are sampled
+/// uniformly and truncated to exactly `posts_per_user` random posts; user
+/// ids are renumbered 0..num_users-1; thread ids are preserved, so the
+/// panel's correlation graph is the (typically near-empty) subgraph the
+/// paper's sampled panels have. Fails if too few users qualify.
+StatusOr<ForumDataset> SampleUserPanel(const ForumDataset& dataset,
+                                       int num_users, int posts_per_user,
+                                       uint64_t seed);
+
+/// Open-world split (Section V-B): both sides get the same number of users
+/// with an overlapping-user ratio of `overlap_ratio` (x + 2y = n users,
+/// x/(x+y) = ratio). Overlapping users' posts split 50/50; non-overlapping
+/// users contribute all their posts to exactly one side. Deterministic in
+/// `seed`.
+StatusOr<DaScenario> MakeOpenWorldScenario(const ForumDataset& dataset,
+                                           double overlap_ratio,
+                                           uint64_t seed);
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_DATAGEN_SPLIT_H_

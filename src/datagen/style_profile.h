@@ -1,0 +1,97 @@
+#ifndef DEHEALTH_DATAGEN_STYLE_PROFILE_H_
+#define DEHEALTH_DATAGEN_STYLE_PROFILE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "datagen/vocabulary.h"
+
+namespace dehealth {
+
+/// Per-user generative writing-style parameters. Sampled once per synthetic
+/// user; posts written with the same profile carry a stable, distinctive
+/// stylometric signature — exactly the property the paper's real WebMD/HB
+/// authors exhibit and the DA pipeline exploits.
+struct StyleProfile {
+  /// Permutation seed for the user's personal content-word ranking: the
+  /// user draws content words Zipf(rank) over vocabulary order shuffled by
+  /// this seed, so different users favor different words (letter-frequency,
+  /// word-length, and vocabulary-richness signal).
+  uint64_t vocab_permutation_seed = 0;
+  double vocab_zipf_exponent = 1.1;
+  int vocab_active_size = 800;  // personal active vocabulary
+  /// Probability a content word is drawn through the personal permutation
+  /// rather than the population-shared ranking. 1 = fully personal word
+  /// choices (strong lexical fingerprint); 0 = everyone samples the same
+  /// distribution (only habit features identify the author).
+  double vocab_personalization = 1.0;
+  /// Fraction of content words drawn from the *topic* vocabulary of the
+  /// thread being posted in (when a topic seed is supplied): real forum
+  /// posts are dominated by the disease/medicine under discussion, which
+  /// adds within-author variance and across-author correlation.
+  double topic_word_rate = 0.0;
+
+  /// Function-word habits: emission rate and a personal multinomial over
+  /// the 337-word lexicon (weights sampled around a global prior).
+  double function_word_rate = 0.45;
+  std::vector<double> function_word_weights;
+
+  /// Misspelling habits: personal habitual misspellings (indices into the
+  /// 248-entry lexicon) and how often the user slips.
+  double misspelling_rate = 0.01;
+  std::vector<int> habitual_misspellings;
+
+  /// Sentence geometry.
+  double mean_sentence_words = 15.0;
+  double sd_sentence_words = 5.0;
+  double mean_post_words = 128.0;  // lognormal-ish post length center
+  double sd_post_log = 0.6;        // dispersion of log post length
+  double paragraph_break_prob = 0.12;  // after each sentence
+
+  /// Punctuation/case habits.
+  double comma_rate = 0.06;            // per inter-word slot
+  double exclamation_prob = 0.1;       // sentence ends with '!'
+  double question_prob = 0.12;         // sentence ends with '?'
+  double ellipsis_prob = 0.02;         // "..." instead of '.'
+  double sentence_cap_prob = 0.9;      // capitalize sentence starts
+  double lowercase_i_prob = 0.2;       // writes "i" instead of "I"
+  double allcaps_word_prob = 0.01;     // emphasis LIKE THIS
+  double apostrophe_contraction_rate = 0.05;  // don't, it's
+  double digit_rate = 0.015;           // numeric tokens (doses, ages)
+  double parenthesis_prob = 0.04;      // per sentence
+  double special_char_rate = 0.004;    // per inter-word slot ( / - + ...)
+  double brand_word_prob = 0.008;      // CamelCase brand mentions
+};
+
+/// Population-level knobs controlling how diverse user profiles are.
+struct StylePopulationConfig {
+  int vocabulary_size = 4000;
+  double profile_diversity = 1.0;  // 0 = everyone writes identically
+  double mean_post_words = 128.0;  // matches WebMD (127.59) / HB (147.24)
+  /// Population value for StyleProfile::vocab_personalization. Lower it to
+  /// weaken the per-post lexical fingerprint (the paper's real-corpus
+  /// regime, where single posts are only weakly identifying).
+  double vocab_personalization = 1.0;
+  /// Population value for StyleProfile::topic_word_rate.
+  double topic_word_rate = 0.0;
+};
+
+/// Samples a user profile from the population hyper-prior. Diversity scales
+/// how far individual habits may wander from the population mean; at 0 the
+/// stylometric channel carries no identity signal (an anonymization
+/// ablation hook).
+StyleProfile SampleStyleProfile(const StylePopulationConfig& config,
+                                Rng& rng);
+
+/// Writes one post (~`target_words` words if > 0, else the profile's own
+/// length distribution) in the user's style. When `topic_seed` is nonzero,
+/// a `topic_word_rate` fraction of content words come from the topic's
+/// shared vocabulary (every author in the thread draws from the same one).
+std::string GeneratePost(const StyleProfile& profile,
+                         const Vocabulary& vocabulary, Rng& rng,
+                         int target_words = 0, uint64_t topic_seed = 0);
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_DATAGEN_STYLE_PROFILE_H_

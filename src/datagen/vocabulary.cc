@@ -1,0 +1,55 @@
+#include "datagen/vocabulary.h"
+
+#include <unordered_set>
+
+namespace dehealth {
+
+namespace {
+
+constexpr const char* kOnsets[] = {
+    "b",  "c",  "d",  "f",  "g",  "h",  "j",  "k",  "l",  "m",
+    "n",  "p",  "r",  "s",  "t",  "v",  "w",  "z",  "br", "ch",
+    "cl", "cr", "dr", "fl", "fr", "gl", "gr", "pl", "pr", "sh",
+    "sl", "sp", "st", "th", "tr", "",
+};
+constexpr const char* kNuclei[] = {
+    "a", "e", "i", "o", "u", "ai", "ea", "ee", "ia", "io", "oa", "ou",
+};
+constexpr const char* kCodas[] = {
+    "",  "",  "",  "n", "r", "s", "t", "l", "m", "d",
+    "k", "p", "ng", "st", "nd", "rt", "ck", "ss",
+};
+
+template <size_t N>
+const char* Pick(const char* const (&arr)[N], Rng& rng) {
+  return arr[rng.NextBounded(N)];
+}
+
+std::string MakeWord(Rng& rng) {
+  // 1-4 syllables, biased toward 2-3 like English content words.
+  static constexpr int kSyllableChoices[] = {1, 2, 2, 2, 3, 3, 3, 4};
+  const int syllables =
+      kSyllableChoices[rng.NextBounded(sizeof(kSyllableChoices) /
+                                       sizeof(kSyllableChoices[0]))];
+  std::string word;
+  for (int s = 0; s < syllables; ++s) {
+    word += Pick(kOnsets, rng);
+    word += Pick(kNuclei, rng);
+    if (s + 1 == syllables || rng.NextBool(0.4)) word += Pick(kCodas, rng);
+  }
+  return word;
+}
+
+}  // namespace
+
+Vocabulary::Vocabulary(int size, Rng& rng) {
+  std::unordered_set<std::string> seen;
+  words_.reserve(static_cast<size_t>(size));
+  while (static_cast<int>(words_.size()) < size) {
+    std::string w = MakeWord(rng);
+    if (w.size() < 2) continue;
+    if (seen.insert(w).second) words_.push_back(std::move(w));
+  }
+}
+
+}  // namespace dehealth

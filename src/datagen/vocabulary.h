@@ -1,0 +1,33 @@
+#ifndef DEHEALTH_DATAGEN_VOCABULARY_H_
+#define DEHEALTH_DATAGEN_VOCABULARY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dehealth {
+
+/// A synthetic content-word vocabulary. Words are pronounceable
+/// syllable-concatenations ("mestavol", "dorane"), lowercase, unique, and
+/// length-distributed like English content words (2-14 characters). Used by
+/// the forum generator in place of real medical text: the stylometric
+/// pipeline only consumes distributional statistics of the words, not their
+/// meaning.
+class Vocabulary {
+ public:
+  /// Generates `size` unique words using `rng`. A seeded rng makes the
+  /// vocabulary reproducible.
+  Vocabulary(int size, Rng& rng);
+
+  int size() const { return static_cast<int>(words_.size()); }
+  const std::string& word(int i) const { return words_[static_cast<size_t>(i)]; }
+  const std::vector<std::string>& words() const { return words_; }
+
+ private:
+  std::vector<std::string> words_;
+};
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_DATAGEN_VOCABULARY_H_

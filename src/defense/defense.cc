@@ -1,0 +1,112 @@
+#include "defense/defense.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "common/string_utils.h"
+#include "text/lexicon.h"
+#include "text/tokenizer.h"
+
+namespace dehealth {
+
+std::string ScrubText(const std::string& text) {
+  // Pass 1: lowercase; punctuation / special characters / newlines -> space.
+  std::string flattened;
+  flattened.reserve(text.size());
+  for (char c : text) {
+    const auto uc = static_cast<unsigned char>(c);
+    if (std::isalnum(uc)) {
+      flattened += static_cast<char>(std::tolower(uc));
+    } else if (c == '\'') {
+      flattened += c;  // keep contractions as single tokens
+    } else {
+      flattened += ' ';
+    }
+  }
+  // Pass 2: drop known misspellings, collapse whitespace.
+  std::string out;
+  out.reserve(flattened.size());
+  for (const std::string& token : SplitString(flattened, " ")) {
+    if (IsMisspelling(token)) continue;
+    if (!out.empty()) out += ' ';
+    out += token;
+  }
+  return out;
+}
+
+StatusOr<ForumDataset> ApplyDefense(const ForumDataset& dataset,
+                                    const DefenseConfig& config) {
+  if (config.post_sample_fraction <= 0.0 ||
+      config.post_sample_fraction > 1.0)
+    return Status::InvalidArgument(
+        "ApplyDefense: post_sample_fraction must be in (0, 1]");
+
+  Rng rng(config.seed);
+  ForumDataset defended;
+  defended.num_users = dataset.num_users;
+
+  // Subsample per user (keeping at least one post each).
+  std::vector<int> kept_posts;
+  if (config.post_sample_fraction < 1.0) {
+    for (auto& posts : dataset.PostsByUser()) {
+      if (posts.empty()) continue;
+      std::vector<int> shuffled = posts;
+      rng.Shuffle(shuffled);
+      const size_t keep = std::max<size_t>(
+          1, static_cast<size_t>(config.post_sample_fraction *
+                                 static_cast<double>(shuffled.size())));
+      kept_posts.insert(kept_posts.end(), shuffled.begin(),
+                        shuffled.begin() + static_cast<long>(keep));
+    }
+    std::sort(kept_posts.begin(), kept_posts.end());
+  } else {
+    kept_posts.resize(dataset.posts.size());
+    for (size_t i = 0; i < kept_posts.size(); ++i)
+      kept_posts[i] = static_cast<int>(i);
+  }
+
+  int next_thread = config.drop_thread_structure ? 0 : dataset.num_threads;
+  defended.posts.reserve(kept_posts.size());
+  for (int idx : kept_posts) {
+    Post post = dataset.posts[static_cast<size_t>(idx)];
+    if (config.drop_thread_structure) post.thread_id = next_thread++;
+    if (config.scrub_text) post.text = ScrubText(post.text);
+    defended.posts.push_back(std::move(post));
+  }
+  defended.num_threads =
+      config.drop_thread_structure ? next_thread : dataset.num_threads;
+  return defended;
+}
+
+double ContentWordRetention(const ForumDataset& original,
+                            const ForumDataset& defended) {
+  if (original.posts.empty()) return 0.0;
+  // Index defended posts by (user, thread-or-order): compare multiset of
+  // lowercase words per user instead of per post (subsampling reorders).
+  std::unordered_map<int, std::unordered_map<std::string, int>> kept;
+  for (const Post& p : defended.posts)
+    for (const std::string& w : TokenizeWords(p.text))
+      ++kept[p.user_id][ToLowerAscii(w)];
+
+  long long total = 0, retained = 0;
+  for (const Post& p : original.posts) {
+    auto user_it = kept.find(p.user_id);
+    for (const std::string& w : TokenizeWords(p.text)) {
+      ++total;
+      if (user_it == kept.end()) continue;
+      auto& counts = user_it->second;
+      auto it = counts.find(ToLowerAscii(w));
+      if (it != counts.end() && it->second > 0) {
+        --it->second;
+        ++retained;
+      }
+    }
+  }
+  if (total == 0) return 0.0;
+  return static_cast<double>(retained) / static_cast<double>(total);
+}
+
+}  // namespace dehealth

@@ -1,0 +1,55 @@
+#ifndef DEHEALTH_DEFENSE_DEFENSE_H_
+#define DEHEALTH_DEFENSE_DEFENSE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "datagen/corpus.h"
+
+namespace dehealth {
+
+/// Dataset-side anonymization countermeasures. Developing "effective online
+/// health data anonymization techniques" is the paper's stated open
+/// problem; this module implements the natural first-line defenses so their
+/// cost/benefit can be measured against De-Health (bench_defense).
+struct DefenseConfig {
+  /// Surface scrubbing: lowercase everything, strip punctuation and special
+  /// characters, drop known-misspelled words, collapse paragraphs. Attacks
+  /// the lexical/syntactic/idiosyncratic stylometric channels.
+  bool scrub_text = false;
+
+  /// Destroy the interaction channel: give every post its own thread so the
+  /// correlation graph is empty (degree/distance similarities carry no
+  /// signal).
+  bool drop_thread_structure = false;
+
+  /// Publish only this fraction of each user's posts (1.0 = all). Fewer
+  /// posts => weaker attribute weights and thinner classifiers.
+  double post_sample_fraction = 1.0;
+
+  /// Random post shuffling across pseudonyms is NOT offered: it destroys
+  /// utility entirely (the per-user record becomes meaningless).
+
+  uint64_t seed = 1;
+};
+
+/// Applies the configured defenses to a dataset, returning the sanitized
+/// copy. Deterministic in config.seed. Fails on an invalid sample fraction.
+StatusOr<ForumDataset> ApplyDefense(const ForumDataset& dataset,
+                                    const DefenseConfig& config);
+
+/// The text-level scrubber used by `scrub_text` (exposed for testing):
+/// lowercases ASCII, maps punctuation/special characters and newlines to
+/// spaces, removes tokens found in the misspelling lexicon, and collapses
+/// runs of whitespace.
+std::string ScrubText(const std::string& text);
+
+/// A crude utility metric: fraction of the original content words that
+/// survive in the defended dataset (averaged over posts; 1.0 = lossless for
+/// search/analytics that only need the words).
+double ContentWordRetention(const ForumDataset& original,
+                            const ForumDataset& defended);
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_DEFENSE_DEFENSE_H_

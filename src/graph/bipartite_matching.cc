@@ -1,0 +1,102 @@
+#include "graph/bipartite_matching.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace dehealth {
+
+std::vector<int> MaxWeightBipartiteMatching(
+    const std::vector<std::vector<double>>& weights) {
+  const int rows = static_cast<int>(weights.size());
+  if (rows == 0) return {};
+  const int cols = static_cast<int>(weights[0].size());
+  for (const auto& row : weights) {
+    (void)row;
+    assert(static_cast<int>(row.size()) == cols && "ragged weight matrix");
+  }
+  if (cols == 0) return std::vector<int>(static_cast<size_t>(rows), -1);
+
+  // Convert to a square minimization problem: cost = max_weight - weight;
+  // padded cells cost exactly max_weight (equivalent to weight 0).
+  double max_weight = 0.0;
+  for (const auto& row : weights)
+    for (double w : row) {
+      assert(w >= 0.0);
+      max_weight = std::max(max_weight, w);
+    }
+  const int n = std::max(rows, cols);
+  auto cost = [&](int i, int j) -> double {
+    if (i < rows && j < cols) return max_weight - weights[static_cast<size_t>(
+                                                      i)][static_cast<size_t>(j)];
+    return max_weight;
+  };
+
+  // Hungarian algorithm with potentials (1-indexed internals).
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> u(static_cast<size_t>(n) + 1, 0.0);
+  std::vector<double> v(static_cast<size_t>(n) + 1, 0.0);
+  std::vector<int> match_col(static_cast<size_t>(n) + 1, 0);  // col -> row
+  std::vector<int> way(static_cast<size_t>(n) + 1, 0);
+
+  for (int i = 1; i <= n; ++i) {
+    match_col[0] = i;
+    int j0 = 0;
+    std::vector<double> min_v(static_cast<size_t>(n) + 1, kInf);
+    std::vector<bool> used(static_cast<size_t>(n) + 1, false);
+    do {
+      used[static_cast<size_t>(j0)] = true;
+      const int i0 = match_col[static_cast<size_t>(j0)];
+      double delta = kInf;
+      int j1 = 0;
+      for (int j = 1; j <= n; ++j) {
+        if (used[static_cast<size_t>(j)]) continue;
+        const double cur = cost(i0 - 1, j - 1) - u[static_cast<size_t>(i0)] -
+                           v[static_cast<size_t>(j)];
+        if (cur < min_v[static_cast<size_t>(j)]) {
+          min_v[static_cast<size_t>(j)] = cur;
+          way[static_cast<size_t>(j)] = j0;
+        }
+        if (min_v[static_cast<size_t>(j)] < delta) {
+          delta = min_v[static_cast<size_t>(j)];
+          j1 = j;
+        }
+      }
+      for (int j = 0; j <= n; ++j) {
+        if (used[static_cast<size_t>(j)]) {
+          u[static_cast<size_t>(match_col[static_cast<size_t>(j)])] += delta;
+          v[static_cast<size_t>(j)] -= delta;
+        } else {
+          min_v[static_cast<size_t>(j)] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (match_col[static_cast<size_t>(j0)] != 0);
+    // Augment along the alternating path.
+    do {
+      const int j1 = way[static_cast<size_t>(j0)];
+      match_col[static_cast<size_t>(j0)] = match_col[static_cast<size_t>(j1)];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  std::vector<int> assignment(static_cast<size_t>(rows), -1);
+  for (int j = 1; j <= n; ++j) {
+    const int i = match_col[static_cast<size_t>(j)];
+    if (i >= 1 && i <= rows && j <= cols)
+      assignment[static_cast<size_t>(i - 1)] = j - 1;
+  }
+  return assignment;
+}
+
+double MatchingWeight(const std::vector<std::vector<double>>& weights,
+                      const std::vector<int>& assignment) {
+  double total = 0.0;
+  for (size_t i = 0; i < assignment.size(); ++i) {
+    const int j = assignment[i];
+    if (j >= 0) total += weights[i][static_cast<size_t>(j)];
+  }
+  return total;
+}
+
+}  // namespace dehealth

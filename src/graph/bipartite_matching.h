@@ -1,0 +1,28 @@
+#ifndef DEHEALTH_GRAPH_BIPARTITE_MATCHING_H_
+#define DEHEALTH_GRAPH_BIPARTITE_MATCHING_H_
+
+#include <vector>
+
+namespace dehealth {
+
+/// Maximum-weight matching on a complete bipartite graph (the paper's
+/// graph-matching-based Top-K candidate selection runs this repeatedly on
+/// the anonymized-vs-auxiliary similarity matrix).
+///
+/// `weights[i][j]` is the (finite, >= 0) weight of pairing left node i with
+/// right node j; rows must have equal length. Rectangular inputs are padded
+/// internally. Returns, per left node, the matched right index, or -1 when
+/// there are fewer right than left nodes and i was left unmatched.
+///
+/// Implementation: Jonker–Volgenant style Hungarian algorithm with row/column
+/// potentials, O(n^3).
+std::vector<int> MaxWeightBipartiteMatching(
+    const std::vector<std::vector<double>>& weights);
+
+/// Total weight of an assignment produced by MaxWeightBipartiteMatching.
+double MatchingWeight(const std::vector<std::vector<double>>& weights,
+                      const std::vector<int>& assignment);
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_GRAPH_BIPARTITE_MATCHING_H_

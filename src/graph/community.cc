@@ -1,0 +1,124 @@
+#include "graph/community.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <queue>
+#include <unordered_map>
+
+namespace dehealth {
+
+ComponentResult ConnectedComponents(const CorrelationGraph& graph) {
+  ComponentResult result;
+  result.label.assign(static_cast<size_t>(graph.num_nodes()), -1);
+  for (NodeId start = 0; start < graph.num_nodes(); ++start) {
+    if (result.label[static_cast<size_t>(start)] != -1) continue;
+    const int label = result.num_components++;
+    std::queue<NodeId> frontier;
+    result.label[static_cast<size_t>(start)] = label;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      const NodeId u = frontier.front();
+      frontier.pop();
+      for (const auto& n : graph.Neighbors(u)) {
+        if (result.label[static_cast<size_t>(n.id)] == -1) {
+          result.label[static_cast<size_t>(n.id)] = label;
+          frontier.push(n.id);
+        }
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<int> ComponentSizes(const ComponentResult& components) {
+  std::vector<int> sizes(static_cast<size_t>(components.num_components), 0);
+  for (int label : components.label) ++sizes[static_cast<size_t>(label)];
+  return sizes;
+}
+
+CommunityResult LabelPropagation(const CorrelationGraph& graph, Rng& rng,
+                                 int max_iterations) {
+  const int n = graph.num_nodes();
+  CommunityResult result;
+  result.label.resize(static_cast<size_t>(n));
+  std::iota(result.label.begin(), result.label.end(), 0);
+
+  std::vector<NodeId> order(static_cast<size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    rng.Shuffle(order);
+    bool changed = false;
+    for (NodeId u : order) {
+      const auto& neighbors = graph.Neighbors(u);
+      if (neighbors.empty()) continue;
+      // Pick the label with the largest incident weight; smallest label on
+      // ties for determinism under a fixed visiting order.
+      std::map<int, double> weight_by_label;
+      for (const auto& nb : neighbors)
+        weight_by_label[result.label[static_cast<size_t>(nb.id)]] +=
+            nb.weight;
+      int best_label = result.label[static_cast<size_t>(u)];
+      double best_weight = -1.0;
+      for (const auto& [label, weight] : weight_by_label) {
+        if (weight > best_weight) {
+          best_weight = weight;
+          best_label = label;
+        }
+      }
+      if (best_label != result.label[static_cast<size_t>(u)]) {
+        result.label[static_cast<size_t>(u)] = best_label;
+        changed = true;
+      }
+    }
+    result.iterations_run = iter + 1;
+    if (!changed) break;
+  }
+
+  // Compact labels.
+  std::unordered_map<int, int> remap;
+  for (int& label : result.label) {
+    auto [it, inserted] = remap.insert({label, static_cast<int>(remap.size())});
+    label = it->second;
+  }
+  result.num_communities = static_cast<int>(remap.size());
+  return result;
+}
+
+CommunityStructureSummary SummarizeCommunityStructure(
+    const CorrelationGraph& graph, int min_degree, Rng& rng) {
+  CommunityStructureSummary summary;
+  summary.min_degree = min_degree;
+  const CorrelationGraph filtered = graph.FilterByDegree(min_degree);
+
+  // Active nodes: still connected to something after the filter.
+  std::vector<bool> active(static_cast<size_t>(filtered.num_nodes()), false);
+  for (NodeId u = 0; u < filtered.num_nodes(); ++u)
+    if (filtered.Degree(u) > 0) {
+      active[static_cast<size_t>(u)] = true;
+      ++summary.active_nodes;
+    }
+
+  const ComponentResult comps = ConnectedComponents(filtered);
+  const std::vector<int> sizes = ComponentSizes(comps);
+  for (size_t label = 0; label < sizes.size(); ++label) {
+    if (sizes[label] > 1) {
+      ++summary.num_components;
+      summary.largest_component =
+          std::max(summary.largest_component, sizes[label]);
+    }
+  }
+
+  const CommunityResult lp = LabelPropagation(filtered, rng);
+  // Count non-singleton communities among active nodes.
+  std::unordered_map<int, int> community_sizes;
+  for (NodeId u = 0; u < filtered.num_nodes(); ++u)
+    if (active[static_cast<size_t>(u)])
+      ++community_sizes[lp.label[static_cast<size_t>(u)]];
+  for (const auto& [label, size] : community_sizes)
+    if (size > 1) ++summary.num_communities;
+  return summary;
+}
+
+}  // namespace dehealth

@@ -1,0 +1,53 @@
+#ifndef DEHEALTH_GRAPH_COMMUNITY_H_
+#define DEHEALTH_GRAPH_COMMUNITY_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/correlation_graph.h"
+
+namespace dehealth {
+
+/// Connected-component decomposition. Returns a label per node (labels are
+/// 0..num_components-1, assigned in discovery order); isolated nodes form
+/// singleton components.
+struct ComponentResult {
+  std::vector<int> label;  // per node
+  int num_components = 0;
+};
+
+ComponentResult ConnectedComponents(const CorrelationGraph& graph);
+
+/// Sizes of each component, indexed by label.
+std::vector<int> ComponentSizes(const ComponentResult& components);
+
+/// Weighted label-propagation community detection (the tool class used by
+/// the Fig-8 community-structure analysis). Deterministic given the seed of
+/// the supplied Rng; runs at most `max_iterations` synchronous rounds (each
+/// node adopts the label with the largest incident weight, ties broken by
+/// smallest label). Returns labels compacted to 0..num_communities-1.
+struct CommunityResult {
+  std::vector<int> label;
+  int num_communities = 0;
+  int iterations_run = 0;
+};
+
+CommunityResult LabelPropagation(const CorrelationGraph& graph, Rng& rng,
+                                 int max_iterations = 50);
+
+/// Summary used by the Fig-8 experiment: community structure of the graph
+/// after removing nodes with degree < min_degree.
+struct CommunityStructureSummary {
+  int min_degree = 0;
+  int active_nodes = 0;     // nodes surviving the degree filter with d > 0
+  int num_components = 0;   // connected components among active nodes
+  int num_communities = 0;  // label-propagation communities (non-singleton)
+  int largest_component = 0;
+};
+
+CommunityStructureSummary SummarizeCommunityStructure(
+    const CorrelationGraph& graph, int min_degree, Rng& rng);
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_GRAPH_COMMUNITY_H_

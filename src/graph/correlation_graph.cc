@@ -1,0 +1,85 @@
+#include "graph/correlation_graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dehealth {
+
+CorrelationGraph::CorrelationGraph(int num_nodes)
+    : adjacency_(static_cast<size_t>(num_nodes)) {
+  assert(num_nodes >= 0);
+}
+
+void CorrelationGraph::AddInteraction(NodeId u, NodeId v, double delta) {
+  assert(u >= 0 && u < num_nodes() && v >= 0 && v < num_nodes());
+  assert(delta > 0.0);
+  if (u == v) return;
+  auto bump = [&](NodeId from, NodeId to) -> bool {
+    for (Neighbor& n : adjacency_[static_cast<size_t>(from)]) {
+      if (n.id == to) {
+        n.weight += delta;
+        return true;
+      }
+    }
+    adjacency_[static_cast<size_t>(from)].push_back({to, delta});
+    return false;
+  };
+  const bool existed = bump(u, v);
+  bump(v, u);
+  if (!existed) ++num_edges_;
+}
+
+const std::vector<CorrelationGraph::Neighbor>& CorrelationGraph::Neighbors(
+    NodeId u) const {
+  assert(u >= 0 && u < num_nodes());
+  return adjacency_[static_cast<size_t>(u)];
+}
+
+int CorrelationGraph::Degree(NodeId u) const {
+  return static_cast<int>(Neighbors(u).size());
+}
+
+double CorrelationGraph::WeightedDegree(NodeId u) const {
+  double acc = 0.0;
+  for (const Neighbor& n : Neighbors(u)) acc += n.weight;
+  return acc;
+}
+
+double CorrelationGraph::EdgeWeight(NodeId u, NodeId v) const {
+  for (const Neighbor& n : Neighbors(u))
+    if (n.id == v) return n.weight;
+  return 0.0;
+}
+
+std::vector<double> CorrelationGraph::NcsVector(NodeId u) const {
+  std::vector<double> weights;
+  weights.reserve(Neighbors(u).size());
+  for (const Neighbor& n : Neighbors(u)) weights.push_back(n.weight);
+  std::sort(weights.begin(), weights.end(), std::greater<double>());
+  return weights;
+}
+
+std::vector<NodeId> CorrelationGraph::NodesByDegreeDesc() const {
+  std::vector<NodeId> nodes(static_cast<size_t>(num_nodes()));
+  for (int i = 0; i < num_nodes(); ++i) nodes[static_cast<size_t>(i)] = i;
+  std::stable_sort(nodes.begin(), nodes.end(), [this](NodeId a, NodeId b) {
+    const int da = Degree(a), db = Degree(b);
+    if (da != db) return da > db;
+    return a < b;
+  });
+  return nodes;
+}
+
+CorrelationGraph CorrelationGraph::FilterByDegree(int min_degree) const {
+  CorrelationGraph out(num_nodes());
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    if (Degree(u) < min_degree) continue;
+    for (const Neighbor& n : Neighbors(u)) {
+      if (n.id > u && Degree(n.id) >= min_degree)
+        out.AddInteraction(u, n.id, n.weight);
+    }
+  }
+  return out;
+}
+
+}  // namespace dehealth

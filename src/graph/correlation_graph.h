@@ -1,0 +1,66 @@
+#ifndef DEHEALTH_GRAPH_CORRELATION_GRAPH_H_
+#define DEHEALTH_GRAPH_CORRELATION_GRAPH_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dehealth {
+
+/// Node index into a graph.
+using NodeId = int;
+
+/// The paper's user correlation graph G = (V, E, W): users are nodes; an
+/// undirected edge (i, j) with weight w_ij counts how many times i and j
+/// co-posted under the same topic.
+class CorrelationGraph {
+ public:
+  /// An adjacency entry: neighbor id plus accumulated edge weight.
+  struct Neighbor {
+    NodeId id;
+    double weight;
+    bool operator==(const Neighbor&) const = default;
+  };
+
+  /// Creates a graph with `num_nodes` isolated nodes.
+  explicit CorrelationGraph(int num_nodes = 0);
+
+  /// Adds `delta` (default 1) to the weight of undirected edge (u, v),
+  /// creating it if absent. Self-loops are ignored. u, v must be valid.
+  void AddInteraction(NodeId u, NodeId v, double delta = 1.0);
+
+  int num_nodes() const { return static_cast<int>(adjacency_.size()); }
+  int num_edges() const { return num_edges_; }
+
+  /// Neighbors of `u` (unordered).
+  const std::vector<Neighbor>& Neighbors(NodeId u) const;
+
+  /// d_u: number of neighbors.
+  int Degree(NodeId u) const;
+
+  /// wd_u: sum of incident edge weights.
+  double WeightedDegree(NodeId u) const;
+
+  /// Weight of edge (u, v), or 0 when absent.
+  double EdgeWeight(NodeId u, NodeId v) const;
+
+  /// The paper's Neighborhood Correlation Strength vector D_u: incident edge
+  /// weights in decreasing order.
+  std::vector<double> NcsVector(NodeId u) const;
+
+  /// Node ids sorted by decreasing degree (ties broken by id) — used for
+  /// landmark selection.
+  std::vector<NodeId> NodesByDegreeDesc() const;
+
+  /// Copy of this graph keeping only nodes with degree >= min_degree
+  /// (others become isolated; edges to them are dropped). Node ids are
+  /// preserved. Used by the Fig-8 community-structure experiment.
+  CorrelationGraph FilterByDegree(int min_degree) const;
+
+ private:
+  std::vector<std::vector<Neighbor>> adjacency_;
+  int num_edges_ = 0;
+};
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_GRAPH_CORRELATION_GRAPH_H_

@@ -1,0 +1,42 @@
+#include "graph/landmarks.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+
+#include "graph/shortest_path.h"
+
+namespace dehealth {
+
+LandmarkIndex::LandmarkIndex(const CorrelationGraph& graph, int count) {
+  assert(count >= 0);
+  const std::vector<NodeId> by_degree = graph.NodesByDegreeDesc();
+  const size_t take =
+      std::min(static_cast<size_t>(count), by_degree.size());
+  landmarks_.assign(by_degree.begin(),
+                    by_degree.begin() + static_cast<long>(take));
+  hop_from_landmark_.reserve(take);
+  weighted_from_landmark_.reserve(take);
+  for (NodeId lm : landmarks_) {
+    hop_from_landmark_.push_back(BfsDistances(graph, lm));
+    weighted_from_landmark_.push_back(WeightedDistances(graph, lm));
+  }
+}
+
+std::vector<double> LandmarkIndex::HopVector(NodeId u) const {
+  std::vector<double> out;
+  out.reserve(landmarks_.size());
+  for (const auto& dist : hop_from_landmark_)
+    out.push_back(HopProximity(dist[static_cast<size_t>(u)]));
+  return out;
+}
+
+std::vector<double> LandmarkIndex::WeightedVector(NodeId u) const {
+  std::vector<double> out;
+  out.reserve(landmarks_.size());
+  for (const auto& dist : weighted_from_landmark_)
+    out.push_back(WeightedProximity(dist[static_cast<size_t>(u)]));
+  return out;
+}
+
+}  // namespace dehealth

@@ -1,0 +1,40 @@
+#ifndef DEHEALTH_GRAPH_LANDMARKS_H_
+#define DEHEALTH_GRAPH_LANDMARKS_H_
+
+#include <vector>
+
+#include "graph/correlation_graph.h"
+
+namespace dehealth {
+
+/// Landmark machinery for the paper's global correlation features: the ħ
+/// highest-degree users of a graph serve as landmarks S; every user u is
+/// described by the vectors H_u(S) (hop proximities) and WH_u(S) (weighted
+/// proximities) to the landmarks, ordered by decreasing landmark degree.
+class LandmarkIndex {
+ public:
+  /// Selects min(count, num_nodes) landmarks by decreasing degree and
+  /// precomputes all landmark-rooted shortest-path trees (one BFS and one
+  /// Dijkstra per landmark; total O(ħ·(V+E log V))).
+  LandmarkIndex(const CorrelationGraph& graph, int count);
+
+  /// Landmark node ids, ordered by decreasing degree.
+  const std::vector<NodeId>& landmarks() const { return landmarks_; }
+
+  /// H_u(S) as bounded proximities (see HopProximity); index i corresponds
+  /// to landmarks()[i].
+  std::vector<double> HopVector(NodeId u) const;
+
+  /// WH_u(S) as bounded weighted proximities.
+  std::vector<double> WeightedVector(NodeId u) const;
+
+ private:
+  std::vector<NodeId> landmarks_;
+  // hop_from_landmark_[i][u] = hops from landmark i to node u.
+  std::vector<std::vector<int>> hop_from_landmark_;
+  std::vector<std::vector<double>> weighted_from_landmark_;
+};
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_GRAPH_LANDMARKS_H_

@@ -1,0 +1,64 @@
+#include "graph/shortest_path.h"
+
+#include <cassert>
+#include <cstddef>
+#include <limits>
+#include <queue>
+
+namespace dehealth {
+
+std::vector<int> BfsDistances(const CorrelationGraph& graph, NodeId source) {
+  assert(source >= 0 && source < graph.num_nodes());
+  std::vector<int> dist(static_cast<size_t>(graph.num_nodes()), kUnreachable);
+  std::queue<NodeId> frontier;
+  dist[static_cast<size_t>(source)] = 0;
+  frontier.push(source);
+  while (!frontier.empty()) {
+    const NodeId u = frontier.front();
+    frontier.pop();
+    for (const auto& n : graph.Neighbors(u)) {
+      if (dist[static_cast<size_t>(n.id)] == kUnreachable) {
+        dist[static_cast<size_t>(n.id)] = dist[static_cast<size_t>(u)] + 1;
+        frontier.push(n.id);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<double> WeightedDistances(const CorrelationGraph& graph,
+                                      NodeId source) {
+  assert(source >= 0 && source < graph.num_nodes());
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(static_cast<size_t>(graph.num_nodes()), kInf);
+  using Entry = std::pair<double, NodeId>;  // (distance, node)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> pq;
+  dist[static_cast<size_t>(source)] = 0.0;
+  pq.push({0.0, source});
+  while (!pq.empty()) {
+    const auto [d, u] = pq.top();
+    pq.pop();
+    if (d > dist[static_cast<size_t>(u)]) continue;  // stale entry
+    for (const auto& n : graph.Neighbors(u)) {
+      assert(n.weight > 0.0);
+      const double nd = d + 1.0 / n.weight;
+      if (nd < dist[static_cast<size_t>(n.id)]) {
+        dist[static_cast<size_t>(n.id)] = nd;
+        pq.push({nd, n.id});
+      }
+    }
+  }
+  return dist;
+}
+
+double HopProximity(int hop_distance) {
+  if (hop_distance == kUnreachable) return 0.0;
+  return 1.0 / (1.0 + static_cast<double>(hop_distance));
+}
+
+double WeightedProximity(double weighted_distance) {
+  if (weighted_distance == std::numeric_limits<double>::infinity()) return 0.0;
+  return 1.0 / (1.0 + weighted_distance);
+}
+
+}  // namespace dehealth

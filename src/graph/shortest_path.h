@@ -1,0 +1,35 @@
+#ifndef DEHEALTH_GRAPH_SHORTEST_PATH_H_
+#define DEHEALTH_GRAPH_SHORTEST_PATH_H_
+
+#include <vector>
+
+#include "graph/correlation_graph.h"
+
+namespace dehealth {
+
+/// Sentinel for "unreachable" in hop-distance results.
+inline constexpr int kUnreachable = -1;
+
+/// BFS hop distances h_{source,v} from `source` to every node.
+/// Unreachable nodes get kUnreachable.
+std::vector<int> BfsDistances(const CorrelationGraph& graph, NodeId source);
+
+/// Dijkstra distances where traversing edge (u, v) costs 1 / w_uv — a
+/// strongly-interacting pair is "closer". Unreachable nodes get +infinity.
+std::vector<double> WeightedDistances(const CorrelationGraph& graph,
+                                      NodeId source);
+
+/// Converts a hop distance to a bounded proximity in (0, 1]:
+/// proximity = 1 / (1 + h); unreachable maps to 0. The paper's distance
+/// vectors H_u(S) feed a cosine similarity; on the (mostly disconnected)
+/// health graphs raw distances would make unrelated unreachable pairs look
+/// identical, so De-Health uses this bounded transform, which preserves the
+/// ordering "closer => larger component".
+double HopProximity(int hop_distance);
+
+/// Same for weighted distances: 1 / (1 + wh); +infinity maps to 0.
+double WeightedProximity(double weighted_distance);
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_GRAPH_SHORTEST_PATH_H_

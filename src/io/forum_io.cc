@@ -1,0 +1,218 @@
+#include "io/forum_io.h"
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_utils.h"
+
+namespace dehealth {
+
+std::string EscapeJson(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size() + 8);
+  for (char c : raw) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+StatusOr<std::string> UnescapeJson(const std::string& escaped) {
+  std::string out;
+  out.reserve(escaped.size());
+  for (size_t i = 0; i < escaped.size(); ++i) {
+    const char c = escaped[i];
+    if (c != '\\') {
+      out += c;
+      continue;
+    }
+    if (i + 1 >= escaped.size())
+      return Status::InvalidArgument("UnescapeJson: dangling backslash");
+    const char next = escaped[++i];
+    switch (next) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'u': {
+        if (i + 4 >= escaped.size())
+          return Status::InvalidArgument("UnescapeJson: truncated \\u");
+        int code = 0;
+        for (int d = 0; d < 4; ++d) {
+          const char h = escaped[i + 1 + static_cast<size_t>(d)];
+          code <<= 4;
+          if (h >= '0' && h <= '9') {
+            code += h - '0';
+          } else if (h >= 'a' && h <= 'f') {
+            code += h - 'a' + 10;
+          } else if (h >= 'A' && h <= 'F') {
+            code += h - 'A' + 10;
+          } else {
+            return Status::InvalidArgument("UnescapeJson: bad \\u digit");
+          }
+        }
+        i += 4;
+        // Only BMP-ASCII escapes are produced by EscapeJson; emit the low
+        // byte for codes < 256, else a replacement '?'.
+        out += code < 256 ? static_cast<char>(code) : '?';
+        break;
+      }
+      default:
+        return Status::InvalidArgument(
+            StrFormat("UnescapeJson: invalid escape \\%c", next));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Minimal field scanner for our fixed one-line-object schema. Finds
+/// `"key":` and returns the raw value span (number or quoted string body).
+StatusOr<std::string> FindRawValue(const std::string& line,
+                                   const std::string& key,
+                                   bool* is_string = nullptr) {
+  const std::string needle = "\"" + key + "\"";
+  size_t pos = line.find(needle);
+  if (pos == std::string::npos)
+    return Status::InvalidArgument("missing field: " + key);
+  pos += needle.size();
+  while (pos < line.size() &&
+         (line[pos] == ' ' || line[pos] == ':'))
+    ++pos;
+  if (pos >= line.size())
+    return Status::InvalidArgument("truncated field: " + key);
+  if (line[pos] == '"') {
+    // Quoted string: scan to the closing unescaped quote.
+    std::string body;
+    ++pos;
+    while (pos < line.size()) {
+      if (line[pos] == '\\' && pos + 1 < line.size()) {
+        body += line[pos];
+        body += line[pos + 1];
+        pos += 2;
+        continue;
+      }
+      if (line[pos] == '"') {
+        if (is_string != nullptr) *is_string = true;
+        return body;
+      }
+      body += line[pos++];
+    }
+    return Status::InvalidArgument("unterminated string for: " + key);
+  }
+  // Number: scan digits/sign.
+  std::string number;
+  while (pos < line.size() &&
+         (std::isdigit(static_cast<unsigned char>(line[pos])) ||
+          line[pos] == '-'))
+    number += line[pos++];
+  if (number.empty())
+    return Status::InvalidArgument("empty value for: " + key);
+  if (is_string != nullptr) *is_string = false;
+  return number;
+}
+
+StatusOr<int> FindIntValue(const std::string& line, const std::string& key) {
+  StatusOr<std::string> raw = FindRawValue(line, key);
+  if (!raw.ok()) return raw.status();
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(raw->c_str(), &end, 10);
+  if (end == raw->c_str() || *end != '\0' || errno != 0)
+    return Status::InvalidArgument("bad integer for: " + key);
+  return static_cast<int>(value);
+}
+
+}  // namespace
+
+std::string ForumDatasetToJsonl(const ForumDataset& dataset) {
+  std::string out = StrFormat("{\"num_users\": %d, \"num_threads\": %d}\n",
+                              dataset.num_users, dataset.num_threads);
+  for (const Post& post : dataset.posts) {
+    out += StrFormat("{\"user_id\": %d, \"thread_id\": %d, \"text\": \"%s\"}\n",
+                     post.user_id, post.thread_id,
+                     EscapeJson(post.text).c_str());
+  }
+  return out;
+}
+
+StatusOr<ForumDataset> ForumDatasetFromJsonl(const std::string& jsonl) {
+  std::istringstream stream(jsonl);
+  std::string line;
+  ForumDataset dataset;
+  bool have_header = false;
+  int line_number = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    if (TrimAscii(line).empty()) continue;
+    if (!have_header) {
+      StatusOr<int> users = FindIntValue(line, "num_users");
+      StatusOr<int> threads = FindIntValue(line, "num_threads");
+      if (!users.ok()) return users.status();
+      if (!threads.ok()) return threads.status();
+      if (*users < 0 || *threads < 0)
+        return Status::InvalidArgument("negative header counts");
+      dataset.num_users = *users;
+      dataset.num_threads = *threads;
+      have_header = true;
+      continue;
+    }
+    StatusOr<int> user = FindIntValue(line, "user_id");
+    StatusOr<int> thread = FindIntValue(line, "thread_id");
+    StatusOr<std::string> raw_text = FindRawValue(line, "text");
+    if (!user.ok()) return user.status();
+    if (!thread.ok()) return thread.status();
+    if (!raw_text.ok()) return raw_text.status();
+    if (*user < 0 || *user >= dataset.num_users)
+      return Status::OutOfRange(
+          StrFormat("line %d: user_id %d out of range", line_number, *user));
+    if (*thread < 0 || *thread >= dataset.num_threads)
+      return Status::OutOfRange(
+          StrFormat("line %d: thread_id %d out of range", line_number,
+                    *thread));
+    StatusOr<std::string> text = UnescapeJson(*raw_text);
+    if (!text.ok()) return text.status();
+    dataset.posts.push_back({*user, *thread, std::move(*text)});
+  }
+  if (!have_header)
+    return Status::InvalidArgument("ForumDatasetFromJsonl: empty input");
+  return dataset;
+}
+
+Status SaveForumDataset(const ForumDataset& dataset,
+                        const std::string& path) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return Status::NotFound("cannot open for writing: " + path);
+  const std::string payload = ForumDatasetToJsonl(dataset);
+  file.write(payload.data(), static_cast<long>(payload.size()));
+  if (!file) return Status::Internal("short write: " + path);
+  return Status::OK();
+}
+
+StatusOr<ForumDataset> LoadForumDataset(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::NotFound("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return ForumDatasetFromJsonl(buffer.str());
+}
+
+}  // namespace dehealth

@@ -1,0 +1,37 @@
+#ifndef DEHEALTH_IO_FORUM_IO_H_
+#define DEHEALTH_IO_FORUM_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "datagen/corpus.h"
+
+namespace dehealth {
+
+/// JSON-Lines persistence for forum datasets — the adoption path for real
+/// (crawled) data: one object per line,
+///   {"user_id": 3, "thread_id": 17, "text": "..."}
+/// with a header line {"num_users": N, "num_threads": T}.
+
+/// Serializes `dataset` to a JSONL string.
+std::string ForumDatasetToJsonl(const ForumDataset& dataset);
+
+/// Parses a JSONL string produced by ForumDatasetToJsonl (or hand-written
+/// in the same schema). Fails with InvalidArgument on malformed lines,
+/// missing fields, or out-of-range user/thread ids.
+StatusOr<ForumDataset> ForumDatasetFromJsonl(const std::string& jsonl);
+
+/// File convenience wrappers.
+Status SaveForumDataset(const ForumDataset& dataset,
+                        const std::string& path);
+StatusOr<ForumDataset> LoadForumDataset(const std::string& path);
+
+/// JSON string escaping/unescaping used by the JSONL codec (exposed for
+/// testing). EscapeJson handles quotes, backslashes, and control
+/// characters; UnescapeJson fails on invalid escapes.
+std::string EscapeJson(const std::string& raw);
+StatusOr<std::string> UnescapeJson(const std::string& escaped);
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_IO_FORUM_IO_H_

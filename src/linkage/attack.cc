@@ -1,0 +1,75 @@
+#include "linkage/attack.h"
+
+#include <map>
+#include <unordered_set>
+
+namespace dehealth {
+
+double LinkageReport::AvatarLinkRate() const {
+  if (filtered_avatar_targets == 0) return 0.0;
+  return static_cast<double>(avatar_linked_users) /
+         static_cast<double>(filtered_avatar_targets);
+}
+
+double LinkageReport::NameLinkPrecision() const {
+  if (name_links == 0) return 0.0;
+  return static_cast<double>(name_links_correct) /
+         static_cast<double>(name_links);
+}
+
+double LinkageReport::AvatarLinkPrecision() const {
+  if (avatar_links_total == 0) return 0.0;
+  return static_cast<double>(avatar_links_correct) /
+         static_cast<double>(avatar_links_total);
+}
+
+LinkageAttack::LinkageAttack(const IdentityUniverse& universe,
+                             LinkageAttackConfig config)
+    : universe_(universe),
+      config_(config),
+      name_link_(universe, config.name_link),
+      avatar_link_(universe, config.avatar_link) {}
+
+std::vector<NameLinkResult> LinkageAttack::RunNameLink() const {
+  return name_link_.Run(Service::kHealthForum, Service::kOtherHealthForum);
+}
+
+std::vector<AvatarLinkResult> LinkageAttack::RunAvatarLink() const {
+  return avatar_link_.Run(Service::kHealthForum);
+}
+
+LinkageReport LinkageAttack::Run() const {
+  LinkageReport report;
+  report.health_forum_accounts = static_cast<int>(
+      universe_.AccountsOf(Service::kHealthForum).size());
+  report.filtered_avatar_targets = static_cast<int>(
+      avatar_link_.FilterTargets(Service::kHealthForum).size());
+
+  // NameLink: information aggregation against the other health forum.
+  const std::vector<NameLinkResult> name_links = RunNameLink();
+  std::unordered_set<int> name_linked_accounts;
+  for (const NameLinkResult& link : name_links) {
+    ++report.name_links;
+    if (link.correct) ++report.name_links_correct;
+    name_linked_accounts.insert(link.source_account);
+  }
+
+  // AvatarLink: real-identity linkage against the social services.
+  const std::vector<AvatarLinkResult> avatar_links = RunAvatarLink();
+  std::map<int, std::unordered_set<int>> socials_per_account;
+  for (const AvatarLinkResult& link : avatar_links) {
+    ++report.avatar_links_total;
+    if (link.correct) ++report.avatar_links_correct;
+    socials_per_account[link.source_account].insert(
+        static_cast<int>(link.target_service));
+  }
+  report.avatar_linked_users =
+      static_cast<int>(socials_per_account.size());
+  for (const auto& [account, services] : socials_per_account) {
+    if (services.size() >= 2) ++report.users_on_two_plus_socials;
+    if (name_linked_accounts.count(account)) ++report.overlap_users;
+  }
+  return report;
+}
+
+}  // namespace dehealth

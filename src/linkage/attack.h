@@ -1,0 +1,65 @@
+#ifndef DEHEALTH_LINKAGE_ATTACK_H_
+#define DEHEALTH_LINKAGE_ATTACK_H_
+
+#include <set>
+#include <vector>
+
+#include "common/status.h"
+#include "linkage/avatar_link.h"
+#include "linkage/identity_universe.h"
+#include "linkage/name_link.h"
+
+namespace dehealth {
+
+/// Aggregate outcome of the full linkage attack (the numbers Section VI-B
+/// reports for the proof-of-concept run against WebMD).
+struct LinkageReport {
+  int health_forum_accounts = 0;   // all source accounts
+  int filtered_avatar_targets = 0;  // the "2805" after avatar filtering
+
+  int name_links = 0;            // accounts linked to the other forum
+  int name_links_correct = 0;    // ground-truth correct among them
+  int avatar_linked_users = 0;   // distinct accounts linked to >=1 social
+  int avatar_links_correct = 0;  // correct account-level avatar links
+  int avatar_links_total = 0;
+  int users_on_two_plus_socials = 0;  // linked to >= 2 social services
+  int overlap_users = 0;  // linked by BOTH NameLink and AvatarLink
+
+  /// Fraction of filtered avatar targets successfully linked (the paper's
+  /// 347/2805 = 12.4%).
+  double AvatarLinkRate() const;
+  /// Precision of the two tools against ground truth.
+  double NameLinkPrecision() const;
+  double AvatarLinkPrecision() const;
+};
+
+/// Configuration of the combined attack.
+struct LinkageAttackConfig {
+  NameLinkConfig name_link;
+  AvatarLinkConfig avatar_link;
+};
+
+/// Runs NameLink (health forum -> other health forum, the information-
+/// aggregation objective) and AvatarLink (health forum -> social networks,
+/// the real-identity objective), then cross-validates the two result sets.
+class LinkageAttack {
+ public:
+  explicit LinkageAttack(const IdentityUniverse& universe,
+                         LinkageAttackConfig config = {});
+
+  LinkageReport Run() const;
+
+  /// Individual tool outputs (for inspection / the example binaries).
+  std::vector<NameLinkResult> RunNameLink() const;
+  std::vector<AvatarLinkResult> RunAvatarLink() const;
+
+ private:
+  const IdentityUniverse& universe_;
+  LinkageAttackConfig config_;
+  NameLink name_link_;
+  AvatarLink avatar_link_;
+};
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_LINKAGE_ATTACK_H_

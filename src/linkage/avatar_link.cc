@@ -1,0 +1,54 @@
+#include "linkage/avatar_link.h"
+
+#include <unordered_map>
+
+namespace dehealth {
+
+AvatarLink::AvatarLink(const IdentityUniverse& universe,
+                       AvatarLinkConfig config)
+    : universe_(universe), config_(config) {}
+
+std::vector<int> AvatarLink::FilterTargets(Service source) const {
+  std::vector<int> kept;
+  for (int idx : universe_.AccountsOf(source)) {
+    const Account& a = universe_.accounts[static_cast<size_t>(idx)];
+    // The four exclusion conditions: default avatars, non-human objects,
+    // fictitious persons, kids-only pictures (and accounts with no avatar).
+    if (a.avatar_kind == AvatarKind::kHumanSelf) kept.push_back(idx);
+  }
+  return kept;
+}
+
+std::vector<AvatarLinkResult> AvatarLink::Run(Service source) const {
+  const Service socials[] = {Service::kSocialA, Service::kSocialB,
+                             Service::kSocialC};
+
+  // Index social accounts by avatar image id.
+  std::unordered_map<int, std::vector<int>> image_index;
+  for (Service s : socials)
+    for (int idx : universe_.AccountsOf(s)) {
+      const Account& a = universe_.accounts[static_cast<size_t>(idx)];
+      if (a.avatar_id >= 0) image_index[a.avatar_id].push_back(idx);
+    }
+
+  std::vector<AvatarLinkResult> links;
+  for (int src_idx : FilterTargets(source)) {
+    const Account& src = universe_.accounts[static_cast<size_t>(src_idx)];
+    auto it = image_index.find(src.avatar_id);
+    if (it == image_index.end()) continue;
+    if (static_cast<int>(it->second.size()) > config_.max_image_owners)
+      continue;  // widely-shared image: rejected at validation
+    for (int tgt_idx : it->second) {
+      const Account& tgt = universe_.accounts[static_cast<size_t>(tgt_idx)];
+      AvatarLinkResult link;
+      link.source_account = src_idx;
+      link.target_account = tgt_idx;
+      link.target_service = tgt.service;
+      link.correct = src.person_id == tgt.person_id;
+      links.push_back(link);
+    }
+  }
+  return links;
+}
+
+}  // namespace dehealth

@@ -1,0 +1,49 @@
+#ifndef DEHEALTH_LINKAGE_AVATAR_LINK_H_
+#define DEHEALTH_LINKAGE_AVATAR_LINK_H_
+
+#include <vector>
+
+#include "linkage/identity_universe.h"
+
+namespace dehealth {
+
+/// One avatar-based link: a health-forum account matched (by identical
+/// profile image) to an account on a social service.
+struct AvatarLinkResult {
+  int source_account = 0;
+  int target_account = 0;
+  Service target_service = Service::kSocialA;
+  bool correct = false;  // ground truth
+};
+
+/// AvatarLink configuration (Section VI-A/B).
+struct AvatarLinkConfig {
+  /// Reject avatars shared by more than this many accounts on the target
+  /// side (stock images collide across strangers; the paper's manual
+  /// validation would throw such results out).
+  int max_image_owners = 2;
+};
+
+/// The AvatarLink tool: applies the paper's four avatar exclusion filters
+/// (default images, non-human subjects, fictitious persons, kids-only
+/// photos), then matches the remaining avatars against the target services
+/// by exact image identity — the offline stand-in for reverse image search.
+class AvatarLink {
+ public:
+  explicit AvatarLink(const IdentityUniverse& universe,
+                      AvatarLinkConfig config = {});
+
+  /// Indices of `source` accounts surviving the four exclusion conditions.
+  std::vector<int> FilterTargets(Service source) const;
+
+  /// Runs the linkage from `source` to every social service.
+  std::vector<AvatarLinkResult> Run(Service source) const;
+
+ private:
+  const IdentityUniverse& universe_;
+  AvatarLinkConfig config_;
+};
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_LINKAGE_AVATAR_LINK_H_

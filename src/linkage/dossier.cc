@@ -1,0 +1,87 @@
+#include "linkage/dossier.h"
+
+#include <map>
+#include <set>
+
+namespace dehealth {
+
+std::vector<Dossier> BuildDossiers(
+    const IdentityUniverse& universe,
+    const std::vector<NameLinkResult>& name_links,
+    const std::vector<AvatarLinkResult>& avatar_links) {
+  struct Working {
+    std::vector<int> linked;
+    std::map<int, int> person_votes;  // person id -> #avatar links
+    std::set<int> social_services;
+    bool name_linked = false;
+  };
+  std::map<int, Working> by_account;
+
+  for (const NameLinkResult& link : name_links) {
+    Working& w = by_account[link.source_account];
+    w.linked.push_back(link.target_account);
+    w.name_linked = true;
+  }
+  for (const AvatarLinkResult& link : avatar_links) {
+    Working& w = by_account[link.source_account];
+    w.linked.push_back(link.target_account);
+    w.social_services.insert(static_cast<int>(link.target_service));
+    const Account& target =
+        universe.accounts[static_cast<size_t>(link.target_account)];
+    ++w.person_votes[target.person_id];
+  }
+
+  // Directory index: person id -> has a directory record.
+  std::set<int> in_directory;
+  for (int idx : universe.AccountsOf(Service::kDirectory))
+    in_directory.insert(
+        universe.accounts[static_cast<size_t>(idx)].person_id);
+
+  std::vector<Dossier> dossiers;
+  dossiers.reserve(by_account.size());
+  for (const auto& [account_idx, w] : by_account) {
+    const Account& source =
+        universe.accounts[static_cast<size_t>(account_idx)];
+    Dossier d;
+    d.health_account = account_idx;
+    d.forum_username = source.username;
+    d.linked_accounts = w.linked;
+    d.num_social_services = static_cast<int>(w.social_services.size());
+    d.has_other_forum_history = w.name_linked;
+    d.cross_validated = w.name_linked && !w.social_services.empty();
+
+    if (!w.person_votes.empty()) {
+      // Majority person across avatar links is the claimed identity.
+      int claimed = -1, best_votes = -1;
+      for (const auto& [person, votes] : w.person_votes)
+        if (votes > best_votes) {
+          best_votes = votes;
+          claimed = person;
+        }
+      const Person& person =
+          universe.persons[static_cast<size_t>(claimed)];
+      d.full_name = person.full_name;
+      d.birth_year = person.birth_year;
+      d.city = person.city;
+      // Phone numbers come from the directory lookup step ("leveraging
+      // the Whitepage service, detailed social profiles ... obtained").
+      if (in_directory.count(claimed)) d.phone = person.phone;
+      d.identity_correct = claimed == source.person_id;
+    }
+    dossiers.push_back(std::move(d));
+  }
+  return dossiers;
+}
+
+double DossierPrecision(const std::vector<Dossier>& dossiers) {
+  int with_identity = 0, correct = 0;
+  for (const Dossier& d : dossiers) {
+    if (d.full_name.empty()) continue;
+    ++with_identity;
+    if (d.identity_correct) ++correct;
+  }
+  if (with_identity == 0) return 0.0;
+  return static_cast<double>(correct) / static_cast<double>(with_identity);
+}
+
+}  // namespace dehealth

@@ -1,0 +1,54 @@
+#ifndef DEHEALTH_LINKAGE_DOSSIER_H_
+#define DEHEALTH_LINKAGE_DOSSIER_H_
+
+#include <string>
+#include <vector>
+
+#include "linkage/avatar_link.h"
+#include "linkage/identity_universe.h"
+#include "linkage/name_link.h"
+
+namespace dehealth {
+
+/// What the attacker assembles per re-identified health-forum account
+/// (Section VI-B: "we can acquire most of the 347 users' full name,
+/// medical/health information, birthdate, phone numbers, addresses...").
+/// Identity fields are read from the *linked* public accounts, so a wrong
+/// link produces a wrong dossier — exactly like the real attack.
+struct Dossier {
+  int health_account = 0;       // index into universe.accounts
+  std::string forum_username;   // the pseudonym being de-anonymized
+
+  /// Identity claim aggregated from the linked social/directory accounts.
+  std::string full_name;
+  int birth_year = 0;
+  std::string phone;
+  std::string city;
+
+  std::vector<int> linked_accounts;  // all matched account indices
+  int num_social_services = 0;       // distinct social networks linked
+  bool has_other_forum_history = false;  // NameLink found the other forum
+  bool cross_validated = false;  // found by BOTH NameLink and AvatarLink
+
+  /// Ground truth (evaluation only): does the claimed identity belong to
+  /// the forum account's real owner?
+  bool identity_correct = false;
+};
+
+/// Merges NameLink and AvatarLink results into per-account dossiers. The
+/// claimed identity is taken by majority vote over the persons behind the
+/// avatar-linked social accounts (ties broken by the first seen), then
+/// enriched from the directory service when the claimed person has a
+/// directory record. Accounts with no avatar link but a NameLink match
+/// still get a (name-less) aggregation dossier.
+std::vector<Dossier> BuildDossiers(
+    const IdentityUniverse& universe,
+    const std::vector<NameLinkResult>& name_links,
+    const std::vector<AvatarLinkResult>& avatar_links);
+
+/// Fraction of dossiers with a claimed identity that is correct.
+double DossierPrecision(const std::vector<Dossier>& dossiers);
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_LINKAGE_DOSSIER_H_

@@ -1,0 +1,90 @@
+#include "linkage/name_link.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_map>
+
+#include "common/string_utils.h"
+
+namespace dehealth {
+
+std::string NormalizeUsername(const std::string& username) {
+  std::string out = ToLowerAscii(username);
+  // Leading underscore decorations.
+  size_t begin = 0;
+  while (begin < out.size() && out[begin] == '_') ++begin;
+  out.erase(0, begin);
+  // Trailing digits.
+  while (!out.empty() && std::isdigit(static_cast<unsigned char>(out.back())))
+    out.pop_back();
+  // Trailing single-'x' decoration (only when something remains).
+  if (out.size() > 2 && out.back() == 'x') out.pop_back();
+  return out;
+}
+
+NameLink::NameLink(const IdentityUniverse& universe, NameLinkConfig config)
+    : universe_(universe), config_(config) {
+  std::vector<std::string> corpus;
+  corpus.reserve(universe.accounts.size());
+  for (const Account& a : universe.accounts) corpus.push_back(a.username);
+  model_.Train(corpus);
+}
+
+double NameLink::EntropyBits(const std::string& username) const {
+  return model_.Bits(username);
+}
+
+std::vector<NameLinkResult> NameLink::Run(Service source,
+                                          Service target) const {
+  // Index the target service by exact and (optionally) normalized name.
+  std::unordered_map<std::string, std::vector<int>> target_index;
+  std::unordered_map<std::string, std::vector<int>> normalized_index;
+  for (int idx : universe_.AccountsOf(target)) {
+    const std::string& name =
+        universe_.accounts[static_cast<size_t>(idx)].username;
+    target_index[name].push_back(idx);
+    if (config_.allow_normalized_match)
+      normalized_index[NormalizeUsername(name)].push_back(idx);
+  }
+
+  // Rank source accounts by decreasing entropy (the paper's search order).
+  std::vector<std::pair<double, int>> ranked;
+  for (int idx : universe_.AccountsOf(source)) {
+    const Account& a = universe_.accounts[static_cast<size_t>(idx)];
+    ranked.emplace_back(model_.Bits(a.username), idx);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& x, const auto& y) { return x.first > y.first; });
+
+  std::vector<NameLinkResult> links;
+  for (const auto& [bits, src_idx] : ranked) {
+    if (bits < config_.min_entropy_bits) break;  // sorted: all below now
+    const Account& src = universe_.accounts[static_cast<size_t>(src_idx)];
+
+    const std::vector<int>* matches = nullptr;
+    auto it = target_index.find(src.username);
+    if (it != target_index.end()) {
+      matches = &it->second;
+    } else if (config_.allow_normalized_match &&
+               bits >= config_.min_entropy_bits +
+                           config_.normalized_margin) {
+      auto nit = normalized_index.find(NormalizeUsername(src.username));
+      if (nit != normalized_index.end()) matches = &nit->second;
+    }
+    if (matches == nullptr) continue;
+    if (static_cast<int>(matches->size()) > config_.max_ambiguity)
+      continue;  // too many owners: ambiguous, reject
+    for (int tgt_idx : *matches) {
+      const Account& tgt = universe_.accounts[static_cast<size_t>(tgt_idx)];
+      NameLinkResult link;
+      link.source_account = src_idx;
+      link.target_account = tgt_idx;
+      link.entropy_bits = bits;
+      link.correct = src.person_id == tgt.person_id;
+      links.push_back(link);
+    }
+  }
+  return links;
+}
+
+}  // namespace dehealth

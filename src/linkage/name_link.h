@@ -1,0 +1,68 @@
+#ifndef DEHEALTH_LINKAGE_NAME_LINK_H_
+#define DEHEALTH_LINKAGE_NAME_LINK_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linkage/identity_universe.h"
+#include "linkage/username.h"
+
+namespace dehealth {
+
+/// One username-based link: a health-forum account matched to an account on
+/// another service.
+struct NameLinkResult {
+  int source_account = 0;  // index into universe.accounts
+  int target_account = 0;
+  double entropy_bits = 0.0;  // source username surprisal
+  bool correct = false;       // ground truth: same person?
+};
+
+/// NameLink configuration (Section VI-A).
+struct NameLinkConfig {
+  /// Only usernames at or above this surprisal are trusted for linking —
+  /// the Perito et al. filter: low-entropy names are picked by many people.
+  double min_entropy_bits = 30.0;
+  /// Reject matches where more than this many distinct accounts on the
+  /// target service carry the username (ambiguity filter, stands in for
+  /// the paper's manual validation).
+  int max_ambiguity = 1;
+  /// Also match *normalized* usernames (trailing digits, leading
+  /// underscores, and trivial suffixes stripped) — catches the common
+  /// mutation habits ("jwolf6589" vs "jwolf6589x"), at lower confidence;
+  /// normalized matches demand a higher entropy bar (`+ normalized_margin`).
+  bool allow_normalized_match = false;
+  double normalized_margin = 8.0;
+};
+
+/// Normalization used for the approximate match: lowercase, strip leading
+/// '_' runs and trailing digit/'x'/"99" decorations. Exposed for testing.
+std::string NormalizeUsername(const std::string& username);
+
+/// The NameLink tool: ranks the source service's usernames by entropy
+/// (estimated from a model trained on the whole observable username corpus)
+/// and links each high-entropy username to accounts with the identical
+/// username on the target service, applying the ambiguity filter.
+class NameLink {
+ public:
+  /// Trains the entropy model on all usernames in `universe`.
+  /// The universe must outlive the tool.
+  explicit NameLink(const IdentityUniverse& universe,
+                    NameLinkConfig config = {});
+
+  /// Links accounts of `source` to accounts of `target`. `correct` in each
+  /// result is filled from ground truth for evaluation.
+  std::vector<NameLinkResult> Run(Service source, Service target) const;
+
+  /// Surprisal of a username under the trained model.
+  double EntropyBits(const std::string& username) const;
+
+ private:
+  const IdentityUniverse& universe_;
+  NameLinkConfig config_;
+  UsernameEntropyModel model_;
+};
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_LINKAGE_NAME_LINK_H_

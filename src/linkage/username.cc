@@ -1,0 +1,111 @@
+#include "linkage/username.h"
+
+#include <cmath>
+
+namespace dehealth {
+
+namespace {
+
+constexpr const char* kCommonWords[] = {
+    "butterfly", "sunshine", "shadow",  "dragon",  "flower", "angel",
+    "tiger",     "music",    "happy",   "winter",  "summer", "storm",
+    "river",     "phoenix",  "rose",    "wolf",    "star",   "moon",
+    "blue",      "silver",
+};
+
+constexpr const char* kFirstInitials = "abcdefghijklmnopqrstuvwxyz";
+
+constexpr const char* kSurnames[] = {
+    "smith",  "jones",  "brown",  "wilson", "taylor", "clark",
+    "walker", "wright", "turner", "baker",  "carter", "morris",
+    "cooper", "reed",   "bailey", "howard", "wolfe",  "hayes",
+};
+
+constexpr const char* kHandleSyllables[] = {
+    "zyx", "qua", "vex", "kro", "phi", "juk", "wiz", "trx",
+    "nyx", "gZr", "blk", "Qy",  "xv",  "zz",  "jq",  "kx",
+};
+
+}  // namespace
+
+std::string GenerateUsername(UsernameStyle style, Rng& rng) {
+  std::string name;
+  switch (style) {
+    case UsernameStyle::kCommonWord: {
+      name = kCommonWords[rng.NextBounded(sizeof(kCommonWords) /
+                                          sizeof(kCommonWords[0]))];
+      if (rng.NextBool(0.5)) {
+        const int digits = static_cast<int>(rng.NextInt(1, 2));
+        for (int d = 0; d < digits; ++d)
+          name += static_cast<char>('0' + rng.NextBounded(10));
+      }
+      break;
+    }
+    case UsernameStyle::kNameAndNumber: {
+      name += kFirstInitials[rng.NextBounded(26)];
+      name += kSurnames[rng.NextBounded(sizeof(kSurnames) /
+                                        sizeof(kSurnames[0]))];
+      const int digits = static_cast<int>(rng.NextInt(2, 4));
+      for (int d = 0; d < digits; ++d)
+        name += static_cast<char>('0' + rng.NextBounded(10));
+      break;
+    }
+    case UsernameStyle::kHandle: {
+      const int parts = static_cast<int>(rng.NextInt(2, 4));
+      for (int p = 0; p < parts; ++p)
+        name += kHandleSyllables[rng.NextBounded(
+            sizeof(kHandleSyllables) / sizeof(kHandleSyllables[0]))];
+      if (rng.NextBool(0.7)) {
+        const int digits = static_cast<int>(rng.NextInt(2, 5));
+        for (int d = 0; d < digits; ++d)
+          name += static_cast<char>('0' + rng.NextBounded(10));
+      }
+      break;
+    }
+  }
+  return name;
+}
+
+UsernameEntropyModel::UsernameEntropyModel()
+    : transition_counts_(kStates * kStates, 0.0),
+      state_totals_(kStates, 0.0) {}
+
+int UsernameEntropyModel::CharState(char c) const {
+  const int v = static_cast<unsigned char>(c);
+  if (v < 32 || v >= 127) return kStart;  // fold non-printables
+  return v - 32;
+}
+
+void UsernameEntropyModel::Train(const std::vector<std::string>& usernames) {
+  for (const std::string& name : usernames) {
+    int prev = kStart;
+    for (char c : name) {
+      const int cur = CharState(c);
+      transition_counts_[static_cast<size_t>(prev) * kStates +
+                         static_cast<size_t>(cur)] += 1.0;
+      state_totals_[static_cast<size_t>(prev)] += 1.0;
+      prev = cur;
+    }
+    if (!name.empty()) trained_ = true;
+  }
+}
+
+double UsernameEntropyModel::Bits(const std::string& username) const {
+  if (username.empty()) return 0.0;
+  double bits = 0.0;
+  int prev = kStart;
+  for (char c : username) {
+    const int cur = CharState(c);
+    const double count =
+        transition_counts_[static_cast<size_t>(prev) * kStates +
+                           static_cast<size_t>(cur)] +
+        1.0;  // add-one smoothing
+    const double total =
+        state_totals_[static_cast<size_t>(prev)] + kStates;
+    bits += -std::log2(count / total);
+    prev = cur;
+  }
+  return bits;
+}
+
+}  // namespace dehealth

@@ -1,0 +1,56 @@
+#ifndef DEHEALTH_LINKAGE_USERNAME_H_
+#define DEHEALTH_LINKAGE_USERNAME_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace dehealth {
+
+/// How distinctive a generated username is. Common-pool names ("jsmith",
+/// "butterfly") are picked independently by many people; personal names
+/// ("qwolfe6589") are effectively unique — the Perito et al. observation
+/// that drives NameLink.
+enum class UsernameStyle {
+  kCommonWord,     // dictionary word, maybe a digit or two
+  kNameAndNumber,  // initial + surname + number
+  kHandle,         // invented high-entropy handle
+};
+
+/// Generates a username in the given style.
+std::string GenerateUsername(UsernameStyle style, Rng& rng);
+
+/// Order-1 character-level Markov model over usernames, used to estimate a
+/// username's information content (bits). Mirrors the entropy estimator of
+/// Perito et al. ("How unique and traceable are usernames?"): rare
+/// character transitions => high surprisal => likely unique owner.
+class UsernameEntropyModel {
+ public:
+  UsernameEntropyModel();
+
+  /// Accumulates transition counts from a corpus of usernames.
+  void Train(const std::vector<std::string>& usernames);
+
+  /// Total surprisal −log2 P(username) under the trained model (with
+  /// add-one smoothing). Longer and weirder names score higher. Returns 0
+  /// for an empty string.
+  double Bits(const std::string& username) const;
+
+  /// True once Train has seen at least one username.
+  bool trained() const { return trained_; }
+
+ private:
+  // 96 printable-ASCII states plus a start state.
+  static constexpr int kStates = 97;
+  static constexpr int kStart = 96;
+  int CharState(char c) const;
+
+  std::vector<double> transition_counts_;  // kStates x kStates
+  std::vector<double> state_totals_;
+  bool trained_ = false;
+};
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_LINKAGE_USERNAME_H_

@@ -1,0 +1,35 @@
+#ifndef DEHEALTH_ML_CLASSIFIER_H_
+#define DEHEALTH_ML_CLASSIFIER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "ml/dataset.h"
+
+namespace dehealth {
+
+/// Common interface of the benchmark learners used in De-Health's refined-DA
+/// phase (KNN, SMO SVM, RLSC, nearest centroid).
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Trains on `data`. Fails on empty data or fewer than 2 classes
+  /// (single-class data is accepted and predicts that class).
+  virtual Status Fit(const Dataset& data) = 0;
+
+  /// Predicted label for a feature vector (dims must match training data).
+  virtual int Predict(const std::vector<double>& x) const = 0;
+
+  /// Per-class decision scores aligned with `classes()`; higher is more
+  /// confident. Used by the open-world verification schemes.
+  virtual std::vector<double> DecisionScores(
+      const std::vector<double>& x) const = 0;
+
+  /// Class labels in score order.
+  virtual const std::vector<int>& classes() const = 0;
+};
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_ML_CLASSIFIER_H_

@@ -1,0 +1,77 @@
+#include "ml/cross_validation.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "ml/metrics.h"
+
+namespace dehealth {
+
+StatusOr<std::vector<std::vector<size_t>>> KFoldIndices(size_t n, int folds,
+                                                        Rng& rng) {
+  if (folds < 2)
+    return Status::InvalidArgument("KFoldIndices: folds must be >= 2");
+  if (static_cast<size_t>(folds) > n)
+    return Status::InvalidArgument("KFoldIndices: folds exceed samples");
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  rng.Shuffle(order);
+  std::vector<std::vector<size_t>> out(static_cast<size_t>(folds));
+  for (size_t i = 0; i < n; ++i)
+    out[i % static_cast<size_t>(folds)].push_back(order[i]);
+  return out;
+}
+
+StatusOr<CrossValidationResult> CrossValidate(
+    const std::function<std::unique_ptr<Classifier>()>& make_classifier,
+    const Dataset& data, int folds, uint64_t seed) {
+  if (data.empty())
+    return Status::InvalidArgument("CrossValidate: empty dataset");
+  Rng rng(seed);
+  StatusOr<std::vector<std::vector<size_t>>> fold_indices =
+      KFoldIndices(data.size(), folds, rng);
+  if (!fold_indices.ok()) return fold_indices.status();
+
+  CrossValidationResult result;
+  for (const std::vector<size_t>& holdout : *fold_indices) {
+    std::vector<bool> held(data.size(), false);
+    for (size_t i : holdout) held[i] = true;
+
+    Dataset train(data.dims());
+    for (size_t i = 0; i < data.size(); ++i)
+      if (!held[i]) DEHEALTH_RETURN_IF_ERROR(train.Add(data[i]));
+    if (train.empty())
+      return Status::FailedPrecondition("CrossValidate: empty train fold");
+
+    StandardScaler scaler;
+    DEHEALTH_RETURN_IF_ERROR(scaler.Fit(train));
+    const Dataset scaled = scaler.TransformDataset(train);
+
+    std::unique_ptr<Classifier> model = make_classifier();
+    if (model == nullptr)
+      return Status::InvalidArgument("CrossValidate: null classifier");
+    DEHEALTH_RETURN_IF_ERROR(model->Fit(scaled));
+
+    std::vector<int> predicted, expected;
+    for (size_t i : holdout) {
+      predicted.push_back(model->Predict(scaler.Transform(data[i].features)));
+      expected.push_back(data[i].label);
+    }
+    result.fold_accuracies.push_back(Accuracy(predicted, expected));
+  }
+
+  double sum = 0.0;
+  for (double a : result.fold_accuracies) sum += a;
+  result.mean_accuracy =
+      sum / static_cast<double>(result.fold_accuracies.size());
+  double var = 0.0;
+  for (double a : result.fold_accuracies) {
+    const double d = a - result.mean_accuracy;
+    var += d * d;
+  }
+  result.stddev_accuracy = std::sqrt(
+      var / static_cast<double>(result.fold_accuracies.size()));
+  return result;
+}
+
+}  // namespace dehealth

@@ -1,0 +1,35 @@
+#ifndef DEHEALTH_ML_CROSS_VALIDATION_H_
+#define DEHEALTH_ML_CROSS_VALIDATION_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "ml/classifier.h"
+
+namespace dehealth {
+
+/// Shuffled k-fold split: returns `folds` index lists that partition
+/// [0, n). Sizes differ by at most one. Requires 2 <= folds <= n.
+StatusOr<std::vector<std::vector<size_t>>> KFoldIndices(size_t n, int folds,
+                                                        Rng& rng);
+
+/// Result of a cross-validation run.
+struct CrossValidationResult {
+  double mean_accuracy = 0.0;
+  double stddev_accuracy = 0.0;
+  std::vector<double> fold_accuracies;
+};
+
+/// K-fold cross-validation of a classifier family: `make_classifier` is
+/// invoked once per fold (fresh model), trained on the out-of-fold samples
+/// (standard-scaled) and scored on the held-out fold. Deterministic in
+/// `seed`. Fails on invalid folds, empty data, or classifier errors.
+StatusOr<CrossValidationResult> CrossValidate(
+    const std::function<std::unique_ptr<Classifier>()>& make_classifier,
+    const Dataset& data, int folds, uint64_t seed);
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_ML_CROSS_VALIDATION_H_

@@ -1,0 +1,69 @@
+#ifndef DEHEALTH_ML_DATASET_H_
+#define DEHEALTH_ML_DATASET_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dehealth {
+
+/// One labeled training/testing instance.
+struct Sample {
+  std::vector<double> features;
+  int label = 0;
+};
+
+/// A labeled dataset with a fixed feature dimensionality.
+class Dataset {
+ public:
+  Dataset() = default;
+  explicit Dataset(size_t dims) : dims_(dims) {}
+
+  /// Appends a sample; its feature size must match dims() (the first Add on
+  /// a default-constructed dataset fixes the dimensionality).
+  Status Add(Sample sample);
+
+  size_t size() const { return samples_.size(); }
+  size_t dims() const { return dims_; }
+  bool empty() const { return samples_.empty(); }
+
+  const Sample& operator[](size_t i) const { return samples_[i]; }
+  const std::vector<Sample>& samples() const { return samples_; }
+
+  /// Distinct labels, sorted ascending.
+  std::vector<int> Labels() const;
+
+ private:
+  size_t dims_ = 0;
+  std::vector<Sample> samples_;
+};
+
+/// Fits mean/stddev on a dataset and standardizes features to zero mean and
+/// unit variance (constant features pass through unchanged). The same
+/// transform must be applied to test points.
+class StandardScaler {
+ public:
+  StandardScaler() = default;
+
+  /// Learns per-dimension mean and stddev. Fails on an empty dataset.
+  Status Fit(const Dataset& data);
+
+  /// (x - mean) / stddev per dimension. `x` must match the fitted dims.
+  std::vector<double> Transform(const std::vector<double>& x) const;
+
+  /// Transforms a whole dataset (labels preserved).
+  Dataset TransformDataset(const Dataset& data) const;
+
+  bool fitted() const { return !mean_.empty(); }
+  const std::vector<double>& mean() const { return mean_; }
+  const std::vector<double>& stddev() const { return stddev_; }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> stddev_;
+};
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_ML_DATASET_H_

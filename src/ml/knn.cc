@@ -1,0 +1,57 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+
+#include "ml/linalg.h"
+
+namespace dehealth {
+
+KnnClassifier::KnnClassifier(int k) : k_(k) { assert(k >= 1); }
+
+Status KnnClassifier::Fit(const Dataset& data) {
+  if (data.empty())
+    return Status::InvalidArgument("KnnClassifier::Fit: empty dataset");
+  train_ = data;
+  classes_ = data.Labels();
+  if (k_ > static_cast<int>(train_.size()))
+    k_ = static_cast<int>(train_.size());
+  return Status::OK();
+}
+
+std::vector<double> KnnClassifier::DecisionScores(
+    const std::vector<double>& x) const {
+  assert(!train_.empty() && x.size() == train_.dims());
+  // Distances to all training points; take the k nearest.
+  std::vector<std::pair<double, int>> dist_label;
+  dist_label.reserve(train_.size());
+  for (const Sample& s : train_.samples())
+    dist_label.emplace_back(EuclideanDistance(x, s.features), s.label);
+  const size_t k = static_cast<size_t>(k_);
+  std::partial_sort(dist_label.begin(), dist_label.begin() + k,
+                    dist_label.end());
+
+  // Inverse-distance-weighted votes per class.
+  std::map<int, double> votes;
+  for (size_t i = 0; i < k; ++i) {
+    const double w = 1.0 / (1e-9 + dist_label[i].first);
+    votes[dist_label[i].second] += w;
+  }
+  std::vector<double> scores(classes_.size(), 0.0);
+  for (size_t c = 0; c < classes_.size(); ++c) {
+    auto it = votes.find(classes_[c]);
+    if (it != votes.end()) scores[c] = it->second;
+  }
+  return scores;
+}
+
+int KnnClassifier::Predict(const std::vector<double>& x) const {
+  const std::vector<double> scores = DecisionScores(x);
+  size_t best = 0;
+  for (size_t c = 1; c < scores.size(); ++c)
+    if (scores[c] > scores[best]) best = c;
+  return classes_[best];
+}
+
+}  // namespace dehealth

@@ -1,0 +1,48 @@
+#include "ml/nearest_centroid.h"
+
+#include <cassert>
+#include <unordered_map>
+
+#include "ml/linalg.h"
+
+namespace dehealth {
+
+Status NearestCentroidClassifier::Fit(const Dataset& data) {
+  if (data.empty())
+    return Status::InvalidArgument(
+        "NearestCentroidClassifier::Fit: empty dataset");
+  classes_ = data.Labels();
+  centroids_.assign(classes_.size(),
+                    std::vector<double>(data.dims(), 0.0));
+  std::unordered_map<int, size_t> class_index;
+  for (size_t c = 0; c < classes_.size(); ++c) class_index[classes_[c]] = c;
+  std::vector<int> counts(classes_.size(), 0);
+  for (const Sample& s : data.samples()) {
+    const size_t c = class_index[s.label];
+    ++counts[c];
+    for (size_t j = 0; j < data.dims(); ++j)
+      centroids_[c][j] += s.features[j];
+  }
+  for (size_t c = 0; c < classes_.size(); ++c)
+    for (double& v : centroids_[c]) v /= counts[c];
+  return Status::OK();
+}
+
+std::vector<double> NearestCentroidClassifier::DecisionScores(
+    const std::vector<double>& x) const {
+  assert(!centroids_.empty());
+  std::vector<double> scores(classes_.size());
+  for (size_t c = 0; c < classes_.size(); ++c)
+    scores[c] = -EuclideanDistance(x, centroids_[c]);
+  return scores;
+}
+
+int NearestCentroidClassifier::Predict(const std::vector<double>& x) const {
+  const std::vector<double> scores = DecisionScores(x);
+  size_t best = 0;
+  for (size_t c = 1; c < scores.size(); ++c)
+    if (scores[c] > scores[best]) best = c;
+  return classes_[best];
+}
+
+}  // namespace dehealth

@@ -1,0 +1,34 @@
+#ifndef DEHEALTH_ML_NEAREST_CENTROID_H_
+#define DEHEALTH_ML_NEAREST_CENTROID_H_
+
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace dehealth {
+
+/// Nearest-centroid ("NN" in the paper's list of benchmark learners in its
+/// user-level form): each class is summarized by its mean feature vector and
+/// a query is assigned to the closest centroid. Scores are negated Euclidean
+/// distances so "higher is better" holds.
+class NearestCentroidClassifier : public Classifier {
+ public:
+  NearestCentroidClassifier() = default;
+
+  Status Fit(const Dataset& data) override;
+  int Predict(const std::vector<double>& x) const override;
+  std::vector<double> DecisionScores(
+      const std::vector<double>& x) const override;
+  const std::vector<int>& classes() const override { return classes_; }
+
+  /// The learned centroid of classes()[i].
+  const std::vector<double>& Centroid(size_t i) const { return centroids_[i]; }
+
+ private:
+  std::vector<int> classes_;
+  std::vector<std::vector<double>> centroids_;
+};
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_ML_NEAREST_CENTROID_H_

@@ -1,0 +1,242 @@
+#include "stylo/extractor.h"
+
+#include <cctype>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+
+#include "common/string_utils.h"
+#include "stylo/feature_layout.h"
+#include "text/lexicon.h"
+#include "text/tokenizer.h"
+
+namespace dehealth {
+
+namespace fl = feature_layout;
+
+double YulesK(const std::vector<int>& type_counts) {
+  long long n = 0;
+  std::unordered_map<int, int> v;  // occurrences -> number of types
+  for (int c : type_counts) {
+    if (c <= 0) continue;
+    n += c;
+    ++v[c];
+  }
+  if (n < 1) return 0.0;
+  double sum_i2_vi = 0.0;
+  for (const auto& [i, vi] : v)
+    sum_i2_vi += static_cast<double>(i) * i * vi;
+  const double nd = static_cast<double>(n);
+  return 1e4 * (sum_i2_vi - nd) / (nd * nd);
+}
+
+namespace {
+
+int ShapeBandOffset(WordShape shape) {
+  switch (shape) {
+    case WordShape::kAllUpper: return 0;
+    case WordShape::kAllLower: return 1;
+    case WordShape::kFirstUpper: return 2;
+    case WordShape::kCamel: return 3;
+    case WordShape::kOther: return -1;
+  }
+  return -1;
+}
+
+}  // namespace
+
+SparseVector FeatureExtractor::ExtractPost(std::string_view text) const {
+  SparseVector f;
+  if (text.empty()) return f;
+
+  const std::vector<Token> tokens = Tokenize(text);
+  std::vector<const Token*> word_tokens;
+  for (const Token& t : tokens)
+    if (t.kind == TokenKind::kWord) word_tokens.push_back(&t);
+  const double num_words = static_cast<double>(word_tokens.size());
+
+  // ---- Length features ----
+  const double num_chars = static_cast<double>(text.size());
+  f.Set(fl::kNumChars, num_chars);
+  f.Set(fl::kNumParagraphs,
+        static_cast<double>(SplitParagraphs(text).size()));
+  if (num_words > 0) {
+    double total_word_chars = 0;
+    for (const Token* w : word_tokens)
+      total_word_chars += static_cast<double>(w->text.size());
+    f.Set(fl::kAvgCharsPerWord, total_word_chars / num_words);
+  }
+
+  // ---- Word length frequencies (1..20) ----
+  if (num_words > 0) {
+    int length_counts[fl::kNumWordLengths] = {};
+    for (const Token* w : word_tokens) {
+      int len = static_cast<int>(w->text.size());
+      if (len >= 1) {
+        if (len > fl::kNumWordLengths) len = fl::kNumWordLengths;
+        ++length_counts[len - 1];
+      }
+    }
+    for (int i = 0; i < fl::kNumWordLengths; ++i)
+      if (length_counts[i] > 0)
+        f.Set(fl::kWordLengthBase + i, length_counts[i] / num_words);
+  }
+
+  // ---- Vocabulary richness ----
+  if (num_words > 0) {
+    std::unordered_map<std::string, int> type_count;
+    for (const Token* w : word_tokens) ++type_count[ToLowerAscii(w->text)];
+    std::vector<int> counts;
+    counts.reserve(type_count.size());
+    int legomena[4] = {};  // types occurring exactly 1..4 times
+    for (const auto& [word, c] : type_count) {
+      counts.push_back(c);
+      if (c >= 1 && c <= 4) ++legomena[c - 1];
+    }
+    f.Set(fl::kYulesK, YulesK(counts));
+    const double num_types = static_cast<double>(type_count.size());
+    if (legomena[0] > 0) f.Set(fl::kHapaxLegomena, legomena[0] / num_types);
+    if (legomena[1] > 0) f.Set(fl::kDisLegomena, legomena[1] / num_types);
+    if (legomena[2] > 0) f.Set(fl::kTrisLegomena, legomena[2] / num_types);
+    if (legomena[3] > 0)
+      f.Set(fl::kTetrakisLegomena, legomena[3] / num_types);
+  }
+
+  // ---- Character-class frequencies ----
+  int letter_counts[26] = {};
+  int digit_counts[10] = {};
+  int special_counts[fl::kNumSpecialChars] = {};
+  int punct_counts[fl::kNumPunctuation] = {};
+  int total_letters = 0, total_upper = 0;
+  const char* specials = fl::SpecialCharSet();
+  const char* puncts = fl::PunctuationSet();
+  for (char c : text) {
+    const auto uc = static_cast<unsigned char>(c);
+    if (std::isalpha(uc)) {
+      ++total_letters;
+      if (std::isupper(uc)) ++total_upper;
+      ++letter_counts[std::tolower(uc) - 'a'];
+    } else if (std::isdigit(uc)) {
+      ++digit_counts[c - '0'];
+    } else {
+      if (const char* p = std::strchr(specials, c); p && *p)
+        ++special_counts[p - specials];
+      if (const char* p = std::strchr(puncts, c); p && *p)
+        ++punct_counts[p - puncts];
+    }
+  }
+  if (total_letters > 0) {
+    for (int i = 0; i < 26; ++i)
+      if (letter_counts[i] > 0)
+        f.Set(fl::kLetterBase + i, letter_counts[i] /
+                                       static_cast<double>(total_letters));
+    f.Set(fl::kUppercasePct,
+          total_upper / static_cast<double>(total_letters));
+  }
+  for (int i = 0; i < 10; ++i)
+    if (digit_counts[i] > 0)
+      f.Set(fl::kDigitBase + i, digit_counts[i] / num_chars);
+  for (int i = 0; i < fl::kNumSpecialChars; ++i)
+    if (special_counts[i] > 0)
+      f.Set(fl::kSpecialCharBase + i, special_counts[i] / num_chars);
+  for (int i = 0; i < fl::kNumPunctuation; ++i)
+    if (punct_counts[i] > 0)
+      f.Set(fl::kPunctuationBase + i, punct_counts[i] / num_chars);
+
+  // ---- Word shape ----
+  if (num_words > 0) {
+    int shape_counts[5] = {};  // upper, lower, first, camel, other
+    int band_counts[3][4] = {};
+    int apostrophe_words = 0, transitions = 0, brand_words = 0;
+    WordShape prev_shape = WordShape::kOther;
+    bool have_prev = false;
+    for (const Token* w : word_tokens) {
+      const WordShape shape = ClassifyWordShape(w->text);
+      const int off = ShapeBandOffset(shape);
+      if (off >= 0) {
+        ++shape_counts[off];
+        const size_t len = w->text.size();
+        const int band = len <= 3 ? 0 : (len <= 6 ? 1 : 2);
+        ++band_counts[band][off];
+      } else {
+        ++shape_counts[4];
+      }
+      if (w->text.find('\'') != std::string::npos) ++apostrophe_words;
+      if (shape == WordShape::kAllUpper || shape == WordShape::kCamel)
+        ++brand_words;
+      if (have_prev && shape != prev_shape) ++transitions;
+      prev_shape = shape;
+      have_prev = true;
+    }
+    const int shape_ids[4] = {fl::kShapeAllUpper, fl::kShapeAllLower,
+                              fl::kShapeFirstUpper, fl::kShapeCamel};
+    for (int i = 0; i < 4; ++i)
+      if (shape_counts[i] > 0)
+        f.Set(shape_ids[i], shape_counts[i] / num_words);
+    if (shape_counts[4] > 0) f.Set(fl::kShapeOther, shape_counts[4] / num_words);
+    const int band_bases[3] = {fl::kShapeShortBase, fl::kShapeMediumBase,
+                               fl::kShapeLongBase};
+    for (int b = 0; b < 3; ++b)
+      for (int i = 0; i < 4; ++i)
+        if (band_counts[b][i] > 0)
+          f.Set(band_bases[b] + i, band_counts[b][i] / num_words);
+    if (apostrophe_words > 0)
+      f.Set(fl::kShapeApostropheRate, apostrophe_words / num_words);
+    if (transitions > 0 && word_tokens.size() > 1)
+      f.Set(fl::kShapeTransitionRate,
+            transitions / static_cast<double>(word_tokens.size() - 1));
+    if (brand_words > 0) f.Set(fl::kShapeBrandRate, brand_words / num_words);
+    // Sentence-initial capitalization rate.
+    const auto sentences = SplitSentences(text);
+    if (!sentences.empty()) {
+      int capped = 0;
+      for (const auto& s : sentences) {
+        for (char c : s) {
+          const auto uc = static_cast<unsigned char>(c);
+          if (std::isalpha(uc)) {
+            if (std::isupper(uc)) ++capped;
+            break;
+          }
+        }
+      }
+      if (capped > 0)
+        f.Set(fl::kShapeSentenceInitialCap,
+              capped / static_cast<double>(sentences.size()));
+    }
+  }
+
+  // ---- Function words & misspellings ----
+  if (num_words > 0) {
+    std::unordered_map<int, int> fw_counts, ms_counts;
+    for (const Token* w : word_tokens) {
+      const std::string lower = ToLowerAscii(w->text);
+      if (int idx = FunctionWordIndex(lower); idx >= 0) ++fw_counts[idx];
+      if (int idx = MisspellingIndex(lower); idx >= 0) ++ms_counts[idx];
+    }
+    for (const auto& [idx, c] : fw_counts)
+      f.Set(fl::kFunctionWordBase + idx, c / num_words);
+    for (const auto& [idx, c] : ms_counts)
+      f.Set(fl::kMisspellingBase + idx, c / num_words);
+  }
+
+  // ---- POS tags & bigrams ----
+  const std::vector<PosTag> tags = tagger_.Tag(tokens);
+  if (!tags.empty()) {
+    std::unordered_map<int, int> tag_counts, bigram_counts;
+    for (PosTag t : tags) ++tag_counts[static_cast<int>(t)];
+    for (size_t i = 1; i < tags.size(); ++i)
+      ++bigram_counts[PosBigramId(tags[i - 1], tags[i])];
+    const double num_tags = static_cast<double>(tags.size());
+    for (const auto& [t, c] : tag_counts)
+      f.Set(fl::kPosTagBase + t, c / num_tags);
+    if (tags.size() > 1) {
+      const double num_bigrams = static_cast<double>(tags.size() - 1);
+      for (const auto& [b, c] : bigram_counts)
+        f.Set(fl::kPosBigramBase + b, c / num_bigrams);
+    }
+  }
+
+  return f;
+}
+
+}  // namespace dehealth

@@ -1,0 +1,38 @@
+#ifndef DEHEALTH_STYLO_EXTRACTOR_H_
+#define DEHEALTH_STYLO_EXTRACTOR_H_
+
+#include <string_view>
+
+#include "stylo/feature_vector.h"
+#include "text/pos_tagger.h"
+
+namespace dehealth {
+
+/// Extracts the Table-I stylometric feature vector of a single post.
+///
+/// All frequency features are relative (normalized by the relevant token or
+/// character count), so posts of different lengths are comparable; Yule's K
+/// follows the classical 10^4-scaled definition. A feature that does not
+/// occur in the post is simply absent from the sparse vector — this is
+/// exactly the paper's attribute semantics ("0 implies that this post does
+/// not have the corresponding feature").
+class FeatureExtractor {
+ public:
+  FeatureExtractor() = default;
+
+  /// Extracts the per-post feature vector, indexed by `feature_layout` ids.
+  SparseVector ExtractPost(std::string_view text) const;
+
+ private:
+  PosTagger tagger_;
+};
+
+/// Yule's characteristic K for a token stream described by `type_counts`
+/// (the number of occurrences of each distinct word). K = 1e4 *
+/// (sum_i i^2*V_i - N) / N^2, where V_i is the number of types occurring i
+/// times and N the token count. Returns 0 for N < 1.
+double YulesK(const std::vector<int>& type_counts);
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_STYLO_EXTRACTOR_H_

@@ -1,0 +1,115 @@
+#include "stylo/feature_layout.h"
+
+#include "common/string_utils.h"
+#include "text/lexicon.h"
+
+namespace dehealth {
+namespace feature_layout {
+
+namespace {
+// 21 tracked special characters. '-' lives here (not in punctuation).
+constexpr char kSpecialChars[] = "@#$%^&*_+=/\\|<>~[]{}-";
+static_assert(sizeof(kSpecialChars) - 1 == kNumSpecialChars,
+              "special char set must have 21 entries");
+
+constexpr char kPunctuationChars[] = ".,;:!?'\"()";
+static_assert(sizeof(kPunctuationChars) - 1 == kNumPunctuation,
+              "punctuation set must have 10 entries");
+
+const char* ShapeBandName(int offset) {
+  switch (offset) {
+    case 0: return "all_upper";
+    case 1: return "all_lower";
+    case 2: return "first_upper";
+    case 3: return "camel";
+    default: return "?";
+  }
+}
+}  // namespace
+
+const char* SpecialCharSet() { return kSpecialChars; }
+const char* PunctuationSet() { return kPunctuationChars; }
+
+std::string FeatureName(int id) {
+  if (id < 0 || id >= kTotalFeatures) return "invalid";
+  switch (id) {
+    case kNumChars: return "length[num_chars]";
+    case kNumParagraphs: return "length[num_paragraphs]";
+    case kAvgCharsPerWord: return "length[avg_chars_per_word]";
+    case kYulesK: return "vocab[yules_k]";
+    case kHapaxLegomena: return "vocab[hapax_legomena]";
+    case kDisLegomena: return "vocab[dis_legomena]";
+    case kTrisLegomena: return "vocab[tris_legomena]";
+    case kTetrakisLegomena: return "vocab[tetrakis_legomena]";
+    case kUppercasePct: return "uppercase_pct";
+    case kShapeAllUpper: return "word_shape[all_upper]";
+    case kShapeAllLower: return "word_shape[all_lower]";
+    case kShapeFirstUpper: return "word_shape[first_upper]";
+    case kShapeCamel: return "word_shape[camel]";
+    case kShapeOther: return "word_shape[other]";
+    case kShapeApostropheRate: return "word_shape[apostrophe_rate]";
+    case kShapeTransitionRate: return "word_shape[transition_rate]";
+    case kShapeBrandRate: return "word_shape[brand_rate]";
+    case kShapeSentenceInitialCap:
+      return "word_shape[sentence_initial_cap]";
+    default: break;
+  }
+  if (id >= kWordLengthBase && id < kWordLengthBase + kNumWordLengths)
+    return StrFormat("word_length[%d]", id - kWordLengthBase + 1);
+  if (id >= kLetterBase && id < kLetterBase + 26)
+    return StrFormat("letter_freq[%c]", 'a' + (id - kLetterBase));
+  if (id >= kDigitBase && id < kDigitBase + 10)
+    return StrFormat("digit_freq[%c]", '0' + (id - kDigitBase));
+  if (id >= kSpecialCharBase && id < kSpecialCharBase + kNumSpecialChars)
+    return StrFormat("special_char[%c]", kSpecialChars[id - kSpecialCharBase]);
+  if (id >= kShapeShortBase && id < kShapeShortBase + 4)
+    return StrFormat("word_shape[short:%s]", ShapeBandName(id - kShapeShortBase));
+  if (id >= kShapeMediumBase && id < kShapeMediumBase + 4)
+    return StrFormat("word_shape[medium:%s]",
+                     ShapeBandName(id - kShapeMediumBase));
+  if (id >= kShapeLongBase && id < kShapeLongBase + 4)
+    return StrFormat("word_shape[long:%s]", ShapeBandName(id - kShapeLongBase));
+  if (id >= kPunctuationBase && id < kPunctuationBase + kNumPunctuation)
+    return StrFormat("punctuation[%c]",
+                     kPunctuationChars[id - kPunctuationBase]);
+  if (id >= kFunctionWordBase && id < kFunctionWordBase + kNumFunctionWords)
+    return StrFormat(
+        "function_word[%s]",
+        FunctionWordLexicon()[static_cast<size_t>(id - kFunctionWordBase)]
+            .c_str());
+  if (id >= kPosTagBase && id < kPosTagBase + kNumPosTags)
+    return StrFormat("pos_tag[%s]",
+                     PosTagName(static_cast<PosTag>(id - kPosTagBase)));
+  if (id >= kPosBigramBase && id < kPosBigramBase + kNumPosBigrams) {
+    const int bigram = id - kPosBigramBase;
+    return StrFormat("pos_bigram[%s,%s]",
+                     PosTagName(static_cast<PosTag>(bigram / kNumPosTags)),
+                     PosTagName(static_cast<PosTag>(bigram % kNumPosTags)));
+  }
+  if (id >= kMisspellingBase && id < kMisspellingBase + kNumMisspellings)
+    return StrFormat(
+        "misspelling[%s]",
+        MisspellingLexicon()[static_cast<size_t>(id - kMisspellingBase)]
+            .c_str());
+  return "invalid";
+}
+
+const char* FeatureCategory(int id) {
+  if (id < 0 || id >= kTotalFeatures) return "invalid";
+  if (id <= kAvgCharsPerWord) return "length";
+  if (id < kWordLengthBase + kNumWordLengths) return "word_length";
+  if (id <= kTetrakisLegomena) return "vocabulary_richness";
+  if (id < kLetterBase + 26) return "letter_freq";
+  if (id < kDigitBase + 10) return "digit_freq";
+  if (id == kUppercasePct) return "uppercase_pct";
+  if (id < kSpecialCharBase + kNumSpecialChars) return "special_chars";
+  if (id < kPunctuationBase) return "word_shape";
+  if (id < kPunctuationBase + kNumPunctuation) return "punctuation";
+  if (id < kFunctionWordBase + kNumFunctionWords) return "function_words";
+  if (id < kPosTagBase + kNumPosTags) return "pos_tags";
+  if (id < kPosBigramBase + kNumPosBigrams) return "pos_bigrams";
+  return "misspellings";
+}
+
+}  // namespace feature_layout
+}  // namespace dehealth

@@ -1,0 +1,115 @@
+#ifndef DEHEALTH_STYLO_FEATURE_LAYOUT_H_
+#define DEHEALTH_STYLO_FEATURE_LAYOUT_H_
+
+#include <string>
+
+#include "text/pos_tagger.h"
+
+namespace dehealth {
+
+/// Fixed, global id layout of the Table-I stylometric feature space F.
+/// Every post's sparse feature vector and every user attribute A_i indexes
+/// into this layout; ids are stable across runs, which makes generated data,
+/// tests, and benches reproducible.
+///
+/// Category sizes follow Table I of the paper:
+///   Length 3, Word length 20, Vocabulary richness 5, Letter freq 26,
+///   Digit freq 10, Uppercase percentage 1, Special characters 21,
+///   Word shape 21, Punctuation freq 10, Function words 337,
+///   POS tags (our tagset: 32), POS tag bigrams (32^2 = 1024),
+///   Misspelled words 248.
+namespace feature_layout {
+
+// --- Length (3) ---
+inline constexpr int kNumChars = 0;          // total characters
+inline constexpr int kNumParagraphs = 1;     // paragraph count
+inline constexpr int kAvgCharsPerWord = 2;   // mean word length
+
+// --- Word length frequencies (20): words of length 1..20 ---
+inline constexpr int kWordLengthBase = 3;
+inline constexpr int kNumWordLengths = 20;
+
+// --- Vocabulary richness (5) ---
+inline constexpr int kYulesK = 23;
+inline constexpr int kHapaxLegomena = 24;     // fraction of words used once
+inline constexpr int kDisLegomena = 25;       // ... twice
+inline constexpr int kTrisLegomena = 26;      // ... three times
+inline constexpr int kTetrakisLegomena = 27;  // ... four times
+
+// --- Letter frequencies (26): 'a'..'z', case-folded ---
+inline constexpr int kLetterBase = 28;
+
+// --- Digit frequencies (10): '0'..'9' ---
+inline constexpr int kDigitBase = 54;
+
+// --- Uppercase letter percentage (1) ---
+inline constexpr int kUppercasePct = 64;
+
+// --- Special character frequencies (21) ---
+inline constexpr int kSpecialCharBase = 65;
+inline constexpr int kNumSpecialChars = 21;
+/// The tracked special characters, in id order.
+const char* SpecialCharSet();  // returns a 21-char string
+
+// --- Word shape (21) ---
+// 4 global shape fractions, 1 "other" fraction, 4 shape fractions within
+// each of three length bands (short <=3, medium 4-6, long >=7), apostrophe
+// rate, shape-transition rate, brand-shape rate, sentence-initial
+// capitalization rate. Total = 4+1+12+1+1+1+1 = 21.
+inline constexpr int kShapeBase = 86;
+inline constexpr int kShapeAllUpper = 86;
+inline constexpr int kShapeAllLower = 87;
+inline constexpr int kShapeFirstUpper = 88;
+inline constexpr int kShapeCamel = 89;
+inline constexpr int kShapeOther = 90;
+inline constexpr int kShapeShortBase = 91;   // 4: upper/lower/first/camel
+inline constexpr int kShapeMediumBase = 95;  // 4
+inline constexpr int kShapeLongBase = 99;    // 4
+inline constexpr int kShapeApostropheRate = 103;
+inline constexpr int kShapeTransitionRate = 104;
+inline constexpr int kShapeBrandRate = 105;  // all-upper or camel
+inline constexpr int kShapeSentenceInitialCap = 106;
+
+// --- Punctuation frequencies (10) ---
+inline constexpr int kPunctuationBase = 107;
+inline constexpr int kNumPunctuation = 10;
+/// The tracked punctuation characters, in id order: . , ; : ! ? ' " ( )
+const char* PunctuationSet();  // returns a 10-char string
+
+// --- Function words (337) ---
+inline constexpr int kFunctionWordBase = 117;
+inline constexpr int kNumFunctionWords = 337;
+
+// --- POS tag frequencies ---
+inline constexpr int kPosTagBase = 454;  // + kNumPosTags entries
+
+// --- POS tag bigram frequencies ---
+inline constexpr int kPosBigramBase = kPosTagBase + kNumPosTags;  // 486
+
+// --- Misspellings (248) ---
+inline constexpr int kMisspellingBase = kPosBigramBase + kNumPosBigrams;
+inline constexpr int kNumMisspellings = 248;
+
+/// Total dimensionality M of the feature space.
+inline constexpr int kTotalFeatures = kMisspellingBase + kNumMisspellings;
+
+static_assert(kPosBigramBase == 486, "layout drift");
+static_assert(kMisspellingBase == 1510, "layout drift");
+static_assert(kTotalFeatures == 1758, "layout drift");
+
+/// Human-readable name for a feature id, e.g. "letter_freq[e]",
+/// "function_word[because]", "pos_bigram[DT,NN]". Returns "invalid" for ids
+/// outside [0, kTotalFeatures).
+std::string FeatureName(int id);
+
+/// Coarse Table-I category of a feature id ("length", "word_length",
+/// "vocabulary_richness", "letter_freq", "digit_freq", "uppercase_pct",
+/// "special_chars", "word_shape", "punctuation", "function_words",
+/// "pos_tags", "pos_bigrams", "misspellings").
+const char* FeatureCategory(int id);
+
+}  // namespace feature_layout
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_STYLO_FEATURE_LAYOUT_H_

@@ -1,0 +1,48 @@
+#include "stylo/feature_mask.h"
+
+#include <algorithm>
+
+#include "stylo/feature_layout.h"
+
+namespace dehealth {
+
+const std::vector<std::string>& AllFeatureCategories() {
+  static const auto& categories = *new std::vector<std::string>{
+      "length",        "word_length",    "vocabulary_richness",
+      "letter_freq",   "digit_freq",     "uppercase_pct",
+      "special_chars", "word_shape",     "punctuation",
+      "function_words", "pos_tags",      "pos_bigrams",
+      "misspellings",
+  };
+  return categories;
+}
+
+namespace {
+
+bool Contains(const std::vector<std::string>& list, const char* value) {
+  return std::find(list.begin(), list.end(), value) != list.end();
+}
+
+SparseVector Filter(const SparseVector& v,
+                    const std::vector<std::string>& categories, bool keep) {
+  SparseVector out;
+  for (const auto& [id, value] : v.entries()) {
+    const bool in_set = Contains(categories, feature_layout::FeatureCategory(id));
+    if (in_set == keep) out.Set(id, value);
+  }
+  return out;
+}
+
+}  // namespace
+
+SparseVector KeepCategories(const SparseVector& v,
+                            const std::vector<std::string>& categories) {
+  return Filter(v, categories, /*keep=*/true);
+}
+
+SparseVector DropCategories(const SparseVector& v,
+                            const std::vector<std::string>& categories) {
+  return Filter(v, categories, /*keep=*/false);
+}
+
+}  // namespace dehealth

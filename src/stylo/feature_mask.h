@@ -1,0 +1,29 @@
+#ifndef DEHEALTH_STYLO_FEATURE_MASK_H_
+#define DEHEALTH_STYLO_FEATURE_MASK_H_
+
+#include <string>
+#include <vector>
+
+#include "stylo/feature_vector.h"
+
+namespace dehealth {
+
+/// Utilities for feature-category ablations ("which features are more
+/// effective in de-anonymizing online health data" — the paper's stated
+/// future work, exercised by bench_feature_ablation).
+
+/// All Table-I category labels, in layout order.
+const std::vector<std::string>& AllFeatureCategories();
+
+/// Returns a copy of `v` containing only features whose category is in
+/// `categories`. Unknown category names are ignored.
+SparseVector KeepCategories(const SparseVector& v,
+                            const std::vector<std::string>& categories);
+
+/// Returns a copy of `v` with all features of the given categories removed.
+SparseVector DropCategories(const SparseVector& v,
+                            const std::vector<std::string>& categories);
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_STYLO_FEATURE_MASK_H_

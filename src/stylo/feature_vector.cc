@@ -1,0 +1,105 @@
+#include "stylo/feature_vector.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dehealth {
+
+namespace {
+
+// Finds the entry for `id` in a sorted pair vector.
+auto FindEntry(std::vector<std::pair<int, double>>& v, int id) {
+  return std::lower_bound(
+      v.begin(), v.end(), id,
+      [](const std::pair<int, double>& e, int key) { return e.first < key; });
+}
+
+auto FindEntryConst(const std::vector<std::pair<int, double>>& v, int id) {
+  return std::lower_bound(
+      v.begin(), v.end(), id,
+      [](const std::pair<int, double>& e, int key) { return e.first < key; });
+}
+
+}  // namespace
+
+void SparseVector::Set(int id, double value) {
+  auto it = FindEntry(entries_, id);
+  if (it != entries_.end() && it->first == id) {
+    if (value == 0.0) {
+      entries_.erase(it);
+    } else {
+      it->second = value;
+    }
+  } else if (value != 0.0) {
+    entries_.insert(it, {id, value});
+  }
+}
+
+void SparseVector::Add(int id, double delta) {
+  if (delta == 0.0) return;
+  auto it = FindEntry(entries_, id);
+  if (it != entries_.end() && it->first == id) {
+    it->second += delta;
+    if (it->second == 0.0) entries_.erase(it);
+  } else {
+    entries_.insert(it, {id, delta});
+  }
+}
+
+double SparseVector::Get(int id) const {
+  auto it = FindEntryConst(entries_, id);
+  if (it != entries_.end() && it->first == id) return it->second;
+  return 0.0;
+}
+
+double SparseVector::Dot(const SparseVector& other) const {
+  double acc = 0.0;
+  auto a = entries_.begin();
+  auto b = other.entries_.begin();
+  while (a != entries_.end() && b != other.entries_.end()) {
+    if (a->first < b->first) {
+      ++a;
+    } else if (b->first < a->first) {
+      ++b;
+    } else {
+      acc += a->second * b->second;
+      ++a;
+      ++b;
+    }
+  }
+  return acc;
+}
+
+double SparseVector::Norm() const {
+  double acc = 0.0;
+  for (const auto& [id, v] : entries_) acc += v * v;
+  return std::sqrt(acc);
+}
+
+double SparseVector::Cosine(const SparseVector& other) const {
+  const double na = Norm();
+  const double nb = other.Norm();
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return Dot(other) / (na * nb);
+}
+
+void SparseVector::Scale(double factor) {
+  if (factor == 0.0) {
+    entries_.clear();
+    return;
+  }
+  for (auto& [id, v] : entries_) v *= factor;
+}
+
+void SparseVector::AddVector(const SparseVector& other) {
+  for (const auto& [id, v] : other.entries_) Add(id, v);
+}
+
+std::vector<double> SparseVector::ToDense(int dims) const {
+  std::vector<double> dense(static_cast<size_t>(dims), 0.0);
+  for (const auto& [id, v] : entries_)
+    if (id >= 0 && id < dims) dense[static_cast<size_t>(id)] = v;
+  return dense;
+}
+
+}  // namespace dehealth

@@ -1,0 +1,32 @@
+#ifndef DEHEALTH_TEXT_LEXICON_H_
+#define DEHEALTH_TEXT_LEXICON_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dehealth {
+
+/// The function-word lexicon used by Table I ("Function words: freq. of
+/// function words, 337"). Lowercase, unique, sorted. Size is exactly 337.
+const std::vector<std::string>& FunctionWordLexicon();
+
+/// True if `word` (case-insensitive) is in the function-word lexicon.
+bool IsFunctionWord(std::string_view word);
+
+/// Index of `word` in the (sorted) function-word lexicon, or -1.
+int FunctionWordIndex(std::string_view word);
+
+/// The misspelling lexicon used by Table I ("Misspelled words: freq. of
+/// misspellings, 248"). Lowercase, unique, sorted. Size is exactly 248.
+const std::vector<std::string>& MisspellingLexicon();
+
+/// True if `word` (case-insensitive) is a known misspelling.
+bool IsMisspelling(std::string_view word);
+
+/// Index of `word` in the (sorted) misspelling lexicon, or -1.
+int MisspellingIndex(std::string_view word);
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_TEXT_LEXICON_H_

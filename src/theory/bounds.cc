@@ -1,0 +1,129 @@
+#include "theory/bounds.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "common/math_utils.h"
+
+namespace dehealth {
+
+namespace {
+
+/// exp(−(λ−λ̄)²/(4δ²)) — the common Chernoff kernel of Theorems 1-4.
+double ChernoffKernel(const DaParameters& p) {
+  const double gap = p.gap();
+  const double delta = p.delta();
+  return std::exp(-(gap * gap) / (4.0 * delta * delta));
+}
+
+/// |λ−λ̄| / (2δ) — the left side of every asymptotic condition.
+double NormalizedGap(const DaParameters& p) {
+  return std::abs(p.gap()) / (2.0 * p.delta());
+}
+
+}  // namespace
+
+Status DaParameters::Validate() const {
+  if (theta_correct <= 0.0 || theta_incorrect <= 0.0)
+    return Status::InvalidArgument("DaParameters: ranges must be positive");
+  if (lambda_correct == lambda_incorrect)
+    return Status::InvalidArgument(
+        "DaParameters: lambda == lambda-bar (theorems require a gap)");
+  return Status::OK();
+}
+
+double ExactDaPairLowerBound(const DaParameters& p) {
+  return Clamp(1.0 - 2.0 * ChernoffKernel(p), 0.0, 1.0);
+}
+
+bool PairAsymptoticCondition(const DaParameters& p, int n) {
+  assert(n >= 1);
+  return NormalizedGap(p) >=
+         std::sqrt(2.0 * std::log(static_cast<double>(n)) + std::log(2.0));
+}
+
+bool FullSetAsymptoticCondition(const DaParameters& p, int n) {
+  assert(n >= 1);
+  const double nd = static_cast<double>(n);
+  return NormalizedGap(p) >=
+         std::sqrt(2.0 * std::log(nd) + std::log(2.0 * nd * nd));
+}
+
+double ExactDaFullSetLowerBound(const DaParameters& p, int n2) {
+  assert(n2 >= 1);
+  return Clamp(1.0 - 2.0 * static_cast<double>(n2 - 1) * ChernoffKernel(p),
+               0.0, 1.0);
+}
+
+double GroupDaLowerBound(const DaParameters& p, double alpha, int n1,
+                         int n2) {
+  assert(alpha > 0.0 && alpha <= 1.0 && n1 >= 1 && n2 >= 1);
+  const double log_term =
+      std::log(2.0 * alpha * static_cast<double>(n1) *
+               static_cast<double>(n2));
+  const double gap = p.gap();
+  const double delta = p.delta();
+  return Clamp(1.0 - std::exp(log_term -
+                              (gap * gap) / (4.0 * delta * delta)),
+               0.0, 1.0);
+}
+
+bool GroupAsymptoticCondition(const DaParameters& p, double alpha, int n1,
+                              int n2, int n) {
+  assert(alpha > 0.0 && alpha <= 1.0 && n >= 1);
+  return NormalizedGap(p) >=
+         std::sqrt(2.0 * std::log(static_cast<double>(n)) +
+                   std::log(2.0 * alpha * static_cast<double>(n1) *
+                            static_cast<double>(n2)));
+}
+
+double TopKDaLowerBound(const DaParameters& p, int n2, int k) {
+  assert(n2 >= 1 && k >= 1);
+  if (k >= n2) return 1.0;  // the candidate set is the whole auxiliary set
+  const double log_term = std::log(2.0 * static_cast<double>(n2 - k));
+  const double gap = p.gap();
+  const double delta = p.delta();
+  return Clamp(1.0 - std::exp(log_term -
+                              (gap * gap) / (4.0 * delta * delta)),
+               0.0, 1.0);
+}
+
+bool TopKAsymptoticCondition(const DaParameters& p, int n2, int k, int n) {
+  assert(n2 >= 1 && k >= 1 && n >= 1);
+  if (k >= n2) return true;
+  return NormalizedGap(p) >=
+         std::sqrt(std::log(2.0 * static_cast<double>(n2 - k)) +
+                   2.0 * std::log(static_cast<double>(n)));
+}
+
+double GroupTopKDaLowerBound(const DaParameters& p, double alpha, int n1,
+                             int n2, int k) {
+  assert(alpha > 0.0 && alpha <= 1.0 && n1 >= 1 && n2 >= 1 && k >= 1);
+  if (k >= n2) return 1.0;
+  const double log_term =
+      std::log(2.0 * alpha * static_cast<double>(n1) *
+               static_cast<double>(n2 - k));
+  const double gap = p.gap();
+  const double delta = p.delta();
+  return Clamp(1.0 - std::exp(log_term -
+                              (gap * gap) / (4.0 * delta * delta)),
+               0.0, 1.0);
+}
+
+bool GroupTopKAsymptoticCondition(const DaParameters& p, double alpha,
+                                  int n1, int n2, int k, int n) {
+  assert(alpha > 0.0 && alpha <= 1.0 && n >= 1);
+  if (k >= n2) return true;
+  return NormalizedGap(p) >=
+         std::sqrt(std::log(2.0 * alpha * static_cast<double>(n1) *
+                            static_cast<double>(n2 - k)) +
+                   2.0 * std::log(static_cast<double>(n)));
+}
+
+double RequiredGapForPairBound(double delta, double target) {
+  assert(delta > 0.0 && target >= 0.0 && target < 1.0);
+  // 1 - 2 exp(-g² / 4δ²) = target  =>  g = 2δ sqrt(ln(2 / (1 - target))).
+  return 2.0 * delta * std::sqrt(std::log(2.0 / (1.0 - target)));
+}
+
+}  // namespace dehealth

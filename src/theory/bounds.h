@@ -1,0 +1,76 @@
+#ifndef DEHEALTH_THEORY_BOUNDS_H_
+#define DEHEALTH_THEORY_BOUNDS_H_
+
+#include <algorithm>
+
+#include "common/status.h"
+
+namespace dehealth {
+
+/// Parameters of the paper's Section-IV analysis framework. `f` is the
+/// feature-distance function used by the DA model M:
+///  - f(u, u') of a correct pair has mean λ ("lambda_correct") and range
+///    width θ = θ_u − θ_l ("theta_correct");
+///  - f(u, v) of an incorrect pair has mean λ̄ and range width θ̄;
+///  - δ = max(θ, θ̄).
+struct DaParameters {
+  double lambda_correct = 0.0;    // λ
+  double lambda_incorrect = 0.0;  // λ̄
+  double theta_correct = 1.0;     // θ
+  double theta_incorrect = 1.0;   // θ̄
+
+  double delta() const { return std::max(theta_correct, theta_incorrect); }
+  double gap() const { return lambda_incorrect - lambda_correct; }
+
+  /// Validity: ranges positive and λ ≠ λ̄ (the theorems require it).
+  Status Validate() const;
+};
+
+/// Theorem 1: Pr(u → u' from {u', v}) ≥ 1 − 2·exp(−(λ−λ̄)² / (4δ²)).
+/// Clamped to [0, 1].
+double ExactDaPairLowerBound(const DaParameters& p);
+
+/// Corollary 1: the condition |λ−λ̄| / (2θ) ≥ sqrt(2 ln n + ln 2) under
+/// which pairwise DA succeeds a.a.s. (θ here is δ, the larger range).
+bool PairAsymptoticCondition(const DaParameters& p, int n);
+
+/// Corollary 2: condition |λ−λ̄| / (2θ) ≥ sqrt(2 ln n + ln 2n²) for
+/// de-anonymizing u from the whole auxiliary set a.a.s.
+bool FullSetAsymptoticCondition(const DaParameters& p, int n);
+
+/// Implied union-bound success probability of de-anonymizing u from n2
+/// auxiliary users: 1 − 2(n2−1)·exp(−(λ−λ̄)²/(4δ²)), clamped to [0, 1].
+double ExactDaFullSetLowerBound(const DaParameters& p, int n2);
+
+/// Theorem 2: Pr(∆1 is α-re-identifiable) ≥
+/// 1 − exp(ln(2αn1n2) − (λ−λ̄)²/(4δ²)). Clamped to [0, 1].
+double GroupDaLowerBound(const DaParameters& p, double alpha, int n1, int n2);
+
+/// Corollary 3 condition: |λ−λ̄| / (2θ) ≥ sqrt(2 ln n + ln 2αn1n2).
+bool GroupAsymptoticCondition(const DaParameters& p, double alpha, int n1,
+                              int n2, int n);
+
+/// Theorem 3(i): Pr(u → C_u) ≥ 1 − exp(ln 2(n2−K) − (λ−λ̄)²/(4δ²)).
+double TopKDaLowerBound(const DaParameters& p, int n2, int k);
+
+/// Theorem 3(ii) condition: |λ−λ̄|/(2θ) ≥ sqrt(ln 2(n2−K) + 2 ln n).
+bool TopKAsymptoticCondition(const DaParameters& p, int n2, int k, int n);
+
+/// Theorem 4(i): Pr(Vα: u → C_u) ≥
+/// 1 − exp(ln 2αn1(n2−K) − (λ−λ̄)²/(4δ²)).
+double GroupTopKDaLowerBound(const DaParameters& p, double alpha, int n1,
+                             int n2, int k);
+
+/// Theorem 4(ii) condition:
+/// |λ−λ̄|/(2θ) ≥ sqrt(ln 2αn1(n2−K) + 2 ln n).
+bool GroupTopKAsymptoticCondition(const DaParameters& p, double alpha,
+                                  int n1, int n2, int k, int n);
+
+/// Smallest mean gap |λ−λ̄| that makes the Theorem-1 lower bound reach
+/// `target` success probability (given δ); useful for "how separated must
+/// the feature distance be" analyses. Requires target in [0, 1).
+double RequiredGapForPairBound(double delta, double target);
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_THEORY_BOUNDS_H_

@@ -1,0 +1,120 @@
+#include "theory/empirical.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dehealth {
+
+StatusOr<EmpiricalDaEstimate> EstimateDaParameters(
+    const std::vector<std::vector<double>>& similarity,
+    const std::vector<int>& truth) {
+  if (similarity.empty() || similarity[0].empty())
+    return Status::InvalidArgument(
+        "EstimateDaParameters: empty similarity matrix");
+  if (similarity.size() != truth.size())
+    return Status::InvalidArgument(
+        "EstimateDaParameters: truth size mismatch");
+
+  double correct_sum = 0.0, correct_sq = 0.0;
+  double incorrect_sum = 0.0, incorrect_sq = 0.0;
+  double correct_min = std::numeric_limits<double>::infinity();
+  double correct_max = -correct_min;
+  double incorrect_min = correct_min, incorrect_max = -correct_min;
+  double global_max = -correct_min;
+  int num_correct = 0;
+  long long num_incorrect = 0;
+
+  for (size_t u = 0; u < similarity.size(); ++u) {
+    const auto& row = similarity[u];
+    for (size_t v = 0; v < row.size(); ++v) {
+      const double s = row[v];
+      global_max = std::max(global_max, s);
+      if (truth[u] >= 0 && static_cast<size_t>(truth[u]) == v) {
+        correct_sum += s;
+        correct_sq += s * s;
+        correct_min = std::min(correct_min, s);
+        correct_max = std::max(correct_max, s);
+        ++num_correct;
+      } else {
+        incorrect_sum += s;
+        incorrect_sq += s * s;
+        incorrect_min = std::min(incorrect_min, s);
+        incorrect_max = std::max(incorrect_max, s);
+        ++num_incorrect;
+      }
+    }
+  }
+  if (num_correct == 0)
+    return Status::FailedPrecondition(
+        "EstimateDaParameters: no overlapping users (no correct pairs)");
+  if (num_incorrect == 0)
+    return Status::FailedPrecondition(
+        "EstimateDaParameters: no incorrect pairs");
+
+  EmpiricalDaEstimate e;
+  e.num_correct_pairs = num_correct;
+  e.num_incorrect_pairs = num_incorrect;
+  e.mean_correct_similarity = correct_sum / num_correct;
+  e.mean_incorrect_similarity =
+      incorrect_sum / static_cast<double>(num_incorrect);
+  e.stddev_correct = std::sqrt(std::max(
+      0.0, correct_sq / num_correct -
+               e.mean_correct_similarity * e.mean_correct_similarity));
+  e.stddev_incorrect = std::sqrt(std::max(
+      0.0, incorrect_sq / static_cast<double>(num_incorrect) -
+               e.mean_incorrect_similarity * e.mean_incorrect_similarity));
+
+  // Distances f = global_max - s: correct pairs (high similarity) get the
+  // SMALLER mean, matching the λ < λ̄ branch of the theorems.
+  e.params.lambda_correct = global_max - e.mean_correct_similarity;
+  e.params.lambda_incorrect = global_max - e.mean_incorrect_similarity;
+  e.params.theta_correct = std::max(1e-9, correct_max - correct_min);
+  e.params.theta_incorrect = std::max(1e-9, incorrect_max - incorrect_min);
+  return e;
+}
+
+StatusOr<EmpiricalBoundCheck> CheckBoundsAgainstData(
+    const std::vector<std::vector<double>>& similarity,
+    const std::vector<int>& truth) {
+  StatusOr<EmpiricalDaEstimate> estimate =
+      EstimateDaParameters(similarity, truth);
+  if (!estimate.ok()) return estimate.status();
+
+  EmpiricalBoundCheck check;
+  check.theorem1_bound =
+      estimate->params.lambda_correct == estimate->params.lambda_incorrect
+          ? 0.0
+          : ExactDaPairLowerBound(estimate->params);
+
+  // Empirical pairwise success: for each overlapping u, fraction of wrong
+  // candidates its true mapping beats. Exact success: argmax of the row.
+  long long pair_wins = 0, pair_total = 0;
+  int exact_wins = 0, overlapping = 0;
+  for (size_t u = 0; u < similarity.size(); ++u) {
+    if (truth[u] < 0) continue;
+    ++overlapping;
+    const auto& row = similarity[u];
+    const double s_true = row[static_cast<size_t>(truth[u])];
+    bool beaten = false;
+    for (size_t v = 0; v < row.size(); ++v) {
+      if (static_cast<int>(v) == truth[u]) continue;
+      ++pair_total;
+      if (s_true > row[v]) {
+        ++pair_wins;
+      } else {
+        beaten = true;
+      }
+    }
+    if (!beaten) ++exact_wins;
+  }
+  if (pair_total > 0)
+    check.empirical_pair_success =
+        static_cast<double>(pair_wins) / static_cast<double>(pair_total);
+  if (overlapping > 0)
+    check.empirical_exact_success =
+        static_cast<double>(exact_wins) / overlapping;
+  return check;
+}
+
+}  // namespace dehealth

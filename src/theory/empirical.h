@@ -1,0 +1,52 @@
+#ifndef DEHEALTH_THEORY_EMPIRICAL_H_
+#define DEHEALTH_THEORY_EMPIRICAL_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "theory/bounds.h"
+
+namespace dehealth {
+
+/// Bridges the Section-IV analysis to real attack runs: estimates the
+/// framework's parameters (λ, λ̄, θ, θ̄) from an observed similarity matrix
+/// and ground truth, so the theorem bounds can be instantiated for a
+/// concrete dataset instead of assumed distributions — the "analysis under
+/// some specific distribution" the paper defers to future work.
+struct EmpiricalDaEstimate {
+  DaParameters params;     // distances = (offset - similarity), see below
+  double mean_correct_similarity = 0.0;    // raw s(u, u') mean
+  double mean_incorrect_similarity = 0.0;  // raw s(u, v != u') mean
+  double stddev_correct = 0.0;
+  double stddev_incorrect = 0.0;
+  int num_correct_pairs = 0;
+  long long num_incorrect_pairs = 0;
+};
+
+/// Estimates from `similarity[u][v]` and `truth[u]` (auxiliary id or
+/// negative for non-overlapping users, which contribute only incorrect
+/// pairs). The theory works on distances, so similarities are mapped
+/// through f = s_max - s; ranges θ are taken as observed min/max spans.
+/// Fails when there are no correct pairs or the matrix is empty.
+StatusOr<EmpiricalDaEstimate> EstimateDaParameters(
+    const std::vector<std::vector<double>>& similarity,
+    const std::vector<int>& truth);
+
+/// Convenience: the Theorem-1 pairwise lower bound instantiated with the
+/// estimate, and the empirical pairwise success rate of the "pick the most
+/// similar of {u', v}" model measured on the same data. Both in [0, 1];
+/// the bound must not exceed the empirical rate (up to sampling noise) if
+/// the estimate is sane.
+struct EmpiricalBoundCheck {
+  double theorem1_bound = 0.0;
+  double empirical_pair_success = 0.0;
+  double empirical_exact_success = 0.0;  // argmax over the full row
+};
+
+StatusOr<EmpiricalBoundCheck> CheckBoundsAgainstData(
+    const std::vector<std::vector<double>>& similarity,
+    const std::vector<int>& truth);
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_THEORY_EMPIRICAL_H_

@@ -1,0 +1,170 @@
+#include "theory/monte_carlo.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace dehealth {
+
+double SampleGamma(double shape, Rng& rng) {
+  if (shape < 1.0) {
+    // Boost: Gamma(a) = Gamma(a + 1) * U^(1/a).
+    const double u = std::max(rng.NextDouble(), 1e-300);
+    return SampleGamma(shape + 1.0, rng) * std::pow(u, 1.0 / shape);
+  }
+  // Marsaglia-Tsang squeeze method.
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / std::sqrt(9.0 * d);
+  for (;;) {
+    double x, v;
+    do {
+      x = rng.NextGaussian();
+      v = 1.0 + c * x;
+    } while (v <= 0.0);
+    v = v * v * v;
+    const double u = rng.NextDouble();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v;
+    if (u > 0.0 &&
+        std::log(u) < 0.5 * x * x + d * (1.0 - v + std::log(v)))
+      return d * v;
+  }
+}
+
+StatusOr<BoundedDistanceDistribution> BoundedDistanceDistribution::Create(
+    double lo, double hi, double mean, double concentration) {
+  if (lo >= hi)
+    return Status::InvalidArgument(
+        "BoundedDistanceDistribution: lo must be < hi");
+  if (mean <= lo || mean >= hi)
+    return Status::InvalidArgument(
+        "BoundedDistanceDistribution: mean must lie strictly inside range");
+  if (concentration <= 0.0)
+    return Status::InvalidArgument(
+        "BoundedDistanceDistribution: concentration must be > 0");
+  const double mean_frac = (mean - lo) / (hi - lo);
+  const double a = mean_frac * concentration;
+  const double b = (1.0 - mean_frac) * concentration;
+  return BoundedDistanceDistribution(lo, hi, mean, a, b);
+}
+
+double BoundedDistanceDistribution::Sample(Rng& rng) const {
+  const double x = SampleGamma(alpha_, rng);
+  const double y = SampleGamma(beta_, rng);
+  const double frac = x / (x + y);
+  return lo_ + frac * (hi_ - lo_);
+}
+
+namespace {
+
+struct Distributions {
+  BoundedDistanceDistribution correct;
+  BoundedDistanceDistribution incorrect;
+};
+
+StatusOr<Distributions> MakeDistributions(const MonteCarloConfig& c) {
+  DEHEALTH_RETURN_IF_ERROR(c.params.Validate());
+  if (c.n2 < 2)
+    return Status::InvalidArgument("MonteCarlo: n2 must be >= 2");
+  if (c.trials < 1)
+    return Status::InvalidArgument("MonteCarlo: trials must be >= 1");
+  // Center each range on its mean so the width equals theta.
+  const double half_c = c.params.theta_correct / 2.0;
+  const double half_i = c.params.theta_incorrect / 2.0;
+  auto correct = BoundedDistanceDistribution::Create(
+      c.params.lambda_correct - half_c, c.params.lambda_correct + half_c,
+      c.params.lambda_correct, c.concentration);
+  if (!correct.ok()) return correct.status();
+  auto incorrect = BoundedDistanceDistribution::Create(
+      c.params.lambda_incorrect - half_i,
+      c.params.lambda_incorrect + half_i, c.params.lambda_incorrect,
+      c.concentration);
+  if (!incorrect.ok()) return incorrect.status();
+  return Distributions{std::move(correct).value(),
+                       std::move(incorrect).value()};
+}
+
+}  // namespace
+
+StatusOr<MonteCarloResult> RunExactDaMonteCarlo(const MonteCarloConfig& c) {
+  StatusOr<Distributions> dists = MakeDistributions(c);
+  if (!dists.ok()) return dists.status();
+  // M picks the minimizer when λ < λ̄, the maximizer otherwise (Theorem 1).
+  const bool pick_min = c.params.lambda_correct < c.params.lambda_incorrect;
+
+  Rng rng(c.seed);
+  int exact_hits = 0, pair_hits = 0;
+  for (int t = 0; t < c.trials; ++t) {
+    const double f_true = dists->correct.Sample(rng);
+    bool beaten = false;
+    for (int v = 0; v < c.n2 - 1; ++v) {
+      const double f_wrong = dists->incorrect.Sample(rng);
+      if (v == 0) {
+        const bool pair_ok =
+            pick_min ? f_true < f_wrong : f_true > f_wrong;
+        if (pair_ok) ++pair_hits;
+      }
+      if (pick_min ? f_wrong <= f_true : f_wrong >= f_true) {
+        beaten = true;
+        // Keep drawing to preserve the stream shape across trials.
+      }
+    }
+    if (!beaten) ++exact_hits;
+  }
+  MonteCarloResult result;
+  result.exact_success_rate =
+      static_cast<double>(exact_hits) / static_cast<double>(c.trials);
+  result.pair_success_rate =
+      static_cast<double>(pair_hits) / static_cast<double>(c.trials);
+  return result;
+}
+
+StatusOr<double> RunTopKDaMonteCarlo(const MonteCarloConfig& c, int k) {
+  if (k < 1)
+    return Status::InvalidArgument("RunTopKDaMonteCarlo: k must be >= 1");
+  StatusOr<Distributions> dists = MakeDistributions(c);
+  if (!dists.ok()) return dists.status();
+  const bool pick_min = c.params.lambda_correct < c.params.lambda_incorrect;
+
+  Rng rng(c.seed);
+  int hits = 0;
+  for (int t = 0; t < c.trials; ++t) {
+    const double f_true = dists->correct.Sample(rng);
+    int better = 0;  // wrong candidates beating the true pair
+    for (int v = 0; v < c.n2 - 1; ++v) {
+      const double f_wrong = dists->incorrect.Sample(rng);
+      if (pick_min ? f_wrong < f_true : f_wrong > f_true) ++better;
+    }
+    if (better < k) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(c.trials);
+}
+
+StatusOr<double> RunGroupDaMonteCarlo(const MonteCarloConfig& c,
+                                      int group_size) {
+  if (group_size < 1)
+    return Status::InvalidArgument(
+        "RunGroupDaMonteCarlo: group_size must be >= 1");
+  StatusOr<Distributions> dists = MakeDistributions(c);
+  if (!dists.ok()) return dists.status();
+  const bool pick_min = c.params.lambda_correct < c.params.lambda_incorrect;
+
+  Rng rng(c.seed);
+  int group_hits = 0;
+  for (int t = 0; t < c.trials; ++t) {
+    bool all_ok = true;
+    for (int g = 0; g < group_size && all_ok; ++g) {
+      const double f_true = dists->correct.Sample(rng);
+      for (int v = 0; v < c.n2 - 1; ++v) {
+        const double f_wrong = dists->incorrect.Sample(rng);
+        if (pick_min ? f_wrong <= f_true : f_wrong >= f_true) {
+          all_ok = false;
+          break;
+        }
+      }
+    }
+    if (all_ok) ++group_hits;
+  }
+  return static_cast<double>(group_hits) / static_cast<double>(c.trials);
+}
+
+}  // namespace dehealth

@@ -1,0 +1,73 @@
+#ifndef DEHEALTH_THEORY_MONTE_CARLO_H_
+#define DEHEALTH_THEORY_MONTE_CARLO_H_
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "theory/bounds.h"
+
+namespace dehealth {
+
+/// A bounded distance distribution on [lo, hi] with controllable mean:
+/// a scaled Beta whose concentration sets how tightly draws cluster around
+/// the mean. Models the theory section's f(u, u') / f(u, v) draws.
+class BoundedDistanceDistribution {
+ public:
+  /// Requires lo < hi, mean strictly inside (lo, hi), concentration > 0.
+  static StatusOr<BoundedDistanceDistribution> Create(double lo, double hi,
+                                                      double mean,
+                                                      double concentration);
+
+  double Sample(Rng& rng) const;
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  double mean() const { return mean_; }
+
+ private:
+  BoundedDistanceDistribution(double lo, double hi, double mean, double a,
+                              double b)
+      : lo_(lo), hi_(hi), mean_(mean), alpha_(a), beta_(b) {}
+
+  double lo_, hi_, mean_;
+  double alpha_, beta_;  // Beta shape parameters
+};
+
+/// Gamma(shape, 1) sampler (Marsaglia-Tsang, with the alpha<1 boost);
+/// building block for Beta draws. Exposed for testing.
+double SampleGamma(double shape, Rng& rng);
+
+/// Monte-Carlo experiment configuration: one anonymized user (or a group)
+/// against n2 auxiliary users whose wrong-pair distances are i.i.d. from
+/// the incorrect distribution and whose true pair draws from the correct
+/// distribution. The DA model M picks the minimizer (λ < λ̄ case) as in the
+/// Theorem-1 proof.
+struct MonteCarloConfig {
+  DaParameters params;
+  double concentration = 8.0;  // Beta concentration of both distributions
+  int n2 = 100;                // auxiliary users
+  int trials = 2000;
+  uint64_t seed = 99;
+};
+
+/// Empirical results, comparable against the theorem lower bounds.
+struct MonteCarloResult {
+  double exact_success_rate = 0.0;  // u de-anonymized from all of V2
+  double pair_success_rate = 0.0;   // u vs a single wrong candidate
+};
+
+/// Runs the exact-DA experiment; also tallies the pairwise (Theorem-1)
+/// success against the first wrong candidate of each trial.
+StatusOr<MonteCarloResult> RunExactDaMonteCarlo(const MonteCarloConfig& c);
+
+/// Empirical Top-K success rate: fraction of trials where the true pair's
+/// distance ranks within the K smallest.
+StatusOr<double> RunTopKDaMonteCarlo(const MonteCarloConfig& c, int k);
+
+/// Empirical group success: probability that `group_size` independent users
+/// are all exactly de-anonymized in one trial.
+StatusOr<double> RunGroupDaMonteCarlo(const MonteCarloConfig& c,
+                                      int group_size);
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_THEORY_MONTE_CARLO_H_

@@ -1,0 +1,115 @@
+#include "common/math_utils.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dehealth {
+namespace {
+
+TEST(CosineSimilarityTest, IdenticalVectors) {
+  std::vector<double> v = {1.0, 2.0, 3.0};
+  EXPECT_NEAR(CosineSimilarity(v, v), 1.0, 1e-12);
+}
+
+TEST(CosineSimilarityTest, OrthogonalVectors) {
+  EXPECT_NEAR(CosineSimilarity({1.0, 0.0}, {0.0, 1.0}), 0.0, 1e-12);
+}
+
+TEST(CosineSimilarityTest, OppositeVectors) {
+  EXPECT_NEAR(CosineSimilarity({1.0, 1.0}, {-1.0, -1.0}), -1.0, 1e-12);
+}
+
+TEST(CosineSimilarityTest, ZeroVectorGivesZero) {
+  EXPECT_EQ(CosineSimilarity({0.0, 0.0}, {1.0, 2.0}), 0.0);
+  EXPECT_EQ(CosineSimilarity({}, {1.0}), 0.0);
+}
+
+TEST(CosineSimilarityTest, DifferentLengthsZeroPadded) {
+  // {3, 4} vs {3, 4, 0} must equal {3,4} vs {3,4} with padding semantics.
+  const double padded = CosineSimilarity({3.0, 4.0}, {3.0, 4.0, 5.0});
+  // dot = 25, |a| = 5, |b| = sqrt(50).
+  EXPECT_NEAR(padded, 25.0 / (5.0 * std::sqrt(50.0)), 1e-12);
+}
+
+TEST(MinMaxRatioTest, Basics) {
+  EXPECT_EQ(MinMaxRatio(0.0, 0.0), 1.0);  // "no signal" convention
+  EXPECT_EQ(MinMaxRatio(0.0, 5.0), 0.0);
+  EXPECT_NEAR(MinMaxRatio(2.0, 4.0), 0.5, 1e-12);
+  EXPECT_NEAR(MinMaxRatio(4.0, 2.0), 0.5, 1e-12);
+  EXPECT_EQ(MinMaxRatio(3.0, 3.0), 1.0);
+}
+
+TEST(MeanVarianceTest, KnownValues) {
+  std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_NEAR(Mean(v), 2.5, 1e-12);
+  EXPECT_NEAR(Variance(v), 1.25, 1e-12);
+  EXPECT_NEAR(StdDev(v), std::sqrt(1.25), 1e-12);
+}
+
+TEST(MeanVarianceTest, DegenerateInputs) {
+  EXPECT_EQ(Mean({}), 0.0);
+  EXPECT_EQ(Variance({}), 0.0);
+  EXPECT_EQ(Variance({5.0}), 0.0);
+}
+
+TEST(SummarizeTest, ComputesAllFields) {
+  auto s = Summarize({2.0, 4.0, 6.0});
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_NEAR(s.mean, 4.0, 1e-12);
+  EXPECT_EQ(s.min, 2.0);
+  EXPECT_EQ(s.max, 6.0);
+}
+
+TEST(SummarizeTest, EmptyInput) {
+  auto s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+TEST(EmpiricalCdfTest, StepFunction) {
+  std::vector<double> values = {1.0, 2.0, 2.0, 5.0};
+  auto cdf = EmpiricalCdf(values, {0.0, 1.0, 2.0, 4.0, 5.0});
+  EXPECT_DOUBLE_EQ(cdf[0], 0.0);
+  EXPECT_DOUBLE_EQ(cdf[1], 0.25);
+  EXPECT_DOUBLE_EQ(cdf[2], 0.75);
+  EXPECT_DOUBLE_EQ(cdf[3], 0.75);
+  EXPECT_DOUBLE_EQ(cdf[4], 1.0);
+}
+
+TEST(EmpiricalCdfTest, EmptyValues) {
+  auto cdf = EmpiricalCdf({}, {1.0, 2.0});
+  EXPECT_EQ(cdf.size(), 2u);
+  EXPECT_EQ(cdf[0], 0.0);
+}
+
+TEST(HistogramTest, BinningAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.Add(0.5);   // bin 0
+  h.Add(9.5);   // bin 4
+  h.Add(-3.0);  // clamped to bin 0
+  h.Add(42.0);  // clamped to bin 4
+  h.Add(5.0);   // bin 2
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(2), 1u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_NEAR(h.Fraction(0), 0.4, 1e-12);
+  EXPECT_NEAR(h.BinCenter(0), 1.0, 1e-12);
+  EXPECT_NEAR(h.BinCenter(4), 9.0, 1e-12);
+}
+
+TEST(LogBinomialTest, KnownValues) {
+  EXPECT_NEAR(LogBinomial(5, 2), std::log(10.0), 1e-9);
+  EXPECT_NEAR(LogBinomial(10, 0), 0.0, 1e-9);
+  EXPECT_NEAR(LogBinomial(10, 10), 0.0, 1e-9);
+}
+
+TEST(ClampTest, Basics) {
+  EXPECT_EQ(Clamp(5.0, 0.0, 1.0), 1.0);
+  EXPECT_EQ(Clamp(-5.0, 0.0, 1.0), 0.0);
+  EXPECT_EQ(Clamp(0.5, 0.0, 1.0), 0.5);
+}
+
+}  // namespace
+}  // namespace dehealth

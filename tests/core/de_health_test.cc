@@ -1,0 +1,153 @@
+#include "core/de_health.h"
+
+#include <gtest/gtest.h>
+
+#include "core/evaluation.h"
+#include "datagen/forum_generator.h"
+#include "datagen/split.h"
+
+namespace dehealth {
+namespace {
+
+class DeHealthTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    ForumConfig config;
+    config.num_users = 36;
+    config.seed = 41;
+    config.style.vocabulary_size = 400;
+    config.post_count_exponent = 1.2;
+    config.max_posts_per_user = 24;
+    auto forum = GenerateForum(config);
+    ASSERT_TRUE(forum.ok());
+
+    auto closed = MakeClosedWorldScenario(forum->dataset, 0.5, 5);
+    ASSERT_TRUE(closed.ok());
+    closed_ = new DaScenario(std::move(closed).value());
+    closed_anon_ = new UdaGraph(BuildUdaGraph(closed_->anonymized));
+    closed_aux_ = new UdaGraph(BuildUdaGraph(closed_->auxiliary));
+
+    auto open = MakeOpenWorldScenario(forum->dataset, 0.5, 7);
+    ASSERT_TRUE(open.ok());
+    open_ = new DaScenario(std::move(open).value());
+    open_anon_ = new UdaGraph(BuildUdaGraph(open_->anonymized));
+    open_aux_ = new UdaGraph(BuildUdaGraph(open_->auxiliary));
+  }
+
+  static DaScenario* closed_;
+  static UdaGraph* closed_anon_;
+  static UdaGraph* closed_aux_;
+  static DaScenario* open_;
+  static UdaGraph* open_anon_;
+  static UdaGraph* open_aux_;
+};
+
+DaScenario* DeHealthTest::closed_ = nullptr;
+UdaGraph* DeHealthTest::closed_anon_ = nullptr;
+UdaGraph* DeHealthTest::closed_aux_ = nullptr;
+DaScenario* DeHealthTest::open_ = nullptr;
+UdaGraph* DeHealthTest::open_anon_ = nullptr;
+UdaGraph* DeHealthTest::open_aux_ = nullptr;
+
+TEST_F(DeHealthTest, ClosedWorldEndToEnd) {
+  DeHealthConfig config;
+  config.top_k = 5;
+  config.refined.learner = LearnerKind::kNearestCentroid;
+  DeHealth attack(config);
+  auto result = attack.Run(*closed_anon_, *closed_aux_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->candidates.size(),
+            static_cast<size_t>(closed_anon_->num_users()));
+  EXPECT_EQ(result->similarity.size(),
+            static_cast<size_t>(closed_anon_->num_users()));
+
+  const double top_k_success =
+      TopKSuccessRate(result->candidates, closed_->truth);
+  auto counts = EvaluateRefinedDa(result->refined, closed_->truth);
+  // Phase 1 must place most true mappings in the Top-5 candidate sets on
+  // this style-distinct synthetic corpus, and phase 2 must beat random
+  // (1/36 ≈ 2.8%).
+  EXPECT_GT(top_k_success, 0.5);
+  EXPECT_GT(counts.Accuracy(), 0.25);
+  // Refined accuracy can never exceed Top-K success (the true mapping must
+  // be in the candidate set to be found).
+  EXPECT_LE(counts.Accuracy(), top_k_success + 1e-12);
+}
+
+TEST_F(DeHealthTest, FilteringProducesRejectionVector) {
+  DeHealthConfig config;
+  config.top_k = 5;
+  config.enable_filtering = true;
+  config.refined.learner = LearnerKind::kNearestCentroid;
+  DeHealth attack(config);
+  auto result = attack.Run(*closed_anon_, *closed_aux_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rejected.size(), result->candidates.size());
+  // Filtering must not enlarge candidate sets.
+  for (const auto& c : result->candidates) EXPECT_LE(c.size(), 5u);
+}
+
+TEST_F(DeHealthTest, OpenWorldWithMeanVerification) {
+  DeHealthConfig config;
+  config.top_k = 5;
+  config.refined.learner = LearnerKind::kNearestCentroid;
+  config.refined.verification = VerificationScheme::kMeanVerification;
+  config.refined.mean_verification_r = 0.25;
+  DeHealth attack(config);
+  auto result = attack.Run(*open_anon_, *open_aux_);
+  ASSERT_TRUE(result.ok());
+  auto counts = EvaluateRefinedDa(result->refined, open_->truth);
+  EXPECT_GT(counts.overlapping, 0);
+  EXPECT_GT(counts.non_overlapping, 0);
+  // Verification keeps the FP rate below always-accept.
+  DeHealthConfig no_verify = config;
+  no_verify.refined.verification = VerificationScheme::kNone;
+  auto baseline = DeHealth(no_verify).Run(*open_anon_, *open_aux_);
+  ASSERT_TRUE(baseline.ok());
+  auto baseline_counts =
+      EvaluateRefinedDa(baseline->refined, open_->truth);
+  EXPECT_LE(counts.FalsePositiveRate(),
+            baseline_counts.FalsePositiveRate());
+}
+
+TEST_F(DeHealthTest, StylometryBaselineRuns) {
+  const StructuralSimilarity sim(*closed_anon_, *closed_aux_, {});
+  const auto matrix = sim.ComputeMatrix();
+  RefinedDaConfig config;
+  config.learner = LearnerKind::kNearestCentroid;
+  auto result =
+      RunStylometryBaseline(*closed_anon_, *closed_aux_, matrix, config);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->predictions.size(),
+            static_cast<size_t>(closed_anon_->num_users()));
+}
+
+TEST_F(DeHealthTest, SmallerKCannotBeatTopKInclusion) {
+  // Structural property from the paper's discussion: refined DA accuracy
+  // is bounded by the Top-K inclusion rate, for every K.
+  for (int k : {1, 3, 10}) {
+    DeHealthConfig config;
+    config.top_k = k;
+    config.refined.learner = LearnerKind::kNearestCentroid;
+    auto result = DeHealth(config).Run(*closed_anon_, *closed_aux_);
+    ASSERT_TRUE(result.ok());
+    const double inclusion =
+        TopKSuccessRate(result->candidates, closed_->truth);
+    const double accuracy =
+        EvaluateRefinedDa(result->refined, closed_->truth).Accuracy();
+    EXPECT_LE(accuracy, inclusion + 1e-12) << "K=" << k;
+  }
+}
+
+TEST_F(DeHealthTest, GraphMatchingSelectionWorks) {
+  DeHealthConfig config;
+  config.top_k = 3;
+  config.selection = CandidateSelection::kGraphMatching;
+  config.refined.learner = LearnerKind::kNearestCentroid;
+  auto result = DeHealth(config).Run(*closed_anon_, *closed_aux_);
+  ASSERT_TRUE(result.ok());
+  for (const auto& c : result->candidates) EXPECT_LE(c.size(), 3u);
+}
+
+}  // namespace
+}  // namespace dehealth

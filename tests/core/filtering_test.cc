@@ -1,0 +1,96 @@
+#include "core/filtering.h"
+
+#include <gtest/gtest.h>
+
+namespace dehealth {
+namespace {
+
+TEST(FilterCandidatesTest, RejectsBadConfig) {
+  FilterConfig config;
+  config.num_thresholds = 0;
+  EXPECT_FALSE(FilterCandidates({{1.0}}, {{0}}, config).ok());
+  config = FilterConfig{};
+  config.epsilon = -1.0;
+  EXPECT_FALSE(FilterCandidates({{1.0}}, {{0}}, config).ok());
+}
+
+TEST(FilterCandidatesTest, RejectsSizeMismatch) {
+  EXPECT_FALSE(FilterCandidates({{1.0}}, {{0}, {0}}, {}).ok());
+}
+
+TEST(FilterCandidatesTest, EmptyInput) {
+  auto r = FilterCandidates({}, {}, {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->candidates.empty());
+}
+
+TEST(FilterCandidatesTest, ThresholdVectorShape) {
+  const std::vector<std::vector<double>> sim = {{0.1, 0.9}};
+  FilterConfig config;
+  config.num_thresholds = 5;
+  config.epsilon = 0.0;
+  auto r = FilterCandidates(sim, {{1, 0}}, config);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->thresholds.size(), 5u);
+  EXPECT_NEAR(r->thresholds.front(), 0.9, 1e-12);  // s_max
+  EXPECT_NEAR(r->thresholds.back(), 0.1, 1e-12);   // s_min + eps
+  for (size_t i = 1; i < r->thresholds.size(); ++i)
+    EXPECT_LE(r->thresholds[i], r->thresholds[i - 1]);
+}
+
+TEST(FilterCandidatesTest, KeepsOnlyTopTierCandidates) {
+  // User 0: candidates with sims .9 and .1; the first non-empty threshold
+  // level keeps only the .9 candidate.
+  const std::vector<std::vector<double>> sim = {{0.1, 0.9}};
+  auto r = FilterCandidates(sim, {{1, 0}}, {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->candidates[0], std::vector<int>{1});
+  EXPECT_FALSE(r->rejected[0]);
+}
+
+TEST(FilterCandidatesTest, GlobalThresholdRejectsWeakUsers) {
+  // User 1's best candidate (.2) is below even the smallest threshold
+  // derived from the global scale (min .2 + eps .5 => s_l = .7).
+  const std::vector<std::vector<double>> sim = {{0.9, 0.8}, {0.2, 0.2}};
+  FilterConfig config;
+  config.epsilon = 0.5;
+  config.num_thresholds = 3;
+  auto r = FilterCandidates(sim, {{0, 1}, {0, 1}}, config);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->rejected[0]);
+  EXPECT_TRUE(r->rejected[1]);  // u → ⊥
+  EXPECT_TRUE(r->candidates[1].empty());
+}
+
+TEST(FilterCandidatesTest, SingleThresholdLevel) {
+  const std::vector<std::vector<double>> sim = {{0.5, 0.9}};
+  FilterConfig config;
+  config.num_thresholds = 1;
+  config.epsilon = 0.0;
+  auto r = FilterCandidates(sim, {{1, 0}}, config);
+  ASSERT_TRUE(r.ok());
+  // Only threshold = s_max = 0.9: keeps just candidate 1.
+  EXPECT_EQ(r->candidates[0], std::vector<int>{1});
+}
+
+TEST(FilterCandidatesTest, PreservesCandidateOrder) {
+  const std::vector<std::vector<double>> sim = {{0.5, 0.9, 0.85}};
+  FilterConfig config;
+  config.num_thresholds = 10;
+  config.epsilon = 0.0;
+  auto r = FilterCandidates(sim, {{1, 2, 0}}, config);
+  ASSERT_TRUE(r.ok());
+  // 0.9 survives level 0 alone; order of survivors preserved.
+  EXPECT_EQ(r->candidates[0].front(), 1);
+}
+
+TEST(FilterCandidatesTest, UniformSimilaritiesKeepEverything) {
+  const std::vector<std::vector<double>> sim = {{0.5, 0.5, 0.5}};
+  auto r = FilterCandidates(sim, {{0, 1, 2}}, {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->candidates[0].size(), 3u);
+  EXPECT_FALSE(r->rejected[0]);
+}
+
+}  // namespace
+}  // namespace dehealth

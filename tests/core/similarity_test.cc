@@ -1,0 +1,140 @@
+#include "core/similarity.h"
+
+#include <gtest/gtest.h>
+
+namespace dehealth {
+namespace {
+
+SparseVector Vec(std::initializer_list<std::pair<int, double>> init) {
+  SparseVector v;
+  for (const auto& [id, value] : init) v.Set(id, value);
+  return v;
+}
+
+/// Builds a small UDA graph by hand: `edges` on `n` users, plus per-user
+/// post feature vectors.
+UdaGraph MakeUda(int n,
+                 std::vector<std::tuple<int, int, double>> edges,
+                 std::vector<std::vector<SparseVector>> posts) {
+  UdaGraph uda;
+  uda.graph = CorrelationGraph(n);
+  for (const auto& [u, v, w] : edges) uda.graph.AddInteraction(u, v, w);
+  uda.profiles.resize(static_cast<size_t>(n));
+  uda.post_features.resize(static_cast<size_t>(n));
+  for (int u = 0; u < n && u < static_cast<int>(posts.size()); ++u) {
+    for (const auto& f : posts[static_cast<size_t>(u)]) {
+      uda.profiles[static_cast<size_t>(u)].AddPost(f);
+      uda.post_features[static_cast<size_t>(u)].push_back(f);
+    }
+  }
+  return uda;
+}
+
+TEST(FlattenedAttributeSimilarityTest, MatchesUserProfileVersion) {
+  const std::vector<std::pair<int, int>> empty;
+  EXPECT_EQ(FlattenedAttributeSimilarity(empty, empty), 0.0);
+  // Identical: 1 + 1.
+  std::vector<std::pair<int, int>> a = {{1, 2}, {3, 1}};
+  EXPECT_NEAR(FlattenedAttributeSimilarity(a, a), 2.0, 1e-12);
+  // Disjoint: 0.
+  std::vector<std::pair<int, int>> b = {{5, 1}};
+  EXPECT_EQ(FlattenedAttributeSimilarity(a, b), 0.0);
+  // Partial: set 1/3, weights min(2,1)=1 over union 2+1+1=4... compute:
+  // a={1:2, 3:1}, c={1:1, 7:1}: set 1/3; weighted 1/(2+1+1)=0.25.
+  std::vector<std::pair<int, int>> c = {{1, 1}, {7, 1}};
+  EXPECT_NEAR(FlattenedAttributeSimilarity(a, c), 1.0 / 3.0 + 0.25, 1e-12);
+}
+
+class StructuralSimilarityTest : public ::testing::Test {
+ protected:
+  StructuralSimilarityTest()
+      : anon_(MakeUda(
+            2, {{0, 1, 2.0}},
+            {{Vec({{1, 0.5}, {2, 0.5}})}, {Vec({{3, 0.7}})}})),
+        aux_(MakeUda(
+            3, {{0, 1, 2.0}, {1, 2, 1.0}},
+            {{Vec({{1, 0.4}, {2, 0.6}})},
+             {Vec({{3, 0.9}})},
+             {Vec({{9, 1.0}})}})) {}
+
+  UdaGraph anon_;
+  UdaGraph aux_;
+};
+
+TEST_F(StructuralSimilarityTest, DegreeSimilarityRange) {
+  StructuralSimilarity sim(anon_, aux_, {});
+  for (int u = 0; u < 2; ++u)
+    for (int v = 0; v < 3; ++v) {
+      const double s = sim.DegreeSimilarity(u, v);
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 3.0);
+    }
+}
+
+TEST_F(StructuralSimilarityTest, IdenticalDegreeProfilesScoreHigh) {
+  // anon user 0 (degree 1, weight 2) vs aux user 0 (degree 1, weight 2 on
+  // edge to 1): ratios 1, 1, cosine 1 => 3.
+  StructuralSimilarity sim(anon_, aux_, {});
+  EXPECT_NEAR(sim.DegreeSimilarity(0, 0), 3.0, 1e-9);
+}
+
+TEST_F(StructuralSimilarityTest, AttributeSimilarityMatchesOverlap) {
+  StructuralSimilarity sim(anon_, aux_, {});
+  // anon 0 has attributes {1,2}; aux 0 has {1,2} -> 2.0; aux 2 has {9} -> 0.
+  EXPECT_NEAR(sim.AttrSimilarity(0, 0), 2.0, 1e-12);
+  EXPECT_EQ(sim.AttrSimilarity(0, 2), 0.0);
+}
+
+TEST_F(StructuralSimilarityTest, CombinedUsesWeights) {
+  SimilarityConfig config;
+  config.c1 = 0.0;
+  config.c2 = 0.0;
+  config.c3 = 1.0;
+  StructuralSimilarity sim(anon_, aux_, config);
+  EXPECT_NEAR(sim.Combined(0, 0), sim.AttrSimilarity(0, 0), 1e-12);
+
+  SimilarityConfig deg_only;
+  deg_only.c1 = 1.0;
+  deg_only.c2 = 0.0;
+  deg_only.c3 = 0.0;
+  StructuralSimilarity sim2(anon_, aux_, deg_only);
+  EXPECT_NEAR(sim2.Combined(0, 0), sim2.DegreeSimilarity(0, 0), 1e-12);
+}
+
+TEST_F(StructuralSimilarityTest, MatrixShapeAndConsistency) {
+  StructuralSimilarity sim(anon_, aux_, {});
+  auto matrix = sim.ComputeMatrix();
+  ASSERT_EQ(matrix.size(), 2u);
+  ASSERT_EQ(matrix[0].size(), 3u);
+  for (int u = 0; u < 2; ++u)
+    for (int v = 0; v < 3; ++v)
+      EXPECT_NEAR(matrix[static_cast<size_t>(u)][static_cast<size_t>(v)],
+                  sim.Combined(u, v), 1e-12);
+}
+
+TEST_F(StructuralSimilarityTest, TrueMappingRanksFirst) {
+  // With attribute-dominated weights (paper default), anon 0's most
+  // similar auxiliary user should be aux 0 (same attributes), and anon 1's
+  // should be aux 1.
+  StructuralSimilarity sim(anon_, aux_, {});
+  auto matrix = sim.ComputeMatrix();
+  EXPECT_GT(matrix[0][0], matrix[0][1]);
+  EXPECT_GT(matrix[0][0], matrix[0][2]);
+  EXPECT_GT(matrix[1][1], matrix[1][0]);
+  EXPECT_GT(matrix[1][1], matrix[1][2]);
+}
+
+TEST_F(StructuralSimilarityTest, DistanceSimilarityBounded) {
+  SimilarityConfig config;
+  config.num_landmarks = 2;
+  StructuralSimilarity sim(anon_, aux_, config);
+  for (int u = 0; u < 2; ++u)
+    for (int v = 0; v < 3; ++v) {
+      const double s = sim.DistanceSimilarity(u, v);
+      EXPECT_GE(s, 0.0);
+      EXPECT_LE(s, 2.0);
+    }
+}
+
+}  // namespace
+}  // namespace dehealth

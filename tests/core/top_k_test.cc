@@ -1,0 +1,91 @@
+#include "core/top_k.h"
+
+#include <gtest/gtest.h>
+
+namespace dehealth {
+namespace {
+
+const std::vector<std::vector<double>> kMatrix = {
+    {0.9, 0.1, 0.5},
+    {0.2, 0.8, 0.3},
+};
+
+TEST(SelectTopKTest, RejectsBadK) {
+  EXPECT_FALSE(SelectTopKCandidates(kMatrix, 0).ok());
+}
+
+TEST(SelectTopKTest, RejectsRaggedMatrix) {
+  EXPECT_FALSE(SelectTopKCandidates({{1.0}, {1.0, 2.0}}, 1).ok());
+}
+
+TEST(SelectTopKTest, EmptyMatrixOk) {
+  auto c = SelectTopKCandidates({}, 3);
+  ASSERT_TRUE(c.ok());
+  EXPECT_TRUE(c->empty());
+}
+
+TEST(SelectTopKTest, DirectSelectionOrdersBySimilarity) {
+  auto c = SelectTopKCandidates(kMatrix, 2);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ((*c)[0], (std::vector<int>{0, 2}));
+  EXPECT_EQ((*c)[1], (std::vector<int>{1, 2}));
+}
+
+TEST(SelectTopKTest, KCappedAtAuxiliaryCount) {
+  auto c = SelectTopKCandidates(kMatrix, 10);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ((*c)[0].size(), 3u);
+}
+
+TEST(SelectTopKTest, GraphMatchingProducesKCandidatesEach) {
+  auto c = SelectTopKCandidates(kMatrix, 2,
+                                CandidateSelection::kGraphMatching);
+  ASSERT_TRUE(c.ok());
+  for (const auto& list : *c) EXPECT_EQ(list.size(), 2u);
+}
+
+TEST(SelectTopKTest, GraphMatchingAvoidsCollisionInRoundOne) {
+  // Both anonymized users prefer aux 0, but a matching assigns distinct
+  // partners per round; over 2 rounds both eventually get their favorite.
+  std::vector<std::vector<double>> m = {{0.9, 0.5}, {0.8, 0.1}};
+  auto c = SelectTopKCandidates(m, 2, CandidateSelection::kGraphMatching);
+  ASSERT_TRUE(c.ok());
+  // Each candidate list ordered by decreasing similarity.
+  EXPECT_EQ((*c)[0], (std::vector<int>{0, 1}));
+  EXPECT_EQ((*c)[1], (std::vector<int>{0, 1}));
+}
+
+TEST(TopKSuccessRateTest, CountsHits) {
+  CandidateSets candidates = {{0, 2}, {1, 2}};
+  EXPECT_EQ(TopKSuccessRate(candidates, {0, 2}), 1.0);
+  EXPECT_EQ(TopKSuccessRate(candidates, {1, 0}), 0.0);
+  EXPECT_EQ(TopKSuccessRate(candidates, {0, 0}), 0.5);
+}
+
+TEST(TopKSuccessRateTest, SkipsNonOverlapping) {
+  CandidateSets candidates = {{0}, {1}};
+  // Second user has no true mapping: only first counts.
+  EXPECT_EQ(TopKSuccessRate(candidates, {0, -1}), 1.0);
+  EXPECT_EQ(TopKSuccessRate(candidates, {-1, -1}), 0.0);
+}
+
+TEST(TopKSuccessCurveTest, MonotoneNonDecreasing) {
+  CandidateSets candidates = {{3, 1, 0}, {2, 0, 1}};
+  const std::vector<int> truth = {0, 2};
+  auto curve = TopKSuccessCurve(candidates, truth, {1, 2, 3});
+  ASSERT_EQ(curve.size(), 3u);
+  EXPECT_DOUBLE_EQ(curve[0], 0.5);  // truth 2 is rank 1 for user 1
+  EXPECT_DOUBLE_EQ(curve[1], 0.5);
+  EXPECT_DOUBLE_EQ(curve[2], 1.0);  // truth 0 at rank 3 for user 0
+  for (size_t i = 1; i < curve.size(); ++i)
+    EXPECT_GE(curve[i], curve[i - 1]);
+}
+
+TEST(TopKSuccessCurveTest, AllMissing) {
+  CandidateSets candidates = {{1}, {2}};
+  auto curve = TopKSuccessCurve(candidates, {-1, -1}, {1});
+  EXPECT_EQ(curve[0], 0.0);
+}
+
+}  // namespace
+}  // namespace dehealth

@@ -1,0 +1,64 @@
+#include "core/uda_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "stylo/feature_layout.h"
+
+namespace dehealth {
+namespace {
+
+ForumDataset TinyDataset() {
+  ForumDataset d;
+  d.num_users = 3;
+  d.num_threads = 2;
+  d.posts = {
+      {0, 0, "I have a headache and it hurts."},
+      {1, 0, "Try drinking more water!"},
+      {0, 1, "Still hurts today."},
+      {2, 1, "See a doctor please."},
+  };
+  return d;
+}
+
+TEST(BuildUdaGraphTest, GraphStructureMatchesThreads) {
+  UdaGraph uda = BuildUdaGraph(TinyDataset());
+  EXPECT_EQ(uda.num_users(), 3);
+  EXPECT_EQ(uda.graph.EdgeWeight(0, 1), 1.0);
+  EXPECT_EQ(uda.graph.EdgeWeight(0, 2), 1.0);
+  EXPECT_EQ(uda.graph.EdgeWeight(1, 2), 0.0);
+}
+
+TEST(BuildUdaGraphTest, ProfilesCountPosts) {
+  UdaGraph uda = BuildUdaGraph(TinyDataset());
+  EXPECT_EQ(uda.profiles[0].num_posts(), 2);
+  EXPECT_EQ(uda.profiles[1].num_posts(), 1);
+  EXPECT_EQ(uda.post_features[0].size(), 2u);
+  EXPECT_EQ(uda.post_features[2].size(), 1u);
+}
+
+TEST(BuildUdaGraphTest, AttributesDerivedFromFeatures) {
+  UdaGraph uda = BuildUdaGraph(TinyDataset());
+  // Every user writes characters, so everyone has the num_chars attribute.
+  for (int u = 0; u < 3; ++u)
+    EXPECT_TRUE(uda.profiles[static_cast<size_t>(u)].HasAttribute(
+        feature_layout::kNumChars));
+  // User 0 wrote two posts -> weight 2 on universally-present attributes.
+  EXPECT_EQ(uda.profiles[0].AttributeWeight(feature_layout::kNumChars), 2);
+}
+
+TEST(BuildUdaGraphTest, PostFeaturesNonEmpty) {
+  UdaGraph uda = BuildUdaGraph(TinyDataset());
+  for (const auto& user_posts : uda.post_features)
+    for (const auto& f : user_posts) EXPECT_FALSE(f.empty());
+}
+
+TEST(BuildUdaGraphTest, EmptyDataset) {
+  ForumDataset d;
+  d.num_users = 2;
+  UdaGraph uda = BuildUdaGraph(d);
+  EXPECT_EQ(uda.num_users(), 2);
+  EXPECT_EQ(uda.profiles[0].num_posts(), 0);
+}
+
+}  // namespace
+}  // namespace dehealth

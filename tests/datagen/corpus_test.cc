@@ -1,0 +1,89 @@
+#include "datagen/corpus.h"
+
+#include <gtest/gtest.h>
+
+namespace dehealth {
+namespace {
+
+ForumDataset SmallDataset() {
+  ForumDataset d;
+  d.num_users = 4;
+  d.num_threads = 3;
+  d.posts = {
+      {0, 0, "hello there friend"},
+      {1, 0, "hi to you"},
+      {2, 0, "me too"},
+      {0, 1, "second thread post"},
+      {1, 1, "reply here"},
+      {3, 2, "lonely thread"},
+  };
+  return d;
+}
+
+TEST(ForumDatasetTest, PostsByUser) {
+  auto d = SmallDataset();
+  auto by_user = d.PostsByUser();
+  ASSERT_EQ(by_user.size(), 4u);
+  EXPECT_EQ(by_user[0].size(), 2u);
+  EXPECT_EQ(by_user[3].size(), 1u);
+  EXPECT_EQ(d.posts[static_cast<size_t>(by_user[3][0])].text,
+            "lonely thread");
+}
+
+TEST(ForumDatasetTest, PostCounts) {
+  auto counts = SmallDataset().PostCounts();
+  EXPECT_EQ(counts, (std::vector<int>{2, 2, 1, 1}));
+}
+
+TEST(ForumDatasetTest, PostWordLengths) {
+  auto lengths = SmallDataset().PostWordLengths();
+  ASSERT_EQ(lengths.size(), 6u);
+  EXPECT_EQ(lengths[0], 3.0);
+  EXPECT_EQ(lengths[5], 2.0);
+}
+
+TEST(BuildCorrelationGraphTest, CoThreadUsersConnected) {
+  auto g = BuildCorrelationGraph(SmallDataset());
+  EXPECT_EQ(g.num_nodes(), 4);
+  // Thread 0: users {0,1,2} -> triangle. Thread 1: {0,1} -> extra weight.
+  EXPECT_EQ(g.EdgeWeight(0, 1), 2.0);
+  EXPECT_EQ(g.EdgeWeight(0, 2), 1.0);
+  EXPECT_EQ(g.EdgeWeight(1, 2), 1.0);
+  EXPECT_EQ(g.Degree(3), 0);  // alone in its thread
+}
+
+TEST(BuildCorrelationGraphTest, MultiplePostsSameThreadCountOnce) {
+  ForumDataset d;
+  d.num_users = 2;
+  d.num_threads = 1;
+  d.posts = {{0, 0, "a"}, {0, 0, "b"}, {1, 0, "c"}, {1, 0, "d"}};
+  auto g = BuildCorrelationGraph(d);
+  EXPECT_EQ(g.EdgeWeight(0, 1), 1.0);  // one shared thread
+}
+
+TEST(BuildCorrelationGraphTest, EmptyDataset) {
+  ForumDataset d;
+  d.num_users = 3;
+  auto g = BuildCorrelationGraph(d);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(ComputeDatasetStatsTest, AllFields) {
+  auto stats = ComputeDatasetStats(SmallDataset());
+  EXPECT_EQ(stats.num_users, 4);
+  EXPECT_EQ(stats.num_posts, 6);
+  EXPECT_NEAR(stats.mean_posts_per_user, 1.5, 1e-12);
+  EXPECT_EQ(stats.fraction_users_under_5_posts, 1.0);
+  EXPECT_EQ(stats.fraction_posts_under_300_words, 1.0);
+  EXPECT_NEAR(stats.mean_post_words, (3 + 3 + 2 + 3 + 2 + 2) / 6.0, 1e-12);
+}
+
+TEST(ComputeDatasetStatsTest, EmptyDataset) {
+  ForumDataset d;
+  auto stats = ComputeDatasetStats(d);
+  EXPECT_EQ(stats.num_posts, 0);
+  EXPECT_EQ(stats.mean_posts_per_user, 0.0);
+}
+
+}  // namespace
+}  // namespace dehealth

@@ -1,0 +1,128 @@
+#include "datagen/forum_generator.h"
+
+#include <gtest/gtest.h>
+
+namespace dehealth {
+namespace {
+
+TEST(GenerateForumTest, RejectsInvalidConfigs) {
+  ForumConfig config;
+  config.num_users = 0;
+  EXPECT_FALSE(GenerateForum(config).ok());
+  config = ForumConfig{};
+  config.post_count_exponent = 0.0;
+  EXPECT_FALSE(GenerateForum(config).ok());
+  config = ForumConfig{};
+  config.max_thread_posts = 0;
+  EXPECT_FALSE(GenerateForum(config).ok());
+  config = ForumConfig{};
+  config.style.vocabulary_size = 10;
+  EXPECT_FALSE(GenerateForum(config).ok());
+}
+
+TEST(GenerateForumTest, ProducesRequestedUsers) {
+  ForumConfig config;
+  config.num_users = 50;
+  config.style.vocabulary_size = 300;
+  auto forum = GenerateForum(config);
+  ASSERT_TRUE(forum.ok());
+  EXPECT_EQ(forum->dataset.num_users, 50);
+  EXPECT_EQ(forum->profiles.size(), 50u);
+  EXPECT_GT(forum->dataset.posts.size(), 50u);  // everyone posts >= 1
+  for (const Post& p : forum->dataset.posts) {
+    EXPECT_GE(p.user_id, 0);
+    EXPECT_LT(p.user_id, 50);
+    EXPECT_GE(p.thread_id, 0);
+    EXPECT_LT(p.thread_id, forum->dataset.num_threads);
+    EXPECT_FALSE(p.text.empty());
+  }
+}
+
+TEST(GenerateForumTest, EveryUserHasAtLeastOnePost) {
+  ForumConfig config;
+  config.num_users = 80;
+  config.style.vocabulary_size = 300;
+  auto forum = GenerateForum(config);
+  ASSERT_TRUE(forum.ok());
+  for (int c : forum->dataset.PostCounts()) EXPECT_GE(c, 1);
+}
+
+TEST(GenerateForumTest, DeterministicGivenSeed) {
+  ForumConfig config;
+  config.num_users = 30;
+  config.style.vocabulary_size = 200;
+  config.seed = 99;
+  auto a = GenerateForum(config);
+  auto b = GenerateForum(config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->dataset.posts.size(), b->dataset.posts.size());
+  for (size_t i = 0; i < a->dataset.posts.size(); ++i) {
+    EXPECT_EQ(a->dataset.posts[i].text, b->dataset.posts[i].text);
+    EXPECT_EQ(a->dataset.posts[i].user_id, b->dataset.posts[i].user_id);
+  }
+}
+
+TEST(GenerateForumTest, SeedsChangeOutput) {
+  ForumConfig config;
+  config.num_users = 30;
+  config.style.vocabulary_size = 200;
+  config.seed = 1;
+  auto a = GenerateForum(config);
+  config.seed = 2;
+  auto b = GenerateForum(config);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(a->dataset.posts[0].text, b->dataset.posts[0].text);
+}
+
+TEST(GenerateForumTest, ThreadSizesBounded) {
+  ForumConfig config;
+  config.num_users = 100;
+  config.max_thread_posts = 5;
+  config.style.vocabulary_size = 200;
+  auto forum = GenerateForum(config);
+  ASSERT_TRUE(forum.ok());
+  std::vector<int> posts_per_thread(
+      static_cast<size_t>(forum->dataset.num_threads), 0);
+  for (const Post& p : forum->dataset.posts)
+    ++posts_per_thread[static_cast<size_t>(p.thread_id)];
+  for (int c : posts_per_thread) EXPECT_LE(c, config.max_thread_posts);
+}
+
+TEST(WebMdLikeConfigTest, MatchesPaperShape) {
+  // Fig. 1-2 of the paper: 87.3% of WebMD users have < 5 posts; the mean
+  // post length is ~128 words and most posts are < 300 words.
+  auto forum = GenerateForum(WebMdLikeConfig(800, 3));
+  ASSERT_TRUE(forum.ok());
+  auto stats = ComputeDatasetStats(forum->dataset);
+  EXPECT_NEAR(stats.fraction_users_under_5_posts, 0.873, 0.05);
+  EXPECT_NEAR(stats.mean_post_words, 127.6, 15.0);
+  EXPECT_GT(stats.fraction_posts_under_300_words, 0.85);
+  EXPECT_GT(stats.mean_posts_per_user, 2.0);
+  EXPECT_LT(stats.mean_posts_per_user, 9.0);
+}
+
+TEST(HealthBoardsLikeConfigTest, MatchesPaperShape) {
+  // HB: 75.4% under 5 posts, mean 12.06 posts/user, ~147 words/post.
+  auto forum = GenerateForum(HealthBoardsLikeConfig(800, 4));
+  ASSERT_TRUE(forum.ok());
+  auto stats = ComputeDatasetStats(forum->dataset);
+  EXPECT_NEAR(stats.fraction_users_under_5_posts, 0.754, 0.06);
+  EXPECT_NEAR(stats.mean_post_words, 147.2, 15.0);
+  EXPECT_GT(stats.mean_posts_per_user, 7.0);
+  EXPECT_LT(stats.mean_posts_per_user, 18.0);
+}
+
+TEST(GenerateForumTest, CorrelationGraphIsSparseAndDisconnected) {
+  // Appendix B of the paper: low degrees, graph not connected.
+  auto forum = GenerateForum(WebMdLikeConfig(400, 5));
+  ASSERT_TRUE(forum.ok());
+  auto graph = BuildCorrelationGraph(forum->dataset);
+  double total_degree = 0.0;
+  for (int u = 0; u < graph.num_nodes(); ++u)
+    total_degree += graph.Degree(u);
+  const double mean_degree = total_degree / graph.num_nodes();
+  EXPECT_LT(mean_degree, 40.0);
+}
+
+}  // namespace
+}  // namespace dehealth

@@ -1,0 +1,162 @@
+#include "datagen/split.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "datagen/forum_generator.h"
+
+namespace dehealth {
+namespace {
+
+GeneratedForum TestForum(int users = 120, uint64_t seed = 7,
+                         int min_posts = 1) {
+  ForumConfig config;
+  config.num_users = users;
+  config.seed = seed;
+  config.style.vocabulary_size = 200;
+  config.min_posts_per_user = min_posts;
+  auto forum = GenerateForum(config);
+  EXPECT_TRUE(forum.ok());
+  return std::move(forum).value();
+}
+
+TEST(ClosedWorldSplitTest, RejectsBadFraction) {
+  auto forum = TestForum(20);
+  EXPECT_FALSE(MakeClosedWorldScenario(forum.dataset, 0.0, 1).ok());
+  EXPECT_FALSE(MakeClosedWorldScenario(forum.dataset, 1.0, 1).ok());
+  ForumDataset empty;
+  EXPECT_FALSE(MakeClosedWorldScenario(empty, 0.5, 1).ok());
+}
+
+TEST(ClosedWorldSplitTest, EveryAnonymizedUserHasTrueMapping) {
+  auto forum = TestForum();
+  auto scenario = MakeClosedWorldScenario(forum.dataset, 0.5, 3);
+  ASSERT_TRUE(scenario.ok());
+  EXPECT_EQ(scenario->truth.size(),
+            static_cast<size_t>(scenario->anonymized.num_users));
+  for (int t : scenario->truth) {
+    EXPECT_GE(t, 0);  // closed world: V1 ⊆ V2
+    EXPECT_LT(t, scenario->auxiliary.num_users);
+  }
+}
+
+TEST(ClosedWorldSplitTest, PostsArePartitioned) {
+  auto forum = TestForum();
+  auto scenario = MakeClosedWorldScenario(forum.dataset, 0.5, 3);
+  ASSERT_TRUE(scenario.ok());
+  EXPECT_EQ(scenario->anonymized.posts.size() +
+                scenario->auxiliary.posts.size(),
+            forum.dataset.posts.size());
+  // No text appears on both sides.
+  std::set<std::string> anon_texts;
+  for (const Post& p : scenario->anonymized.posts)
+    anon_texts.insert(p.text);
+  for (const Post& p : scenario->auxiliary.posts)
+    EXPECT_EQ(anon_texts.count(p.text), 0u);
+}
+
+TEST(ClosedWorldSplitTest, AuxFractionRespected) {
+  auto forum = TestForum(300, 9);
+  auto scenario = MakeClosedWorldScenario(forum.dataset, 0.7, 3);
+  ASSERT_TRUE(scenario.ok());
+  const double aux_fraction =
+      static_cast<double>(scenario->auxiliary.posts.size()) /
+      static_cast<double>(forum.dataset.posts.size());
+  EXPECT_NEAR(aux_fraction, 0.7, 0.12);
+}
+
+TEST(ClosedWorldSplitTest, TruthMappingPointsToSameUsersPosts) {
+  auto forum = TestForum();
+  auto scenario = MakeClosedWorldScenario(forum.dataset, 0.5, 11);
+  ASSERT_TRUE(scenario.ok());
+  // Map original text -> original author for verification.
+  std::map<std::string, int> author_of;
+  for (const Post& p : forum.dataset.posts) author_of[p.text] = p.user_id;
+  for (const Post& p : scenario->anonymized.posts) {
+    const int original_author = author_of.at(p.text);
+    EXPECT_EQ(scenario->truth[static_cast<size_t>(p.user_id)],
+              original_author);
+  }
+}
+
+TEST(ClosedWorldSplitTest, PseudonymsAreShuffled) {
+  auto forum = TestForum(200, 13);
+  auto scenario = MakeClosedWorldScenario(forum.dataset, 0.5, 5);
+  ASSERT_TRUE(scenario.ok());
+  // If pseudonyms were identity, truth would be sorted ascending.
+  bool sorted = std::is_sorted(scenario->truth.begin(),
+                               scenario->truth.end());
+  EXPECT_FALSE(sorted);
+}
+
+TEST(ClosedWorldSplitTest, DeterministicGivenSeed) {
+  auto forum = TestForum();
+  auto a = MakeClosedWorldScenario(forum.dataset, 0.5, 17);
+  auto b = MakeClosedWorldScenario(forum.dataset, 0.5, 17);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->truth, b->truth);
+  EXPECT_EQ(a->anonymized.posts.size(), b->anonymized.posts.size());
+}
+
+TEST(OpenWorldSplitTest, RejectsBadInput) {
+  auto forum = TestForum(20);
+  EXPECT_FALSE(MakeOpenWorldScenario(forum.dataset, 0.0, 1).ok());
+  EXPECT_FALSE(MakeOpenWorldScenario(forum.dataset, 1.5, 1).ok());
+  ForumDataset tiny;
+  tiny.num_users = 2;
+  EXPECT_FALSE(MakeOpenWorldScenario(tiny, 0.5, 1).ok());
+}
+
+TEST(OpenWorldSplitTest, OverlapRatioApproximatelyRespected) {
+  // Every user splittable (>= 2 posts), like the paper's open-world setup.
+  auto forum = TestForum(400, 21, /*min_posts=*/2);
+  for (double ratio : {0.5, 0.7, 0.9}) {
+    auto scenario = MakeOpenWorldScenario(forum.dataset, ratio, 5);
+    ASSERT_TRUE(scenario.ok());
+    int overlapping = 0;
+    for (int t : scenario->truth)
+      if (t >= 0) ++overlapping;
+    const double measured =
+        static_cast<double>(overlapping) /
+        static_cast<double>(scenario->anonymized.num_users);
+    EXPECT_NEAR(measured, ratio, 0.1) << "ratio " << ratio;
+  }
+}
+
+TEST(OpenWorldSplitTest, NonOverlappingUsersMarked) {
+  auto forum = TestForum(200, 23);
+  auto scenario = MakeOpenWorldScenario(forum.dataset, 0.5, 5);
+  ASSERT_TRUE(scenario.ok());
+  int missing = 0;
+  for (int t : scenario->truth)
+    if (t == DaScenario::kNoTrueMapping) ++missing;
+  EXPECT_GT(missing, 0);
+}
+
+TEST(OpenWorldSplitTest, TruthIdsValid) {
+  auto forum = TestForum(200, 29);
+  auto scenario = MakeOpenWorldScenario(forum.dataset, 0.7, 7);
+  ASSERT_TRUE(scenario.ok());
+  for (int t : scenario->truth) {
+    if (t == DaScenario::kNoTrueMapping) continue;
+    EXPECT_GE(t, 0);
+    EXPECT_LT(t, scenario->auxiliary.num_users);
+  }
+}
+
+TEST(OpenWorldSplitTest, SidesHaveDisjointPostSets) {
+  auto forum = TestForum(150, 31);
+  auto scenario = MakeOpenWorldScenario(forum.dataset, 0.5, 7);
+  ASSERT_TRUE(scenario.ok());
+  std::set<std::string> anon_texts;
+  for (const Post& p : scenario->anonymized.posts)
+    anon_texts.insert(p.text);
+  for (const Post& p : scenario->auxiliary.posts)
+    EXPECT_EQ(anon_texts.count(p.text), 0u);
+}
+
+}  // namespace
+}  // namespace dehealth

@@ -1,0 +1,166 @@
+#include "datagen/style_profile.h"
+
+#include <gtest/gtest.h>
+
+#include "stylo/extractor.h"
+#include "stylo/feature_mask.h"
+#include "text/lexicon.h"
+#include "text/tokenizer.h"
+
+namespace dehealth {
+namespace {
+
+TEST(SampleStyleProfileTest, ParametersWithinBounds) {
+  StylePopulationConfig config;
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    StyleProfile p = SampleStyleProfile(config, rng);
+    EXPECT_GE(p.function_word_rate, 0.25);
+    EXPECT_LE(p.function_word_rate, 0.6);
+    EXPECT_GE(p.misspelling_rate, 0.0);
+    EXPECT_LE(p.misspelling_rate, 0.08);
+    EXPECT_GE(p.vocab_active_size, 100);
+    EXPECT_LE(p.vocab_active_size, config.vocabulary_size);
+    EXPECT_EQ(p.function_word_weights.size(),
+              FunctionWordLexicon().size());
+    EXPECT_GE(p.habitual_misspellings.size(), 3u);
+    EXPECT_LE(p.habitual_misspellings.size(), 10u);
+    for (int idx : p.habitual_misspellings) {
+      EXPECT_GE(idx, 0);
+      EXPECT_LT(idx, static_cast<int>(MisspellingLexicon().size()));
+    }
+  }
+}
+
+TEST(SampleStyleProfileTest, ZeroDiversityNarrowsSpread) {
+  StylePopulationConfig diverse;
+  diverse.profile_diversity = 1.0;
+  StylePopulationConfig uniform;
+  uniform.profile_diversity = 0.0;
+  Rng rng_a(5), rng_b(5);
+  double spread_diverse = 0.0, spread_uniform = 0.0;
+  for (int i = 0; i < 30; ++i) {
+    spread_diverse +=
+        std::abs(SampleStyleProfile(diverse, rng_a).comma_rate - 0.06);
+    spread_uniform +=
+        std::abs(SampleStyleProfile(uniform, rng_b).comma_rate - 0.06);
+  }
+  EXPECT_LT(spread_uniform, 1e-9);
+  EXPECT_GT(spread_diverse, 1e-4);
+}
+
+class GeneratePostTest : public ::testing::Test {
+ protected:
+  GeneratePostTest() : vocab_rng_(3), vocab_(500, vocab_rng_) {}
+  Rng vocab_rng_;
+  Vocabulary vocab_;
+  StylePopulationConfig config_;
+};
+
+TEST_F(GeneratePostTest, RespectsTargetWordCountApproximately) {
+  Rng rng(11);
+  StyleProfile p = SampleStyleProfile(config_, rng);
+  const std::string post = GeneratePost(p, vocab_, rng, 100);
+  const auto words = TokenizeWords(post);
+  EXPECT_GE(words.size(), 95u);
+  EXPECT_LE(words.size(), 115u);
+}
+
+TEST_F(GeneratePostTest, PostLengthFollowsProfileWhenUnspecified) {
+  Rng rng(13);
+  StyleProfile p = SampleStyleProfile(config_, rng);
+  p.mean_post_words = 60.0;
+  p.sd_post_log = 0.3;
+  double total = 0.0;
+  const int n = 60;
+  for (int i = 0; i < n; ++i)
+    total += static_cast<double>(
+        TokenizeWords(GeneratePost(p, vocab_, rng)).size());
+  EXPECT_NEAR(total / n, 64.0, 18.0);  // sentence granularity adds a bit
+}
+
+TEST_F(GeneratePostTest, EndsWithTerminator) {
+  Rng rng(17);
+  StyleProfile p = SampleStyleProfile(config_, rng);
+  for (int i = 0; i < 10; ++i) {
+    const std::string post = GeneratePost(p, vocab_, rng, 30);
+    ASSERT_FALSE(post.empty());
+    const char last = post.back();
+    EXPECT_TRUE(last == '.' || last == '!' || last == '?' || last == ')');
+  }
+}
+
+TEST_F(GeneratePostTest, MisspellerEmitsHabitualMisspellings) {
+  Rng rng(19);
+  StyleProfile p = SampleStyleProfile(config_, rng);
+  p.misspelling_rate = 0.5;  // force frequent slips
+  const std::string post = GeneratePost(p, vocab_, rng, 400);
+  int misspellings = 0;
+  for (const auto& w : TokenizeWords(post))
+    if (IsMisspelling(w)) ++misspellings;
+  EXPECT_GT(misspellings, 20);
+}
+
+TEST_F(GeneratePostTest, DistinctAuthorsProduceDistinctStyleVectors) {
+  // The core premise of the generator: same author's posts must be more
+  // stylometrically alike than different authors' posts.
+  Rng rng(23);
+  StyleProfile a = SampleStyleProfile(config_, rng);
+  StyleProfile b = SampleStyleProfile(config_, rng);
+  FeatureExtractor extractor;
+  auto mean_vec = [&](const StyleProfile& p, uint64_t seed) {
+    Rng post_rng(seed);
+    SparseVector sum;
+    for (int i = 0; i < 8; ++i)
+      sum.AddVector(
+          extractor.ExtractPost(GeneratePost(p, vocab_, post_rng, 150)));
+    sum.Scale(1.0 / 8.0);
+    return sum;
+  };
+  SparseVector a1 = mean_vec(a, 100), a2 = mean_vec(a, 200);
+  SparseVector b1 = mean_vec(b, 300);
+  EXPECT_GT(a1.Cosine(a2), a1.Cosine(b1));
+}
+
+TEST_F(GeneratePostTest, ZeroVocabPersonalizationSharesWordChoices) {
+  // With the lexical fingerprint disabled, two different users' content
+  // word distributions collapse onto the shared ranking: their mean
+  // feature vectors become much more alike than with personalization on.
+  StylePopulationConfig shared_config = config_;
+  shared_config.vocab_personalization = 0.0;
+  Rng rng(31);
+  StyleProfile a = SampleStyleProfile(shared_config, rng);
+  StyleProfile b = SampleStyleProfile(shared_config, rng);
+  StyleProfile a_personal = a;
+  StyleProfile b_personal = b;
+  a_personal.vocab_personalization = 1.0;
+  b_personal.vocab_personalization = 1.0;
+
+  // Compare on letter frequencies only: the raw feature cosine is
+  // dominated by the large-magnitude length features, while content-word
+  // choice shows up directly in the letter distribution.
+  FeatureExtractor extractor;
+  auto letter_vec = [&](const StyleProfile& p, uint64_t seed) {
+    Rng post_rng(seed);
+    SparseVector sum;
+    for (int i = 0; i < 6; ++i)
+      sum.AddVector(KeepCategories(
+          extractor.ExtractPost(GeneratePost(p, vocab_, post_rng, 150)),
+          {"letter_freq"}));
+    return sum;
+  };
+  const double shared_sim = letter_vec(a, 1).Cosine(letter_vec(b, 2));
+  const double personal_sim =
+      letter_vec(a_personal, 1).Cosine(letter_vec(b_personal, 2));
+  EXPECT_GT(shared_sim, personal_sim);
+}
+
+TEST_F(GeneratePostTest, DeterministicGivenSameRngState) {
+  Rng rng(29);
+  StyleProfile p = SampleStyleProfile(config_, rng);
+  Rng r1(77), r2(77);
+  EXPECT_EQ(GeneratePost(p, vocab_, r1, 50), GeneratePost(p, vocab_, r2, 50));
+}
+
+}  // namespace
+}  // namespace dehealth

@@ -1,0 +1,122 @@
+#include "graph/bipartite_matching.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dehealth {
+namespace {
+
+TEST(BipartiteMatchingTest, EmptyInput) {
+  EXPECT_TRUE(MaxWeightBipartiteMatching({}).empty());
+}
+
+TEST(BipartiteMatchingTest, SingleEdge) {
+  auto m = MaxWeightBipartiteMatching({{5.0}});
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[0], 0);
+}
+
+TEST(BipartiteMatchingTest, PicksMaxWeightPerfectMatching) {
+  // Optimal: 0->1, 1->0 (total 10 + 8 = 18) vs diagonal (1 + 1 = 2).
+  std::vector<std::vector<double>> w = {{1.0, 10.0}, {8.0, 1.0}};
+  auto m = MaxWeightBipartiteMatching(w);
+  EXPECT_EQ(m[0], 1);
+  EXPECT_EQ(m[1], 0);
+  EXPECT_EQ(MatchingWeight(w, m), 18.0);
+}
+
+TEST(BipartiteMatchingTest, DiagonalOptimal) {
+  std::vector<std::vector<double>> w = {{9.0, 1.0}, {1.0, 9.0}};
+  auto m = MaxWeightBipartiteMatching(w);
+  EXPECT_EQ(m[0], 0);
+  EXPECT_EQ(m[1], 1);
+}
+
+TEST(BipartiteMatchingTest, ThreeByThreeKnownOptimum) {
+  std::vector<std::vector<double>> w = {
+      {7.0, 4.0, 3.0}, {6.0, 8.0, 5.0}, {9.0, 4.0, 4.0}};
+  auto m = MaxWeightBipartiteMatching(w);
+  // Optimal: 0->? Let's verify by weight: best assignment is 9+8+3=20
+  // (2->0, 1->1, 0->2).
+  EXPECT_EQ(MatchingWeight(w, m), 20.0);
+}
+
+TEST(BipartiteMatchingTest, AssignmentIsPermutation) {
+  std::vector<std::vector<double>> w = {
+      {2.0, 3.0, 1.0}, {1.0, 2.0, 3.0}, {3.0, 1.0, 2.0}};
+  auto m = MaxWeightBipartiteMatching(w);
+  std::set<int> targets(m.begin(), m.end());
+  EXPECT_EQ(targets.size(), 3u);
+}
+
+TEST(BipartiteMatchingTest, MoreRowsThanColumns) {
+  // 3 left, 2 right: one left node stays unmatched (-1).
+  std::vector<std::vector<double>> w = {{5.0, 1.0}, {4.0, 2.0}, {1.0, 9.0}};
+  auto m = MaxWeightBipartiteMatching(w);
+  int unmatched = 0;
+  std::set<int> used;
+  for (int v : m) {
+    if (v == -1) {
+      ++unmatched;
+    } else {
+      EXPECT_TRUE(used.insert(v).second);
+    }
+  }
+  EXPECT_EQ(unmatched, 1);
+  // Best total: 5 (0->0) + 9 (2->1) = 14, leaving row 1 unmatched.
+  EXPECT_EQ(MatchingWeight(w, m), 14.0);
+}
+
+TEST(BipartiteMatchingTest, MoreColumnsThanRows) {
+  std::vector<std::vector<double>> w = {{1.0, 7.0, 3.0}};
+  auto m = MaxWeightBipartiteMatching(w);
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_EQ(m[0], 1);
+}
+
+TEST(BipartiteMatchingTest, ZeroColumns) {
+  std::vector<std::vector<double>> w = {{}, {}};
+  auto m = MaxWeightBipartiteMatching(w);
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_EQ(m[0], -1);
+  EXPECT_EQ(m[1], -1);
+}
+
+// Property test: Hungarian result must match brute force on random
+// instances.
+class MatchingPropertyTest : public ::testing::TestWithParam<int> {};
+
+double BruteForceBest(const std::vector<std::vector<double>>& w) {
+  const int n = static_cast<int>(w.size());
+  std::vector<int> perm(w[0].size());
+  for (size_t i = 0; i < perm.size(); ++i) perm[i] = static_cast<int>(i);
+  double best = 0.0;
+  do {
+    double total = 0.0;
+    for (int i = 0; i < n && i < static_cast<int>(perm.size()); ++i)
+      total += w[static_cast<size_t>(i)][static_cast<size_t>(
+          perm[static_cast<size_t>(i)])];
+    best = std::max(best, total);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  return best;
+}
+
+TEST_P(MatchingPropertyTest, MatchesBruteForceOnRandomSquare) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const int n = 2 + static_cast<int>(rng.NextBounded(4));  // 2..5
+  std::vector<std::vector<double>> w(
+      static_cast<size_t>(n), std::vector<double>(static_cast<size_t>(n)));
+  for (auto& row : w)
+    for (double& x : row) x = rng.NextDouble(0.0, 10.0);
+  auto m = MaxWeightBipartiteMatching(w);
+  EXPECT_NEAR(MatchingWeight(w, m), BruteForceBest(w), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomInstances, MatchingPropertyTest,
+                         ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace dehealth

@@ -1,0 +1,108 @@
+#include "graph/community.h"
+
+#include <gtest/gtest.h>
+
+namespace dehealth {
+namespace {
+
+TEST(ConnectedComponentsTest, TwoComponentsPlusIsolated) {
+  CorrelationGraph g(5);
+  g.AddInteraction(0, 1);
+  g.AddInteraction(2, 3);
+  auto result = ConnectedComponents(g);
+  EXPECT_EQ(result.num_components, 3);
+  EXPECT_EQ(result.label[0], result.label[1]);
+  EXPECT_EQ(result.label[2], result.label[3]);
+  EXPECT_NE(result.label[0], result.label[2]);
+  EXPECT_NE(result.label[4], result.label[0]);
+  auto sizes = ComponentSizes(result);
+  int singletons = 0;
+  for (int s : sizes)
+    if (s == 1) ++singletons;
+  EXPECT_EQ(singletons, 1);
+}
+
+TEST(ConnectedComponentsTest, EmptyGraph) {
+  CorrelationGraph g(0);
+  auto result = ConnectedComponents(g);
+  EXPECT_EQ(result.num_components, 0);
+}
+
+TEST(ConnectedComponentsTest, FullyConnected) {
+  CorrelationGraph g(4);
+  for (int i = 0; i < 4; ++i)
+    for (int j = i + 1; j < 4; ++j) g.AddInteraction(i, j);
+  EXPECT_EQ(ConnectedComponents(g).num_components, 1);
+}
+
+TEST(LabelPropagationTest, TwoCliquesSeparate) {
+  // Two 4-cliques joined by a single weak edge.
+  CorrelationGraph g(8);
+  for (int i = 0; i < 4; ++i)
+    for (int j = i + 1; j < 4; ++j) g.AddInteraction(i, j, 5.0);
+  for (int i = 4; i < 8; ++i)
+    for (int j = i + 1; j < 8; ++j) g.AddInteraction(i, j, 5.0);
+  g.AddInteraction(3, 4, 0.1);
+  Rng rng(1);
+  auto result = LabelPropagation(g, rng);
+  // Within-clique labels agree.
+  EXPECT_EQ(result.label[0], result.label[1]);
+  EXPECT_EQ(result.label[0], result.label[3]);
+  EXPECT_EQ(result.label[4], result.label[7]);
+  // Across the weak bridge, labels differ.
+  EXPECT_NE(result.label[0], result.label[4]);
+  EXPECT_EQ(result.num_communities, 2);
+}
+
+TEST(LabelPropagationTest, IsolatedNodesKeepOwnLabels) {
+  CorrelationGraph g(3);
+  Rng rng(2);
+  auto result = LabelPropagation(g, rng);
+  EXPECT_EQ(result.num_communities, 3);
+}
+
+TEST(LabelPropagationTest, LabelsAreCompacted) {
+  CorrelationGraph g(6);
+  g.AddInteraction(4, 5, 3.0);
+  Rng rng(3);
+  auto result = LabelPropagation(g, rng);
+  for (int label : result.label) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, result.num_communities);
+  }
+}
+
+TEST(SummarizeCommunityStructureTest, DegreeFilterShrinksStructure) {
+  // Star with hub 0 (degree 5) and a triangle 6-7-8.
+  CorrelationGraph g(9);
+  for (int i = 1; i <= 5; ++i) g.AddInteraction(0, i);
+  g.AddInteraction(6, 7);
+  g.AddInteraction(7, 8);
+  g.AddInteraction(6, 8);
+  Rng rng(4);
+  auto all = SummarizeCommunityStructure(g, 0, rng);
+  EXPECT_EQ(all.min_degree, 0);
+  EXPECT_EQ(all.active_nodes, 9);
+  EXPECT_EQ(all.num_components, 2);
+  EXPECT_EQ(all.largest_component, 6);
+
+  Rng rng2(4);
+  auto filtered = SummarizeCommunityStructure(g, 2, rng2);
+  // Only the triangle has all-degree >= 2 nodes.
+  EXPECT_EQ(filtered.active_nodes, 3);
+  EXPECT_EQ(filtered.num_components, 1);
+  EXPECT_EQ(filtered.largest_component, 3);
+}
+
+TEST(SummarizeCommunityStructureTest, AllFilteredOut) {
+  CorrelationGraph g(4);
+  g.AddInteraction(0, 1);
+  Rng rng(5);
+  auto summary = SummarizeCommunityStructure(g, 10, rng);
+  EXPECT_EQ(summary.active_nodes, 0);
+  EXPECT_EQ(summary.num_components, 0);
+  EXPECT_EQ(summary.num_communities, 0);
+}
+
+}  // namespace
+}  // namespace dehealth

@@ -1,0 +1,99 @@
+#include "graph/correlation_graph.h"
+
+#include <gtest/gtest.h>
+
+namespace dehealth {
+namespace {
+
+TEST(CorrelationGraphTest, EmptyGraph) {
+  CorrelationGraph g(3);
+  EXPECT_EQ(g.num_nodes(), 3);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_EQ(g.Degree(0), 0);
+  EXPECT_EQ(g.WeightedDegree(0), 0.0);
+  EXPECT_TRUE(g.NcsVector(0).empty());
+}
+
+TEST(CorrelationGraphTest, AddInteractionCreatesUndirectedEdge) {
+  CorrelationGraph g(3);
+  g.AddInteraction(0, 1);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.Degree(0), 1);
+  EXPECT_EQ(g.Degree(1), 1);
+  EXPECT_EQ(g.EdgeWeight(0, 1), 1.0);
+  EXPECT_EQ(g.EdgeWeight(1, 0), 1.0);
+}
+
+TEST(CorrelationGraphTest, RepeatedInteractionAccumulatesWeight) {
+  CorrelationGraph g(2);
+  g.AddInteraction(0, 1);
+  g.AddInteraction(0, 1, 2.5);
+  EXPECT_EQ(g.num_edges(), 1);
+  EXPECT_EQ(g.EdgeWeight(0, 1), 3.5);
+  EXPECT_EQ(g.WeightedDegree(0), 3.5);
+}
+
+TEST(CorrelationGraphTest, SelfLoopsIgnored) {
+  CorrelationGraph g(2);
+  g.AddInteraction(1, 1);
+  EXPECT_EQ(g.num_edges(), 0);
+  EXPECT_EQ(g.Degree(1), 0);
+}
+
+TEST(CorrelationGraphTest, EdgeWeightOfAbsentEdgeIsZero) {
+  CorrelationGraph g(3);
+  g.AddInteraction(0, 1);
+  EXPECT_EQ(g.EdgeWeight(0, 2), 0.0);
+}
+
+TEST(CorrelationGraphTest, NcsVectorDecreasingOrder) {
+  CorrelationGraph g(4);
+  g.AddInteraction(0, 1, 1.0);
+  g.AddInteraction(0, 2, 5.0);
+  g.AddInteraction(0, 3, 3.0);
+  auto ncs = g.NcsVector(0);
+  ASSERT_EQ(ncs.size(), 3u);
+  EXPECT_EQ(ncs[0], 5.0);
+  EXPECT_EQ(ncs[1], 3.0);
+  EXPECT_EQ(ncs[2], 1.0);
+}
+
+TEST(CorrelationGraphTest, NodesByDegreeDesc) {
+  CorrelationGraph g(4);
+  g.AddInteraction(1, 0);
+  g.AddInteraction(1, 2);
+  g.AddInteraction(1, 3);
+  g.AddInteraction(2, 3);
+  auto order = g.NodesByDegreeDesc();
+  EXPECT_EQ(order[0], 1);            // degree 3
+  EXPECT_EQ(order.back(), 0);        // degree 1, highest id among ties? no:
+  // degrees: 1->3, 2->2, 3->2, 0->1; ties broken by smaller id first.
+  EXPECT_EQ(order[1], 2);
+  EXPECT_EQ(order[2], 3);
+}
+
+TEST(CorrelationGraphTest, FilterByDegreeDropsWeakNodes) {
+  CorrelationGraph g(4);
+  g.AddInteraction(0, 1);
+  g.AddInteraction(0, 2);
+  g.AddInteraction(0, 3);
+  g.AddInteraction(1, 2);
+  // degrees: 0->3, 1->2, 2->2, 3->1.
+  CorrelationGraph filtered = g.FilterByDegree(2);
+  EXPECT_EQ(filtered.num_nodes(), 4);  // ids preserved
+  EXPECT_EQ(filtered.Degree(3), 0);    // dropped
+  EXPECT_EQ(filtered.EdgeWeight(0, 1), 1.0);
+  EXPECT_EQ(filtered.EdgeWeight(0, 3), 0.0);
+  EXPECT_EQ(filtered.num_edges(), 3);  // (0,1), (0,2), (1,2)
+}
+
+TEST(CorrelationGraphTest, FilterByDegreeZeroKeepsAll) {
+  CorrelationGraph g(3);
+  g.AddInteraction(0, 1, 2.0);
+  CorrelationGraph filtered = g.FilterByDegree(0);
+  EXPECT_EQ(filtered.num_edges(), 1);
+  EXPECT_EQ(filtered.EdgeWeight(0, 1), 2.0);
+}
+
+}  // namespace
+}  // namespace dehealth

@@ -1,0 +1,74 @@
+#include "graph/landmarks.h"
+
+#include <gtest/gtest.h>
+
+namespace dehealth {
+namespace {
+
+CorrelationGraph MakeStar() {
+  // Hub 0 connected to 1..4; 5 isolated.
+  CorrelationGraph g(6);
+  for (int i = 1; i <= 4; ++i) g.AddInteraction(0, i);
+  return g;
+}
+
+TEST(LandmarkIndexTest, SelectsHighestDegreeNodes) {
+  auto g = MakeStar();
+  LandmarkIndex index(g, 2);
+  ASSERT_EQ(index.landmarks().size(), 2u);
+  EXPECT_EQ(index.landmarks()[0], 0);  // the hub
+  EXPECT_EQ(index.landmarks()[1], 1);  // degree-1 tie broken by id
+}
+
+TEST(LandmarkIndexTest, CountCappedAtNodeCount) {
+  CorrelationGraph g(3);
+  LandmarkIndex index(g, 10);
+  EXPECT_EQ(index.landmarks().size(), 3u);
+}
+
+TEST(LandmarkIndexTest, ZeroLandmarks) {
+  auto g = MakeStar();
+  LandmarkIndex index(g, 0);
+  EXPECT_TRUE(index.landmarks().empty());
+  EXPECT_TRUE(index.HopVector(0).empty());
+}
+
+TEST(LandmarkIndexTest, HopVectorValues) {
+  auto g = MakeStar();
+  LandmarkIndex index(g, 1);  // landmark = hub 0
+  auto v_hub = index.HopVector(0);
+  auto v_leaf = index.HopVector(2);
+  auto v_isolated = index.HopVector(5);
+  ASSERT_EQ(v_hub.size(), 1u);
+  EXPECT_EQ(v_hub[0], 1.0);      // distance 0 -> proximity 1
+  EXPECT_EQ(v_leaf[0], 0.5);     // distance 1
+  EXPECT_EQ(v_isolated[0], 0.0); // unreachable
+}
+
+TEST(LandmarkIndexTest, WeightedVectorUsesWeights) {
+  CorrelationGraph g(3);
+  g.AddInteraction(0, 1, 4.0);
+  g.AddInteraction(0, 2, 1.0);
+  LandmarkIndex index(g, 1);  // landmark = 0
+  auto v1 = index.WeightedVector(1);
+  auto v2 = index.WeightedVector(2);
+  // Stronger tie (weight 4 -> cost .25) => higher proximity.
+  EXPECT_GT(v1[0], v2[0]);
+}
+
+TEST(LandmarkIndexTest, VectorsOrderedByLandmarkDegree) {
+  CorrelationGraph g(5);
+  g.AddInteraction(0, 1);
+  g.AddInteraction(0, 2);
+  g.AddInteraction(0, 3);
+  g.AddInteraction(1, 2);
+  LandmarkIndex index(g, 2);
+  // Landmarks: 0 (deg 3), then 1 (deg 2).
+  auto v = index.HopVector(3);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v[0], 0.5);  // hop 1 to node 0
+  EXPECT_NEAR(v[1], 1.0 / 3.0, 1e-12);  // hop 2 to node 1
+}
+
+}  // namespace
+}  // namespace dehealth

@@ -1,0 +1,82 @@
+#include "graph/shortest_path.h"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace dehealth {
+namespace {
+
+CorrelationGraph MakePath() {
+  // 0 - 1 - 2 - 3, isolated 4.
+  CorrelationGraph g(5);
+  g.AddInteraction(0, 1);
+  g.AddInteraction(1, 2);
+  g.AddInteraction(2, 3);
+  return g;
+}
+
+TEST(BfsDistancesTest, PathGraph) {
+  auto g = MakePath();
+  auto d = BfsDistances(g, 0);
+  EXPECT_EQ(d[0], 0);
+  EXPECT_EQ(d[1], 1);
+  EXPECT_EQ(d[2], 2);
+  EXPECT_EQ(d[3], 3);
+  EXPECT_EQ(d[4], kUnreachable);
+}
+
+TEST(BfsDistancesTest, SymmetricSource) {
+  auto g = MakePath();
+  auto d = BfsDistances(g, 3);
+  EXPECT_EQ(d[0], 3);
+}
+
+TEST(BfsDistancesTest, PrefersShorterPath) {
+  CorrelationGraph g(4);
+  g.AddInteraction(0, 1);
+  g.AddInteraction(1, 3);
+  g.AddInteraction(0, 3);  // direct shortcut
+  auto d = BfsDistances(g, 0);
+  EXPECT_EQ(d[3], 1);
+}
+
+TEST(WeightedDistancesTest, EdgeCostIsInverseWeight) {
+  CorrelationGraph g(3);
+  g.AddInteraction(0, 1, 2.0);  // cost 0.5
+  g.AddInteraction(1, 2, 4.0);  // cost 0.25
+  auto d = WeightedDistances(g, 0);
+  EXPECT_NEAR(d[1], 0.5, 1e-12);
+  EXPECT_NEAR(d[2], 0.75, 1e-12);
+}
+
+TEST(WeightedDistancesTest, StrongIndirectBeatsWeakDirect) {
+  CorrelationGraph g(3);
+  g.AddInteraction(0, 2, 0.5);   // direct cost 2.0
+  g.AddInteraction(0, 1, 10.0);  // cost 0.1
+  g.AddInteraction(1, 2, 10.0);  // cost 0.1
+  auto d = WeightedDistances(g, 0);
+  EXPECT_NEAR(d[2], 0.2, 1e-12);
+}
+
+TEST(WeightedDistancesTest, UnreachableIsInfinity) {
+  CorrelationGraph g(2);
+  auto d = WeightedDistances(g, 0);
+  EXPECT_EQ(d[1], std::numeric_limits<double>::infinity());
+}
+
+TEST(ProximityTest, HopProximity) {
+  EXPECT_EQ(HopProximity(0), 1.0);
+  EXPECT_EQ(HopProximity(1), 0.5);
+  EXPECT_EQ(HopProximity(kUnreachable), 0.0);
+  EXPECT_GT(HopProximity(2), HopProximity(3));
+}
+
+TEST(ProximityTest, WeightedProximity) {
+  EXPECT_EQ(WeightedProximity(0.0), 1.0);
+  EXPECT_EQ(WeightedProximity(std::numeric_limits<double>::infinity()), 0.0);
+  EXPECT_GT(WeightedProximity(0.5), WeightedProximity(1.0));
+}
+
+}  // namespace
+}  // namespace dehealth

@@ -1,0 +1,129 @@
+#include "io/forum_io.h"
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "datagen/forum_generator.h"
+
+namespace dehealth {
+namespace {
+
+TEST(EscapeJsonTest, EscapesSpecials) {
+  EXPECT_EQ(EscapeJson("a\"b"), "a\\\"b");
+  EXPECT_EQ(EscapeJson("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapeJson("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(EscapeJson("tab\there"), "tab\\there");
+  EXPECT_EQ(EscapeJson(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(EscapeJson("plain"), "plain");
+}
+
+TEST(UnescapeJsonTest, RoundTripsEscape) {
+  for (const char* raw :
+       {"plain", "with \"quotes\"", "back\\slash", "multi\nline\twith\r",
+        "don't stop", ""}) {
+    auto unescaped = UnescapeJson(EscapeJson(raw));
+    ASSERT_TRUE(unescaped.ok()) << raw;
+    EXPECT_EQ(*unescaped, raw);
+  }
+}
+
+TEST(UnescapeJsonTest, RejectsBadEscapes) {
+  EXPECT_FALSE(UnescapeJson("dangling\\").ok());
+  EXPECT_FALSE(UnescapeJson("bad\\q").ok());
+  EXPECT_FALSE(UnescapeJson("bad\\u12").ok());
+  EXPECT_FALSE(UnescapeJson("bad\\u12zz").ok());
+}
+
+TEST(UnescapeJsonTest, HandlesUnicodeEscapes) {
+  auto r = UnescapeJson("\\u0041");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "A");
+}
+
+ForumDataset SmallDataset() {
+  ForumDataset d;
+  d.num_users = 3;
+  d.num_threads = 2;
+  d.posts = {
+      {0, 0, "hello \"world\"!"},
+      {1, 0, "line1\nline2"},
+      {2, 1, "plain post"},
+  };
+  return d;
+}
+
+TEST(ForumJsonlTest, RoundTrip) {
+  const ForumDataset original = SmallDataset();
+  const std::string jsonl = ForumDatasetToJsonl(original);
+  auto loaded = ForumDatasetFromJsonl(jsonl);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_users, original.num_users);
+  EXPECT_EQ(loaded->num_threads, original.num_threads);
+  ASSERT_EQ(loaded->posts.size(), original.posts.size());
+  for (size_t i = 0; i < original.posts.size(); ++i) {
+    EXPECT_EQ(loaded->posts[i].user_id, original.posts[i].user_id);
+    EXPECT_EQ(loaded->posts[i].thread_id, original.posts[i].thread_id);
+    EXPECT_EQ(loaded->posts[i].text, original.posts[i].text);
+  }
+}
+
+TEST(ForumJsonlTest, RoundTripGeneratedForum) {
+  auto forum = GenerateForum(WebMdLikeConfig(40, 9));
+  ASSERT_TRUE(forum.ok());
+  auto loaded = ForumDatasetFromJsonl(ForumDatasetToJsonl(forum->dataset));
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->posts.size(), forum->dataset.posts.size());
+  for (size_t i = 0; i < loaded->posts.size(); i += 13)
+    EXPECT_EQ(loaded->posts[i].text, forum->dataset.posts[i].text);
+}
+
+TEST(ForumJsonlTest, RejectsEmptyAndMalformed) {
+  EXPECT_FALSE(ForumDatasetFromJsonl("").ok());
+  EXPECT_FALSE(ForumDatasetFromJsonl("{\"num_users\": 2}\n").ok());
+  EXPECT_FALSE(
+      ForumDatasetFromJsonl("{\"num_users\": 1, \"num_threads\": 1}\n"
+                            "{\"user_id\": 0}\n")
+          .ok());
+}
+
+TEST(ForumJsonlTest, RejectsOutOfRangeIds) {
+  const char* bad_user =
+      "{\"num_users\": 1, \"num_threads\": 1}\n"
+      "{\"user_id\": 5, \"thread_id\": 0, \"text\": \"x\"}\n";
+  auto r = ForumDatasetFromJsonl(bad_user);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+  const char* bad_thread =
+      "{\"num_users\": 1, \"num_threads\": 1}\n"
+      "{\"user_id\": 0, \"thread_id\": 7, \"text\": \"x\"}\n";
+  EXPECT_FALSE(ForumDatasetFromJsonl(bad_thread).ok());
+}
+
+TEST(ForumJsonlTest, ToleratesBlankLines) {
+  const char* with_blanks =
+      "{\"num_users\": 1, \"num_threads\": 1}\n\n"
+      "{\"user_id\": 0, \"thread_id\": 0, \"text\": \"ok\"}\n\n";
+  auto r = ForumDatasetFromJsonl(with_blanks);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->posts.size(), 1u);
+}
+
+TEST(ForumFileIoTest, SaveAndLoad) {
+  const ForumDataset original = SmallDataset();
+  const std::string path = "/tmp/dehealth_forum_io_test.jsonl";
+  ASSERT_TRUE(SaveForumDataset(original, path).ok());
+  auto loaded = LoadForumDataset(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->posts.size(), original.posts.size());
+  std::remove(path.c_str());
+}
+
+TEST(ForumFileIoTest, LoadMissingFileFails) {
+  auto r = LoadForumDataset("/tmp/definitely_missing_dehealth.jsonl");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace dehealth

@@ -1,0 +1,76 @@
+#include "linkage/attack.h"
+
+#include <gtest/gtest.h>
+
+namespace dehealth {
+namespace {
+
+IdentityUniverse TestUniverse(uint64_t seed = 13) {
+  UniverseConfig c;
+  c.num_persons = 4000;
+  c.seed = seed;
+  auto u = BuildIdentityUniverse(c);
+  EXPECT_TRUE(u.ok());
+  return std::move(u).value();
+}
+
+TEST(LinkageAttackTest, ReportFieldsConsistent) {
+  IdentityUniverse universe = TestUniverse();
+  LinkageAttack attack(universe);
+  LinkageReport report = attack.Run();
+
+  EXPECT_GT(report.health_forum_accounts, 0);
+  EXPECT_GT(report.filtered_avatar_targets, 0);
+  EXPECT_LE(report.filtered_avatar_targets, report.health_forum_accounts);
+  EXPECT_LE(report.avatar_linked_users, report.filtered_avatar_targets);
+  EXPECT_LE(report.users_on_two_plus_socials, report.avatar_linked_users);
+  EXPECT_LE(report.overlap_users, report.avatar_linked_users);
+  EXPECT_LE(report.name_links_correct, report.name_links);
+  EXPECT_LE(report.avatar_links_correct, report.avatar_links_total);
+  EXPECT_GE(report.avatar_links_total, report.avatar_linked_users);
+}
+
+TEST(LinkageAttackTest, ReproducesPaperShape) {
+  // Section VI-B: 347/2805 = 12.4% of filtered targets linked to real
+  // people; >= 33.4% of linked users found on 2+ social networks; a
+  // sizable NameLink ∩ AvatarLink overlap. The synthetic universe defaults
+  // are tuned to land in the same regime (a low-double-digit link rate).
+  IdentityUniverse universe = TestUniverse();
+  LinkageReport report = LinkageAttack(universe).Run();
+
+  EXPECT_GT(report.AvatarLinkRate(), 0.03);
+  EXPECT_LT(report.AvatarLinkRate(), 0.60);
+  EXPECT_GT(report.name_links, 0);
+  EXPECT_GT(report.overlap_users, 0);
+  const double two_plus_rate =
+      static_cast<double>(report.users_on_two_plus_socials) /
+      static_cast<double>(report.avatar_linked_users);
+  EXPECT_GT(two_plus_rate, 0.2);
+}
+
+TEST(LinkageAttackTest, PrecisionMetricsHigh) {
+  IdentityUniverse universe = TestUniverse();
+  LinkageReport report = LinkageAttack(universe).Run();
+  EXPECT_GT(report.NameLinkPrecision(), 0.9);
+  EXPECT_GT(report.AvatarLinkPrecision(), 0.9);
+}
+
+TEST(LinkageAttackTest, ZeroDenominatorsSafe) {
+  LinkageReport empty;
+  EXPECT_EQ(empty.AvatarLinkRate(), 0.0);
+  EXPECT_EQ(empty.NameLinkPrecision(), 0.0);
+  EXPECT_EQ(empty.AvatarLinkPrecision(), 0.0);
+}
+
+TEST(LinkageAttackTest, ToolOutputsMatchReportCounts) {
+  IdentityUniverse universe = TestUniverse();
+  LinkageAttack attack(universe);
+  LinkageReport report = attack.Run();
+  EXPECT_EQ(report.name_links,
+            static_cast<int>(attack.RunNameLink().size()));
+  EXPECT_EQ(report.avatar_links_total,
+            static_cast<int>(attack.RunAvatarLink().size()));
+}
+
+}  // namespace
+}  // namespace dehealth

@@ -1,0 +1,81 @@
+#include "linkage/avatar_link.h"
+
+#include <gtest/gtest.h>
+
+namespace dehealth {
+namespace {
+
+IdentityUniverse TestUniverse(uint64_t seed = 9) {
+  UniverseConfig c;
+  c.num_persons = 2000;
+  c.seed = seed;
+  auto u = BuildIdentityUniverse(c);
+  EXPECT_TRUE(u.ok());
+  return std::move(u).value();
+}
+
+TEST(AvatarLinkTest, FilterKeepsOnlyHumanSelfAvatars) {
+  IdentityUniverse universe = TestUniverse();
+  AvatarLink tool(universe);
+  auto targets = tool.FilterTargets(Service::kHealthForum);
+  ASSERT_FALSE(targets.empty());
+  for (int idx : targets)
+    EXPECT_EQ(universe.accounts[static_cast<size_t>(idx)].avatar_kind,
+              AvatarKind::kHumanSelf);
+  // The filter must exclude a nontrivial share (defaults, pets, etc.).
+  EXPECT_LT(targets.size(),
+            universe.AccountsOf(Service::kHealthForum).size());
+}
+
+TEST(AvatarLinkTest, LinksShareAvatarId) {
+  IdentityUniverse universe = TestUniverse();
+  AvatarLink tool(universe);
+  auto links = tool.Run(Service::kHealthForum);
+  ASSERT_FALSE(links.empty());
+  for (const auto& link : links) {
+    EXPECT_EQ(
+        universe.accounts[static_cast<size_t>(link.source_account)]
+            .avatar_id,
+        universe.accounts[static_cast<size_t>(link.target_account)]
+            .avatar_id);
+    EXPECT_NE(link.target_service, Service::kHealthForum);
+  }
+}
+
+TEST(AvatarLinkTest, HighPrecisionAgainstGroundTruth) {
+  IdentityUniverse universe = TestUniverse();
+  AvatarLink tool(universe);
+  auto links = tool.Run(Service::kHealthForum);
+  ASSERT_FALSE(links.empty());
+  int correct = 0;
+  for (const auto& link : links)
+    if (link.correct) ++correct;
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(links.size()),
+            0.9);
+}
+
+TEST(AvatarLinkTest, SharedStockImagesRejected) {
+  IdentityUniverse universe = TestUniverse();
+  AvatarLinkConfig config;
+  config.max_image_owners = 1;
+  AvatarLink strict(universe, config);
+  AvatarLinkConfig lax_config;
+  lax_config.max_image_owners = 100;
+  AvatarLink lax(universe, lax_config);
+  EXPECT_LE(strict.Run(Service::kHealthForum).size(),
+            lax.Run(Service::kHealthForum).size());
+}
+
+TEST(AvatarLinkTest, NoAvatarsNoLinks) {
+  UniverseConfig c;
+  c.num_persons = 200;
+  c.p_has_avatar = 0.0;
+  auto universe = BuildIdentityUniverse(c);
+  ASSERT_TRUE(universe.ok());
+  AvatarLink tool(*universe);
+  EXPECT_TRUE(tool.FilterTargets(Service::kHealthForum).empty());
+  EXPECT_TRUE(tool.Run(Service::kHealthForum).empty());
+}
+
+}  // namespace
+}  // namespace dehealth

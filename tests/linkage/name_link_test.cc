@@ -1,0 +1,138 @@
+#include "linkage/name_link.h"
+
+#include <gtest/gtest.h>
+
+namespace dehealth {
+namespace {
+
+IdentityUniverse TestUniverse(uint64_t seed = 5) {
+  UniverseConfig c;
+  c.num_persons = 2000;
+  c.seed = seed;
+  auto u = BuildIdentityUniverse(c);
+  EXPECT_TRUE(u.ok());
+  return std::move(u).value();
+}
+
+TEST(NameLinkTest, ProducesLinksWithHighPrecision) {
+  IdentityUniverse universe = TestUniverse();
+  NameLink tool(universe);
+  auto links = tool.Run(Service::kHealthForum, Service::kOtherHealthForum);
+  ASSERT_FALSE(links.empty());
+  int correct = 0;
+  for (const auto& link : links)
+    if (link.correct) ++correct;
+  // Entropy + ambiguity filtering must keep precision high — the paper's
+  // manual-validation stand-in. (Statistical, not perfect: rare username
+  // collisions between distinct people survive the filters.)
+  EXPECT_GT(static_cast<double>(correct) / static_cast<double>(links.size()),
+            0.8);
+}
+
+TEST(NameLinkTest, AllLinksAboveEntropyThreshold) {
+  IdentityUniverse universe = TestUniverse();
+  NameLinkConfig config;
+  config.min_entropy_bits = 35.0;
+  NameLink tool(universe, config);
+  auto links = tool.Run(Service::kHealthForum, Service::kOtherHealthForum);
+  for (const auto& link : links)
+    EXPECT_GE(link.entropy_bits, config.min_entropy_bits);
+}
+
+TEST(NameLinkTest, StricterThresholdFindsFewerLinks) {
+  IdentityUniverse universe = TestUniverse();
+  NameLinkConfig lax;
+  lax.min_entropy_bits = 20.0;
+  NameLinkConfig strict;
+  strict.min_entropy_bits = 60.0;
+  const auto lax_links = NameLink(universe, lax)
+                             .Run(Service::kHealthForum,
+                                  Service::kOtherHealthForum);
+  const auto strict_links = NameLink(universe, strict)
+                                .Run(Service::kHealthForum,
+                                     Service::kOtherHealthForum);
+  EXPECT_GE(lax_links.size(), strict_links.size());
+}
+
+TEST(NameLinkTest, LinkedAccountsShareUsername) {
+  IdentityUniverse universe = TestUniverse();
+  NameLink tool(universe);
+  auto links = tool.Run(Service::kHealthForum, Service::kOtherHealthForum);
+  for (const auto& link : links) {
+    EXPECT_EQ(
+        universe.accounts[static_cast<size_t>(link.source_account)].username,
+        universe.accounts[static_cast<size_t>(link.target_account)]
+            .username);
+  }
+}
+
+TEST(NameLinkTest, AmbiguityFilterRejectsSharedNames) {
+  IdentityUniverse universe = TestUniverse();
+  NameLinkConfig config;
+  config.max_ambiguity = 1;
+  NameLink tool(universe, config);
+  auto links = tool.Run(Service::kHealthForum, Service::kOtherHealthForum);
+  // Count target-side owners of each linked username: must be exactly 1.
+  for (const auto& link : links) {
+    const std::string& name =
+        universe.accounts[static_cast<size_t>(link.source_account)].username;
+    int owners = 0;
+    for (int idx : universe.AccountsOf(Service::kOtherHealthForum))
+      if (universe.accounts[static_cast<size_t>(idx)].username == name)
+        ++owners;
+    EXPECT_EQ(owners, 1);
+  }
+}
+
+TEST(NormalizeUsernameTest, StripsDecorations) {
+  EXPECT_EQ(NormalizeUsername("jwolf6589"), "jwolf");
+  EXPECT_EQ(NormalizeUsername("_butterfly"), "butterfly");
+  EXPECT_EQ(NormalizeUsername("Shadow99"), "shadow");
+  EXPECT_EQ(NormalizeUsername("handlex"), "handle");
+  EXPECT_EQ(NormalizeUsername("plain"), "plain");
+  EXPECT_EQ(NormalizeUsername("12345"), "");
+}
+
+TEST(NameLinkTest, NormalizedMatchingFindsMoreLinks) {
+  IdentityUniverse universe = TestUniverse();
+  NameLinkConfig exact;
+  NameLinkConfig fuzzy = exact;
+  fuzzy.allow_normalized_match = true;
+  const auto exact_links = NameLink(universe, exact)
+                               .Run(Service::kHealthForum,
+                                    Service::kOtherHealthForum);
+  const auto fuzzy_links = NameLink(universe, fuzzy)
+                               .Run(Service::kHealthForum,
+                                    Service::kOtherHealthForum);
+  EXPECT_GE(fuzzy_links.size(), exact_links.size());
+}
+
+TEST(NameLinkTest, NormalizedMatchesRequireHigherEntropy) {
+  IdentityUniverse universe = TestUniverse();
+  NameLinkConfig fuzzy;
+  fuzzy.allow_normalized_match = true;
+  fuzzy.normalized_margin = 10.0;
+  NameLink tool(universe, fuzzy);
+  for (const auto& link :
+       tool.Run(Service::kHealthForum, Service::kOtherHealthForum)) {
+    const std::string& src =
+        universe.accounts[static_cast<size_t>(link.source_account)].username;
+    const std::string& tgt =
+        universe.accounts[static_cast<size_t>(link.target_account)].username;
+    if (src != tgt) {
+      // Approximate match: must clear the raised bar.
+      EXPECT_GE(link.entropy_bits,
+                fuzzy.min_entropy_bits + fuzzy.normalized_margin);
+      EXPECT_EQ(NormalizeUsername(src), NormalizeUsername(tgt));
+    }
+  }
+}
+
+TEST(NameLinkTest, EntropyAccessorConsistent) {
+  IdentityUniverse universe = TestUniverse();
+  NameLink tool(universe);
+  EXPECT_GT(tool.EntropyBits("zqx9kv7w1xx"), 0.0);
+}
+
+}  // namespace
+}  // namespace dehealth

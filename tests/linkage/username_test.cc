@@ -1,0 +1,91 @@
+#include "linkage/username.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace dehealth {
+namespace {
+
+TEST(GenerateUsernameTest, NonEmptyForAllStyles) {
+  Rng rng(1);
+  for (auto style : {UsernameStyle::kCommonWord,
+                     UsernameStyle::kNameAndNumber, UsernameStyle::kHandle})
+    for (int i = 0; i < 20; ++i)
+      EXPECT_FALSE(GenerateUsername(style, rng).empty());
+}
+
+TEST(GenerateUsernameTest, CommonWordsCollideOften) {
+  Rng rng(2);
+  std::set<std::string> names;
+  const int n = 500;
+  for (int i = 0; i < n; ++i)
+    names.insert(GenerateUsername(UsernameStyle::kCommonWord, rng));
+  // Small pool: many collisions expected.
+  EXPECT_LT(names.size(), 400u);
+}
+
+TEST(GenerateUsernameTest, HandlesRarelyCollide) {
+  Rng rng(3);
+  std::set<std::string> names;
+  const int n = 500;
+  for (int i = 0; i < n; ++i)
+    names.insert(GenerateUsername(UsernameStyle::kHandle, rng));
+  EXPECT_GT(names.size(), 450u);
+}
+
+TEST(UsernameEntropyModelTest, UntrainedStartsFalse) {
+  UsernameEntropyModel model;
+  EXPECT_FALSE(model.trained());
+  model.Train({"abc"});
+  EXPECT_TRUE(model.trained());
+}
+
+TEST(UsernameEntropyModelTest, EmptyStringZeroBits) {
+  UsernameEntropyModel model;
+  model.Train({"abc", "abd"});
+  EXPECT_EQ(model.Bits(""), 0.0);
+}
+
+TEST(UsernameEntropyModelTest, LongerNamesScoreMoreBits) {
+  UsernameEntropyModel model;
+  model.Train({"butterfly", "sunshine", "jsmith42"});
+  EXPECT_GT(model.Bits("butterflybutterfly"), model.Bits("butterfly"));
+}
+
+TEST(UsernameEntropyModelTest, CommonPatternsScoreLowerThanRareOnes) {
+  // Train on a corpus dominated by a common word; the common word's
+  // transitions become cheap, a weird handle stays expensive per char.
+  UsernameEntropyModel model;
+  std::vector<std::string> corpus;
+  for (int i = 0; i < 200; ++i) corpus.push_back("butterfly");
+  corpus.push_back("zqx9kv7w1");
+  model.Train(corpus);
+  EXPECT_LT(model.Bits("butterfly") / 9.0, model.Bits("zqx9kv7w1") / 9.0);
+}
+
+TEST(UsernameEntropyModelTest, PeritoPropertyOnGeneratedPopulation) {
+  // The property NameLink relies on: generated high-entropy handles score
+  // above generated common-word names on average.
+  Rng rng(7);
+  std::vector<std::string> corpus;
+  for (int i = 0; i < 400; ++i) {
+    corpus.push_back(GenerateUsername(UsernameStyle::kCommonWord, rng));
+    corpus.push_back(GenerateUsername(UsernameStyle::kHandle, rng));
+  }
+  UsernameEntropyModel model;
+  model.Train(corpus);
+  double common_bits = 0.0, handle_bits = 0.0;
+  Rng rng2(8);
+  const int n = 200;
+  for (int i = 0; i < n; ++i) {
+    common_bits +=
+        model.Bits(GenerateUsername(UsernameStyle::kCommonWord, rng2));
+    handle_bits +=
+        model.Bits(GenerateUsername(UsernameStyle::kHandle, rng2));
+  }
+  EXPECT_GT(handle_bits / n, common_bits / n);
+}
+
+}  // namespace
+}  // namespace dehealth

@@ -1,0 +1,103 @@
+#include "ml/cross_validation.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "ml/knn.h"
+#include "ml/nearest_centroid.h"
+
+namespace dehealth {
+namespace {
+
+TEST(KFoldIndicesTest, RejectsBadArguments) {
+  Rng rng(1);
+  EXPECT_FALSE(KFoldIndices(10, 1, rng).ok());
+  EXPECT_FALSE(KFoldIndices(3, 5, rng).ok());
+}
+
+TEST(KFoldIndicesTest, PartitionsIndices) {
+  Rng rng(2);
+  auto folds = KFoldIndices(23, 5, rng);
+  ASSERT_TRUE(folds.ok());
+  ASSERT_EQ(folds->size(), 5u);
+  std::set<size_t> seen;
+  size_t min_size = 100, max_size = 0;
+  for (const auto& fold : *folds) {
+    min_size = std::min(min_size, fold.size());
+    max_size = std::max(max_size, fold.size());
+    for (size_t i : fold) EXPECT_TRUE(seen.insert(i).second);
+  }
+  EXPECT_EQ(seen.size(), 23u);
+  EXPECT_LE(max_size - min_size, 1u);
+}
+
+TEST(KFoldIndicesTest, DeterministicInSeed) {
+  Rng a(7), b(7);
+  auto fa = KFoldIndices(12, 3, a);
+  auto fb = KFoldIndices(12, 3, b);
+  ASSERT_TRUE(fa.ok() && fb.ok());
+  EXPECT_EQ(*fa, *fb);
+}
+
+Dataset Separable(uint64_t seed, int per_class = 20) {
+  Rng rng(seed);
+  Dataset d;
+  for (int i = 0; i < per_class; ++i) {
+    EXPECT_TRUE(
+        d.Add({{rng.NextGaussian(-3.0, 0.5), rng.NextGaussian(0, 0.5)}, 0})
+            .ok());
+    EXPECT_TRUE(
+        d.Add({{rng.NextGaussian(3.0, 0.5), rng.NextGaussian(0, 0.5)}, 1})
+            .ok());
+  }
+  return d;
+}
+
+TEST(CrossValidateTest, RejectsEmptyData) {
+  Dataset empty;
+  auto r = CrossValidate(
+      [] { return std::make_unique<NearestCentroidClassifier>(); }, empty,
+      3, 1);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(CrossValidateTest, HighAccuracyOnSeparableData) {
+  auto r = CrossValidate(
+      [] { return std::make_unique<NearestCentroidClassifier>(); },
+      Separable(9), 5, 11);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->fold_accuracies.size(), 5u);
+  EXPECT_GT(r->mean_accuracy, 0.95);
+  EXPECT_LT(r->stddev_accuracy, 0.2);
+}
+
+TEST(CrossValidateTest, ChanceLevelOnRandomLabels) {
+  Rng rng(13);
+  Dataset d;
+  for (int i = 0; i < 60; ++i)
+    ASSERT_TRUE(d.Add({{rng.NextGaussian(), rng.NextGaussian()},
+                       static_cast<int>(rng.NextBounded(2))})
+                    .ok());
+  auto r = CrossValidate(
+      [] { return std::make_unique<KnnClassifier>(3); }, d, 5, 17);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->mean_accuracy, 0.5, 0.2);
+}
+
+TEST(CrossValidateTest, SelectsBetterHyperparameter) {
+  // k=1 overfits random noise less gracefully than larger k on a noisy
+  // problem; just assert the machinery produces usable comparisons.
+  Dataset d = Separable(21, 30);
+  double best = -1.0;
+  for (int k : {1, 3, 7}) {
+    auto r = CrossValidate(
+        [k] { return std::make_unique<KnnClassifier>(k); }, d, 4, 23);
+    ASSERT_TRUE(r.ok());
+    best = std::max(best, r->mean_accuracy);
+  }
+  EXPECT_GT(best, 0.95);
+}
+
+}  // namespace
+}  // namespace dehealth

@@ -1,0 +1,78 @@
+#include "ml/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace dehealth {
+namespace {
+
+TEST(DatasetTest, AddFixesDimensionality) {
+  Dataset d;
+  ASSERT_TRUE(d.Add({{1.0, 2.0}, 0}).ok());
+  EXPECT_EQ(d.dims(), 2u);
+  EXPECT_FALSE(d.Add({{1.0}, 0}).ok());  // mismatched size rejected
+  EXPECT_EQ(d.size(), 1u);
+}
+
+TEST(DatasetTest, ExplicitDims) {
+  Dataset d(3);
+  EXPECT_FALSE(d.Add({{1.0}, 0}).ok());
+  EXPECT_TRUE(d.Add({{1.0, 2.0, 3.0}, 1}).ok());
+}
+
+TEST(DatasetTest, LabelsSortedUnique) {
+  Dataset d;
+  ASSERT_TRUE(d.Add({{1.0}, 5}).ok());
+  ASSERT_TRUE(d.Add({{2.0}, 1}).ok());
+  ASSERT_TRUE(d.Add({{3.0}, 5}).ok());
+  auto labels = d.Labels();
+  ASSERT_EQ(labels.size(), 2u);
+  EXPECT_EQ(labels[0], 1);
+  EXPECT_EQ(labels[1], 5);
+}
+
+TEST(DatasetTest, Indexing) {
+  Dataset d;
+  ASSERT_TRUE(d.Add({{1.0, 2.0}, 7}).ok());
+  EXPECT_EQ(d[0].label, 7);
+  EXPECT_EQ(d[0].features[1], 2.0);
+}
+
+TEST(StandardScalerTest, FitRejectsEmpty) {
+  StandardScaler s;
+  Dataset d;
+  EXPECT_FALSE(s.Fit(d).ok());
+  EXPECT_FALSE(s.fitted());
+}
+
+TEST(StandardScalerTest, StandardizesToZeroMeanUnitVariance) {
+  Dataset d;
+  ASSERT_TRUE(d.Add({{1.0, 10.0}, 0}).ok());
+  ASSERT_TRUE(d.Add({{3.0, 10.0}, 1}).ok());
+  StandardScaler s;
+  ASSERT_TRUE(s.Fit(d).ok());
+  EXPECT_TRUE(s.fitted());
+  EXPECT_NEAR(s.mean()[0], 2.0, 1e-12);
+
+  auto t0 = s.Transform({1.0, 10.0});
+  auto t1 = s.Transform({3.0, 10.0});
+  EXPECT_NEAR(t0[0], -1.0, 1e-12);
+  EXPECT_NEAR(t1[0], 1.0, 1e-12);
+  // Constant feature maps to 0.
+  EXPECT_EQ(t0[1], 0.0);
+}
+
+TEST(StandardScalerTest, TransformDatasetPreservesLabels) {
+  Dataset d;
+  ASSERT_TRUE(d.Add({{0.0}, 3}).ok());
+  ASSERT_TRUE(d.Add({{2.0}, 4}).ok());
+  StandardScaler s;
+  ASSERT_TRUE(s.Fit(d).ok());
+  Dataset t = s.TransformDataset(d);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[0].label, 3);
+  EXPECT_EQ(t[1].label, 4);
+  EXPECT_NEAR(t[0].features[0], -1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace dehealth

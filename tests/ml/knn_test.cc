@@ -1,0 +1,93 @@
+#include "ml/knn.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dehealth {
+namespace {
+
+Dataset TwoClusters() {
+  // Class 0 near origin, class 1 near (10, 10).
+  Dataset d;
+  EXPECT_TRUE(d.Add({{0.0, 0.0}, 0}).ok());
+  EXPECT_TRUE(d.Add({{0.5, 0.5}, 0}).ok());
+  EXPECT_TRUE(d.Add({{-0.5, 0.2}, 0}).ok());
+  EXPECT_TRUE(d.Add({{10.0, 10.0}, 1}).ok());
+  EXPECT_TRUE(d.Add({{10.5, 9.5}, 1}).ok());
+  EXPECT_TRUE(d.Add({{9.5, 10.2}, 1}).ok());
+  return d;
+}
+
+TEST(KnnTest, RejectsEmptyTraining) {
+  KnnClassifier knn(3);
+  Dataset empty;
+  EXPECT_FALSE(knn.Fit(empty).ok());
+}
+
+TEST(KnnTest, ClassifiesClusters) {
+  KnnClassifier knn(3);
+  ASSERT_TRUE(knn.Fit(TwoClusters()).ok());
+  EXPECT_EQ(knn.Predict({0.1, 0.1}), 0);
+  EXPECT_EQ(knn.Predict({9.9, 9.9}), 1);
+}
+
+TEST(KnnTest, KCappedAtTrainingSize) {
+  KnnClassifier knn(100);
+  ASSERT_TRUE(knn.Fit(TwoClusters()).ok());
+  EXPECT_EQ(knn.k(), 6);
+  // Still classifies by distance-weighted voting.
+  EXPECT_EQ(knn.Predict({0.0, 0.0}), 0);
+}
+
+TEST(KnnTest, SingleClassAlwaysPredictsIt) {
+  Dataset d;
+  ASSERT_TRUE(d.Add({{1.0}, 42}).ok());
+  ASSERT_TRUE(d.Add({{2.0}, 42}).ok());
+  KnnClassifier knn(1);
+  ASSERT_TRUE(knn.Fit(d).ok());
+  EXPECT_EQ(knn.Predict({100.0}), 42);
+}
+
+TEST(KnnTest, DecisionScoresAlignWithClasses) {
+  KnnClassifier knn(3);
+  ASSERT_TRUE(knn.Fit(TwoClusters()).ok());
+  const auto& classes = knn.classes();
+  ASSERT_EQ(classes.size(), 2u);
+  auto scores = knn.DecisionScores({0.0, 0.0});
+  ASSERT_EQ(scores.size(), 2u);
+  // Class 0 is closer => higher vote mass.
+  EXPECT_GT(scores[0], scores[1]);
+}
+
+TEST(KnnTest, ExactMatchDominates) {
+  KnnClassifier knn(1);
+  ASSERT_TRUE(knn.Fit(TwoClusters()).ok());
+  EXPECT_EQ(knn.Predict({10.0, 10.0}), 1);
+}
+
+// Property: on a linearly separated random problem, 1-NN training accuracy
+// is perfect.
+class KnnPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KnnPropertyTest, PerfectTrainingAccuracyWithK1) {
+  Rng rng(static_cast<uint64_t>(GetParam()) + 100);
+  Dataset d;
+  for (int i = 0; i < 30; ++i) {
+    const int label = i % 2;
+    const double cx = label == 0 ? 0.0 : 8.0;
+    ASSERT_TRUE(d.Add({{cx + rng.NextGaussian(0.0, 1.0),
+                        cx + rng.NextGaussian(0.0, 1.0)},
+                       label})
+                    .ok());
+  }
+  KnnClassifier knn(1);
+  ASSERT_TRUE(knn.Fit(d).ok());
+  for (size_t i = 0; i < d.size(); ++i)
+    EXPECT_EQ(knn.Predict(d[i].features), d[i].label);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KnnPropertyTest, ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace dehealth

@@ -1,0 +1,56 @@
+#include "ml/nearest_centroid.h"
+
+#include <gtest/gtest.h>
+
+namespace dehealth {
+namespace {
+
+TEST(NearestCentroidTest, RejectsEmpty) {
+  NearestCentroidClassifier nc;
+  Dataset d;
+  EXPECT_FALSE(nc.Fit(d).ok());
+}
+
+TEST(NearestCentroidTest, CentroidsAreClassMeans) {
+  Dataset d;
+  ASSERT_TRUE(d.Add({{0.0, 0.0}, 0}).ok());
+  ASSERT_TRUE(d.Add({{2.0, 2.0}, 0}).ok());
+  ASSERT_TRUE(d.Add({{10.0, 0.0}, 1}).ok());
+  NearestCentroidClassifier nc;
+  ASSERT_TRUE(nc.Fit(d).ok());
+  EXPECT_EQ(nc.Centroid(0)[0], 1.0);
+  EXPECT_EQ(nc.Centroid(0)[1], 1.0);
+  EXPECT_EQ(nc.Centroid(1)[0], 10.0);
+}
+
+TEST(NearestCentroidTest, PredictsNearest) {
+  Dataset d;
+  ASSERT_TRUE(d.Add({{0.0}, 5}).ok());
+  ASSERT_TRUE(d.Add({{10.0}, 6}).ok());
+  NearestCentroidClassifier nc;
+  ASSERT_TRUE(nc.Fit(d).ok());
+  EXPECT_EQ(nc.Predict({1.0}), 5);
+  EXPECT_EQ(nc.Predict({9.0}), 6);
+}
+
+TEST(NearestCentroidTest, ScoresAreNegatedDistances) {
+  Dataset d;
+  ASSERT_TRUE(d.Add({{0.0}, 0}).ok());
+  ASSERT_TRUE(d.Add({{4.0}, 1}).ok());
+  NearestCentroidClassifier nc;
+  ASSERT_TRUE(nc.Fit(d).ok());
+  auto scores = nc.DecisionScores({1.0});
+  EXPECT_NEAR(scores[0], -1.0, 1e-12);
+  EXPECT_NEAR(scores[1], -3.0, 1e-12);
+}
+
+TEST(NearestCentroidTest, SingleClass) {
+  Dataset d;
+  ASSERT_TRUE(d.Add({{1.0}, 3}).ok());
+  NearestCentroidClassifier nc;
+  ASSERT_TRUE(nc.Fit(d).ok());
+  EXPECT_EQ(nc.Predict({-50.0}), 3);
+}
+
+}  // namespace
+}  // namespace dehealth

@@ -1,0 +1,78 @@
+#include "stylo/feature_layout.h"
+
+#include <cstring>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace dehealth {
+namespace {
+
+namespace fl = feature_layout;
+
+TEST(FeatureLayoutTest, CategorySizesMatchTableOne) {
+  // Length 3 + word length 20 + vocabulary richness 5 + letters 26 +
+  // digits 10 + uppercase 1 + special 21 + shape 21 + punctuation 10 +
+  // function words 337 + POS tags + POS bigrams + misspellings 248.
+  EXPECT_EQ(fl::kTotalFeatures,
+            3 + 20 + 5 + 26 + 10 + 1 + 21 + 21 + 10 + 337 + kNumPosTags +
+                kNumPosBigrams + 248);
+}
+
+TEST(FeatureLayoutTest, SpecialAndPunctuationSetsHaveDeclaredSizes) {
+  EXPECT_EQ(std::strlen(fl::SpecialCharSet()),
+            static_cast<size_t>(fl::kNumSpecialChars));
+  EXPECT_EQ(std::strlen(fl::PunctuationSet()),
+            static_cast<size_t>(fl::kNumPunctuation));
+}
+
+TEST(FeatureLayoutTest, SetsAreDisjoint) {
+  for (const char* p = fl::PunctuationSet(); *p; ++p)
+    EXPECT_EQ(std::strchr(fl::SpecialCharSet(), *p), nullptr)
+        << "char " << *p << " in both sets";
+}
+
+TEST(FeatureLayoutTest, RangesDoNotOverlap) {
+  // Walk every id; each must map to exactly one category and a valid name.
+  std::set<std::string> names;
+  for (int id = 0; id < fl::kTotalFeatures; ++id) {
+    const std::string name = fl::FeatureName(id);
+    EXPECT_NE(name, "invalid") << id;
+    EXPECT_TRUE(names.insert(name).second) << "duplicate name " << name;
+    EXPECT_STRNE(fl::FeatureCategory(id), "invalid") << id;
+  }
+}
+
+TEST(FeatureLayoutTest, OutOfRangeIdsAreInvalid) {
+  EXPECT_EQ(fl::FeatureName(-1), "invalid");
+  EXPECT_EQ(fl::FeatureName(fl::kTotalFeatures), "invalid");
+  EXPECT_STREQ(fl::FeatureCategory(-1), "invalid");
+}
+
+TEST(FeatureLayoutTest, SpotCheckNames) {
+  EXPECT_EQ(fl::FeatureName(fl::kNumChars), "length[num_chars]");
+  EXPECT_EQ(fl::FeatureName(fl::kYulesK), "vocab[yules_k]");
+  EXPECT_EQ(fl::FeatureName(fl::kLetterBase + 4), "letter_freq[e]");
+  EXPECT_EQ(fl::FeatureName(fl::kDigitBase + 9), "digit_freq[9]");
+  EXPECT_EQ(fl::FeatureName(fl::kWordLengthBase), "word_length[1]");
+  EXPECT_EQ(fl::FeatureName(fl::kPosTagBase), "pos_tag[CC]");
+}
+
+TEST(FeatureLayoutTest, SpotCheckCategories) {
+  EXPECT_STREQ(fl::FeatureCategory(fl::kNumChars), "length");
+  EXPECT_STREQ(fl::FeatureCategory(fl::kYulesK), "vocabulary_richness");
+  EXPECT_STREQ(fl::FeatureCategory(fl::kFunctionWordBase),
+               "function_words");
+  EXPECT_STREQ(fl::FeatureCategory(fl::kMisspellingBase), "misspellings");
+  EXPECT_STREQ(fl::FeatureCategory(fl::kPosBigramBase), "pos_bigrams");
+  EXPECT_STREQ(fl::FeatureCategory(fl::kShapeAllLower), "word_shape");
+}
+
+TEST(FeatureLayoutTest, FunctionWordNamesMatchLexiconOrder) {
+  EXPECT_EQ(fl::FeatureName(fl::kFunctionWordBase + 0),
+            "function_word[a]");  // lexicon is sorted; "a" is first
+}
+
+}  // namespace
+}  // namespace dehealth

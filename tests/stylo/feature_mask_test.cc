@@ -1,0 +1,74 @@
+#include "stylo/feature_mask.h"
+
+#include <gtest/gtest.h>
+
+#include "stylo/extractor.h"
+#include "stylo/feature_layout.h"
+
+namespace dehealth {
+namespace {
+
+namespace fl = feature_layout;
+
+SparseVector ExampleVector() {
+  FeatureExtractor extractor;
+  return extractor.ExtractPost(
+      "The quick doctor gave me 20 pills; I beleive it's fine!");
+}
+
+TEST(AllFeatureCategoriesTest, MatchesLayout) {
+  const auto& categories = AllFeatureCategories();
+  EXPECT_EQ(categories.size(), 13u);
+  // Every layout id's category is present in the list.
+  for (int id = 0; id < fl::kTotalFeatures; id += 17) {
+    const std::string category = fl::FeatureCategory(id);
+    EXPECT_NE(std::find(categories.begin(), categories.end(), category),
+              categories.end())
+        << category;
+  }
+}
+
+TEST(KeepCategoriesTest, KeepsOnlyRequested) {
+  const SparseVector v = ExampleVector();
+  const SparseVector only_letters = KeepCategories(v, {"letter_freq"});
+  ASSERT_FALSE(only_letters.empty());
+  for (const auto& [id, value] : only_letters.entries())
+    EXPECT_STREQ(fl::FeatureCategory(id), "letter_freq");
+}
+
+TEST(KeepCategoriesTest, EmptyCategoryListGivesEmptyVector) {
+  EXPECT_TRUE(KeepCategories(ExampleVector(), {}).empty());
+}
+
+TEST(KeepCategoriesTest, UnknownCategoryIgnored) {
+  EXPECT_TRUE(KeepCategories(ExampleVector(), {"nonsense"}).empty());
+}
+
+TEST(DropCategoriesTest, RemovesRequested) {
+  const SparseVector v = ExampleVector();
+  const SparseVector without = DropCategories(v, {"pos_bigrams"});
+  for (const auto& [id, value] : without.entries())
+    EXPECT_STRNE(fl::FeatureCategory(id), "pos_bigrams");
+  EXPECT_LT(without.NumNonZero(), v.NumNonZero());
+}
+
+TEST(MaskTest, KeepPlusDropIsPartition) {
+  const SparseVector v = ExampleVector();
+  const std::vector<std::string> some = {"letter_freq", "function_words"};
+  const SparseVector kept = KeepCategories(v, some);
+  const SparseVector dropped = DropCategories(v, some);
+  EXPECT_EQ(kept.NumNonZero() + dropped.NumNonZero(), v.NumNonZero());
+  // Recombination equals the original.
+  SparseVector merged = kept;
+  merged.AddVector(dropped);
+  EXPECT_EQ(merged, v);
+}
+
+TEST(MaskTest, KeepingAllCategoriesIsIdentity) {
+  const SparseVector v = ExampleVector();
+  EXPECT_EQ(KeepCategories(v, AllFeatureCategories()), v);
+  EXPECT_TRUE(DropCategories(v, AllFeatureCategories()).empty());
+}
+
+}  // namespace
+}  // namespace dehealth

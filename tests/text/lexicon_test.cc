@@ -1,0 +1,85 @@
+#include "text/lexicon.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace dehealth {
+namespace {
+
+TEST(FunctionWordLexiconTest, HasExactly337Entries) {
+  // Table I of the paper: "Function words: freq. of function words, 337".
+  EXPECT_EQ(FunctionWordLexicon().size(), 337u);
+}
+
+TEST(FunctionWordLexiconTest, SortedAndUnique) {
+  const auto& lex = FunctionWordLexicon();
+  std::set<std::string> unique(lex.begin(), lex.end());
+  EXPECT_EQ(unique.size(), lex.size());
+  EXPECT_TRUE(std::is_sorted(lex.begin(), lex.end()));
+}
+
+TEST(FunctionWordLexiconTest, ContainsCoreWords) {
+  for (const char* w : {"the", "and", "of", "because", "whereas", "i"})
+    EXPECT_TRUE(IsFunctionWord(w)) << w;
+}
+
+TEST(FunctionWordLexiconTest, CaseInsensitive) {
+  EXPECT_TRUE(IsFunctionWord("The"));
+  EXPECT_TRUE(IsFunctionWord("BECAUSE"));
+}
+
+TEST(FunctionWordLexiconTest, RejectsContentWords) {
+  for (const char* w : {"disease", "medicine", "doctor", "xyzzy", ""})
+    EXPECT_FALSE(IsFunctionWord(w)) << w;
+}
+
+TEST(FunctionWordLexiconTest, IndexRoundTrips) {
+  const auto& lex = FunctionWordLexicon();
+  for (size_t i = 0; i < lex.size(); i += 37) {
+    EXPECT_EQ(FunctionWordIndex(lex[i]), static_cast<int>(i));
+  }
+  EXPECT_EQ(FunctionWordIndex("notaword"), -1);
+}
+
+TEST(MisspellingLexiconTest, HasExactly248Entries) {
+  // Table I: "Misspelled words: freq. of misspellings, 248".
+  EXPECT_EQ(MisspellingLexicon().size(), 248u);
+}
+
+TEST(MisspellingLexiconTest, SortedAndUnique) {
+  const auto& lex = MisspellingLexicon();
+  std::set<std::string> unique(lex.begin(), lex.end());
+  EXPECT_EQ(unique.size(), lex.size());
+  EXPECT_TRUE(std::is_sorted(lex.begin(), lex.end()));
+}
+
+TEST(MisspellingLexiconTest, ContainsClassics) {
+  for (const char* w : {"recieve", "definately", "seperate", "becuase"})
+    EXPECT_TRUE(IsMisspelling(w)) << w;
+}
+
+TEST(MisspellingLexiconTest, RejectsCorrectSpellings) {
+  for (const char* w : {"receive", "definitely", "separate", "because"})
+    EXPECT_FALSE(IsMisspelling(w)) << w;
+}
+
+TEST(MisspellingLexiconTest, CaseInsensitive) {
+  EXPECT_TRUE(IsMisspelling("Recieve"));
+}
+
+TEST(MisspellingLexiconTest, IndexRoundTrips) {
+  const auto& lex = MisspellingLexicon();
+  for (size_t i = 0; i < lex.size(); i += 29)
+    EXPECT_EQ(MisspellingIndex(lex[i]), static_cast<int>(i));
+  EXPECT_EQ(MisspellingIndex("correct"), -1);
+}
+
+TEST(LexiconTest, NoOverlapBetweenLexicons) {
+  // A function word must never be classified as a misspelling.
+  for (const auto& w : FunctionWordLexicon())
+    EXPECT_FALSE(IsMisspelling(w)) << w;
+}
+
+}  // namespace
+}  // namespace dehealth

@@ -1,0 +1,118 @@
+#include "text/pos_tagger.h"
+
+#include <gtest/gtest.h>
+
+namespace dehealth {
+namespace {
+
+class PosTaggerTest : public ::testing::Test {
+ protected:
+  PosTagger tagger_;
+};
+
+TEST_F(PosTaggerTest, OutputLengthMatchesTokens) {
+  auto tokens = Tokenize("The doctor said I should rest.");
+  auto tags = tagger_.Tag(tokens);
+  EXPECT_EQ(tags.size(), tokens.size());
+}
+
+TEST_F(PosTaggerTest, ClosedClassWords) {
+  auto tags = tagger_.TagText("the in and could");
+  ASSERT_EQ(tags.size(), 4u);
+  EXPECT_EQ(tags[0], PosTag::kDT);
+  EXPECT_EQ(tags[1], PosTag::kIN);
+  EXPECT_EQ(tags[2], PosTag::kCC);
+  EXPECT_EQ(tags[3], PosTag::kMD);
+}
+
+TEST_F(PosTaggerTest, Pronouns) {
+  auto tags = tagger_.TagText("she told them");
+  ASSERT_EQ(tags.size(), 3u);
+  EXPECT_EQ(tags[0], PosTag::kPRP);
+  EXPECT_EQ(tags[2], PosTag::kPRP);
+}
+
+TEST_F(PosTaggerTest, PossessivePronoun) {
+  auto tags = tagger_.TagText("my pain");
+  EXPECT_EQ(tags[0], PosTag::kPRPS);
+}
+
+TEST_F(PosTaggerTest, NumbersAreCd) {
+  auto tags = tagger_.TagText("take 500 daily");
+  EXPECT_EQ(tags[1], PosTag::kCD);
+}
+
+TEST_F(PosTaggerTest, PunctuationAndSymbols) {
+  auto tags = tagger_.TagText("yes, ok @");
+  ASSERT_EQ(tags.size(), 4u);
+  EXPECT_EQ(tags[1], PosTag::kPunct);
+  EXPECT_EQ(tags[3], PosTag::kSym);
+}
+
+TEST_F(PosTaggerTest, MorphologySuffixes) {
+  auto tags = tagger_.TagText("walking walked quickly wonderful");
+  ASSERT_EQ(tags.size(), 4u);
+  EXPECT_EQ(tags[0], PosTag::kVBG);
+  EXPECT_EQ(tags[1], PosTag::kVBD);
+  EXPECT_EQ(tags[2], PosTag::kRB);
+  EXPECT_EQ(tags[3], PosTag::kJJ);
+}
+
+TEST_F(PosTaggerTest, NominalSuffixes) {
+  auto tags = tagger_.TagText("medication treatment happiness");
+  for (auto t : tags) EXPECT_EQ(t, PosTag::kNN);
+}
+
+TEST_F(PosTaggerTest, CapitalizedUnknownIsProperNoun) {
+  auto tags = tagger_.TagText("visited Zyrtecville");
+  EXPECT_EQ(tags[1], PosTag::kNNP);
+}
+
+TEST_F(PosTaggerTest, VerbAfterToOrModal) {
+  auto tags = tagger_.TagText("to zorp");
+  EXPECT_EQ(tags[0], PosTag::kTO);
+  EXPECT_EQ(tags[1], PosTag::kVB);
+  tags = tagger_.TagText("could zorp");
+  EXPECT_EQ(tags[1], PosTag::kVB);
+}
+
+TEST_F(PosTaggerTest, PluralNounVsThirdPersonVerb) {
+  // After a pronoun, trailing -s reads as a verb; elsewhere a plural noun.
+  auto tags = tagger_.TagText("she blorps");
+  EXPECT_EQ(tags[1], PosTag::kVBZ);
+  tags = tagger_.TagText("the blorps");
+  EXPECT_EQ(tags[1], PosTag::kNNS);
+}
+
+TEST_F(PosTaggerTest, DefaultIsNoun) {
+  auto tags = tagger_.TagText("zorp");
+  EXPECT_EQ(tags[0], PosTag::kNN);
+}
+
+TEST_F(PosTaggerTest, DeterministicAcrossCalls) {
+  const char* text = "The patient was taking 20 mg of the medicine daily.";
+  EXPECT_EQ(tagger_.TagText(text), tagger_.TagText(text));
+}
+
+TEST_F(PosTaggerTest, EmptyInput) {
+  EXPECT_TRUE(tagger_.TagText("").empty());
+}
+
+TEST(PosTagNameTest, AllTagsHaveNames) {
+  for (int t = 0; t < kNumPosTags; ++t) {
+    EXPECT_STRNE(PosTagName(static_cast<PosTag>(t)), "??");
+  }
+}
+
+TEST(PosBigramTest, IdsAreUniqueAndBounded) {
+  EXPECT_EQ(PosBigramId(PosTag::kCC, PosTag::kCC), 0);
+  const int last =
+      PosBigramId(static_cast<PosTag>(kNumPosTags - 1),
+                  static_cast<PosTag>(kNumPosTags - 1));
+  EXPECT_EQ(last, kNumPosBigrams - 1);
+  EXPECT_NE(PosBigramId(PosTag::kDT, PosTag::kNN),
+            PosBigramId(PosTag::kNN, PosTag::kDT));
+}
+
+}  // namespace
+}  // namespace dehealth

@@ -1,0 +1,120 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+namespace dehealth {
+namespace {
+
+TEST(TokenizeTest, SplitsWordsAndPunctuation) {
+  auto tokens = Tokenize("I have pain, badly.");
+  ASSERT_EQ(tokens.size(), 6u);
+  EXPECT_EQ(tokens[0].text, "I");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kWord);
+  EXPECT_EQ(tokens[3].text, ",");
+  EXPECT_EQ(tokens[3].kind, TokenKind::kPunctuation);
+  EXPECT_EQ(tokens[5].text, ".");
+}
+
+TEST(TokenizeTest, KeepsInternalApostrophes) {
+  auto tokens = Tokenize("don't worry");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].text, "don't");
+}
+
+TEST(TokenizeTest, TrailingApostropheIsSeparate) {
+  auto tokens = Tokenize("dogs' toys");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "dogs");
+  EXPECT_EQ(tokens[1].text, "'");
+}
+
+TEST(TokenizeTest, NumbersAreSingleTokens) {
+  auto tokens = Tokenize("take 500 mg");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1].text, "500");
+  EXPECT_EQ(tokens[1].kind, TokenKind::kNumber);
+}
+
+TEST(TokenizeTest, SpecialCharacters) {
+  auto tokens = Tokenize("a@b #tag");
+  ASSERT_EQ(tokens.size(), 5u);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kSpecial);
+  EXPECT_EQ(tokens[3].text, "#");
+}
+
+TEST(TokenizeTest, EmptyInput) { EXPECT_TRUE(Tokenize("").empty()); }
+
+TEST(TokenizeTest, WhitespaceOnly) {
+  EXPECT_TRUE(Tokenize("  \n\t ").empty());
+}
+
+TEST(TokenizeWordsTest, OnlyWords) {
+  auto words = TokenizeWords("I took 2 pills, daily!");
+  ASSERT_EQ(words.size(), 4u);
+  EXPECT_EQ(words[0], "I");
+  EXPECT_EQ(words[3], "daily");
+}
+
+TEST(ClassifyWordShapeTest, AllShapes) {
+  EXPECT_EQ(ClassifyWordShape("health"), WordShape::kAllLower);
+  EXPECT_EQ(ClassifyWordShape("HIV"), WordShape::kAllUpper);
+  EXPECT_EQ(ClassifyWordShape("Monday"), WordShape::kFirstUpper);
+  EXPECT_EQ(ClassifyWordShape("WebMD"), WordShape::kCamel);
+  EXPECT_EQ(ClassifyWordShape("iPhone"), WordShape::kCamel);
+  EXPECT_EQ(ClassifyWordShape("abc123"), WordShape::kOther);
+  EXPECT_EQ(ClassifyWordShape(""), WordShape::kOther);
+}
+
+TEST(ClassifyWordShapeTest, ApostrophesDoNotChangeShape) {
+  EXPECT_EQ(ClassifyWordShape("don't"), WordShape::kAllLower);
+  EXPECT_EQ(ClassifyWordShape("Don't"), WordShape::kFirstUpper);
+}
+
+TEST(SplitSentencesTest, BasicTerminators) {
+  auto s = SplitSentences("First one. Second one! Third one?");
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_EQ(s[0], "First one.");
+  EXPECT_EQ(s[1], "Second one!");
+  EXPECT_EQ(s[2], "Third one?");
+}
+
+TEST(SplitSentencesTest, ConsecutiveTerminators) {
+  auto s = SplitSentences("What?! Really...");
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[0], "What?!");
+}
+
+TEST(SplitSentencesTest, TrailingFragmentCounts) {
+  auto s = SplitSentences("Done. trailing fragment");
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s[1], "trailing fragment");
+}
+
+TEST(SplitSentencesTest, Empty) {
+  EXPECT_TRUE(SplitSentences("").empty());
+  EXPECT_TRUE(SplitSentences("   ").empty());
+}
+
+TEST(SplitParagraphsTest, BlankLineSeparates) {
+  auto p = SplitParagraphs("para one line.\n\npara two.");
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(p[0], "para one line.");
+  EXPECT_EQ(p[1], "para two.");
+}
+
+TEST(SplitParagraphsTest, SingleNewlineDoesNotSplit) {
+  auto p = SplitParagraphs("line one\nline two");
+  ASSERT_EQ(p.size(), 1u);
+}
+
+TEST(SplitParagraphsTest, BlankLineWithSpaces) {
+  auto p = SplitParagraphs("a\n   \nb");
+  EXPECT_EQ(p.size(), 2u);
+}
+
+TEST(SplitParagraphsTest, Empty) {
+  EXPECT_TRUE(SplitParagraphs("").empty());
+}
+
+}  // namespace
+}  // namespace dehealth

@@ -1,0 +1,114 @@
+#include "theory/empirical.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace dehealth {
+namespace {
+
+/// Synthetic similarity matrix: truth pairs score around `mu_true`, wrong
+/// pairs around `mu_wrong`, uniform jitter +-`jitter`.
+std::vector<std::vector<double>> MakeMatrix(int n, double mu_true,
+                                            double mu_wrong, double jitter,
+                                            uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> m(static_cast<size_t>(n),
+                                     std::vector<double>(
+                                         static_cast<size_t>(n)));
+  for (int u = 0; u < n; ++u)
+    for (int v = 0; v < n; ++v)
+      m[static_cast<size_t>(u)][static_cast<size_t>(v)] =
+          (u == v ? mu_true : mu_wrong) +
+          rng.NextDouble(-jitter, jitter);
+  return m;
+}
+
+std::vector<int> IdentityTruth(int n) {
+  std::vector<int> t(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) t[static_cast<size_t>(i)] = i;
+  return t;
+}
+
+TEST(EstimateDaParametersTest, RejectsDegenerateInputs) {
+  EXPECT_FALSE(EstimateDaParameters({}, {}).ok());
+  // No overlapping users => no correct pairs.
+  auto m = MakeMatrix(3, 0.9, 0.3, 0.01, 1);
+  EXPECT_FALSE(EstimateDaParameters(m, {-1, -1, -1}).ok());
+  // Size mismatch.
+  EXPECT_FALSE(EstimateDaParameters(m, {0, 1}).ok());
+}
+
+TEST(EstimateDaParametersTest, RecoversMeans) {
+  const auto m = MakeMatrix(40, 0.9, 0.3, 0.02, 2);
+  auto e = EstimateDaParameters(m, IdentityTruth(40));
+  ASSERT_TRUE(e.ok());
+  EXPECT_NEAR(e->mean_correct_similarity, 0.9, 0.02);
+  EXPECT_NEAR(e->mean_incorrect_similarity, 0.3, 0.02);
+  EXPECT_EQ(e->num_correct_pairs, 40);
+  EXPECT_EQ(e->num_incorrect_pairs, 40LL * 39);
+  // Distances: correct pairs are closer (smaller f) than wrong pairs.
+  EXPECT_LT(e->params.lambda_correct, e->params.lambda_incorrect);
+  EXPECT_TRUE(e->params.Validate().ok());
+}
+
+TEST(EstimateDaParametersTest, RangesCoverJitter) {
+  const auto m = MakeMatrix(30, 0.8, 0.4, 0.05, 3);
+  auto e = EstimateDaParameters(m, IdentityTruth(30));
+  ASSERT_TRUE(e.ok());
+  EXPECT_GT(e->params.theta_correct, 0.0);
+  EXPECT_LE(e->params.theta_correct, 0.11);  // ~2 * jitter
+  EXPECT_GT(e->stddev_incorrect, 0.0);
+}
+
+TEST(CheckBoundsAgainstDataTest, BoundNeverExceedsEmpirical) {
+  // Well-separated: empirical pairwise success ~1; the bound must hold.
+  const auto m = MakeMatrix(50, 0.9, 0.2, 0.03, 4);
+  auto check = CheckBoundsAgainstData(m, IdentityTruth(50));
+  ASSERT_TRUE(check.ok());
+  EXPECT_NEAR(check->empirical_pair_success, 1.0, 1e-9);
+  EXPECT_NEAR(check->empirical_exact_success, 1.0, 1e-9);
+  EXPECT_LE(check->theorem1_bound, check->empirical_pair_success + 1e-9);
+  EXPECT_GT(check->theorem1_bound, 0.5);  // nonvacuous when separated
+}
+
+TEST(CheckBoundsAgainstDataTest, OverlappingDistributionsGiveWeakBound) {
+  const auto m = MakeMatrix(50, 0.52, 0.5, 0.2, 5);
+  auto check = CheckBoundsAgainstData(m, IdentityTruth(50));
+  ASSERT_TRUE(check.ok());
+  // Bound clamps to ~0 but the empirical rate stays above chance.
+  EXPECT_LT(check->theorem1_bound, 0.2);
+  EXPECT_GT(check->empirical_pair_success, 0.5);
+  EXPECT_LE(check->theorem1_bound, check->empirical_pair_success + 0.02);
+}
+
+TEST(CheckBoundsAgainstDataTest, ExactHarderThanPairwise) {
+  const auto m = MakeMatrix(60, 0.6, 0.45, 0.15, 6);
+  auto check = CheckBoundsAgainstData(m, IdentityTruth(60));
+  ASSERT_TRUE(check.ok());
+  EXPECT_LE(check->empirical_exact_success,
+            check->empirical_pair_success + 1e-9);
+}
+
+// Property sweep: for random separations the Theorem-1 bound instantiated
+// from data never exceeds the measured pairwise success (validity of the
+// estimate + bound combination).
+class EmpiricalBoundProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(EmpiricalBoundProperty, BoundIsValid) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7 + 1);
+  const double gap = rng.NextDouble(0.05, 0.6);
+  const double jitter = rng.NextDouble(0.02, 0.3);
+  const auto m =
+      MakeMatrix(40, 0.4 + gap, 0.4, jitter,
+                 static_cast<uint64_t>(GetParam()) + 100);
+  auto check = CheckBoundsAgainstData(m, IdentityTruth(40));
+  ASSERT_TRUE(check.ok());
+  EXPECT_LE(check->theorem1_bound, check->empirical_pair_success + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeparations, EmpiricalBoundProperty,
+                         ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace dehealth

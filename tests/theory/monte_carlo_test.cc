@@ -1,0 +1,141 @@
+#include "theory/monte_carlo.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace dehealth {
+namespace {
+
+TEST(SampleGammaTest, MeanMatchesShape) {
+  Rng rng(1);
+  for (double shape : {0.5, 1.0, 3.0, 10.0}) {
+    double total = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) total += SampleGamma(shape, rng);
+    EXPECT_NEAR(total / n, shape, 0.1 * shape + 0.05) << shape;
+  }
+}
+
+TEST(BoundedDistanceDistributionTest, RejectsInvalid) {
+  EXPECT_FALSE(BoundedDistanceDistribution::Create(1.0, 0.0, 0.5, 5.0).ok());
+  EXPECT_FALSE(BoundedDistanceDistribution::Create(0.0, 1.0, 0.0, 5.0).ok());
+  EXPECT_FALSE(BoundedDistanceDistribution::Create(0.0, 1.0, 1.0, 5.0).ok());
+  EXPECT_FALSE(
+      BoundedDistanceDistribution::Create(0.0, 1.0, 0.5, 0.0).ok());
+}
+
+TEST(BoundedDistanceDistributionTest, SamplesInRangeWithRightMean) {
+  auto dist = BoundedDistanceDistribution::Create(0.2, 0.8, 0.4, 10.0);
+  ASSERT_TRUE(dist.ok());
+  Rng rng(3);
+  double total = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = dist->Sample(rng);
+    ASSERT_GE(x, 0.2);
+    ASSERT_LE(x, 0.8);
+    total += x;
+  }
+  EXPECT_NEAR(total / n, 0.4, 0.01);
+}
+
+MonteCarloConfig SeparatedConfig() {
+  MonteCarloConfig c;
+  c.params.lambda_correct = 0.2;
+  c.params.lambda_incorrect = 0.7;
+  c.params.theta_correct = 0.3;
+  c.params.theta_incorrect = 0.3;
+  c.concentration = 20.0;
+  c.n2 = 50;
+  c.trials = 1500;
+  return c;
+}
+
+TEST(ExactDaMonteCarloTest, RejectsInvalidConfig) {
+  MonteCarloConfig c = SeparatedConfig();
+  c.n2 = 1;
+  EXPECT_FALSE(RunExactDaMonteCarlo(c).ok());
+  c = SeparatedConfig();
+  c.trials = 0;
+  EXPECT_FALSE(RunExactDaMonteCarlo(c).ok());
+  c = SeparatedConfig();
+  c.params.lambda_incorrect = c.params.lambda_correct;
+  EXPECT_FALSE(RunExactDaMonteCarlo(c).ok());
+}
+
+TEST(ExactDaMonteCarloTest, EmpiricalRatesRespectTheoremOneBound) {
+  // The Theorem-1 lower bound must hold empirically (it is a valid bound
+  // for ANY bounded distributions with these means/ranges).
+  MonteCarloConfig c = SeparatedConfig();
+  auto result = RunExactDaMonteCarlo(c);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->pair_success_rate + 0.02,  // MC noise allowance
+            ExactDaPairLowerBound(c.params));
+  EXPECT_GE(result->pair_success_rate, result->exact_success_rate);
+}
+
+TEST(ExactDaMonteCarloTest, WellSeparatedNearPerfect) {
+  MonteCarloConfig c = SeparatedConfig();
+  c.params.lambda_incorrect = 0.95;
+  c.params.theta_correct = 0.1;
+  c.params.theta_incorrect = 0.08;
+  auto result = RunExactDaMonteCarlo(c);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->exact_success_rate, 0.99);
+}
+
+TEST(ExactDaMonteCarloTest, InvertedMeansStillWork) {
+  // λ > λ̄: the model picks the maximizer instead.
+  MonteCarloConfig c = SeparatedConfig();
+  std::swap(c.params.lambda_correct, c.params.lambda_incorrect);
+  auto result = RunExactDaMonteCarlo(c);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->exact_success_rate, 0.5);
+}
+
+TEST(TopKDaMonteCarloTest, RejectsBadK) {
+  EXPECT_FALSE(RunTopKDaMonteCarlo(SeparatedConfig(), 0).ok());
+}
+
+TEST(TopKDaMonteCarloTest, MonotoneInK) {
+  MonteCarloConfig c = SeparatedConfig();
+  c.params.lambda_incorrect = 0.45;  // make it hard
+  double prev = 0.0;
+  for (int k : {1, 5, 25, 50}) {
+    auto rate = RunTopKDaMonteCarlo(c, k);
+    ASSERT_TRUE(rate.ok());
+    EXPECT_GE(*rate + 0.03, prev) << k;  // allow MC noise
+    prev = *rate;
+  }
+  // K = n2 always succeeds.
+  auto full = RunTopKDaMonteCarlo(c, c.n2);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(*full, 1.0);
+}
+
+TEST(TopKDaMonteCarloTest, RespectsTheoremThreeBound) {
+  MonteCarloConfig c = SeparatedConfig();
+  for (int k : {1, 10}) {
+    auto rate = RunTopKDaMonteCarlo(c, k);
+    ASSERT_TRUE(rate.ok());
+    EXPECT_GE(*rate + 0.02, TopKDaLowerBound(c.params, c.n2, k)) << k;
+  }
+}
+
+TEST(GroupDaMonteCarloTest, GroupHarderThanSingle) {
+  MonteCarloConfig c = SeparatedConfig();
+  c.params.lambda_incorrect = 0.55;
+  c.trials = 800;
+  auto single = RunGroupDaMonteCarlo(c, 1);
+  auto group = RunGroupDaMonteCarlo(c, 10);
+  ASSERT_TRUE(single.ok() && group.ok());
+  EXPECT_GE(*single + 0.03, *group);
+}
+
+TEST(GroupDaMonteCarloTest, RejectsBadGroupSize) {
+  EXPECT_FALSE(RunGroupDaMonteCarlo(SeparatedConfig(), 0).ok());
+}
+
+}  // namespace
+}  // namespace dehealth
