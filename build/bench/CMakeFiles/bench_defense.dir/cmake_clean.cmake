@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_defense.dir/bench_defense.cc.o"
+  "CMakeFiles/bench_defense.dir/bench_defense.cc.o.d"
+  "bench_defense"
+  "bench_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig2_post_length.cc" "bench/CMakeFiles/bench_fig2_post_length.dir/bench_fig2_post_length.cc.o" "gcc" "bench/CMakeFiles/bench_fig2_post_length.dir/bench_fig2_post_length.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dehealth_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stylo/CMakeFiles/dehealth_stylo.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/dehealth_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/defense/CMakeFiles/dehealth_defense.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/dehealth_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/dehealth_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/dehealth_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dehealth_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/theory/CMakeFiles/dehealth_theory.dir/DependInfo.cmake"
+  "/root/repo/build/src/linkage/CMakeFiles/dehealth_linkage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dehealth_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_topk_closed.dir/bench_fig3_topk_closed.cc.o"
+  "CMakeFiles/bench_fig3_topk_closed.dir/bench_fig3_topk_closed.cc.o.d"
+  "bench_fig3_topk_closed"
+  "bench_fig3_topk_closed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_topk_closed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_refined_closed.dir/bench_fig4_refined_closed.cc.o"
+  "CMakeFiles/bench_fig4_refined_closed.dir/bench_fig4_refined_closed.cc.o.d"
+  "bench_fig4_refined_closed"
+  "bench_fig4_refined_closed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_refined_closed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_topk_open.dir/bench_fig5_topk_open.cc.o"
+  "CMakeFiles/bench_fig5_topk_open.dir/bench_fig5_topk_open.cc.o.d"
+  "bench_fig5_topk_open"
+  "bench_fig5_topk_open.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_topk_open.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_refined_open.dir/bench_fig6_refined_open.cc.o"
+  "CMakeFiles/bench_fig6_refined_open.dir/bench_fig6_refined_open.cc.o.d"
+  "bench_fig6_refined_open"
+  "bench_fig6_refined_open.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_refined_open.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

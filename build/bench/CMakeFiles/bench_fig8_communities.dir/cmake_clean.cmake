@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_communities.dir/bench_fig8_communities.cc.o"
+  "CMakeFiles/bench_fig8_communities.dir/bench_fig8_communities.cc.o.d"
+  "bench_fig8_communities"
+  "bench_fig8_communities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_communities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

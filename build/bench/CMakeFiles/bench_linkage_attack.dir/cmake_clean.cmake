@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_linkage_attack.dir/bench_linkage_attack.cc.o"
+  "CMakeFiles/bench_linkage_attack.dir/bench_linkage_attack.cc.o.d"
+  "bench_linkage_attack"
+  "bench_linkage_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_linkage_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

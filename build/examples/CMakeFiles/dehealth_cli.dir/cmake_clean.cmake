@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dehealth_cli.dir/dehealth_cli.cpp.o"
+  "CMakeFiles/dehealth_cli.dir/dehealth_cli.cpp.o.d"
+  "dehealth_cli"
+  "dehealth_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dehealth_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

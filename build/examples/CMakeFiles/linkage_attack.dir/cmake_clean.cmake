@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linkage_attack.dir/linkage_attack.cpp.o"
+  "CMakeFiles/linkage_attack.dir/linkage_attack.cpp.o.d"
+  "linkage_attack"
+  "linkage_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linkage_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

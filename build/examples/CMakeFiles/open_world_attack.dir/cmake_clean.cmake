@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/open_world_attack.dir/open_world_attack.cpp.o"
+  "CMakeFiles/open_world_attack.dir/open_world_attack.cpp.o.d"
+  "open_world_attack"
+  "open_world_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/open_world_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

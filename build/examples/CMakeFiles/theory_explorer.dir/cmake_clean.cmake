@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theory_explorer.dir/theory_explorer.cpp.o"
+  "CMakeFiles/theory_explorer.dir/theory_explorer.cpp.o.d"
+  "theory_explorer"
+  "theory_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theory_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dehealth_common.dir/math_utils.cc.o"
+  "CMakeFiles/dehealth_common.dir/math_utils.cc.o.d"
+  "CMakeFiles/dehealth_common.dir/rng.cc.o"
+  "CMakeFiles/dehealth_common.dir/rng.cc.o.d"
+  "CMakeFiles/dehealth_common.dir/status.cc.o"
+  "CMakeFiles/dehealth_common.dir/status.cc.o.d"
+  "CMakeFiles/dehealth_common.dir/string_utils.cc.o"
+  "CMakeFiles/dehealth_common.dir/string_utils.cc.o.d"
+  "libdehealth_common.a"
+  "libdehealth_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dehealth_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

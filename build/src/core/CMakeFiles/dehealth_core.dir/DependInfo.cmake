@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/de_health.cc" "src/core/CMakeFiles/dehealth_core.dir/de_health.cc.o" "gcc" "src/core/CMakeFiles/dehealth_core.dir/de_health.cc.o.d"
+  "/root/repo/src/core/evaluation.cc" "src/core/CMakeFiles/dehealth_core.dir/evaluation.cc.o" "gcc" "src/core/CMakeFiles/dehealth_core.dir/evaluation.cc.o.d"
+  "/root/repo/src/core/filtering.cc" "src/core/CMakeFiles/dehealth_core.dir/filtering.cc.o" "gcc" "src/core/CMakeFiles/dehealth_core.dir/filtering.cc.o.d"
+  "/root/repo/src/core/refined_da.cc" "src/core/CMakeFiles/dehealth_core.dir/refined_da.cc.o" "gcc" "src/core/CMakeFiles/dehealth_core.dir/refined_da.cc.o.d"
+  "/root/repo/src/core/similarity.cc" "src/core/CMakeFiles/dehealth_core.dir/similarity.cc.o" "gcc" "src/core/CMakeFiles/dehealth_core.dir/similarity.cc.o.d"
+  "/root/repo/src/core/top_k.cc" "src/core/CMakeFiles/dehealth_core.dir/top_k.cc.o" "gcc" "src/core/CMakeFiles/dehealth_core.dir/top_k.cc.o.d"
+  "/root/repo/src/core/uda_graph.cc" "src/core/CMakeFiles/dehealth_core.dir/uda_graph.cc.o" "gcc" "src/core/CMakeFiles/dehealth_core.dir/uda_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dehealth_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/dehealth_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/stylo/CMakeFiles/dehealth_stylo.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dehealth_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/dehealth_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/dehealth_datagen.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dehealth_core.dir/de_health.cc.o"
+  "CMakeFiles/dehealth_core.dir/de_health.cc.o.d"
+  "CMakeFiles/dehealth_core.dir/evaluation.cc.o"
+  "CMakeFiles/dehealth_core.dir/evaluation.cc.o.d"
+  "CMakeFiles/dehealth_core.dir/filtering.cc.o"
+  "CMakeFiles/dehealth_core.dir/filtering.cc.o.d"
+  "CMakeFiles/dehealth_core.dir/refined_da.cc.o"
+  "CMakeFiles/dehealth_core.dir/refined_da.cc.o.d"
+  "CMakeFiles/dehealth_core.dir/similarity.cc.o"
+  "CMakeFiles/dehealth_core.dir/similarity.cc.o.d"
+  "CMakeFiles/dehealth_core.dir/top_k.cc.o"
+  "CMakeFiles/dehealth_core.dir/top_k.cc.o.d"
+  "CMakeFiles/dehealth_core.dir/uda_graph.cc.o"
+  "CMakeFiles/dehealth_core.dir/uda_graph.cc.o.d"
+  "libdehealth_core.a"
+  "libdehealth_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dehealth_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/corpus.cc" "src/datagen/CMakeFiles/dehealth_datagen.dir/corpus.cc.o" "gcc" "src/datagen/CMakeFiles/dehealth_datagen.dir/corpus.cc.o.d"
+  "/root/repo/src/datagen/forum_generator.cc" "src/datagen/CMakeFiles/dehealth_datagen.dir/forum_generator.cc.o" "gcc" "src/datagen/CMakeFiles/dehealth_datagen.dir/forum_generator.cc.o.d"
+  "/root/repo/src/datagen/split.cc" "src/datagen/CMakeFiles/dehealth_datagen.dir/split.cc.o" "gcc" "src/datagen/CMakeFiles/dehealth_datagen.dir/split.cc.o.d"
+  "/root/repo/src/datagen/style_profile.cc" "src/datagen/CMakeFiles/dehealth_datagen.dir/style_profile.cc.o" "gcc" "src/datagen/CMakeFiles/dehealth_datagen.dir/style_profile.cc.o.d"
+  "/root/repo/src/datagen/vocabulary.cc" "src/datagen/CMakeFiles/dehealth_datagen.dir/vocabulary.cc.o" "gcc" "src/datagen/CMakeFiles/dehealth_datagen.dir/vocabulary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dehealth_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/dehealth_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dehealth_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dehealth_datagen.dir/corpus.cc.o"
+  "CMakeFiles/dehealth_datagen.dir/corpus.cc.o.d"
+  "CMakeFiles/dehealth_datagen.dir/forum_generator.cc.o"
+  "CMakeFiles/dehealth_datagen.dir/forum_generator.cc.o.d"
+  "CMakeFiles/dehealth_datagen.dir/split.cc.o"
+  "CMakeFiles/dehealth_datagen.dir/split.cc.o.d"
+  "CMakeFiles/dehealth_datagen.dir/style_profile.cc.o"
+  "CMakeFiles/dehealth_datagen.dir/style_profile.cc.o.d"
+  "CMakeFiles/dehealth_datagen.dir/vocabulary.cc.o"
+  "CMakeFiles/dehealth_datagen.dir/vocabulary.cc.o.d"
+  "libdehealth_datagen.a"
+  "libdehealth_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dehealth_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

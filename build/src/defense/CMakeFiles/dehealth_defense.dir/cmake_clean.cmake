@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dehealth_defense.dir/defense.cc.o"
+  "CMakeFiles/dehealth_defense.dir/defense.cc.o.d"
+  "libdehealth_defense.a"
+  "libdehealth_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dehealth_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

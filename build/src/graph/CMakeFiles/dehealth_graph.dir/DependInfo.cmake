@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/bipartite_matching.cc" "src/graph/CMakeFiles/dehealth_graph.dir/bipartite_matching.cc.o" "gcc" "src/graph/CMakeFiles/dehealth_graph.dir/bipartite_matching.cc.o.d"
+  "/root/repo/src/graph/community.cc" "src/graph/CMakeFiles/dehealth_graph.dir/community.cc.o" "gcc" "src/graph/CMakeFiles/dehealth_graph.dir/community.cc.o.d"
+  "/root/repo/src/graph/correlation_graph.cc" "src/graph/CMakeFiles/dehealth_graph.dir/correlation_graph.cc.o" "gcc" "src/graph/CMakeFiles/dehealth_graph.dir/correlation_graph.cc.o.d"
+  "/root/repo/src/graph/graph_stats.cc" "src/graph/CMakeFiles/dehealth_graph.dir/graph_stats.cc.o" "gcc" "src/graph/CMakeFiles/dehealth_graph.dir/graph_stats.cc.o.d"
+  "/root/repo/src/graph/landmarks.cc" "src/graph/CMakeFiles/dehealth_graph.dir/landmarks.cc.o" "gcc" "src/graph/CMakeFiles/dehealth_graph.dir/landmarks.cc.o.d"
+  "/root/repo/src/graph/shortest_path.cc" "src/graph/CMakeFiles/dehealth_graph.dir/shortest_path.cc.o" "gcc" "src/graph/CMakeFiles/dehealth_graph.dir/shortest_path.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dehealth_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dehealth_graph.dir/bipartite_matching.cc.o"
+  "CMakeFiles/dehealth_graph.dir/bipartite_matching.cc.o.d"
+  "CMakeFiles/dehealth_graph.dir/community.cc.o"
+  "CMakeFiles/dehealth_graph.dir/community.cc.o.d"
+  "CMakeFiles/dehealth_graph.dir/correlation_graph.cc.o"
+  "CMakeFiles/dehealth_graph.dir/correlation_graph.cc.o.d"
+  "CMakeFiles/dehealth_graph.dir/graph_stats.cc.o"
+  "CMakeFiles/dehealth_graph.dir/graph_stats.cc.o.d"
+  "CMakeFiles/dehealth_graph.dir/landmarks.cc.o"
+  "CMakeFiles/dehealth_graph.dir/landmarks.cc.o.d"
+  "CMakeFiles/dehealth_graph.dir/shortest_path.cc.o"
+  "CMakeFiles/dehealth_graph.dir/shortest_path.cc.o.d"
+  "libdehealth_graph.a"
+  "libdehealth_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dehealth_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dehealth_io.dir/forum_io.cc.o"
+  "CMakeFiles/dehealth_io.dir/forum_io.cc.o.d"
+  "libdehealth_io.a"
+  "libdehealth_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dehealth_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

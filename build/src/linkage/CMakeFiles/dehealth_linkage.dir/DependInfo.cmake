@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linkage/attack.cc" "src/linkage/CMakeFiles/dehealth_linkage.dir/attack.cc.o" "gcc" "src/linkage/CMakeFiles/dehealth_linkage.dir/attack.cc.o.d"
+  "/root/repo/src/linkage/avatar_link.cc" "src/linkage/CMakeFiles/dehealth_linkage.dir/avatar_link.cc.o" "gcc" "src/linkage/CMakeFiles/dehealth_linkage.dir/avatar_link.cc.o.d"
+  "/root/repo/src/linkage/dossier.cc" "src/linkage/CMakeFiles/dehealth_linkage.dir/dossier.cc.o" "gcc" "src/linkage/CMakeFiles/dehealth_linkage.dir/dossier.cc.o.d"
+  "/root/repo/src/linkage/identity_universe.cc" "src/linkage/CMakeFiles/dehealth_linkage.dir/identity_universe.cc.o" "gcc" "src/linkage/CMakeFiles/dehealth_linkage.dir/identity_universe.cc.o.d"
+  "/root/repo/src/linkage/name_link.cc" "src/linkage/CMakeFiles/dehealth_linkage.dir/name_link.cc.o" "gcc" "src/linkage/CMakeFiles/dehealth_linkage.dir/name_link.cc.o.d"
+  "/root/repo/src/linkage/username.cc" "src/linkage/CMakeFiles/dehealth_linkage.dir/username.cc.o" "gcc" "src/linkage/CMakeFiles/dehealth_linkage.dir/username.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dehealth_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dehealth_linkage.dir/attack.cc.o"
+  "CMakeFiles/dehealth_linkage.dir/attack.cc.o.d"
+  "CMakeFiles/dehealth_linkage.dir/avatar_link.cc.o"
+  "CMakeFiles/dehealth_linkage.dir/avatar_link.cc.o.d"
+  "CMakeFiles/dehealth_linkage.dir/dossier.cc.o"
+  "CMakeFiles/dehealth_linkage.dir/dossier.cc.o.d"
+  "CMakeFiles/dehealth_linkage.dir/identity_universe.cc.o"
+  "CMakeFiles/dehealth_linkage.dir/identity_universe.cc.o.d"
+  "CMakeFiles/dehealth_linkage.dir/name_link.cc.o"
+  "CMakeFiles/dehealth_linkage.dir/name_link.cc.o.d"
+  "CMakeFiles/dehealth_linkage.dir/username.cc.o"
+  "CMakeFiles/dehealth_linkage.dir/username.cc.o.d"
+  "libdehealth_linkage.a"
+  "libdehealth_linkage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dehealth_linkage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/cross_validation.cc" "src/ml/CMakeFiles/dehealth_ml.dir/cross_validation.cc.o" "gcc" "src/ml/CMakeFiles/dehealth_ml.dir/cross_validation.cc.o.d"
+  "/root/repo/src/ml/dataset.cc" "src/ml/CMakeFiles/dehealth_ml.dir/dataset.cc.o" "gcc" "src/ml/CMakeFiles/dehealth_ml.dir/dataset.cc.o.d"
+  "/root/repo/src/ml/knn.cc" "src/ml/CMakeFiles/dehealth_ml.dir/knn.cc.o" "gcc" "src/ml/CMakeFiles/dehealth_ml.dir/knn.cc.o.d"
+  "/root/repo/src/ml/linalg.cc" "src/ml/CMakeFiles/dehealth_ml.dir/linalg.cc.o" "gcc" "src/ml/CMakeFiles/dehealth_ml.dir/linalg.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/ml/CMakeFiles/dehealth_ml.dir/metrics.cc.o" "gcc" "src/ml/CMakeFiles/dehealth_ml.dir/metrics.cc.o.d"
+  "/root/repo/src/ml/nearest_centroid.cc" "src/ml/CMakeFiles/dehealth_ml.dir/nearest_centroid.cc.o" "gcc" "src/ml/CMakeFiles/dehealth_ml.dir/nearest_centroid.cc.o.d"
+  "/root/repo/src/ml/rlsc.cc" "src/ml/CMakeFiles/dehealth_ml.dir/rlsc.cc.o" "gcc" "src/ml/CMakeFiles/dehealth_ml.dir/rlsc.cc.o.d"
+  "/root/repo/src/ml/svm_smo.cc" "src/ml/CMakeFiles/dehealth_ml.dir/svm_smo.cc.o" "gcc" "src/ml/CMakeFiles/dehealth_ml.dir/svm_smo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dehealth_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dehealth_ml.dir/cross_validation.cc.o"
+  "CMakeFiles/dehealth_ml.dir/cross_validation.cc.o.d"
+  "CMakeFiles/dehealth_ml.dir/dataset.cc.o"
+  "CMakeFiles/dehealth_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/dehealth_ml.dir/knn.cc.o"
+  "CMakeFiles/dehealth_ml.dir/knn.cc.o.d"
+  "CMakeFiles/dehealth_ml.dir/linalg.cc.o"
+  "CMakeFiles/dehealth_ml.dir/linalg.cc.o.d"
+  "CMakeFiles/dehealth_ml.dir/metrics.cc.o"
+  "CMakeFiles/dehealth_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/dehealth_ml.dir/nearest_centroid.cc.o"
+  "CMakeFiles/dehealth_ml.dir/nearest_centroid.cc.o.d"
+  "CMakeFiles/dehealth_ml.dir/rlsc.cc.o"
+  "CMakeFiles/dehealth_ml.dir/rlsc.cc.o.d"
+  "CMakeFiles/dehealth_ml.dir/svm_smo.cc.o"
+  "CMakeFiles/dehealth_ml.dir/svm_smo.cc.o.d"
+  "libdehealth_ml.a"
+  "libdehealth_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dehealth_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

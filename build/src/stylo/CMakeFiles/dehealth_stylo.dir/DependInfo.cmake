@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stylo/extractor.cc" "src/stylo/CMakeFiles/dehealth_stylo.dir/extractor.cc.o" "gcc" "src/stylo/CMakeFiles/dehealth_stylo.dir/extractor.cc.o.d"
+  "/root/repo/src/stylo/feature_layout.cc" "src/stylo/CMakeFiles/dehealth_stylo.dir/feature_layout.cc.o" "gcc" "src/stylo/CMakeFiles/dehealth_stylo.dir/feature_layout.cc.o.d"
+  "/root/repo/src/stylo/feature_mask.cc" "src/stylo/CMakeFiles/dehealth_stylo.dir/feature_mask.cc.o" "gcc" "src/stylo/CMakeFiles/dehealth_stylo.dir/feature_mask.cc.o.d"
+  "/root/repo/src/stylo/feature_vector.cc" "src/stylo/CMakeFiles/dehealth_stylo.dir/feature_vector.cc.o" "gcc" "src/stylo/CMakeFiles/dehealth_stylo.dir/feature_vector.cc.o.d"
+  "/root/repo/src/stylo/user_profile.cc" "src/stylo/CMakeFiles/dehealth_stylo.dir/user_profile.cc.o" "gcc" "src/stylo/CMakeFiles/dehealth_stylo.dir/user_profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/text/CMakeFiles/dehealth_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dehealth_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

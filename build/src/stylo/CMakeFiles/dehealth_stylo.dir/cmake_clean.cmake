@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dehealth_stylo.dir/extractor.cc.o"
+  "CMakeFiles/dehealth_stylo.dir/extractor.cc.o.d"
+  "CMakeFiles/dehealth_stylo.dir/feature_layout.cc.o"
+  "CMakeFiles/dehealth_stylo.dir/feature_layout.cc.o.d"
+  "CMakeFiles/dehealth_stylo.dir/feature_mask.cc.o"
+  "CMakeFiles/dehealth_stylo.dir/feature_mask.cc.o.d"
+  "CMakeFiles/dehealth_stylo.dir/feature_vector.cc.o"
+  "CMakeFiles/dehealth_stylo.dir/feature_vector.cc.o.d"
+  "CMakeFiles/dehealth_stylo.dir/user_profile.cc.o"
+  "CMakeFiles/dehealth_stylo.dir/user_profile.cc.o.d"
+  "libdehealth_stylo.a"
+  "libdehealth_stylo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dehealth_stylo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

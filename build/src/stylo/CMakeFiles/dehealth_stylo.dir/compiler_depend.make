@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dehealth_stylo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/lexicon.cc" "src/text/CMakeFiles/dehealth_text.dir/lexicon.cc.o" "gcc" "src/text/CMakeFiles/dehealth_text.dir/lexicon.cc.o.d"
+  "/root/repo/src/text/pos_tagger.cc" "src/text/CMakeFiles/dehealth_text.dir/pos_tagger.cc.o" "gcc" "src/text/CMakeFiles/dehealth_text.dir/pos_tagger.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/text/CMakeFiles/dehealth_text.dir/tokenizer.cc.o" "gcc" "src/text/CMakeFiles/dehealth_text.dir/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dehealth_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

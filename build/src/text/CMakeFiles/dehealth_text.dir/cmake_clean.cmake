@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dehealth_text.dir/lexicon.cc.o"
+  "CMakeFiles/dehealth_text.dir/lexicon.cc.o.d"
+  "CMakeFiles/dehealth_text.dir/pos_tagger.cc.o"
+  "CMakeFiles/dehealth_text.dir/pos_tagger.cc.o.d"
+  "CMakeFiles/dehealth_text.dir/tokenizer.cc.o"
+  "CMakeFiles/dehealth_text.dir/tokenizer.cc.o.d"
+  "libdehealth_text.a"
+  "libdehealth_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dehealth_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/theory/bounds.cc" "src/theory/CMakeFiles/dehealth_theory.dir/bounds.cc.o" "gcc" "src/theory/CMakeFiles/dehealth_theory.dir/bounds.cc.o.d"
+  "/root/repo/src/theory/empirical.cc" "src/theory/CMakeFiles/dehealth_theory.dir/empirical.cc.o" "gcc" "src/theory/CMakeFiles/dehealth_theory.dir/empirical.cc.o.d"
+  "/root/repo/src/theory/monte_carlo.cc" "src/theory/CMakeFiles/dehealth_theory.dir/monte_carlo.cc.o" "gcc" "src/theory/CMakeFiles/dehealth_theory.dir/monte_carlo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dehealth_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dehealth_theory.dir/bounds.cc.o"
+  "CMakeFiles/dehealth_theory.dir/bounds.cc.o.d"
+  "CMakeFiles/dehealth_theory.dir/empirical.cc.o"
+  "CMakeFiles/dehealth_theory.dir/empirical.cc.o.d"
+  "CMakeFiles/dehealth_theory.dir/monte_carlo.cc.o"
+  "CMakeFiles/dehealth_theory.dir/monte_carlo.cc.o.d"
+  "libdehealth_theory.a"
+  "libdehealth_theory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dehealth_theory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/de_health_test.cc.o"
+  "CMakeFiles/core_test.dir/core/de_health_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/filtering_test.cc.o"
+  "CMakeFiles/core_test.dir/core/filtering_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/properties_test.cc.o"
+  "CMakeFiles/core_test.dir/core/properties_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/refined_da_test.cc.o"
+  "CMakeFiles/core_test.dir/core/refined_da_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/similarity_test.cc.o"
+  "CMakeFiles/core_test.dir/core/similarity_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/top_k_test.cc.o"
+  "CMakeFiles/core_test.dir/core/top_k_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/uda_graph_test.cc.o"
+  "CMakeFiles/core_test.dir/core/uda_graph_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

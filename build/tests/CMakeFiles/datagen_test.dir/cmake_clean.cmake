@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datagen_test.dir/datagen/corpus_test.cc.o"
+  "CMakeFiles/datagen_test.dir/datagen/corpus_test.cc.o.d"
+  "CMakeFiles/datagen_test.dir/datagen/forum_generator_test.cc.o"
+  "CMakeFiles/datagen_test.dir/datagen/forum_generator_test.cc.o.d"
+  "CMakeFiles/datagen_test.dir/datagen/split_test.cc.o"
+  "CMakeFiles/datagen_test.dir/datagen/split_test.cc.o.d"
+  "CMakeFiles/datagen_test.dir/datagen/style_profile_test.cc.o"
+  "CMakeFiles/datagen_test.dir/datagen/style_profile_test.cc.o.d"
+  "CMakeFiles/datagen_test.dir/datagen/vocabulary_test.cc.o"
+  "CMakeFiles/datagen_test.dir/datagen/vocabulary_test.cc.o.d"
+  "datagen_test"
+  "datagen_test.pdb"
+  "datagen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datagen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_test.dir/graph/bipartite_matching_test.cc.o"
+  "CMakeFiles/graph_test.dir/graph/bipartite_matching_test.cc.o.d"
+  "CMakeFiles/graph_test.dir/graph/community_test.cc.o"
+  "CMakeFiles/graph_test.dir/graph/community_test.cc.o.d"
+  "CMakeFiles/graph_test.dir/graph/correlation_graph_test.cc.o"
+  "CMakeFiles/graph_test.dir/graph/correlation_graph_test.cc.o.d"
+  "CMakeFiles/graph_test.dir/graph/graph_properties_test.cc.o"
+  "CMakeFiles/graph_test.dir/graph/graph_properties_test.cc.o.d"
+  "CMakeFiles/graph_test.dir/graph/graph_stats_test.cc.o"
+  "CMakeFiles/graph_test.dir/graph/graph_stats_test.cc.o.d"
+  "CMakeFiles/graph_test.dir/graph/landmarks_test.cc.o"
+  "CMakeFiles/graph_test.dir/graph/landmarks_test.cc.o.d"
+  "CMakeFiles/graph_test.dir/graph/shortest_path_test.cc.o"
+  "CMakeFiles/graph_test.dir/graph/shortest_path_test.cc.o.d"
+  "graph_test"
+  "graph_test.pdb"
+  "graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_test.dir/ml/cross_validation_test.cc.o"
+  "CMakeFiles/ml_test.dir/ml/cross_validation_test.cc.o.d"
+  "CMakeFiles/ml_test.dir/ml/dataset_test.cc.o"
+  "CMakeFiles/ml_test.dir/ml/dataset_test.cc.o.d"
+  "CMakeFiles/ml_test.dir/ml/knn_test.cc.o"
+  "CMakeFiles/ml_test.dir/ml/knn_test.cc.o.d"
+  "CMakeFiles/ml_test.dir/ml/linalg_test.cc.o"
+  "CMakeFiles/ml_test.dir/ml/linalg_test.cc.o.d"
+  "CMakeFiles/ml_test.dir/ml/metrics_test.cc.o"
+  "CMakeFiles/ml_test.dir/ml/metrics_test.cc.o.d"
+  "CMakeFiles/ml_test.dir/ml/nearest_centroid_test.cc.o"
+  "CMakeFiles/ml_test.dir/ml/nearest_centroid_test.cc.o.d"
+  "CMakeFiles/ml_test.dir/ml/rlsc_test.cc.o"
+  "CMakeFiles/ml_test.dir/ml/rlsc_test.cc.o.d"
+  "CMakeFiles/ml_test.dir/ml/svm_smo_test.cc.o"
+  "CMakeFiles/ml_test.dir/ml/svm_smo_test.cc.o.d"
+  "ml_test"
+  "ml_test.pdb"
+  "ml_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

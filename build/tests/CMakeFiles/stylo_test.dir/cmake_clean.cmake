@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stylo_test.dir/stylo/extractor_test.cc.o"
+  "CMakeFiles/stylo_test.dir/stylo/extractor_test.cc.o.d"
+  "CMakeFiles/stylo_test.dir/stylo/feature_layout_test.cc.o"
+  "CMakeFiles/stylo_test.dir/stylo/feature_layout_test.cc.o.d"
+  "CMakeFiles/stylo_test.dir/stylo/feature_mask_test.cc.o"
+  "CMakeFiles/stylo_test.dir/stylo/feature_mask_test.cc.o.d"
+  "CMakeFiles/stylo_test.dir/stylo/feature_vector_test.cc.o"
+  "CMakeFiles/stylo_test.dir/stylo/feature_vector_test.cc.o.d"
+  "CMakeFiles/stylo_test.dir/stylo/user_profile_test.cc.o"
+  "CMakeFiles/stylo_test.dir/stylo/user_profile_test.cc.o.d"
+  "stylo_test"
+  "stylo_test.pdb"
+  "stylo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stylo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

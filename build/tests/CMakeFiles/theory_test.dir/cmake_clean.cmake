@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theory_test.dir/theory/bounds_test.cc.o"
+  "CMakeFiles/theory_test.dir/theory/bounds_test.cc.o.d"
+  "CMakeFiles/theory_test.dir/theory/empirical_test.cc.o"
+  "CMakeFiles/theory_test.dir/theory/empirical_test.cc.o.d"
+  "CMakeFiles/theory_test.dir/theory/monte_carlo_test.cc.o"
+  "CMakeFiles/theory_test.dir/theory/monte_carlo_test.cc.o.d"
+  "theory_test"
+  "theory_test.pdb"
+  "theory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
