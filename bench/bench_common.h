@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.h"
+
 namespace dehealth::bench {
 
 /// Prints a section banner for a reproduced table/figure.
@@ -35,6 +37,15 @@ inline void PrintHeader(const std::string& label,
 inline void Compare(const char* metric, double paper, double measured) {
   std::printf("  %-44s paper=%-10.3f measured=%.3f\n", metric, paper,
               measured);
+}
+
+/// Prints the thread configuration the harness runs under. All pipeline
+/// stages are bitwise-deterministic in num_threads, so reproduced numbers
+/// are comparable across machines regardless of this value.
+inline void PrintThreadsInfo(int num_threads) {
+  std::printf("threads: %d (hardware: %d) — results independent of "
+              "thread count\n",
+              ResolveNumThreads(num_threads), HardwareThreads());
 }
 
 }  // namespace dehealth::bench

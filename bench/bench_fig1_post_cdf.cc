@@ -15,6 +15,7 @@ using namespace dehealth;
 
 void Reproduce() {
   bench::Banner("Fig. 1", "CDF of users vs. number of posts");
+  bench::PrintThreadsInfo(0);
   const std::vector<int> thresholds = {1,  2,   4,   9,   19,  49,
                                        99, 199, 299, 399, 499};
   bench::PrintHeader("posts <=", thresholds);

@@ -15,6 +15,7 @@ using namespace dehealth;
 
 void Reproduce() {
   bench::Banner("Fig. 2", "post length distribution (fraction per bucket)");
+  bench::PrintThreadsInfo(0);
   constexpr int kBuckets = 16;
   constexpr double kMaxLen = 800.0;
 

@@ -48,6 +48,7 @@ void RunDataset(const char* name, const ForumConfig& config,
 
 void Reproduce() {
   bench::Banner("Fig. 3", "closed-world CDF of correct Top-K DA");
+  bench::PrintThreadsInfo(0);
   const std::vector<int> ks = {1, 5, 10, 25, 50, 100, 200, 400, 800};
   bench::PrintHeader("K =", ks);
   RunDataset("WebMD", WebMdLikeConfig(1200, 41), ks);
@@ -57,13 +58,16 @@ void Reproduce() {
       "(sparse anonymized side)\nunderperforms the 50%% split.\n");
 }
 
+// Args: {num_users, num_threads}.
 void BM_SimilarityMatrix(benchmark::State& state) {
   auto forum =
       GenerateForum(WebMdLikeConfig(static_cast<int>(state.range(0)), 43));
   auto scenario = MakeClosedWorldScenario(forum->dataset, 0.5, 3);
   const UdaGraph anon = BuildUdaGraph(scenario->anonymized);
   const UdaGraph aux = BuildUdaGraph(scenario->auxiliary);
-  const StructuralSimilarity sim(anon, aux, {});
+  SimilarityConfig sim_config;
+  sim_config.num_threads = static_cast<int>(state.range(1));
+  const StructuralSimilarity sim(anon, aux, sim_config);
   for (auto _ : state) {
     auto matrix = sim.ComputeMatrix();
     benchmark::DoNotOptimize(matrix);
@@ -72,8 +76,15 @@ void BM_SimilarityMatrix(benchmark::State& state) {
       state.iterations() *
       static_cast<int64_t>(anon.num_users()) * aux.num_users());
 }
-BENCHMARK(BM_SimilarityMatrix)->Arg(200)->Arg(500)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SimilarityMatrix)
+    ->Args({200, 1})
+    ->Args({500, 1})
+    ->Args({500, 4})
+    ->Args({500, 8})
+    ->ArgNames({"users", "threads"})
+    ->Unit(benchmark::kMillisecond);
 
+// Arg: num_threads.
 void BM_TopKSelection(benchmark::State& state) {
   auto forum = GenerateForum(WebMdLikeConfig(400, 45));
   auto scenario = MakeClosedWorldScenario(forum->dataset, 0.5, 3);
@@ -82,11 +93,13 @@ void BM_TopKSelection(benchmark::State& state) {
   const StructuralSimilarity sim(anon, aux, {});
   const auto matrix = sim.ComputeMatrix();
   for (auto _ : state) {
-    auto candidates = SelectTopKCandidates(matrix, 100);
+    auto candidates =
+        SelectTopKCandidates(matrix, 100, CandidateSelection::kDirect,
+                             static_cast<int>(state.range(0)));
     benchmark::DoNotOptimize(candidates);
   }
 }
-BENCHMARK(BM_TopKSelection);
+BENCHMARK(BM_TopKSelection)->Arg(1)->Arg(8)->ArgNames({"threads"});
 
 }  // namespace
 

@@ -109,6 +109,7 @@ void RunSetting(const Setting& setting) {
 void Reproduce() {
   bench::Banner("Fig. 4",
                 "closed-world refined DA accuracy (50 WebMD-like users)");
+  bench::PrintThreadsInfo(0);
   std::printf("%-24s%8s%8s%8s%8s%8s\n", "", "Stylo", "K=5", "K=10", "K=15",
               "K=20");
   RunSetting({"10", 20});  // 20 posts -> 10 train / 10 test
@@ -119,6 +120,7 @@ void Reproduce() {
       "Stylometry ~0.08)\n");
 }
 
+// Arg: num_threads.
 void BM_RefinedDaPerUser(benchmark::State& state) {
   ForumConfig forum_config = WebMdLikeConfig(50, 53);
   forum_config.min_posts_per_user = 20;
@@ -131,6 +133,7 @@ void BM_RefinedDaPerUser(benchmark::State& state) {
   const auto matrix = sim.ComputeMatrix();
   auto candidates = SelectTopKCandidates(matrix, 5);
   RefinedDaConfig config = MakeRefinedConfig(LearnerKind::kSmoSvm);
+  config.num_threads = static_cast<int>(state.range(0));
   for (auto _ : state) {
     auto result =
         RunRefinedDa(anon, aux, *candidates, nullptr, matrix, config);
@@ -138,7 +141,12 @@ void BM_RefinedDaPerUser(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * anon.num_users());
 }
-BENCHMARK(BM_RefinedDaPerUser)->Unit(benchmark::kMillisecond)->Iterations(2);
+BENCHMARK(BM_RefinedDaPerUser)
+    ->Arg(1)
+    ->Arg(8)
+    ->ArgNames({"threads"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(2);
 
 }  // namespace
 

@@ -39,6 +39,7 @@ void RunDataset(const char* name, const ForumConfig& config,
 
 void Reproduce() {
   bench::Banner("Fig. 5", "open-world CDF of correct Top-K DA");
+  bench::PrintThreadsInfo(0);
   const std::vector<int> ks = {1, 5, 10, 25, 50, 100, 200, 400, 800};
   bench::PrintHeader("K =", ks);
   ForumConfig webmd = WebMdLikeConfig(1200, 61);

@@ -39,6 +39,7 @@ void Reproduce() {
   bench::Banner("Fig. 6",
                 "open-world refined DA: accuracy / FP rate "
                 "(100 users x 40 posts)");
+  bench::PrintThreadsInfo(0);
   std::printf("%-24s%10s%10s%10s%10s%10s\n", "accuracy|FP", "Stylo",
               "K=5", "K=10", "K=15", "K=20");
 
@@ -104,6 +105,7 @@ void Reproduce() {
       "Stylometry 0.10|0.52).\n");
 }
 
+// Arg: num_threads.
 void BM_MeanVerification(benchmark::State& state) {
   ForumConfig forum_config = WebMdLikeConfig(80, 73);
   forum_config.min_posts_per_user = 10;
@@ -114,15 +116,21 @@ void BM_MeanVerification(benchmark::State& state) {
   const StructuralSimilarity sim(anon, aux, {});
   const auto matrix = sim.ComputeMatrix();
   auto candidates = SelectTopKCandidates(matrix, 5);
-  const RefinedDaConfig config =
+  RefinedDaConfig config =
       MakeRefinedConfig(LearnerKind::kNearestCentroid, /*verify=*/true);
+  config.num_threads = static_cast<int>(state.range(0));
   for (auto _ : state) {
     auto result =
         RunRefinedDa(anon, aux, *candidates, nullptr, matrix, config);
     benchmark::DoNotOptimize(result);
   }
 }
-BENCHMARK(BM_MeanVerification)->Unit(benchmark::kMillisecond)->Iterations(3);
+BENCHMARK(BM_MeanVerification)
+    ->Arg(1)
+    ->Arg(8)
+    ->ArgNames({"threads"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
 
 }  // namespace
 

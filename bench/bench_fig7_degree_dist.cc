@@ -15,6 +15,7 @@ using namespace dehealth;
 
 void Reproduce() {
   bench::Banner("Fig. 7", "CDF of user degree in the correlation graph");
+  bench::PrintThreadsInfo(0);
   const std::vector<int> thresholds = {0,  1,   2,   5,   10,  20,
                                        50, 100, 200, 350, 500};
   bench::PrintHeader("degree <=", thresholds);

@@ -17,6 +17,7 @@ using namespace dehealth;
 void Reproduce() {
   bench::Banner("Fig. 8",
                 "WebMD community structure vs. minimum-degree cutoff");
+  bench::PrintThreadsInfo(0);
   auto forum = GenerateForum(WebMdLikeConfig(3000, 31));
   if (!forum.ok()) {
     std::fprintf(stderr, "generation failed\n");

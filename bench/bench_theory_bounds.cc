@@ -112,18 +112,24 @@ void ReproduceEmpiricalInstantiation() {
               "acknowledges; it must\n   never exceed the measured rate)\n");
 }
 
+// Args: {n2, num_threads}.
 void BM_ExactMonteCarlo(benchmark::State& state) {
   MonteCarloConfig mc;
   mc.params = MakeParams(0.5, 0.25);
   mc.n2 = static_cast<int>(state.range(0));
   mc.trials = 200;
+  mc.num_threads = static_cast<int>(state.range(1));
   for (auto _ : state) {
     auto result = RunExactDaMonteCarlo(mc);
     benchmark::DoNotOptimize(result);
   }
   state.SetItemsProcessed(state.iterations() * mc.trials * mc.n2);
 }
-BENCHMARK(BM_ExactMonteCarlo)->Arg(50)->Arg(200);
+BENCHMARK(BM_ExactMonteCarlo)
+    ->Args({50, 1})
+    ->Args({200, 1})
+    ->Args({200, 8})
+    ->ArgNames({"n2", "threads"});
 
 void BM_BoundEvaluation(benchmark::State& state) {
   const DaParameters p = MakeParams(0.7, 0.2);

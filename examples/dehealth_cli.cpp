@@ -6,8 +6,11 @@
 //                         --anon-out anon.jsonl --aux-out aux.jsonl \
 //                         --truth-out truth.csv
 //   dehealth_cli attack   --anonymized anon.jsonl --auxiliary aux.jsonl \
-//                         --k 10 --learner smo [--idf] [--truth truth.csv] \
-//                         [--out predictions.csv]
+//                         --k 10 --learner smo --threads 0 [--idf] \
+//                         [--truth truth.csv] [--out predictions.csv]
+//
+// --threads N runs the whole pipeline on N threads (0 = all hardware
+// threads, the default); results are identical for any value.
 
 #include <cstdio>
 #include <cstdlib>
@@ -135,6 +138,7 @@ int CmdAttack(const Args& args) {
 
   DeHealthConfig config;
   config.top_k = args.GetInt("k", 10);
+  config.num_threads = args.GetInt("threads", 0);
   config.similarity.idf_weight_attributes = args.Has("idf");
   const std::string learner = args.Get("learner", "smo");
   if (learner == "knn") {

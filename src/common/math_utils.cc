@@ -8,12 +8,20 @@ namespace dehealth {
 
 double CosineSimilarity(const std::vector<double>& a,
                         const std::vector<double>& b) {
-  const size_t n = std::min(a.size(), b.size());
-  double dot = 0.0;
-  for (size_t i = 0; i < n; ++i) dot += a[i] * b[i];
-  double na = 0.0, nb = 0.0;
-  for (double x : a) na += x * x;
-  for (double x : b) nb += x * x;
+  // Mismatched lengths compare as if the shorter vector carried trailing
+  // zeros: the pad contributes nothing to the dot product or the shorter
+  // norm, while the longer vector's tail still counts toward its own norm.
+  // (Hop/NCS vectors from graphs with different landmark counts hit this
+  // path; see the length-mismatch tests in math_utils_test.cc.)
+  const size_t n = std::max(a.size(), b.size());
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const double x = i < a.size() ? a[i] : 0.0;
+    const double y = i < b.size() ? b[i] : 0.0;
+    dot += x * y;
+    na += x * x;
+    nb += y * y;
+  }
   if (na == 0.0 || nb == 0.0) return 0.0;
   return dot / (std::sqrt(na) * std::sqrt(nb));
 }

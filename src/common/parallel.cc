@@ -1,0 +1,136 @@
+#include "common/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+
+namespace dehealth {
+
+namespace {
+
+thread_local bool t_in_pool_worker = false;
+
+}  // namespace
+
+int HardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+int ResolveNumThreads(int num_threads) {
+  if (num_threads == 0) return HardwareThreads();
+  return std::max(1, num_threads);
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(1, num_threads);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i)
+    workers_.emplace_back([this] { WorkerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    tasks_.push_back(std::move(task));
+  }
+  work_available_.notify_one();
+}
+
+bool ThreadPool::InWorkerThread() { return t_in_pool_worker; }
+
+void ThreadPool::WorkerLoop() {
+  t_in_pool_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return shutting_down_ || !tasks_.empty(); });
+      if (tasks_.empty()) return;  // shutting down and drained
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+ThreadPool& GlobalThreadPool() {
+  static ThreadPool pool(HardwareThreads());
+  return pool;
+}
+
+void ParallelFor(int64_t begin, int64_t end,
+                 const std::function<void(int64_t)>& fn, int num_threads) {
+  const int64_t range = end - begin;
+  if (range <= 0) return;
+  int64_t threads = std::min<int64_t>(ResolveNumThreads(num_threads), range);
+  // Serial fast path; also taken inside pool tasks so nested ParallelFor
+  // never waits on pool capacity it may itself be occupying.
+  if (threads <= 1 || ThreadPool::InWorkerThread()) {
+    for (int64_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  // Dynamic chunking: small enough to balance irregular per-index cost
+  // (per-user classifier training varies wildly), large enough to keep the
+  // shared cursor off the hot path.
+  const int64_t chunk = std::max<int64_t>(1, range / (8 * threads));
+  std::atomic<int64_t> cursor{begin};
+  std::atomic<bool> failed{false};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  auto drain = [&] {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const int64_t start = cursor.fetch_add(chunk, std::memory_order_relaxed);
+      if (start >= end) return;
+      const int64_t stop = std::min(end, start + chunk);
+      try {
+        for (int64_t i = start; i < stop; ++i) fn(i);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (first_error == nullptr) first_error = std::current_exception();
+        }
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  // The caller is one of the `threads` executors; the rest are pool tasks.
+  // All state lives on this stack frame, so we must not return before every
+  // helper finished (done_count reaching helpers).
+  const int64_t helpers = threads - 1;
+  std::atomic<int64_t> done_count{0};
+  std::mutex done_mutex;
+  std::condition_variable all_done;
+  ThreadPool& pool = GlobalThreadPool();
+  for (int64_t h = 0; h < helpers; ++h) {
+    pool.Submit([&] {
+      drain();
+      if (done_count.fetch_add(1) + 1 == helpers) {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        all_done.notify_one();
+      }
+    });
+  }
+  drain();
+  {
+    std::unique_lock<std::mutex> lock(done_mutex);
+    all_done.wait(lock, [&] { return done_count.load() == helpers; });
+  }
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+}
+
+}  // namespace dehealth

@@ -1,0 +1,82 @@
+#ifndef DEHEALTH_COMMON_PARALLEL_H_
+#define DEHEALTH_COMMON_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dehealth {
+
+/// Number of hardware threads, always >= 1 (std::thread::hardware_concurrency
+/// may report 0 on exotic platforms).
+int HardwareThreads();
+
+/// Resolves a `num_threads` config value: 0 means "all hardware threads",
+/// anything else is clamped to >= 1.
+int ResolveNumThreads(int num_threads);
+
+/// A fixed-size pool of worker threads consuming a FIFO task queue. Tasks
+/// must not block on other tasks (ParallelFor never does: the submitting
+/// thread always makes progress on the shared work itself, so completion
+/// never depends on a pool worker being scheduled).
+///
+/// Workers mark themselves with a thread-local flag; ParallelFor called from
+/// inside a pool task runs serially instead of re-entering the pool, so
+/// nested parallel sections cannot deadlock on pool capacity.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution on some worker thread.
+  void Submit(std::function<void()> task);
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// True when the calling thread is one of this process's pool workers.
+  static bool InWorkerThread();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::deque<std::function<void()>> tasks_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// The process-wide pool used by ParallelFor, sized to HardwareThreads().
+/// Created on first use.
+ThreadPool& GlobalThreadPool();
+
+/// Runs fn(i) for every i in [begin, end) across up to `num_threads`
+/// threads (0 = all hardware threads). Blocks until every index completed.
+///
+/// Scheduling is dynamic (threads grab contiguous chunks from a shared
+/// cursor), so WHICH thread runs an index — and in what order — is
+/// unspecified. Results are nevertheless bitwise-deterministic as long as
+/// fn(i) writes only to state owned by index i (e.g. a preallocated output
+/// slot) and reads only shared state that no task writes; every parallel
+/// call site in this codebase follows that contract.
+///
+/// If any fn(i) throws, remaining chunks are abandoned (indices already
+/// dispatched still run to completion of their chunk) and the first
+/// exception observed is rethrown on the calling thread.
+///
+/// The calling thread participates in the work, so ParallelFor makes
+/// progress even when the pool is saturated; with num_threads <= 1 (or when
+/// called from inside a pool task) it degenerates to a plain serial loop.
+void ParallelFor(int64_t begin, int64_t end,
+                 const std::function<void(int64_t)>& fn, int num_threads = 0);
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_COMMON_PARALLEL_H_

@@ -21,6 +21,15 @@ uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
 }  // namespace
 
+uint64_t MixSeed(uint64_t seed, uint64_t stream) {
+  // Offset by one golden-ratio step so MixSeed(s, 0) != a plain SplitMix64
+  // finalization of s (which seeding already performs internally).
+  uint64_t x = seed + (stream + 1) * 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 Rng::Rng(uint64_t seed) {
   uint64_t sm = seed;
   for (auto& s : state_) s = SplitMix64(sm);

@@ -8,6 +8,13 @@
 
 namespace dehealth {
 
+/// Mixes a base seed with a stream index into a statistically independent
+/// derived seed (SplitMix64 finalizer over seed ⊕ golden-ratio-scaled
+/// stream). Parallel code derives one `Rng(MixSeed(seed, i))` per work item
+/// so the random stream consumed by item i is a pure function of (seed, i),
+/// independent of thread count and iteration order.
+uint64_t MixSeed(uint64_t seed, uint64_t stream);
+
 /// Deterministic pseudo-random number generator (xoshiro256** seeded through
 /// SplitMix64). Every stochastic component of the library draws from an
 /// explicitly passed `Rng` so experiments are reproducible bit-for-bit.

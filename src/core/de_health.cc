@@ -10,14 +10,17 @@ StatusOr<DeHealthResult> DeHealth::Run(const UdaGraph& anonymized,
                                        const UdaGraph& auxiliary) const {
   DeHealthResult result;
 
-  // Phase 1a: structural similarity (Algorithm 1, lines 2-4).
-  const StructuralSimilarity similarity(anonymized, auxiliary,
-                                        config_.similarity);
+  // Phase 1a: structural similarity (Algorithm 1, lines 2-4). The
+  // pipeline-level thread knob overrides the sub-config fields.
+  SimilarityConfig sim_config = config_.similarity;
+  sim_config.num_threads = config_.num_threads;
+  const StructuralSimilarity similarity(anonymized, auxiliary, sim_config);
   result.similarity = similarity.ComputeMatrix();
 
   // Phase 1b: Top-K candidate sets (line 5).
-  StatusOr<CandidateSets> candidates = SelectTopKCandidates(
-      result.similarity, config_.top_k, config_.selection);
+  StatusOr<CandidateSets> candidates =
+      SelectTopKCandidates(result.similarity, config_.top_k,
+                           config_.selection, config_.num_threads);
   if (!candidates.ok()) return candidates.status();
   result.candidates = std::move(candidates).value();
   result.rejected.assign(result.candidates.size(), false);
@@ -32,9 +35,11 @@ StatusOr<DeHealthResult> DeHealth::Run(const UdaGraph& anonymized,
   }
 
   // Phase 2: refined DA (lines 7-9).
+  RefinedDaConfig refined_config = config_.refined;
+  refined_config.num_threads = config_.num_threads;
   StatusOr<RefinedDaResult> refined =
       RunRefinedDa(anonymized, auxiliary, result.candidates,
-                   &result.rejected, result.similarity, config_.refined);
+                   &result.rejected, result.similarity, refined_config);
   if (!refined.ok()) return refined.status();
   result.refined = std::move(refined).value();
   return result;

@@ -23,6 +23,14 @@ struct DeHealthConfig {
   bool enable_filtering = false;
   FilterConfig filter;
   RefinedDaConfig refined;
+
+  /// Single threading knob for the whole pipeline (0 = hardware
+  /// concurrency). Run() copies it into the similarity and refined-DA
+  /// sub-configs and the Top-K selection, overriding their own
+  /// `num_threads` fields; set those directly only when driving the
+  /// components standalone. Every phase is bitwise-deterministic for any
+  /// value (see DESIGN.md "Threading model").
+  int num_threads = 0;
 };
 
 /// Everything the two phases produced; kept so benches and callers can

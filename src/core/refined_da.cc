@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/parallel.h"
 #include "common/rng.h"
 #include "ml/knn.h"
 #include "ml/metrics.h"
@@ -100,6 +101,132 @@ bool PassesMeanVerification(const std::vector<double>& row,
   return row[static_cast<size_t>(predicted)] - floor >= (1.0 + r) * mean;
 }
 
+/// Per-user outcome slot: each parallel task writes only its own entry.
+struct UserOutcome {
+  int prediction = kNotPresent;
+  bool rejected = false;
+};
+
+/// The per-user refined-DA problem: assemble labels (+ decoys), train the
+/// per-user classifier, classify u's posts, verify. Pure function of its
+/// inputs — the decoy stream comes from a per-user Rng the caller derives
+/// as Rng(MixSeed(seed, u)), so the outcome does not depend on which
+/// thread runs it or in what order.
+Status RefineOneUser(const UdaGraph& anonymized, const UdaGraph& auxiliary,
+                     const CandidateSets& candidates,
+                     const std::vector<std::vector<double>>& similarity,
+                     const RefinedDaConfig& config, NodeId u,
+                     UserOutcome& out) {
+  const int extra_dims =
+      config.include_structural_features ? kNumStructuralFeatures : 0;
+  const auto& posts_u = anonymized.post_features[static_cast<size_t>(u)];
+  if (posts_u.empty() || candidates[static_cast<size_t>(u)].empty())
+    return Status();
+
+  // Assemble the label set: candidates plus (optionally) decoys.
+  std::vector<int> labels = candidates[static_cast<size_t>(u)];
+  std::unordered_set<int> decoys;
+  if (config.verification == VerificationScheme::kFalseAddition) {
+    Rng rng(MixSeed(config.seed, static_cast<uint64_t>(u)));
+    const int n2 = auxiliary.num_users();
+    std::unordered_set<int> in_set(labels.begin(), labels.end());
+    int want = config.false_addition_count > 0
+                   ? config.false_addition_count
+                   : static_cast<int>(labels.size());
+    want = std::min(want, n2 - static_cast<int>(in_set.size()));
+    int guard = 0;
+    while (static_cast<int>(decoys.size()) < want && guard++ < 50 * want) {
+      const int v = static_cast<int>(rng.NextBounded(
+          static_cast<uint64_t>(n2)));
+      if (in_set.count(v)) continue;
+      if (decoys.insert(v).second) labels.push_back(v);
+    }
+  }
+
+  // Assemble sparse training samples: one per auxiliary post, or one
+  // aggregated instance per candidate in user-level mode.
+  std::vector<std::pair<SparseVector, int>> train_sparse;
+  std::vector<SparseVector> query_sparse;
+  if (config.user_level_instances) {
+    for (int v : labels) {
+      const UserProfile& profile =
+          auxiliary.profiles[static_cast<size_t>(v)];
+      if (profile.num_posts() == 0) continue;
+      train_sparse.emplace_back(profile.MeanFeatures(), v);
+    }
+    query_sparse.push_back(
+        anonymized.profiles[static_cast<size_t>(u)].MeanFeatures());
+  } else {
+    for (int v : labels)
+      for (const SparseVector& f :
+           auxiliary.post_features[static_cast<size_t>(v)])
+        train_sparse.emplace_back(f, v);
+    query_sparse.assign(posts_u.begin(), posts_u.end());
+  }
+  if (train_sparse.empty()) return Status();
+
+  CompactIndex index;
+  for (const auto& [f, v] : train_sparse) index.Collect(f);
+  for (const SparseVector& f : query_sparse) index.Collect(f);
+
+  Dataset train(static_cast<size_t>(index.dims() + extra_dims));
+  for (const auto& [f, v] : train_sparse) {
+    std::vector<double> dense = index.Densify(f, extra_dims);
+    if (extra_dims > 0) AppendStructural(auxiliary, v, dense);
+    DEHEALTH_RETURN_IF_ERROR(train.Add({std::move(dense), v}));
+  }
+
+  StandardScaler scaler;
+  DEHEALTH_RETURN_IF_ERROR(scaler.Fit(train));
+  const Dataset scaled = scaler.TransformDataset(train);
+
+  std::unique_ptr<Classifier> learner = MakeLearner(config);
+  if (learner == nullptr)
+    return Status::InvalidArgument("RunRefinedDa: unknown learner");
+  DEHEALTH_RETURN_IF_ERROR(learner->Fit(scaled));
+
+  // Aggregate decision scores over the query vectors (u's posts, or
+  // the single user-level aggregate).
+  const std::vector<int>& classes = learner->classes();
+  std::vector<double> total_scores(classes.size(), 0.0);
+  for (const SparseVector& f : query_sparse) {
+    std::vector<double> dense = index.Densify(f, extra_dims);
+    if (extra_dims > 0) AppendStructural(anonymized, u, dense);
+    const std::vector<double> scores =
+        learner->DecisionScores(scaler.Transform(dense));
+    if (config.aggregation ==
+        RefinedDaConfig::PostAggregation::kMajorityVote) {
+      size_t argmax = 0;
+      for (size_t c = 1; c < scores.size(); ++c)
+        if (scores[c] > scores[argmax]) argmax = c;
+      total_scores[argmax] += 1.0;
+    } else {
+      for (size_t c = 0; c < scores.size(); ++c)
+        total_scores[c] += scores[c];
+    }
+  }
+  size_t best = 0;
+  for (size_t c = 1; c < total_scores.size(); ++c)
+    if (total_scores[c] > total_scores[best]) best = c;
+  const int predicted = classes[best];
+
+  // Verification.
+  if (config.verification == VerificationScheme::kFalseAddition &&
+      decoys.count(predicted)) {
+    out.rejected = true;  // u → ⊥
+    return Status();
+  }
+  if (config.verification == VerificationScheme::kMeanVerification &&
+      !PassesMeanVerification(similarity[static_cast<size_t>(u)],
+                              candidates[static_cast<size_t>(u)],
+                              predicted, config.mean_verification_r)) {
+    out.rejected = true;  // u → ⊥
+    return Status();
+  }
+  out.prediction = predicted;
+  return Status();
+}
+
 }  // namespace
 
 StatusOr<RefinedDaResult> RunRefinedDa(
@@ -115,122 +242,33 @@ StatusOr<RefinedDaResult> RunRefinedDa(
     return Status::InvalidArgument(
         "RunRefinedDa: similarity row count != anonymized users");
 
-  Rng rng(config.seed);
+  // One independent training problem per anonymized user; each task writes
+  // only its own outcome/status slot, so predictions are identical for any
+  // thread count.
+  std::vector<UserOutcome> outcomes(static_cast<size_t>(n1));
+  std::vector<Status> statuses(static_cast<size_t>(n1));
+  ParallelFor(
+      0, n1,
+      [&](int64_t ui) {
+        const NodeId u = static_cast<NodeId>(ui);
+        if (rejected != nullptr && (*rejected)[static_cast<size_t>(u)]) {
+          outcomes[static_cast<size_t>(u)].rejected = true;
+          return;  // filtering already concluded u → ⊥
+        }
+        statuses[static_cast<size_t>(u)] =
+            RefineOneUser(anonymized, auxiliary, candidates, similarity,
+                          config, u, outcomes[static_cast<size_t>(u)]);
+      },
+      config.num_threads);
+  // Surface the first (lowest-u) error, matching the old serial behavior.
+  for (const Status& st : statuses)
+    if (!st.ok()) return st;
+
   RefinedDaResult result;
   result.predictions.assign(static_cast<size_t>(n1), kNotPresent);
-
-  const int extra_dims =
-      config.include_structural_features ? kNumStructuralFeatures : 0;
-
-  for (NodeId u = 0; u < n1; ++u) {
-    if (rejected != nullptr && (*rejected)[static_cast<size_t>(u)]) {
-      ++result.num_rejected;
-      continue;  // filtering already concluded u → ⊥
-    }
-    const auto& posts_u = anonymized.post_features[static_cast<size_t>(u)];
-    if (posts_u.empty() || candidates[static_cast<size_t>(u)].empty())
-      continue;
-
-    // Assemble the label set: candidates plus (optionally) decoys.
-    std::vector<int> labels = candidates[static_cast<size_t>(u)];
-    std::unordered_set<int> decoys;
-    if (config.verification == VerificationScheme::kFalseAddition) {
-      const int n2 = auxiliary.num_users();
-      std::unordered_set<int> in_set(labels.begin(), labels.end());
-      int want = config.false_addition_count > 0
-                     ? config.false_addition_count
-                     : static_cast<int>(labels.size());
-      want = std::min(want, n2 - static_cast<int>(in_set.size()));
-      int guard = 0;
-      while (static_cast<int>(decoys.size()) < want && guard++ < 50 * want) {
-        const int v = static_cast<int>(rng.NextBounded(
-            static_cast<uint64_t>(n2)));
-        if (in_set.count(v)) continue;
-        if (decoys.insert(v).second) labels.push_back(v);
-      }
-    }
-
-    // Assemble sparse training samples: one per auxiliary post, or one
-    // aggregated instance per candidate in user-level mode.
-    std::vector<std::pair<SparseVector, int>> train_sparse;
-    std::vector<SparseVector> query_sparse;
-    if (config.user_level_instances) {
-      for (int v : labels) {
-        const UserProfile& profile =
-            auxiliary.profiles[static_cast<size_t>(v)];
-        if (profile.num_posts() == 0) continue;
-        train_sparse.emplace_back(profile.MeanFeatures(), v);
-      }
-      query_sparse.push_back(
-          anonymized.profiles[static_cast<size_t>(u)].MeanFeatures());
-    } else {
-      for (int v : labels)
-        for (const SparseVector& f :
-             auxiliary.post_features[static_cast<size_t>(v)])
-          train_sparse.emplace_back(f, v);
-      query_sparse.assign(posts_u.begin(), posts_u.end());
-    }
-    if (train_sparse.empty()) continue;
-
-    CompactIndex index;
-    for (const auto& [f, v] : train_sparse) index.Collect(f);
-    for (const SparseVector& f : query_sparse) index.Collect(f);
-
-    Dataset train(static_cast<size_t>(index.dims() + extra_dims));
-    for (const auto& [f, v] : train_sparse) {
-      std::vector<double> dense = index.Densify(f, extra_dims);
-      if (extra_dims > 0) AppendStructural(auxiliary, v, dense);
-      DEHEALTH_RETURN_IF_ERROR(train.Add({std::move(dense), v}));
-    }
-
-    StandardScaler scaler;
-    DEHEALTH_RETURN_IF_ERROR(scaler.Fit(train));
-    const Dataset scaled = scaler.TransformDataset(train);
-
-    std::unique_ptr<Classifier> learner = MakeLearner(config);
-    if (learner == nullptr)
-      return Status::InvalidArgument("RunRefinedDa: unknown learner");
-    DEHEALTH_RETURN_IF_ERROR(learner->Fit(scaled));
-
-    // Aggregate decision scores over the query vectors (u's posts, or
-    // the single user-level aggregate).
-    const std::vector<int>& classes = learner->classes();
-    std::vector<double> total_scores(classes.size(), 0.0);
-    for (const SparseVector& f : query_sparse) {
-      std::vector<double> dense = index.Densify(f, extra_dims);
-      if (extra_dims > 0) AppendStructural(anonymized, u, dense);
-      const std::vector<double> scores =
-          learner->DecisionScores(scaler.Transform(dense));
-      if (config.aggregation ==
-          RefinedDaConfig::PostAggregation::kMajorityVote) {
-        size_t argmax = 0;
-        for (size_t c = 1; c < scores.size(); ++c)
-          if (scores[c] > scores[argmax]) argmax = c;
-        total_scores[argmax] += 1.0;
-      } else {
-        for (size_t c = 0; c < scores.size(); ++c)
-          total_scores[c] += scores[c];
-      }
-    }
-    size_t best = 0;
-    for (size_t c = 1; c < total_scores.size(); ++c)
-      if (total_scores[c] > total_scores[best]) best = c;
-    int predicted = classes[best];
-
-    // Verification.
-    if (config.verification == VerificationScheme::kFalseAddition &&
-        decoys.count(predicted)) {
-      ++result.num_rejected;
-      continue;  // u → ⊥
-    }
-    if (config.verification == VerificationScheme::kMeanVerification &&
-        !PassesMeanVerification(similarity[static_cast<size_t>(u)],
-                                candidates[static_cast<size_t>(u)],
-                                predicted, config.mean_verification_r)) {
-      ++result.num_rejected;
-      continue;  // u → ⊥
-    }
-    result.predictions[static_cast<size_t>(u)] = predicted;
+  for (size_t u = 0; u < outcomes.size(); ++u) {
+    result.predictions[u] = outcomes[u].prediction;
+    if (outcomes[u].rejected) ++result.num_rejected;
   }
   return result;
 }
@@ -308,39 +346,52 @@ StatusOr<RefinedDaResult> RunRefinedDaShared(
     return Status::InvalidArgument("RunRefinedDaShared: unknown learner");
   DEHEALTH_RETURN_IF_ERROR(learner->Fit(scaled));
 
+  // Classification of each anonymized user against the one shared learner
+  // is read-only on the model, so the per-user loop parallelizes with
+  // per-slot writes.
   const std::vector<int>& classes = learner->classes();
-  for (NodeId u = 0; u < n1; ++u) {
-    const auto& user_queries = queries[static_cast<size_t>(u)];
-    if (user_queries.empty()) continue;
-    std::vector<double> total_scores(classes.size(), 0.0);
-    for (const SparseVector& f : user_queries) {
-      std::vector<double> dense = index.Densify(f, extra_dims);
-      if (extra_dims > 0) AppendStructural(anonymized, u, dense);
-      const std::vector<double> scores =
-          learner->DecisionScores(scaler.Transform(dense));
-      if (config.aggregation ==
-          RefinedDaConfig::PostAggregation::kMajorityVote) {
-        size_t argmax = 0;
-        for (size_t c = 1; c < scores.size(); ++c)
-          if (scores[c] > scores[argmax]) argmax = c;
-        total_scores[argmax] += 1.0;
-      } else {
-        for (size_t c = 0; c < scores.size(); ++c)
-          total_scores[c] += scores[c];
-      }
-    }
-    size_t best = 0;
-    for (size_t c = 1; c < total_scores.size(); ++c)
-      if (total_scores[c] > total_scores[best]) best = c;
-    const int predicted = classes[best];
+  std::vector<UserOutcome> outcomes(static_cast<size_t>(n1));
+  ParallelFor(
+      0, n1,
+      [&](int64_t ui) {
+        const NodeId u = static_cast<NodeId>(ui);
+        const auto& user_queries = queries[static_cast<size_t>(u)];
+        if (user_queries.empty()) return;
+        std::vector<double> total_scores(classes.size(), 0.0);
+        for (const SparseVector& f : user_queries) {
+          std::vector<double> dense = index.Densify(f, extra_dims);
+          if (extra_dims > 0) AppendStructural(anonymized, u, dense);
+          const std::vector<double> scores =
+              learner->DecisionScores(scaler.Transform(dense));
+          if (config.aggregation ==
+              RefinedDaConfig::PostAggregation::kMajorityVote) {
+            size_t argmax = 0;
+            for (size_t c = 1; c < scores.size(); ++c)
+              if (scores[c] > scores[argmax]) argmax = c;
+            total_scores[argmax] += 1.0;
+          } else {
+            for (size_t c = 0; c < scores.size(); ++c)
+              total_scores[c] += scores[c];
+          }
+        }
+        size_t best = 0;
+        for (size_t c = 1; c < total_scores.size(); ++c)
+          if (total_scores[c] > total_scores[best]) best = c;
+        const int predicted = classes[best];
 
-    if (config.verification == VerificationScheme::kMeanVerification &&
-        !PassesMeanVerification(similarity[static_cast<size_t>(u)], labels,
-                                predicted, config.mean_verification_r)) {
-      ++result.num_rejected;
-      continue;  // u → ⊥
-    }
-    result.predictions[static_cast<size_t>(u)] = predicted;
+        if (config.verification == VerificationScheme::kMeanVerification &&
+            !PassesMeanVerification(similarity[static_cast<size_t>(u)],
+                                    labels, predicted,
+                                    config.mean_verification_r)) {
+          outcomes[static_cast<size_t>(u)].rejected = true;  // u → ⊥
+          return;
+        }
+        outcomes[static_cast<size_t>(u)].prediction = predicted;
+      },
+      config.num_threads);
+  for (size_t u = 0; u < outcomes.size(); ++u) {
+    result.predictions[u] = outcomes[u].prediction;
+    if (outcomes[u].rejected) ++result.num_rejected;
   }
   return result;
 }

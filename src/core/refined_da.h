@@ -65,7 +65,15 @@ struct RefinedDaConfig {
   /// K' decoys for false addition; 0 means "as many as |C_u|".
   int false_addition_count = 0;
 
+  /// Base seed for decoy sampling. Each anonymized user u draws from its
+  /// own stream Rng(MixSeed(seed, u)), so decoy sets are a pure function
+  /// of (seed, u) — independent of thread count and iteration order.
   uint64_t seed = 7;
+
+  /// Threads for the per-user training loop (0 = hardware concurrency).
+  /// Predictions are identical for any value; see DESIGN.md "Threading
+  /// model".
+  int num_threads = 0;
 };
 
 /// Result of refined DA over all anonymized users.

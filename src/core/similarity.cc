@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/math_utils.h"
+#include "common/parallel.h"
 #include "graph/landmarks.h"
 
 namespace dehealth {
@@ -74,7 +75,8 @@ StructuralSimilarity::StructuralSimilarity(const UdaGraph& anonymized,
   for (int s = 0; s < 2; ++s) {
     const UdaGraph& side = *sides[s];
     const int n = side.num_users();
-    const LandmarkIndex landmarks(side.graph, config_.num_landmarks);
+    const LandmarkIndex landmarks(side.graph, config_.num_landmarks,
+                                  config_.num_threads);
     hop_vectors_[s].reserve(static_cast<size_t>(n));
     weighted_vectors_[s].reserve(static_cast<size_t>(n));
     ncs_vectors_[s].reserve(static_cast<size_t>(n));
@@ -132,9 +134,16 @@ std::vector<std::vector<double>> StructuralSimilarity::ComputeMatrix() const {
   const int n2 = num_auxiliary();
   std::vector<std::vector<double>> matrix(
       static_cast<size_t>(n1), std::vector<double>(static_cast<size_t>(n2)));
-  for (NodeId u = 0; u < n1; ++u)
-    for (NodeId v = 0; v < n2; ++v)
-      matrix[static_cast<size_t>(u)][static_cast<size_t>(v)] = Combined(u, v);
+  // Row-parallel: each task owns exactly one preallocated row, so the
+  // result is bitwise-identical for any thread count.
+  ParallelFor(
+      0, n1,
+      [&](int64_t u) {
+        std::vector<double>& row = matrix[static_cast<size_t>(u)];
+        for (NodeId v = 0; v < n2; ++v)
+          row[static_cast<size_t>(v)] = Combined(static_cast<NodeId>(u), v);
+      },
+      config_.num_threads);
   return matrix;
 }
 

@@ -25,6 +25,11 @@ struct SimilarityConfig {
   /// so the rare, identifying ones dominate — essential when the corpus
   /// is topic-noisy (see the Fig. 4 bench and EXPERIMENTS.md).
   bool idf_weight_attributes = false;
+
+  /// Threads used for landmark precomputation and ComputeMatrix
+  /// (0 = hardware concurrency). Results are bitwise-identical for any
+  /// value; see DESIGN.md "Threading model".
+  int num_threads = 0;
 };
 
 /// Precomputes everything needed to score anonymized-vs-auxiliary user
@@ -51,7 +56,8 @@ class StructuralSimilarity {
   double Combined(NodeId u, NodeId v) const;
 
   /// Full similarity matrix: result[u][v] = Combined(u, v). O(n1·n2) —
-  /// intended for the scaled experiment sizes.
+  /// row-parallel across config().num_threads threads; bitwise-identical
+  /// output for any thread count.
   std::vector<std::vector<double>> ComputeMatrix() const;
 
   const SimilarityConfig& config() const { return config_; }

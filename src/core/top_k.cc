@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <numeric>
 
+#include "common/parallel.h"
 #include "graph/bipartite_matching.h"
 
 namespace dehealth {
@@ -11,48 +13,70 @@ namespace dehealth {
 namespace {
 
 CandidateSets DirectSelection(
-    const std::vector<std::vector<double>>& similarity, int k) {
+    const std::vector<std::vector<double>>& similarity, int k,
+    int num_threads) {
   CandidateSets candidates(similarity.size());
-  for (size_t u = 0; u < similarity.size(); ++u) {
-    const auto& row = similarity[u];
-    std::vector<int> order(row.size());
-    std::iota(order.begin(), order.end(), 0);
-    const size_t take = std::min(static_cast<size_t>(k), row.size());
-    std::partial_sort(order.begin(), order.begin() + static_cast<long>(take),
-                      order.end(), [&row](int a, int b) {
-                        if (row[static_cast<size_t>(a)] !=
-                            row[static_cast<size_t>(b)])
-                          return row[static_cast<size_t>(a)] >
-                                 row[static_cast<size_t>(b)];
-                        return a < b;
-                      });
-    candidates[u].assign(order.begin(),
-                         order.begin() + static_cast<long>(take));
-  }
+  // Each task owns one row's candidate list; output is independent of the
+  // thread count.
+  ParallelFor(
+      0, static_cast<int64_t>(similarity.size()),
+      [&](int64_t ui) {
+        const size_t u = static_cast<size_t>(ui);
+        const auto& row = similarity[u];
+        std::vector<int> order(row.size());
+        std::iota(order.begin(), order.end(), 0);
+        const size_t take = std::min(static_cast<size_t>(k), row.size());
+        std::partial_sort(order.begin(),
+                          order.begin() + static_cast<long>(take),
+                          order.end(), [&row](int a, int b) {
+                            if (row[static_cast<size_t>(a)] !=
+                                row[static_cast<size_t>(b)])
+                              return row[static_cast<size_t>(a)] >
+                                     row[static_cast<size_t>(b)];
+                            return a < b;
+                          });
+        candidates[u].assign(order.begin(),
+                             order.begin() + static_cast<long>(take));
+      },
+      num_threads);
   return candidates;
 }
 
 CandidateSets GraphMatchingSelection(
     const std::vector<std::vector<double>>& similarity, int k) {
-  // Mutable copy: matched edges get their weight zeroed between rounds.
+  // Bookkeeping copy: matched edges are marked with a -infinity sentinel so
+  // they stay distinguishable from legitimately zero-similarity pairs (the
+  // old code zeroed them, so an all-zero round could "match" and admit
+  // pairs with no similarity at all).
+  constexpr double kMatched = -std::numeric_limits<double>::infinity();
   std::vector<std::vector<double>> weights = similarity;
   CandidateSets candidates(similarity.size());
   const size_t n2 = similarity.empty() ? 0 : similarity[0].size();
-  const int rounds = std::min(static_cast<size_t>(k), n2) == 0
-                         ? 0
-                         : static_cast<int>(
-                               std::min(static_cast<size_t>(k), n2));
+  const int rounds = static_cast<int>(std::min(static_cast<size_t>(k), n2));
   for (int round = 0; round < rounds; ++round) {
-    const std::vector<int> assignment = MaxWeightBipartiteMatching(weights);
+    // The Hungarian solver requires non-negative weights; matched (and any
+    // negative) entries participate as weight 0 but are never admitted.
+    std::vector<std::vector<double>> solver_weights(weights.size());
+    for (size_t u = 0; u < weights.size(); ++u) {
+      solver_weights[u].resize(weights[u].size());
+      for (size_t v = 0; v < weights[u].size(); ++v)
+        solver_weights[u][v] = std::max(weights[u][v], 0.0);
+    }
+    const std::vector<int> assignment =
+        MaxWeightBipartiteMatching(solver_weights);
+    bool any_admitted = false;
     for (size_t u = 0; u < assignment.size(); ++u) {
       const int v = assignment[u];
       if (v < 0) continue;
-      // Skip if already a candidate (possible when weights hit zero).
-      if (std::find(candidates[u].begin(), candidates[u].end(), v) ==
-          candidates[u].end())
-        candidates[u].push_back(v);
-      weights[u][static_cast<size_t>(v)] = 0.0;
+      // Only positive-similarity assignments become candidates: previously
+      // matched edges (sentinel) and zero-similarity pairs are both
+      // skipped, which also makes duplicate candidates impossible.
+      if (weights[u][static_cast<size_t>(v)] <= 0.0) continue;
+      candidates[u].push_back(v);
+      weights[u][static_cast<size_t>(v)] = kMatched;
+      any_admitted = true;
     }
+    if (!any_admitted) break;  // all remaining edges are zero or matched
   }
   // Order each candidate list by decreasing original similarity.
   for (size_t u = 0; u < candidates.size(); ++u) {
@@ -70,7 +94,7 @@ CandidateSets GraphMatchingSelection(
 
 StatusOr<CandidateSets> SelectTopKCandidates(
     const std::vector<std::vector<double>>& similarity, int k,
-    CandidateSelection method) {
+    CandidateSelection method, int num_threads) {
   if (k < 1)
     return Status::InvalidArgument("SelectTopKCandidates: k must be >= 1");
   if (similarity.empty()) return CandidateSets{};
@@ -81,7 +105,7 @@ StatusOr<CandidateSets> SelectTopKCandidates(
           "SelectTopKCandidates: ragged similarity matrix");
   switch (method) {
     case CandidateSelection::kDirect:
-      return DirectSelection(similarity, k);
+      return DirectSelection(similarity, k, num_threads);
     case CandidateSelection::kGraphMatching:
       return GraphMatchingSelection(similarity, k);
   }
@@ -90,7 +114,9 @@ StatusOr<CandidateSets> SelectTopKCandidates(
 
 double TopKSuccessRate(const CandidateSets& candidates,
                        const std::vector<int>& truth) {
-  assert(candidates.size() == truth.size());
+  // Size mismatch previously only tripped an assert — in NDEBUG builds the
+  // loop read past the end of `truth`. Degrade to "no successes" instead.
+  if (candidates.size() != truth.size()) return 0.0;
   int overlapping = 0, hits = 0;
   for (size_t u = 0; u < candidates.size(); ++u) {
     if (truth[u] < 0) continue;
@@ -106,7 +132,9 @@ double TopKSuccessRate(const CandidateSets& candidates,
 std::vector<double> TopKSuccessCurve(const CandidateSets& candidates,
                                      const std::vector<int>& truth,
                                      const std::vector<int>& ks) {
-  assert(candidates.size() == truth.size());
+  // See TopKSuccessRate: mismatch must not be UB in release builds.
+  if (candidates.size() != truth.size())
+    return std::vector<double>(ks.size(), 0.0);
   assert(std::is_sorted(ks.begin(), ks.end()));
   std::vector<int> hits_at(ks.size(), 0);
   int overlapping = 0;

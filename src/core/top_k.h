@@ -24,22 +24,30 @@ using CandidateSets = std::vector<std::vector<int>>;
 
 /// Computes Top-K candidate sets. `similarity[u][v]` scores anonymized u
 /// against auxiliary v. K must be >= 1 (it is capped at the number of
-/// auxiliary users).
+/// auxiliary users). Direct selection is row-parallel across `num_threads`
+/// threads (0 = hardware concurrency) with output independent of the
+/// thread count; graph matching is inherently global and runs serially.
+/// Graph matching only admits positive-similarity pairs: zero-similarity
+/// assignments (which the Hungarian solver may produce once a row is
+/// exhausted) are not candidates.
 StatusOr<CandidateSets> SelectTopKCandidates(
     const std::vector<std::vector<double>>& similarity, int k,
-    CandidateSelection method = CandidateSelection::kDirect);
+    CandidateSelection method = CandidateSelection::kDirect,
+    int num_threads = 0);
 
 /// Fraction of anonymized users whose true mapping appears in their
 /// candidate set (the paper's "successful Top-K DA" rate). `truth[u]` is
 /// the auxiliary id or a negative value for non-overlapping users, which
-/// are skipped.
+/// are skipped. Returns 0.0 if the two sizes disagree (defined behavior in
+/// release builds, not just an assert).
 double TopKSuccessRate(const CandidateSets& candidates,
                        const std::vector<int>& truth);
 
 /// Success rates for a sweep of K values over one (large-K) candidate
 /// computation: result[i] = success rate when candidate lists are truncated
 /// to ks[i]. `ks` must be sorted ascending; candidate lists must be ordered
-/// by decreasing similarity (as SelectTopKCandidates returns).
+/// by decreasing similarity (as SelectTopKCandidates returns). Returns all
+/// zeros if `candidates` and `truth` sizes disagree.
 std::vector<double> TopKSuccessCurve(const CandidateSets& candidates,
                                      const std::vector<int>& truth,
                                      const std::vector<int>& ks);

@@ -4,23 +4,31 @@
 #include <cassert>
 #include <cstddef>
 
+#include "common/parallel.h"
 #include "graph/shortest_path.h"
 
 namespace dehealth {
 
-LandmarkIndex::LandmarkIndex(const CorrelationGraph& graph, int count) {
+LandmarkIndex::LandmarkIndex(const CorrelationGraph& graph, int count,
+                             int num_threads) {
   assert(count >= 0);
   const std::vector<NodeId> by_degree = graph.NodesByDegreeDesc();
   const size_t take =
       std::min(static_cast<size_t>(count), by_degree.size());
   landmarks_.assign(by_degree.begin(),
                     by_degree.begin() + static_cast<long>(take));
-  hop_from_landmark_.reserve(take);
-  weighted_from_landmark_.reserve(take);
-  for (NodeId lm : landmarks_) {
-    hop_from_landmark_.push_back(BfsDistances(graph, lm));
-    weighted_from_landmark_.push_back(WeightedDistances(graph, lm));
-  }
+  // One BFS + one Dijkstra per landmark, each writing only its own slot.
+  hop_from_landmark_.resize(take);
+  weighted_from_landmark_.resize(take);
+  ParallelFor(
+      0, static_cast<int64_t>(take),
+      [&](int64_t i) {
+        const NodeId lm = landmarks_[static_cast<size_t>(i)];
+        hop_from_landmark_[static_cast<size_t>(i)] = BfsDistances(graph, lm);
+        weighted_from_landmark_[static_cast<size_t>(i)] =
+            WeightedDistances(graph, lm);
+      },
+      num_threads);
 }
 
 std::vector<double> LandmarkIndex::HopVector(NodeId u) const {

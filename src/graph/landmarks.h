@@ -15,8 +15,12 @@ class LandmarkIndex {
  public:
   /// Selects min(count, num_nodes) landmarks by decreasing degree and
   /// precomputes all landmark-rooted shortest-path trees (one BFS and one
-  /// Dijkstra per landmark; total O(ħ·(V+E log V))).
-  LandmarkIndex(const CorrelationGraph& graph, int count);
+  /// Dijkstra per landmark; total O(ħ·(V+E log V))). The per-landmark trees
+  /// are computed with ParallelFor across `num_threads` threads
+  /// (0 = hardware concurrency); results are identical for any thread
+  /// count.
+  LandmarkIndex(const CorrelationGraph& graph, int count,
+                int num_threads = 0);
 
   /// Landmark node ids, ordered by decreasing degree.
   const std::vector<NodeId>& landmarks() const { return landmarks_; }

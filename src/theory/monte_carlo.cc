@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <vector>
+
+#include "common/parallel.h"
 
 namespace dehealth {
 
@@ -91,24 +94,34 @@ StatusOr<MonteCarloResult> RunExactDaMonteCarlo(const MonteCarloConfig& c) {
   // M picks the minimizer when λ < λ̄, the maximizer otherwise (Theorem 1).
   const bool pick_min = c.params.lambda_correct < c.params.lambda_incorrect;
 
-  Rng rng(c.seed);
+  // Trials are independent: each draws from its own Rng(MixSeed(seed, t))
+  // stream and writes its own flag slot, so the tallies are identical for
+  // any thread count.
+  std::vector<uint8_t> exact_flag(static_cast<size_t>(c.trials), 0);
+  std::vector<uint8_t> pair_flag(static_cast<size_t>(c.trials), 0);
+  ParallelFor(
+      0, c.trials,
+      [&](int64_t t) {
+        Rng rng(MixSeed(c.seed, static_cast<uint64_t>(t)));
+        const double f_true = dists->correct.Sample(rng);
+        bool beaten = false;
+        for (int v = 0; v < c.n2 - 1; ++v) {
+          const double f_wrong = dists->incorrect.Sample(rng);
+          if (v == 0) {
+            const bool pair_ok =
+                pick_min ? f_true < f_wrong : f_true > f_wrong;
+            if (pair_ok) pair_flag[static_cast<size_t>(t)] = 1;
+          }
+          if (pick_min ? f_wrong <= f_true : f_wrong >= f_true)
+            beaten = true;
+        }
+        if (!beaten) exact_flag[static_cast<size_t>(t)] = 1;
+      },
+      c.num_threads);
   int exact_hits = 0, pair_hits = 0;
   for (int t = 0; t < c.trials; ++t) {
-    const double f_true = dists->correct.Sample(rng);
-    bool beaten = false;
-    for (int v = 0; v < c.n2 - 1; ++v) {
-      const double f_wrong = dists->incorrect.Sample(rng);
-      if (v == 0) {
-        const bool pair_ok =
-            pick_min ? f_true < f_wrong : f_true > f_wrong;
-        if (pair_ok) ++pair_hits;
-      }
-      if (pick_min ? f_wrong <= f_true : f_wrong >= f_true) {
-        beaten = true;
-        // Keep drawing to preserve the stream shape across trials.
-      }
-    }
-    if (!beaten) ++exact_hits;
+    exact_hits += exact_flag[static_cast<size_t>(t)];
+    pair_hits += pair_flag[static_cast<size_t>(t)];
   }
   MonteCarloResult result;
   result.exact_success_rate =
@@ -125,17 +138,22 @@ StatusOr<double> RunTopKDaMonteCarlo(const MonteCarloConfig& c, int k) {
   if (!dists.ok()) return dists.status();
   const bool pick_min = c.params.lambda_correct < c.params.lambda_incorrect;
 
-  Rng rng(c.seed);
+  std::vector<uint8_t> hit_flag(static_cast<size_t>(c.trials), 0);
+  ParallelFor(
+      0, c.trials,
+      [&](int64_t t) {
+        Rng rng(MixSeed(c.seed, static_cast<uint64_t>(t)));
+        const double f_true = dists->correct.Sample(rng);
+        int better = 0;  // wrong candidates beating the true pair
+        for (int v = 0; v < c.n2 - 1; ++v) {
+          const double f_wrong = dists->incorrect.Sample(rng);
+          if (pick_min ? f_wrong < f_true : f_wrong > f_true) ++better;
+        }
+        if (better < k) hit_flag[static_cast<size_t>(t)] = 1;
+      },
+      c.num_threads);
   int hits = 0;
-  for (int t = 0; t < c.trials; ++t) {
-    const double f_true = dists->correct.Sample(rng);
-    int better = 0;  // wrong candidates beating the true pair
-    for (int v = 0; v < c.n2 - 1; ++v) {
-      const double f_wrong = dists->incorrect.Sample(rng);
-      if (pick_min ? f_wrong < f_true : f_wrong > f_true) ++better;
-    }
-    if (better < k) ++hits;
-  }
+  for (uint8_t f : hit_flag) hits += f;
   return static_cast<double>(hits) / static_cast<double>(c.trials);
 }
 
@@ -148,22 +166,27 @@ StatusOr<double> RunGroupDaMonteCarlo(const MonteCarloConfig& c,
   if (!dists.ok()) return dists.status();
   const bool pick_min = c.params.lambda_correct < c.params.lambda_incorrect;
 
-  Rng rng(c.seed);
-  int group_hits = 0;
-  for (int t = 0; t < c.trials; ++t) {
-    bool all_ok = true;
-    for (int g = 0; g < group_size && all_ok; ++g) {
-      const double f_true = dists->correct.Sample(rng);
-      for (int v = 0; v < c.n2 - 1; ++v) {
-        const double f_wrong = dists->incorrect.Sample(rng);
-        if (pick_min ? f_wrong <= f_true : f_wrong >= f_true) {
-          all_ok = false;
-          break;
+  std::vector<uint8_t> hit_flag(static_cast<size_t>(c.trials), 0);
+  ParallelFor(
+      0, c.trials,
+      [&](int64_t t) {
+        Rng rng(MixSeed(c.seed, static_cast<uint64_t>(t)));
+        bool all_ok = true;
+        for (int g = 0; g < group_size && all_ok; ++g) {
+          const double f_true = dists->correct.Sample(rng);
+          for (int v = 0; v < c.n2 - 1; ++v) {
+            const double f_wrong = dists->incorrect.Sample(rng);
+            if (pick_min ? f_wrong <= f_true : f_wrong >= f_true) {
+              all_ok = false;
+              break;
+            }
+          }
         }
-      }
-    }
-    if (all_ok) ++group_hits;
-  }
+        if (all_ok) hit_flag[static_cast<size_t>(t)] = 1;
+      },
+      c.num_threads);
+  int group_hits = 0;
+  for (uint8_t f : hit_flag) group_hits += f;
   return static_cast<double>(group_hits) / static_cast<double>(c.trials);
 }
 

@@ -46,7 +46,11 @@ struct MonteCarloConfig {
   double concentration = 8.0;  // Beta concentration of both distributions
   int n2 = 100;                // auxiliary users
   int trials = 2000;
+  /// Base seed. Trial t draws from its own Rng(MixSeed(seed, t)) stream,
+  /// so results are identical for any thread count.
   uint64_t seed = 99;
+  /// Threads for the trial loop (0 = hardware concurrency).
+  int num_threads = 0;
 };
 
 /// Empirical results, comparable against the theorem lower bounds.

@@ -32,6 +32,28 @@ TEST(CosineSimilarityTest, DifferentLengthsZeroPadded) {
   EXPECT_NEAR(padded, 25.0 / (5.0 * std::sqrt(50.0)), 1e-12);
 }
 
+TEST(CosineSimilarityTest, LengthMismatchMatchesExplicitZeroPadding) {
+  // The length-mismatch contract, explicitly: cos(a, b) for |a| < |b| must
+  // equal cos(a ++ zeros, b) exactly. The padded tail contributes nothing
+  // to the dot product or to a's norm, while b's tail still counts toward
+  // b's norm — mismatched hop/NCS vectors (graphs with different landmark
+  // counts) rely on this.
+  const std::vector<double> a = {1.0, 2.0};
+  const std::vector<double> a_padded = {1.0, 2.0, 0.0, 0.0};
+  const std::vector<double> b = {4.0, 5.0, 6.0, 7.0};
+  EXPECT_EQ(CosineSimilarity(a, b), CosineSimilarity(a_padded, b));
+  // Symmetric in argument order.
+  EXPECT_EQ(CosineSimilarity(a, b), CosineSimilarity(b, a));
+  // Zero-padding a vector against itself is still a perfect match.
+  EXPECT_NEAR(CosineSimilarity(a, a_padded), 1.0, 1e-12);
+}
+
+TEST(CosineSimilarityTest, LengthMismatchAgainstAllZeroTailIsZero) {
+  // The longer vector's extra entries alone cannot manufacture similarity.
+  EXPECT_EQ(CosineSimilarity({0.0, 0.0}, {0.0, 0.0, 3.0}), 0.0);
+  EXPECT_EQ(CosineSimilarity({}, {1.0, 2.0, 3.0}), 0.0);
+}
+
 TEST(MinMaxRatioTest, Basics) {
   EXPECT_EQ(MinMaxRatio(0.0, 0.0), 1.0);  // "no signal" convention
   EXPECT_EQ(MinMaxRatio(0.0, 5.0), 0.0);

@@ -1,0 +1,123 @@
+#include "common/parallel.h"
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dehealth {
+namespace {
+
+TEST(ResolveNumThreadsTest, ZeroMeansHardware) {
+  EXPECT_EQ(ResolveNumThreads(0), HardwareThreads());
+  EXPECT_GE(HardwareThreads(), 1);
+}
+
+TEST(ResolveNumThreadsTest, ClampsToAtLeastOne) {
+  EXPECT_EQ(ResolveNumThreads(1), 1);
+  EXPECT_EQ(ResolveNumThreads(-3), 1);
+  EXPECT_EQ(ResolveNumThreads(7), 7);
+}
+
+TEST(ParallelForTest, EmptyRangeNeverInvokes) {
+  std::atomic<int> calls{0};
+  ParallelFor(0, 0, [&](int64_t) { ++calls; }, 4);
+  ParallelFor(5, 5, [&](int64_t) { ++calls; }, 4);
+  ParallelFor(10, 3, [&](int64_t) { ++calls; }, 4);  // inverted range
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  constexpr int64_t kN = 10007;  // prime, so no chunk boundary alignment
+  std::vector<int> visits(kN, 0);
+  ParallelFor(0, kN, [&](int64_t i) { ++visits[static_cast<size_t>(i)]; },
+              8);
+  for (int64_t i = 0; i < kN; ++i) EXPECT_EQ(visits[static_cast<size_t>(i)], 1);
+}
+
+TEST(ParallelForTest, RespectsNonZeroBegin) {
+  std::vector<int> visits(100, 0);
+  ParallelFor(40, 60, [&](int64_t i) { ++visits[static_cast<size_t>(i)]; },
+              4);
+  for (int64_t i = 0; i < 100; ++i)
+    EXPECT_EQ(visits[static_cast<size_t>(i)], (i >= 40 && i < 60) ? 1 : 0);
+}
+
+TEST(ParallelForTest, RangeShorterThanThreadCount) {
+  std::vector<int> visits(3, 0);
+  ParallelFor(0, 3, [&](int64_t i) { ++visits[static_cast<size_t>(i)]; },
+              16);
+  EXPECT_EQ(visits, (std::vector<int>{1, 1, 1}));
+}
+
+TEST(ParallelForTest, SlotWritesMatchSerialExecution) {
+  constexpr int64_t kN = 5000;
+  std::vector<double> serial(kN), parallel(kN);
+  auto f = [](int64_t i) {
+    return static_cast<double>(i * i) / 3.0 + 1.0;
+  };
+  ParallelFor(0, kN, [&](int64_t i) { serial[static_cast<size_t>(i)] = f(i); },
+              1);
+  ParallelFor(0, kN,
+              [&](int64_t i) { parallel[static_cast<size_t>(i)] = f(i); }, 8);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelForTest, PropagatesExceptionFromWorkItem) {
+  EXPECT_THROW(
+      ParallelFor(
+          0, 1000,
+          [](int64_t i) {
+            if (i == 537) throw std::runtime_error("boom");
+          },
+          8),
+      std::runtime_error);
+}
+
+TEST(ParallelForTest, PropagatesExceptionWithSingleThread) {
+  EXPECT_THROW(ParallelFor(
+                   0, 10,
+                   [](int64_t i) {
+                     if (i == 3) throw std::logic_error("serial boom");
+                   },
+                   1),
+               std::logic_error);
+}
+
+TEST(ParallelForTest, ExceptionDoesNotPoisonSubsequentCalls) {
+  try {
+    ParallelFor(0, 100, [](int64_t) { throw std::runtime_error("x"); }, 4);
+  } catch (const std::runtime_error&) {
+  }
+  std::atomic<int64_t> sum{0};
+  ParallelFor(0, 100, [&](int64_t i) { sum += i; }, 4);
+  EXPECT_EQ(sum.load(), 99 * 100 / 2);
+}
+
+TEST(ParallelForTest, NestedCallsDoNotDeadlock) {
+  // Inner ParallelFor from a pool worker must degrade to serial instead of
+  // waiting on pool capacity it may itself occupy.
+  std::vector<int64_t> sums(32, 0);
+  ParallelFor(
+      0, 32,
+      [&](int64_t i) {
+        std::vector<int64_t> inner(64, 0);
+        ParallelFor(0, 64,
+                    [&](int64_t j) { inner[static_cast<size_t>(j)] = j; }, 4);
+        sums[static_cast<size_t>(i)] =
+            std::accumulate(inner.begin(), inner.end(), int64_t{0});
+      },
+      4);
+  for (int64_t s : sums) EXPECT_EQ(s, 63 * 64 / 2);
+}
+
+TEST(ParallelForTest, ZeroThreadsUsesHardwareAndCompletes) {
+  std::atomic<int64_t> sum{0};
+  ParallelFor(0, 1000, [&](int64_t i) { sum += i; }, 0);
+  EXPECT_EQ(sum.load(), 999 * 1000 / 2);
+}
+
+}  // namespace
+}  // namespace dehealth

@@ -55,6 +55,40 @@ TEST(SelectTopKTest, GraphMatchingAvoidsCollisionInRoundOne) {
   EXPECT_EQ((*c)[1], (std::vector<int>{0, 1}));
 }
 
+TEST(SelectTopKTest, GraphMatchingNeverAdmitsZeroSimilarityPairs) {
+  // Round 1 matches the identity pairs (total 1.5 beats the swap's 0.8)
+  // and exhausts u0's only positive edge. Round 2 still has u1→v0 = 0.8,
+  // and the matcher then pairs u0 with v1 — a pair with NO similarity.
+  // The seed zeroed matched edges, so that zero-weight assignment was
+  // indistinguishable from a real one and v1 leaked into u0's candidates.
+  std::vector<std::vector<double>> m = {{1.0, 0.0}, {0.8, 0.5}};
+  auto c = SelectTopKCandidates(m, 2, CandidateSelection::kGraphMatching);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ((*c)[0], (std::vector<int>{0}));     // never v1: similarity 0
+  EXPECT_EQ((*c)[1], (std::vector<int>{0, 1}));  // both rounds legitimate,
+                                                 // ordered by similarity
+}
+
+TEST(SelectTopKTest, GraphMatchingStopsWhenPositiveEdgesExhausted) {
+  // After every positive edge is matched, further rounds must not invent
+  // candidates out of the all-zero remainder.
+  std::vector<std::vector<double>> m = {{1.0, 0.0}, {0.0, 1.0}};
+  auto c = SelectTopKCandidates(m, 2, CandidateSelection::kGraphMatching);
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ((*c)[0], (std::vector<int>{0}));
+  EXPECT_EQ((*c)[1], (std::vector<int>{1}));
+}
+
+TEST(SelectTopKTest, DirectSelectionIdenticalForAnyThreadCount) {
+  auto serial = SelectTopKCandidates(kMatrix, 2,
+                                     CandidateSelection::kDirect, 1);
+  auto threaded = SelectTopKCandidates(kMatrix, 2,
+                                       CandidateSelection::kDirect, 8);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(threaded.ok());
+  EXPECT_EQ(*serial, *threaded);
+}
+
 TEST(TopKSuccessRateTest, CountsHits) {
   CandidateSets candidates = {{0, 2}, {1, 2}};
   EXPECT_EQ(TopKSuccessRate(candidates, {0, 2}), 1.0);
@@ -85,6 +119,25 @@ TEST(TopKSuccessCurveTest, AllMissing) {
   CandidateSets candidates = {{1}, {2}};
   auto curve = TopKSuccessCurve(candidates, {-1, -1}, {1});
   EXPECT_EQ(curve[0], 0.0);
+}
+
+TEST(TopKSuccessRateTest, SizeMismatchIsDefinedBehavior) {
+  // The seed only guarded this with assert(): in NDEBUG builds a truth
+  // vector shorter than the candidate list meant an out-of-bounds read.
+  // Mismatches now deterministically count as zero success.
+  CandidateSets candidates = {{0}, {1}, {2}};
+  EXPECT_EQ(TopKSuccessRate(candidates, {0, 1}), 0.0);   // truth too short
+  EXPECT_EQ(TopKSuccessRate(candidates, {0, 1, 2, 3}), 0.0);  // too long
+  EXPECT_EQ(TopKSuccessRate({}, {0}), 0.0);
+}
+
+TEST(TopKSuccessCurveTest, SizeMismatchIsDefinedBehavior) {
+  CandidateSets candidates = {{0}, {1}, {2}};
+  const std::vector<int> ks = {1, 2};
+  auto curve = TopKSuccessCurve(candidates, {0, 1}, ks);
+  EXPECT_EQ(curve, (std::vector<double>{0.0, 0.0}));
+  curve = TopKSuccessCurve(candidates, {0, 1, 2, 3}, ks);
+  EXPECT_EQ(curve, (std::vector<double>{0.0, 0.0}));
 }
 
 }  // namespace
