@@ -1,0 +1,207 @@
+// Dense-vs-indexed phase-1 scaling: time and peak RSS for answering ~500
+// anonymized Top-K queries against auxiliary sides of 1k / 5k / 20k users.
+// The dense path materializes a 500×n2 similarity matrix; the indexed path
+// (src/index) answers the same queries — bitwise-identically, see
+// tests/index — through the candidate index.
+//
+// Peak RSS is process-wide and monotone, so each (mode, n2) cell runs in
+// its own process:
+//
+//   bench_index_scaling                          # all cells -> JSON report
+//   bench_index_scaling --out BENCH_index.json   # same, written to a file
+//   bench_index_scaling --n2 5000 --mode indexed # one cell, one JSON line
+//
+// Timings are wall-clock; `prepare` is index build (or similarity
+// precompute), `topk` is the 500 queries.
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/de_health.h"
+#include "datagen/forum_generator.h"
+#include "datagen/split.h"
+#include "index/candidate_index.h"
+#include "index/indexed_source.h"
+
+namespace {
+
+using namespace dehealth;
+
+constexpr int kNumQueries = 500;
+constexpr int kTopK = 10;
+constexpr uint64_t kForumSeed = 77;
+constexpr uint64_t kSplitSeed = 5;
+
+long PeakRssKb() {
+  struct rusage usage;
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;  // kilobytes on Linux
+}
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Runs one (mode, n2) cell and prints a single-line JSON object.
+int RunCell(int n2, const std::string& mode) {
+  auto forum = GenerateForum(WebMdLikeConfig(n2, kForumSeed));
+  if (!forum.ok()) {
+    std::fprintf(stderr, "generate: %s\n", forum.status().ToString().c_str());
+    return 1;
+  }
+  auto scenario = MakeClosedWorldScenario(forum->dataset, 0.5, kSplitSeed);
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "split: %s\n", scenario.status().ToString().c_str());
+    return 1;
+  }
+
+  // Query side: the first kNumQueries users' anonymized posts. The
+  // auxiliary side keeps all n2 users — that is the axis being scaled.
+  const int num_queries = std::min(kNumQueries, n2);
+  ForumDataset anon_subset;
+  anon_subset.num_users = num_queries;
+  anon_subset.num_threads = scenario->anonymized.num_threads;
+  for (const Post& post : scenario->anonymized.posts)
+    if (post.user_id < num_queries) anon_subset.posts.push_back(post);
+
+  const UdaGraph anon = BuildUdaGraph(anon_subset);
+  const UdaGraph aux = BuildUdaGraph(scenario->auxiliary);
+  const long setup_rss_kb = PeakRssKb();
+
+  SimilarityConfig config;
+  double prepare_ms = 0.0;
+  double topk_ms = 0.0;
+  CandidateSets candidates;
+  if (mode == "dense") {
+    auto start = std::chrono::steady_clock::now();
+    const StructuralSimilarity similarity(anon, aux, config);
+    prepare_ms = MsSince(start);
+    start = std::chrono::steady_clock::now();
+    const auto matrix = similarity.ComputeMatrix();
+    auto sets = SelectTopKCandidates(matrix, kTopK);
+    topk_ms = MsSince(start);
+    if (!sets.ok()) {
+      std::fprintf(stderr, "topk: %s\n", sets.status().ToString().c_str());
+      return 1;
+    }
+    candidates = *std::move(sets);
+  } else {
+    auto start = std::chrono::steady_clock::now();
+    auto index = CandidateIndex::Build(aux, config);
+    prepare_ms = MsSince(start);
+    if (!index.ok()) {
+      std::fprintf(stderr, "build: %s\n", index.status().ToString().c_str());
+      return 1;
+    }
+    start = std::chrono::steady_clock::now();
+    const IndexedCandidateSource source(anon, *index);
+    auto sets = source.TopK(kTopK, /*num_threads=*/0);
+    topk_ms = MsSince(start);
+    if (!sets.ok()) {
+      std::fprintf(stderr, "topk: %s\n", sets.status().ToString().c_str());
+      return 1;
+    }
+    candidates = *std::move(sets);
+  }
+
+  // Checksum over the candidate sets: identical between modes by the
+  // exactness contract, and keeps the work from being optimized away.
+  uint64_t checksum = 1469598103934665603ULL;
+  for (const auto& row : candidates)
+    for (int v : row) checksum = (checksum ^ static_cast<uint64_t>(v)) *
+                                 1099511628211ULL;
+
+  std::printf(
+      "{\"mode\": \"%s\", \"aux_users\": %d, \"anon_users\": %d, "
+      "\"prepare_ms\": %.1f, \"topk_ms\": %.1f, \"total_ms\": %.1f, "
+      "\"setup_peak_rss_kb\": %ld, \"peak_rss_kb\": %ld, "
+      "\"candidates_checksum\": %llu}\n",
+      mode.c_str(), aux.num_users(), anon.num_users(), prepare_ms, topk_ms,
+      prepare_ms + topk_ms, setup_rss_kb, PeakRssKb(),
+      static_cast<unsigned long long>(checksum));
+  return 0;
+}
+
+/// Re-runs this binary once per cell and assembles the JSON report.
+int RunAll(const std::string& out_path) {
+  const std::vector<int> sizes = {1000, 5000, 20000};
+  std::string runs;
+  for (int n2 : sizes) {
+    for (const char* mode : {"dense", "indexed"}) {
+      std::fprintf(stderr, "running n2=%d mode=%s...\n", n2, mode);
+      // /proc/self/exe must be resolved here: inside popen's shell it
+      // would point at the shell binary, not this benchmark.
+      char exe[4096];
+      const ssize_t len = readlink("/proc/self/exe", exe, sizeof exe - 1);
+      if (len <= 0) {
+        std::fprintf(stderr, "readlink(/proc/self/exe) failed\n");
+        return 1;
+      }
+      exe[len] = '\0';
+      const std::string command = "'" + std::string(exe) + "' --n2 " +
+                                  std::to_string(n2) + " --mode " + mode;
+      FILE* pipe = popen(command.c_str(), "r");
+      if (pipe == nullptr) {
+        std::fprintf(stderr, "popen failed\n");
+        return 1;
+      }
+      std::string line;
+      char buffer[512];
+      while (fgets(buffer, sizeof buffer, pipe) != nullptr) line += buffer;
+      if (pclose(pipe) != 0) {
+        std::fprintf(stderr, "cell n2=%d mode=%s failed\n", n2, mode);
+        return 1;
+      }
+      while (!line.empty() && line.back() == '\n') line.pop_back();
+      if (!runs.empty()) runs += ",\n    ";
+      runs += line;
+    }
+  }
+  const std::string report =
+      "{\n  \"benchmark\": \"bench_index_scaling\",\n"
+      "  \"description\": \"phase-1 Top-" + std::to_string(kTopK) +
+      " for " + std::to_string(kNumQueries) +
+      " anonymized users: dense similarity matrix vs candidate index"
+      " (results bitwise-identical; see tests/index)\",\n"
+      "  \"config\": {\"num_queries\": " + std::to_string(kNumQueries) +
+      ", \"top_k\": " + std::to_string(kTopK) +
+      ", \"forum_seed\": " + std::to_string(kForumSeed) +
+      ", \"split_seed\": " + std::to_string(kSplitSeed) + "},\n"
+      "  \"runs\": [\n    " + runs + "\n  ]\n}\n";
+  if (out_path.empty()) {
+    std::fputs(report.c_str(), stdout);
+  } else {
+    std::ofstream out(out_path);
+    out << report;
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int n2 = 0;
+  std::string mode;
+  std::string out_path;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--n2") == 0) n2 = std::atoi(argv[i + 1]);
+    if (std::strcmp(argv[i], "--mode") == 0) mode = argv[i + 1];
+    if (std::strcmp(argv[i], "--out") == 0) out_path = argv[i + 1];
+  }
+  if (n2 > 0 && !mode.empty()) return RunCell(n2, mode);
+  return RunAll(out_path);
+}

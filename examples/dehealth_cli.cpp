@@ -2,16 +2,23 @@
 // datasets — the adoption path for running De-Health on your own data.
 //
 //   dehealth_cli generate --preset webmd --users 300 --seed 7 --out d.jsonl
-//   dehealth_cli split    --dataset d.jsonl --aux-fraction 0.5 --seed 3 \
-//                         --anon-out anon.jsonl --aux-out aux.jsonl \
+//   dehealth_cli split    --dataset d.jsonl --aux-fraction 0.5 --seed 3
+//                         --anon-out anon.jsonl --aux-out aux.jsonl
 //                         --truth-out truth.csv
-//   dehealth_cli attack   --anonymized anon.jsonl --auxiliary aux.jsonl \
-//                         --k 10 --learner smo --threads 0 [--idf] \
+//   dehealth_cli attack   --anonymized anon.jsonl --auxiliary aux.jsonl
+//                         --k 10 --learner smo --threads 0 [--idf]
+//                         [--index] [--index-path idx.dhix]
+//                         [--max-candidates N]
 //                         [--truth truth.csv] [--out predictions.csv]
 //
 // --threads N runs the whole pipeline on N threads (0 = all hardware
 // threads, the default); results are identical for any value.
+// --index answers phase 1 from the auxiliary-side candidate index instead
+// of the dense similarity matrix (same results, see DESIGN.md);
+// --index-path persists the index as a snapshot reused across runs.
 
+#include <cerrno>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -24,21 +31,24 @@
 #include "core/evaluation.h"
 #include "datagen/forum_generator.h"
 #include "datagen/split.h"
+#include "index/pipeline.h"
 #include "io/forum_io.h"
 
 using namespace dehealth;
 
 namespace {
 
-/// Minimal "--flag value" parser; flags may appear in any order.
+/// Minimal "--flag value" parser; flags may appear in any order. Numeric
+/// lookups parse strictly: trailing garbage, overflow, or an empty value
+/// fail with InvalidArgument instead of silently becoming 0 (atoi-style).
 class Args {
  public:
   Args(int argc, char** argv, int first) {
     for (int i = first; i < argc; ++i) {
       const std::string token = argv[i];
       if (token.rfind("--", 0) != 0) continue;
-      if (token == "--idf") {  // boolean flags take no value
-        flags_.insert("idf");
+      if (token == "--idf" || token == "--index") {  // boolean: no value
+        flags_.insert(token.substr(2));
         continue;
       }
       if (i + 1 < argc) values_[token.substr(2)] = argv[++i];
@@ -50,13 +60,28 @@ class Args {
     auto it = values_.find(key);
     return it == values_.end() ? fallback : it->second;
   }
-  int GetInt(const std::string& key, int fallback) const {
+  StatusOr<int> GetInt(const std::string& key, int fallback) const {
     const std::string v = Get(key);
-    return v.empty() ? fallback : std::atoi(v.c_str());
+    if (v.empty()) return fallback;
+    errno = 0;
+    char* end = nullptr;
+    const long value = std::strtol(v.c_str(), &end, 10);
+    if (end == v.c_str() || *end != '\0' || errno != 0 ||
+        value < INT_MIN || value > INT_MAX)
+      return Status::InvalidArgument("--" + key +
+                                     " expects an integer, got '" + v + "'");
+    return static_cast<int>(value);
   }
-  double GetDouble(const std::string& key, double fallback) const {
+  StatusOr<double> GetDouble(const std::string& key, double fallback) const {
     const std::string v = Get(key);
-    return v.empty() ? fallback : std::atof(v.c_str());
+    if (v.empty()) return fallback;
+    errno = 0;
+    char* end = nullptr;
+    const double value = std::strtod(v.c_str(), &end);
+    if (end == v.c_str() || *end != '\0' || errno != 0)
+      return Status::InvalidArgument("--" + key +
+                                     " expects a number, got '" + v + "'");
+    return value;
   }
   bool Has(const std::string& flag) const { return flags_.count(flag) > 0; }
 
@@ -70,10 +95,19 @@ int Fail(const std::string& message) {
   return 1;
 }
 
+/// Unwraps a StatusOr flag lookup or exits the command with the parse
+/// error: CLI_ASSIGN_OR_FAIL(int, users, args.GetInt("users", 300));
+#define CLI_ASSIGN_OR_FAIL(type, name, expr)                             \
+  auto name##_or = (expr);                                               \
+  if (!(name##_or).ok()) return Fail((name##_or).status().ToString());   \
+  const type name = *(name##_or)
+
 int CmdGenerate(const Args& args) {
   const std::string preset = args.Get("preset", "webmd");
-  const int users = args.GetInt("users", 300);
-  const auto seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  CLI_ASSIGN_OR_FAIL(int, users, args.GetInt("users", 300));
+  CLI_ASSIGN_OR_FAIL(int, seed_value, args.GetInt("seed", 1));
+  if (users < 1) return Fail("--users must be >= 1");
+  const auto seed = static_cast<uint64_t>(seed_value);
   const std::string out = args.Get("out");
   if (out.empty()) return Fail("generate requires --out");
 
@@ -101,13 +135,15 @@ int CmdSplit(const Args& args) {
 
   auto dataset = LoadForumDataset(in);
   if (!dataset.ok()) return Fail(dataset.status().ToString());
-  const double overlap = args.GetDouble("overlap", 0.0);
-  const auto seed = static_cast<uint64_t>(args.GetInt("seed", 1));
+  CLI_ASSIGN_OR_FAIL(double, overlap, args.GetDouble("overlap", 0.0));
+  CLI_ASSIGN_OR_FAIL(double, aux_fraction,
+                     args.GetDouble("aux-fraction", 0.5));
+  CLI_ASSIGN_OR_FAIL(int, seed_value, args.GetInt("seed", 1));
+  const auto seed = static_cast<uint64_t>(seed_value);
   StatusOr<DaScenario> scenario =
       overlap > 0.0
           ? MakeOpenWorldScenario(*dataset, overlap, seed)
-          : MakeClosedWorldScenario(
-                *dataset, args.GetDouble("aux-fraction", 0.5), seed);
+          : MakeClosedWorldScenario(*dataset, aux_fraction, seed);
   if (!scenario.ok()) return Fail(scenario.status().ToString());
 
   Status st = SaveForumDataset(scenario->anonymized, anon_out);
@@ -137,9 +173,22 @@ int CmdAttack(const Args& args) {
   if (!aux_data.ok()) return Fail(aux_data.status().ToString());
 
   DeHealthConfig config;
-  config.top_k = args.GetInt("k", 10);
-  config.num_threads = args.GetInt("threads", 0);
+  CLI_ASSIGN_OR_FAIL(int, k, args.GetInt("k", 10));
+  CLI_ASSIGN_OR_FAIL(int, threads, args.GetInt("threads", 0));
+  CLI_ASSIGN_OR_FAIL(int, max_candidates,
+                     args.GetInt("max-candidates", 0));
+  if (k < 1) return Fail("--k must be >= 1");
+  if (threads < 0)
+    return Fail("--threads must be >= 0 (0 = all hardware threads)");
+  if (max_candidates < 0) return Fail("--max-candidates must be >= 0");
+  config.top_k = k;
+  config.num_threads = threads;
   config.similarity.idf_weight_attributes = args.Has("idf");
+  config.index_snapshot_path = args.Get("index-path");
+  // --index-path implies the indexed path; --index alone keeps the index
+  // in memory for this run.
+  config.use_index = args.Has("index") || !config.index_snapshot_path.empty();
+  config.index_max_candidates = max_candidates;
   const std::string learner = args.Get("learner", "smo");
   if (learner == "knn") {
     config.refined.learner = LearnerKind::kKnn;
@@ -155,7 +204,7 @@ int CmdAttack(const Args& args) {
               anon_data->posts.size(), aux_data->posts.size());
   const UdaGraph anon = BuildUdaGraph(*anon_data);
   const UdaGraph aux = BuildUdaGraph(*aux_data);
-  auto result = DeHealth(config).Run(anon, aux);
+  auto result = RunDeHealthAttack(anon, aux, config);
   if (!result.ok()) return Fail(result.status().ToString());
 
   const std::string out = args.Get("out");

@@ -1,0 +1,37 @@
+#include "core/candidate_source.h"
+
+namespace dehealth {
+
+DenseCandidateSource::DenseCandidateSource(
+    const std::vector<std::vector<double>>& matrix)
+    : matrix_(&matrix) {}
+
+int DenseCandidateSource::num_anonymized() const {
+  return static_cast<int>(matrix_->size());
+}
+
+int DenseCandidateSource::num_auxiliary() const {
+  return matrix_->empty() ? 0 : static_cast<int>(matrix_->front().size());
+}
+
+double DenseCandidateSource::Score(NodeId u, NodeId v) const {
+  return (*matrix_)[static_cast<size_t>(u)][static_cast<size_t>(v)];
+}
+
+const std::vector<double>& DenseCandidateSource::Row(
+    NodeId u, std::vector<double>* /*scratch*/) const {
+  return (*matrix_)[static_cast<size_t>(u)];
+}
+
+StatusOr<CandidateSets> DenseCandidateSource::TopK(int k,
+                                                   int num_threads) const {
+  return SelectTopKCandidates(*matrix_, k, CandidateSelection::kDirect,
+                              num_threads);
+}
+
+const std::vector<std::vector<double>>* DenseCandidateSource::DenseMatrix()
+    const {
+  return matrix_;
+}
+
+}  // namespace dehealth

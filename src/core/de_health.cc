@@ -6,6 +6,51 @@ namespace dehealth {
 
 DeHealth::DeHealth(DeHealthConfig config) : config_(config) {}
 
+namespace {
+
+/// Phases 1b-2 against an arbitrary score source; fills every result field
+/// except `similarity` (the caller owns matrix materialization policy).
+Status RunPhases(const DeHealthConfig& config, const UdaGraph& anonymized,
+                 const UdaGraph& auxiliary, const CandidateSource& scores,
+                 DeHealthResult& result) {
+  // Phase 1b: Top-K candidate sets (Algorithm 1, line 5). Graph matching
+  // needs the whole matrix at once, so it only works on dense sources.
+  if (config.selection == CandidateSelection::kGraphMatching &&
+      scores.DenseMatrix() == nullptr)
+    return Status::FailedPrecondition(
+        "DeHealth: graph-matching selection requires a dense similarity "
+        "matrix (disable use_index or use direct selection)");
+  StatusOr<CandidateSets> candidates =
+      config.selection == CandidateSelection::kGraphMatching
+          ? SelectTopKCandidates(*scores.DenseMatrix(), config.top_k,
+                                 config.selection, config.num_threads)
+          : scores.TopK(config.top_k, config.num_threads);
+  if (!candidates.ok()) return candidates.status();
+  result.candidates = std::move(candidates).value();
+  result.rejected.assign(result.candidates.size(), false);
+
+  // Phase 1c: optional threshold-vector filtering (line 6, Algorithm 2).
+  if (config.enable_filtering) {
+    StatusOr<FilterResult> filtered =
+        FilterCandidates(scores, result.candidates, config.filter);
+    if (!filtered.ok()) return filtered.status();
+    result.candidates = std::move(filtered->candidates);
+    result.rejected = std::move(filtered->rejected);
+  }
+
+  // Phase 2: refined DA (lines 7-9).
+  RefinedDaConfig refined_config = config.refined;
+  refined_config.num_threads = config.num_threads;
+  StatusOr<RefinedDaResult> refined =
+      RunRefinedDa(anonymized, auxiliary, result.candidates,
+                   &result.rejected, scores, refined_config);
+  if (!refined.ok()) return refined.status();
+  result.refined = std::move(refined).value();
+  return Status();
+}
+
+}  // namespace
+
 StatusOr<DeHealthResult> DeHealth::Run(const UdaGraph& anonymized,
                                        const UdaGraph& auxiliary) const {
   DeHealthResult result;
@@ -17,31 +62,19 @@ StatusOr<DeHealthResult> DeHealth::Run(const UdaGraph& anonymized,
   const StructuralSimilarity similarity(anonymized, auxiliary, sim_config);
   result.similarity = similarity.ComputeMatrix();
 
-  // Phase 1b: Top-K candidate sets (line 5).
-  StatusOr<CandidateSets> candidates =
-      SelectTopKCandidates(result.similarity, config_.top_k,
-                           config_.selection, config_.num_threads);
-  if (!candidates.ok()) return candidates.status();
-  result.candidates = std::move(candidates).value();
-  result.rejected.assign(result.candidates.size(), false);
+  const DenseCandidateSource source(result.similarity);
+  DEHEALTH_RETURN_IF_ERROR(
+      RunPhases(config_, anonymized, auxiliary, source, result));
+  return result;
+}
 
-  // Phase 1c: optional threshold-vector filtering (line 6, Algorithm 2).
-  if (config_.enable_filtering) {
-    StatusOr<FilterResult> filtered = FilterCandidates(
-        result.similarity, result.candidates, config_.filter);
-    if (!filtered.ok()) return filtered.status();
-    result.candidates = std::move(filtered->candidates);
-    result.rejected = std::move(filtered->rejected);
-  }
-
-  // Phase 2: refined DA (lines 7-9).
-  RefinedDaConfig refined_config = config_.refined;
-  refined_config.num_threads = config_.num_threads;
-  StatusOr<RefinedDaResult> refined =
-      RunRefinedDa(anonymized, auxiliary, result.candidates,
-                   &result.rejected, result.similarity, refined_config);
-  if (!refined.ok()) return refined.status();
-  result.refined = std::move(refined).value();
+StatusOr<DeHealthResult> DeHealth::RunWithSource(
+    const UdaGraph& anonymized, const UdaGraph& auxiliary,
+    const CandidateSource& scores) const {
+  DeHealthResult result;
+  if (const auto* matrix = scores.DenseMatrix()) result.similarity = *matrix;
+  DEHEALTH_RETURN_IF_ERROR(
+      RunPhases(config_, anonymized, auxiliary, scores, result));
   return result;
 }
 

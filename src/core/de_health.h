@@ -1,9 +1,11 @@
 #ifndef DEHEALTH_CORE_DE_HEALTH_H_
 #define DEHEALTH_CORE_DE_HEALTH_H_
 
+#include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "core/candidate_source.h"
 #include "core/filtering.h"
 #include "core/refined_da.h"
 #include "core/similarity.h"
@@ -31,6 +33,22 @@ struct DeHealthConfig {
   /// components standalone. Every phase is bitwise-deterministic for any
   /// value (see DESIGN.md "Threading model").
   int num_threads = 0;
+
+  /// Answer phase 1 from the persistent auxiliary-side candidate index
+  /// (src/index/) instead of materializing the dense |Δ1|×|Δ2| similarity
+  /// matrix. Scores and candidate sets are bitwise-identical to the dense
+  /// path (see DESIGN.md "Candidate index"); DeHealthResult::similarity is
+  /// left empty. Consumed by RunDeHealthAttack (src/index/pipeline.h) —
+  /// DeHealth::Run itself always runs dense.
+  bool use_index = false;
+  /// When non-empty, the index is loaded from this snapshot file if it
+  /// matches the auxiliary side + config (and rebuilt + saved otherwise).
+  std::string index_snapshot_path;
+  /// Recall knob: when > 0, the index only *evaluates* at most this many
+  /// exact scores per anonymized user (best-first by upper bound) — faster,
+  /// but Top-K results may lose recall and are no longer guaranteed
+  /// identical to dense. 0 = exact (the default).
+  int index_max_candidates = 0;
 };
 
 /// Everything the two phases produced; kept so benches and callers can
@@ -53,6 +71,15 @@ class DeHealth {
   /// pair. Deterministic given the config seeds.
   StatusOr<DeHealthResult> Run(const UdaGraph& anonymized,
                                const UdaGraph& auxiliary) const;
+
+  /// Runs phases 1b-2 against an externally provided score source (the
+  /// dense matrix wrapped in a DenseCandidateSource, or the candidate
+  /// index). DeHealthResult::similarity is only populated when the source
+  /// exposes a dense matrix; graph-matching selection requires one and
+  /// fails with FailedPrecondition otherwise.
+  StatusOr<DeHealthResult> RunWithSource(const UdaGraph& anonymized,
+                                         const UdaGraph& auxiliary,
+                                         const CandidateSource& scores) const;
 
   const DeHealthConfig& config() const { return config_; }
 

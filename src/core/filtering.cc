@@ -5,16 +5,16 @@
 
 namespace dehealth {
 
-StatusOr<FilterResult> FilterCandidates(
-    const std::vector<std::vector<double>>& similarity,
-    const CandidateSets& candidates, FilterConfig config) {
+StatusOr<FilterResult> FilterCandidates(const CandidateSource& scores,
+                                        const CandidateSets& candidates,
+                                        FilterConfig config) {
   if (config.num_thresholds < 1)
     return Status::InvalidArgument(
         "FilterCandidates: num_thresholds must be >= 1");
   if (config.epsilon < 0.0)
     return Status::InvalidArgument(
         "FilterCandidates: epsilon must be >= 0");
-  if (similarity.size() != candidates.size())
+  if (static_cast<size_t>(scores.num_anonymized()) != candidates.size())
     return Status::InvalidArgument(
         "FilterCandidates: similarity/candidate size mismatch");
 
@@ -23,14 +23,24 @@ StatusOr<FilterResult> FilterCandidates(
   result.rejected.assign(candidates.size(), false);
   if (candidates.empty()) return result;
 
-  // Global similarity extremes (line 1-2 of Algorithm 2).
+  // Global similarity extremes (line 1-2 of Algorithm 2), streamed one row
+  // at a time; each candidate's score is kept so the threshold pass below
+  // never needs the row again.
   double s_max = -std::numeric_limits<double>::infinity();
   double s_min = std::numeric_limits<double>::infinity();
-  for (const auto& row : similarity)
+  std::vector<std::vector<double>> candidate_scores(candidates.size());
+  std::vector<double> scratch;
+  for (size_t u = 0; u < candidates.size(); ++u) {
+    const std::vector<double>& row =
+        scores.Row(static_cast<NodeId>(u), &scratch);
     for (double s : row) {
       s_max = std::max(s_max, s);
       s_min = std::min(s_min, s);
     }
+    candidate_scores[u].reserve(candidates[u].size());
+    for (int v : candidates[u])
+      candidate_scores[u].push_back(row[static_cast<size_t>(v)]);
+  }
   if (s_min > s_max) {  // no auxiliary users at all
     result.rejected.assign(candidates.size(), true);
     return result;
@@ -49,12 +59,12 @@ StatusOr<FilterResult> FilterCandidates(
   }
 
   for (size_t u = 0; u < candidates.size(); ++u) {
-    const auto& row = similarity[u];
     bool kept = false;
     for (double threshold : result.thresholds) {
       std::vector<int> surviving;
-      for (int v : candidates[u])
-        if (row[static_cast<size_t>(v)] >= threshold) surviving.push_back(v);
+      for (size_t i = 0; i < candidates[u].size(); ++i)
+        if (candidate_scores[u][i] >= threshold)
+          surviving.push_back(candidates[u][i]);
       if (!surviving.empty()) {
         result.candidates[u] = std::move(surviving);
         kept = true;
@@ -64,6 +74,13 @@ StatusOr<FilterResult> FilterCandidates(
     if (!kept) result.rejected[u] = true;  // u → ⊥ (line 12-13)
   }
   return result;
+}
+
+StatusOr<FilterResult> FilterCandidates(
+    const std::vector<std::vector<double>>& similarity,
+    const CandidateSets& candidates, FilterConfig config) {
+  const DenseCandidateSource source(similarity);
+  return FilterCandidates(source, candidates, config);
 }
 
 }  // namespace dehealth

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/candidate_source.h"
 #include "core/top_k.h"
 
 namespace dehealth {
@@ -30,6 +31,15 @@ struct FilterResult {
 StatusOr<FilterResult> FilterCandidates(
     const std::vector<std::vector<double>>& similarity,
     const CandidateSets& candidates, FilterConfig config = {});
+
+/// CandidateSource variant: identical results, but rows are streamed from
+/// the source (one O(n2) row at a time) instead of indexed out of a
+/// materialized matrix — the global max/min pass makes filtering inherently
+/// a full-scan phase, so the indexed path trades matrix memory for row
+/// recomputation here.
+StatusOr<FilterResult> FilterCandidates(const CandidateSource& scores,
+                                        const CandidateSets& candidates,
+                                        FilterConfig config = {});
 
 }  // namespace dehealth
 

@@ -114,7 +114,7 @@ struct UserOutcome {
 /// thread runs it or in what order.
 Status RefineOneUser(const UdaGraph& anonymized, const UdaGraph& auxiliary,
                      const CandidateSets& candidates,
-                     const std::vector<std::vector<double>>& similarity,
+                     const CandidateSource& scores,
                      const RefinedDaConfig& config, NodeId u,
                      UserOutcome& out) {
   const int extra_dims =
@@ -192,17 +192,17 @@ Status RefineOneUser(const UdaGraph& anonymized, const UdaGraph& auxiliary,
   for (const SparseVector& f : query_sparse) {
     std::vector<double> dense = index.Densify(f, extra_dims);
     if (extra_dims > 0) AppendStructural(anonymized, u, dense);
-    const std::vector<double> scores =
+    const std::vector<double> decision =
         learner->DecisionScores(scaler.Transform(dense));
     if (config.aggregation ==
         RefinedDaConfig::PostAggregation::kMajorityVote) {
       size_t argmax = 0;
-      for (size_t c = 1; c < scores.size(); ++c)
-        if (scores[c] > scores[argmax]) argmax = c;
+      for (size_t c = 1; c < decision.size(); ++c)
+        if (decision[c] > decision[argmax]) argmax = c;
       total_scores[argmax] += 1.0;
     } else {
-      for (size_t c = 0; c < scores.size(); ++c)
-        total_scores[c] += scores[c];
+      for (size_t c = 0; c < decision.size(); ++c)
+        total_scores[c] += decision[c];
     }
   }
   size_t best = 0;
@@ -216,12 +216,14 @@ Status RefineOneUser(const UdaGraph& anonymized, const UdaGraph& auxiliary,
     out.rejected = true;  // u → ⊥
     return Status();
   }
-  if (config.verification == VerificationScheme::kMeanVerification &&
-      !PassesMeanVerification(similarity[static_cast<size_t>(u)],
-                              candidates[static_cast<size_t>(u)],
-                              predicted, config.mean_verification_r)) {
-    out.rejected = true;  // u → ⊥
-    return Status();
+  if (config.verification == VerificationScheme::kMeanVerification) {
+    std::vector<double> scratch;
+    if (!PassesMeanVerification(scores.Row(u, &scratch),
+                                candidates[static_cast<size_t>(u)],
+                                predicted, config.mean_verification_r)) {
+      out.rejected = true;  // u → ⊥
+      return Status();
+    }
   }
   out.prediction = predicted;
   return Status();
@@ -229,16 +231,17 @@ Status RefineOneUser(const UdaGraph& anonymized, const UdaGraph& auxiliary,
 
 }  // namespace
 
-StatusOr<RefinedDaResult> RunRefinedDa(
-    const UdaGraph& anonymized, const UdaGraph& auxiliary,
-    const CandidateSets& candidates, const std::vector<bool>* rejected,
-    const std::vector<std::vector<double>>& similarity,
-    const RefinedDaConfig& config) {
+StatusOr<RefinedDaResult> RunRefinedDa(const UdaGraph& anonymized,
+                                       const UdaGraph& auxiliary,
+                                       const CandidateSets& candidates,
+                                       const std::vector<bool>* rejected,
+                                       const CandidateSource& scores,
+                                       const RefinedDaConfig& config) {
   const int n1 = anonymized.num_users();
   if (static_cast<int>(candidates.size()) != n1)
     return Status::InvalidArgument(
         "RunRefinedDa: candidate set count != anonymized users");
-  if (static_cast<int>(similarity.size()) != n1)
+  if (scores.num_anonymized() != n1)
     return Status::InvalidArgument(
         "RunRefinedDa: similarity row count != anonymized users");
 
@@ -256,7 +259,7 @@ StatusOr<RefinedDaResult> RunRefinedDa(
           return;  // filtering already concluded u → ⊥
         }
         statuses[static_cast<size_t>(u)] =
-            RefineOneUser(anonymized, auxiliary, candidates, similarity,
+            RefineOneUser(anonymized, auxiliary, candidates, scores,
                           config, u, outcomes[static_cast<size_t>(u)]);
       },
       config.num_threads);
@@ -273,16 +276,26 @@ StatusOr<RefinedDaResult> RunRefinedDa(
   return result;
 }
 
-StatusOr<RefinedDaResult> RunRefinedDaShared(
+StatusOr<RefinedDaResult> RunRefinedDa(
     const UdaGraph& anonymized, const UdaGraph& auxiliary,
-    const CandidateSets& candidates,
+    const CandidateSets& candidates, const std::vector<bool>* rejected,
     const std::vector<std::vector<double>>& similarity,
     const RefinedDaConfig& config) {
+  const DenseCandidateSource source(similarity);
+  return RunRefinedDa(anonymized, auxiliary, candidates, rejected, source,
+                      config);
+}
+
+StatusOr<RefinedDaResult> RunRefinedDaShared(const UdaGraph& anonymized,
+                                             const UdaGraph& auxiliary,
+                                             const CandidateSets& candidates,
+                                             const CandidateSource& scores,
+                                             const RefinedDaConfig& config) {
   const int n1 = anonymized.num_users();
   if (static_cast<int>(candidates.size()) != n1)
     return Status::InvalidArgument(
         "RunRefinedDaShared: candidate set count != anonymized users");
-  if (static_cast<int>(similarity.size()) != n1)
+  if (scores.num_anonymized() != n1)
     return Status::InvalidArgument(
         "RunRefinedDaShared: similarity row count != anonymized users");
   for (const auto& set : candidates)
@@ -361,17 +374,17 @@ StatusOr<RefinedDaResult> RunRefinedDaShared(
         for (const SparseVector& f : user_queries) {
           std::vector<double> dense = index.Densify(f, extra_dims);
           if (extra_dims > 0) AppendStructural(anonymized, u, dense);
-          const std::vector<double> scores =
+          const std::vector<double> decision =
               learner->DecisionScores(scaler.Transform(dense));
           if (config.aggregation ==
               RefinedDaConfig::PostAggregation::kMajorityVote) {
             size_t argmax = 0;
-            for (size_t c = 1; c < scores.size(); ++c)
-              if (scores[c] > scores[argmax]) argmax = c;
+            for (size_t c = 1; c < decision.size(); ++c)
+              if (decision[c] > decision[argmax]) argmax = c;
             total_scores[argmax] += 1.0;
           } else {
-            for (size_t c = 0; c < scores.size(); ++c)
-              total_scores[c] += scores[c];
+            for (size_t c = 0; c < decision.size(); ++c)
+              total_scores[c] += decision[c];
           }
         }
         size_t best = 0;
@@ -379,12 +392,14 @@ StatusOr<RefinedDaResult> RunRefinedDaShared(
           if (total_scores[c] > total_scores[best]) best = c;
         const int predicted = classes[best];
 
-        if (config.verification == VerificationScheme::kMeanVerification &&
-            !PassesMeanVerification(similarity[static_cast<size_t>(u)],
-                                    labels, predicted,
-                                    config.mean_verification_r)) {
-          outcomes[static_cast<size_t>(u)].rejected = true;  // u → ⊥
-          return;
+        if (config.verification == VerificationScheme::kMeanVerification) {
+          std::vector<double> scratch;
+          if (!PassesMeanVerification(scores.Row(u, &scratch), labels,
+                                      predicted,
+                                      config.mean_verification_r)) {
+            outcomes[static_cast<size_t>(u)].rejected = true;  // u → ⊥
+            return;
+          }
         }
         outcomes[static_cast<size_t>(u)].prediction = predicted;
       },
@@ -394,6 +409,16 @@ StatusOr<RefinedDaResult> RunRefinedDaShared(
     if (outcomes[u].rejected) ++result.num_rejected;
   }
   return result;
+}
+
+StatusOr<RefinedDaResult> RunRefinedDaShared(
+    const UdaGraph& anonymized, const UdaGraph& auxiliary,
+    const CandidateSets& candidates,
+    const std::vector<std::vector<double>>& similarity,
+    const RefinedDaConfig& config) {
+  const DenseCandidateSource source(similarity);
+  return RunRefinedDaShared(anonymized, auxiliary, candidates, source,
+                            config);
 }
 
 }  // namespace dehealth

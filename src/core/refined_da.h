@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/candidate_source.h"
 #include "core/similarity.h"
 #include "core/top_k.h"
 #include "core/uda_graph.h"
@@ -96,6 +97,16 @@ StatusOr<RefinedDaResult> RunRefinedDa(
     const std::vector<std::vector<double>>& similarity,
     const RefinedDaConfig& config);
 
+/// CandidateSource variant: identical predictions. Similarity rows are only
+/// pulled (one O(n2) row per user) when mean-verification needs them, so
+/// the indexed path never materializes the matrix.
+StatusOr<RefinedDaResult> RunRefinedDa(const UdaGraph& anonymized,
+                                       const UdaGraph& auxiliary,
+                                       const CandidateSets& candidates,
+                                       const std::vector<bool>* rejected,
+                                       const CandidateSource& scores,
+                                       const RefinedDaConfig& config);
+
 /// Variant for the case where every anonymized user has the SAME candidate
 /// set (the "Stylometry" baseline): trains one shared classifier instead of
 /// |V1| identical ones. Fails if candidate sets differ. False-addition is
@@ -106,6 +117,13 @@ StatusOr<RefinedDaResult> RunRefinedDaShared(
     const CandidateSets& candidates,
     const std::vector<std::vector<double>>& similarity,
     const RefinedDaConfig& config);
+
+/// CandidateSource variant of RunRefinedDaShared (see RunRefinedDa).
+StatusOr<RefinedDaResult> RunRefinedDaShared(const UdaGraph& anonymized,
+                                             const UdaGraph& auxiliary,
+                                             const CandidateSets& candidates,
+                                             const CandidateSource& scores,
+                                             const RefinedDaConfig& config);
 
 }  // namespace dehealth
 

@@ -123,10 +123,36 @@ double StructuralSimilarity::AttrSimilarity(NodeId u, NodeId v) const {
                                       attributes_[1][static_cast<size_t>(v)]);
 }
 
+double CombinedStructuralScore(const SimilarityConfig& config,
+                               const UserFeatureView& u,
+                               const UserFeatureView& v) {
+  const double degree_sim = MinMaxRatio(u.degree, v.degree) +
+                            MinMaxRatio(u.weighted_degree, v.weighted_degree) +
+                            CosineSimilarity(*u.ncs, *v.ncs);
+  const double distance_sim = CosineSimilarity(*u.hop, *v.hop) +
+                              CosineSimilarity(*u.weighted_hop, *v.weighted_hop);
+  const double attr_sim =
+      FlattenedAttributeSimilarity(*u.attributes, *v.attributes);
+  return config.c1 * degree_sim + config.c2 * distance_sim +
+         config.c3 * attr_sim;
+}
+
 double StructuralSimilarity::Combined(NodeId u, NodeId v) const {
-  return config_.c1 * DegreeSimilarity(u, v) +
-         config_.c2 * DistanceSimilarity(u, v) +
-         config_.c3 * AttrSimilarity(u, v);
+  UserFeatureView view_u;
+  view_u.degree = anonymized_.graph.Degree(u);
+  view_u.weighted_degree = anonymized_.graph.WeightedDegree(u);
+  view_u.ncs = &ncs_vectors_[0][static_cast<size_t>(u)];
+  view_u.hop = &hop_vectors_[0][static_cast<size_t>(u)];
+  view_u.weighted_hop = &weighted_vectors_[0][static_cast<size_t>(u)];
+  view_u.attributes = &attributes_[0][static_cast<size_t>(u)];
+  UserFeatureView view_v;
+  view_v.degree = auxiliary_.graph.Degree(v);
+  view_v.weighted_degree = auxiliary_.graph.WeightedDegree(v);
+  view_v.ncs = &ncs_vectors_[1][static_cast<size_t>(v)];
+  view_v.hop = &hop_vectors_[1][static_cast<size_t>(v)];
+  view_v.weighted_hop = &weighted_vectors_[1][static_cast<size_t>(v)];
+  view_v.attributes = &attributes_[1][static_cast<size_t>(v)];
+  return CombinedStructuralScore(config_, view_u, view_v);
 }
 
 std::vector<std::vector<double>> StructuralSimilarity::ComputeMatrix() const {

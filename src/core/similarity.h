@@ -1,6 +1,7 @@
 #ifndef DEHEALTH_CORE_SIMILARITY_H_
 #define DEHEALTH_CORE_SIMILARITY_H_
 
+#include <utility>
 #include <vector>
 
 #include "core/uda_graph.h"
@@ -31,6 +32,26 @@ struct SimilarityConfig {
   /// value; see DESIGN.md "Threading model".
   int num_threads = 0;
 };
+
+/// Borrowed view of one user's precomputed similarity features — the exact
+/// inputs of the pair-scoring kernel. All pointers must be non-null.
+struct UserFeatureView {
+  double degree = 0.0;
+  double weighted_degree = 0.0;
+  const std::vector<double>* ncs = nullptr;
+  const std::vector<double>* hop = nullptr;
+  const std::vector<double>* weighted_hop = nullptr;
+  const std::vector<std::pair<int, double>>* attributes = nullptr;
+};
+
+/// The pair-scoring kernel s_uv = c1·s^d + c2·s^s + c3·s^a. Both the dense
+/// path (StructuralSimilarity::Combined) and the candidate index
+/// (src/index/) call this ONE compiled function, so their exact scores are
+/// bitwise-identical by construction — the determinism contract in
+/// DESIGN.md "Candidate index" depends on it.
+double CombinedStructuralScore(const SimilarityConfig& config,
+                               const UserFeatureView& u,
+                               const UserFeatureView& v);
 
 /// Precomputes everything needed to score anonymized-vs-auxiliary user
 /// pairs: landmark proximity vectors on both UDA graphs, NCS vectors, and

@@ -1,0 +1,474 @@
+#include "index/candidate_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/math_utils.h"
+#include "common/parallel.h"
+#include "graph/landmarks.h"
+
+namespace dehealth {
+
+namespace {
+
+/// Absolute slack added to every upper bound before comparing against the
+/// current K-th score: the bound accumulators sum floats/doubles in posting
+/// order while the exact kernel sums in merge order, so the two can differ
+/// by a few ulps. Scores live in [0, c1·3 + c2·2 + c3·2], so 1e-9 absolute
+/// dwarfs any achievable summation discrepancy while staying far too small
+/// to force meaningful extra evaluations.
+constexpr double kBoundSlack = 1e-9;
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ull;
+constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+void FnvMix(uint64_t& h, const void* bytes, size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(bytes);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+}
+
+template <typename T>
+void FnvMixValue(uint64_t& h, T value) {
+  FnvMix(h, &value, sizeof(value));
+}
+
+/// Smallest float f with (double)f >= w; postings store it so
+/// min(w_query, (double)f) >= min(w_query, w_aux) and attribute bounds
+/// never under-estimate.
+float RoundUpToFloat(double w) {
+  float f = static_cast<float>(w);
+  if (static_cast<double>(f) < w)
+    f = std::nextafterf(f, std::numeric_limits<float>::infinity());
+  return f;
+}
+
+/// max over d in [lo, hi] of MinMaxRatio(q, d) — the bucket-level bound on
+/// a degree-ratio term. Follows MinMaxRatio's conventions (0/0 = 1,
+/// x/0 = 0/x = 0).
+double MinMaxRatioUpper(double q, double lo, double hi) {
+  if (q <= 0.0) return lo <= 0.0 ? 1.0 : 0.0;
+  if (lo <= q && q <= hi) return 1.0;
+  if (hi < q) return hi <= 0.0 ? 0.0 : hi / q;
+  return q / lo;  // lo > q > 0: ratio decreases with d
+}
+
+bool AnyNonZero(const std::vector<double>& v) {
+  for (double x : v)
+    if (x != 0.0) return true;
+  return false;
+}
+
+int DegreeBucketOf(double degree) {
+  const auto d = static_cast<unsigned long long>(degree);
+  if (d == 0) return 0;
+  int log2 = 0;
+  for (unsigned long long x = d; x >>= 1;) ++log2;
+  return 1 + log2;
+}
+
+constexpr uint8_t kHasNcs = 1;
+constexpr uint8_t kHasHop = 2;
+constexpr uint8_t kHasWeightedHop = 4;
+
+UserFeatureView ViewOf(const IndexedUserFeatures& f) {
+  UserFeatureView view;
+  view.degree = f.degree;
+  view.weighted_degree = f.weighted_degree;
+  view.ncs = &f.ncs;
+  view.hop = &f.hop;
+  view.weighted_hop = &f.weighted_hop;
+  view.attributes = &f.attributes;
+  return view;
+}
+
+/// Per-retrieval sparse accumulators, epoch-stamped so consecutive queries
+/// on the same thread reuse the O(n2) arrays without clearing them.
+struct Workspace {
+  std::vector<uint32_t> epoch;
+  std::vector<int> inter_count;
+  std::vector<double> inter_weight;
+  std::vector<int32_t> touched;
+  uint32_t current = 0;
+
+  void NextQuery(size_t n) {
+    if (epoch.size() != n) {
+      epoch.assign(n, 0);
+      inter_count.assign(n, 0);
+      inter_weight.assign(n, 0.0);
+      current = 0;
+    }
+    if (current == std::numeric_limits<uint32_t>::max()) {
+      std::fill(epoch.begin(), epoch.end(), 0);
+      current = 0;
+    }
+    ++current;
+    touched.clear();
+  }
+};
+
+/// Top-K scratch entry plus the DirectSelection total order: larger score
+/// first, ties to the smaller auxiliary id — identical to the comparator
+/// SelectTopKCandidates(kDirect) sorts with.
+struct ScoredCandidate {
+  double score;
+  int32_t user;
+};
+
+bool BetterCandidate(const ScoredCandidate& a, const ScoredCandidate& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.user < b.user;
+}
+
+}  // namespace
+
+uint64_t FingerprintForIndex(const UdaGraph& side) {
+  uint64_t h = kFnvOffset;
+  const int n = side.num_users();
+  FnvMixValue(h, n);
+  for (NodeId u = 0; u < n; ++u) {
+    FnvMixValue(h, side.graph.Degree(u));
+    FnvMixValue(h, side.graph.WeightedDegree(u));
+    const UserProfile& profile = side.profiles[static_cast<size_t>(u)];
+    FnvMixValue(h, profile.num_posts());
+    FnvMixValue(h, static_cast<int>(profile.attributes().size()));
+    for (const auto& [id, weight] : profile.attributes()) {
+      FnvMixValue(h, id);
+      FnvMixValue(h, weight);
+    }
+  }
+  return h;
+}
+
+CandidateIndex::CandidateIndex(CandidateIndexData data)
+    : data_(std::move(data)) {}
+
+SimilarityConfig CandidateIndex::similarity_config() const {
+  SimilarityConfig config;
+  config.c1 = data_.c1;
+  config.c2 = data_.c2;
+  config.c3 = data_.c3;
+  config.num_landmarks = data_.num_landmarks;
+  config.idf_weight_attributes = data_.idf_weight_attributes;
+  config.num_threads = 0;
+  return config;
+}
+
+double CandidateIndex::IdfWeight(int attribute_id) const {
+  if (!data_.idf_weight_attributes) return 1.0;
+  auto it = idf_lookup_.find(attribute_id);
+  return it == idf_lookup_.end() ? data_.default_idf : it->second;
+}
+
+namespace {
+
+/// The per-side feature precomputation of StructuralSimilarity's
+/// constructor, reproduced value-for-value: landmark vectors, NCS vectors,
+/// and idf-scaled attribute lists.
+template <typename IdfFn>
+std::vector<IndexedUserFeatures> ComputeSideFeatures(const UdaGraph& side,
+                                                     int num_landmarks,
+                                                     int num_threads,
+                                                     const IdfFn& idf) {
+  const int n = side.num_users();
+  const LandmarkIndex landmarks(side.graph, num_landmarks, num_threads);
+  std::vector<IndexedUserFeatures> features(static_cast<size_t>(n));
+  for (NodeId u = 0; u < n; ++u) {
+    IndexedUserFeatures& f = features[static_cast<size_t>(u)];
+    f.degree = side.graph.Degree(u);
+    f.weighted_degree = side.graph.WeightedDegree(u);
+    f.ncs = side.graph.NcsVector(u);
+    f.hop = landmarks.HopVector(u);
+    f.weighted_hop = landmarks.WeightedVector(u);
+    for (const auto& [id, weight] :
+         side.profiles[static_cast<size_t>(u)].attributes())
+      f.attributes.emplace_back(id, weight * idf(id));
+  }
+  return features;
+}
+
+}  // namespace
+
+StatusOr<CandidateIndex> CandidateIndex::Build(
+    const UdaGraph& auxiliary, const SimilarityConfig& config) {
+  CandidateIndexData data;
+  data.c1 = config.c1;
+  data.c2 = config.c2;
+  data.c3 = config.c3;
+  data.num_landmarks = config.num_landmarks;
+  data.idf_weight_attributes = config.idf_weight_attributes;
+  data.auxiliary_fingerprint = FingerprintForIndex(auxiliary);
+
+  // Document frequencies over the auxiliary side, scaled exactly as the
+  // dense path scales them: idf = log((1+n2)/(1+df)).
+  const double n2 = static_cast<double>(auxiliary.num_users());
+  std::unordered_map<int, int> document_frequency;
+  if (data.idf_weight_attributes) {
+    for (const UserProfile& profile : auxiliary.profiles)
+      for (const auto& [id, weight] : profile.attributes())
+        ++document_frequency[id];
+    data.idf_table.reserve(document_frequency.size());
+    for (const auto& [id, df] : document_frequency)
+      data.idf_table.emplace_back(
+          id, std::log((1.0 + n2) / (1.0 + static_cast<double>(df))));
+    std::sort(data.idf_table.begin(), data.idf_table.end());
+    data.default_idf = std::log((1.0 + n2) / (1.0 + 0.0));
+  }
+
+  auto idf = [&](int id) {
+    if (!data.idf_weight_attributes) return 1.0;
+    auto it = document_frequency.find(id);
+    const double df = it == document_frequency.end() ? 0.0 : it->second;
+    return std::log((1.0 + n2) / (1.0 + df));
+  };
+  data.users = ComputeSideFeatures(auxiliary, data.num_landmarks,
+                                   config.num_threads, idf);
+  return FromData(std::move(data));
+}
+
+StatusOr<CandidateIndex> CandidateIndex::FromData(CandidateIndexData data) {
+  for (const IndexedUserFeatures& f : data.users) {
+    if (!std::is_sorted(f.attributes.begin(), f.attributes.end(),
+                        [](const auto& a, const auto& b) {
+                          return a.first < b.first;
+                        }))
+      return Status::InvalidArgument(
+          "CandidateIndex: attribute list not sorted by id");
+    if (f.degree < 0.0)
+      return Status::InvalidArgument("CandidateIndex: negative degree");
+  }
+  if (!std::is_sorted(data.idf_table.begin(), data.idf_table.end()))
+    return Status::InvalidArgument("CandidateIndex: idf table not sorted");
+  CandidateIndex index(std::move(data));
+  index.BuildDerived();
+  return index;
+}
+
+void CandidateIndex::BuildDerived() {
+  const size_t n2 = data_.users.size();
+  idf_lookup_.clear();
+  idf_lookup_.reserve(data_.idf_table.size());
+  for (const auto& [id, w] : data_.idf_table) idf_lookup_.emplace(id, w);
+
+  postings_.clear();
+  total_attr_weight_.assign(n2, 0.0);
+  has_signal_.assign(n2, 0);
+  buckets_.assign(64, DegreeBucket());
+  for (size_t v = 0; v < n2; ++v) {
+    const IndexedUserFeatures& f = data_.users[v];
+    double total = 0.0;
+    for (const auto& [id, weight] : f.attributes) {
+      postings_[id].push_back(
+          {static_cast<int32_t>(v), RoundUpToFloat(weight)});
+      total += weight;
+    }
+    total_attr_weight_[v] = total;
+    uint8_t signal = 0;
+    if (AnyNonZero(f.ncs)) signal |= kHasNcs;
+    if (AnyNonZero(f.hop)) signal |= kHasHop;
+    if (AnyNonZero(f.weighted_hop)) signal |= kHasWeightedHop;
+    has_signal_[v] = signal;
+
+    DegreeBucket& bucket = buckets_[static_cast<size_t>(
+        DegreeBucketOf(f.degree))];
+    if (bucket.members.empty()) {
+      bucket.min_degree = bucket.max_degree = f.degree;
+      bucket.min_weighted_degree = bucket.max_weighted_degree =
+          f.weighted_degree;
+    } else {
+      bucket.min_degree = std::min(bucket.min_degree, f.degree);
+      bucket.max_degree = std::max(bucket.max_degree, f.degree);
+      bucket.min_weighted_degree =
+          std::min(bucket.min_weighted_degree, f.weighted_degree);
+      bucket.max_weighted_degree =
+          std::max(bucket.max_weighted_degree, f.weighted_degree);
+    }
+    bucket.any_ncs = bucket.any_ncs || (signal & kHasNcs);
+    bucket.any_hop = bucket.any_hop || (signal & kHasHop);
+    bucket.any_weighted_hop =
+        bucket.any_weighted_hop || (signal & kHasWeightedHop);
+    bucket.members.push_back(static_cast<int32_t>(v));
+  }
+  // Drop empty buckets so retrieval only scans populated ones.
+  buckets_.erase(std::remove_if(buckets_.begin(), buckets_.end(),
+                                [](const DegreeBucket& b) {
+                                  return b.members.empty();
+                                }),
+                 buckets_.end());
+}
+
+std::vector<IndexedUserFeatures> CandidateIndex::ComputeQueryFeatures(
+    const UdaGraph& anonymized, int num_threads) const {
+  return ComputeSideFeatures(anonymized, data_.num_landmarks, num_threads,
+                             [this](int id) { return IdfWeight(id); });
+}
+
+double CandidateIndex::ExactScore(const IndexedUserFeatures& query,
+                                  NodeId v) const {
+  return CombinedStructuralScore(similarity_config(), ViewOf(query),
+                                 ViewOf(data_.users[static_cast<size_t>(v)]));
+}
+
+void CandidateIndex::ExactRow(const IndexedUserFeatures& query,
+                              std::vector<double>* row) const {
+  const SimilarityConfig config = similarity_config();
+  const UserFeatureView query_view = ViewOf(query);
+  row->resize(data_.users.size());
+  for (size_t v = 0; v < data_.users.size(); ++v)
+    (*row)[v] = CombinedStructuralScore(config, query_view,
+                                        ViewOf(data_.users[v]));
+}
+
+std::vector<int> CandidateIndex::TopKForQuery(const IndexedUserFeatures& query,
+                                              int k,
+                                              int max_candidates) const {
+  const size_t n2 = data_.users.size();
+  const size_t want = std::min(static_cast<size_t>(std::max(k, 0)), n2);
+  if (want == 0) return {};
+  const int64_t budget =
+      max_candidates > 0
+          ? std::max<int64_t>(max_candidates, static_cast<int64_t>(want))
+          : std::numeric_limits<int64_t>::max();
+  int64_t evaluated = 0;
+
+  static thread_local Workspace ws;
+  ws.NextQuery(n2);
+
+  // Sparse accumulation over the query's posting lists: after this loop,
+  // ws.touched holds every auxiliary user sharing >= 1 attribute, with the
+  // exact intersection count and an upper bound on Σ min(w_q, w_v).
+  const bool query_ncs = AnyNonZero(query.ncs);
+  const bool query_hop = AnyNonZero(query.hop);
+  const bool query_whop = AnyNonZero(query.weighted_hop);
+  double query_attr_weight = 0.0;
+  for (const auto& [id, weight] : query.attributes) {
+    query_attr_weight += weight;
+    auto it = postings_.find(id);
+    if (it == postings_.end()) continue;
+    for (const Posting& p : it->second) {
+      const auto v = static_cast<size_t>(p.user);
+      if (ws.epoch[v] != ws.current) {
+        ws.epoch[v] = ws.current;
+        ws.inter_count[v] = 0;
+        ws.inter_weight[v] = 0.0;
+        ws.touched.push_back(p.user);
+      }
+      ++ws.inter_count[v];
+      ws.inter_weight[v] +=
+          std::min(weight, static_cast<double>(p.weight_ub));
+    }
+  }
+  std::sort(ws.touched.begin(), ws.touched.end());
+
+  const SimilarityConfig config = similarity_config();
+  const UserFeatureView query_view = ViewOf(query);
+  std::vector<ScoredCandidate> heap;
+  heap.reserve(want);
+  auto kth_score = [&] { return heap.front().score; };
+  auto evaluate = [&](int32_t v) {
+    const double score = CombinedStructuralScore(
+        config, query_view, ViewOf(data_.users[static_cast<size_t>(v)]));
+    ++evaluated;
+    const ScoredCandidate c{score, v};
+    if (heap.size() < want) {
+      heap.push_back(c);
+      std::push_heap(heap.begin(), heap.end(), BetterCandidate);
+    } else if (BetterCandidate(c, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), BetterCandidate);
+      heap.back() = c;
+      std::push_heap(heap.begin(), heap.end(), BetterCandidate);
+    }
+  };
+  /// Structural-only upper bound c1·s^d + c2·s^s for one auxiliary user
+  /// (exact ratio terms, cosine terms bounded by 1 when both sides have
+  /// signal).
+  auto structural_bound = [&](size_t v) {
+    const IndexedUserFeatures& f = data_.users[v];
+    const uint8_t signal = has_signal_[v];
+    const double sd =
+        MinMaxRatio(query.degree, f.degree) +
+        MinMaxRatio(query.weighted_degree, f.weighted_degree) +
+        ((query_ncs && (signal & kHasNcs)) ? 1.0 : 0.0);
+    const double ss = ((query_hop && (signal & kHasHop)) ? 1.0 : 0.0) +
+                      ((query_whop && (signal & kHasWeightedHop)) ? 1.0 : 0.0);
+    return data_.c1 * sd + data_.c2 * ss;
+  };
+
+  // Phase 1: attribute sharers, best-first by upper bound. A candidate is
+  // pruned (and, since bounds are sorted descending, the scan stops) only
+  // when the heap is full AND its bound falls strictly below the K-th
+  // score — ties always evaluate, so exact tie-breaking is preserved.
+  std::vector<ScoredCandidate> sharers;
+  sharers.reserve(ws.touched.size());
+  const double query_attr_count = static_cast<double>(query.attributes.size());
+  for (int32_t v32 : ws.touched) {
+    const auto v = static_cast<size_t>(v32);
+    const double inter = static_cast<double>(ws.inter_count[v]);
+    const double set_union = query_attr_count +
+                             static_cast<double>(
+                                 data_.users[v].attributes.size()) -
+                             inter;
+    double attr_bound = set_union > 0.0 ? inter / set_union : 0.0;
+    const double weight_union =
+        query_attr_weight + total_attr_weight_[v] - ws.inter_weight[v];
+    attr_bound += weight_union > 0.0
+                      ? std::min(1.0, ws.inter_weight[v] / weight_union)
+                      : 1.0;
+    const double bound =
+        structural_bound(v) + data_.c3 * attr_bound + kBoundSlack;
+    sharers.push_back({bound, v32});
+  }
+  std::sort(sharers.begin(), sharers.end(), BetterCandidate);
+  for (const ScoredCandidate& s : sharers) {
+    if (heap.size() == want && s.score < kth_score()) break;
+    if (evaluated >= budget) break;
+    evaluate(s.user);
+  }
+
+  // Phase 2: everyone else shares no attribute, so s^a = 0 exactly and
+  // only the structural terms remain. Buckets are screened best-first by
+  // their collective bound; members get an O(1) per-user bound.
+  std::vector<std::pair<double, size_t>> bucket_order;
+  bucket_order.reserve(buckets_.size());
+  for (size_t b = 0; b < buckets_.size(); ++b) {
+    const DegreeBucket& bucket = buckets_[b];
+    const double sd =
+        MinMaxRatioUpper(query.degree, bucket.min_degree,
+                         bucket.max_degree) +
+        MinMaxRatioUpper(query.weighted_degree, bucket.min_weighted_degree,
+                         bucket.max_weighted_degree) +
+        ((query_ncs && bucket.any_ncs) ? 1.0 : 0.0);
+    const double ss = ((query_hop && bucket.any_hop) ? 1.0 : 0.0) +
+                      ((query_whop && bucket.any_weighted_hop) ? 1.0 : 0.0);
+    bucket_order.emplace_back(data_.c1 * sd + data_.c2 * ss + kBoundSlack, b);
+  }
+  std::sort(bucket_order.begin(), bucket_order.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  for (const auto& [bucket_bound, b] : bucket_order) {
+    if (heap.size() == want && bucket_bound < kth_score()) break;
+    if (evaluated >= budget) break;
+    for (int32_t v32 : buckets_[b].members) {
+      const auto v = static_cast<size_t>(v32);
+      if (ws.epoch[v] == ws.current) continue;  // already seen as a sharer
+      if (evaluated >= budget) break;
+      if (heap.size() == want &&
+          structural_bound(v) + kBoundSlack < kth_score())
+        continue;
+      evaluate(v32);
+    }
+  }
+
+  std::sort(heap.begin(), heap.end(), BetterCandidate);
+  std::vector<int> result;
+  result.reserve(heap.size());
+  for (const ScoredCandidate& c : heap) result.push_back(c.user);
+  return result;
+}
+
+}  // namespace dehealth

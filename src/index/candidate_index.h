@@ -1,0 +1,161 @@
+#ifndef DEHEALTH_INDEX_CANDIDATE_INDEX_H_
+#define DEHEALTH_INDEX_CANDIDATE_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/similarity.h"
+#include "core/top_k.h"
+#include "core/uda_graph.h"
+
+namespace dehealth {
+
+/// One user's precomputed similarity features — exactly the per-side values
+/// the dense StructuralSimilarity precomputes, so the index can feed the
+/// shared CombinedStructuralScore kernel and reproduce dense scores
+/// bitwise. `attributes` is sorted by id and IDF-scaled (when enabled).
+struct IndexedUserFeatures {
+  double degree = 0.0;
+  double weighted_degree = 0.0;
+  std::vector<double> ncs;
+  std::vector<double> hop;
+  std::vector<double> weighted_hop;
+  std::vector<std::pair<int, double>> attributes;
+};
+
+/// Everything a candidate-index snapshot persists: the score-shaping config
+/// fields, a fingerprint of the auxiliary side the index was built from,
+/// the per-auxiliary-user feature store (landmark vectors included, so a
+/// load skips the BFS/Dijkstra precomputation), and the IDF table the query
+/// side must reuse verbatim (libm's log may differ across machines; the
+/// stored doubles keep query scaling bitwise-stable).
+struct CandidateIndexData {
+  double c1 = 0.05;
+  double c2 = 0.05;
+  double c3 = 0.9;
+  int num_landmarks = 50;
+  bool idf_weight_attributes = false;
+  uint64_t auxiliary_fingerprint = 0;
+  std::vector<IndexedUserFeatures> users;
+  /// (attribute id, idf weight), sorted by id; empty when IDF is off.
+  std::vector<std::pair<int, double>> idf_table;
+  /// IDF of an attribute never seen on the auxiliary side (df = 0).
+  double default_idf = 1.0;
+};
+
+/// Fingerprint of the auxiliary side used to detect stale snapshots:
+/// FNV-1a over user count and per-user degree, weighted degree, post count
+/// and the raw (unscaled) attribute list.
+uint64_t FingerprintForIndex(const UdaGraph& side);
+
+/// A persistent auxiliary-side DA candidate index. Answers exact
+/// per-anonymized-user similarity scores and Top-K candidate queries
+/// WITHOUT forming the dense |Δ1|×|Δ2| similarity matrix:
+///
+///  1. an inverted index over the binary stylometric attributes yields, per
+///     query, every auxiliary user sharing at least one attribute together
+///     with a weighted-Jaccard upper bound on s^a (non-sharers have
+///     s^a = 0 exactly);
+///  2. logarithmic degree buckets plus per-user flags ("has NCS / landmark
+///     signal") give O(1) upper bounds on c1·s^d + c2·s^s for everyone
+///     else;
+///  3. best-first retrieval evaluates the exact score — via the SAME
+///     compiled kernel as the dense path (CombinedStructuralScore) — only
+///     when a candidate's upper bound can still beat the current K-th
+///     score.
+///
+/// Results are bitwise-identical to SelectTopKCandidates(kDirect) on the
+/// dense matrix (see DESIGN.md "Candidate index" for the argument); an
+/// optional per-query evaluation budget trades recall for speed.
+class CandidateIndex {
+ public:
+  /// Builds the index from the auxiliary side. `config.num_threads` drives
+  /// the landmark precomputation; every other field shapes the scores and
+  /// is persisted. O(ħ·(V+E log V) + Σ|A(v)|).
+  static StatusOr<CandidateIndex> Build(const UdaGraph& auxiliary,
+                                        const SimilarityConfig& config);
+
+  /// Wraps deserialized snapshot data, rebuilding the derived structures
+  /// (inverted index, degree buckets). InvalidArgument when the data is
+  /// internally inconsistent.
+  static StatusOr<CandidateIndex> FromData(CandidateIndexData data);
+
+  int num_auxiliary() const { return static_cast<int>(data_.users.size()); }
+  const CandidateIndexData& data() const { return data_; }
+
+  /// The score-shaping fields as a SimilarityConfig (num_threads = 0).
+  SimilarityConfig similarity_config() const;
+
+  /// IDF weight of an attribute id (1.0 when IDF scaling is off;
+  /// default_idf for ids unseen on the auxiliary side).
+  double IdfWeight(int attribute_id) const;
+
+  /// Query-side feature computation: landmark vectors on the anonymized
+  /// graph plus attributes scaled with the index's stored IDF table —
+  /// exactly what StructuralSimilarity precomputes for side 0.
+  std::vector<IndexedUserFeatures> ComputeQueryFeatures(
+      const UdaGraph& anonymized, int num_threads = 0) const;
+
+  /// Exact s_uv of a query against auxiliary user v (bitwise equal to the
+  /// dense StructuralSimilarity::Combined).
+  double ExactScore(const IndexedUserFeatures& query, NodeId v) const;
+
+  /// Exact scores of a query against every auxiliary user, in id order.
+  void ExactRow(const IndexedUserFeatures& query,
+                std::vector<double>* row) const;
+
+  /// The query's Top-K candidate list: the min(k, n2) auxiliary ids with
+  /// the largest exact scores, ordered by decreasing score with ties
+  /// broken by smaller id — bitwise what SelectTopKCandidates(kDirect)
+  /// returns for this row. `max_candidates > 0` caps the number of exact
+  /// score evaluations (clamped to >= k so the list still fills); the cap
+  /// may lose recall, 0 keeps the exact guarantee.
+  std::vector<int> TopKForQuery(const IndexedUserFeatures& query, int k,
+                                int max_candidates = 0) const;
+
+ private:
+  explicit CandidateIndex(CandidateIndexData data);
+
+  /// Rebuilds the derived structures from data_.users.
+  void BuildDerived();
+
+  /// Posting entry of the inverted index: auxiliary user id plus its
+  /// (IDF-scaled) attribute weight rounded UP to float, so bounds computed
+  /// from it stay valid at 8 bytes/entry.
+  struct Posting {
+    int32_t user;
+    float weight_ub;
+  };
+
+  /// A logarithmic degree bucket: per-member O(1) screening data for users
+  /// that share no attribute with the query (s^a = 0 there, so only the
+  /// cheap structural terms can contribute).
+  struct DegreeBucket {
+    double min_degree = 0.0;
+    double max_degree = 0.0;
+    double min_weighted_degree = 0.0;
+    double max_weighted_degree = 0.0;
+    bool any_ncs = false;
+    bool any_hop = false;
+    bool any_weighted_hop = false;
+    std::vector<int32_t> members;  // ascending user id
+  };
+
+  CandidateIndexData data_;
+  std::unordered_map<int, double> idf_lookup_;
+  std::unordered_map<int, std::vector<Posting>> postings_;
+  std::vector<DegreeBucket> buckets_;
+  /// total_attr_weight_[v] = Σ of v's scaled attribute weights (left-to-
+  /// right), for the weighted-Jaccard union lower bound.
+  std::vector<double> total_attr_weight_;
+  /// has_signal_[v] bit 0/1/2 = NCS / hop / weighted-hop vector has a
+  /// nonzero entry (cosine against it can exceed 0).
+  std::vector<uint8_t> has_signal_;
+};
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_INDEX_CANDIDATE_INDEX_H_

@@ -1,0 +1,45 @@
+#ifndef DEHEALTH_INDEX_INDEXED_SOURCE_H_
+#define DEHEALTH_INDEX_INDEXED_SOURCE_H_
+
+#include <vector>
+
+#include "core/candidate_source.h"
+#include "index/candidate_index.h"
+
+namespace dehealth {
+
+/// CandidateSource backed by a CandidateIndex: exact scores and Top-K
+/// candidate sets without the dense matrix. Construction precomputes the
+/// anonymized-side query features (landmark vectors on the anonymized
+/// graph, IDF-scaled attributes) — O(ħ·(V+E log V)) once, then every
+/// Score/Row/TopK call is matrix-free. The index must outlive this object.
+class IndexedCandidateSource final : public CandidateSource {
+ public:
+  /// `max_candidates > 0` caps exact score evaluations per Top-K query
+  /// (recall knob, see CandidateIndex::TopKForQuery); 0 keeps the exact
+  /// dense-equivalence guarantee. `num_threads` only affects construction
+  /// speed (landmark precomputation), never results.
+  IndexedCandidateSource(const UdaGraph& anonymized,
+                         const CandidateIndex& index, int num_threads = 0,
+                         int max_candidates = 0);
+
+  int num_anonymized() const override;
+  int num_auxiliary() const override;
+  double Score(NodeId u, NodeId v) const override;
+  const std::vector<double>& Row(NodeId u,
+                                 std::vector<double>* scratch) const override;
+
+  /// Bitwise-identical to SelectTopKCandidates(kDirect) on the dense
+  /// matrix when max_candidates == 0; row-parallel with
+  /// thread-count-independent output.
+  StatusOr<CandidateSets> TopK(int k, int num_threads) const override;
+
+ private:
+  const CandidateIndex* index_;
+  std::vector<IndexedUserFeatures> queries_;
+  int max_candidates_;
+};
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_INDEX_INDEXED_SOURCE_H_

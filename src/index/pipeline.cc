@@ -1,0 +1,24 @@
+#include "index/pipeline.h"
+
+#include "index/indexed_source.h"
+#include "index/snapshot.h"
+
+namespace dehealth {
+
+StatusOr<DeHealthResult> RunDeHealthAttack(const UdaGraph& anonymized,
+                                           const UdaGraph& auxiliary,
+                                           const DeHealthConfig& config) {
+  const DeHealth attack(config);
+  if (!config.use_index) return attack.Run(anonymized, auxiliary);
+
+  SimilarityConfig sim_config = config.similarity;
+  sim_config.num_threads = config.num_threads;
+  StatusOr<CandidateIndex> index =
+      LoadOrBuildIndex(config.index_snapshot_path, auxiliary, sim_config);
+  if (!index.ok()) return index.status();
+  const IndexedCandidateSource source(anonymized, *index, config.num_threads,
+                                      config.index_max_candidates);
+  return attack.RunWithSource(anonymized, auxiliary, source);
+}
+
+}  // namespace dehealth

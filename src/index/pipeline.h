@@ -1,0 +1,25 @@
+#ifndef DEHEALTH_INDEX_PIPELINE_H_
+#define DEHEALTH_INDEX_PIPELINE_H_
+
+#include "core/de_health.h"
+#include "core/uda_graph.h"
+
+namespace dehealth {
+
+/// Runs the De-Health attack end-to-end, honoring the index knobs in
+/// DeHealthConfig:
+///   - use_index == false: identical to DeHealth::Run (dense matrix);
+///   - use_index == true: builds the auxiliary-side candidate index (or
+///     loads it from config.index_snapshot_path when the snapshot matches
+///     the auxiliary side + config, persisting a rebuilt one otherwise)
+///     and runs phases 1b-2 through it. Scores, candidate sets, filtering
+///     and refined-DA predictions are bitwise-identical to the dense path
+///     when index_max_candidates == 0; DeHealthResult::similarity stays
+///     empty (the matrix is never formed).
+StatusOr<DeHealthResult> RunDeHealthAttack(const UdaGraph& anonymized,
+                                           const UdaGraph& auxiliary,
+                                           const DeHealthConfig& config);
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_INDEX_PIPELINE_H_

@@ -1,0 +1,244 @@
+#include "index/snapshot.h"
+
+#include <cstring>
+#include <limits>
+#include <type_traits>
+
+#include "io/file_util.h"
+
+namespace dehealth {
+
+namespace {
+
+constexpr char kMagic[4] = {'D', 'H', 'I', 'X'};
+constexpr uint32_t kVersion = 1;
+
+uint64_t Fnv1a(const char* bytes, size_t n) {
+  uint64_t h = 1469598103934665603ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(bytes[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+template <typename T>
+void Append(std::string& out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  char buf[sizeof(T)];
+  std::memcpy(buf, &value, sizeof(T));
+  out.append(buf, sizeof(T));
+}
+
+void AppendDoubleVector(std::string& out, const std::vector<double>& v) {
+  Append(out, static_cast<uint32_t>(v.size()));
+  for (double x : v) Append(out, x);
+}
+
+/// Bounds-checked sequential reader over the payload span.
+class Reader {
+ public:
+  Reader(const std::string& bytes, size_t begin, size_t end)
+      : bytes_(bytes), pos_(begin), end_(end) {}
+
+  template <typename T>
+  Status Read(T* value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (pos_ + sizeof(T) > end_)
+      return Status::InvalidArgument(
+          "index snapshot: truncated payload");
+    std::memcpy(value, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return Status::OK();
+  }
+
+  Status ReadDoubleVector(std::vector<double>* v) {
+    uint32_t count = 0;
+    DEHEALTH_RETURN_IF_ERROR(Read(&count));
+    if (static_cast<size_t>(count) > (end_ - pos_) / sizeof(double))
+      return Status::InvalidArgument(
+          "index snapshot: vector length exceeds payload");
+    v->resize(count);
+    for (uint32_t i = 0; i < count; ++i) DEHEALTH_RETURN_IF_ERROR(Read(&(*v)[i]));
+    return Status::OK();
+  }
+
+  /// True when at least `count` elements of `element_size` bytes can still
+  /// be read — rejects absurd counts BEFORE any allocation, so a snapshot
+  /// that passes the checksum but lies about lengths still fails with a
+  /// Status instead of std::bad_alloc.
+  bool CanHold(uint64_t count, size_t element_size) const {
+    return count <= (end_ - pos_) / element_size;
+  }
+
+  bool AtEnd() const { return pos_ == end_; }
+
+ private:
+  const std::string& bytes_;
+  size_t pos_;
+  size_t end_;
+};
+
+}  // namespace
+
+std::string EncodeIndexSnapshot(const CandidateIndex& index) {
+  const CandidateIndexData& data = index.data();
+  std::string out(kMagic, sizeof(kMagic));
+  Append(out, kVersion);
+  const size_t payload_begin = out.size();
+
+  Append(out, data.c1);
+  Append(out, data.c2);
+  Append(out, data.c3);
+  Append(out, static_cast<int32_t>(data.num_landmarks));
+  Append(out, static_cast<uint8_t>(data.idf_weight_attributes ? 1 : 0));
+  Append(out, data.auxiliary_fingerprint);
+
+  Append(out, static_cast<uint32_t>(data.idf_table.size()));
+  for (const auto& [id, w] : data.idf_table) {
+    Append(out, static_cast<int32_t>(id));
+    Append(out, w);
+  }
+  Append(out, data.default_idf);
+
+  Append(out, static_cast<uint32_t>(data.users.size()));
+  for (const IndexedUserFeatures& f : data.users) {
+    Append(out, f.degree);
+    Append(out, f.weighted_degree);
+    AppendDoubleVector(out, f.ncs);
+    AppendDoubleVector(out, f.hop);
+    AppendDoubleVector(out, f.weighted_hop);
+    Append(out, static_cast<uint32_t>(f.attributes.size()));
+    for (const auto& [id, w] : f.attributes) {
+      Append(out, static_cast<int32_t>(id));
+      Append(out, w);
+    }
+  }
+
+  Append(out, Fnv1a(out.data() + payload_begin, out.size() - payload_begin));
+  return out;
+}
+
+StatusOr<CandidateIndex> DecodeIndexSnapshot(const std::string& bytes) {
+  constexpr size_t kHeaderSize = sizeof(kMagic) + sizeof(uint32_t);
+  constexpr size_t kFooterSize = sizeof(uint64_t);
+  if (bytes.size() < kHeaderSize + kFooterSize)
+    return Status::InvalidArgument(
+        "index snapshot: file smaller than header + footer");
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
+    return Status::InvalidArgument(
+        "index snapshot: bad magic (not a candidate-index snapshot)");
+  uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + sizeof(kMagic), sizeof(version));
+  if (version != kVersion)
+    return Status::Unimplemented(
+        "index snapshot: unsupported format version " +
+        std::to_string(version));
+
+  const size_t payload_end = bytes.size() - kFooterSize;
+  uint64_t stored_checksum = 0;
+  std::memcpy(&stored_checksum, bytes.data() + payload_end, kFooterSize);
+  const uint64_t actual_checksum =
+      Fnv1a(bytes.data() + kHeaderSize, payload_end - kHeaderSize);
+  if (stored_checksum != actual_checksum)
+    return Status::InvalidArgument(
+        "index snapshot: checksum mismatch (corrupt snapshot)");
+
+  Reader reader(bytes, kHeaderSize, payload_end);
+  CandidateIndexData data;
+  DEHEALTH_RETURN_IF_ERROR(reader.Read(&data.c1));
+  DEHEALTH_RETURN_IF_ERROR(reader.Read(&data.c2));
+  DEHEALTH_RETURN_IF_ERROR(reader.Read(&data.c3));
+  int32_t num_landmarks = 0;
+  DEHEALTH_RETURN_IF_ERROR(reader.Read(&num_landmarks));
+  data.num_landmarks = num_landmarks;
+  uint8_t idf_flag = 0;
+  DEHEALTH_RETURN_IF_ERROR(reader.Read(&idf_flag));
+  data.idf_weight_attributes = idf_flag != 0;
+  DEHEALTH_RETURN_IF_ERROR(reader.Read(&data.auxiliary_fingerprint));
+
+  uint32_t idf_count = 0;
+  DEHEALTH_RETURN_IF_ERROR(reader.Read(&idf_count));
+  if (!reader.CanHold(idf_count, sizeof(int32_t) + sizeof(double)))
+    return Status::InvalidArgument(
+        "index snapshot: idf table length exceeds payload");
+  data.idf_table.reserve(idf_count);
+  for (uint32_t i = 0; i < idf_count; ++i) {
+    int32_t id = 0;
+    double w = 0.0;
+    DEHEALTH_RETURN_IF_ERROR(reader.Read(&id));
+    DEHEALTH_RETURN_IF_ERROR(reader.Read(&w));
+    data.idf_table.emplace_back(id, w);
+  }
+  DEHEALTH_RETURN_IF_ERROR(reader.Read(&data.default_idf));
+
+  uint32_t num_users = 0;
+  DEHEALTH_RETURN_IF_ERROR(reader.Read(&num_users));
+  // 2 doubles + 4 u32 lengths is the smallest possible per-user record.
+  if (!reader.CanHold(num_users, 2 * sizeof(double) + 4 * sizeof(uint32_t)))
+    return Status::InvalidArgument(
+        "index snapshot: user count exceeds payload");
+  data.users.resize(num_users);
+  for (uint32_t u = 0; u < num_users; ++u) {
+    IndexedUserFeatures& f = data.users[u];
+    DEHEALTH_RETURN_IF_ERROR(reader.Read(&f.degree));
+    DEHEALTH_RETURN_IF_ERROR(reader.Read(&f.weighted_degree));
+    DEHEALTH_RETURN_IF_ERROR(reader.ReadDoubleVector(&f.ncs));
+    DEHEALTH_RETURN_IF_ERROR(reader.ReadDoubleVector(&f.hop));
+    DEHEALTH_RETURN_IF_ERROR(reader.ReadDoubleVector(&f.weighted_hop));
+    uint32_t attr_count = 0;
+    DEHEALTH_RETURN_IF_ERROR(reader.Read(&attr_count));
+    if (!reader.CanHold(attr_count, sizeof(int32_t) + sizeof(double)))
+      return Status::InvalidArgument(
+          "index snapshot: attribute list length exceeds payload");
+    f.attributes.reserve(attr_count);
+    for (uint32_t i = 0; i < attr_count; ++i) {
+      int32_t id = 0;
+      double w = 0.0;
+      DEHEALTH_RETURN_IF_ERROR(reader.Read(&id));
+      DEHEALTH_RETURN_IF_ERROR(reader.Read(&w));
+      f.attributes.emplace_back(id, w);
+    }
+  }
+  if (!reader.AtEnd())
+    return Status::InvalidArgument(
+        "index snapshot: trailing bytes after payload");
+  return CandidateIndex::FromData(std::move(data));
+}
+
+Status SaveIndexSnapshot(const CandidateIndex& index,
+                         const std::string& path) {
+  return WriteStringToFile(EncodeIndexSnapshot(index), path);
+}
+
+StatusOr<CandidateIndex> LoadIndexSnapshot(const std::string& path) {
+  StatusOr<std::string> bytes = ReadFileToString(path);
+  if (!bytes.ok()) return bytes.status();
+  return DecodeIndexSnapshot(*bytes);
+}
+
+StatusOr<CandidateIndex> LoadOrBuildIndex(const std::string& path,
+                                          const UdaGraph& auxiliary,
+                                          const SimilarityConfig& config) {
+  if (!path.empty()) {
+    StatusOr<CandidateIndex> loaded = LoadIndexSnapshot(path);
+    if (loaded.ok()) {
+      const CandidateIndexData& data = loaded->data();
+      const bool config_matches =
+          data.c1 == config.c1 && data.c2 == config.c2 &&
+          data.c3 == config.c3 &&
+          data.num_landmarks == config.num_landmarks &&
+          data.idf_weight_attributes == config.idf_weight_attributes;
+      if (config_matches &&
+          data.auxiliary_fingerprint == FingerprintForIndex(auxiliary))
+        return loaded;
+    }
+  }
+  StatusOr<CandidateIndex> built = CandidateIndex::Build(auxiliary, config);
+  if (!built.ok()) return built.status();
+  if (!path.empty())
+    DEHEALTH_RETURN_IF_ERROR(SaveIndexSnapshot(*built, path));
+  return built;
+}
+
+}  // namespace dehealth

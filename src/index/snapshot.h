@@ -1,0 +1,48 @@
+#ifndef DEHEALTH_INDEX_SNAPSHOT_H_
+#define DEHEALTH_INDEX_SNAPSHOT_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "index/candidate_index.h"
+
+namespace dehealth {
+
+/// Binary snapshot of a CandidateIndex (the persistent part of the index;
+/// inverted index and degree buckets are derived and rebuilt on load).
+///
+/// Layout (little-endian):
+///   magic "DHIX" | u32 version | payload | u64 FNV-1a checksum of payload
+///
+/// The loader returns Status instead of crashing on every malformed input:
+/// NotFound (missing file), InvalidArgument (bad magic, truncation,
+/// checksum mismatch), Unimplemented (snapshot written by a future format
+/// version).
+
+/// Serializes the index's persistent data to the snapshot byte format.
+std::string EncodeIndexSnapshot(const CandidateIndex& index);
+
+/// Parses snapshot bytes back into an index.
+StatusOr<CandidateIndex> DecodeIndexSnapshot(const std::string& bytes);
+
+/// Writes `index` to `path` atomically enough for our purposes (single
+/// truncating write).
+Status SaveIndexSnapshot(const CandidateIndex& index,
+                         const std::string& path);
+
+/// Reads and decodes the snapshot at `path`.
+StatusOr<CandidateIndex> LoadIndexSnapshot(const std::string& path);
+
+/// The load-or-rebuild entry point the pipeline uses: when `path` is empty,
+/// always builds from `auxiliary`. Otherwise tries to load `path` and
+/// reuses the snapshot only when its score-shaping config fields AND its
+/// auxiliary fingerprint match; on any mismatch, missing file, or decode
+/// error it rebuilds from `auxiliary` and overwrites the snapshot (a
+/// failing save is surfaced — the caller asked for persistence).
+StatusOr<CandidateIndex> LoadOrBuildIndex(const std::string& path,
+                                          const UdaGraph& auxiliary,
+                                          const SimilarityConfig& config);
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_INDEX_SNAPSHOT_H_

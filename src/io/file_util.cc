@@ -1,0 +1,25 @@
+#include "io/file_util.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace dehealth {
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::NotFound("cannot open for reading: " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  if (file.bad()) return Status::Internal("read error: " + path);
+  return buffer.str();
+}
+
+Status WriteStringToFile(const std::string& content, const std::string& path) {
+  std::ofstream file(path, std::ios::binary);
+  if (!file) return Status::NotFound("cannot open for writing: " + path);
+  file.write(content.data(), static_cast<long>(content.size()));
+  if (!file) return Status::Internal("short write: " + path);
+  return Status::OK();
+}
+
+}  // namespace dehealth

@@ -1,0 +1,20 @@
+#ifndef DEHEALTH_IO_FILE_UTIL_H_
+#define DEHEALTH_IO_FILE_UTIL_H_
+
+#include <string>
+
+#include "common/status.h"
+
+namespace dehealth {
+
+/// Reads a whole file into a string (binary mode). NotFound when the file
+/// cannot be opened; Internal when a read error occurs mid-stream.
+StatusOr<std::string> ReadFileToString(const std::string& path);
+
+/// Writes `content` to `path` (binary mode, truncating). NotFound when the
+/// file cannot be opened for writing; Internal on a short write.
+Status WriteStringToFile(const std::string& content, const std::string& path);
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_IO_FILE_UTIL_H_

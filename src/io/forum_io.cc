@@ -2,10 +2,10 @@
 
 #include <cctype>
 #include <cstdio>
-#include <fstream>
 #include <sstream>
 
 #include "common/string_utils.h"
+#include "io/file_util.h"
 
 namespace dehealth {
 
@@ -199,20 +199,13 @@ StatusOr<ForumDataset> ForumDatasetFromJsonl(const std::string& jsonl) {
 
 Status SaveForumDataset(const ForumDataset& dataset,
                         const std::string& path) {
-  std::ofstream file(path, std::ios::binary);
-  if (!file) return Status::NotFound("cannot open for writing: " + path);
-  const std::string payload = ForumDatasetToJsonl(dataset);
-  file.write(payload.data(), static_cast<long>(payload.size()));
-  if (!file) return Status::Internal("short write: " + path);
-  return Status::OK();
+  return WriteStringToFile(ForumDatasetToJsonl(dataset), path);
 }
 
 StatusOr<ForumDataset> LoadForumDataset(const std::string& path) {
-  std::ifstream file(path, std::ios::binary);
-  if (!file) return Status::NotFound("cannot open for reading: " + path);
-  std::ostringstream buffer;
-  buffer << file.rdbuf();
-  return ForumDatasetFromJsonl(buffer.str());
+  StatusOr<std::string> content = ReadFileToString(path);
+  if (!content.ok()) return content.status();
+  return ForumDatasetFromJsonl(*content);
 }
 
 }  // namespace dehealth

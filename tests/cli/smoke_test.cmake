@@ -1,0 +1,87 @@
+# End-to-end smoke test of the dehealth_cli binary, including the indexed
+# attack path and the strict-flag-parsing error paths.
+#
+# Usage: cmake -DCLI=<dehealth_cli> -DWORK_DIR=<scratch dir> -P smoke_test.cmake
+
+if(NOT DEFINED CLI OR NOT DEFINED WORK_DIR)
+  message(FATAL_ERROR "smoke_test.cmake requires -DCLI=... and -DWORK_DIR=...")
+endif()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+# run_cli(<expect_rc> <args...>): run the CLI, assert the exit code, and
+# expose stdout/stderr as RUN_OUT/RUN_ERR in the parent scope.
+function(run_cli expect_rc)
+  execute_process(
+    COMMAND "${CLI}" ${ARGN}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL expect_rc)
+    message(FATAL_ERROR
+      "dehealth_cli ${ARGN}: expected exit ${expect_rc}, got ${rc}\n"
+      "stdout: ${out}\nstderr: ${err}")
+  endif()
+  set(RUN_OUT "${out}" PARENT_SCOPE)
+  set(RUN_ERR "${err}" PARENT_SCOPE)
+endfunction()
+
+# --- happy path: generate -> split -> attack with the candidate index ----
+run_cli(0 generate --preset webmd --users 60 --seed 7
+        --out "${WORK_DIR}/forum.jsonl")
+run_cli(0 split --dataset "${WORK_DIR}/forum.jsonl" --aux-fraction 0.5
+        --seed 3 --anon-out "${WORK_DIR}/anon.jsonl"
+        --aux-out "${WORK_DIR}/aux.jsonl" --truth-out "${WORK_DIR}/truth.csv")
+run_cli(0 attack --anonymized "${WORK_DIR}/anon.jsonl"
+        --auxiliary "${WORK_DIR}/aux.jsonl" --k 5 --learner centroid
+        --threads 2 --index --index-path "${WORK_DIR}/aux.dhix"
+        --truth "${WORK_DIR}/truth.csv" --out "${WORK_DIR}/pred.csv")
+if(NOT RUN_OUT MATCHES "top-5 success")
+  message(FATAL_ERROR "attack output missing evaluation line: ${RUN_OUT}")
+endif()
+if(NOT EXISTS "${WORK_DIR}/pred.csv")
+  message(FATAL_ERROR "attack did not write predictions CSV")
+endif()
+if(NOT EXISTS "${WORK_DIR}/aux.dhix")
+  message(FATAL_ERROR "attack did not persist the index snapshot")
+endif()
+
+# Second indexed run reuses the persisted snapshot and must still succeed.
+run_cli(0 attack --anonymized "${WORK_DIR}/anon.jsonl"
+        --auxiliary "${WORK_DIR}/aux.jsonl" --k 5 --learner centroid
+        --index-path "${WORK_DIR}/aux.dhix" --out "${WORK_DIR}/pred2.csv")
+file(READ "${WORK_DIR}/pred.csv" first_run)
+file(READ "${WORK_DIR}/pred2.csv" second_run)
+if(NOT first_run STREQUAL second_run)
+  message(FATAL_ERROR "snapshot-reusing run changed predictions")
+endif()
+
+# --- error paths: garbage flags must fail loudly, not default silently ---
+run_cli(1 attack --anonymized "${WORK_DIR}/anon.jsonl"
+        --auxiliary "${WORK_DIR}/aux.jsonl" --threads banana)
+if(NOT RUN_ERR MATCHES "--threads expects an integer")
+  message(FATAL_ERROR "garbage --threads error unclear: ${RUN_ERR}")
+endif()
+run_cli(1 attack --anonymized "${WORK_DIR}/anon.jsonl"
+        --auxiliary "${WORK_DIR}/aux.jsonl" --threads -2)
+if(NOT RUN_ERR MATCHES "--threads must be >= 0")
+  message(FATAL_ERROR "negative --threads error unclear: ${RUN_ERR}")
+endif()
+run_cli(1 attack --anonymized "${WORK_DIR}/anon.jsonl"
+        --auxiliary "${WORK_DIR}/aux.jsonl" --k 0)
+run_cli(1 attack --anonymized "${WORK_DIR}/anon.jsonl"
+        --auxiliary "${WORK_DIR}/aux.jsonl" --k 5nonsense)
+run_cli(1 attack --anonymized "${WORK_DIR}/anon.jsonl"
+        --auxiliary "${WORK_DIR}/aux.jsonl" --max-candidates -1)
+run_cli(1 attack --anonymized "${WORK_DIR}/anon.jsonl"
+        --auxiliary "${WORK_DIR}/aux.jsonl"
+        --index-path "/nonexistent_dir/idx.dhix")
+if(NOT RUN_ERR MATCHES "cannot open for writing")
+  message(FATAL_ERROR "unwritable --index-path error unclear: ${RUN_ERR}")
+endif()
+run_cli(1 attack --anonymized "${WORK_DIR}/missing.jsonl"
+        --auxiliary "${WORK_DIR}/aux.jsonl")
+run_cli(1 frobnicate)
+
+message(STATUS "cli smoke test passed")

@@ -1,0 +1,45 @@
+#include "io/file_util.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace dehealth {
+namespace {
+
+TEST(FileUtilTest, RoundTripsBinaryContent) {
+  const std::string path = "/tmp/dehealth_file_util_test.bin";
+  std::string content = "binary\0payload\nwith\tstuff";
+  content += '\0';
+  content += '\xFF';
+  ASSERT_TRUE(WriteStringToFile(content, path).ok());
+  auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(*read, content);
+  std::remove(path.c_str());
+}
+
+TEST(FileUtilTest, RoundTripsEmptyFile) {
+  const std::string path = "/tmp/dehealth_file_util_empty.bin";
+  ASSERT_TRUE(WriteStringToFile("", path).ok());
+  auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->empty());
+  std::remove(path.c_str());
+}
+
+TEST(FileUtilTest, MissingFileIsNotFound) {
+  auto r = ReadFileToString("/tmp/definitely_missing_dehealth_util.bin");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(FileUtilTest, UnwritableDirectoryIsNotFound) {
+  auto s = WriteStringToFile("x", "/nonexistent_dir/file.bin");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace dehealth

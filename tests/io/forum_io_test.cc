@@ -1,6 +1,8 @@
 #include "io/forum_io.h"
 
 #include <cstdio>
+#include <fstream>
+#include <string>
 
 #include <gtest/gtest.h>
 
@@ -116,6 +118,20 @@ TEST(ForumFileIoTest, SaveAndLoad) {
   auto loaded = LoadForumDataset(path);
   ASSERT_TRUE(loaded.ok());
   EXPECT_EQ(loaded->posts.size(), original.posts.size());
+  std::remove(path.c_str());
+}
+
+TEST(ForumFileIoTest, TruncatedFileFailsCleanly) {
+  auto forum = GenerateForum(WebMdLikeConfig(10, 3));
+  ASSERT_TRUE(forum.ok());
+  const std::string path = "/tmp/dehealth_forum_truncated.jsonl";
+  ASSERT_TRUE(SaveForumDataset(forum->dataset, path).ok());
+  const std::string full = ForumDatasetToJsonl(forum->dataset);
+  // Cut mid-record: the dangling line must come back as a Status error.
+  std::ofstream(path, std::ios::binary)
+      << full.substr(0, full.size() - 5);
+  auto r = LoadForumDataset(path);
+  EXPECT_FALSE(r.ok());
   std::remove(path.c_str());
 }
 
