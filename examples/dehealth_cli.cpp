@@ -17,78 +17,30 @@
 // of the dense similarity matrix (same results, see DESIGN.md);
 // --index-path persists the index as a snapshot reused across runs.
 
-#include <cerrno>
-#include <climits>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
-#include <map>
-#include <set>
 #include <sstream>
 #include <string>
 
+#include "common/flags.h"
 #include "core/de_health.h"
 #include "core/evaluation.h"
 #include "datagen/forum_generator.h"
 #include "datagen/split.h"
 #include "index/pipeline.h"
 #include "io/forum_io.h"
+#include "serve/options.h"
 
 using namespace dehealth;
 
 namespace {
 
-/// Minimal "--flag value" parser; flags may appear in any order. Numeric
-/// lookups parse strictly: trailing garbage, overflow, or an empty value
-/// fail with InvalidArgument instead of silently becoming 0 (atoi-style).
-class Args {
- public:
-  Args(int argc, char** argv, int first) {
-    for (int i = first; i < argc; ++i) {
-      const std::string token = argv[i];
-      if (token.rfind("--", 0) != 0) continue;
-      if (token == "--idf" || token == "--index") {  // boolean: no value
-        flags_.insert(token.substr(2));
-        continue;
-      }
-      if (i + 1 < argc) values_[token.substr(2)] = argv[++i];
-    }
-  }
-
-  std::string Get(const std::string& key,
-                  const std::string& fallback = "") const {
-    auto it = values_.find(key);
-    return it == values_.end() ? fallback : it->second;
-  }
-  StatusOr<int> GetInt(const std::string& key, int fallback) const {
-    const std::string v = Get(key);
-    if (v.empty()) return fallback;
-    errno = 0;
-    char* end = nullptr;
-    const long value = std::strtol(v.c_str(), &end, 10);
-    if (end == v.c_str() || *end != '\0' || errno != 0 ||
-        value < INT_MIN || value > INT_MAX)
-      return Status::InvalidArgument("--" + key +
-                                     " expects an integer, got '" + v + "'");
-    return static_cast<int>(value);
-  }
-  StatusOr<double> GetDouble(const std::string& key, double fallback) const {
-    const std::string v = Get(key);
-    if (v.empty()) return fallback;
-    errno = 0;
-    char* end = nullptr;
-    const double value = std::strtod(v.c_str(), &end);
-    if (end == v.c_str() || *end != '\0' || errno != 0)
-      return Status::InvalidArgument("--" + key +
-                                     " expects a number, got '" + v + "'");
-    return value;
-  }
-  bool Has(const std::string& flag) const { return flags_.count(flag) > 0; }
-
- private:
-  std::map<std::string, std::string> values_;
-  std::set<std::string> flags_;
-};
+/// Flag parsing lives in FlagParser (src/common/flags.h) and the
+/// attack-config mapping in ParseAttackFlags (src/serve/options.h) — both
+/// shared with dehealth_serve so the one-shot and served pipelines cannot
+/// drift apart.
+using Args = FlagParser;
 
 int Fail(const std::string& message) {
   std::fprintf(stderr, "error: %s\n", message.c_str());
@@ -172,33 +124,9 @@ int CmdAttack(const Args& args) {
   auto aux_data = LoadForumDataset(aux_path);
   if (!aux_data.ok()) return Fail(aux_data.status().ToString());
 
-  DeHealthConfig config;
-  CLI_ASSIGN_OR_FAIL(int, k, args.GetInt("k", 10));
-  CLI_ASSIGN_OR_FAIL(int, threads, args.GetInt("threads", 0));
-  CLI_ASSIGN_OR_FAIL(int, max_candidates,
-                     args.GetInt("max-candidates", 0));
-  if (k < 1) return Fail("--k must be >= 1");
-  if (threads < 0)
-    return Fail("--threads must be >= 0 (0 = all hardware threads)");
-  if (max_candidates < 0) return Fail("--max-candidates must be >= 0");
-  config.top_k = k;
-  config.num_threads = threads;
-  config.similarity.idf_weight_attributes = args.Has("idf");
-  config.index_snapshot_path = args.Get("index-path");
-  // --index-path implies the indexed path; --index alone keeps the index
-  // in memory for this run.
-  config.use_index = args.Has("index") || !config.index_snapshot_path.empty();
-  config.index_max_candidates = max_candidates;
-  const std::string learner = args.Get("learner", "smo");
-  if (learner == "knn") {
-    config.refined.learner = LearnerKind::kKnn;
-  } else if (learner == "rlsc") {
-    config.refined.learner = LearnerKind::kRlsc;
-  } else if (learner == "centroid") {
-    config.refined.learner = LearnerKind::kNearestCentroid;
-  } else {
-    config.refined.learner = LearnerKind::kSmoSvm;
-  }
+  auto config_or = ParseAttackFlags(args);
+  if (!config_or.ok()) return Fail(config_or.status().ToString());
+  const DeHealthConfig& config = *config_or;
 
   std::printf("building UDA graphs (%zu + %zu posts)...\n",
               anon_data->posts.size(), aux_data->posts.size());
@@ -258,7 +186,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   const std::string command = argv[1];
-  const Args args(argc, argv, 2);
+  const Args args(argc, argv, 2, AttackBooleanFlags());
   if (command == "generate") return CmdGenerate(args);
   if (command == "split") return CmdSplit(args);
   if (command == "attack") return CmdAttack(args);

@@ -1,0 +1,192 @@
+// dehealth_query: command-line client for a running dehealth_serve.
+//
+//   dehealth_query topk     --port P [--users 0,1,2|all] [--k N]
+//   dehealth_query refined  --port P [--users 0,1,2|all] [--timeout-ms T]
+//   dehealth_query filtered --port P [--users 0,1,2|all]
+//   dehealth_query stats    --port P
+//   dehealth_query dump     --port P [--out predictions.csv]
+//   dehealth_query shutdown --port P
+//
+// `dump` fetches Top-K candidates and refined predictions for every
+// anonymized user and writes the same "anon_id,prediction,top_candidates"
+// CSV as `dehealth_cli attack --out` — diffing the two is the end-to-end
+// proof that the service answers bitwise-identically to the one-shot run.
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "serve/client.h"
+
+using namespace dehealth;
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+/// "--users 3,1,4" → {3,1,4}; "--users all" → {0..n-1} (n from the
+/// server's stats). Strict like every numeric flag: garbage fails loudly.
+StatusOr<std::vector<int>> ParseUsers(const std::string& spec,
+                                      QueryClient& client) {
+  std::vector<int> users;
+  if (spec == "all") {
+    StatusOr<ServerStatsSnapshot> stats = client.Stats();
+    if (!stats.ok()) return stats.status();
+    users.resize(static_cast<size_t>(stats->num_anonymized));
+    for (size_t i = 0; i < users.size(); ++i)
+      users[i] = static_cast<int>(i);
+    return users;
+  }
+  size_t start = 0;
+  while (start <= spec.size()) {
+    const size_t comma = spec.find(',', start);
+    const std::string token =
+        spec.substr(start, comma == std::string::npos ? std::string::npos
+                                                      : comma - start);
+    errno = 0;
+    char* end = nullptr;
+    const long value = std::strtol(token.c_str(), &end, 10);
+    if (end == token.c_str() || *end != '\0' || errno != 0)
+      return Status::InvalidArgument("--users expects ids like 0,5,12 or "
+                                     "'all', got '" +
+                                     token + "'");
+    users.push_back(static_cast<int>(value));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return users;
+}
+
+void PrintCandidateLine(int user, const std::vector<int>& candidates,
+                        bool rejected, bool show_rejected) {
+  std::printf("%d:", user);
+  if (show_rejected && rejected) std::printf(" [rejected]");
+  for (int c : candidates) std::printf(" %d", c);
+  std::printf("\n");
+}
+
+int CmdDump(QueryClient& client, const std::string& out_path) {
+  StatusOr<ServerStatsSnapshot> stats = client.Stats();
+  if (!stats.ok()) return Fail(stats.status().ToString());
+  std::vector<int> users(static_cast<size_t>(stats->num_anonymized));
+  for (size_t i = 0; i < users.size(); ++i) users[i] = static_cast<int>(i);
+
+  StatusOr<TopKAnswer> top_k = client.TopK(users);
+  if (!top_k.ok()) return Fail(top_k.status().ToString());
+  StatusOr<RefinedAnswer> refined = client.Refine(users);
+  if (!refined.ok()) return Fail(refined.status().ToString());
+
+  std::ofstream file;
+  if (!out_path.empty()) {
+    file.open(out_path);
+    if (!file) return Fail("cannot open for writing: " + out_path);
+  }
+  std::ostream& csv = out_path.empty()
+                          ? static_cast<std::ostream&>(std::cout)
+                          : file;
+  // Same shape as `dehealth_cli attack --out` so the two diff cleanly.
+  csv << "anon_id,prediction,top_candidates\n";
+  for (size_t u = 0; u < users.size(); ++u) {
+    csv << u << "," << refined->predictions[u] << ",\"";
+    const std::vector<int>& c = top_k->candidates[u];
+    for (size_t i = 0; i < c.size(); ++i) csv << (i ? " " : "") << c[i];
+    csv << "\"\n";
+  }
+  if (!out_path.empty())
+    std::printf("wrote %zu predictions to %s\n", users.size(),
+                out_path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: dehealth_query "
+                 "<topk|refined|filtered|stats|dump|shutdown> --port P "
+                 "[--host H] [--users 0,1,2|all] [--k N] [--timeout-ms T] "
+                 "[--out file]\n");
+    return 1;
+  }
+  const std::string command = argv[1];
+  const FlagParser flags(argc, argv, 2);
+
+  auto port_or = flags.GetInt("port", 0);
+  if (!port_or.ok()) return Fail(port_or.status().ToString());
+  if (*port_or < 1) return Fail("dehealth_query requires --port");
+  auto k_or = flags.GetInt("k", 0);
+  if (!k_or.ok()) return Fail(k_or.status().ToString());
+  auto timeout_or = flags.GetDouble("timeout-ms", 0.0);
+  if (!timeout_or.ok()) return Fail(timeout_or.status().ToString());
+
+  auto client = QueryClient::Connect(flags.Get("host", "127.0.0.1"),
+                                     *port_or);
+  if (!client.ok()) return Fail(client.status().ToString());
+
+  if (command == "stats") {
+    StatusOr<ServerStatsSnapshot> stats = client->Stats();
+    if (!stats.ok()) return Fail(stats.status().ToString());
+    std::printf(
+        "requests=%llu queries=%llu batches=%llu max_batch=%llu "
+        "overloaded=%llu timed_out=%llu queue=%llu users=%llu k=%llu "
+        "p50_us=%.0f p99_us=%.0f max_us=%.0f\n",
+        static_cast<unsigned long long>(stats->requests_total),
+        static_cast<unsigned long long>(stats->queries_total),
+        static_cast<unsigned long long>(stats->batches_total),
+        static_cast<unsigned long long>(stats->max_batch),
+        static_cast<unsigned long long>(stats->overload_rejections),
+        static_cast<unsigned long long>(stats->deadline_expirations),
+        static_cast<unsigned long long>(stats->queue_depth),
+        static_cast<unsigned long long>(stats->num_anonymized),
+        static_cast<unsigned long long>(stats->default_top_k),
+        stats->p50_micros, stats->p99_micros, stats->max_micros);
+    return 0;
+  }
+  if (command == "shutdown") {
+    Status st = client->RequestShutdown();
+    if (!st.ok()) return Fail(st.ToString());
+    std::printf("server acknowledged shutdown\n");
+    return 0;
+  }
+  if (command == "dump") return CmdDump(*client, flags.Get("out"));
+
+  auto users = ParseUsers(flags.Get("users", "all"), *client);
+  if (!users.ok()) return Fail(users.status().ToString());
+
+  if (command == "topk") {
+    StatusOr<TopKAnswer> answer =
+        client->TopK(*users, *k_or, *timeout_or);
+    if (!answer.ok()) return Fail(answer.status().ToString());
+    for (size_t i = 0; i < users->size(); ++i)
+      PrintCandidateLine((*users)[i], answer->candidates[i], false, false);
+    return 0;
+  }
+  if (command == "refined") {
+    StatusOr<RefinedAnswer> answer = client->Refine(*users, *timeout_or);
+    if (!answer.ok()) return Fail(answer.status().ToString());
+    for (size_t i = 0; i < users->size(); ++i)
+      std::printf("%d: %d%s\n", (*users)[i], answer->predictions[i],
+                  answer->rejected[i] ? " [rejected]" : "");
+    return 0;
+  }
+  if (command == "filtered") {
+    StatusOr<FilteredAnswer> answer =
+        client->Filtered(*users, *timeout_or);
+    if (!answer.ok()) return Fail(answer.status().ToString());
+    for (size_t i = 0; i < users->size(); ++i)
+      PrintCandidateLine((*users)[i], answer->candidates[i],
+                         answer->rejected[i], true);
+    return 0;
+  }
+  std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+  return 1;
+}

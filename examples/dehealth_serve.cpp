@@ -1,0 +1,96 @@
+// dehealth_serve: the long-lived De-Health query service. Loads the
+// auxiliary forum and candidate state ONCE, then answers Top-K / refined /
+// filtered queries over the DHQP protocol until SIGTERM (or a client's
+// shutdown request) drains it — amortizing the expensive global phases
+// across every query instead of redoing them per dehealth_cli run.
+//
+//   dehealth_serve --anonymized anon.jsonl --auxiliary aux.jsonl
+//                  [--k 10 --learner smo --threads 0 --idf --filter]
+//                  [--index] [--index-path idx.dhix] [--max-candidates N]
+//                  [--host 127.0.0.1] [--port 0] [--queue 64] [--batch 16]
+//                  [--timeout-ms 0] [--stats-period 0] [--port-file path]
+//
+// Attack flags mean exactly what they mean to `dehealth_cli attack` (same
+// parser — see serve/options.h), so served answers are bitwise-identical
+// to the one-shot pipeline. --port 0 binds an ephemeral port; --port-file
+// writes the bound port (atomically) for scripts to discover.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "common/flags.h"
+#include "common/shutdown.h"
+#include "io/file_util.h"
+#include "io/forum_io.h"
+#include "serve/engine.h"
+#include "serve/options.h"
+#include "serve/server.h"
+
+using namespace dehealth;
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const FlagParser flags(argc, argv, 1, AttackBooleanFlags());
+
+  const std::string anon_path = flags.Get("anonymized");
+  const std::string aux_path = flags.Get("auxiliary");
+  if (anon_path.empty() || aux_path.empty())
+    return Fail("dehealth_serve requires --anonymized and --auxiliary");
+
+  auto attack_config = ParseAttackFlags(flags);
+  if (!attack_config.ok()) return Fail(attack_config.status().ToString());
+  auto server_config = ParseServerFlags(flags);
+  if (!server_config.ok()) return Fail(server_config.status().ToString());
+
+  auto anon_data = LoadForumDataset(anon_path);
+  if (!anon_data.ok()) return Fail(anon_data.status().ToString());
+  auto aux_data = LoadForumDataset(aux_path);
+  if (!aux_data.ok()) return Fail(aux_data.status().ToString());
+
+  std::printf("loading: building UDA graphs (%zu + %zu posts)...\n",
+              anon_data->posts.size(), aux_data->posts.size());
+  UdaGraph anon = BuildUdaGraph(*anon_data);
+  UdaGraph aux = BuildUdaGraph(*aux_data);
+
+  auto engine = QueryEngine::Create(std::move(anon), std::move(aux),
+                                    *attack_config);
+  if (!engine.ok()) return Fail(engine.status().ToString());
+
+  QueryServer server(**engine, *server_config);
+  Status started = server.Start();
+  if (!started.ok()) return Fail(started.ToString());
+
+  const std::string port_file = flags.Get("port-file");
+  if (!port_file.empty()) {
+    Status written = WriteStringToFileAtomic(
+        std::to_string(server.port()) + "\n", port_file);
+    if (!written.ok()) return Fail(written.ToString());
+  }
+  std::printf("serving on %s:%d (%d anonymized users, K=%d)\n",
+              server_config->host.c_str(), server.port(),
+              (*engine)->num_anonymized(), (*engine)->config().top_k);
+  std::fflush(stdout);
+
+  // SIGTERM/SIGINT flip a flag; the drain itself runs here, on a normal
+  // thread — in-flight requests are answered before the process exits.
+  InstallShutdownSignalHandlers();
+  while (!ProcessShutdownRequested() && !server.ShuttingDown())
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  std::printf("draining...\n");
+  std::fflush(stdout);
+  server.Shutdown();
+  server.Wait();
+  std::fprintf(stderr, "%s\n", FormatStatsLine(server.Stats()).c_str());
+  return 0;
+}

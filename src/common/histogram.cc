@@ -1,0 +1,56 @@
+#include "common/histogram.h"
+
+#include <bit>
+#include <cmath>
+
+namespace dehealth {
+
+LatencyHistogram::LatencyHistogram() : count_(0), max_micros_(0) {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+int LatencyHistogram::BucketFor(uint64_t micros) {
+  if (micros < 2) return 0;  // [1, 2) plus the sub-µs clamp
+  const int bucket = std::bit_width(micros) - 1;
+  return bucket < kNumBuckets ? bucket : kNumBuckets - 1;
+}
+
+void LatencyHistogram::Record(double micros) {
+  const uint64_t value =
+      micros <= 1.0 ? 1 : static_cast<uint64_t>(std::llround(micros));
+  buckets_[static_cast<size_t>(BucketFor(value))].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t seen = max_micros_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_micros_.compare_exchange_weak(seen, value,
+                                            std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t LatencyHistogram::TotalCount() const {
+  return count_.load(std::memory_order_relaxed);
+}
+
+double LatencyHistogram::QuantileMicros(double q) const {
+  const uint64_t total = TotalCount();
+  if (total == 0) return 0.0;
+  q = q < 0.0 ? 0.0 : (q > 1.0 ? 1.0 : q);
+  // Rank of the quantile sample, 1-based: ceil(q * total), at least 1.
+  const uint64_t rank =
+      std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(q * total)));
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+    if (seen >= rank)
+      return static_cast<double>(uint64_t{1} << (i + 1));  // bucket upper bound
+  }
+  // Counts raced ahead of count_; the last bucket still bounds the sample.
+  return static_cast<double>(uint64_t{1} << kNumBuckets);
+}
+
+double LatencyHistogram::MaxMicros() const {
+  return static_cast<double>(max_micros_.load(std::memory_order_relaxed));
+}
+
+}  // namespace dehealth

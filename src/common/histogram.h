@@ -1,0 +1,50 @@
+#ifndef DEHEALTH_COMMON_HISTOGRAM_H_
+#define DEHEALTH_COMMON_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace dehealth {
+
+/// Thread-safe latency histogram with power-of-two buckets over
+/// microseconds: bucket i counts samples in [2^i, 2^(i+1)) µs, so 48
+/// buckets span 1 µs to ~3.2 days. Record() is a single relaxed atomic
+/// increment — cheap enough for every request on a serving hot path — and
+/// quantile reads walk the bucket array without locking. A quantile is
+/// reported as the upper bound of the bucket holding that rank (at most 2x
+/// the true value), which is the usual fidelity for service p50/p99
+/// metrics; the exact observed maximum is tracked separately.
+///
+/// Reads concurrent with writes see a consistent-enough snapshot: counts
+/// only grow, so a quantile computed mid-traffic is bracketed by the
+/// distributions just before and just after the read.
+class LatencyHistogram {
+ public:
+  LatencyHistogram();
+
+  /// Records one sample. Non-positive values count into the first bucket.
+  void Record(double micros);
+
+  /// Total number of recorded samples.
+  uint64_t TotalCount() const;
+
+  /// Upper bound (µs) of the bucket containing the q-quantile sample
+  /// (q clamped to [0, 1]); 0 when nothing was recorded.
+  double QuantileMicros(double q) const;
+
+  /// Largest sample recorded (µs, rounded to whole µs); 0 when empty.
+  double MaxMicros() const;
+
+ private:
+  static constexpr int kNumBuckets = 48;
+  static int BucketFor(uint64_t micros);
+
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_;
+  std::atomic<uint64_t> count_;
+  std::atomic<uint64_t> max_micros_;
+};
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_COMMON_HISTOGRAM_H_

@@ -110,25 +110,27 @@ void ParallelFor(int64_t begin, int64_t end,
 
   // The caller is one of the `threads` executors; the rest are pool tasks.
   // All state lives on this stack frame, so we must not return before every
-  // helper finished (done_count reaching helpers).
+  // helper finished (done_count reaching helpers). The increment, the
+  // notify, and the waiter's predicate all happen under done_mutex: if the
+  // count were bumped outside the lock, the waiting thread could observe it,
+  // return, and destroy this frame while a helper is still about to lock
+  // the (now dead) mutex — wedging that pool worker permanently.
   const int64_t helpers = threads - 1;
-  std::atomic<int64_t> done_count{0};
+  int64_t done_count = 0;  // guarded by done_mutex
   std::mutex done_mutex;
   std::condition_variable all_done;
   ThreadPool& pool = GlobalThreadPool();
   for (int64_t h = 0; h < helpers; ++h) {
     pool.Submit([&] {
       drain();
-      if (done_count.fetch_add(1) + 1 == helpers) {
-        std::lock_guard<std::mutex> lock(done_mutex);
-        all_done.notify_one();
-      }
+      std::lock_guard<std::mutex> lock(done_mutex);
+      if (++done_count == helpers) all_done.notify_one();
     });
   }
   drain();
   {
     std::unique_lock<std::mutex> lock(done_mutex);
-    all_done.wait(lock, [&] { return done_count.load() == helpers; });
+    all_done.wait(lock, [&] { return done_count == helpers; });
   }
   if (first_error != nullptr) std::rethrow_exception(first_error);
 }

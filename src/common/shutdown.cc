@@ -1,0 +1,42 @@
+#include "common/shutdown.h"
+
+#include <csignal>
+
+#include <atomic>
+
+namespace dehealth {
+
+namespace {
+
+std::atomic<bool> shutdown_requested{false};
+static_assert(std::atomic<bool>::is_always_lock_free,
+              "signal handler requires a lock-free flag");
+
+void HandleSignal(int /*signum*/) { RequestProcessShutdown(); }
+
+}  // namespace
+
+void InstallShutdownSignalHandlers() {
+  struct sigaction action = {};
+  action.sa_handler = HandleSignal;
+  sigemptyset(&action.sa_mask);
+  // No SA_RESTART: blocking accept/read calls return EINTR so serving
+  // loops observe the flag promptly.
+  action.sa_flags = 0;
+  sigaction(SIGTERM, &action, nullptr);
+  sigaction(SIGINT, &action, nullptr);
+}
+
+bool ProcessShutdownRequested() {
+  return shutdown_requested.load(std::memory_order_relaxed);
+}
+
+void RequestProcessShutdown() {
+  shutdown_requested.store(true, std::memory_order_relaxed);
+}
+
+void ResetProcessShutdownForTesting() {
+  shutdown_requested.store(false, std::memory_order_relaxed);
+}
+
+}  // namespace dehealth

@@ -1,0 +1,26 @@
+#ifndef DEHEALTH_COMMON_SHUTDOWN_H_
+#define DEHEALTH_COMMON_SHUTDOWN_H_
+
+namespace dehealth {
+
+/// Cooperative process-wide shutdown for long-lived binaries
+/// (dehealth_serve): a SIGTERM/SIGINT handler flips one lock-free flag and
+/// serving loops poll it, so teardown happens on a normal thread — never
+/// inside the signal handler — and in-flight work can drain gracefully.
+
+/// Installs SIGTERM and SIGINT handlers that call RequestProcessShutdown().
+/// Idempotent; call once from main() before serving.
+void InstallShutdownSignalHandlers();
+
+/// True once a shutdown was requested (by signal or programmatically).
+bool ProcessShutdownRequested();
+
+/// Requests shutdown. Async-signal-safe (a single atomic store).
+void RequestProcessShutdown();
+
+/// Clears the flag so tests can exercise the signal path repeatedly.
+void ResetProcessShutdownForTesting();
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_COMMON_SHUTDOWN_H_

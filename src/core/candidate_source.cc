@@ -1,6 +1,34 @@
 #include "core/candidate_source.h"
 
+#include "common/parallel.h"
+
 namespace dehealth {
+
+StatusOr<CandidateSets> CandidateSource::TopKForUsers(
+    const std::vector<int>& users, int k, int num_threads) const {
+  if (k < 1)
+    return Status::InvalidArgument(
+        "CandidateSource::TopKForUsers: k must be >= 1");
+  const int n1 = num_anonymized();
+  for (int u : users)
+    if (u < 0 || u >= n1)
+      return Status::InvalidArgument(
+          "CandidateSource::TopKForUsers: user id " + std::to_string(u) +
+          " out of range [0, " + std::to_string(n1) + ")");
+  CandidateSets result(users.size());
+  // Each task owns one output slot (and its own row scratch), so the lists
+  // are identical for any thread count.
+  ParallelFor(
+      0, static_cast<int64_t>(users.size()),
+      [&](int64_t i) {
+        std::vector<double> scratch;
+        const std::vector<double>& row =
+            Row(users[static_cast<size_t>(i)], &scratch);
+        result[static_cast<size_t>(i)] = TopKForRow(row, k);
+      },
+      num_threads);
+  return result;
+}
 
 DenseCandidateSource::DenseCandidateSource(
     const std::vector<std::vector<double>>& matrix)

@@ -44,6 +44,15 @@ class CandidateSource {
   /// thread-count-independent output.
   virtual StatusOr<CandidateSets> TopK(int k, int num_threads) const = 0;
 
+  /// Batch entry point for the serving path: direct Top-K candidate lists
+  /// for just the listed anonymized users — result[i] is bitwise-identical
+  /// to TopK(k, ...)[users[i]], for any batch composition and thread count.
+  /// Fails with InvalidArgument on k < 1 or an out-of-range user id. The
+  /// default streams one Row per user through TopKForRow; sources with a
+  /// cheaper per-user query (the candidate index) override it.
+  virtual StatusOr<CandidateSets> TopKForUsers(const std::vector<int>& users,
+                                               int k, int num_threads) const;
+
   /// The materialized matrix when this source holds one, else nullptr.
   /// Graph-matching candidate selection is inherently global and requires
   /// it.

@@ -10,35 +10,17 @@ namespace {
 
 /// Phases 1b-2 against an arbitrary score source; fills every result field
 /// except `similarity` (the caller owns matrix materialization policy).
-Status RunPhases(const DeHealthConfig& config, const UdaGraph& anonymized,
+Status RunPhases(const DeHealth& attack, const UdaGraph& anonymized,
                  const UdaGraph& auxiliary, const CandidateSource& scores,
                  DeHealthResult& result) {
-  // Phase 1b: Top-K candidate sets (Algorithm 1, line 5). Graph matching
-  // needs the whole matrix at once, so it only works on dense sources.
-  if (config.selection == CandidateSelection::kGraphMatching &&
-      scores.DenseMatrix() == nullptr)
-    return Status::FailedPrecondition(
-        "DeHealth: graph-matching selection requires a dense similarity "
-        "matrix (disable use_index or use direct selection)");
-  StatusOr<CandidateSets> candidates =
-      config.selection == CandidateSelection::kGraphMatching
-          ? SelectTopKCandidates(*scores.DenseMatrix(), config.top_k,
-                                 config.selection, config.num_threads)
-          : scores.TopK(config.top_k, config.num_threads);
-  if (!candidates.ok()) return candidates.status();
-  result.candidates = std::move(candidates).value();
-  result.rejected.assign(result.candidates.size(), false);
-
-  // Phase 1c: optional threshold-vector filtering (line 6, Algorithm 2).
-  if (config.enable_filtering) {
-    StatusOr<FilterResult> filtered =
-        FilterCandidates(scores, result.candidates, config.filter);
-    if (!filtered.ok()) return filtered.status();
-    result.candidates = std::move(filtered->candidates);
-    result.rejected = std::move(filtered->rejected);
-  }
+  // Phases 1b-1c: candidate selection + optional filtering.
+  StatusOr<DeHealthCandidates> selected = attack.SelectCandidates(scores);
+  if (!selected.ok()) return selected.status();
+  result.candidates = std::move(selected->candidates);
+  result.rejected = std::move(selected->rejected);
 
   // Phase 2: refined DA (lines 7-9).
+  const DeHealthConfig& config = attack.config();
   RefinedDaConfig refined_config = config.refined;
   refined_config.num_threads = config.num_threads;
   StatusOr<RefinedDaResult> refined =
@@ -50,6 +32,49 @@ Status RunPhases(const DeHealthConfig& config, const UdaGraph& anonymized,
 }
 
 }  // namespace
+
+StatusOr<DeHealthCandidates> DeHealth::SelectCandidates(
+    const CandidateSource& scores) const {
+  DeHealthCandidates state;
+
+  // Phase 1b: Top-K candidate sets (Algorithm 1, line 5). Graph matching
+  // needs the whole matrix at once, so it only works on dense sources.
+  if (config_.selection == CandidateSelection::kGraphMatching &&
+      scores.DenseMatrix() == nullptr)
+    return Status::FailedPrecondition(
+        "DeHealth: graph-matching selection requires a dense similarity "
+        "matrix (disable use_index or use direct selection)");
+  StatusOr<CandidateSets> candidates =
+      config_.selection == CandidateSelection::kGraphMatching
+          ? SelectTopKCandidates(*scores.DenseMatrix(), config_.top_k,
+                                 config_.selection, config_.num_threads)
+          : scores.TopK(config_.top_k, config_.num_threads);
+  if (!candidates.ok()) return candidates.status();
+  state.candidates = std::move(candidates).value();
+  state.rejected.assign(state.candidates.size(), false);
+
+  // Phase 1c: optional threshold-vector filtering (line 6, Algorithm 2).
+  // Thresholds are global (max/min over all candidate scores), which is
+  // why this belongs to the precomputed state and not the per-query path.
+  if (config_.enable_filtering) {
+    StatusOr<FilterResult> filtered =
+        FilterCandidates(scores, state.candidates, config_.filter);
+    if (!filtered.ok()) return filtered.status();
+    state.candidates = std::move(filtered->candidates);
+    state.rejected = std::move(filtered->rejected);
+  }
+  return state;
+}
+
+StatusOr<RefinedDaResult> DeHealth::RefineUsers(
+    const UdaGraph& anonymized, const UdaGraph& auxiliary,
+    const CandidateSource& scores, const DeHealthCandidates& state,
+    const std::vector<int>& users) const {
+  RefinedDaConfig refined_config = config_.refined;
+  refined_config.num_threads = config_.num_threads;
+  return RunRefinedDaForUsers(anonymized, auxiliary, users, state.candidates,
+                              &state.rejected, scores, refined_config);
+}
 
 StatusOr<DeHealthResult> DeHealth::Run(const UdaGraph& anonymized,
                                        const UdaGraph& auxiliary) const {
@@ -64,7 +89,7 @@ StatusOr<DeHealthResult> DeHealth::Run(const UdaGraph& anonymized,
 
   const DenseCandidateSource source(result.similarity);
   DEHEALTH_RETURN_IF_ERROR(
-      RunPhases(config_, anonymized, auxiliary, source, result));
+      RunPhases(*this, anonymized, auxiliary, source, result));
   return result;
 }
 
@@ -74,7 +99,7 @@ StatusOr<DeHealthResult> DeHealth::RunWithSource(
   DeHealthResult result;
   if (const auto* matrix = scores.DenseMatrix()) result.similarity = *matrix;
   DEHEALTH_RETURN_IF_ERROR(
-      RunPhases(config_, anonymized, auxiliary, scores, result));
+      RunPhases(*this, anonymized, auxiliary, scores, result));
   return result;
 }
 

@@ -60,6 +60,15 @@ struct DeHealthResult {
   RefinedDaResult refined;                      // phase-2 predictions
 };
 
+/// The phase-1 global state (candidate sets + filtering verdicts) a
+/// long-lived query service precomputes once and then answers per-user
+/// queries against. Produced by DeHealth::SelectCandidates; consumed by
+/// DeHealth::RefineUsers.
+struct DeHealthCandidates {
+  CandidateSets candidates;    // post-filtering when filtering is enabled
+  std::vector<bool> rejected;  // u → ⊥ decided by filtering
+};
+
 /// The De-Health framework: Top-K DA (structural similarity + candidate
 /// selection + optional filtering) followed by refined DA (per-user
 /// classifier + optional open-world verification).
@@ -80,6 +89,24 @@ class DeHealth {
   StatusOr<DeHealthResult> RunWithSource(const UdaGraph& anonymized,
                                          const UdaGraph& auxiliary,
                                          const CandidateSource& scores) const;
+
+  /// Phases 1b-1c only: Top-K candidate selection plus (when enabled)
+  /// filtering — exactly the state Run/RunWithSource compute before phase
+  /// 2. The serving path (src/serve/) calls this once at startup and keeps
+  /// the result resident.
+  StatusOr<DeHealthCandidates> SelectCandidates(
+      const CandidateSource& scores) const;
+
+  /// Batch entry point for the serving path: phase-2 refined-DA answers
+  /// for just the listed anonymized users against precomputed phase-1
+  /// state (result entry i belongs to users[i]). Bitwise-identical to the
+  /// corresponding entries of a full Run for any batch composition — see
+  /// RunRefinedDaForUsers.
+  StatusOr<RefinedDaResult> RefineUsers(const UdaGraph& anonymized,
+                                        const UdaGraph& auxiliary,
+                                        const CandidateSource& scores,
+                                        const DeHealthCandidates& state,
+                                        const std::vector<int>& users) const;
 
   const DeHealthConfig& config() const { return config_; }
 

@@ -269,8 +269,10 @@ StatusOr<RefinedDaResult> RunRefinedDa(const UdaGraph& anonymized,
 
   RefinedDaResult result;
   result.predictions.assign(static_cast<size_t>(n1), kNotPresent);
+  result.rejected.assign(static_cast<size_t>(n1), false);
   for (size_t u = 0; u < outcomes.size(); ++u) {
     result.predictions[u] = outcomes[u].prediction;
+    result.rejected[u] = outcomes[u].rejected;
     if (outcomes[u].rejected) ++result.num_rejected;
   }
   return result;
@@ -284,6 +286,55 @@ StatusOr<RefinedDaResult> RunRefinedDa(
   const DenseCandidateSource source(similarity);
   return RunRefinedDa(anonymized, auxiliary, candidates, rejected, source,
                       config);
+}
+
+StatusOr<RefinedDaResult> RunRefinedDaForUsers(
+    const UdaGraph& anonymized, const UdaGraph& auxiliary,
+    const std::vector<int>& users, const CandidateSets& candidates,
+    const std::vector<bool>* rejected, const CandidateSource& scores,
+    const RefinedDaConfig& config) {
+  const int n1 = anonymized.num_users();
+  if (static_cast<int>(candidates.size()) != n1)
+    return Status::InvalidArgument(
+        "RunRefinedDaForUsers: candidate set count != anonymized users");
+  if (scores.num_anonymized() != n1)
+    return Status::InvalidArgument(
+        "RunRefinedDaForUsers: similarity row count != anonymized users");
+  for (int u : users)
+    if (u < 0 || u >= n1)
+      return Status::InvalidArgument(
+          "RunRefinedDaForUsers: user id " + std::to_string(u) +
+          " out of range [0, " + std::to_string(n1) + ")");
+
+  // Same per-user problems as the full run, just over a subset; each task
+  // writes only its own batch slot.
+  std::vector<UserOutcome> outcomes(users.size());
+  std::vector<Status> statuses(users.size());
+  ParallelFor(
+      0, static_cast<int64_t>(users.size()),
+      [&](int64_t i) {
+        const NodeId u = static_cast<NodeId>(users[static_cast<size_t>(i)]);
+        if (rejected != nullptr && (*rejected)[static_cast<size_t>(u)]) {
+          outcomes[static_cast<size_t>(i)].rejected = true;
+          return;  // filtering already concluded u → ⊥
+        }
+        statuses[static_cast<size_t>(i)] =
+            RefineOneUser(anonymized, auxiliary, candidates, scores, config,
+                          u, outcomes[static_cast<size_t>(i)]);
+      },
+      config.num_threads);
+  for (const Status& st : statuses)
+    if (!st.ok()) return st;
+
+  RefinedDaResult result;
+  result.predictions.assign(users.size(), kNotPresent);
+  result.rejected.assign(users.size(), false);
+  for (size_t i = 0; i < outcomes.size(); ++i) {
+    result.predictions[i] = outcomes[i].prediction;
+    result.rejected[i] = outcomes[i].rejected;
+    if (outcomes[i].rejected) ++result.num_rejected;
+  }
+  return result;
 }
 
 StatusOr<RefinedDaResult> RunRefinedDaShared(const UdaGraph& anonymized,
@@ -305,6 +356,7 @@ StatusOr<RefinedDaResult> RunRefinedDaShared(const UdaGraph& anonymized,
 
   RefinedDaResult result;
   result.predictions.assign(static_cast<size_t>(n1), kNotPresent);
+  result.rejected.assign(static_cast<size_t>(n1), false);
   if (n1 == 0) return result;
   const std::vector<int>& labels = candidates.front();
   if (labels.empty()) return result;
@@ -406,6 +458,7 @@ StatusOr<RefinedDaResult> RunRefinedDaShared(const UdaGraph& anonymized,
       config.num_threads);
   for (size_t u = 0; u < outcomes.size(); ++u) {
     result.predictions[u] = outcomes[u].prediction;
+    result.rejected[u] = outcomes[u].rejected;
     if (outcomes[u].rejected) ++result.num_rejected;
   }
   return result;

@@ -81,6 +81,9 @@ struct RefinedDaConfig {
 struct RefinedDaResult {
   /// predictions[u] = auxiliary id, or kNotPresent (⊥) when rejected.
   std::vector<int> predictions;
+  /// rejected[u]: u → ⊥ was an explicit verification/filtering decision
+  /// (kNotPresent alone can also mean "no posts / no candidates").
+  std::vector<bool> rejected;
   /// Number of users decided by verification rejection (u → ⊥).
   int num_rejected = 0;
 };
@@ -106,6 +109,20 @@ StatusOr<RefinedDaResult> RunRefinedDa(const UdaGraph& anonymized,
                                        const std::vector<bool>* rejected,
                                        const CandidateSource& scores,
                                        const RefinedDaConfig& config);
+
+/// Batch entry point for the serving path: answers ONLY the listed
+/// anonymized users (result entry i belongs to users[i]). `candidates` and
+/// `rejected` stay indexed by absolute user id, exactly as a full run takes
+/// them. Each user's problem is a pure function of (config, u) — the decoy
+/// stream is Rng(MixSeed(seed, u)) with the ABSOLUTE id — so every answer
+/// is bitwise-identical to the corresponding entry of a full RunRefinedDa,
+/// whether the user is asked solo or in any batch, on any thread count.
+/// Duplicate ids are allowed (and answered identically).
+StatusOr<RefinedDaResult> RunRefinedDaForUsers(
+    const UdaGraph& anonymized, const UdaGraph& auxiliary,
+    const std::vector<int>& users, const CandidateSets& candidates,
+    const std::vector<bool>* rejected, const CandidateSource& scores,
+    const RefinedDaConfig& config);
 
 /// Variant for the case where every anonymized user has the SAME candidate
 /// set (the "Stylometry" baseline): trains one shared classifier instead of

@@ -22,21 +22,7 @@ CandidateSets DirectSelection(
       0, static_cast<int64_t>(similarity.size()),
       [&](int64_t ui) {
         const size_t u = static_cast<size_t>(ui);
-        const auto& row = similarity[u];
-        std::vector<int> order(row.size());
-        std::iota(order.begin(), order.end(), 0);
-        const size_t take = std::min(static_cast<size_t>(k), row.size());
-        std::partial_sort(order.begin(),
-                          order.begin() + static_cast<long>(take),
-                          order.end(), [&row](int a, int b) {
-                            if (row[static_cast<size_t>(a)] !=
-                                row[static_cast<size_t>(b)])
-                              return row[static_cast<size_t>(a)] >
-                                     row[static_cast<size_t>(b)];
-                            return a < b;
-                          });
-        candidates[u].assign(order.begin(),
-                             order.begin() + static_cast<long>(take));
+        candidates[u] = TopKForRow(similarity[u], k);
       },
       num_threads);
   return candidates;
@@ -91,6 +77,23 @@ CandidateSets GraphMatchingSelection(
 }
 
 }  // namespace
+
+std::vector<int> TopKForRow(const std::vector<double>& row, int k) {
+  assert(k >= 1);
+  std::vector<int> order(row.size());
+  std::iota(order.begin(), order.end(), 0);
+  const size_t take = std::min(static_cast<size_t>(k), row.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<long>(take),
+                    order.end(), [&row](int a, int b) {
+                      if (row[static_cast<size_t>(a)] !=
+                          row[static_cast<size_t>(b)])
+                        return row[static_cast<size_t>(a)] >
+                               row[static_cast<size_t>(b)];
+                      return a < b;
+                    });
+  order.resize(take);
+  return order;
+}
 
 StatusOr<CandidateSets> SelectTopKCandidates(
     const std::vector<std::vector<double>>& similarity, int k,

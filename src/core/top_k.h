@@ -35,6 +35,13 @@ StatusOr<CandidateSets> SelectTopKCandidates(
     CandidateSelection method = CandidateSelection::kDirect,
     int num_threads = 0);
 
+/// Direct Top-K selection for ONE similarity row: the min(k, |row|)
+/// auxiliary ids ordered by decreasing score, ties broken by smaller id.
+/// This is THE definition every direct-selection path (dense matrix,
+/// CandidateSource::TopKForUsers, serving batches) shares, so tie-breaking
+/// can never diverge between them. k must be >= 1.
+std::vector<int> TopKForRow(const std::vector<double>& row, int k);
+
 /// Fraction of anonymized users whose true mapping appears in their
 /// candidate set (the paper's "successful Top-K DA" rate). `truth[u]` is
 /// the auxiliary id or a negative value for non-overlapping users, which

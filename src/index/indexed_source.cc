@@ -48,4 +48,28 @@ StatusOr<CandidateSets> IndexedCandidateSource::TopK(int k,
   return result;
 }
 
+StatusOr<CandidateSets> IndexedCandidateSource::TopKForUsers(
+    const std::vector<int>& users, int k, int num_threads) const {
+  if (k < 1)
+    return Status::InvalidArgument(
+        "IndexedCandidateSource::TopKForUsers: k must be >= 1");
+  const int n1 = num_anonymized();
+  for (int u : users)
+    if (u < 0 || u >= n1)
+      return Status::InvalidArgument(
+          "IndexedCandidateSource::TopKForUsers: user id " +
+          std::to_string(u) + " out of range [0, " + std::to_string(n1) +
+          ")");
+  CandidateSets result(users.size());
+  ParallelFor(
+      0, static_cast<int64_t>(users.size()),
+      [&](int64_t i) {
+        result[static_cast<size_t>(i)] = index_->TopKForQuery(
+            queries_[static_cast<size_t>(users[static_cast<size_t>(i)])], k,
+            max_candidates_);
+      },
+      num_threads);
+  return result;
+}
+
 }  // namespace dehealth

@@ -34,6 +34,11 @@ class IndexedCandidateSource final : public CandidateSource {
   /// thread-count-independent output.
   StatusOr<CandidateSets> TopK(int k, int num_threads) const override;
 
+  /// Per-user best-first retrieval (TopKForQuery) instead of the base
+  /// class's full-row scan — the sublinear path the query service rides.
+  StatusOr<CandidateSets> TopKForUsers(const std::vector<int>& users, int k,
+                                       int num_threads) const override;
+
  private:
   const CandidateIndex* index_;
   std::vector<IndexedUserFeatures> queries_;

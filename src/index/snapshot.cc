@@ -35,18 +35,32 @@ void AppendDoubleVector(std::string& out, const std::vector<double>& v) {
   for (double x : v) Append(out, x);
 }
 
-/// Bounds-checked sequential reader over the payload span.
+/// "index snapshot 'path' (byte N): what" — every decode failure names the
+/// file it came from (when known) and the byte offset where parsing
+/// stopped, so a corrupt snapshot in a directory of many is identifiable
+/// from the error alone.
+Status DecodeError(const std::string& path, size_t offset,
+                   const std::string& what,
+                   StatusCode code = StatusCode::kInvalidArgument) {
+  std::string message = "index snapshot ";
+  if (!path.empty()) message += "'" + path + "' ";
+  message += "(byte " + std::to_string(offset) + "): " + what;
+  return Status(code, std::move(message));
+}
+
+/// Bounds-checked sequential reader over the payload span. `pos()` is the
+/// absolute byte offset into the snapshot, used for error context.
 class Reader {
  public:
-  Reader(const std::string& bytes, size_t begin, size_t end)
-      : bytes_(bytes), pos_(begin), end_(end) {}
+  Reader(const std::string& bytes, size_t begin, size_t end,
+         const std::string& path)
+      : bytes_(bytes), pos_(begin), end_(end), path_(path) {}
 
   template <typename T>
   Status Read(T* value) {
     static_assert(std::is_trivially_copyable_v<T>);
     if (pos_ + sizeof(T) > end_)
-      return Status::InvalidArgument(
-          "index snapshot: truncated payload");
+      return Fail("truncated payload");
     std::memcpy(value, bytes_.data() + pos_, sizeof(T));
     pos_ += sizeof(T);
     return Status::OK();
@@ -56,12 +70,17 @@ class Reader {
     uint32_t count = 0;
     DEHEALTH_RETURN_IF_ERROR(Read(&count));
     if (static_cast<size_t>(count) > (end_ - pos_) / sizeof(double))
-      return Status::InvalidArgument(
-          "index snapshot: vector length exceeds payload");
+      return Fail("vector length exceeds payload");
     v->resize(count);
     for (uint32_t i = 0; i < count; ++i) DEHEALTH_RETURN_IF_ERROR(Read(&(*v)[i]));
     return Status::OK();
   }
+
+  Status Fail(const std::string& what) const {
+    return DecodeError(path_, pos_, what);
+  }
+
+  size_t pos() const { return pos_; }
 
   /// True when at least `count` elements of `element_size` bytes can still
   /// be read — rejects absurd counts BEFORE any allocation, so a snapshot
@@ -77,6 +96,7 @@ class Reader {
   const std::string& bytes_;
   size_t pos_;
   size_t end_;
+  const std::string& path_;
 };
 
 }  // namespace
@@ -119,21 +139,23 @@ std::string EncodeIndexSnapshot(const CandidateIndex& index) {
   return out;
 }
 
-StatusOr<CandidateIndex> DecodeIndexSnapshot(const std::string& bytes) {
+StatusOr<CandidateIndex> DecodeIndexSnapshot(const std::string& bytes,
+                                             const std::string& path) {
   constexpr size_t kHeaderSize = sizeof(kMagic) + sizeof(uint32_t);
   constexpr size_t kFooterSize = sizeof(uint64_t);
   if (bytes.size() < kHeaderSize + kFooterSize)
-    return Status::InvalidArgument(
-        "index snapshot: file smaller than header + footer");
+    return DecodeError(path, bytes.size(),
+                       "file smaller than header + footer");
   if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
-    return Status::InvalidArgument(
-        "index snapshot: bad magic (not a candidate-index snapshot)");
+    return DecodeError(path, 0,
+                       "bad magic (not a candidate-index snapshot)");
   uint32_t version = 0;
   std::memcpy(&version, bytes.data() + sizeof(kMagic), sizeof(version));
   if (version != kVersion)
-    return Status::Unimplemented(
-        "index snapshot: unsupported format version " +
-        std::to_string(version));
+    return DecodeError(path, sizeof(kMagic),
+                       "unsupported format version " +
+                           std::to_string(version),
+                       StatusCode::kUnimplemented);
 
   const size_t payload_end = bytes.size() - kFooterSize;
   uint64_t stored_checksum = 0;
@@ -141,10 +163,10 @@ StatusOr<CandidateIndex> DecodeIndexSnapshot(const std::string& bytes) {
   const uint64_t actual_checksum =
       Fnv1a(bytes.data() + kHeaderSize, payload_end - kHeaderSize);
   if (stored_checksum != actual_checksum)
-    return Status::InvalidArgument(
-        "index snapshot: checksum mismatch (corrupt snapshot)");
+    return DecodeError(path, payload_end,
+                       "checksum mismatch (corrupt snapshot)");
 
-  Reader reader(bytes, kHeaderSize, payload_end);
+  Reader reader(bytes, kHeaderSize, payload_end, path);
   CandidateIndexData data;
   DEHEALTH_RETURN_IF_ERROR(reader.Read(&data.c1));
   DEHEALTH_RETURN_IF_ERROR(reader.Read(&data.c2));
@@ -160,8 +182,7 @@ StatusOr<CandidateIndex> DecodeIndexSnapshot(const std::string& bytes) {
   uint32_t idf_count = 0;
   DEHEALTH_RETURN_IF_ERROR(reader.Read(&idf_count));
   if (!reader.CanHold(idf_count, sizeof(int32_t) + sizeof(double)))
-    return Status::InvalidArgument(
-        "index snapshot: idf table length exceeds payload");
+    return reader.Fail("idf table length exceeds payload");
   data.idf_table.reserve(idf_count);
   for (uint32_t i = 0; i < idf_count; ++i) {
     int32_t id = 0;
@@ -176,8 +197,7 @@ StatusOr<CandidateIndex> DecodeIndexSnapshot(const std::string& bytes) {
   DEHEALTH_RETURN_IF_ERROR(reader.Read(&num_users));
   // 2 doubles + 4 u32 lengths is the smallest possible per-user record.
   if (!reader.CanHold(num_users, 2 * sizeof(double) + 4 * sizeof(uint32_t)))
-    return Status::InvalidArgument(
-        "index snapshot: user count exceeds payload");
+    return reader.Fail("user count exceeds payload");
   data.users.resize(num_users);
   for (uint32_t u = 0; u < num_users; ++u) {
     IndexedUserFeatures& f = data.users[u];
@@ -189,8 +209,7 @@ StatusOr<CandidateIndex> DecodeIndexSnapshot(const std::string& bytes) {
     uint32_t attr_count = 0;
     DEHEALTH_RETURN_IF_ERROR(reader.Read(&attr_count));
     if (!reader.CanHold(attr_count, sizeof(int32_t) + sizeof(double)))
-      return Status::InvalidArgument(
-          "index snapshot: attribute list length exceeds payload");
+      return reader.Fail("attribute list length exceeds payload");
     f.attributes.reserve(attr_count);
     for (uint32_t i = 0; i < attr_count; ++i) {
       int32_t id = 0;
@@ -201,20 +220,19 @@ StatusOr<CandidateIndex> DecodeIndexSnapshot(const std::string& bytes) {
     }
   }
   if (!reader.AtEnd())
-    return Status::InvalidArgument(
-        "index snapshot: trailing bytes after payload");
+    return reader.Fail("trailing bytes after payload");
   return CandidateIndex::FromData(std::move(data));
 }
 
 Status SaveIndexSnapshot(const CandidateIndex& index,
                          const std::string& path) {
-  return WriteStringToFile(EncodeIndexSnapshot(index), path);
+  return WriteStringToFileAtomic(EncodeIndexSnapshot(index), path);
 }
 
 StatusOr<CandidateIndex> LoadIndexSnapshot(const std::string& path) {
   StatusOr<std::string> bytes = ReadFileToString(path);
   if (!bytes.ok()) return bytes.status();
-  return DecodeIndexSnapshot(*bytes);
+  return DecodeIndexSnapshot(*bytes, path);
 }
 
 StatusOr<CandidateIndex> LoadOrBuildIndex(const std::string& path,

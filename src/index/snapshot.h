@@ -22,11 +22,16 @@ namespace dehealth {
 /// Serializes the index's persistent data to the snapshot byte format.
 std::string EncodeIndexSnapshot(const CandidateIndex& index);
 
-/// Parses snapshot bytes back into an index.
-StatusOr<CandidateIndex> DecodeIndexSnapshot(const std::string& bytes);
+/// Parses snapshot bytes back into an index. `path` is context only — it
+/// names the originating file in error messages (every decode error also
+/// carries the byte offset where parsing failed); pass "" for in-memory
+/// buffers.
+StatusOr<CandidateIndex> DecodeIndexSnapshot(const std::string& bytes,
+                                             const std::string& path = "");
 
-/// Writes `index` to `path` atomically enough for our purposes (single
-/// truncating write).
+/// Writes `index` to `path` atomically (`<path>.tmp` + fsync + rename, see
+/// WriteStringToFileAtomic): a crash mid-save can never leave a truncated
+/// snapshot that only the checksum would catch at the next load.
 Status SaveIndexSnapshot(const CandidateIndex& index,
                          const std::string& path);
 

@@ -1,7 +1,12 @@
 #include "io/file_util.h"
 
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fcntl.h>
 #include <fstream>
 #include <sstream>
+#include <unistd.h>
 
 namespace dehealth {
 
@@ -20,6 +25,42 @@ Status WriteStringToFile(const std::string& content, const std::string& path) {
   file.write(content.data(), static_cast<long>(content.size()));
   if (!file) return Status::Internal("short write: " + path);
   return Status::OK();
+}
+
+Status WriteStringToFileAtomic(const std::string& content,
+                               const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0)
+    return Status::NotFound("cannot open for writing: " + tmp + " (" +
+                            std::strerror(errno) + ")");
+  Status status;
+  size_t done = 0;
+  while (done < content.size()) {
+    const ssize_t n = ::write(fd, content.data() + done,
+                              content.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      status = Status::Internal("short write: " + tmp + " (" +
+                                std::strerror(errno) + ")");
+      break;
+    }
+    done += static_cast<size_t>(n);
+  }
+  // fsync before rename: otherwise the rename can become durable before
+  // the data, re-opening the truncation window the tmp+rename dance exists
+  // to close.
+  if (status.ok() && ::fsync(fd) != 0)
+    status = Status::Internal("fsync: " + tmp + " (" + std::strerror(errno) +
+                              ")");
+  if (::close(fd) != 0 && status.ok())
+    status = Status::Internal("close: " + tmp + " (" + std::strerror(errno) +
+                              ")");
+  if (status.ok() && std::rename(tmp.c_str(), path.c_str()) != 0)
+    status = Status::Internal("rename " + tmp + " -> " + path + " (" +
+                              std::strerror(errno) + ")");
+  if (!status.ok()) std::remove(tmp.c_str());
+  return status;
 }
 
 }  // namespace dehealth

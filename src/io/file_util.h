@@ -15,6 +15,16 @@ StatusOr<std::string> ReadFileToString(const std::string& path);
 /// file cannot be opened for writing; Internal on a short write.
 Status WriteStringToFile(const std::string& content, const std::string& path);
 
+/// Crash-safe variant for snapshots: writes to `<path>.tmp`, fsyncs, then
+/// renames over `path`, so a crash mid-write can never leave a truncated
+/// file at `path` — readers see the old content or the new, never a prefix.
+/// A stale `<path>.tmp` from an interrupted earlier write is simply
+/// overwritten by the next attempt. NotFound when the temp file cannot be
+/// created; Internal on a short write, fsync, or rename failure (the temp
+/// file is removed on failure, leaving `path` untouched).
+Status WriteStringToFileAtomic(const std::string& content,
+                               const std::string& path);
+
 }  // namespace dehealth
 
 #endif  // DEHEALTH_IO_FILE_UTIL_H_

@@ -1,0 +1,110 @@
+#include "io/socket.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace dehealth {
+
+namespace {
+
+std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+StatusOr<sockaddr_in> MakeAddress(const std::string& host, int port) {
+  if (port < 0 || port > 65535)
+    return Status::InvalidArgument("port out of range: " +
+                                   std::to_string(port));
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    return Status::InvalidArgument("not an IPv4 address literal: " + host);
+  return addr;
+}
+
+}  // namespace
+
+void UniqueFd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+StatusOr<UniqueFd> ListenTcp(const std::string& host, int port, int backlog) {
+  StatusOr<sockaddr_in> addr = MakeAddress(host, port);
+  if (!addr.ok()) return addr.status();
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Status::Internal(Errno("socket"));
+  const int enable = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &enable, sizeof(enable));
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&*addr),
+             sizeof(*addr)) != 0)
+    return Status::Internal(
+        Errno("bind " + host + ":" + std::to_string(port)));
+  if (::listen(fd.get(), backlog) != 0)
+    return Status::Internal(Errno("listen"));
+  return fd;
+}
+
+StatusOr<UniqueFd> ConnectTcp(const std::string& host, int port) {
+  StatusOr<sockaddr_in> addr = MakeAddress(host, port);
+  if (!addr.ok()) return addr.status();
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return Status::Internal(Errno("socket"));
+  int rc;
+  do {
+    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&*addr),
+                   sizeof(*addr));
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0)
+    return Status::Internal(
+        Errno("connect " + host + ":" + std::to_string(port)));
+  return fd;
+}
+
+StatusOr<int> BoundPort(int fd) {
+  sockaddr_in addr = {};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0)
+    return Status::Internal(Errno("getsockname"));
+  return static_cast<int>(ntohs(addr.sin_port));
+}
+
+Status ReadExact(int fd, void* buffer, size_t size) {
+  char* out = static_cast<char*>(buffer);
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::read(fd, out + done, size - done);
+    if (n > 0) {
+      done += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n == 0)
+      return done == 0 ? Status::OutOfRange("end of stream")
+                       : Status::Internal("connection closed mid-message");
+    return Status::Internal(Errno("read"));
+  }
+  return Status::OK();
+}
+
+Status WriteAll(int fd, const void* buffer, size_t size) {
+  const char* in = static_cast<const char*>(buffer);
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::send(fd, in + done, size - done, MSG_NOSIGNAL);
+    if (n >= 0) {
+      done += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return Status::Internal(Errno("send"));
+  }
+  return Status::OK();
+}
+
+}  // namespace dehealth

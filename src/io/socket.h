@@ -1,0 +1,71 @@
+#ifndef DEHEALTH_IO_SOCKET_H_
+#define DEHEALTH_IO_SOCKET_H_
+
+#include <cstddef>
+#include <string>
+
+#include "common/status.h"
+
+namespace dehealth {
+
+/// Thin POSIX TCP helpers for the serving subsystem (src/serve/): loopback
+/// or LAN sockets with blocking, exact-length I/O — the shape the
+/// length-prefixed DHQP framing needs. Hosts are IPv4 literals
+/// ("127.0.0.1"); name resolution is out of scope for a service that binds
+/// loopback by default.
+
+/// Owning file descriptor with close-on-destroy; move-only.
+class UniqueFd {
+ public:
+  UniqueFd() = default;
+  explicit UniqueFd(int fd) : fd_(fd) {}
+  ~UniqueFd() { reset(); }
+
+  UniqueFd(UniqueFd&& other) noexcept : fd_(other.release()) {}
+  UniqueFd& operator=(UniqueFd&& other) noexcept {
+    if (this != &other) reset(other.release());
+    return *this;
+  }
+  UniqueFd(const UniqueFd&) = delete;
+  UniqueFd& operator=(const UniqueFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Gives up ownership without closing.
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  /// Closes the held descriptor (if any) and adopts `fd`.
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// Creates a listening TCP socket bound to host:port (SO_REUSEADDR; port 0
+/// picks an ephemeral port — read it back with BoundPort).
+StatusOr<UniqueFd> ListenTcp(const std::string& host, int port,
+                             int backlog = 64);
+
+/// Connects to a TCP server at host:port (blocking).
+StatusOr<UniqueFd> ConnectTcp(const std::string& host, int port);
+
+/// The local port a socket is bound to (resolves port-0 binds).
+StatusOr<int> BoundPort(int fd);
+
+/// Reads exactly `size` bytes (blocking, EINTR-retrying). OutOfRange when
+/// the peer closed cleanly before the first byte (end of stream); Internal
+/// when the connection dies mid-buffer.
+Status ReadExact(int fd, void* buffer, size_t size);
+
+/// Writes all `size` bytes (blocking, EINTR-retrying, no SIGPIPE —
+/// a closed peer surfaces as Internal instead of killing the process).
+Status WriteAll(int fd, const void* buffer, size_t size);
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_IO_SOCKET_H_

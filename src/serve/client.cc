@@ -1,0 +1,87 @@
+#include "serve/client.h"
+
+#include <utility>
+
+namespace dehealth {
+
+StatusOr<QueryClient> QueryClient::Connect(const std::string& host,
+                                           int port) {
+  StatusOr<UniqueFd> fd = ConnectTcp(host, port);
+  if (!fd.ok()) return fd.status();
+  return QueryClient(std::move(fd).value());
+}
+
+StatusOr<std::string> QueryClient::RoundTrip(RequestType type,
+                                             const std::string& payload) {
+  DEHEALTH_RETURN_IF_ERROR(
+      WriteFrame(fd_.get(), static_cast<uint8_t>(type), payload));
+  uint8_t response_type = 0;
+  std::string response_payload;
+  DEHEALTH_RETURN_IF_ERROR(
+      ReadFrame(fd_.get(), &response_type, &response_payload));
+  switch (static_cast<ResponseType>(response_type)) {
+    case ResponseType::kOk:
+      return response_payload;
+    case ResponseType::kError:
+    case ResponseType::kOverloaded:
+    case ResponseType::kTimeout: {
+      Status error;
+      DEHEALTH_RETURN_IF_ERROR(
+          DecodeErrorPayload(response_payload, &error));
+      return error;
+    }
+    default:
+      return Status::Internal("DHQP: unknown response type " +
+                              std::to_string(response_type));
+  }
+}
+
+StatusOr<std::string> QueryClient::Query(RequestType type,
+                                         const std::vector<int>& users,
+                                         int top_k, double timeout_ms) {
+  QueryRequest request;
+  request.type = type;
+  request.users = users;
+  request.top_k = top_k;
+  request.timeout_ms = timeout_ms;
+  return RoundTrip(type, EncodeQueryPayload(request));
+}
+
+StatusOr<TopKAnswer> QueryClient::TopK(const std::vector<int>& users, int k,
+                                       double timeout_ms) {
+  StatusOr<std::string> payload =
+      Query(RequestType::kTopK, users, k, timeout_ms);
+  if (!payload.ok()) return payload.status();
+  return DecodeTopKPayload(*payload);
+}
+
+StatusOr<RefinedAnswer> QueryClient::Refine(const std::vector<int>& users,
+                                            double timeout_ms) {
+  StatusOr<std::string> payload =
+      Query(RequestType::kRefined, users, 0, timeout_ms);
+  if (!payload.ok()) return payload.status();
+  return DecodeRefinedPayload(*payload);
+}
+
+StatusOr<FilteredAnswer> QueryClient::Filtered(const std::vector<int>& users,
+                                               double timeout_ms) {
+  StatusOr<std::string> payload =
+      Query(RequestType::kFiltered, users, 0, timeout_ms);
+  if (!payload.ok()) return payload.status();
+  return DecodeFilteredPayload(*payload);
+}
+
+StatusOr<ServerStatsSnapshot> QueryClient::Stats() {
+  StatusOr<std::string> payload =
+      RoundTrip(RequestType::kStats, std::string());
+  if (!payload.ok()) return payload.status();
+  return DecodeStatsPayload(*payload);
+}
+
+Status QueryClient::RequestShutdown() {
+  StatusOr<std::string> payload =
+      RoundTrip(RequestType::kShutdown, std::string());
+  return payload.ok() ? Status() : payload.status();
+}
+
+}  // namespace dehealth

@@ -1,0 +1,65 @@
+#ifndef DEHEALTH_SERVE_CLIENT_H_
+#define DEHEALTH_SERVE_CLIENT_H_
+
+#include <string>
+#include <vector>
+
+#include "io/socket.h"
+#include "serve/protocol.h"
+
+namespace dehealth {
+
+/// Client side of the DHQP protocol: one blocking connection to a
+/// dehealth_serve instance, one request in flight at a time (run several
+/// clients for concurrency — connections are cheap, the server multiplexes
+/// them into batches). Move-only; NOT thread-safe — a connection is a
+/// sequential request/response stream.
+///
+/// Server-side rejections come back as the transported Status: an
+/// overloaded server yields FailedPrecondition("server overloaded: ..."),
+/// an expired deadline FailedPrecondition("deadline exceeded ...").
+class QueryClient {
+ public:
+  static StatusOr<QueryClient> Connect(const std::string& host, int port);
+
+  QueryClient(QueryClient&&) = default;
+  QueryClient& operator=(QueryClient&&) = default;
+
+  /// Phase-1b Top-K candidate sets for `users`; k == 0 asks for the
+  /// server's configured K. `timeout_ms` > 0 bounds the server-side queue
+  /// wait.
+  StatusOr<TopKAnswer> TopK(const std::vector<int>& users, int k = 0,
+                            double timeout_ms = 0.0);
+
+  /// Phase-2 refined-DA predictions for `users`.
+  StatusOr<RefinedAnswer> Refine(const std::vector<int>& users,
+                                 double timeout_ms = 0.0);
+
+  /// Post-filtering candidate sets + ⊥ verdicts for `users`.
+  StatusOr<FilteredAnswer> Filtered(const std::vector<int>& users,
+                                    double timeout_ms = 0.0);
+
+  /// Live server metrics (never queued — answered even under overload).
+  StatusOr<ServerStatsSnapshot> Stats();
+
+  /// Asks the server to drain and exit; returns once the server acked.
+  Status RequestShutdown();
+
+ private:
+  explicit QueryClient(UniqueFd fd) : fd_(std::move(fd)) {}
+
+  /// Writes one request frame, reads one response frame, maps kError /
+  /// kOverloaded / kTimeout to the transported Status and returns the kOk
+  /// payload otherwise.
+  StatusOr<std::string> RoundTrip(RequestType type,
+                                  const std::string& payload);
+
+  StatusOr<std::string> Query(RequestType type, const std::vector<int>& users,
+                              int top_k, double timeout_ms);
+
+  UniqueFd fd_;
+};
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_SERVE_CLIENT_H_

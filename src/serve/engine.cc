@@ -1,0 +1,140 @@
+#include "serve/engine.h"
+
+#include <string>
+#include <utility>
+
+#include "core/filtering.h"
+#include "index/indexed_source.h"
+#include "index/snapshot.h"
+
+namespace dehealth {
+
+QueryEngine::QueryEngine(UdaGraph anonymized, UdaGraph auxiliary,
+                         DeHealthConfig config)
+    : anonymized_(std::move(anonymized)),
+      auxiliary_(std::move(auxiliary)),
+      attack_(std::move(config)) {}
+
+StatusOr<std::unique_ptr<QueryEngine>> QueryEngine::Create(
+    UdaGraph anonymized, UdaGraph auxiliary, DeHealthConfig config) {
+  std::unique_ptr<QueryEngine> engine(new QueryEngine(
+      std::move(anonymized), std::move(auxiliary), std::move(config)));
+  DEHEALTH_RETURN_IF_ERROR(engine->Init());
+  return engine;
+}
+
+Status QueryEngine::Init() {
+  const DeHealthConfig& config = attack_.config();
+
+  // Score source — the same construction RunDeHealthAttack performs, so
+  // served answers match the one-shot pipeline bit for bit.
+  SimilarityConfig sim_config = config.similarity;
+  sim_config.num_threads = config.num_threads;
+  if (config.use_index) {
+    StatusOr<CandidateIndex> index =
+        LoadOrBuildIndex(config.index_snapshot_path, auxiliary_, sim_config);
+    if (!index.ok()) return index.status();
+    index_ = std::make_unique<CandidateIndex>(std::move(index).value());
+    scores_ = std::make_unique<IndexedCandidateSource>(
+        anonymized_, *index_, config.num_threads,
+        config.index_max_candidates);
+  } else {
+    const StructuralSimilarity similarity(anonymized_, auxiliary_,
+                                          sim_config);
+    similarity_ = similarity.ComputeMatrix();
+    scores_ = std::make_unique<DenseCandidateSource>(similarity_);
+  }
+
+  // Phase 1b once, unfiltered: these sets answer kTopK at the default K
+  // (and are the filtering input).
+  DeHealthConfig unfiltered = config;
+  unfiltered.enable_filtering = false;
+  StatusOr<DeHealthCandidates> raw =
+      DeHealth(unfiltered).SelectCandidates(*scores_);
+  if (!raw.ok()) return raw.status();
+  raw_ = std::move(raw).value();
+
+  // Phase 1c once: filtering thresholds are global (max/min over all
+  // candidate scores), so they must be fixed at startup — a per-query
+  // filter would see different thresholds per batch.
+  if (config.enable_filtering) {
+    StatusOr<FilterResult> filtered =
+        FilterCandidates(*scores_, raw_.candidates, config.filter);
+    if (!filtered.ok()) return filtered.status();
+    state_.candidates = std::move(filtered->candidates);
+    state_.rejected = std::move(filtered->rejected);
+  } else {
+    state_ = raw_;
+  }
+  return Status();
+}
+
+int QueryEngine::num_anonymized() const { return scores_->num_anonymized(); }
+
+int QueryEngine::num_auxiliary() const { return scores_->num_auxiliary(); }
+
+Status QueryEngine::ValidateUsers(const std::vector<int>& users) const {
+  const int n1 = num_anonymized();
+  for (int u : users)
+    if (u < 0 || u >= n1)
+      return Status::InvalidArgument(
+          "QueryEngine: user id " + std::to_string(u) +
+          " out of range [0, " + std::to_string(n1) + ")");
+  return Status();
+}
+
+StatusOr<TopKAnswer> QueryEngine::TopK(const std::vector<int>& users,
+                                       int k) const {
+  const DeHealthConfig& config = attack_.config();
+  if (k == 0) k = config.top_k;
+  if (k < 1)
+    return Status::InvalidArgument("QueryEngine::TopK: k must be >= 1");
+  TopKAnswer answer;
+  if (k == config.top_k) {
+    DEHEALTH_RETURN_IF_ERROR(ValidateUsers(users));
+    answer.candidates.reserve(users.size());
+    for (int u : users)
+      answer.candidates.push_back(raw_.candidates[static_cast<size_t>(u)]);
+    return answer;
+  }
+  if (config.selection == CandidateSelection::kGraphMatching)
+    return Status::FailedPrecondition(
+        "QueryEngine::TopK: graph-matching selection precomputes exactly "
+        "K=" + std::to_string(config.top_k) +
+        "; request k=0 (default) or k=" + std::to_string(config.top_k));
+  StatusOr<CandidateSets> sets =
+      scores_->TopKForUsers(users, k, config.num_threads);
+  if (!sets.ok()) return sets.status();
+  answer.candidates = std::move(sets).value();
+  return answer;
+}
+
+StatusOr<RefinedAnswer> QueryEngine::Refine(
+    const std::vector<int>& users) const {
+  StatusOr<RefinedDaResult> result =
+      attack_.RefineUsers(anonymized_, auxiliary_, *scores_, state_, users);
+  if (!result.ok()) return result.status();
+  RefinedAnswer answer;
+  answer.predictions = std::move(result->predictions);
+  answer.rejected = std::move(result->rejected);
+  return answer;
+}
+
+StatusOr<FilteredAnswer> QueryEngine::Filtered(
+    const std::vector<int>& users) const {
+  if (!attack_.config().enable_filtering)
+    return Status::FailedPrecondition(
+        "QueryEngine::Filtered: the server was started without filtering "
+        "(pass --filter to dehealth_serve)");
+  DEHEALTH_RETURN_IF_ERROR(ValidateUsers(users));
+  FilteredAnswer answer;
+  answer.candidates.reserve(users.size());
+  answer.rejected.reserve(users.size());
+  for (int u : users) {
+    answer.candidates.push_back(state_.candidates[static_cast<size_t>(u)]);
+    answer.rejected.push_back(state_.rejected[static_cast<size_t>(u)]);
+  }
+  return answer;
+}
+
+}  // namespace dehealth

@@ -1,0 +1,77 @@
+#ifndef DEHEALTH_SERVE_ENGINE_H_
+#define DEHEALTH_SERVE_ENGINE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/de_health.h"
+#include "index/candidate_index.h"
+#include "serve/protocol.h"
+
+namespace dehealth {
+
+/// The load-once heart of dehealth_serve: owns the UDA-graph pair, the
+/// score source (dense matrix or candidate index, honoring the same
+/// DeHealthConfig knobs as RunDeHealthAttack), and the precomputed phase-1
+/// state — then answers per-user queries without redoing any global work.
+///
+/// Determinism contract: every answer is bitwise-identical to the
+/// corresponding slice of a one-shot RunDeHealthAttack with the same
+/// config, for any batch composition, query order, or thread count (see
+/// DESIGN.md "Serving"). That is what makes request coalescing safe.
+///
+/// All query methods are const and thread-compatible; the server calls
+/// them from a single executor thread and parallelizes inside a batch via
+/// the library's ParallelFor.
+class QueryEngine {
+ public:
+  /// Builds the engine: score source (phase 1a or index load/build),
+  /// phase-1b candidate sets, and — when config.enable_filtering — the
+  /// phase-1c filtering verdicts. Everything a query needs is resident
+  /// after this returns.
+  static StatusOr<std::unique_ptr<QueryEngine>> Create(UdaGraph anonymized,
+                                                       UdaGraph auxiliary,
+                                                       DeHealthConfig config);
+
+  /// Phase-1b Top-K candidate sets for the listed users. k == 0 means the
+  /// configured K (answered from the precomputed sets); other k values
+  /// re-query the score source (direct selection only — graph matching is
+  /// global and precomputes exactly one K).
+  StatusOr<TopKAnswer> TopK(const std::vector<int>& users, int k) const;
+
+  /// Phase-2 refined-DA predictions for the listed users, against the
+  /// precomputed (post-filtering) candidate state.
+  StatusOr<RefinedAnswer> Refine(const std::vector<int>& users) const;
+
+  /// Post-filtering candidate sets + ⊥ verdicts. FailedPrecondition when
+  /// the engine was built without enable_filtering.
+  StatusOr<FilteredAnswer> Filtered(const std::vector<int>& users) const;
+
+  int num_anonymized() const;
+  int num_auxiliary() const;
+  const DeHealthConfig& config() const { return attack_.config(); }
+
+ private:
+  QueryEngine(UdaGraph anonymized, UdaGraph auxiliary, DeHealthConfig config);
+
+  /// Fills scores_ / raw_ / state_; factored out of Create so members live
+  /// at their final addresses before anything borrows them.
+  Status Init();
+
+  Status ValidateUsers(const std::vector<int>& users) const;
+
+  UdaGraph anonymized_;
+  UdaGraph auxiliary_;
+  DeHealth attack_;
+  /// Dense path: the materialized matrix DenseCandidateSource borrows.
+  std::vector<std::vector<double>> similarity_;
+  /// Indexed path: the index IndexedCandidateSource borrows.
+  std::unique_ptr<CandidateIndex> index_;
+  std::unique_ptr<CandidateSource> scores_;
+  DeHealthCandidates raw_;    // phase 1b only (serves kTopK at default K)
+  DeHealthCandidates state_;  // post-filtering state phase 2 runs against
+};
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_SERVE_ENGINE_H_

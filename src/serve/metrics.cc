@@ -1,0 +1,66 @@
+#include "serve/metrics.h"
+
+#include <cstdio>
+
+namespace dehealth {
+
+void ServeMetrics::RecordBatch(uint64_t size) {
+  batches_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t seen = max_batch_.load(std::memory_order_relaxed);
+  while (size > seen &&
+         !max_batch_.compare_exchange_weak(seen, size,
+                                           std::memory_order_relaxed)) {
+  }
+}
+
+ServerStatsSnapshot ServeMetrics::Snapshot() const {
+  ServerStatsSnapshot stats;
+  stats.requests_total = requests_.load(std::memory_order_relaxed);
+  stats.queries_total = queries_.load(std::memory_order_relaxed);
+  stats.batches_total = batches_.load(std::memory_order_relaxed);
+  stats.max_batch = max_batch_.load(std::memory_order_relaxed);
+  stats.overload_rejections = overloads_.load(std::memory_order_relaxed);
+  stats.deadline_expirations =
+      deadline_expirations_.load(std::memory_order_relaxed);
+  stats.queue_depth = queue_depth_.load(std::memory_order_relaxed);
+  stats.p50_micros = latency_.QuantileMicros(0.5);
+  stats.p99_micros = latency_.QuantileMicros(0.99);
+  stats.max_micros = latency_.MaxMicros();
+  return stats;
+}
+
+namespace {
+
+/// "850us", "3.2ms", "1.5s" — compact duration for the one-line report.
+std::string FormatMicros(double micros) {
+  char buffer[32];
+  if (micros < 1000.0)
+    std::snprintf(buffer, sizeof(buffer), "%.0fus", micros);
+  else if (micros < 1e6)
+    std::snprintf(buffer, sizeof(buffer), "%.1fms", micros / 1000.0);
+  else
+    std::snprintf(buffer, sizeof(buffer), "%.1fs", micros / 1e6);
+  return buffer;
+}
+
+}  // namespace
+
+std::string FormatStatsLine(const ServerStatsSnapshot& stats) {
+  char buffer[256];
+  std::snprintf(
+      buffer, sizeof(buffer),
+      "serve: %llu req, %llu queries, %llu batches (max %llu), p50=%s "
+      "p99=%s, queue=%llu, overloaded=%llu, timed_out=%llu",
+      static_cast<unsigned long long>(stats.requests_total),
+      static_cast<unsigned long long>(stats.queries_total),
+      static_cast<unsigned long long>(stats.batches_total),
+      static_cast<unsigned long long>(stats.max_batch),
+      FormatMicros(stats.p50_micros).c_str(),
+      FormatMicros(stats.p99_micros).c_str(),
+      static_cast<unsigned long long>(stats.queue_depth),
+      static_cast<unsigned long long>(stats.overload_rejections),
+      static_cast<unsigned long long>(stats.deadline_expirations));
+  return buffer;
+}
+
+}  // namespace dehealth

@@ -1,0 +1,60 @@
+#ifndef DEHEALTH_SERVE_METRICS_H_
+#define DEHEALTH_SERVE_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/histogram.h"
+#include "serve/protocol.h"
+
+namespace dehealth {
+
+/// Live counters of a running query server. Every mutator is a relaxed
+/// atomic op — safe to call from connection threads, the executor, and the
+/// stats reporter concurrently; Snapshot() reads without locking (counts
+/// only grow, so a mid-traffic snapshot is bracketed by the states just
+/// before and just after it). Latencies cover receive → response-ready for
+/// executed and deadline-expired requests; admission rejections are counted
+/// separately and not timed.
+class ServeMetrics {
+ public:
+  void RecordRequest() { requests_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordQueries(uint64_t users) {
+    queries_.fetch_add(users, std::memory_order_relaxed);
+  }
+  void RecordBatch(uint64_t size);
+  void RecordOverload() {
+    overloads_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void RecordDeadlineExpired() {
+    deadline_expirations_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void SetQueueDepth(uint64_t depth) {
+    queue_depth_.store(depth, std::memory_order_relaxed);
+  }
+  void RecordLatency(double micros) { latency_.Record(micros); }
+
+  /// Point-in-time snapshot; dataset fields (num_anonymized,
+  /// default_top_k) are filled by the server, not here.
+  ServerStatsSnapshot Snapshot() const;
+
+ private:
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> max_batch_{0};
+  std::atomic<uint64_t> overloads_{0};
+  std::atomic<uint64_t> deadline_expirations_{0};
+  std::atomic<uint64_t> queue_depth_{0};
+  LatencyHistogram latency_;
+};
+
+/// One human-readable line for the periodic log / final report:
+/// "serve: 120 req, 115 queries, 40 batches (max 8), p50=850us p99=3.2ms,
+///  queue=2, overloaded=0, timed_out=0".
+std::string FormatStatsLine(const ServerStatsSnapshot& stats);
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_SERVE_METRICS_H_

@@ -1,0 +1,80 @@
+#include "serve/options.h"
+
+namespace dehealth {
+
+namespace {
+
+/// Unwraps a flag lookup or propagates its parse error.
+#define OPTIONS_ASSIGN_OR_RETURN(name, expr)        \
+  auto name##_or = (expr);                          \
+  if (!(name##_or).ok()) return (name##_or).status(); \
+  const auto name = *(name##_or)
+
+}  // namespace
+
+std::set<std::string> AttackBooleanFlags() {
+  return {"idf", "index", "filter"};
+}
+
+StatusOr<DeHealthConfig> ParseAttackFlags(const FlagParser& flags) {
+  DeHealthConfig config;
+  OPTIONS_ASSIGN_OR_RETURN(k, flags.GetInt("k", 10));
+  OPTIONS_ASSIGN_OR_RETURN(threads, flags.GetInt("threads", 0));
+  OPTIONS_ASSIGN_OR_RETURN(max_candidates,
+                           flags.GetInt("max-candidates", 0));
+  if (k < 1) return Status::InvalidArgument("--k must be >= 1");
+  if (threads < 0)
+    return Status::InvalidArgument(
+        "--threads must be >= 0 (0 = all hardware threads)");
+  if (max_candidates < 0)
+    return Status::InvalidArgument("--max-candidates must be >= 0");
+  config.top_k = k;
+  config.num_threads = threads;
+  config.similarity.idf_weight_attributes = flags.Has("idf");
+  config.enable_filtering = flags.Has("filter");
+  config.index_snapshot_path = flags.Get("index-path");
+  // --index-path implies the indexed path; --index alone keeps the index
+  // in memory for this run.
+  config.use_index =
+      flags.Has("index") || !config.index_snapshot_path.empty();
+  config.index_max_candidates = max_candidates;
+  const std::string learner = flags.Get("learner", "smo");
+  if (learner == "knn") {
+    config.refined.learner = LearnerKind::kKnn;
+  } else if (learner == "rlsc") {
+    config.refined.learner = LearnerKind::kRlsc;
+  } else if (learner == "centroid") {
+    config.refined.learner = LearnerKind::kNearestCentroid;
+  } else {
+    config.refined.learner = LearnerKind::kSmoSvm;
+  }
+  return config;
+}
+
+StatusOr<ServerConfig> ParseServerFlags(const FlagParser& flags) {
+  ServerConfig config;
+  config.host = flags.Get("host", "127.0.0.1");
+  OPTIONS_ASSIGN_OR_RETURN(port, flags.GetInt("port", 0));
+  OPTIONS_ASSIGN_OR_RETURN(queue, flags.GetInt("queue", 64));
+  OPTIONS_ASSIGN_OR_RETURN(batch, flags.GetInt("batch", 16));
+  OPTIONS_ASSIGN_OR_RETURN(timeout_ms,
+                           flags.GetDouble("timeout-ms", 0.0));
+  OPTIONS_ASSIGN_OR_RETURN(stats_period,
+                           flags.GetDouble("stats-period", 0.0));
+  if (port < 0 || port > 65535)
+    return Status::InvalidArgument("--port must be in [0, 65535]");
+  if (queue < 0) return Status::InvalidArgument("--queue must be >= 0");
+  if (batch < 1) return Status::InvalidArgument("--batch must be >= 1");
+  if (timeout_ms < 0.0)
+    return Status::InvalidArgument("--timeout-ms must be >= 0");
+  if (stats_period < 0.0)
+    return Status::InvalidArgument("--stats-period must be >= 0");
+  config.port = port;
+  config.max_queue = queue;
+  config.max_batch = batch;
+  config.default_timeout_ms = timeout_ms;
+  config.stats_log_period_s = stats_period;
+  return config;
+}
+
+}  // namespace dehealth

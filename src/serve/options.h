@@ -1,0 +1,27 @@
+#ifndef DEHEALTH_SERVE_OPTIONS_H_
+#define DEHEALTH_SERVE_OPTIONS_H_
+
+#include "common/flags.h"
+#include "core/de_health.h"
+#include "serve/server.h"
+
+namespace dehealth {
+
+/// Single source of truth for the attack-shaping command-line flags shared
+/// by dehealth_cli and dehealth_serve (--k, --learner, --threads, --idf,
+/// --index, --index-path, --max-candidates, --filter). Keeping one mapping
+/// is what lets the smoke test compare the two binaries bit for bit: a
+/// flag both accept must configure both identically.
+StatusOr<DeHealthConfig> ParseAttackFlags(const FlagParser& flags);
+
+/// The serving knobs of dehealth_serve (--host, --port, --queue, --batch,
+/// --timeout-ms, --stats-period).
+StatusOr<ServerConfig> ParseServerFlags(const FlagParser& flags);
+
+/// The boolean (valueless) flags ParseAttackFlags understands; pass to the
+/// FlagParser constructor.
+std::set<std::string> AttackBooleanFlags();
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_SERVE_OPTIONS_H_

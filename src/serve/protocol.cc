@@ -1,0 +1,364 @@
+#include "serve/protocol.h"
+
+#include <bit>
+#include <cstring>
+
+#include "io/socket.h"
+
+namespace dehealth {
+
+namespace {
+
+// ---- little-endian primitives over a growing string ----
+
+void PutU8(std::string& out, uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void PutU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void PutU64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void PutI32(std::string& out, int32_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+}
+
+void PutDouble(std::string& out, double v) {
+  PutU64(out, std::bit_cast<uint64_t>(v));
+}
+
+/// Strict cursor over a received payload; every read is bounds-checked and
+/// failures carry the byte offset, like the DHIX snapshot reader.
+class PayloadReader {
+ public:
+  explicit PayloadReader(const std::string& bytes) : bytes_(bytes) {}
+
+  Status Fail(const std::string& what) const {
+    return Status::InvalidArgument("DHQP payload (byte " +
+                                   std::to_string(pos_) + "): " + what);
+  }
+
+  Status ReadU8(uint8_t* v) {
+    if (bytes_.size() - pos_ < 1) return Fail("truncated u8");
+    *v = static_cast<uint8_t>(bytes_[pos_++]);
+    return Status();
+  }
+
+  Status ReadU32(uint32_t* v) {
+    if (bytes_.size() - pos_ < 4) return Fail("truncated u32");
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i)
+      value |= static_cast<uint32_t>(static_cast<uint8_t>(bytes_[pos_ + i]))
+               << (8 * i);
+    pos_ += 4;
+    *v = value;
+    return Status();
+  }
+
+  Status ReadU64(uint64_t* v) {
+    if (bytes_.size() - pos_ < 8) return Fail("truncated u64");
+    uint64_t value = 0;
+    for (int i = 0; i < 8; ++i)
+      value |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[pos_ + i]))
+               << (8 * i);
+    pos_ += 8;
+    *v = value;
+    return Status();
+  }
+
+  Status ReadI32(int32_t* v) {
+    uint32_t raw = 0;
+    DEHEALTH_RETURN_IF_ERROR(ReadU32(&raw));
+    *v = static_cast<int32_t>(raw);
+    return Status();
+  }
+
+  Status ReadDouble(double* v) {
+    uint64_t raw = 0;
+    DEHEALTH_RETURN_IF_ERROR(ReadU64(&raw));
+    *v = std::bit_cast<double>(raw);
+    return Status();
+  }
+
+  /// Reads a u32 element count that must be plausible for `element_size`
+  /// bytes per element in the remaining payload — rejects absurd counts
+  /// before any allocation.
+  Status ReadCount(size_t element_size, uint32_t* count) {
+    DEHEALTH_RETURN_IF_ERROR(ReadU32(count));
+    if (static_cast<uint64_t>(*count) * element_size >
+        bytes_.size() - pos_)
+      return Fail("element count " + std::to_string(*count) +
+                  " exceeds remaining payload");
+    return Status();
+  }
+
+  Status ReadIntVector(std::vector<int>* out) {
+    uint32_t n = 0;
+    DEHEALTH_RETURN_IF_ERROR(ReadCount(4, &n));
+    out->resize(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      int32_t v = 0;
+      DEHEALTH_RETURN_IF_ERROR(ReadI32(&v));
+      (*out)[i] = v;
+    }
+    return Status();
+  }
+
+  Status ExpectEnd() const {
+    if (pos_ != bytes_.size())
+      return Status::InvalidArgument(
+          "DHQP payload (byte " + std::to_string(pos_) + "): " +
+          std::to_string(bytes_.size() - pos_) + " trailing bytes");
+    return Status();
+  }
+
+ private:
+  const std::string& bytes_;
+  size_t pos_ = 0;
+};
+
+void PutIntVector(std::string& out, const std::vector<int>& v) {
+  PutU32(out, static_cast<uint32_t>(v.size()));
+  for (int x : v) PutI32(out, x);
+}
+
+bool IsQueryType(RequestType type) {
+  return type == RequestType::kTopK || type == RequestType::kRefined ||
+         type == RequestType::kFiltered;
+}
+
+/// Encodes `candidates[i]` + optional per-user rejected flags — the shared
+/// shape of the kTopK and kFiltered answers.
+std::string EncodeCandidateSets(const std::vector<std::vector<int>>& sets,
+                                const std::vector<bool>* rejected) {
+  std::string out;
+  PutU32(out, static_cast<uint32_t>(sets.size()));
+  for (size_t i = 0; i < sets.size(); ++i) {
+    if (rejected != nullptr)
+      PutU8(out, (*rejected)[i] ? 1 : 0);
+    PutIntVector(out, sets[i]);
+  }
+  return out;
+}
+
+Status DecodeCandidateSets(const std::string& payload,
+                           std::vector<std::vector<int>>* sets,
+                           std::vector<bool>* rejected) {
+  PayloadReader reader(payload);
+  uint32_t n = 0;
+  DEHEALTH_RETURN_IF_ERROR(reader.ReadCount(rejected ? 5 : 4, &n));
+  sets->resize(n);
+  if (rejected != nullptr) rejected->assign(n, false);
+  for (uint32_t i = 0; i < n; ++i) {
+    if (rejected != nullptr) {
+      uint8_t flag = 0;
+      DEHEALTH_RETURN_IF_ERROR(reader.ReadU8(&flag));
+      (*rejected)[i] = flag != 0;
+    }
+    DEHEALTH_RETURN_IF_ERROR(reader.ReadIntVector(&(*sets)[i]));
+  }
+  return reader.ExpectEnd();
+}
+
+}  // namespace
+
+Status WriteFrame(int fd, uint8_t type, const std::string& payload) {
+  if (payload.size() > kDhqpMaxPayloadBytes)
+    return Status::InvalidArgument(
+        "DHQP frame: payload of " + std::to_string(payload.size()) +
+        " bytes exceeds the " + std::to_string(kDhqpMaxPayloadBytes) +
+        "-byte limit");
+  std::string frame;
+  frame.reserve(13 + payload.size());
+  frame.append(kDhqpMagic, sizeof(kDhqpMagic));
+  PutU32(frame, kDhqpVersion);
+  PutU8(frame, type);
+  PutU32(frame, static_cast<uint32_t>(payload.size()));
+  frame += payload;
+  return WriteAll(fd, frame.data(), frame.size());
+}
+
+Status ReadFrame(int fd, uint8_t* type, std::string* payload) {
+  char header[13];
+  DEHEALTH_RETURN_IF_ERROR(ReadExact(fd, header, sizeof(header)));
+  if (std::memcmp(header, kDhqpMagic, sizeof(kDhqpMagic)) != 0)
+    return Status::InvalidArgument(
+        "DHQP frame: bad magic (not a De-Health query stream)");
+  uint32_t version = 0;
+  uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    version |= static_cast<uint32_t>(static_cast<uint8_t>(header[4 + i]))
+               << (8 * i);
+    length |= static_cast<uint32_t>(static_cast<uint8_t>(header[9 + i]))
+              << (8 * i);
+  }
+  if (version > kDhqpVersion)
+    return Status::Unimplemented(
+        "DHQP frame: version " + std::to_string(version) +
+        " is newer than this build supports (" +
+        std::to_string(kDhqpVersion) + ")");
+  if (length > kDhqpMaxPayloadBytes)
+    return Status::InvalidArgument(
+        "DHQP frame: announced payload of " + std::to_string(length) +
+        " bytes exceeds the " + std::to_string(kDhqpMaxPayloadBytes) +
+        "-byte limit");
+  *type = static_cast<uint8_t>(header[8]);
+  payload->resize(length);
+  if (length > 0)
+    DEHEALTH_RETURN_IF_ERROR(ReadExact(fd, payload->data(), length));
+  return Status();
+}
+
+std::string EncodeQueryPayload(const QueryRequest& request) {
+  std::string out;
+  PutI32(out, request.top_k);
+  PutDouble(out, request.timeout_ms);
+  PutIntVector(out, request.users);
+  return out;
+}
+
+StatusOr<QueryRequest> DecodeQueryPayload(RequestType type,
+                                          const std::string& payload) {
+  if (!IsQueryType(type))
+    return Status::InvalidArgument(
+        "DHQP: request type " +
+        std::to_string(static_cast<int>(type)) +
+        " does not carry a query payload");
+  QueryRequest request;
+  request.type = type;
+  PayloadReader reader(payload);
+  int32_t top_k = 0;
+  DEHEALTH_RETURN_IF_ERROR(reader.ReadI32(&top_k));
+  request.top_k = top_k;
+  DEHEALTH_RETURN_IF_ERROR(reader.ReadDouble(&request.timeout_ms));
+  DEHEALTH_RETURN_IF_ERROR(reader.ReadIntVector(&request.users));
+  DEHEALTH_RETURN_IF_ERROR(reader.ExpectEnd());
+  if (request.top_k < 0)
+    return Status::InvalidArgument("DHQP: top_k must be >= 0 (0 = default)");
+  if (request.timeout_ms < 0.0 ||
+      request.timeout_ms != request.timeout_ms)  // NaN
+    return Status::InvalidArgument(
+        "DHQP: timeout_ms must be >= 0 (0 = no deadline)");
+  return request;
+}
+
+std::string EncodeTopKPayload(const TopKAnswer& answer) {
+  return EncodeCandidateSets(answer.candidates, nullptr);
+}
+
+StatusOr<TopKAnswer> DecodeTopKPayload(const std::string& payload) {
+  TopKAnswer answer;
+  DEHEALTH_RETURN_IF_ERROR(
+      DecodeCandidateSets(payload, &answer.candidates, nullptr));
+  return answer;
+}
+
+std::string EncodeRefinedPayload(const RefinedAnswer& answer) {
+  std::string out;
+  PutU32(out, static_cast<uint32_t>(answer.predictions.size()));
+  for (size_t i = 0; i < answer.predictions.size(); ++i) {
+    PutI32(out, answer.predictions[i]);
+    PutU8(out, answer.rejected[i] ? 1 : 0);
+  }
+  return out;
+}
+
+StatusOr<RefinedAnswer> DecodeRefinedPayload(const std::string& payload) {
+  RefinedAnswer answer;
+  PayloadReader reader(payload);
+  uint32_t n = 0;
+  DEHEALTH_RETURN_IF_ERROR(reader.ReadCount(5, &n));
+  answer.predictions.resize(n);
+  answer.rejected.assign(n, false);
+  for (uint32_t i = 0; i < n; ++i) {
+    int32_t prediction = 0;
+    uint8_t rejected = 0;
+    DEHEALTH_RETURN_IF_ERROR(reader.ReadI32(&prediction));
+    DEHEALTH_RETURN_IF_ERROR(reader.ReadU8(&rejected));
+    answer.predictions[i] = prediction;
+    answer.rejected[i] = rejected != 0;
+  }
+  DEHEALTH_RETURN_IF_ERROR(reader.ExpectEnd());
+  return answer;
+}
+
+std::string EncodeFilteredPayload(const FilteredAnswer& answer) {
+  return EncodeCandidateSets(answer.candidates, &answer.rejected);
+}
+
+StatusOr<FilteredAnswer> DecodeFilteredPayload(const std::string& payload) {
+  FilteredAnswer answer;
+  DEHEALTH_RETURN_IF_ERROR(
+      DecodeCandidateSets(payload, &answer.candidates, &answer.rejected));
+  return answer;
+}
+
+std::string EncodeStatsPayload(const ServerStatsSnapshot& stats) {
+  std::string out;
+  PutU64(out, stats.requests_total);
+  PutU64(out, stats.queries_total);
+  PutU64(out, stats.batches_total);
+  PutU64(out, stats.max_batch);
+  PutU64(out, stats.overload_rejections);
+  PutU64(out, stats.deadline_expirations);
+  PutU64(out, stats.queue_depth);
+  PutU64(out, stats.num_anonymized);
+  PutU64(out, stats.default_top_k);
+  PutDouble(out, stats.p50_micros);
+  PutDouble(out, stats.p99_micros);
+  PutDouble(out, stats.max_micros);
+  return out;
+}
+
+StatusOr<ServerStatsSnapshot> DecodeStatsPayload(const std::string& payload) {
+  ServerStatsSnapshot stats;
+  PayloadReader reader(payload);
+  DEHEALTH_RETURN_IF_ERROR(reader.ReadU64(&stats.requests_total));
+  DEHEALTH_RETURN_IF_ERROR(reader.ReadU64(&stats.queries_total));
+  DEHEALTH_RETURN_IF_ERROR(reader.ReadU64(&stats.batches_total));
+  DEHEALTH_RETURN_IF_ERROR(reader.ReadU64(&stats.max_batch));
+  DEHEALTH_RETURN_IF_ERROR(reader.ReadU64(&stats.overload_rejections));
+  DEHEALTH_RETURN_IF_ERROR(reader.ReadU64(&stats.deadline_expirations));
+  DEHEALTH_RETURN_IF_ERROR(reader.ReadU64(&stats.queue_depth));
+  DEHEALTH_RETURN_IF_ERROR(reader.ReadU64(&stats.num_anonymized));
+  DEHEALTH_RETURN_IF_ERROR(reader.ReadU64(&stats.default_top_k));
+  DEHEALTH_RETURN_IF_ERROR(reader.ReadDouble(&stats.p50_micros));
+  DEHEALTH_RETURN_IF_ERROR(reader.ReadDouble(&stats.p99_micros));
+  DEHEALTH_RETURN_IF_ERROR(reader.ReadDouble(&stats.max_micros));
+  DEHEALTH_RETURN_IF_ERROR(reader.ExpectEnd());
+  return stats;
+}
+
+std::string EncodeErrorPayload(const Status& status) {
+  std::string out;
+  PutU32(out, static_cast<uint32_t>(status.code()));
+  PutU32(out, static_cast<uint32_t>(status.message().size()));
+  out += status.message();
+  return out;
+}
+
+Status DecodeErrorPayload(const std::string& payload, Status* error) {
+  PayloadReader reader(payload);
+  uint32_t code = 0;
+  DEHEALTH_RETURN_IF_ERROR(reader.ReadU32(&code));
+  uint32_t length = 0;
+  DEHEALTH_RETURN_IF_ERROR(reader.ReadCount(1, &length));
+  if (payload.size() < 8 + static_cast<size_t>(length))
+    return reader.Fail("truncated error message");
+  std::string message = payload.substr(8, length);
+  if (code == 0 || code > static_cast<uint32_t>(StatusCode::kUnimplemented)) {
+    *error = Status::Internal("peer error (unknown code " +
+                              std::to_string(code) + "): " + message);
+    return Status();
+  }
+  *error = Status(static_cast<StatusCode>(code), std::move(message));
+  return Status();
+}
+
+}  // namespace dehealth

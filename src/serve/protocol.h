@@ -1,0 +1,128 @@
+#ifndef DEHEALTH_SERVE_PROTOCOL_H_
+#define DEHEALTH_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace dehealth {
+
+/// DHQP — the De-Health query protocol spoken between dehealth_serve and
+/// its clients. Every message is one length-prefixed binary frame,
+/// mirroring the DHIX snapshot framing (magic + version up front so stale
+/// peers fail fast and loudly):
+///
+///   "DHQP" | u32 version | u8 type | u32 payload_len | payload
+///
+/// All integers are little-endian; doubles travel as their IEEE-754 bit
+/// pattern in a u64. A connection is a sequential request/response stream:
+/// the client writes one request frame and reads exactly one response
+/// frame before the next request.
+
+inline constexpr char kDhqpMagic[4] = {'D', 'H', 'Q', 'P'};
+inline constexpr uint32_t kDhqpVersion = 1;
+/// Upper bound on a single frame's payload; a frame announcing more is
+/// rejected before any allocation (garbage/hostile peer protection).
+inline constexpr uint32_t kDhqpMaxPayloadBytes = 64u << 20;
+
+/// Client-to-server frame types.
+enum class RequestType : uint8_t {
+  kTopK = 1,      // phase-1b candidate sets for the listed users
+  kRefined = 2,   // phase-2 refined-DA predictions for the listed users
+  kFiltered = 3,  // post-filtering candidate sets + ⊥ verdicts
+  kStats = 4,     // live server metrics (bypasses the request queue)
+  kShutdown = 5,  // graceful drain: stop accepting, answer what's queued
+};
+
+/// Server-to-client frame types.
+enum class ResponseType : uint8_t {
+  kOk = 64,          // payload is the answer for the request type
+  kError = 65,       // payload is an encoded Status
+  kOverloaded = 66,  // rejected at admission: queue full (payload: Status)
+  kTimeout = 67,     // deadline expired before execution (payload: Status)
+};
+
+/// One query over the wire (kTopK / kRefined / kFiltered).
+struct QueryRequest {
+  RequestType type = RequestType::kTopK;
+  /// Anonymized user ids to answer; answers come back in the same order.
+  std::vector<int> users;
+  /// kTopK only: candidate-set size; 0 means the server's configured K.
+  int top_k = 0;
+  /// Deadline covering queue wait: if the request is still queued this
+  /// many milliseconds after the server received it, it is answered with
+  /// kTimeout instead of being executed. 0 = no deadline.
+  double timeout_ms = 0.0;
+};
+
+/// Answer to kTopK: candidates[i] belongs to users[i].
+struct TopKAnswer {
+  std::vector<std::vector<int>> candidates;
+};
+
+/// Answer to kRefined: entry i belongs to users[i]; predictions use the
+/// library convention (auxiliary id, or kNotPresent for ⊥).
+struct RefinedAnswer {
+  std::vector<int> predictions;
+  std::vector<bool> rejected;
+};
+
+/// Answer to kFiltered: post-filtering candidate sets and ⊥ verdicts.
+struct FilteredAnswer {
+  std::vector<std::vector<int>> candidates;
+  std::vector<bool> rejected;
+};
+
+/// Answer to kStats: a point-in-time snapshot of the server's counters.
+struct ServerStatsSnapshot {
+  uint64_t requests_total = 0;    // frames received (all types)
+  uint64_t queries_total = 0;     // user ids summed over query requests
+  uint64_t batches_total = 0;     // executor wake-ups that ran work
+  uint64_t max_batch = 0;         // largest coalesced batch so far
+  uint64_t overload_rejections = 0;
+  uint64_t deadline_expirations = 0;
+  uint64_t queue_depth = 0;       // gauge at snapshot time
+  uint64_t num_anonymized = 0;    // dataset size (lets clients say "all")
+  uint64_t default_top_k = 0;     // the server's configured K
+  double p50_micros = 0.0;        // receive→response-ready latency
+  double p99_micros = 0.0;
+  double max_micros = 0.0;
+};
+
+/// Writes one DHQP frame (header + payload) to a connected socket.
+Status WriteFrame(int fd, uint8_t type, const std::string& payload);
+
+/// Reads one DHQP frame. OutOfRange when the peer closed cleanly before a
+/// frame started (end of stream); InvalidArgument/Unimplemented on a
+/// malformed or future-version header.
+Status ReadFrame(int fd, uint8_t* type, std::string* payload);
+
+// Payload codecs, shared by client and server. Decoders never trust the
+// wire: every truncation or length overrun fails with the byte offset.
+std::string EncodeQueryPayload(const QueryRequest& request);
+StatusOr<QueryRequest> DecodeQueryPayload(RequestType type,
+                                          const std::string& payload);
+
+std::string EncodeTopKPayload(const TopKAnswer& answer);
+StatusOr<TopKAnswer> DecodeTopKPayload(const std::string& payload);
+
+std::string EncodeRefinedPayload(const RefinedAnswer& answer);
+StatusOr<RefinedAnswer> DecodeRefinedPayload(const std::string& payload);
+
+std::string EncodeFilteredPayload(const FilteredAnswer& answer);
+StatusOr<FilteredAnswer> DecodeFilteredPayload(const std::string& payload);
+
+std::string EncodeStatsPayload(const ServerStatsSnapshot& stats);
+StatusOr<ServerStatsSnapshot> DecodeStatsPayload(const std::string& payload);
+
+/// A Status on the wire: u32 code | u32 length | message bytes.
+std::string EncodeErrorPayload(const Status& status);
+/// Decodes the transported error into *error. The return value reports
+/// *decode* failures only; the peer's error lands in *error.
+Status DecodeErrorPayload(const std::string& payload, Status* error);
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_SERVE_PROTOCOL_H_

@@ -1,0 +1,338 @@
+#include "serve/server.h"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <map>
+
+namespace dehealth {
+
+namespace {
+
+constexpr uint8_t kOkByte = static_cast<uint8_t>(ResponseType::kOk);
+constexpr uint8_t kErrorByte = static_cast<uint8_t>(ResponseType::kError);
+constexpr uint8_t kOverloadedByte =
+    static_cast<uint8_t>(ResponseType::kOverloaded);
+constexpr uint8_t kTimeoutByte = static_cast<uint8_t>(ResponseType::kTimeout);
+
+}  // namespace
+
+QueryServer::QueryServer(const QueryEngine& engine, ServerConfig config)
+    : engine_(&engine), config_(std::move(config)) {}
+
+QueryServer::~QueryServer() {
+  Shutdown();
+  Wait();
+}
+
+Status QueryServer::Start() {
+  if (config_.max_queue < 0)
+    return Status::InvalidArgument("QueryServer: max_queue must be >= 0");
+  if (config_.max_batch < 1)
+    return Status::InvalidArgument("QueryServer: max_batch must be >= 1");
+  StatusOr<UniqueFd> listen = ListenTcp(config_.host, config_.port);
+  if (!listen.ok()) return listen.status();
+  listen_fd_ = std::move(listen).value();
+  StatusOr<int> port = BoundPort(listen_fd_.get());
+  if (!port.ok()) return port.status();
+  port_ = *port;
+  executor_thread_ = std::thread(&QueryServer::ExecutorLoop, this);
+  accept_thread_ = std::thread(&QueryServer::AcceptLoop, this);
+  if (config_.stats_log_period_s > 0.0)
+    reporter_thread_ = std::thread(&QueryServer::ReporterLoop, this);
+  return Status();
+}
+
+void QueryServer::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_) return;
+    draining_ = true;
+  }
+  cv_.notify_all();
+  // SHUT_RDWR (not close) wakes a blocked accept(); the fd itself stays
+  // owned until destruction so no other thread can race on a stale number.
+  if (listen_fd_.valid()) ::shutdown(listen_fd_.get(), SHUT_RDWR);
+  // Half-close every connection: readers unblock at the next frame
+  // boundary while responses to already-admitted requests still go out.
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  for (int fd : connection_fds_) ::shutdown(fd, SHUT_RD);
+}
+
+bool QueryServer::ShuttingDown() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return draining_;
+}
+
+void QueryServer::Wait() {
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (executor_thread_.joinable()) executor_thread_.join();
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    readers.swap(connection_threads_);
+  }
+  for (std::thread& reader : readers) reader.join();
+  if (reporter_thread_.joinable()) reporter_thread_.join();
+}
+
+ServerStatsSnapshot QueryServer::Stats() const {
+  ServerStatsSnapshot stats = metrics_.Snapshot();
+  stats.num_anonymized = static_cast<uint64_t>(engine_->num_anonymized());
+  stats.default_top_k = static_cast<uint64_t>(engine_->config().top_k);
+  return stats;
+}
+
+void QueryServer::AcceptLoop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_.get(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listener shut down (drain) or fatal
+    }
+    UniqueFd connection(fd);
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    if (ShuttingDown()) break;  // raced with the drain sweep: drop it
+    connection_fds_.push_back(fd);
+    connection_threads_.emplace_back(&QueryServer::ConnectionLoop, this,
+                                     std::move(connection));
+  }
+}
+
+void QueryServer::ConnectionLoop(UniqueFd fd) {
+  const int raw_fd = fd.get();
+  for (;;) {
+    uint8_t type = 0;
+    std::string payload;
+    if (!ReadFrame(raw_fd, &type, &payload).ok()) break;
+    metrics_.RecordRequest();
+
+    if (type == static_cast<uint8_t>(RequestType::kStats)) {
+      WriteFrame(raw_fd, kOkByte, EncodeStatsPayload(Stats()));
+      continue;
+    }
+    if (type == static_cast<uint8_t>(RequestType::kShutdown)) {
+      // Ack first, then drain: the requester gets its response before the
+      // half-close sweep reaches this connection.
+      WriteFrame(raw_fd, kOkByte, std::string());
+      Shutdown();
+      break;
+    }
+    StatusOr<QueryRequest> request =
+        DecodeQueryPayload(static_cast<RequestType>(type), payload);
+    if (!request.ok()) {
+      WriteFrame(raw_fd, kErrorByte, EncodeErrorPayload(request.status()));
+      continue;
+    }
+    metrics_.RecordQueries(request->users.size());
+    HandleQuery(raw_fd, std::move(request).value());
+  }
+  std::lock_guard<std::mutex> lock(connections_mutex_);
+  connection_fds_.erase(
+      std::remove(connection_fds_.begin(), connection_fds_.end(), raw_fd),
+      connection_fds_.end());
+}
+
+void QueryServer::HandleQuery(int fd, QueryRequest request) {
+  // Validate ids at admission so one bad request can never poison the
+  // coalesced batch it would have ridden in.
+  const int n1 = engine_->num_anonymized();
+  for (int u : request.users) {
+    if (u >= 0 && u < n1) continue;
+    WriteFrame(fd, kErrorByte,
+               EncodeErrorPayload(Status::InvalidArgument(
+                   "user id " + std::to_string(u) + " out of range [0, " +
+                   std::to_string(n1) + ")")));
+    return;
+  }
+
+  auto pending = std::make_unique<Pending>();
+  pending->request = std::move(request);
+  pending->received = std::chrono::steady_clock::now();
+  const double timeout_ms = pending->request.timeout_ms > 0.0
+                                ? pending->request.timeout_ms
+                                : config_.default_timeout_ms;
+  pending->deadline =
+      timeout_ms > 0.0
+          ? pending->received +
+                std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double, std::milli>(timeout_ms))
+          : std::chrono::steady_clock::time_point::max();
+  std::future<std::pair<uint8_t, std::string>> future =
+      pending->response.get_future();
+
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (draining_) {
+      lock.unlock();
+      WriteFrame(fd, kErrorByte,
+                 EncodeErrorPayload(Status::FailedPrecondition(
+                     "server is shutting down")));
+      return;
+    }
+    if (queue_.size() >= static_cast<size_t>(config_.max_queue)) {
+      lock.unlock();
+      metrics_.RecordOverload();
+      WriteFrame(fd, kOverloadedByte,
+                 EncodeErrorPayload(Status::FailedPrecondition(
+                     "server overloaded: request queue is full (" +
+                     std::to_string(config_.max_queue) + " pending)")));
+      return;
+    }
+    queue_.push_back(std::move(pending));
+    metrics_.SetQueueDepth(queue_.size());
+  }
+  cv_.notify_all();
+
+  std::pair<uint8_t, std::string> response = future.get();
+  WriteFrame(fd, response.first, response.second);
+}
+
+void QueryServer::ExecutorLoop() {
+  for (;;) {
+    std::vector<std::unique_ptr<Pending>> batch;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [&] { return draining_ || !queue_.empty(); });
+      if (queue_.empty()) break;  // draining and fully drained
+      const size_t take =
+          std::min(queue_.size(), static_cast<size_t>(config_.max_batch));
+      batch.reserve(take);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(queue_.front()));
+        queue_.pop_front();
+      }
+      metrics_.SetQueueDepth(queue_.size());
+    }
+    metrics_.RecordBatch(batch.size());
+    ExecuteBatch(batch);
+  }
+}
+
+void QueryServer::Fulfill(Pending& pending, uint8_t type,
+                          std::string payload) {
+  metrics_.RecordLatency(std::chrono::duration<double, std::micro>(
+                             std::chrono::steady_clock::now() -
+                             pending.received)
+                             .count());
+  pending.response.set_value({type, std::move(payload)});
+}
+
+void QueryServer::ExecuteBatch(
+    std::vector<std::unique_ptr<Pending>>& batch) {
+  const auto now = std::chrono::steady_clock::now();
+
+  // Group survivors by (type, k): every group member wants the exact same
+  // computation shape, so one engine call answers the whole group. Answers
+  // are per-user pure (see QueryEngine), so coalescing never changes them.
+  std::map<std::pair<uint8_t, int>, std::vector<Pending*>> groups;
+  for (std::unique_ptr<Pending>& pending : batch) {
+    if (now >= pending->deadline) {
+      metrics_.RecordDeadlineExpired();
+      Fulfill(*pending, kTimeoutByte,
+              EncodeErrorPayload(Status::FailedPrecondition(
+                  "deadline exceeded while queued")));
+      continue;
+    }
+    const int k = pending->request.type == RequestType::kTopK
+                      ? pending->request.top_k
+                      : 0;
+    groups[{static_cast<uint8_t>(pending->request.type), k}].push_back(
+        pending.get());
+  }
+
+  for (auto& [key, members] : groups) {
+    std::vector<int> users;
+    std::vector<size_t> offsets;
+    offsets.reserve(members.size() + 1);
+    for (Pending* member : members) {
+      offsets.push_back(users.size());
+      users.insert(users.end(), member->request.users.begin(),
+                   member->request.users.end());
+    }
+    offsets.push_back(users.size());
+
+    const auto fail_group = [&](const Status& status) {
+      const std::string payload = EncodeErrorPayload(status);
+      for (Pending* member : members)
+        Fulfill(*member, kErrorByte, payload);
+    };
+
+    switch (static_cast<RequestType>(key.first)) {
+      case RequestType::kTopK: {
+        StatusOr<TopKAnswer> answer = engine_->TopK(users, key.second);
+        if (!answer.ok()) {
+          fail_group(answer.status());
+          break;
+        }
+        for (size_t i = 0; i < members.size(); ++i) {
+          TopKAnswer slice;
+          slice.candidates.assign(
+              answer->candidates.begin() + static_cast<long>(offsets[i]),
+              answer->candidates.begin() +
+                  static_cast<long>(offsets[i + 1]));
+          Fulfill(*members[i], kOkByte, EncodeTopKPayload(slice));
+        }
+        break;
+      }
+      case RequestType::kRefined: {
+        StatusOr<RefinedAnswer> answer = engine_->Refine(users);
+        if (!answer.ok()) {
+          fail_group(answer.status());
+          break;
+        }
+        for (size_t i = 0; i < members.size(); ++i) {
+          RefinedAnswer slice;
+          slice.predictions.assign(
+              answer->predictions.begin() + static_cast<long>(offsets[i]),
+              answer->predictions.begin() +
+                  static_cast<long>(offsets[i + 1]));
+          slice.rejected.assign(
+              answer->rejected.begin() + static_cast<long>(offsets[i]),
+              answer->rejected.begin() + static_cast<long>(offsets[i + 1]));
+          Fulfill(*members[i], kOkByte, EncodeRefinedPayload(slice));
+        }
+        break;
+      }
+      case RequestType::kFiltered: {
+        StatusOr<FilteredAnswer> answer = engine_->Filtered(users);
+        if (!answer.ok()) {
+          fail_group(answer.status());
+          break;
+        }
+        for (size_t i = 0; i < members.size(); ++i) {
+          FilteredAnswer slice;
+          slice.candidates.assign(
+              answer->candidates.begin() + static_cast<long>(offsets[i]),
+              answer->candidates.begin() +
+                  static_cast<long>(offsets[i + 1]));
+          slice.rejected.assign(
+              answer->rejected.begin() + static_cast<long>(offsets[i]),
+              answer->rejected.begin() + static_cast<long>(offsets[i + 1]));
+          Fulfill(*members[i], kOkByte, EncodeFilteredPayload(slice));
+        }
+        break;
+      }
+      default:
+        fail_group(Status::Internal("unreachable: non-query type queued"));
+        break;
+    }
+  }
+}
+
+void QueryServer::ReporterLoop() {
+  const auto period =
+      std::chrono::duration<double>(config_.stats_log_period_s);
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!draining_) {
+    if (cv_.wait_for(lock, period, [&] { return draining_; })) break;
+    lock.unlock();
+    std::fprintf(stderr, "%s\n", FormatStatsLine(Stats()).c_str());
+    lock.lock();
+  }
+}
+
+}  // namespace dehealth

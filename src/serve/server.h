@@ -1,0 +1,126 @@
+#ifndef DEHEALTH_SERVE_SERVER_H_
+#define DEHEALTH_SERVE_SERVER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "io/socket.h"
+#include "serve/engine.h"
+#include "serve/metrics.h"
+#include "serve/protocol.h"
+
+namespace dehealth {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read it back with QueryServer::port().
+  int port = 0;
+  /// Admission bound: a query arriving while this many are already queued
+  /// is answered kOverloaded immediately instead of waiting (backpressure
+  /// the client can see). 0 rejects every query — useful in tests.
+  int max_queue = 64;
+  /// Largest number of queued requests the executor coalesces into one
+  /// batch (answers are batch-composition-independent, so this is purely a
+  /// throughput/latency knob).
+  int max_batch = 16;
+  /// Deadline applied to requests that do not carry their own timeout_ms;
+  /// 0 = none. Covers queue wait only — execution is never preempted.
+  double default_timeout_ms = 0.0;
+  /// When > 0, a reporter thread logs FormatStatsLine to stderr this often.
+  double stats_log_period_s = 0.0;
+};
+
+/// The long-lived De-Health query service: one listening socket, one
+/// reader thread per connection, and ONE executor thread that pops queued
+/// requests in arrival order, coalesces up to max_batch of them, and
+/// answers them through the engine (parallelism lives inside the batch,
+/// via the library's ParallelFor — keeping the executor single makes
+/// batching deterministic and the engine strictly single-consumer).
+///
+/// Request flow per connection: read frame → admission (kStats/kShutdown
+/// bypass the queue; queries are rejected kOverloaded when the queue is
+/// full) → executor fulfills a response future → reader writes the
+/// response frame. Graceful drain (Shutdown(), a kShutdown request, or
+/// SIGTERM via the binary): stop admitting, close the listener, SHUT_RD
+/// every connection so readers unblock, and answer everything already
+/// queued before the executor exits.
+class QueryServer {
+ public:
+  /// Borrows the engine, which must outlive Wait().
+  QueryServer(const QueryEngine& engine, ServerConfig config);
+  ~QueryServer();
+
+  /// Binds and starts the accept/executor/reporter threads.
+  Status Start();
+
+  /// The bound port (resolves port 0).
+  int port() const { return port_; }
+
+  /// Initiates graceful drain; safe from any thread, idempotent,
+  /// non-blocking (join happens in Wait()).
+  void Shutdown();
+
+  /// True once a drain was initiated (by Shutdown or a kShutdown request).
+  bool ShuttingDown() const;
+
+  /// Joins every thread. In-flight requests are answered first; returns
+  /// once the last connection closed.
+  void Wait();
+
+  /// Live metrics, dataset fields included (what a kStats frame returns).
+  ServerStatsSnapshot Stats() const;
+
+ private:
+  struct Pending {
+    QueryRequest request;
+    std::chrono::steady_clock::time_point received;
+    std::chrono::steady_clock::time_point deadline;  // ::max() = none
+    std::promise<std::pair<uint8_t, std::string>> response;
+  };
+
+  void AcceptLoop();
+  void ConnectionLoop(UniqueFd fd);
+  void ExecutorLoop();
+  void ReporterLoop();
+
+  /// Admission control: enqueues or answers kOverloaded / drain-refusal on
+  /// the spot. Returns the response to write now, or nothing when queued
+  /// (the caller then waits on the future).
+  void HandleQuery(int fd, QueryRequest request);
+
+  void ExecuteBatch(std::vector<std::unique_ptr<Pending>>& batch);
+  void Fulfill(Pending& pending, uint8_t type, std::string payload);
+
+  const QueryEngine* engine_;
+  ServerConfig config_;
+  int port_ = 0;
+
+  UniqueFd listen_fd_;
+  std::thread accept_thread_;
+  std::thread executor_thread_;
+  std::thread reporter_thread_;
+
+  mutable std::mutex mutex_;  // guards queue_ + draining_
+  std::condition_variable cv_;
+  std::deque<std::unique_ptr<Pending>> queue_;
+  bool draining_ = false;
+
+  std::mutex connections_mutex_;  // guards connection_fds_ + threads_
+  std::vector<int> connection_fds_;
+  std::vector<std::thread> connection_threads_;
+
+  ServeMetrics metrics_;
+};
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_SERVE_SERVER_H_

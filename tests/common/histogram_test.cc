@@ -1,0 +1,71 @@
+#include "common/histogram.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dehealth {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyHistogramReportsZeros) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.TotalCount(), 0u);
+  EXPECT_EQ(h.QuantileMicros(0.5), 0.0);
+  EXPECT_EQ(h.MaxMicros(), 0.0);
+}
+
+TEST(LatencyHistogramTest, QuantileIsBucketUpperBound) {
+  LatencyHistogram h;
+  // 100 samples at 3 µs: bucket [2, 4) — every quantile reports 4.
+  for (int i = 0; i < 100; ++i) h.Record(3.0);
+  EXPECT_EQ(h.TotalCount(), 100u);
+  EXPECT_EQ(h.QuantileMicros(0.5), 4.0);
+  EXPECT_EQ(h.QuantileMicros(0.99), 4.0);
+  EXPECT_EQ(h.MaxMicros(), 3.0);
+}
+
+TEST(LatencyHistogramTest, TailLandsInHigherBuckets) {
+  LatencyHistogram h;
+  for (int i = 0; i < 99; ++i) h.Record(10.0);  // bucket [8, 16)
+  h.Record(5000.0);                             // bucket [4096, 8192)
+  EXPECT_EQ(h.QuantileMicros(0.5), 16.0);
+  EXPECT_EQ(h.QuantileMicros(0.99), 16.0);
+  EXPECT_EQ(h.QuantileMicros(1.0), 8192.0);
+  EXPECT_EQ(h.MaxMicros(), 5000.0);
+}
+
+TEST(LatencyHistogramTest, NonPositiveSamplesCountInFirstBucket) {
+  LatencyHistogram h;
+  h.Record(0.0);
+  h.Record(-3.0);
+  EXPECT_EQ(h.TotalCount(), 2u);
+  EXPECT_EQ(h.QuantileMicros(0.5), 2.0);  // bucket [1, 2) upper bound
+}
+
+TEST(LatencyHistogramTest, QuantileArgumentIsClamped) {
+  LatencyHistogram h;
+  h.Record(100.0);
+  EXPECT_EQ(h.QuantileMicros(-1.0), h.QuantileMicros(0.0));
+  EXPECT_EQ(h.QuantileMicros(2.0), h.QuantileMicros(1.0));
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordsAllLand) {
+  LatencyHistogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i)
+        h.Record(static_cast<double>((t * 37 + i) % 1000 + 1));
+    });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.TotalCount(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.QuantileMicros(1.0), 1024.0);  // all samples <= 1000 µs
+  EXPECT_EQ(h.MaxMicros(), 1000.0);
+}
+
+}  // namespace
+}  // namespace dehealth

@@ -104,12 +104,16 @@ TEST(IndexSnapshotTest, RejectsBadMagic) {
   auto r = DecodeIndexSnapshot(bogus);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  // Every decode error carries the byte offset where parsing stopped.
+  EXPECT_NE(r.status().message().find("(byte 0)"), std::string::npos)
+      << r.status().ToString();
 }
 
 TEST(IndexSnapshotTest, RejectsTooShortFile) {
   auto r = DecodeIndexSnapshot("DHIX");
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("byte "), std::string::npos);
 }
 
 TEST(IndexSnapshotTest, RejectsFutureVersion) {
@@ -131,6 +135,8 @@ TEST(IndexSnapshotTest, RejectsTruncationAtEveryPrefix) {
     auto r = DecodeIndexSnapshot(bytes.substr(0, len));
     ASSERT_FALSE(r.ok()) << "prefix length " << len;
     EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(r.status().message().find("byte "), std::string::npos)
+        << "prefix length " << len << ": " << r.status().ToString();
   }
 }
 
@@ -141,6 +147,20 @@ TEST(IndexSnapshotTest, RejectsCorruptedPayload) {
   auto r = DecodeIndexSnapshot(bytes);
   ASSERT_FALSE(r.ok());
   EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(r.status().message().find("byte "), std::string::npos);
+}
+
+TEST(IndexSnapshotTest, DecodeErrorFromDiskNamesTheFile) {
+  TempFile file("dehealth_index_named_error.dhix");
+  ASSERT_TRUE(
+      WriteStringToFile("NOPE" + std::string(64, '\0'), file.path()).ok());
+  auto r = LoadIndexSnapshot(file.path());
+  ASSERT_FALSE(r.ok());
+  // Loading through a path must name that path in the error, so a failure
+  // among several snapshot files is attributable.
+  EXPECT_NE(r.status().message().find(file.path()), std::string::npos)
+      << r.status().ToString();
+  EXPECT_NE(r.status().message().find("byte "), std::string::npos);
 }
 
 TEST(IndexLoadOrBuildTest, BuildsAndPersistsWhenMissing) {

@@ -41,5 +41,50 @@ TEST(FileUtilTest, UnwritableDirectoryIsNotFound) {
   EXPECT_EQ(s.code(), StatusCode::kNotFound);
 }
 
+TEST(FileUtilTest, AtomicWriteRoundTripsAndLeavesNoTempFile) {
+  const std::string path = "/tmp/dehealth_file_util_atomic.bin";
+  std::string content = "snapshot\0bytes";
+  content += '\xFE';
+  ASSERT_TRUE(WriteStringToFileAtomic(content, path).ok());
+  auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, content);
+  // The crash-window staging file must not survive a successful write.
+  EXPECT_FALSE(ReadFileToString(path + ".tmp").ok());
+  std::remove(path.c_str());
+}
+
+TEST(FileUtilTest, AtomicWriteReplacesExistingFileWholesale) {
+  const std::string path = "/tmp/dehealth_file_util_atomic_replace.bin";
+  ASSERT_TRUE(WriteStringToFile("old content, longer than new", path).ok());
+  ASSERT_TRUE(WriteStringToFileAtomic("new", path).ok());
+  auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  // Rename semantics: the old bytes are gone entirely, never a mixed
+  // prefix/suffix as in-place truncating writes can leave on a crash.
+  EXPECT_EQ(*read, "new");
+  std::remove(path.c_str());
+}
+
+TEST(FileUtilTest, AtomicWriteRecoversFromStaleTempFile) {
+  const std::string path = "/tmp/dehealth_file_util_atomic_stale.bin";
+  // Simulate a crash mid-write from an earlier process: a stale .tmp left
+  // behind must not block (or corrupt) the next atomic write.
+  ASSERT_TRUE(WriteStringToFile("half-written garb", path + ".tmp").ok());
+  ASSERT_TRUE(WriteStringToFileAtomic("fresh", path).ok());
+  auto read = ReadFileToString(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "fresh");
+  EXPECT_FALSE(ReadFileToString(path + ".tmp").ok());
+  std::remove(path.c_str());
+}
+
+TEST(FileUtilTest, AtomicWriteToUnwritableDirectoryIsNotFound) {
+  auto s = WriteStringToFileAtomic("x", "/nonexistent_dir/file.bin");
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_NE(s.message().find("cannot open for writing"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace dehealth

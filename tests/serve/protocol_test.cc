@@ -1,0 +1,245 @@
+#include "serve/protocol.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "io/socket.h"
+
+namespace dehealth {
+namespace {
+
+/// A connected AF_UNIX pair (WriteAll uses send(), which needs a socket).
+class ServeProtocolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    int fds[2];
+    ASSERT_EQ(0, socketpair(AF_UNIX, SOCK_STREAM, 0, fds));
+    a_.reset(fds[0]);
+    b_.reset(fds[1]);
+  }
+
+  UniqueFd a_;
+  UniqueFd b_;
+};
+
+TEST_F(ServeProtocolTest, FrameRoundTrips) {
+  const std::string payload = "hello\0world";
+  ASSERT_TRUE(WriteFrame(a_.get(), 7, payload).ok());
+  uint8_t type = 0;
+  std::string received;
+  ASSERT_TRUE(ReadFrame(b_.get(), &type, &received).ok());
+  EXPECT_EQ(type, 7);
+  EXPECT_EQ(received, payload);
+}
+
+TEST_F(ServeProtocolTest, EmptyPayloadFrameRoundTrips) {
+  ASSERT_TRUE(WriteFrame(a_.get(), 4, std::string()).ok());
+  uint8_t type = 0;
+  std::string received = "stale";
+  ASSERT_TRUE(ReadFrame(b_.get(), &type, &received).ok());
+  EXPECT_EQ(type, 4);
+  EXPECT_TRUE(received.empty());
+}
+
+TEST_F(ServeProtocolTest, BadMagicIsRejected) {
+  const std::string garbage = "GET / HTTP/1.1\r\n\r\n";
+  ASSERT_TRUE(WriteAll(a_.get(), garbage.data(), garbage.size()).ok());
+  uint8_t type = 0;
+  std::string payload;
+  Status st = ReadFrame(b_.get(), &type, &payload);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.message().find("magic"), std::string::npos);
+}
+
+TEST_F(ServeProtocolTest, FutureVersionIsUnimplemented) {
+  std::string header = "DHQP";
+  const uint32_t version = kDhqpVersion + 1;
+  for (int i = 0; i < 4; ++i)
+    header.push_back(static_cast<char>((version >> (8 * i)) & 0xff));
+  header.push_back(1);                              // type
+  header.append(4, '\0');                           // length 0
+  ASSERT_TRUE(WriteAll(a_.get(), header.data(), header.size()).ok());
+  uint8_t type = 0;
+  std::string payload;
+  Status st = ReadFrame(b_.get(), &type, &payload);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kUnimplemented);
+}
+
+TEST_F(ServeProtocolTest, OversizedAnnouncedPayloadIsRejected) {
+  std::string header = "DHQP";
+  for (int i = 0; i < 4; ++i)
+    header.push_back(static_cast<char>((kDhqpVersion >> (8 * i)) & 0xff));
+  header.push_back(1);
+  const uint32_t huge = kDhqpMaxPayloadBytes + 1;
+  for (int i = 0; i < 4; ++i)
+    header.push_back(static_cast<char>((huge >> (8 * i)) & 0xff));
+  ASSERT_TRUE(WriteAll(a_.get(), header.data(), header.size()).ok());
+  uint8_t type = 0;
+  std::string payload;
+  Status st = ReadFrame(b_.get(), &type, &payload);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(ServeProtocolTest, CleanEofIsOutOfRange) {
+  a_.reset();  // peer gone before any frame
+  uint8_t type = 0;
+  std::string payload;
+  EXPECT_EQ(ReadFrame(b_.get(), &type, &payload).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(ServeProtocolPayloads, QueryRoundTrips) {
+  QueryRequest request;
+  request.type = RequestType::kTopK;
+  request.users = {5, 0, 12, 5};
+  request.top_k = 7;
+  request.timeout_ms = 250.5;
+  auto decoded = DecodeQueryPayload(RequestType::kTopK,
+                                    EncodeQueryPayload(request));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->users, request.users);
+  EXPECT_EQ(decoded->top_k, 7);
+  EXPECT_DOUBLE_EQ(decoded->timeout_ms, 250.5);
+  EXPECT_EQ(decoded->type, RequestType::kTopK);
+}
+
+TEST(ServeProtocolPayloads, TruncatedQueryCarriesByteOffset) {
+  QueryRequest request;
+  request.users = {1, 2, 3};
+  std::string payload = EncodeQueryPayload(request);
+  payload.resize(payload.size() - 2);
+  auto decoded = DecodeQueryPayload(RequestType::kRefined, payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(decoded.status().message().find("byte "), std::string::npos);
+}
+
+TEST(ServeProtocolPayloads, TrailingBytesAreRejected) {
+  QueryRequest request;
+  request.users = {1};
+  std::string payload = EncodeQueryPayload(request) + "x";
+  auto decoded = DecodeQueryPayload(RequestType::kTopK, payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("trailing"), std::string::npos);
+}
+
+TEST(ServeProtocolPayloads, NegativeTimeoutIsRejected) {
+  QueryRequest request;
+  request.timeout_ms = -1.0;
+  auto decoded =
+      DecodeQueryPayload(RequestType::kTopK, EncodeQueryPayload(request));
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ServeProtocolPayloads, AbsurdElementCountFailsBeforeAllocating) {
+  // u32 count = 0x40000000 users with only 4 bytes of payload behind it.
+  std::string payload;
+  payload.push_back(0);  // top_k i32 = 0
+  payload.append(3, '\0');
+  payload.append(8, '\0');  // timeout double = 0
+  payload.push_back(0);
+  payload.push_back(0);
+  payload.push_back(0);
+  payload.push_back(0x40);  // count
+  payload.append(4, 'x');
+  auto decoded = DecodeQueryPayload(RequestType::kTopK, payload);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_NE(decoded.status().message().find("exceeds remaining"),
+            std::string::npos);
+}
+
+TEST(ServeProtocolPayloads, TopKAnswerRoundTrips) {
+  TopKAnswer answer;
+  answer.candidates = {{3, 1, 4}, {}, {9}};
+  auto decoded = DecodeTopKPayload(EncodeTopKPayload(answer));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->candidates, answer.candidates);
+}
+
+TEST(ServeProtocolPayloads, RefinedAnswerRoundTrips) {
+  RefinedAnswer answer;
+  answer.predictions = {7, -1, 0};
+  answer.rejected = {false, true, false};
+  auto decoded = DecodeRefinedPayload(EncodeRefinedPayload(answer));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->predictions, answer.predictions);
+  EXPECT_EQ(decoded->rejected, answer.rejected);
+}
+
+TEST(ServeProtocolPayloads, FilteredAnswerRoundTrips) {
+  FilteredAnswer answer;
+  answer.candidates = {{2}, {5, 6}};
+  answer.rejected = {true, false};
+  auto decoded = DecodeFilteredPayload(EncodeFilteredPayload(answer));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->candidates, answer.candidates);
+  EXPECT_EQ(decoded->rejected, answer.rejected);
+}
+
+TEST(ServeProtocolPayloads, StatsRoundTrips) {
+  ServerStatsSnapshot stats;
+  stats.requests_total = 100;
+  stats.queries_total = 420;
+  stats.batches_total = 17;
+  stats.max_batch = 8;
+  stats.overload_rejections = 3;
+  stats.deadline_expirations = 2;
+  stats.queue_depth = 5;
+  stats.num_anonymized = 250;
+  stats.default_top_k = 10;
+  stats.p50_micros = 850.0;
+  stats.p99_micros = 12000.0;
+  stats.max_micros = 15001.0;
+  auto decoded = DecodeStatsPayload(EncodeStatsPayload(stats));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->requests_total, 100u);
+  EXPECT_EQ(decoded->queries_total, 420u);
+  EXPECT_EQ(decoded->batches_total, 17u);
+  EXPECT_EQ(decoded->max_batch, 8u);
+  EXPECT_EQ(decoded->overload_rejections, 3u);
+  EXPECT_EQ(decoded->deadline_expirations, 2u);
+  EXPECT_EQ(decoded->queue_depth, 5u);
+  EXPECT_EQ(decoded->num_anonymized, 250u);
+  EXPECT_EQ(decoded->default_top_k, 10u);
+  EXPECT_DOUBLE_EQ(decoded->p50_micros, 850.0);
+  EXPECT_DOUBLE_EQ(decoded->p99_micros, 12000.0);
+  EXPECT_DOUBLE_EQ(decoded->max_micros, 15001.0);
+}
+
+TEST(ServeProtocolPayloads, ErrorRoundTrips) {
+  const Status original =
+      Status::FailedPrecondition("server overloaded: request queue is full");
+  Status decoded;
+  ASSERT_TRUE(
+      DecodeErrorPayload(EncodeErrorPayload(original), &decoded).ok());
+  EXPECT_EQ(decoded.code(), original.code());
+  EXPECT_EQ(decoded.message(), original.message());
+}
+
+TEST(ServeProtocolPayloads, UnknownErrorCodeDegradesToInternal) {
+  std::string payload;
+  const uint32_t bogus_code = 99;
+  for (int i = 0; i < 4; ++i)
+    payload.push_back(static_cast<char>((bogus_code >> (8 * i)) & 0xff));
+  const std::string message = "whoops";
+  const uint32_t length = static_cast<uint32_t>(message.size());
+  for (int i = 0; i < 4; ++i)
+    payload.push_back(static_cast<char>((length >> (8 * i)) & 0xff));
+  payload += message;
+  Status decoded;
+  ASSERT_TRUE(DecodeErrorPayload(payload, &decoded).ok());
+  EXPECT_EQ(decoded.code(), StatusCode::kInternal);
+  EXPECT_NE(decoded.message().find("whoops"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dehealth

@@ -1,0 +1,272 @@
+#include "serve/server.h"
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/forum_generator.h"
+#include "datagen/split.h"
+#include "index/pipeline.h"
+#include "serve/client.h"
+#include "serve/engine.h"
+
+namespace dehealth {
+namespace {
+
+DeHealthConfig FastConfig() {
+  DeHealthConfig config;
+  config.top_k = 5;
+  config.refined.learner = LearnerKind::kNearestCentroid;
+  config.num_threads = 2;
+  return config;
+}
+
+std::vector<int> AllUsers(int n) {
+  std::vector<int> users(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) users[static_cast<size_t>(i)] = i;
+  return users;
+}
+
+/// One shared closed-world scenario; every test compares served answers
+/// against the one-shot pipeline (RunDeHealthAttack — what dehealth_cli
+/// runs) on the same graphs.
+class ServeEngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto forum = GenerateForum(WebMdLikeConfig(40, 23));
+    ASSERT_TRUE(forum.ok());
+    auto scenario = MakeClosedWorldScenario(forum->dataset, 0.5, 11);
+    ASSERT_TRUE(scenario.ok());
+    anon_ = new UdaGraph(BuildUdaGraph(scenario->anonymized));
+    aux_ = new UdaGraph(BuildUdaGraph(scenario->auxiliary));
+  }
+
+  static StatusOr<std::unique_ptr<QueryEngine>> MakeEngine(
+      const DeHealthConfig& config) {
+    return QueryEngine::Create(*anon_, *aux_, config);
+  }
+
+  static UdaGraph* anon_;
+  static UdaGraph* aux_;
+};
+
+UdaGraph* ServeEngineTest::anon_ = nullptr;
+UdaGraph* ServeEngineTest::aux_ = nullptr;
+
+TEST_F(ServeEngineTest, MatchesOneShotPipeline) {
+  const DeHealthConfig config = FastConfig();
+  auto golden = RunDeHealthAttack(*anon_, *aux_, config);
+  ASSERT_TRUE(golden.ok()) << golden.status().ToString();
+  auto engine = MakeEngine(config);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  const std::vector<int> users = AllUsers((*engine)->num_anonymized());
+  auto top_k = (*engine)->TopK(users, 0);
+  ASSERT_TRUE(top_k.ok()) << top_k.status().ToString();
+  EXPECT_EQ(top_k->candidates, golden->candidates);
+
+  auto refined = (*engine)->Refine(users);
+  ASSERT_TRUE(refined.ok()) << refined.status().ToString();
+  EXPECT_EQ(refined->predictions, golden->refined.predictions);
+  EXPECT_EQ(refined->rejected, golden->refined.rejected);
+}
+
+TEST_F(ServeEngineTest, SoloAnswersMatchBatchAnswers) {
+  auto engine = MakeEngine(FastConfig());
+  ASSERT_TRUE(engine.ok());
+  const std::vector<int> batch = {7, 2, 7, 0, 11};  // duplicates allowed
+  auto batched = (*engine)->Refine(batch);
+  ASSERT_TRUE(batched.ok()) << batched.status().ToString();
+  ASSERT_EQ(batched->predictions.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    auto solo = (*engine)->Refine({batch[i]});
+    ASSERT_TRUE(solo.ok());
+    EXPECT_EQ(solo->predictions[0], batched->predictions[i])
+        << "user " << batch[i] << " answered differently solo vs batched";
+    EXPECT_EQ(solo->rejected[0], batched->rejected[i]);
+  }
+}
+
+TEST_F(ServeEngineTest, IndexedEngineMatchesDenseEngine) {
+  DeHealthConfig indexed_config = FastConfig();
+  indexed_config.use_index = true;
+  auto dense = MakeEngine(FastConfig());
+  auto indexed = MakeEngine(indexed_config);
+  ASSERT_TRUE(dense.ok());
+  ASSERT_TRUE(indexed.ok()) << indexed.status().ToString();
+  const std::vector<int> users = {0, 3, 9, 14};
+  auto dense_top = (*dense)->TopK(users, 0);
+  auto indexed_top = (*indexed)->TopK(users, 0);
+  ASSERT_TRUE(dense_top.ok());
+  ASSERT_TRUE(indexed_top.ok());
+  EXPECT_EQ(dense_top->candidates, indexed_top->candidates);
+  auto dense_refined = (*dense)->Refine(users);
+  auto indexed_refined = (*indexed)->Refine(users);
+  ASSERT_TRUE(dense_refined.ok());
+  ASSERT_TRUE(indexed_refined.ok());
+  EXPECT_EQ(dense_refined->predictions, indexed_refined->predictions);
+}
+
+TEST_F(ServeEngineTest, NonDefaultKMatchesOneShotWithThatK) {
+  DeHealthConfig other_k = FastConfig();
+  other_k.top_k = 3;
+  auto golden = RunDeHealthAttack(*anon_, *aux_, other_k);
+  ASSERT_TRUE(golden.ok());
+  auto engine = MakeEngine(FastConfig());  // engine still configured K=5
+  ASSERT_TRUE(engine.ok());
+  const std::vector<int> users = AllUsers((*engine)->num_anonymized());
+  auto top3 = (*engine)->TopK(users, 3);
+  ASSERT_TRUE(top3.ok());
+  EXPECT_EQ(top3->candidates, golden->candidates);
+}
+
+TEST_F(ServeEngineTest, FilteredMatchesOneShotFiltering) {
+  DeHealthConfig config = FastConfig();
+  config.enable_filtering = true;
+  auto golden = RunDeHealthAttack(*anon_, *aux_, config);
+  ASSERT_TRUE(golden.ok());
+  auto engine = MakeEngine(config);
+  ASSERT_TRUE(engine.ok());
+  const std::vector<int> users = AllUsers((*engine)->num_anonymized());
+  auto filtered = (*engine)->Filtered(users);
+  ASSERT_TRUE(filtered.ok()) << filtered.status().ToString();
+  EXPECT_EQ(filtered->candidates, golden->candidates);
+  EXPECT_EQ(filtered->rejected, golden->rejected);
+  auto refined = (*engine)->Refine(users);
+  ASSERT_TRUE(refined.ok());
+  EXPECT_EQ(refined->predictions, golden->refined.predictions);
+}
+
+TEST_F(ServeEngineTest, FilteredRequiresFilteringEnabled) {
+  auto engine = MakeEngine(FastConfig());
+  ASSERT_TRUE(engine.ok());
+  auto filtered = (*engine)->Filtered({0});
+  ASSERT_FALSE(filtered.ok());
+  EXPECT_EQ(filtered.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ServeEngineTest, OutOfRangeUserIsInvalidArgument) {
+  auto engine = MakeEngine(FastConfig());
+  ASSERT_TRUE(engine.ok());
+  auto bad = (*engine)->TopK({0, (*engine)->num_anonymized()}, 0);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+/// Full client/server loop against the same golden answers.
+class ServeServerTest : public ServeEngineTest {};
+
+TEST_F(ServeServerTest, ServedAnswersMatchOneShotPipeline) {
+  const DeHealthConfig config = FastConfig();
+  auto golden = RunDeHealthAttack(*anon_, *aux_, config);
+  ASSERT_TRUE(golden.ok());
+  auto engine = MakeEngine(config);
+  ASSERT_TRUE(engine.ok());
+
+  ServerConfig server_config;
+  QueryServer server(**engine, server_config);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+
+  auto client = QueryClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  const std::vector<int> users = AllUsers((*engine)->num_anonymized());
+  auto top_k = client->TopK(users);
+  ASSERT_TRUE(top_k.ok()) << top_k.status().ToString();
+  EXPECT_EQ(top_k->candidates, golden->candidates);
+
+  auto refined = client->Refine(users);
+  ASSERT_TRUE(refined.ok()) << refined.status().ToString();
+  EXPECT_EQ(refined->predictions, golden->refined.predictions);
+
+  auto stats = client->Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->num_anonymized,
+            static_cast<uint64_t>((*engine)->num_anonymized()));
+  EXPECT_EQ(stats->default_top_k, 5u);
+  EXPECT_GE(stats->requests_total, 2u);
+  EXPECT_GE(stats->batches_total, 2u);
+  EXPECT_EQ(stats->queries_total, 2 * users.size());
+
+  // Server-side validation: a bad id comes back as the transported error.
+  auto bad = client->TopK({-1});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+
+  auto no_filter = client->Filtered({0});
+  ASSERT_FALSE(no_filter.ok());
+  EXPECT_EQ(no_filter.status().code(), StatusCode::kFailedPrecondition);
+
+  ASSERT_TRUE(client->RequestShutdown().ok());
+  server.Wait();
+  EXPECT_TRUE(server.ShuttingDown());
+}
+
+TEST_F(ServeServerTest, FullQueueAnswersOverloadedInsteadOfStalling) {
+  auto engine = MakeEngine(FastConfig());
+  ASSERT_TRUE(engine.ok());
+  ServerConfig server_config;
+  server_config.max_queue = 0;  // admission rejects every query
+  QueryServer server(**engine, server_config);
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = QueryClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  auto answer = client->TopK({0, 1});
+  ASSERT_FALSE(answer.ok());
+  EXPECT_EQ(answer.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(answer.status().message().find("overloaded"),
+            std::string::npos);
+
+  // kStats bypasses the queue: observable even while overloaded.
+  auto stats = client->Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->overload_rejections, 1u);
+
+  server.Shutdown();
+  server.Wait();
+}
+
+TEST_F(ServeServerTest, ExpiredDeadlineAnswersTimeout) {
+  auto engine = MakeEngine(FastConfig());
+  ASSERT_TRUE(engine.ok());
+  QueryServer server(**engine, ServerConfig());
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = QueryClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  // 1e-9 ms rounds to a zero-length deadline: expired the moment the
+  // executor looks, deterministically.
+  auto answer = client->Refine({0}, /*timeout_ms=*/1e-9);
+  ASSERT_FALSE(answer.ok());
+  EXPECT_NE(answer.status().message().find("deadline"), std::string::npos);
+
+  auto stats = client->Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->deadline_expirations, 1u);
+
+  server.Shutdown();
+  server.Wait();
+}
+
+TEST_F(ServeServerTest, QueriesAfterShutdownAreRefused) {
+  auto engine = MakeEngine(FastConfig());
+  ASSERT_TRUE(engine.ok());
+  QueryServer server(**engine, ServerConfig());
+  ASSERT_TRUE(server.Start().ok());
+  auto client = QueryClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->RequestShutdown().ok());
+  server.Wait();
+  // The drained server is gone: new connections are refused.
+  auto late = QueryClient::Connect("127.0.0.1", server.port());
+  if (late.ok()) {
+    auto answer = late->TopK({0});
+    EXPECT_FALSE(answer.ok());
+  }
+}
+
+}  // namespace
+}  // namespace dehealth

@@ -1,0 +1,174 @@
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/forum_generator.h"
+#include "datagen/split.h"
+#include "index/pipeline.h"
+#include "serve/client.h"
+#include "serve/engine.h"
+#include "serve/server.h"
+
+namespace dehealth {
+namespace {
+
+/// Many concurrent clients hammering one server while batching coalesces
+/// their requests arbitrarily. Run under ThreadSanitizer in CI; the
+/// correctness assertion is that every successful answer — whatever batch
+/// it landed in — matches the one-shot golden slice, and that overload
+/// rejections are the only other outcome.
+TEST(ServeStressTest, ConcurrentClientsGetGoldenAnswers) {
+  auto forum = GenerateForum(WebMdLikeConfig(30, 29));
+  ASSERT_TRUE(forum.ok());
+  auto scenario = MakeClosedWorldScenario(forum->dataset, 0.5, 3);
+  ASSERT_TRUE(scenario.ok());
+  const UdaGraph anon = BuildUdaGraph(scenario->anonymized);
+  const UdaGraph aux = BuildUdaGraph(scenario->auxiliary);
+
+  DeHealthConfig config;
+  config.top_k = 4;
+  config.refined.learner = LearnerKind::kNearestCentroid;
+  config.num_threads = 2;
+  auto golden = RunDeHealthAttack(anon, aux, config);
+  ASSERT_TRUE(golden.ok());
+
+  auto engine = QueryEngine::Create(anon, aux, config);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  ServerConfig server_config;
+  server_config.max_queue = 8;  // small on purpose: force overload paths
+  server_config.max_batch = 4;
+  QueryServer server(**engine, server_config);
+  ASSERT_TRUE(server.Start().ok());
+
+  constexpr int kThreads = 6;
+  constexpr int kRequestsPerThread = 20;
+  const int n = (*engine)->num_anonymized();
+  std::atomic<int> successes{0};
+  std::atomic<int> overloads{0};
+  std::atomic<int> failures{0};
+
+  std::vector<std::thread> clients;
+  clients.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      auto client = QueryClient::Connect("127.0.0.1", server.port());
+      if (!client.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int r = 0; r < kRequestsPerThread; ++r) {
+        // Deterministic per-(thread, round) user subset; duplicates and
+        // overlap across threads are intentional.
+        std::vector<int> users = {(t * 7 + r) % n, (t + r * 3) % n,
+                                  (t * 7 + r) % n};
+        const bool refine = (t + r) % 2 == 0;
+        if (refine) {
+          auto answer = client->Refine(users);
+          if (!answer.ok()) {
+            if (answer.status().message().find("overloaded") !=
+                std::string::npos) {
+              overloads.fetch_add(1);
+              continue;
+            }
+            failures.fetch_add(1);
+            continue;
+          }
+          bool match = answer->predictions.size() == users.size();
+          for (size_t i = 0; match && i < users.size(); ++i) {
+            match = answer->predictions[i] ==
+                        golden->refined.predictions[static_cast<size_t>(
+                            users[i])] &&
+                    answer->rejected[i] ==
+                        golden->refined.rejected[static_cast<size_t>(
+                            users[i])];
+          }
+          match ? successes.fetch_add(1) : failures.fetch_add(1);
+        } else {
+          auto answer = client->TopK(users);
+          if (!answer.ok()) {
+            if (answer.status().message().find("overloaded") !=
+                std::string::npos) {
+              overloads.fetch_add(1);
+              continue;
+            }
+            failures.fetch_add(1);
+            continue;
+          }
+          bool match = answer->candidates.size() == users.size();
+          for (size_t i = 0; match && i < users.size(); ++i) {
+            match = answer->candidates[i] ==
+                    golden->candidates[static_cast<size_t>(users[i])];
+          }
+          match ? successes.fetch_add(1) : failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(successes.load(), 0);
+  EXPECT_EQ(successes.load() + overloads.load(),
+            kThreads * kRequestsPerThread);
+
+  const ServerStatsSnapshot stats = server.Stats();
+  // queries_total counts users, and every request above carries 3.
+  EXPECT_EQ(stats.queries_total,
+            3u * static_cast<uint64_t>(successes.load()));
+  EXPECT_EQ(stats.overload_rejections,
+            static_cast<uint64_t>(overloads.load()));
+  EXPECT_GE(stats.max_batch, 1u);
+  EXPECT_LE(stats.max_batch, 4u);
+
+  server.Shutdown();
+  server.Wait();
+}
+
+/// Shutdown racing against active clients: the drain must answer or refuse
+/// every request (never hang) and Wait() must return.
+TEST(ServeStressTest, ShutdownWhileClientsAreActive) {
+  auto forum = GenerateForum(WebMdLikeConfig(24, 31));
+  ASSERT_TRUE(forum.ok());
+  auto scenario = MakeClosedWorldScenario(forum->dataset, 0.5, 9);
+  ASSERT_TRUE(scenario.ok());
+  const UdaGraph anon = BuildUdaGraph(scenario->anonymized);
+  const UdaGraph aux = BuildUdaGraph(scenario->auxiliary);
+
+  DeHealthConfig config;
+  config.top_k = 3;
+  config.refined.learner = LearnerKind::kNearestCentroid;
+  config.num_threads = 2;
+  auto engine = QueryEngine::Create(anon, aux, config);
+  ASSERT_TRUE(engine.ok());
+
+  QueryServer server(**engine, ServerConfig());
+  ASSERT_TRUE(server.Start().ok());
+
+  const int n = (*engine)->num_anonymized();
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < 4; ++t) {
+    clients.emplace_back([&, t] {
+      while (!stop.load()) {
+        auto client = QueryClient::Connect("127.0.0.1", server.port());
+        if (!client.ok()) return;  // listener already gone
+        for (int r = 0; r < 5 && !stop.load(); ++r) {
+          if (!client->TopK({(t + r) % n}).ok()) return;  // drain refusal
+        }
+      }
+    });
+  }
+  // Let clients get in flight, then drain underneath them.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  server.Shutdown();
+  server.Wait();
+  stop.store(true);
+  for (std::thread& t : clients) t.join();
+  EXPECT_TRUE(server.ShuttingDown());
+}
+
+}  // namespace
+}  // namespace dehealth
