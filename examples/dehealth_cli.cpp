@@ -9,6 +9,7 @@
 //                         --k 10 --learner smo --threads 0 [--idf]
 //                         [--index] [--index-path idx.dhix]
 //                         [--max-candidates N]
+//                         [--job-dir dir] [--shard-size N]
 //                         [--truth truth.csv] [--out predictions.csv]
 //
 // --threads N runs the whole pipeline on N threads (0 = all hardware
@@ -16,6 +17,13 @@
 // --index answers phase 1 from the auxiliary-side candidate index instead
 // of the dense similarity matrix (same results, see DESIGN.md);
 // --index-path persists the index as a snapshot reused across runs.
+// --job-dir runs the attack through the crash-safe job runner: completed
+// work is committed in checksummed shards, SIGTERM/SIGINT checkpoints and
+// exits cleanly (exit 0), and re-running the same command resumes from the
+// last durable shard with bitwise-identical output (any thread count, any
+// kill point). See DESIGN.md "Fault tolerance".
+// --fault-spec (all commands, also dehealth_serve) arms deterministic
+// fault injection for testing, e.g. "job.phase2:crash:2".
 
 #include <cstdio>
 #include <cstdlib>
@@ -23,13 +31,16 @@
 #include <sstream>
 #include <string>
 
+#include "common/fault_injection.h"
 #include "common/flags.h"
+#include "common/shutdown.h"
 #include "core/de_health.h"
 #include "core/evaluation.h"
 #include "datagen/forum_generator.h"
 #include "datagen/split.h"
 #include "index/pipeline.h"
 #include "io/forum_io.h"
+#include "job/runner.h"
 #include "serve/options.h"
 
 using namespace dehealth;
@@ -132,7 +143,18 @@ int CmdAttack(const Args& args) {
               anon_data->posts.size(), aux_data->posts.size());
   const UdaGraph anon = BuildUdaGraph(*anon_data);
   const UdaGraph aux = BuildUdaGraph(*aux_data);
-  auto result = RunDeHealthAttack(anon, aux, config);
+  const bool checkpointed = !config.job_dir.empty();
+  // Checkpointed path: SIGTERM/SIGINT finish the current shard, commit
+  // it, and surface Cancelled — which is a clean exit, not an error (the
+  // job is resumable, nothing was lost).
+  if (checkpointed) InstallShutdownSignalHandlers();
+  StatusOr<DeHealthResult> result =
+      checkpointed ? RunDeHealthAttackJob(anon, aux, config)
+                   : RunDeHealthAttack(anon, aux, config);
+  if (!result.ok() && result.status().code() == StatusCode::kCancelled) {
+    std::printf("checkpointed: %s\n", result.status().message().c_str());
+    return 0;
+  }
   if (!result.ok()) return Fail(result.status().ToString());
 
   const std::string out = args.Get("out");
@@ -187,6 +209,13 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   const Args args(argc, argv, 2, AttackBooleanFlags());
+  // Deterministic fault injection (tests only): "<site>:<kind>:<hit>,..."
+  // — see src/common/fault_injection.h for the grammar.
+  const std::string fault_spec = args.Get("fault-spec");
+  if (!fault_spec.empty()) {
+    Status st = FaultInjector::Global().Configure(fault_spec);
+    if (!st.ok()) return Fail(st.ToString());
+  }
   if (command == "generate") return CmdGenerate(args);
   if (command == "split") return CmdSplit(args);
   if (command == "attack") return CmdAttack(args);

@@ -7,6 +7,10 @@
 //   dehealth_query dump     --port P [--out predictions.csv]
 //   dehealth_query shutdown --port P
 //
+// --retries N (default 1 = fail fast) retries transient failures —
+// connection refused/reset, server overload — up to N total attempts with
+// jittered exponential backoff (see serve/client.h RetryPolicy).
+//
 // `dump` fetches Top-K candidates and refined predictions for every
 // anonymized user and writes the same "anon_id,prediction,top_candidates"
 // CSV as `dehealth_cli attack --out` — diffing the two is the end-to-end
@@ -127,9 +131,14 @@ int main(int argc, char** argv) {
   if (!k_or.ok()) return Fail(k_or.status().ToString());
   auto timeout_or = flags.GetDouble("timeout-ms", 0.0);
   if (!timeout_or.ok()) return Fail(timeout_or.status().ToString());
+  auto retries_or = flags.GetInt("retries", 1);
+  if (!retries_or.ok()) return Fail(retries_or.status().ToString());
+  if (*retries_or < 1) return Fail("--retries must be >= 1");
+  RetryPolicy retry;
+  retry.max_attempts = *retries_or;
 
   auto client = QueryClient::Connect(flags.Get("host", "127.0.0.1"),
-                                     *port_or);
+                                     *port_or, retry);
   if (!client.ok()) return Fail(client.status().ToString());
 
   if (command == "stats") {

@@ -7,19 +7,25 @@
 //   dehealth_serve --anonymized anon.jsonl --auxiliary aux.jsonl
 //                  [--k 10 --learner smo --threads 0 --idf --filter]
 //                  [--index] [--index-path idx.dhix] [--max-candidates N]
+//                  [--job-dir dir] [--shard-size N]
 //                  [--host 127.0.0.1] [--port 0] [--queue 64] [--batch 16]
 //                  [--timeout-ms 0] [--stats-period 0] [--port-file path]
 //
 // Attack flags mean exactly what they mean to `dehealth_cli attack` (same
 // parser — see serve/options.h), so served answers are bitwise-identical
 // to the one-shot pipeline. --port 0 binds an ephemeral port; --port-file
-// writes the bound port (atomically) for scripts to discover.
+// writes the bound port (atomically) for scripts to discover. --job-dir
+// makes the phase-1 warm start durable: restarts load the checkpointed
+// shards (possibly written by a dehealth_cli run with the same flags)
+// instead of recomputing, and a SIGTERM during warm start checkpoints and
+// exits cleanly.
 
 #include <chrono>
 #include <cstdio>
 #include <string>
 #include <thread>
 
+#include "common/fault_injection.h"
 #include "common/flags.h"
 #include "common/shutdown.h"
 #include "io/file_util.h"
@@ -52,6 +58,14 @@ int main(int argc, char** argv) {
   auto server_config = ParseServerFlags(flags);
   if (!server_config.ok()) return Fail(server_config.status().ToString());
 
+  // Deterministic fault injection (tests only) — see
+  // src/common/fault_injection.h for the grammar.
+  const std::string fault_spec = flags.Get("fault-spec");
+  if (!fault_spec.empty()) {
+    Status st = FaultInjector::Global().Configure(fault_spec);
+    if (!st.ok()) return Fail(st.ToString());
+  }
+
   auto anon_data = LoadForumDataset(anon_path);
   if (!anon_data.ok()) return Fail(anon_data.status().ToString());
   auto aux_data = LoadForumDataset(aux_path);
@@ -62,8 +76,17 @@ int main(int argc, char** argv) {
   UdaGraph anon = BuildUdaGraph(*anon_data);
   UdaGraph aux = BuildUdaGraph(*aux_data);
 
+  // Handlers go in BEFORE the (possibly long) warm start: with --job-dir a
+  // SIGTERM mid-warm-start checkpoints the current shard and exits 0, and
+  // the next launch resumes where this one stopped.
+  InstallShutdownSignalHandlers();
   auto engine = QueryEngine::Create(std::move(anon), std::move(aux),
                                     *attack_config);
+  if (!engine.ok() &&
+      engine.status().code() == StatusCode::kCancelled) {
+    std::printf("checkpointed: %s\n", engine.status().message().c_str());
+    return 0;
+  }
   if (!engine.ok()) return Fail(engine.status().ToString());
 
   QueryServer server(**engine, *server_config);
@@ -83,7 +106,6 @@ int main(int argc, char** argv) {
 
   // SIGTERM/SIGINT flip a flag; the drain itself runs here, on a normal
   // thread — in-flight requests are answered before the process exits.
-  InstallShutdownSignalHandlers();
   while (!ProcessShutdownRequested() && !server.ShuttingDown())
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
 

@@ -19,6 +19,17 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kUnimplemented,
+  /// Transient failure the caller may retry: connection refused/reset, an
+  /// overloaded server shedding load. The retry policies (serve/client.h)
+  /// key on this code — keep genuinely fatal errors out of it.
+  kUnavailable,
+  /// A deadline expired before the operation executed (server-side queue
+  /// timeout). Retrying is the caller's call: the work never ran.
+  kDeadlineExceeded,
+  /// The operation was interrupted cooperatively (SIGTERM/SIGINT shutdown
+  /// flag) after reaching a safe stopping point — e.g. the job runner
+  /// checkpointed and can resume.
+  kCancelled,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -55,6 +66,15 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

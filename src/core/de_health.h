@@ -49,6 +49,18 @@ struct DeHealthConfig {
   /// but Top-K results may lose recall and are no longer guaranteed
   /// identical to dense. 0 = exact (the default).
   int index_max_candidates = 0;
+
+  /// Durable checkpoint/resume (src/job/): when non-empty, the attack runs
+  /// through the crash-safe job runner rooted at this directory — per-user
+  /// work is committed in atomically written, checksummed shards, and a
+  /// re-run with the same forums + config resumes from the last durable
+  /// shard with bitwise-identical final output. Consumed by
+  /// RunDeHealthAttackJob (src/job/runner.h) and the serving engine;
+  /// DeHealth::Run itself ignores it.
+  std::string job_dir;
+  /// Users per durable shard (>= 1): smaller shards checkpoint more often
+  /// (less work lost to a crash) at the cost of more small files.
+  int job_shard_size = 64;
 };
 
 /// Everything the two phases produced; kept so benches and callers can

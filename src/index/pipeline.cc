@@ -1,24 +1,56 @@
 #include "index/pipeline.h"
 
+#include <cstdio>
+
 #include "index/indexed_source.h"
 #include "index/snapshot.h"
 
 namespace dehealth {
 
+StatusOr<std::unique_ptr<AttackScoreSource>> BuildAttackScoreSource(
+    const UdaGraph& anonymized, const UdaGraph& auxiliary,
+    const DeHealthConfig& config) {
+  auto bundle = std::make_unique<AttackScoreSource>();
+  SimilarityConfig sim_config = config.similarity;
+  sim_config.num_threads = config.num_threads;
+
+  if (config.use_index) {
+    StatusOr<CandidateIndex> index =
+        LoadOrBuildIndex(config.index_snapshot_path, auxiliary, sim_config);
+    if (index.ok()) {
+      bundle->index =
+          std::make_unique<CandidateIndex>(std::move(index).value());
+      bundle->source = std::make_unique<IndexedCandidateSource>(
+          anonymized, *bundle->index, config.num_threads,
+          config.index_max_candidates);
+      return bundle;
+    }
+    // Graceful degradation: an index that cannot be loaded, built, or
+    // persisted is a performance feature failing, not a correctness one —
+    // warn and continue on the dense path instead of failing the attack.
+    // (With index_max_candidates > 0 the dense path is the exact variant
+    // of the recall-bounded answers the index would have given.)
+    std::fprintf(stderr,
+                 "warning: candidate index unavailable (%s); falling back "
+                 "to dense similarity path\n",
+                 index.status().ToString().c_str());
+    bundle->degraded_to_dense = true;
+  }
+
+  const StructuralSimilarity similarity(anonymized, auxiliary, sim_config);
+  bundle->similarity = similarity.ComputeMatrix();
+  bundle->source = std::make_unique<DenseCandidateSource>(bundle->similarity);
+  return bundle;
+}
+
 StatusOr<DeHealthResult> RunDeHealthAttack(const UdaGraph& anonymized,
                                            const UdaGraph& auxiliary,
                                            const DeHealthConfig& config) {
   const DeHealth attack(config);
-  if (!config.use_index) return attack.Run(anonymized, auxiliary);
-
-  SimilarityConfig sim_config = config.similarity;
-  sim_config.num_threads = config.num_threads;
-  StatusOr<CandidateIndex> index =
-      LoadOrBuildIndex(config.index_snapshot_path, auxiliary, sim_config);
-  if (!index.ok()) return index.status();
-  const IndexedCandidateSource source(anonymized, *index, config.num_threads,
-                                      config.index_max_candidates);
-  return attack.RunWithSource(anonymized, auxiliary, source);
+  StatusOr<std::unique_ptr<AttackScoreSource>> scores =
+      BuildAttackScoreSource(anonymized, auxiliary, config);
+  if (!scores.ok()) return scores.status();
+  return attack.RunWithSource(anonymized, auxiliary, *(*scores)->source);
 }
 
 }  // namespace dehealth

@@ -1,10 +1,42 @@
 #ifndef DEHEALTH_INDEX_PIPELINE_H_
 #define DEHEALTH_INDEX_PIPELINE_H_
 
+#include <memory>
+#include <vector>
+
 #include "core/de_health.h"
 #include "core/uda_graph.h"
+#include "index/candidate_index.h"
 
 namespace dehealth {
+
+/// The phase-1a score source plus the storage it borrows — one owning
+/// bundle shared by the one-shot pipeline (RunDeHealthAttack), the serving
+/// engine (QueryEngine) and the checkpointing job runner (src/job/), so
+/// all three construct scores identically and answers can never drift.
+/// Heap-allocated because `source` borrows the sibling members by address.
+struct AttackScoreSource {
+  /// Dense path: the materialized |Δ1|×|Δ2| matrix `source` borrows.
+  std::vector<std::vector<double>> similarity;
+  /// Indexed path: the candidate index `source` borrows.
+  std::unique_ptr<CandidateIndex> index;
+  std::unique_ptr<CandidateSource> source;
+  /// True when config.use_index was set but the index could not be
+  /// loaded/built/persisted — the bundle degraded to the dense path with a
+  /// warning on stderr instead of failing the whole attack.
+  bool degraded_to_dense = false;
+};
+
+/// Builds the score source the config asks for: the dense similarity
+/// matrix, or the auxiliary-side candidate index (loaded from
+/// config.index_snapshot_path when the snapshot matches, rebuilt + saved
+/// otherwise). Graceful degradation: an index that cannot be
+/// loaded/built/persisted falls back to the dense path with a warning
+/// (see `degraded_to_dense`) — an unusable snapshot file never takes the
+/// attack down with it.
+StatusOr<std::unique_ptr<AttackScoreSource>> BuildAttackScoreSource(
+    const UdaGraph& anonymized, const UdaGraph& auxiliary,
+    const DeHealthConfig& config);
 
 /// Runs the De-Health attack end-to-end, honoring the index knobs in
 /// DeHealthConfig:
@@ -16,6 +48,8 @@ namespace dehealth {
 ///     and refined-DA predictions are bitwise-identical to the dense path
 ///     when index_max_candidates == 0; DeHealthResult::similarity stays
 ///     empty (the matrix is never formed).
+/// config.job_dir is ignored here — use RunDeHealthAttackJob
+/// (src/job/runner.h) for the checkpointed variant.
 StatusOr<DeHealthResult> RunDeHealthAttack(const UdaGraph& anonymized,
                                            const UdaGraph& auxiliary,
                                            const DeHealthConfig& config);

@@ -4,6 +4,7 @@
 #include <limits>
 #include <type_traits>
 
+#include "common/fault_injection.h"
 #include "io/file_util.h"
 
 namespace dehealth {
@@ -226,12 +227,17 @@ StatusOr<CandidateIndex> DecodeIndexSnapshot(const std::string& bytes,
 
 Status SaveIndexSnapshot(const CandidateIndex& index,
                          const std::string& path) {
+  DEHEALTH_RETURN_IF_ERROR(InjectFaultPoint("snapshot.save"));
   return WriteStringToFileAtomic(EncodeIndexSnapshot(index), path);
 }
 
 StatusOr<CandidateIndex> LoadIndexSnapshot(const std::string& path) {
+  DEHEALTH_RETURN_IF_ERROR(InjectFaultPoint("snapshot.load"));
   StatusOr<std::string> bytes = ReadFileToString(path);
   if (!bytes.ok()) return bytes.status();
+  // Simulated snapshot corruption: the checksum/bounds-checked decoder
+  // must answer with a Status (load-or-rebuild then recovers), never UB.
+  InjectDataFault("snapshot.load.data", &*bytes);
   return DecodeIndexSnapshot(*bytes, path);
 }
 

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "common/fault_injection.h"
 #include "common/string_utils.h"
 #include "io/file_util.h"
 
@@ -126,6 +127,13 @@ StatusOr<std::string> FindRawValue(const std::string& line,
     number += line[pos++];
   if (number.empty())
     return Status::InvalidArgument("empty value for: " + key);
+  // An integer must end at a field boundary: "1.5" or "12abc" silently
+  // truncated to 1 / 12 would corrupt counts instead of failing loudly.
+  if (pos < line.size() && line[pos] != ',' && line[pos] != '}' &&
+      line[pos] != ' ' && line[pos] != '\t' && line[pos] != '\r')
+    return Status::InvalidArgument(
+        StrFormat("malformed number for: %s (unexpected '%c')", key.c_str(),
+                  line[pos]));
   if (is_string != nullptr) *is_string = false;
   return number;
 }
@@ -154,7 +162,30 @@ std::string ForumDatasetToJsonl(const ForumDataset& dataset) {
   return out;
 }
 
-StatusOr<ForumDataset> ForumDatasetFromJsonl(const std::string& jsonl) {
+namespace {
+
+/// Sanity ceilings for adversarial inputs: a header announcing more users
+/// or threads than any real forum could hold (the paper's largest corpus
+/// is 388k users) is rejected before anything downstream sizes per-user
+/// state off it. Lines beyond the length cap are binary garbage or an
+/// attack, not a forum post.
+constexpr int kMaxHeaderCount = 100'000'000;
+constexpr size_t kMaxLineBytes = 16u << 20;
+
+/// "forum dataset 'path' (line N): what" — every parse failure names the
+/// file it came from (when known) and the line where parsing stopped.
+Status ParseError(const std::string& path, int line, const std::string& what,
+                  StatusCode code = StatusCode::kInvalidArgument) {
+  std::string message = "forum dataset ";
+  if (!path.empty()) message += "'" + path + "' ";
+  message += "(line " + std::to_string(line) + "): " + what;
+  return Status(code, std::move(message));
+}
+
+}  // namespace
+
+StatusOr<ForumDataset> ForumDatasetFromJsonl(const std::string& jsonl,
+                                             const std::string& path) {
   std::istringstream stream(jsonl);
   std::string line;
   ForumDataset dataset;
@@ -162,14 +193,28 @@ StatusOr<ForumDataset> ForumDatasetFromJsonl(const std::string& jsonl) {
   int line_number = 0;
   while (std::getline(stream, line)) {
     ++line_number;
+    if (line.size() > kMaxLineBytes)
+      return ParseError(path, line_number,
+                        "line exceeds " + std::to_string(kMaxLineBytes) +
+                            " bytes (binary garbage?)");
+    if (line.find('\0') != std::string::npos)
+      return ParseError(path, line_number,
+                        "NUL byte in input (binary garbage?)");
     if (TrimAscii(line).empty()) continue;
     if (!have_header) {
       StatusOr<int> users = FindIntValue(line, "num_users");
       StatusOr<int> threads = FindIntValue(line, "num_threads");
-      if (!users.ok()) return users.status();
-      if (!threads.ok()) return threads.status();
+      if (!users.ok())
+        return ParseError(path, line_number, users.status().message());
+      if (!threads.ok())
+        return ParseError(path, line_number, threads.status().message());
       if (*users < 0 || *threads < 0)
-        return Status::InvalidArgument("negative header counts");
+        return ParseError(path, line_number, "negative header counts");
+      if (*users > kMaxHeaderCount || *threads > kMaxHeaderCount)
+        return ParseError(path, line_number,
+                          StrFormat("absurd header counts (%d users, %d "
+                                    "threads; max %d)",
+                                    *users, *threads, kMaxHeaderCount));
       dataset.num_users = *users;
       dataset.num_threads = *threads;
       have_header = true;
@@ -177,23 +222,36 @@ StatusOr<ForumDataset> ForumDatasetFromJsonl(const std::string& jsonl) {
     }
     StatusOr<int> user = FindIntValue(line, "user_id");
     StatusOr<int> thread = FindIntValue(line, "thread_id");
-    StatusOr<std::string> raw_text = FindRawValue(line, "text");
-    if (!user.ok()) return user.status();
-    if (!thread.ok()) return thread.status();
-    if (!raw_text.ok()) return raw_text.status();
+    bool text_is_string = false;
+    StatusOr<std::string> raw_text =
+        FindRawValue(line, "text", &text_is_string);
+    if (!user.ok())
+      return ParseError(path, line_number, user.status().message());
+    if (!thread.ok())
+      return ParseError(path, line_number, thread.status().message());
+    if (!raw_text.ok())
+      return ParseError(path, line_number, raw_text.status().message());
+    if (!text_is_string)
+      return ParseError(path, line_number,
+                        "text must be a quoted JSON string");
     if (*user < 0 || *user >= dataset.num_users)
-      return Status::OutOfRange(
-          StrFormat("line %d: user_id %d out of range", line_number, *user));
+      return ParseError(path, line_number,
+                        StrFormat("user_id %d out of range [0, %d)", *user,
+                                  dataset.num_users),
+                        StatusCode::kOutOfRange);
     if (*thread < 0 || *thread >= dataset.num_threads)
-      return Status::OutOfRange(
-          StrFormat("line %d: thread_id %d out of range", line_number,
-                    *thread));
+      return ParseError(path, line_number,
+                        StrFormat("thread_id %d out of range [0, %d)",
+                                  *thread, dataset.num_threads),
+                        StatusCode::kOutOfRange);
     StatusOr<std::string> text = UnescapeJson(*raw_text);
-    if (!text.ok()) return text.status();
+    if (!text.ok())
+      return ParseError(path, line_number, text.status().message());
     dataset.posts.push_back({*user, *thread, std::move(*text)});
   }
   if (!have_header)
-    return Status::InvalidArgument("ForumDatasetFromJsonl: empty input");
+    return ParseError(path, line_number,
+                      "empty input (no header line)");
   return dataset;
 }
 
@@ -205,7 +263,10 @@ Status SaveForumDataset(const ForumDataset& dataset,
 StatusOr<ForumDataset> LoadForumDataset(const std::string& path) {
   StatusOr<std::string> content = ReadFileToString(path);
   if (!content.ok()) return content.status();
-  return ForumDatasetFromJsonl(*content);
+  // Simulated on-disk corruption of the forum file; the parser must turn
+  // whatever this produces into a path+line Status, never a crash.
+  InjectDataFault("forum.load.data", &*content);
+  return ForumDatasetFromJsonl(*content, path);
 }
 
 }  // namespace dehealth

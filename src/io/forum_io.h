@@ -17,9 +17,16 @@ namespace dehealth {
 std::string ForumDatasetToJsonl(const ForumDataset& dataset);
 
 /// Parses a JSONL string produced by ForumDatasetToJsonl (or hand-written
-/// in the same schema). Fails with InvalidArgument on malformed lines,
-/// missing fields, or out-of-range user/thread ids.
-StatusOr<ForumDataset> ForumDatasetFromJsonl(const std::string& jsonl);
+/// in the same schema). Hardened against arbitrary input — truncated
+/// files, binary garbage, NUL bytes, absurd header counts, overlong lines,
+/// duplicate/conflicting fields: every malformed case returns a Status
+/// whose message carries the originating path (when known) and the line
+/// number where parsing stopped; no input crashes or allocates
+/// unboundedly. InvalidArgument for malformed content, OutOfRange for
+/// user/thread ids outside the header's ranges. `path` is context only,
+/// used in error messages; pass "" for in-memory buffers.
+StatusOr<ForumDataset> ForumDatasetFromJsonl(const std::string& jsonl,
+                                             const std::string& path = "");
 
 /// File convenience wrappers.
 Status SaveForumDataset(const ForumDataset& dataset,

@@ -7,12 +7,28 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include "common/fault_injection.h"
+
 namespace dehealth {
 
 namespace {
 
 std::string Errno(const std::string& what) {
   return what + ": " + std::strerror(errno);
+}
+
+/// Transient peer/network conditions a retry can reasonably cure map to
+/// kUnavailable so retry policies (serve/client.h) can key on the code;
+/// everything else stays kInternal.
+bool TransientErrno(int err) {
+  return err == ECONNREFUSED || err == ECONNRESET || err == EPIPE ||
+         err == ETIMEDOUT || err == EHOSTUNREACH || err == ENETUNREACH ||
+         err == EAGAIN;
+}
+
+Status IoError(const std::string& what) {
+  return TransientErrno(errno) ? Status::Unavailable(Errno(what))
+                               : Status::Internal(Errno(what));
 }
 
 StatusOr<sockaddr_in> MakeAddress(const std::string& host, int port) {
@@ -51,6 +67,7 @@ StatusOr<UniqueFd> ListenTcp(const std::string& host, int port, int backlog) {
 }
 
 StatusOr<UniqueFd> ConnectTcp(const std::string& host, int port) {
+  DEHEALTH_RETURN_IF_ERROR(InjectFaultPoint("socket.connect"));
   StatusOr<sockaddr_in> addr = MakeAddress(host, port);
   if (!addr.ok()) return addr.status();
   UniqueFd fd(::socket(AF_INET, SOCK_STREAM, 0));
@@ -61,8 +78,7 @@ StatusOr<UniqueFd> ConnectTcp(const std::string& host, int port) {
                    sizeof(*addr));
   } while (rc != 0 && errno == EINTR);
   if (rc != 0)
-    return Status::Internal(
-        Errno("connect " + host + ":" + std::to_string(port)));
+    return IoError("connect " + host + ":" + std::to_string(port));
   return fd;
 }
 
@@ -75,6 +91,7 @@ StatusOr<int> BoundPort(int fd) {
 }
 
 Status ReadExact(int fd, void* buffer, size_t size) {
+  DEHEALTH_RETURN_IF_ERROR(InjectFaultPoint("socket.read"));
   char* out = static_cast<char*>(buffer);
   size_t done = 0;
   while (done < size) {
@@ -85,14 +102,16 @@ Status ReadExact(int fd, void* buffer, size_t size) {
     }
     if (n < 0 && errno == EINTR) continue;
     if (n == 0)
-      return done == 0 ? Status::OutOfRange("end of stream")
-                       : Status::Internal("connection closed mid-message");
-    return Status::Internal(Errno("read"));
+      return done == 0
+                 ? Status::OutOfRange("end of stream")
+                 : Status::Unavailable("connection closed mid-message");
+    return IoError("read");
   }
   return Status::OK();
 }
 
 Status WriteAll(int fd, const void* buffer, size_t size) {
+  DEHEALTH_RETURN_IF_ERROR(InjectFaultPoint("socket.write"));
   const char* in = static_cast<const char*>(buffer);
   size_t done = 0;
   while (done < size) {
@@ -102,7 +121,7 @@ Status WriteAll(int fd, const void* buffer, size_t size) {
       continue;
     }
     if (errno == EINTR) continue;
-    return Status::Internal(Errno("send"));
+    return IoError("send");
   }
   return Status::OK();
 }

@@ -58,12 +58,13 @@ StatusOr<UniqueFd> ConnectTcp(const std::string& host, int port);
 StatusOr<int> BoundPort(int fd);
 
 /// Reads exactly `size` bytes (blocking, EINTR-retrying). OutOfRange when
-/// the peer closed cleanly before the first byte (end of stream); Internal
-/// when the connection dies mid-buffer.
+/// the peer closed cleanly before the first byte (end of stream);
+/// Unavailable when the connection dies mid-buffer (reset/refused-shaped
+/// errnos — retryable); Internal for everything else.
 Status ReadExact(int fd, void* buffer, size_t size);
 
-/// Writes all `size` bytes (blocking, EINTR-retrying, no SIGPIPE —
-/// a closed peer surfaces as Internal instead of killing the process).
+/// Writes all `size` bytes (blocking, EINTR-retrying, no SIGPIPE — a
+/// closed peer surfaces as Unavailable instead of killing the process).
 Status WriteAll(int fd, const void* buffer, size_t size);
 
 }  // namespace dehealth

@@ -1,18 +1,58 @@
 #include "serve/client.h"
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
+
+#include "common/rng.h"
 
 namespace dehealth {
 
-StatusOr<QueryClient> QueryClient::Connect(const std::string& host,
-                                           int port) {
-  StatusOr<UniqueFd> fd = ConnectTcp(host, port);
-  if (!fd.ok()) return fd.status();
-  return QueryClient(std::move(fd).value());
+namespace {
+
+/// Jittered backoff before 1-based attempt `attempt` (>= 2), in ms.
+int BackoffMs(const RetryPolicy& retry, int attempt) {
+  double backoff = retry.initial_backoff_ms;
+  for (int i = 2; i < attempt; ++i) backoff *= retry.multiplier;
+  backoff = std::min(backoff, static_cast<double>(retry.max_backoff_ms));
+  // Deterministic jitter in [0.5, 1.0]: a pure function of (seed,
+  // attempt), so tests can predict total retry time while distinct seeds
+  // decorrelate a thundering herd.
+  Rng rng(MixSeed(retry.seed, static_cast<uint64_t>(attempt)));
+  return static_cast<int>(backoff * (0.5 + 0.5 * rng.NextDouble()));
 }
 
-StatusOr<std::string> QueryClient::RoundTrip(RequestType type,
-                                             const std::string& payload) {
+bool Transient(const Status& status) {
+  return status.code() == StatusCode::kUnavailable;
+}
+
+}  // namespace
+
+StatusOr<QueryClient> QueryClient::Connect(const std::string& host, int port,
+                                           RetryPolicy retry) {
+  retry.max_attempts = std::max(retry.max_attempts, 1);
+  Status last;
+  for (int attempt = 1; attempt <= retry.max_attempts; ++attempt) {
+    if (attempt > 1)
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(BackoffMs(retry, attempt)));
+    StatusOr<UniqueFd> fd = ConnectTcp(host, port);
+    if (fd.ok())
+      return QueryClient(host, port, retry, std::move(fd).value());
+    last = fd.status();
+    if (!Transient(last)) break;
+  }
+  return last;
+}
+
+StatusOr<std::string> QueryClient::RoundTripOnce(
+    RequestType type, const std::string& payload) {
+  if (!fd_.valid()) {
+    StatusOr<UniqueFd> fd = ConnectTcp(host_, port_);
+    if (!fd.ok()) return fd.status();
+    fd_ = std::move(fd).value();
+  }
   DEHEALTH_RETURN_IF_ERROR(
       WriteFrame(fd_.get(), static_cast<uint8_t>(type), payload));
   uint8_t response_type = 0;
@@ -36,6 +76,27 @@ StatusOr<std::string> QueryClient::RoundTrip(RequestType type,
   }
 }
 
+StatusOr<std::string> QueryClient::RoundTrip(RequestType type,
+                                             const std::string& payload,
+                                             bool retryable) {
+  const int max_attempts = retryable ? std::max(retry_.max_attempts, 1) : 1;
+  StatusOr<std::string> result = Status::Internal("unreachable");
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (attempt > 1)
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(BackoffMs(retry_, attempt)));
+    result = RoundTripOnce(type, payload);
+    if (result.ok() || !Transient(result.status())) return result;
+    // Transient failure. A mid-round-trip transport death leaves the
+    // stream unsynchronized — drop the connection so the next attempt
+    // reconnects. A transported overload rejection leaves it healthy.
+    // Queries are idempotent reads, so a resend is always safe.
+    if (!result.status().message().starts_with("server overloaded"))
+      fd_.reset();
+  }
+  return result;
+}
+
 StatusOr<std::string> QueryClient::Query(RequestType type,
                                          const std::vector<int>& users,
                                          int top_k, double timeout_ms) {
@@ -44,7 +105,7 @@ StatusOr<std::string> QueryClient::Query(RequestType type,
   request.users = users;
   request.top_k = top_k;
   request.timeout_ms = timeout_ms;
-  return RoundTrip(type, EncodeQueryPayload(request));
+  return RoundTrip(type, EncodeQueryPayload(request), /*retryable=*/true);
 }
 
 StatusOr<TopKAnswer> QueryClient::TopK(const std::vector<int>& users, int k,
@@ -73,14 +134,14 @@ StatusOr<FilteredAnswer> QueryClient::Filtered(const std::vector<int>& users,
 
 StatusOr<ServerStatsSnapshot> QueryClient::Stats() {
   StatusOr<std::string> payload =
-      RoundTrip(RequestType::kStats, std::string());
+      RoundTrip(RequestType::kStats, std::string(), /*retryable=*/true);
   if (!payload.ok()) return payload.status();
   return DecodeStatsPayload(*payload);
 }
 
 Status QueryClient::RequestShutdown() {
   StatusOr<std::string> payload =
-      RoundTrip(RequestType::kShutdown, std::string());
+      RoundTrip(RequestType::kShutdown, std::string(), /*retryable=*/false);
   return payload.ok() ? Status() : payload.status();
 }
 

@@ -1,6 +1,7 @@
 #ifndef DEHEALTH_SERVE_CLIENT_H_
 #define DEHEALTH_SERVE_CLIENT_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -9,18 +10,39 @@
 
 namespace dehealth {
 
+/// Bounded exponential-backoff retry for transient failures (Unavailable:
+/// connection refused/reset mid-handshake, server overload). Backoff
+/// before attempt i (1-based, i >= 2) is
+///   min(initial_backoff_ms * multiplier^(i-2), max_backoff_ms)
+/// scaled by a deterministic jitter factor in [0.5, 1.0] drawn from
+/// Rng(MixSeed(seed, i)) — seeded jitter keeps tests reproducible while
+/// still decorrelating real fleets that pass distinct seeds.
+struct RetryPolicy {
+  /// Total attempts (first try included). 1 = fail fast, no retry.
+  int max_attempts = 1;
+  int initial_backoff_ms = 10;
+  int max_backoff_ms = 1000;
+  double multiplier = 2.0;
+  uint64_t seed = 1;
+};
+
 /// Client side of the DHQP protocol: one blocking connection to a
 /// dehealth_serve instance, one request in flight at a time (run several
 /// clients for concurrency — connections are cheap, the server multiplexes
 /// them into batches). Move-only; NOT thread-safe — a connection is a
 /// sequential request/response stream.
 ///
-/// Server-side rejections come back as the transported Status: an
-/// overloaded server yields FailedPrecondition("server overloaded: ..."),
-/// an expired deadline FailedPrecondition("deadline exceeded ...").
+/// Server-side rejections come back as the transported Status with a typed
+/// code: an overloaded server yields Unavailable("server overloaded: ...")
+/// — transient, retried under the RetryPolicy — and an expired deadline
+/// DeadlineExceeded("deadline exceeded ..."), which is never retried (the
+/// caller's time budget is spent). Queries are idempotent (pure reads of
+/// immutable state), so resending after a connection dies mid-round-trip
+/// is always safe.
 class QueryClient {
  public:
-  static StatusOr<QueryClient> Connect(const std::string& host, int port);
+  static StatusOr<QueryClient> Connect(const std::string& host, int port,
+                                       RetryPolicy retry = {});
 
   QueryClient(QueryClient&&) = default;
   QueryClient& operator=(QueryClient&&) = default;
@@ -43,20 +65,35 @@ class QueryClient {
   StatusOr<ServerStatsSnapshot> Stats();
 
   /// Asks the server to drain and exit; returns once the server acked.
+  /// Never retried: a dead connection after sending probably means the
+  /// shutdown took, and resending to a restarted server would kill it too.
   Status RequestShutdown();
 
  private:
-  explicit QueryClient(UniqueFd fd) : fd_(std::move(fd)) {}
+  QueryClient(std::string host, int port, RetryPolicy retry, UniqueFd fd)
+      : host_(std::move(host)), port_(port), retry_(retry),
+        fd_(std::move(fd)) {}
 
   /// Writes one request frame, reads one response frame, maps kError /
   /// kOverloaded / kTimeout to the transported Status and returns the kOk
-  /// payload otherwise.
-  StatusOr<std::string> RoundTrip(RequestType type,
-                                  const std::string& payload);
+  /// payload otherwise. When `retryable`, transient failures (transport
+  /// Unavailable — after which the connection is re-established — or a
+  /// transported Unavailable such as overload) are retried under the
+  /// policy with jittered exponential backoff.
+  StatusOr<std::string> RoundTrip(RequestType type, const std::string& payload,
+                                  bool retryable);
+
+  /// One write/read exchange on the current connection, reconnecting
+  /// first if a previous failure closed it.
+  StatusOr<std::string> RoundTripOnce(RequestType type,
+                                      const std::string& payload);
 
   StatusOr<std::string> Query(RequestType type, const std::vector<int>& users,
                               int top_k, double timeout_ms);
 
+  std::string host_;
+  int port_ = 0;
+  RetryPolicy retry_;
   UniqueFd fd_;
 };
 

@@ -4,8 +4,7 @@
 #include <utility>
 
 #include "core/filtering.h"
-#include "index/indexed_source.h"
-#include "index/snapshot.h"
+#include "job/runner.h"
 
 namespace dehealth {
 
@@ -26,23 +25,27 @@ StatusOr<std::unique_ptr<QueryEngine>> QueryEngine::Create(
 Status QueryEngine::Init() {
   const DeHealthConfig& config = attack_.config();
 
-  // Score source — the same construction RunDeHealthAttack performs, so
-  // served answers match the one-shot pipeline bit for bit.
-  SimilarityConfig sim_config = config.similarity;
-  sim_config.num_threads = config.num_threads;
-  if (config.use_index) {
-    StatusOr<CandidateIndex> index =
-        LoadOrBuildIndex(config.index_snapshot_path, auxiliary_, sim_config);
-    if (!index.ok()) return index.status();
-    index_ = std::make_unique<CandidateIndex>(std::move(index).value());
-    scores_ = std::make_unique<IndexedCandidateSource>(
-        anonymized_, *index_, config.num_threads,
-        config.index_max_candidates);
-  } else {
-    const StructuralSimilarity similarity(anonymized_, auxiliary_,
-                                          sim_config);
-    similarity_ = similarity.ComputeMatrix();
-    scores_ = std::make_unique<DenseCandidateSource>(similarity_);
+  // Score source — the same construction RunDeHealthAttack and the job
+  // runner perform (including graceful dense fallback when the index is
+  // unusable), so served answers match the one-shot pipeline bit for bit.
+  StatusOr<std::unique_ptr<AttackScoreSource>> bundle =
+      BuildAttackScoreSource(anonymized_, auxiliary_, config);
+  if (!bundle.ok()) return bundle.status();
+  bundle_ = std::move(bundle).value();
+
+  // Durable warm start: with a job directory, phase 1 runs through the
+  // crash-safe shard store — a restart loads the shards a previous
+  // process (server or CLI) committed instead of recomputing them, and a
+  // warm start interrupted by SIGTERM/SIGKILL resumes next launch.
+  if (!config.job_dir.empty()) {
+    StatusOr<AttackJob> job =
+        AttackJob::Open(anonymized_, auxiliary_, config);
+    if (!job.ok()) return job.status();
+    StatusOr<DeHealthCandidates> state =
+        job->SelectCandidates(scores(), &raw_);
+    if (!state.ok()) return state.status();
+    state_ = std::move(state).value();
+    return Status();
   }
 
   // Phase 1b once, unfiltered: these sets answer kTopK at the default K
@@ -50,7 +53,7 @@ Status QueryEngine::Init() {
   DeHealthConfig unfiltered = config;
   unfiltered.enable_filtering = false;
   StatusOr<DeHealthCandidates> raw =
-      DeHealth(unfiltered).SelectCandidates(*scores_);
+      DeHealth(unfiltered).SelectCandidates(scores());
   if (!raw.ok()) return raw.status();
   raw_ = std::move(raw).value();
 
@@ -59,7 +62,7 @@ Status QueryEngine::Init() {
   // filter would see different thresholds per batch.
   if (config.enable_filtering) {
     StatusOr<FilterResult> filtered =
-        FilterCandidates(*scores_, raw_.candidates, config.filter);
+        FilterCandidates(scores(), raw_.candidates, config.filter);
     if (!filtered.ok()) return filtered.status();
     state_.candidates = std::move(filtered->candidates);
     state_.rejected = std::move(filtered->rejected);
@@ -69,9 +72,9 @@ Status QueryEngine::Init() {
   return Status();
 }
 
-int QueryEngine::num_anonymized() const { return scores_->num_anonymized(); }
+int QueryEngine::num_anonymized() const { return scores().num_anonymized(); }
 
-int QueryEngine::num_auxiliary() const { return scores_->num_auxiliary(); }
+int QueryEngine::num_auxiliary() const { return scores().num_auxiliary(); }
 
 Status QueryEngine::ValidateUsers(const std::vector<int>& users) const {
   const int n1 = num_anonymized();
@@ -103,7 +106,7 @@ StatusOr<TopKAnswer> QueryEngine::TopK(const std::vector<int>& users,
         "K=" + std::to_string(config.top_k) +
         "; request k=0 (default) or k=" + std::to_string(config.top_k));
   StatusOr<CandidateSets> sets =
-      scores_->TopKForUsers(users, k, config.num_threads);
+      scores().TopKForUsers(users, k, config.num_threads);
   if (!sets.ok()) return sets.status();
   answer.candidates = std::move(sets).value();
   return answer;
@@ -112,7 +115,7 @@ StatusOr<TopKAnswer> QueryEngine::TopK(const std::vector<int>& users,
 StatusOr<RefinedAnswer> QueryEngine::Refine(
     const std::vector<int>& users) const {
   StatusOr<RefinedDaResult> result =
-      attack_.RefineUsers(anonymized_, auxiliary_, *scores_, state_, users);
+      attack_.RefineUsers(anonymized_, auxiliary_, scores(), state_, users);
   if (!result.ok()) return result.status();
   RefinedAnswer answer;
   answer.predictions = std::move(result->predictions);

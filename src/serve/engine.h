@@ -5,7 +5,7 @@
 #include <vector>
 
 #include "core/de_health.h"
-#include "index/candidate_index.h"
+#include "index/pipeline.h"
 #include "serve/protocol.h"
 
 namespace dehealth {
@@ -25,10 +25,14 @@ namespace dehealth {
 /// the library's ParallelFor.
 class QueryEngine {
  public:
-  /// Builds the engine: score source (phase 1a or index load/build),
-  /// phase-1b candidate sets, and — when config.enable_filtering — the
-  /// phase-1c filtering verdicts. Everything a query needs is resident
-  /// after this returns.
+  /// Builds the engine: score source (phase 1a or index load/build, with
+  /// graceful dense fallback when the index is unusable), phase-1b
+  /// candidate sets, and — when config.enable_filtering — the phase-1c
+  /// filtering verdicts. Everything a query needs is resident after this
+  /// returns. When config.job_dir is set, phase 1 runs through the
+  /// crash-safe job runner (src/job/): warm starts load durable shards
+  /// instead of recomputing, an interrupted warm start resumes on the next
+  /// launch, and a SIGTERM during it returns Cancelled.
   static StatusOr<std::unique_ptr<QueryEngine>> Create(UdaGraph anonymized,
                                                        UdaGraph auxiliary,
                                                        DeHealthConfig config);
@@ -63,13 +67,14 @@ class QueryEngine {
   UdaGraph anonymized_;
   UdaGraph auxiliary_;
   DeHealth attack_;
-  /// Dense path: the materialized matrix DenseCandidateSource borrows.
-  std::vector<std::vector<double>> similarity_;
-  /// Indexed path: the index IndexedCandidateSource borrows.
-  std::unique_ptr<CandidateIndex> index_;
-  std::unique_ptr<CandidateSource> scores_;
+  /// The score source plus whatever storage it borrows (dense matrix or
+  /// candidate index) — built by BuildAttackScoreSource, the same
+  /// construction the one-shot pipeline and the job runner use.
+  std::unique_ptr<AttackScoreSource> bundle_;
   DeHealthCandidates raw_;    // phase 1b only (serves kTopK at default K)
   DeHealthCandidates state_;  // post-filtering state phase 2 runs against
+
+  const CandidateSource& scores() const { return *bundle_->source; }
 };
 
 }  // namespace dehealth

@@ -38,6 +38,13 @@ StatusOr<DeHealthConfig> ParseAttackFlags(const FlagParser& flags) {
   config.use_index =
       flags.Has("index") || !config.index_snapshot_path.empty();
   config.index_max_candidates = max_candidates;
+  // Crash-safe checkpoint/resume (src/job/): both binaries accept the same
+  // job flags so a serve warm start can reuse shards a CLI run committed.
+  config.job_dir = flags.Get("job-dir");
+  OPTIONS_ASSIGN_OR_RETURN(shard_size, flags.GetInt("shard-size", 64));
+  if (shard_size < 1)
+    return Status::InvalidArgument("--shard-size must be >= 1");
+  config.job_shard_size = shard_size;
   const std::string learner = flags.Get("learner", "smo");
   if (learner == "knn") {
     config.refined.learner = LearnerKind::kKnn;

@@ -352,7 +352,7 @@ Status DecodeErrorPayload(const std::string& payload, Status* error) {
   if (payload.size() < 8 + static_cast<size_t>(length))
     return reader.Fail("truncated error message");
   std::string message = payload.substr(8, length);
-  if (code == 0 || code > static_cast<uint32_t>(StatusCode::kUnimplemented)) {
+  if (code == 0 || code > static_cast<uint32_t>(StatusCode::kCancelled)) {
     *error = Status::Internal("peer error (unknown code " +
                               std::to_string(code) + "): " + message);
     return Status();

@@ -169,15 +169,17 @@ void QueryServer::HandleQuery(int fd, QueryRequest request) {
     if (draining_) {
       lock.unlock();
       WriteFrame(fd, kErrorByte,
-                 EncodeErrorPayload(Status::FailedPrecondition(
+                 EncodeErrorPayload(Status::Unavailable(
                      "server is shutting down")));
       return;
     }
     if (queue_.size() >= static_cast<size_t>(config_.max_queue)) {
       lock.unlock();
       metrics_.RecordOverload();
+      // Typed as Unavailable: overload is transient by construction (the
+      // queue drains), so clients with a RetryPolicy back off and resend.
       WriteFrame(fd, kOverloadedByte,
-                 EncodeErrorPayload(Status::FailedPrecondition(
+                 EncodeErrorPayload(Status::Unavailable(
                      "server overloaded: request queue is full (" +
                      std::to_string(config_.max_queue) + " pending)")));
       return;
@@ -233,7 +235,7 @@ void QueryServer::ExecuteBatch(
     if (now >= pending->deadline) {
       metrics_.RecordDeadlineExpired();
       Fulfill(*pending, kTimeoutByte,
-              EncodeErrorPayload(Status::FailedPrecondition(
+              EncodeErrorPayload(Status::DeadlineExceeded(
                   "deadline exceeded while queued")));
       continue;
     }

@@ -74,11 +74,51 @@ run_cli(1 attack --anonymized "${WORK_DIR}/anon.jsonl"
         --auxiliary "${WORK_DIR}/aux.jsonl" --k 5nonsense)
 run_cli(1 attack --anonymized "${WORK_DIR}/anon.jsonl"
         --auxiliary "${WORK_DIR}/aux.jsonl" --max-candidates -1)
+# Graceful degradation: an unusable index snapshot path must not take the
+# attack down — it warns and falls back to the dense similarity path, and
+# the answers are identical to the exact indexed run above.
+run_cli(0 attack --anonymized "${WORK_DIR}/anon.jsonl"
+        --auxiliary "${WORK_DIR}/aux.jsonl" --k 5 --learner centroid
+        --index-path "/nonexistent_dir/idx.dhix"
+        --out "${WORK_DIR}/pred3.csv")
+if(NOT RUN_ERR MATCHES "falling back to dense")
+  message(FATAL_ERROR "unwritable --index-path fallback warning missing: "
+          "${RUN_ERR}")
+endif()
+file(READ "${WORK_DIR}/pred3.csv" degraded_run)
+if(NOT first_run STREQUAL degraded_run)
+  message(FATAL_ERROR "dense-fallback run changed predictions")
+endif()
+
+# --- crash-safe job runner: checkpoint, crash, resume, byte-compare ------
+# A fault-injected crash kills the process (exit 86) after two phase-2
+# shards; the re-run must resume from the durable shards and produce a CSV
+# byte-identical to pred.csv (the uninterrupted run above) — even though
+# the resumed run uses a different thread count.
+run_cli(86 attack --anonymized "${WORK_DIR}/anon.jsonl"
+        --auxiliary "${WORK_DIR}/aux.jsonl" --k 5 --learner centroid
+        --threads 2 --job-dir "${WORK_DIR}/job" --shard-size 7
+        --fault-spec "job.phase2:crash:3"
+        --out "${WORK_DIR}/pred_job.csv")
+if(EXISTS "${WORK_DIR}/pred_job.csv")
+  message(FATAL_ERROR "crashed job run must not write the output CSV")
+endif()
+run_cli(0 attack --anonymized "${WORK_DIR}/anon.jsonl"
+        --auxiliary "${WORK_DIR}/aux.jsonl" --k 5 --learner centroid
+        --threads 1 --job-dir "${WORK_DIR}/job" --shard-size 7
+        --out "${WORK_DIR}/pred_job.csv")
+file(READ "${WORK_DIR}/pred_job.csv" resumed_run)
+if(NOT first_run STREQUAL resumed_run)
+  message(FATAL_ERROR "resumed job run is not byte-identical to the "
+          "uninterrupted run")
+endif()
+
+# A job directory from different inputs must fail closed, not mix results.
 run_cli(1 attack --anonymized "${WORK_DIR}/anon.jsonl"
-        --auxiliary "${WORK_DIR}/aux.jsonl"
-        --index-path "/nonexistent_dir/idx.dhix")
-if(NOT RUN_ERR MATCHES "cannot open for writing")
-  message(FATAL_ERROR "unwritable --index-path error unclear: ${RUN_ERR}")
+        --auxiliary "${WORK_DIR}/aux.jsonl" --k 4 --learner centroid
+        --job-dir "${WORK_DIR}/job")
+if(NOT RUN_ERR MATCHES "different forums, config, or shard size")
+  message(FATAL_ERROR "manifest mismatch error unclear: ${RUN_ERR}")
 endif()
 run_cli(1 attack --anonymized "${WORK_DIR}/missing.jsonl"
         --auxiliary "${WORK_DIR}/aux.jsonl")

@@ -217,7 +217,7 @@ TEST(ServeProtocolPayloads, StatsRoundTrips) {
 
 TEST(ServeProtocolPayloads, ErrorRoundTrips) {
   const Status original =
-      Status::FailedPrecondition("server overloaded: request queue is full");
+      Status::Unavailable("server overloaded: request queue is full");
   Status decoded;
   ASSERT_TRUE(
       DecodeErrorPayload(EncodeErrorPayload(original), &decoded).ok());

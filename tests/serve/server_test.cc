@@ -1,10 +1,13 @@
 #include "serve/server.h"
 
+#include <filesystem>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/fault_injection.h"
 #include "datagen/forum_generator.h"
 #include "datagen/split.h"
 #include "index/pipeline.h"
@@ -154,6 +157,41 @@ TEST_F(ServeEngineTest, OutOfRangeUserIsInvalidArgument) {
   EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
 }
 
+TEST_F(ServeEngineTest, JobDirWarmStartIsDurable) {
+  const std::string job_dir = "/tmp/dehealth_serve_job_warm";
+  std::filesystem::remove_all(job_dir);
+  DeHealthConfig config = FastConfig();
+  config.job_dir = job_dir;
+  config.job_shard_size = 7;
+  auto golden = RunDeHealthAttack(*anon_, *aux_, FastConfig());
+  ASSERT_TRUE(golden.ok());
+
+  auto cold = MakeEngine(config);
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  const std::vector<int> users = AllUsers((*cold)->num_anonymized());
+  auto top_k = (*cold)->TopK(users, 0);
+  ASSERT_TRUE(top_k.ok());
+  EXPECT_EQ(top_k->candidates, golden->candidates);
+  ASSERT_TRUE(
+      std::filesystem::exists(std::filesystem::path(job_dir) /
+                              "MANIFEST.dhjb"));
+
+  // Restarting the engine answers phase 1 from the durable shards: even
+  // with every recompute path rigged to fail, warm start succeeds.
+  ASSERT_TRUE(
+      FaultInjector::Global().Configure("job.phase1:fail:1:0").ok());
+  auto warm = MakeEngine(config);
+  FaultInjector::Global().Reset();
+  ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+  auto warm_top_k = (*warm)->TopK(users, 0);
+  ASSERT_TRUE(warm_top_k.ok());
+  EXPECT_EQ(warm_top_k->candidates, golden->candidates);
+  auto refined = (*warm)->Refine(users);
+  ASSERT_TRUE(refined.ok());
+  EXPECT_EQ(refined->predictions, golden->refined.predictions);
+  std::filesystem::remove_all(job_dir);
+}
+
 /// Full client/server loop against the same golden answers.
 class ServeServerTest : public ServeEngineTest {};
 
@@ -216,7 +254,8 @@ TEST_F(ServeServerTest, FullQueueAnswersOverloadedInsteadOfStalling) {
   ASSERT_TRUE(client.ok());
   auto answer = client->TopK({0, 1});
   ASSERT_FALSE(answer.ok());
-  EXPECT_EQ(answer.status().code(), StatusCode::kFailedPrecondition);
+  // Typed as Unavailable so retry policies know overload is transient.
+  EXPECT_EQ(answer.status().code(), StatusCode::kUnavailable);
   EXPECT_NE(answer.status().message().find("overloaded"),
             std::string::npos);
 
@@ -241,11 +280,67 @@ TEST_F(ServeServerTest, ExpiredDeadlineAnswersTimeout) {
   // executor looks, deterministically.
   auto answer = client->Refine({0}, /*timeout_ms=*/1e-9);
   ASSERT_FALSE(answer.ok());
+  EXPECT_EQ(answer.status().code(), StatusCode::kDeadlineExceeded);
   EXPECT_NE(answer.status().message().find("deadline"), std::string::npos);
 
   auto stats = client->Stats();
   ASSERT_TRUE(stats.ok());
   EXPECT_EQ(stats->deadline_expirations, 1u);
+
+  server.Shutdown();
+  server.Wait();
+}
+
+TEST_F(ServeServerTest, ConnectRetriesTransientFailures) {
+  auto engine = MakeEngine(FastConfig());
+  ASSERT_TRUE(engine.ok());
+  QueryServer server(**engine, ServerConfig());
+  ASSERT_TRUE(server.Start().ok());
+
+  // Fail-fast is the default: one injected connection reset kills Connect.
+  ASSERT_TRUE(
+      FaultInjector::Global().Configure("socket.connect:reset:1").ok());
+  auto no_retry = QueryClient::Connect("127.0.0.1", server.port());
+  ASSERT_FALSE(no_retry.ok());
+  EXPECT_EQ(no_retry.status().code(), StatusCode::kUnavailable);
+
+  // With a retry budget the second attempt lands; backoff is bounded and
+  // deterministic (jitter is a pure function of seed and attempt).
+  ASSERT_TRUE(
+      FaultInjector::Global().Configure("socket.connect:reset:1").ok());
+  RetryPolicy retry;
+  retry.max_attempts = 3;
+  retry.initial_backoff_ms = 1;
+  auto client = QueryClient::Connect("127.0.0.1", server.port(), retry);
+  FaultInjector::Global().Reset();
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  EXPECT_TRUE(client->TopK({0}).ok());
+
+  server.Shutdown();
+  server.Wait();
+}
+
+TEST_F(ServeServerTest, OverloadedAnswersAreRetried) {
+  auto engine = MakeEngine(FastConfig());
+  ASSERT_TRUE(engine.ok());
+  ServerConfig server_config;
+  server_config.max_queue = 0;  // every query is rejected as overloaded
+  QueryServer server(**engine, server_config);
+  ASSERT_TRUE(server.Start().ok());
+
+  RetryPolicy retry;
+  retry.max_attempts = 3;
+  retry.initial_backoff_ms = 1;
+  auto client = QueryClient::Connect("127.0.0.1", server.port(), retry);
+  ASSERT_TRUE(client.ok());
+  auto answer = client->TopK({0});
+  ASSERT_FALSE(answer.ok());
+  EXPECT_EQ(answer.status().code(), StatusCode::kUnavailable);
+  // The rejection count proves the client really resent the query once per
+  // attempt — overload keeps the connection, so all three rode one socket.
+  auto stats = client->Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->overload_rejections, 3u);
 
   server.Shutdown();
   server.Wait();
