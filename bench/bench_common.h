@@ -2,12 +2,33 @@
 #define DEHEALTH_BENCH_BENCH_COMMON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
 #include "common/parallel.h"
+#include "obs/metrics.h"
 
 namespace dehealth::bench {
+
+/// Prints the process-global metrics registry (non-zero metrics only) to
+/// stderr at exit, so every bench binary reports the instrumentation
+/// snapshot it ran under — e.g. the index prune hit/miss counts behind a
+/// BENCH_index.json number. Safe at exit: Registry::Global() is a leaked
+/// singleton that outlives static destructors.
+inline void PrintMetricsSnapshot() {
+  const std::string summary = obs::Registry::Global().RenderNonZeroSummary();
+  if (summary.empty()) return;
+  std::fprintf(stderr, "metrics snapshot:\n%s", summary.c_str());
+}
+
+namespace internal {
+struct MetricsSnapshotAtExit {
+  MetricsSnapshotAtExit() { std::atexit(PrintMetricsSnapshot); }
+};
+/// One registration per binary that includes this header.
+inline MetricsSnapshotAtExit metrics_snapshot_at_exit;
+}  // namespace internal
 
 /// Prints a section banner for a reproduced table/figure.
 inline void Banner(const char* experiment_id, const char* description) {

@@ -24,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "core/de_health.h"
 #include "datagen/forum_generator.h"
 #include "datagen/split.h"

@@ -25,6 +25,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_common.h"
 #include "datagen/forum_generator.h"
 #include "datagen/split.h"
 #include "serve/client.h"

@@ -11,6 +11,7 @@
 //                         [--max-candidates N]
 //                         [--job-dir dir] [--shard-size N]
 //                         [--truth truth.csv] [--out predictions.csv]
+//                         [--trace-out trace.json] [--metrics-out m.prom]
 //
 // --threads N runs the whole pipeline on N threads (0 = all hardware
 // threads, the default); results are identical for any value.
@@ -24,6 +25,10 @@
 // kill point). See DESIGN.md "Fault tolerance".
 // --fault-spec (all commands, also dehealth_serve) arms deterministic
 // fault injection for testing, e.g. "job.phase2:crash:2".
+// --trace-out records a span trace of the attack (.json = Chrome
+// trace_event format, anything else JSONL) and --metrics-out writes the
+// run's metric registry in Prometheus text format; neither changes any
+// output byte. See docs/TRACING.md and docs/METRICS.md.
 
 #include <cstdio>
 #include <cstdlib>
@@ -41,6 +46,8 @@
 #include "index/pipeline.h"
 #include "io/forum_io.h"
 #include "job/runner.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/options.h"
 
 using namespace dehealth;
@@ -124,11 +131,47 @@ int CmdSplit(const Args& args) {
   return 0;
 }
 
+/// Stops the tracer and flushes the trace file on every CmdAttack return
+/// path (success, failure, AND the checkpointed early return under
+/// SIGTERM — a resumable job should still leave a usable partial trace).
+struct TraceFlusher {
+  ~TraceFlusher() {
+    Status st = obs::Tracer::Global().Stop();
+    if (!st.ok())
+      std::fprintf(stderr, "warning: %s\n", st.ToString().c_str());
+  }
+};
+
 int CmdAttack(const Args& args) {
   const std::string anon_path = args.Get("anonymized");
   const std::string aux_path = args.Get("auxiliary");
   if (anon_path.empty() || aux_path.empty())
     return Fail("attack requires --anonymized and --auxiliary");
+
+  // Tracing never touches an RNG stream or any result byte (see
+  // src/obs/trace.h), so a traced run's outputs are bitwise-identical to
+  // an untraced run's — the determinism test holds the binary to this.
+  const std::string trace_out = args.Get("trace-out");
+  if (!trace_out.empty()) {
+    Status st = obs::Tracer::Global().Start(trace_out);
+    if (!st.ok()) return Fail(st.ToString());
+  }
+  TraceFlusher trace_flusher;
+
+  // Written on every return path too: a checkpointed (killed) run's
+  // counters are exactly what an operator wants when deciding whether the
+  // resume is making progress.
+  struct MetricsWriter {
+    std::string path;
+    ~MetricsWriter() {
+      if (path.empty()) return;
+      std::ofstream out(path, std::ios::trunc);
+      out << obs::Registry::Global().RenderPrometheus();
+      if (!out)
+        std::fprintf(stderr, "warning: failed writing metrics to '%s'\n",
+                     path.c_str());
+    }
+  } metrics_writer{args.Get("metrics-out")};
 
   auto anon_data = LoadForumDataset(anon_path);
   if (!anon_data.ok()) return Fail(anon_data.status().ToString());

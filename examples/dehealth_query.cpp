@@ -4,6 +4,7 @@
 //   dehealth_query refined  --port P [--users 0,1,2|all] [--timeout-ms T]
 //   dehealth_query filtered --port P [--users 0,1,2|all]
 //   dehealth_query stats    --port P
+//   dehealth_query metrics  --port P [--out metrics.prom]
 //   dehealth_query dump     --port P [--out predictions.csv]
 //   dehealth_query shutdown --port P
 //
@@ -26,6 +27,7 @@
 
 #include "common/flags.h"
 #include "serve/client.h"
+#include "serve/metrics.h"
 
 using namespace dehealth;
 
@@ -116,7 +118,8 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: dehealth_query "
-                 "<topk|refined|filtered|stats|dump|shutdown> --port P "
+                 "<topk|refined|filtered|stats|metrics|dump|shutdown> "
+                 "--port P "
                  "[--host H] [--users 0,1,2|all] [--k N] [--timeout-ms T] "
                  "[--out file]\n");
     return 1;
@@ -144,20 +147,25 @@ int main(int argc, char** argv) {
   if (command == "stats") {
     StatusOr<ServerStatsSnapshot> stats = client->Stats();
     if (!stats.ok()) return Fail(stats.status().ToString());
-    std::printf(
-        "requests=%llu queries=%llu batches=%llu max_batch=%llu "
-        "overloaded=%llu timed_out=%llu queue=%llu users=%llu k=%llu "
-        "p50_us=%.0f p99_us=%.0f max_us=%.0f\n",
-        static_cast<unsigned long long>(stats->requests_total),
-        static_cast<unsigned long long>(stats->queries_total),
-        static_cast<unsigned long long>(stats->batches_total),
-        static_cast<unsigned long long>(stats->max_batch),
-        static_cast<unsigned long long>(stats->overload_rejections),
-        static_cast<unsigned long long>(stats->deadline_expirations),
-        static_cast<unsigned long long>(stats->queue_depth),
-        static_cast<unsigned long long>(stats->num_anonymized),
-        static_cast<unsigned long long>(stats->default_top_k),
-        stats->p50_micros, stats->p99_micros, stats->max_micros);
+    // Same renderer as the server's periodic stderr line (one source of
+    // truth — serve/metrics.h), plus the dataset fields only kStats knows.
+    std::printf("%s\n", FormatStatsLine(*stats).c_str());
+    std::printf("dataset: %llu anonymized users, K=%llu\n",
+                static_cast<unsigned long long>(stats->num_anonymized),
+                static_cast<unsigned long long>(stats->default_top_k));
+    return 0;
+  }
+  if (command == "metrics") {
+    StatusOr<std::string> text = client->Metrics();
+    if (!text.ok()) return Fail(text.status().ToString());
+    const std::string out_path = flags.Get("out");
+    if (out_path.empty()) {
+      std::fputs(text->c_str(), stdout);
+      return 0;
+    }
+    std::ofstream out(out_path);
+    if (!out) return Fail("cannot open for writing: " + out_path);
+    out << *text;
     return 0;
   }
   if (command == "shutdown") {

@@ -10,6 +10,7 @@
 //                  [--job-dir dir] [--shard-size N]
 //                  [--host 127.0.0.1] [--port 0] [--queue 64] [--batch 16]
 //                  [--timeout-ms 0] [--stats-period 0] [--port-file path]
+//                  [--trace-out trace.json]
 //
 // Attack flags mean exactly what they mean to `dehealth_cli attack` (same
 // parser — see serve/options.h), so served answers are bitwise-identical
@@ -30,6 +31,8 @@
 #include "common/shutdown.h"
 #include "io/file_util.h"
 #include "io/forum_io.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/engine.h"
 #include "serve/options.h"
 #include "serve/server.h"
@@ -65,6 +68,25 @@ int main(int argc, char** argv) {
     Status st = FaultInjector::Global().Configure(fault_spec);
     if (!st.ok()) return Fail(st.ToString());
   }
+
+  // The served registry is the process-global one so the `metrics` query
+  // exports warm-start core/index/job counters alongside serve counters.
+  server_config->registry = &obs::Registry::Global();
+
+  const std::string trace_out = flags.Get("trace-out");
+  if (!trace_out.empty()) {
+    Status st = obs::Tracer::Global().Start(trace_out);
+    if (!st.ok()) return Fail(st.ToString());
+  }
+  // Flush the trace on every exit path — including a checkpointed warm
+  // start and startup failures.
+  struct TraceFlusher {
+    ~TraceFlusher() {
+      Status st = obs::Tracer::Global().Stop();
+      if (!st.ok())
+        std::fprintf(stderr, "warning: %s\n", st.ToString().c_str());
+    }
+  } trace_flusher;
 
   auto anon_data = LoadForumDataset(anon_path);
   if (!anon_data.ok()) return Fail(anon_data.status().ToString());

@@ -1,0 +1,100 @@
+#include "common/flag_catalog.h"
+
+namespace dehealth {
+
+const std::vector<FlagDoc>& FlagCatalog() {
+  static const std::vector<FlagDoc>* catalog = new std::vector<FlagDoc>{
+      {"anon-out", "cli split", false,
+       "Output path for the anonymized-side dataset"},
+      {"anonymized", "cli attack, serve", false,
+       "Anonymized-side forum dataset (JSONL)"},
+      {"aux-fraction", "cli split", false,
+       "Fraction of each user's posts routed to the auxiliary side "
+       "(closed world; default 0.5)"},
+      {"aux-out", "cli split", false,
+       "Output path for the auxiliary-side dataset"},
+      {"auxiliary", "cli attack, serve", false,
+       "Auxiliary-side forum dataset (JSONL)"},
+      {"batch", "serve", false,
+       "Largest number of queued requests coalesced into one engine batch "
+       "(default 16)"},
+      {"dataset", "cli split", false, "Input forum dataset to split"},
+      {"fault-spec", "cli, serve", false,
+       "Deterministic fault injection spec '<site>:<kind>:<hit>,...' "
+       "(testing only)"},
+      {"filter", "cli attack, serve", true,
+       "Enable phase-1c candidate filtering (Algorithm 2)"},
+      {"host", "query, serve", false,
+       "Server address (default 127.0.0.1)"},
+      {"idf", "cli attack, serve", true,
+       "IDF-weight attribute similarity"},
+      {"index", "cli attack, serve", true,
+       "Answer phase 1 from the candidate index instead of the dense "
+       "similarity matrix"},
+      {"index-path", "cli attack, serve", false,
+       "DHIX snapshot path: load the index when fresh, else rebuild and "
+       "persist (implies --index)"},
+      {"job-dir", "cli attack, serve", false,
+       "Run through the crash-safe job runner, checkpointing shards into "
+       "this directory"},
+      {"k", "cli attack, serve, query", false,
+       "Top-K candidate set size (default 10; query: 0 = server default)"},
+      {"learner", "cli attack, serve", false,
+       "Phase-2 learner: smo (default), knn, rlsc, centroid"},
+      {"max-candidates", "cli attack, serve", false,
+       "Per-query exact-evaluation budget of the indexed path (0 = exact, "
+       "the default)"},
+      {"metrics-out", "cli attack", false,
+       "Write the run's metrics registry to this file (Prometheus text "
+       "format)"},
+      {"out", "cli generate/split/attack, query", false,
+       "Output path (dataset, predictions CSV, or query answers)"},
+      {"overlap", "cli split", false,
+       "Open-world user overlap fraction; > 0 selects the open-world "
+       "split"},
+      {"port", "query, serve", false,
+       "TCP port (serve: 0 binds an ephemeral port)"},
+      {"port-file", "serve", false,
+       "Write the bound port to this file once listening (for scripts "
+       "using --port 0)"},
+      {"preset", "cli generate", false,
+       "Synthetic forum preset: webmd (default) or hb"},
+      {"queue", "serve", false,
+       "Admission bound: requests beyond this many queued are rejected "
+       "OVERLOADED (default 64)"},
+      {"retries", "query", false,
+       "Retry budget for transient failures (connection refused, "
+       "overload)"},
+      {"seed", "cli generate/split", false,
+       "RNG seed (default 1); same seed => same dataset/split"},
+      {"shard-size", "cli attack, serve", false,
+       "Users per checkpoint shard under --job-dir (default 64)"},
+      {"stats-period", "serve", false,
+       "Seconds between periodic stats lines on stderr (0 = off)"},
+      {"threads", "cli attack, serve", false,
+       "Worker threads (0 = all hardware threads); results are identical "
+       "for any value"},
+      {"timeout-ms", "cli attack, serve, query", false,
+       "Server-side queue-wait deadline per request (0 = none)"},
+      {"trace-out", "cli attack, serve", false,
+       "Record a span trace of the run to this file (.json = Chrome "
+       "trace_event, else JSONL)"},
+      {"truth", "cli attack", false,
+       "Truth CSV from `split` to evaluate predictions against"},
+      {"truth-out", "cli split", false,
+       "Output path for the ground-truth mapping CSV"},
+      {"users", "cli generate, query", false,
+       "generate: number of users; query: comma-separated anonymized user "
+       "ids"},
+  };
+  return *catalog;
+}
+
+std::set<std::string> AttackBooleanFlags() {
+  std::set<std::string> flags;
+  for (const FlagDoc& doc : FlagCatalog())
+    if (doc.boolean) flags.insert(doc.name);
+  return flags;
+}
+
+}  // namespace dehealth

@@ -5,7 +5,8 @@
 
 namespace dehealth {
 
-LatencyHistogram::LatencyHistogram() : count_(0), max_micros_(0) {
+LatencyHistogram::LatencyHistogram()
+    : count_(0), max_micros_(0), sum_micros_(0) {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
 }
 
@@ -21,6 +22,7 @@ void LatencyHistogram::Record(double micros) {
   buckets_[static_cast<size_t>(BucketFor(value))].fetch_add(
       1, std::memory_order_relaxed);
   count_.fetch_add(1, std::memory_order_relaxed);
+  sum_micros_.fetch_add(value, std::memory_order_relaxed);
   uint64_t seen = max_micros_.load(std::memory_order_relaxed);
   while (value > seen &&
          !max_micros_.compare_exchange_weak(seen, value,
@@ -51,6 +53,21 @@ double LatencyHistogram::QuantileMicros(double q) const {
 
 double LatencyHistogram::MaxMicros() const {
   return static_cast<double>(max_micros_.load(std::memory_order_relaxed));
+}
+
+uint64_t LatencyHistogram::SumMicros() const {
+  return sum_micros_.load(std::memory_order_relaxed);
+}
+
+uint64_t LatencyHistogram::BucketCount(int i) const {
+  if (i < 0 || i >= kNumBuckets) return 0;
+  return buckets_[static_cast<size_t>(i)].load(std::memory_order_relaxed);
+}
+
+double LatencyHistogram::BucketUpperBound(int i) {
+  if (i < 0) return 0.0;
+  if (i >= kNumBuckets) i = kNumBuckets - 1;
+  return static_cast<double>(uint64_t{1} << (i + 1));
 }
 
 }  // namespace dehealth

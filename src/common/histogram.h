@@ -36,13 +36,24 @@ class LatencyHistogram {
   /// Largest sample recorded (µs, rounded to whole µs); 0 when empty.
   double MaxMicros() const;
 
- private:
+  /// Sum of all recorded samples (whole µs, saturating only at uint64
+  /// wrap). Lets exporters derive a mean and emit Prometheus `_sum`.
+  uint64_t SumMicros() const;
+
+  /// Bucket introspection for exporters (obs::Registry renders these as
+  /// cumulative Prometheus buckets). Bucket i counts samples in
+  /// [2^i, 2^(i+1)) µs; BucketUpperBound(i) is the exclusive upper edge.
   static constexpr int kNumBuckets = 48;
+  uint64_t BucketCount(int i) const;
+  static double BucketUpperBound(int i);
+
+ private:
   static int BucketFor(uint64_t micros);
 
   std::array<std::atomic<uint64_t>, kNumBuckets> buckets_;
   std::atomic<uint64_t> count_;
   std::atomic<uint64_t> max_micros_;
+  std::atomic<uint64_t> sum_micros_;
 };
 
 }  // namespace dehealth

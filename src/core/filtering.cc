@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/standard_metrics.h"
+#include "obs/trace.h"
+
 namespace dehealth {
 
 StatusOr<FilterResult> FilterCandidates(const CandidateSource& scores,
@@ -17,6 +20,11 @@ StatusOr<FilterResult> FilterCandidates(const CandidateSource& scores,
   if (static_cast<size_t>(scores.num_anonymized()) != candidates.size())
     return Status::InvalidArgument(
         "FilterCandidates: similarity/candidate size mismatch");
+
+  obs::Span span("core", "filter_candidates");
+  span.SetArg("users", static_cast<int64_t>(candidates.size()));
+  obs::CoreMetrics& metrics = obs::GetCoreMetrics();
+  metrics.filter_runs->Increment();
 
   FilterResult result;
   result.candidates.resize(candidates.size());
@@ -43,6 +51,7 @@ StatusOr<FilterResult> FilterCandidates(const CandidateSource& scores,
   }
   if (s_min > s_max) {  // no auxiliary users at all
     result.rejected.assign(candidates.size(), true);
+    metrics.filter_rejected->Increment(candidates.size());
     return result;
   }
   const double s_upper = s_max;
@@ -73,6 +82,9 @@ StatusOr<FilterResult> FilterCandidates(const CandidateSource& scores,
     }
     if (!kept) result.rejected[u] = true;  // u → ⊥ (line 12-13)
   }
+  uint64_t rejected = 0;
+  for (const bool r : result.rejected) rejected += r ? 1 : 0;
+  metrics.filter_rejected->Increment(rejected);
   return result;
 }
 

@@ -9,6 +9,8 @@
 #include "common/parallel.h"
 #include "common/rng.h"
 #include "ml/knn.h"
+#include "obs/standard_metrics.h"
+#include "obs/trace.h"
 #include "ml/metrics.h"
 #include "ml/nearest_centroid.h"
 #include "ml/rlsc.h"
@@ -244,6 +246,9 @@ StatusOr<RefinedDaResult> RunRefinedDa(const UdaGraph& anonymized,
   if (scores.num_anonymized() != n1)
     return Status::InvalidArgument(
         "RunRefinedDa: similarity row count != anonymized users");
+  obs::Span span("core", "refined_da");
+  span.SetArg("users", n1);
+  obs::GetCoreMetrics().refined_users->Increment(static_cast<uint64_t>(n1));
 
   // One independent training problem per anonymized user; each task writes
   // only its own outcome/status slot, so predictions are identical for any
@@ -305,6 +310,9 @@ StatusOr<RefinedDaResult> RunRefinedDaForUsers(
       return Status::InvalidArgument(
           "RunRefinedDaForUsers: user id " + std::to_string(u) +
           " out of range [0, " + std::to_string(n1) + ")");
+  obs::Span span("core", "refined_da_for_users");
+  span.SetArg("users", static_cast<int64_t>(users.size()));
+  obs::GetCoreMetrics().refined_users->Increment(users.size());
 
   // Same per-user problems as the full run, just over a subset; each task
   // writes only its own batch slot.

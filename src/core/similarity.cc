@@ -7,6 +7,8 @@
 #include "common/math_utils.h"
 #include "common/parallel.h"
 #include "graph/landmarks.h"
+#include "obs/standard_metrics.h"
+#include "obs/trace.h"
 
 namespace dehealth {
 
@@ -158,6 +160,11 @@ double StructuralSimilarity::Combined(NodeId u, NodeId v) const {
 std::vector<std::vector<double>> StructuralSimilarity::ComputeMatrix() const {
   const int n1 = num_anonymized();
   const int n2 = num_auxiliary();
+  obs::Span span("core", "similarity_matrix");
+  span.SetArg("rows", n1);
+  obs::CoreMetrics& metrics = obs::GetCoreMetrics();
+  metrics.similarity_matrices->Increment();
+  metrics.similarity_rows->Increment(static_cast<uint64_t>(n1));
   std::vector<std::vector<double>> matrix(
       static_cast<size_t>(n1), std::vector<double>(static_cast<size_t>(n2)));
   // Row-parallel: each task owns exactly one preallocated row, so the

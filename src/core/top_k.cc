@@ -7,6 +7,8 @@
 
 #include "common/parallel.h"
 #include "graph/bipartite_matching.h"
+#include "obs/standard_metrics.h"
+#include "obs/trace.h"
 
 namespace dehealth {
 
@@ -101,6 +103,9 @@ StatusOr<CandidateSets> SelectTopKCandidates(
   if (k < 1)
     return Status::InvalidArgument("SelectTopKCandidates: k must be >= 1");
   if (similarity.empty()) return CandidateSets{};
+  obs::Span span("core", "select_top_k");
+  span.SetArg("rows", static_cast<int64_t>(similarity.size()));
+  obs::GetCoreMetrics().topk_dense_rows->Increment(similarity.size());
   const size_t n2 = similarity[0].size();
   for (const auto& row : similarity)
     if (row.size() != n2)

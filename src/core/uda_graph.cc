@@ -1,10 +1,17 @@
 #include "core/uda_graph.h"
 
+#include "obs/standard_metrics.h"
+#include "obs/trace.h"
 #include "stylo/extractor.h"
 
 namespace dehealth {
 
 UdaGraph BuildUdaGraph(const ForumDataset& dataset) {
+  obs::Span span("core", "build_uda_graph");
+  span.SetArg("posts", static_cast<int64_t>(dataset.posts.size()));
+  obs::CoreMetrics& metrics = obs::GetCoreMetrics();
+  metrics.uda_builds->Increment();
+  metrics.uda_posts->Increment(dataset.posts.size());
   UdaGraph uda;
   uda.graph = BuildCorrelationGraph(dataset);
   uda.profiles.resize(static_cast<size_t>(dataset.num_users));

@@ -7,6 +7,7 @@
 #include "common/math_utils.h"
 #include "common/parallel.h"
 #include "graph/landmarks.h"
+#include "obs/standard_metrics.h"
 
 namespace dehealth {
 
@@ -468,6 +469,15 @@ std::vector<int> CandidateIndex::TopKForQuery(const IndexedUserFeatures& query,
   std::vector<int> result;
   result.reserve(heap.size());
   for (const ScoredCandidate& c : heap) result.push_back(c.user);
+
+  // One atomic add per counter per query (never per candidate): the prune
+  // hit/miss ratio is the number the bench reports, and this keeps the
+  // accounting off the inner loop.
+  obs::IndexMetrics& metrics = obs::GetIndexMetrics();
+  metrics.topk_queries->Increment();
+  metrics.exact_evals->Increment(static_cast<uint64_t>(evaluated));
+  metrics.bound_pruned->Increment(
+      static_cast<uint64_t>(static_cast<int64_t>(n2) - evaluated));
   return result;
 }
 

@@ -1,6 +1,7 @@
 #include "index/indexed_source.h"
 
 #include "common/parallel.h"
+#include "obs/trace.h"
 
 namespace dehealth {
 
@@ -35,6 +36,8 @@ StatusOr<CandidateSets> IndexedCandidateSource::TopK(int k,
   if (k < 1)
     return Status::InvalidArgument(
         "IndexedCandidateSource::TopK: k must be >= 1");
+  obs::Span span("index", "indexed_top_k");
+  span.SetArg("rows", static_cast<int64_t>(queries_.size()));
   CandidateSets result(queries_.size());
   // Row-parallel like the dense path: each task owns one preallocated
   // output slot, so candidate sets are identical for any thread count.

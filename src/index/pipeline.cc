@@ -4,6 +4,7 @@
 
 #include "index/indexed_source.h"
 #include "index/snapshot.h"
+#include "obs/standard_metrics.h"
 
 namespace dehealth {
 
@@ -35,6 +36,7 @@ StatusOr<std::unique_ptr<AttackScoreSource>> BuildAttackScoreSource(
                  "to dense similarity path\n",
                  index.status().ToString().c_str());
     bundle->degraded_to_dense = true;
+    obs::GetIndexMetrics().dense_fallbacks->Increment();
   }
 
   const StructuralSimilarity similarity(anonymized, auxiliary, sim_config);

@@ -6,6 +6,8 @@
 
 #include "common/fault_injection.h"
 #include "io/file_util.h"
+#include "obs/standard_metrics.h"
+#include "obs/trace.h"
 
 namespace dehealth {
 
@@ -245,6 +247,7 @@ StatusOr<CandidateIndex> LoadOrBuildIndex(const std::string& path,
                                           const UdaGraph& auxiliary,
                                           const SimilarityConfig& config) {
   if (!path.empty()) {
+    obs::Span span("index", "snapshot_load");
     StatusOr<CandidateIndex> loaded = LoadIndexSnapshot(path);
     if (loaded.ok()) {
       const CandidateIndexData& data = loaded->data();
@@ -254,10 +257,14 @@ StatusOr<CandidateIndex> LoadOrBuildIndex(const std::string& path,
           data.num_landmarks == config.num_landmarks &&
           data.idf_weight_attributes == config.idf_weight_attributes;
       if (config_matches &&
-          data.auxiliary_fingerprint == FingerprintForIndex(auxiliary))
+          data.auxiliary_fingerprint == FingerprintForIndex(auxiliary)) {
+        obs::GetIndexMetrics().snapshot_loads->Increment();
         return loaded;
+      }
     }
   }
+  obs::Span span("index", "index_rebuild");
+  obs::GetIndexMetrics().snapshot_rebuilds->Increment();
   StatusOr<CandidateIndex> built = CandidateIndex::Build(auxiliary, config);
   if (!built.ok()) return built.status();
   if (!path.empty())

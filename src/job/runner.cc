@@ -9,6 +9,8 @@
 #include "index/candidate_index.h"
 #include "index/pipeline.h"
 #include "io/file_util.h"
+#include "obs/standard_metrics.h"
+#include "obs/trace.h"
 
 namespace dehealth {
 
@@ -27,6 +29,7 @@ std::string ShardFilename(const char* prefix, uint32_t begin, uint32_t end) {
 /// a clean replacement. Rename-over is fine if an older quarantined copy
 /// exists.
 void QuarantineFile(const std::string& path, const Status& why) {
+  obs::GetJobMetrics().quarantines->Increment();
   const std::string target = path + ".quarantined";
   std::fprintf(stderr,
                "warning: quarantining '%s' (-> '%s'): %s; recomputing\n",
@@ -136,6 +139,7 @@ StatusOr<JobShard> AttackJob::LoadShard(const std::string& filename,
     return JobShard{};
   }
   *loaded = true;
+  obs::GetJobMetrics().shards_loaded->Increment();
   return shard;
 }
 
@@ -173,6 +177,9 @@ StatusOr<DeHealthCandidates> AttackJob::SelectCandidates(
       if (ProcessShutdownRequested())
         return CancelledAtShard("topk", begin, end);
       DEHEALTH_RETURN_IF_ERROR(InjectFaultPoint("job.phase1"));
+      obs::GetJobMetrics().shards_computed->Increment();
+      obs::Span shard_span("job", "topk_shard");
+      shard_span.SetArg("users", static_cast<int64_t>(end - begin));
       std::vector<int> users(end - begin);
       std::iota(users.begin(), users.end(), static_cast<int>(begin));
       StatusOr<CandidateSets> sets =
@@ -203,6 +210,10 @@ StatusOr<DeHealthCandidates> AttackJob::SelectCandidates(
       if (ProcessShutdownRequested())
         return CancelledAtShard("filter", 0, manifest_.num_users);
       DEHEALTH_RETURN_IF_ERROR(InjectFaultPoint("job.filter"));
+      obs::GetJobMetrics().shards_computed->Increment();
+      obs::Span shard_span("job", "filter_shard");
+      shard_span.SetArg("users",
+                        static_cast<int64_t>(manifest_.num_users));
       StatusOr<FilterResult> filtered =
           FilterCandidates(scores, state.candidates, config_.filter);
       if (!filtered.ok()) return filtered.status();
@@ -240,6 +251,9 @@ StatusOr<RefinedDaResult> AttackJob::Refine(const UdaGraph& anonymized,
       if (ProcessShutdownRequested())
         return CancelledAtShard("refined", begin, end);
       DEHEALTH_RETURN_IF_ERROR(InjectFaultPoint("job.phase2"));
+      obs::GetJobMetrics().shards_computed->Increment();
+      obs::Span shard_span("job", "refined_shard");
+      shard_span.SetArg("users", static_cast<int64_t>(end - begin));
       std::vector<int> users(end - begin);
       std::iota(users.begin(), users.end(), static_cast<int>(begin));
       // Each user's refined-DA problem is a pure function of (config, u)

@@ -1,0 +1,168 @@
+#include "obs/metrics.h"
+
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dehealth::obs {
+
+namespace {
+
+const char* TypeName(MetricType type) {
+  switch (type) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "unknown";
+}
+
+void AppendLine(std::string& out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendLine(std::string& out, const char* fmt, ...) {
+  char buffer[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buffer, sizeof(buffer), fmt, args);
+  va_end(args);
+  out += buffer;
+  out += '\n';
+}
+
+}  // namespace
+
+Registry& Registry::Global() {
+  // Leaked on purpose: instrumentation in static destructors and atexit
+  // reporters must never observe a destroyed registry.
+  static Registry* global = new Registry();
+  return *global;
+}
+
+Registry::Entry& Registry::GetOrCreate(const MetricDef& def) {
+  auto it = entries_.find(def.name);
+  if (it != entries_.end()) {
+    if (it->second.def.type != def.type) {
+      std::fprintf(stderr,
+                   "fatal: metric '%s' registered as %s and again as %s\n",
+                   def.name, TypeName(it->second.def.type),
+                   TypeName(def.type));
+      std::abort();
+    }
+    return it->second;
+  }
+  Entry entry;
+  entry.def = def;
+  switch (def.type) {
+    case MetricType::kCounter:
+      counters_.emplace_back();
+      entry.counter = &counters_.back();
+      break;
+    case MetricType::kGauge:
+      gauges_.emplace_back();
+      entry.gauge = &gauges_.back();
+      break;
+    case MetricType::kHistogram:
+      histograms_.emplace_back();
+      entry.histogram = &histograms_.back();
+      break;
+  }
+  return entries_.emplace(def.name, entry).first->second;
+}
+
+Counter* Registry::GetCounter(const MetricDef& def) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return GetOrCreate(def).counter;
+}
+
+Gauge* Registry::GetGauge(const MetricDef& def) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return GetOrCreate(def).gauge;
+}
+
+Histogram* Registry::GetHistogram(const MetricDef& def) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return GetOrCreate(def).histogram;
+}
+
+std::vector<MetricDef> Registry::Defs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MetricDef> defs;
+  defs.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) defs.push_back(entry.def);
+  return defs;
+}
+
+std::string Registry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, entry] : entries_) {
+    AppendLine(out, "# HELP %s %s", entry.def.name, entry.def.help);
+    AppendLine(out, "# TYPE %s %s", entry.def.name, TypeName(entry.def.type));
+    switch (entry.def.type) {
+      case MetricType::kCounter:
+        AppendLine(out, "%s %" PRIu64, entry.def.name,
+                   entry.counter->Value());
+        break;
+      case MetricType::kGauge:
+        AppendLine(out, "%s %" PRId64, entry.def.name, entry.gauge->Value());
+        break;
+      case MetricType::kHistogram: {
+        // Cumulative power-of-two buckets in the metric's own unit; only
+        // buckets up to the last non-empty one are listed (the exposition
+        // format allows any bucket subset as long as +Inf is present).
+        const LatencyHistogram& h = entry.histogram->raw();
+        uint64_t cumulative = 0;
+        int last_nonzero = -1;
+        for (int i = 0; i < LatencyHistogram::kNumBuckets; ++i)
+          if (h.BucketCount(i) > 0) last_nonzero = i;
+        for (int i = 0; i <= last_nonzero; ++i) {
+          cumulative += h.BucketCount(i);
+          AppendLine(out, "%s_bucket{le=\"%.0f\"} %" PRIu64, entry.def.name,
+                     LatencyHistogram::BucketUpperBound(i), cumulative);
+        }
+        AppendLine(out, "%s_bucket{le=\"+Inf\"} %" PRIu64, entry.def.name,
+                   entry.histogram->Count());
+        AppendLine(out, "%s_sum %" PRIu64, entry.def.name,
+                   entry.histogram->Sum());
+        AppendLine(out, "%s_count %" PRIu64, entry.def.name,
+                   entry.histogram->Count());
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string Registry::RenderNonZeroSummary() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, entry] : entries_) {
+    switch (entry.def.type) {
+      case MetricType::kCounter:
+        if (entry.counter->Value() == 0) continue;
+        AppendLine(out, "  %s %" PRIu64, entry.def.name,
+                   entry.counter->Value());
+        break;
+      case MetricType::kGauge:
+        if (entry.gauge->Value() == 0) continue;
+        AppendLine(out, "  %s %" PRId64, entry.def.name,
+                   entry.gauge->Value());
+        break;
+      case MetricType::kHistogram:
+        if (entry.histogram->Count() == 0) continue;
+        AppendLine(out, "  %s count=%" PRIu64 " p50=%.0f p99=%.0f max=%.0f",
+                   entry.def.name, entry.histogram->Count(),
+                   entry.histogram->Quantile(0.5),
+                   entry.histogram->Quantile(0.99), entry.histogram->Max());
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace dehealth::obs

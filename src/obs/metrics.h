@@ -1,0 +1,145 @@
+#ifndef DEHEALTH_OBS_METRICS_H_
+#define DEHEALTH_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace dehealth::obs {
+
+/// What a metric measures and how it is exposed. Counters only grow,
+/// gauges are set to the latest value, histograms bucket power-of-two
+/// magnitudes (see common/histogram.h).
+enum class MetricType { kCounter, kGauge, kHistogram };
+
+/// Compile-time description of one metric. Every registered metric comes
+/// from a MetricDef (the standard set lives in obs/standard_metrics.h),
+/// which is what lets the docs-consistency test enumerate every name the
+/// process can export and hold docs/METRICS.md to it.
+struct MetricDef {
+  /// Full exposition name, e.g. "dehealth_serve_requests_total". Counters
+  /// end in "_total", histograms carry their unit suffix ("_micros").
+  const char* name;
+  MetricType type;
+  /// Unit of one sample/increment: "1" (dimensionless), "us", "posts"...
+  const char* unit;
+  /// Owning subsystem: "core", "index", "job", "serve".
+  const char* subsystem;
+  /// One-line meaning, exported as the "# HELP" comment.
+  const char* help;
+};
+
+/// Monotonic counter. Increment is one relaxed atomic add — safe and cheap
+/// from any thread, including ParallelFor workers on the attack hot path.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-value gauge with a monotone-max helper (for "largest batch seen"
+/// style metrics). All operations are relaxed atomics.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  /// Raises the gauge to `v` if it is larger than the current value.
+  void MaxWith(int64_t v) {
+    int64_t seen = value_.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !value_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+    }
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Power-of-two-bucket histogram (common/histogram.h folded in behind the
+/// registry facade). Quantiles are bucket upper bounds; see the
+/// LatencyHistogram contract for fidelity.
+class Histogram {
+ public:
+  void Record(double value) { histogram_.Record(value); }
+  uint64_t Count() const { return histogram_.TotalCount(); }
+  double Quantile(double q) const { return histogram_.QuantileMicros(q); }
+  double Max() const { return histogram_.MaxMicros(); }
+  uint64_t Sum() const { return histogram_.SumMicros(); }
+  const LatencyHistogram& raw() const { return histogram_; }
+
+ private:
+  LatencyHistogram histogram_;
+};
+
+/// Process- or server-scoped metrics registry: the single facade behind
+/// which every counter, gauge, and histogram in the pipeline lives.
+/// Registration is get-or-create keyed on MetricDef::name and returns a
+/// pointer that stays valid for the registry's lifetime (deque-backed);
+/// re-registering the same name with a different type is a programming
+/// error and aborts. All metric mutation is lock-free; registration and
+/// rendering take a mutex.
+///
+/// Registry::Global() is the process-wide instance the library
+/// instrumentation uses (leaked on purpose — metrics must outlive every
+/// static destructor). Tests and embedded servers can construct private
+/// registries for isolation.
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-wide registry (never destroyed).
+  static Registry& Global();
+
+  Counter* GetCounter(const MetricDef& def);
+  Gauge* GetGauge(const MetricDef& def);
+  Histogram* GetHistogram(const MetricDef& def);
+
+  /// Defs of every registered metric, sorted by name.
+  std::vector<MetricDef> Defs() const;
+
+  /// Prometheus text exposition format (version 0.0.4): "# HELP" / "# TYPE"
+  /// comments followed by samples, metrics sorted by name. Histogram
+  /// buckets use cumulative `_bucket{le="..."}` counts in the metric's own
+  /// unit (microseconds for latency histograms), plus `_sum` and `_count`.
+  std::string RenderPrometheus() const;
+
+  /// Human-readable "name value" lines for every metric with at least one
+  /// increment/sample, sorted by name; empty string when nothing was
+  /// touched. Histograms render as "count=N p50=X p99=Y max=Z". This is
+  /// what bench binaries print on exit.
+  std::string RenderNonZeroSummary() const;
+
+ private:
+  struct Entry {
+    MetricDef def;
+    Counter* counter = nullptr;
+    Gauge* gauge = nullptr;
+    Histogram* histogram = nullptr;
+  };
+
+  /// Looks up `def.name`, verifying the type on a hit; creates on a miss.
+  /// Caller must hold mutex_.
+  Entry& GetOrCreate(const MetricDef& def);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> entries_;
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+};
+
+}  // namespace dehealth::obs
+
+#endif  // DEHEALTH_OBS_METRICS_H_

@@ -1,0 +1,178 @@
+#include "obs/standard_metrics.h"
+
+namespace dehealth::obs {
+
+// ---- core ----
+const MetricDef kCoreUdaBuilds = {
+    "dehealth_core_uda_builds_total", MetricType::kCounter, "1", "core",
+    "UDA graphs built from a forum dataset"};
+const MetricDef kCoreUdaPosts = {
+    "dehealth_core_uda_posts_total", MetricType::kCounter, "posts", "core",
+    "Posts ingested across all UDA graph builds"};
+const MetricDef kCoreSimilarityMatrices = {
+    "dehealth_core_similarity_matrices_total", MetricType::kCounter, "1",
+    "core", "Phase-1a structural similarity matrices computed"};
+const MetricDef kCoreSimilarityRows = {
+    "dehealth_core_similarity_rows_total", MetricType::kCounter, "rows",
+    "core", "Anonymized-user rows scored during similarity computation"};
+const MetricDef kCoreTopKDenseRows = {
+    "dehealth_core_topk_dense_rows_total", MetricType::kCounter, "rows",
+    "core", "Rows ranked by the dense (full-scan) Top-K selector"};
+const MetricDef kCoreFilterRuns = {
+    "dehealth_core_filter_runs_total", MetricType::kCounter, "1", "core",
+    "Phase-1c candidate filtering passes executed"};
+const MetricDef kCoreFilterRejected = {
+    "dehealth_core_filter_rejected_total", MetricType::kCounter, "candidates",
+    "core", "Candidates removed by phase-1c filtering"};
+const MetricDef kCoreRefinedUsers = {
+    "dehealth_core_refined_users_total", MetricType::kCounter, "users",
+    "core", "Anonymized users processed by phase-2 refined DA"};
+
+// ---- index ----
+const MetricDef kIndexTopKQueries = {
+    "dehealth_index_topk_queries_total", MetricType::kCounter, "1", "index",
+    "Top-K queries answered by the candidate index"};
+const MetricDef kIndexExactEvals = {
+    "dehealth_index_exact_evals_total", MetricType::kCounter, "candidates",
+    "index", "Candidates exactly scored by indexed Top-K search"};
+const MetricDef kIndexBoundPruned = {
+    "dehealth_index_bound_pruned_total", MetricType::kCounter, "candidates",
+    "index", "Candidates skipped by the index upper-bound prune"};
+const MetricDef kIndexSnapshotLoads = {
+    "dehealth_index_snapshot_loads_total", MetricType::kCounter, "1", "index",
+    "DHIX snapshots loaded from disk instead of rebuilt"};
+const MetricDef kIndexSnapshotRebuilds = {
+    "dehealth_index_snapshot_rebuilds_total", MetricType::kCounter, "1",
+    "index", "Candidate indexes rebuilt (missing or stale snapshot)"};
+const MetricDef kIndexDenseFallbacks = {
+    "dehealth_index_dense_fallbacks_total", MetricType::kCounter, "1",
+    "index", "Indexed runs degraded to the dense Top-K path"};
+
+// ---- job ----
+const MetricDef kJobShardsLoaded = {
+    "dehealth_job_shards_loaded_total", MetricType::kCounter, "shards", "job",
+    "Job shards satisfied from checkpoint files on resume"};
+const MetricDef kJobShardsComputed = {
+    "dehealth_job_shards_computed_total", MetricType::kCounter, "shards",
+    "job", "Job shards computed (not resumable from checkpoint)"};
+const MetricDef kJobQuarantines = {
+    "dehealth_job_quarantines_total", MetricType::kCounter, "files", "job",
+    "Corrupt checkpoint files quarantined during resume"};
+
+// ---- serve ----
+const MetricDef kServeRequests = {
+    "dehealth_serve_requests_total", MetricType::kCounter, "1", "serve",
+    "DHQP requests admitted to the queue"};
+const MetricDef kServeQueries = {
+    "dehealth_serve_queries_total", MetricType::kCounter, "users", "serve",
+    "Per-user queries executed across all batches"};
+const MetricDef kServeBatches = {
+    "dehealth_serve_batches_total", MetricType::kCounter, "1", "serve",
+    "Batches executed by the engine"};
+const MetricDef kServeBatchSizeMax = {
+    "dehealth_serve_batch_size_max", MetricType::kGauge, "requests", "serve",
+    "Largest batch executed so far"};
+const MetricDef kServeOverloaded = {
+    "dehealth_serve_overloaded_total", MetricType::kCounter, "1", "serve",
+    "Requests rejected OVERLOADED (queue full)"};
+const MetricDef kServeDeadlineExpired = {
+    "dehealth_serve_deadline_expired_total", MetricType::kCounter, "1",
+    "serve", "Requests expired TIMEOUT before execution"};
+const MetricDef kServeQueueDepth = {
+    "dehealth_serve_queue_depth", MetricType::kGauge, "requests", "serve",
+    "Requests currently waiting in the queue"};
+const MetricDef kServeLatency = {
+    "dehealth_serve_latency_micros", MetricType::kHistogram, "us", "serve",
+    "End-to-end request latency (admission to fulfillment)"};
+const MetricDef kServeQueueWait = {
+    "dehealth_serve_queue_wait_micros", MetricType::kHistogram, "us", "serve",
+    "Time a request waited in the queue before batching"};
+const MetricDef kServeEngineTime = {
+    "dehealth_serve_engine_micros", MetricType::kHistogram, "us", "serve",
+    "Engine execution time per batch"};
+const MetricDef kServeBatchSize = {
+    "dehealth_serve_batch_size", MetricType::kHistogram, "requests", "serve",
+    "Distribution of executed batch sizes"};
+
+const std::vector<const MetricDef*>& AllMetricDefs() {
+  static const std::vector<const MetricDef*>* all =
+      new std::vector<const MetricDef*>{
+          &kCoreUdaBuilds,       &kCoreUdaPosts,
+          &kCoreSimilarityMatrices, &kCoreSimilarityRows,
+          &kCoreTopKDenseRows,   &kCoreFilterRuns,
+          &kCoreFilterRejected,  &kCoreRefinedUsers,
+          &kIndexTopKQueries,    &kIndexExactEvals,
+          &kIndexBoundPruned,    &kIndexSnapshotLoads,
+          &kIndexSnapshotRebuilds, &kIndexDenseFallbacks,
+          &kJobShardsLoaded,     &kJobShardsComputed,
+          &kJobQuarantines,      &kServeRequests,
+          &kServeQueries,        &kServeBatches,
+          &kServeBatchSizeMax,   &kServeOverloaded,
+          &kServeDeadlineExpired, &kServeQueueDepth,
+          &kServeLatency,        &kServeQueueWait,
+          &kServeEngineTime,     &kServeBatchSize,
+      };
+  return *all;
+}
+
+CoreMetrics& GetCoreMetrics() {
+  static CoreMetrics* metrics = [] {
+    Registry& r = Registry::Global();
+    return new CoreMetrics{
+        r.GetCounter(kCoreUdaBuilds),
+        r.GetCounter(kCoreUdaPosts),
+        r.GetCounter(kCoreSimilarityMatrices),
+        r.GetCounter(kCoreSimilarityRows),
+        r.GetCounter(kCoreTopKDenseRows),
+        r.GetCounter(kCoreFilterRuns),
+        r.GetCounter(kCoreFilterRejected),
+        r.GetCounter(kCoreRefinedUsers),
+    };
+  }();
+  return *metrics;
+}
+
+IndexMetrics& GetIndexMetrics() {
+  static IndexMetrics* metrics = [] {
+    Registry& r = Registry::Global();
+    return new IndexMetrics{
+        r.GetCounter(kIndexTopKQueries),
+        r.GetCounter(kIndexExactEvals),
+        r.GetCounter(kIndexBoundPruned),
+        r.GetCounter(kIndexSnapshotLoads),
+        r.GetCounter(kIndexSnapshotRebuilds),
+        r.GetCounter(kIndexDenseFallbacks),
+    };
+  }();
+  return *metrics;
+}
+
+JobMetrics& GetJobMetrics() {
+  static JobMetrics* metrics = [] {
+    Registry& r = Registry::Global();
+    return new JobMetrics{
+        r.GetCounter(kJobShardsLoaded),
+        r.GetCounter(kJobShardsComputed),
+        r.GetCounter(kJobQuarantines),
+    };
+  }();
+  return *metrics;
+}
+
+void RegisterAllMetrics(Registry& registry) {
+  for (const MetricDef* def : AllMetricDefs()) {
+    switch (def->type) {
+      case MetricType::kCounter:
+        registry.GetCounter(*def);
+        break;
+      case MetricType::kGauge:
+        registry.GetGauge(*def);
+        break;
+      case MetricType::kHistogram:
+        registry.GetHistogram(*def);
+        break;
+    }
+  }
+}
+
+}  // namespace dehealth::obs

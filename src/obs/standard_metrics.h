@@ -1,0 +1,95 @@
+#ifndef DEHEALTH_OBS_STANDARD_METRICS_H_
+#define DEHEALTH_OBS_STANDARD_METRICS_H_
+
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace dehealth::obs {
+
+// Every metric the library can register, declared once. Instrumentation
+// sites reach them through the typed accessor structs below (bound to
+// Registry::Global()); ServeMetrics registers the serve defs into its own
+// (possibly per-server) registry. docs/METRICS.md documents exactly this
+// set, and the docs-consistency test (tests/obs/docs_test.cc) fails the
+// build the moment the two drift. Add a metric => add it here AND to the
+// table in docs/METRICS.md.
+
+// ---- core: UDA graph build, phase 1a/1b/1c, phase 2 ----
+extern const MetricDef kCoreUdaBuilds;
+extern const MetricDef kCoreUdaPosts;
+extern const MetricDef kCoreSimilarityMatrices;
+extern const MetricDef kCoreSimilarityRows;
+extern const MetricDef kCoreTopKDenseRows;
+extern const MetricDef kCoreFilterRuns;
+extern const MetricDef kCoreFilterRejected;
+extern const MetricDef kCoreRefinedUsers;
+
+// ---- index: DHIX snapshot lifecycle + bound-pruned Top-K retrieval ----
+extern const MetricDef kIndexTopKQueries;
+extern const MetricDef kIndexExactEvals;
+extern const MetricDef kIndexBoundPruned;
+extern const MetricDef kIndexSnapshotLoads;
+extern const MetricDef kIndexSnapshotRebuilds;
+extern const MetricDef kIndexDenseFallbacks;
+
+// ---- job: DHJB checkpoint/resume shard lifecycle ----
+extern const MetricDef kJobShardsLoaded;
+extern const MetricDef kJobShardsComputed;
+extern const MetricDef kJobQuarantines;
+
+// ---- serve: request lifecycle of the query service ----
+extern const MetricDef kServeRequests;
+extern const MetricDef kServeQueries;
+extern const MetricDef kServeBatches;
+extern const MetricDef kServeBatchSizeMax;
+extern const MetricDef kServeOverloaded;
+extern const MetricDef kServeDeadlineExpired;
+extern const MetricDef kServeQueueDepth;
+extern const MetricDef kServeLatency;
+extern const MetricDef kServeQueueWait;
+extern const MetricDef kServeEngineTime;
+extern const MetricDef kServeBatchSize;
+
+/// All of the above, for exhaustive registration (docs test, exporters).
+const std::vector<const MetricDef*>& AllMetricDefs();
+
+/// Core-pipeline metrics bound to Registry::Global(); cheap to call (one
+/// initialization, then a reference return).
+struct CoreMetrics {
+  Counter* uda_builds;
+  Counter* uda_posts;
+  Counter* similarity_matrices;
+  Counter* similarity_rows;
+  Counter* topk_dense_rows;
+  Counter* filter_runs;
+  Counter* filter_rejected;
+  Counter* refined_users;
+};
+CoreMetrics& GetCoreMetrics();
+
+struct IndexMetrics {
+  Counter* topk_queries;
+  Counter* exact_evals;
+  Counter* bound_pruned;
+  Counter* snapshot_loads;
+  Counter* snapshot_rebuilds;
+  Counter* dense_fallbacks;
+};
+IndexMetrics& GetIndexMetrics();
+
+struct JobMetrics {
+  Counter* shards_loaded;
+  Counter* shards_computed;
+  Counter* quarantines;
+};
+JobMetrics& GetJobMetrics();
+
+/// Registers every standard metric into `registry` (idempotent). The docs
+/// test uses this to enumerate the full exported surface; a process does
+/// the same implicitly as subsystems run.
+void RegisterAllMetrics(Registry& registry);
+
+}  // namespace dehealth::obs
+
+#endif  // DEHEALTH_OBS_STANDARD_METRICS_H_

@@ -139,6 +139,10 @@ StatusOr<ServerStatsSnapshot> QueryClient::Stats() {
   return DecodeStatsPayload(*payload);
 }
 
+StatusOr<std::string> QueryClient::Metrics() {
+  return RoundTrip(RequestType::kMetrics, std::string(), /*retryable=*/true);
+}
+
 Status QueryClient::RequestShutdown() {
   StatusOr<std::string> payload =
       RoundTrip(RequestType::kShutdown, std::string(), /*retryable=*/false);

@@ -64,6 +64,10 @@ class QueryClient {
   /// Live server metrics (never queued — answered even under overload).
   StatusOr<ServerStatsSnapshot> Stats();
 
+  /// The server's full metric registry in Prometheus text exposition
+  /// format (see docs/METRICS.md). Never queued, like Stats().
+  StatusOr<std::string> Metrics();
+
   /// Asks the server to drain and exit; returns once the server acked.
   /// Never retried: a dead connection after sending probably means the
   /// shutdown took, and resending to a restarted server would kill it too.

@@ -4,28 +4,38 @@
 
 namespace dehealth {
 
+ServeMetrics::ServeMetrics(obs::Registry* registry)
+    : registry_(registry),
+      requests_(registry->GetCounter(obs::kServeRequests)),
+      queries_(registry->GetCounter(obs::kServeQueries)),
+      batches_(registry->GetCounter(obs::kServeBatches)),
+      max_batch_(registry->GetGauge(obs::kServeBatchSizeMax)),
+      overloads_(registry->GetCounter(obs::kServeOverloaded)),
+      deadline_expirations_(registry->GetCounter(obs::kServeDeadlineExpired)),
+      queue_depth_(registry->GetGauge(obs::kServeQueueDepth)),
+      latency_(registry->GetHistogram(obs::kServeLatency)),
+      queue_wait_(registry->GetHistogram(obs::kServeQueueWait)),
+      engine_time_(registry->GetHistogram(obs::kServeEngineTime)),
+      batch_size_(registry->GetHistogram(obs::kServeBatchSize)) {}
+
 void ServeMetrics::RecordBatch(uint64_t size) {
-  batches_.fetch_add(1, std::memory_order_relaxed);
-  uint64_t seen = max_batch_.load(std::memory_order_relaxed);
-  while (size > seen &&
-         !max_batch_.compare_exchange_weak(seen, size,
-                                           std::memory_order_relaxed)) {
-  }
+  batches_->Increment();
+  max_batch_->MaxWith(static_cast<int64_t>(size));
+  batch_size_->Record(static_cast<double>(size));
 }
 
 ServerStatsSnapshot ServeMetrics::Snapshot() const {
   ServerStatsSnapshot stats;
-  stats.requests_total = requests_.load(std::memory_order_relaxed);
-  stats.queries_total = queries_.load(std::memory_order_relaxed);
-  stats.batches_total = batches_.load(std::memory_order_relaxed);
-  stats.max_batch = max_batch_.load(std::memory_order_relaxed);
-  stats.overload_rejections = overloads_.load(std::memory_order_relaxed);
-  stats.deadline_expirations =
-      deadline_expirations_.load(std::memory_order_relaxed);
-  stats.queue_depth = queue_depth_.load(std::memory_order_relaxed);
-  stats.p50_micros = latency_.QuantileMicros(0.5);
-  stats.p99_micros = latency_.QuantileMicros(0.99);
-  stats.max_micros = latency_.MaxMicros();
+  stats.requests_total = requests_->Value();
+  stats.queries_total = queries_->Value();
+  stats.batches_total = batches_->Value();
+  stats.max_batch = static_cast<uint64_t>(max_batch_->Value());
+  stats.overload_rejections = overloads_->Value();
+  stats.deadline_expirations = deadline_expirations_->Value();
+  stats.queue_depth = static_cast<uint64_t>(queue_depth_->Value());
+  stats.p50_micros = latency_->Quantile(0.5);
+  stats.p99_micros = latency_->Quantile(0.99);
+  stats.max_micros = latency_->Max();
   return stats;
 }
 

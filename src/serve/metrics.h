@@ -1,58 +1,71 @@
 #ifndef DEHEALTH_SERVE_METRICS_H_
 #define DEHEALTH_SERVE_METRICS_H_
 
-#include <atomic>
 #include <cstdint>
 #include <string>
 
-#include "common/histogram.h"
+#include "obs/metrics.h"
+#include "obs/standard_metrics.h"
 #include "serve/protocol.h"
 
 namespace dehealth {
 
-/// Live counters of a running query server. Every mutator is a relaxed
-/// atomic op — safe to call from connection threads, the executor, and the
-/// stats reporter concurrently; Snapshot() reads without locking (counts
-/// only grow, so a mid-traffic snapshot is bracketed by the states just
-/// before and just after it). Latencies cover receive → response-ready for
-/// executed and deadline-expired requests; admission rejections are counted
-/// separately and not timed.
+/// Live counters of a running query server, backed by an obs::Registry so
+/// the `stats` snapshot, the periodic stderr line, and the Prometheus
+/// `metrics` query all report from the same storage. Every mutator is a
+/// relaxed atomic op — safe to call from connection threads, the executor,
+/// and the stats reporter concurrently; Snapshot() reads without locking
+/// (counts only grow, so a mid-traffic snapshot is bracketed by the states
+/// just before and just after it). Latencies cover receive →
+/// response-ready for executed and deadline-expired requests; admission
+/// rejections are counted separately and not timed.
+///
+/// The registry is supplied by the server (ServerConfig::registry): the
+/// production binary passes obs::Registry::Global() so serve metrics
+/// export alongside core/index/job metrics; tests pass private registries
+/// for isolated exact counts.
 class ServeMetrics {
  public:
-  void RecordRequest() { requests_.fetch_add(1, std::memory_order_relaxed); }
-  void RecordQueries(uint64_t users) {
-    queries_.fetch_add(users, std::memory_order_relaxed);
-  }
+  explicit ServeMetrics(obs::Registry* registry);
+
+  void RecordRequest() { requests_->Increment(); }
+  void RecordQueries(uint64_t users) { queries_->Increment(users); }
   void RecordBatch(uint64_t size);
-  void RecordOverload() {
-    overloads_.fetch_add(1, std::memory_order_relaxed);
-  }
-  void RecordDeadlineExpired() {
-    deadline_expirations_.fetch_add(1, std::memory_order_relaxed);
-  }
+  void RecordOverload() { overloads_->Increment(); }
+  void RecordDeadlineExpired() { deadline_expirations_->Increment(); }
   void SetQueueDepth(uint64_t depth) {
-    queue_depth_.store(depth, std::memory_order_relaxed);
+    queue_depth_->Set(static_cast<int64_t>(depth));
   }
-  void RecordLatency(double micros) { latency_.Record(micros); }
+  void RecordLatency(double micros) { latency_->Record(micros); }
+  void RecordQueueWait(double micros) { queue_wait_->Record(micros); }
+  void RecordEngineTime(double micros) { engine_time_->Record(micros); }
 
   /// Point-in-time snapshot; dataset fields (num_anonymized,
   /// default_top_k) are filled by the server, not here.
   ServerStatsSnapshot Snapshot() const;
 
+  /// The registry this instance records into (for Prometheus rendering).
+  obs::Registry& registry() { return *registry_; }
+
  private:
-  std::atomic<uint64_t> requests_{0};
-  std::atomic<uint64_t> queries_{0};
-  std::atomic<uint64_t> batches_{0};
-  std::atomic<uint64_t> max_batch_{0};
-  std::atomic<uint64_t> overloads_{0};
-  std::atomic<uint64_t> deadline_expirations_{0};
-  std::atomic<uint64_t> queue_depth_{0};
-  LatencyHistogram latency_;
+  obs::Registry* registry_;
+  obs::Counter* requests_;
+  obs::Counter* queries_;
+  obs::Counter* batches_;
+  obs::Gauge* max_batch_;
+  obs::Counter* overloads_;
+  obs::Counter* deadline_expirations_;
+  obs::Gauge* queue_depth_;
+  obs::Histogram* latency_;
+  obs::Histogram* queue_wait_;
+  obs::Histogram* engine_time_;
+  obs::Histogram* batch_size_;
 };
 
 /// One human-readable line for the periodic log / final report:
 /// "serve: 120 req, 115 queries, 40 batches (max 8), p50=850us p99=3.2ms,
-///  queue=2, overloaded=0, timed_out=0".
+///  queue=2, overloaded=0, timed_out=0". The single renderer behind the
+/// periodic stderr line AND the `dehealth_query stats` output.
 std::string FormatStatsLine(const ServerStatsSnapshot& stats);
 
 }  // namespace dehealth

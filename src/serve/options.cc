@@ -12,10 +12,6 @@ namespace {
 
 }  // namespace
 
-std::set<std::string> AttackBooleanFlags() {
-  return {"idf", "index", "filter"};
-}
-
 StatusOr<DeHealthConfig> ParseAttackFlags(const FlagParser& flags) {
   DeHealthConfig config;
   OPTIONS_ASSIGN_OR_RETURN(k, flags.GetInt("k", 10));

@@ -1,6 +1,7 @@
 #ifndef DEHEALTH_SERVE_OPTIONS_H_
 #define DEHEALTH_SERVE_OPTIONS_H_
 
+#include "common/flag_catalog.h"
 #include "common/flags.h"
 #include "core/de_health.h"
 #include "serve/server.h"
@@ -20,9 +21,8 @@ StatusOr<DeHealthConfig> ParseAttackFlags(const FlagParser& flags);
 /// --timeout-ms, --stats-period).
 StatusOr<ServerConfig> ParseServerFlags(const FlagParser& flags);
 
-/// The boolean (valueless) flags ParseAttackFlags understands; pass to the
-/// FlagParser constructor.
-std::set<std::string> AttackBooleanFlags();
+// AttackBooleanFlags() — the valueless flags ParseAttackFlags understands,
+// derived from FlagCatalog() — comes from common/flag_catalog.h.
 
 }  // namespace dehealth
 

@@ -34,6 +34,7 @@ enum class RequestType : uint8_t {
   kFiltered = 3,  // post-filtering candidate sets + ⊥ verdicts
   kStats = 4,     // live server metrics (bypasses the request queue)
   kShutdown = 5,  // graceful drain: stop accepting, answer what's queued
+  kMetrics = 6,   // Prometheus text exposition (bypasses the queue)
 };
 
 /// Server-to-client frame types.

@@ -7,6 +7,8 @@
 #include <cstdio>
 #include <map>
 
+#include "obs/trace.h"
+
 namespace dehealth {
 
 namespace {
@@ -20,7 +22,10 @@ constexpr uint8_t kTimeoutByte = static_cast<uint8_t>(ResponseType::kTimeout);
 }  // namespace
 
 QueryServer::QueryServer(const QueryEngine& engine, ServerConfig config)
-    : engine_(&engine), config_(std::move(config)) {}
+    : engine_(&engine),
+      config_(std::move(config)),
+      owned_registry_(config_.registry ? nullptr : new obs::Registry()),
+      metrics_(config_.registry ? config_.registry : owned_registry_.get()) {}
 
 QueryServer::~QueryServer() {
   Shutdown();
@@ -111,6 +116,13 @@ void QueryServer::ConnectionLoop(UniqueFd fd) {
 
     if (type == static_cast<uint8_t>(RequestType::kStats)) {
       WriteFrame(raw_fd, kOkByte, EncodeStatsPayload(Stats()));
+      continue;
+    }
+    if (type == static_cast<uint8_t>(RequestType::kMetrics)) {
+      // Prometheus text exposition of every metric in the server's
+      // registry; like kStats it bypasses the queue, so scrapes keep
+      // working while the executor is saturated.
+      WriteFrame(raw_fd, kOkByte, metrics_.registry().RenderPrometheus());
       continue;
     }
     if (type == static_cast<uint8_t>(RequestType::kShutdown)) {
@@ -225,6 +237,8 @@ void QueryServer::Fulfill(Pending& pending, uint8_t type,
 
 void QueryServer::ExecuteBatch(
     std::vector<std::unique_ptr<Pending>>& batch) {
+  obs::Span span("serve", "execute_batch");
+  span.SetArg("batch_size", static_cast<int64_t>(batch.size()));
   const auto now = std::chrono::steady_clock::now();
 
   // Group survivors by (type, k): every group member wants the exact same
@@ -232,6 +246,9 @@ void QueryServer::ExecuteBatch(
   // are per-user pure (see QueryEngine), so coalescing never changes them.
   std::map<std::pair<uint8_t, int>, std::vector<Pending*>> groups;
   for (std::unique_ptr<Pending>& pending : batch) {
+    metrics_.RecordQueueWait(
+        std::chrono::duration<double, std::micro>(now - pending->received)
+            .count());
     if (now >= pending->deadline) {
       metrics_.RecordDeadlineExpired();
       Fulfill(*pending, kTimeoutByte,
@@ -246,7 +263,9 @@ void QueryServer::ExecuteBatch(
         pending.get());
   }
 
+  const auto engine_start = std::chrono::steady_clock::now();
   for (auto& [key, members] : groups) {
+    obs::Span group_span("serve", "engine_group");
     std::vector<int> users;
     std::vector<size_t> offsets;
     offsets.reserve(members.size() + 1);
@@ -323,6 +342,10 @@ void QueryServer::ExecuteBatch(
         break;
     }
   }
+  metrics_.RecordEngineTime(std::chrono::duration<double, std::micro>(
+                                std::chrono::steady_clock::now() -
+                                engine_start)
+                                .count());
 }
 
 void QueryServer::ReporterLoop() {

@@ -37,6 +37,11 @@ struct ServerConfig {
   double default_timeout_ms = 0.0;
   /// When > 0, a reporter thread logs FormatStatsLine to stderr this often.
   double stats_log_period_s = 0.0;
+  /// Registry serve metrics record into. The binary passes
+  /// &obs::Registry::Global() so the `metrics` query exports serve counters
+  /// alongside core/index/job instrumentation; nullptr (the default) gives
+  /// the server a private registry — what tests want for exact counts.
+  obs::Registry* registry = nullptr;
 };
 
 /// The long-lived De-Health query service: one listening socket, one
@@ -118,6 +123,8 @@ class QueryServer {
   std::vector<int> connection_fds_;
   std::vector<std::thread> connection_threads_;
 
+  // Declared before metrics_, which borrows whichever registry wins.
+  std::unique_ptr<obs::Registry> owned_registry_;
   ServeMetrics metrics_;
 };
 

@@ -57,6 +57,33 @@ if(NOT first_run STREQUAL second_run)
   message(FATAL_ERROR "snapshot-reusing run changed predictions")
 endif()
 
+# --- observability: tracing and metrics must not perturb the attack -----
+# A traced run (Chrome trace + Prometheus metrics dump) must produce a
+# predictions CSV byte-identical to the untraced run above, and both
+# observability files must be non-empty and well-formed.
+run_cli(0 attack --anonymized "${WORK_DIR}/anon.jsonl"
+        --auxiliary "${WORK_DIR}/aux.jsonl" --k 5 --learner centroid
+        --threads 2 --index --index-path "${WORK_DIR}/aux.dhix"
+        --trace-out "${WORK_DIR}/attack_trace.json"
+        --metrics-out "${WORK_DIR}/attack_metrics.prom"
+        --out "${WORK_DIR}/pred_traced.csv")
+file(READ "${WORK_DIR}/pred_traced.csv" traced_run)
+if(NOT first_run STREQUAL traced_run)
+  message(FATAL_ERROR "traced run changed predictions — tracing must be "
+          "invisible to the attack")
+endif()
+file(READ "${WORK_DIR}/attack_trace.json" trace_json)
+if(NOT trace_json MATCHES "\"traceEvents\"")
+  message(FATAL_ERROR "--trace-out did not write a Chrome trace document")
+endif()
+if(NOT trace_json MATCHES "build_uda_graph")
+  message(FATAL_ERROR "trace is missing the pipeline's phase spans")
+endif()
+file(READ "${WORK_DIR}/attack_metrics.prom" metrics_prom)
+if(NOT metrics_prom MATCHES "# TYPE dehealth_core_uda_builds_total counter")
+  message(FATAL_ERROR "--metrics-out did not write Prometheus exposition")
+endif()
+
 # --- error paths: garbage flags must fail loudly, not default silently ---
 run_cli(1 attack --anonymized "${WORK_DIR}/anon.jsonl"
         --auxiliary "${WORK_DIR}/aux.jsonl" --threads banana)

@@ -1,0 +1,81 @@
+# Docs-consistency check, run as a ctest (`docs_consistency`).
+#
+# Cross-checks the *sources* against the docs, complementing the gtest in
+# tests/obs/docs_test.cc (which checks the in-source catalogs against the
+# docs). Two assertions:
+#
+#   1. Every --flag looked up by a binary (FlagParser Get/GetInt/GetDouble/
+#      GetUint/Has calls in examples/*.cpp and src/serve/options.cc) is
+#      documented in docs/OPERATIONS.md.
+#   2. Every metric name defined in src/obs/standard_metrics.cc is
+#      documented in docs/METRICS.md.
+#
+# Invoke:  cmake -DSOURCE_DIR=<repo root> -P docs_check.cmake
+
+if(NOT DEFINED SOURCE_DIR)
+  message(FATAL_ERROR "pass -DSOURCE_DIR=<repo root>")
+endif()
+
+set(failures 0)
+
+# --- 1. flags used by binaries must appear in OPERATIONS.md -----------------
+
+file(READ "${SOURCE_DIR}/docs/OPERATIONS.md" operations_doc)
+
+set(flag_sources
+  "${SOURCE_DIR}/examples/dehealth_cli.cpp"
+  "${SOURCE_DIR}/examples/dehealth_serve.cpp"
+  "${SOURCE_DIR}/examples/dehealth_query.cpp"
+  "${SOURCE_DIR}/src/serve/options.cc")
+
+set(all_flags "")
+foreach(source_file IN LISTS flag_sources)
+  file(READ "${source_file}" contents)
+  string(REGEX MATCHALL "(Get|GetInt|GetDouble|GetUint|Has)\\(\"[a-z][a-z0-9-]*\"" lookups "${contents}")
+  foreach(lookup IN LISTS lookups)
+    string(REGEX REPLACE ".*\\(\"([a-z][a-z0-9-]*)\"" "\\1" flag "${lookup}")
+    list(APPEND all_flags "${flag}")
+  endforeach()
+endforeach()
+list(REMOVE_DUPLICATES all_flags)
+list(SORT all_flags)
+
+foreach(flag IN LISTS all_flags)
+  string(FIND "${operations_doc}" "--${flag}" pos)
+  if(pos EQUAL -1)
+    message(SEND_ERROR
+      "flag --${flag} is parsed by a binary but missing from docs/OPERATIONS.md")
+    math(EXPR failures "${failures} + 1")
+  endif()
+endforeach()
+list(LENGTH all_flags num_flags)
+message(STATUS "checked ${num_flags} flags against docs/OPERATIONS.md")
+
+# --- 2. metric names defined in code must appear in METRICS.md --------------
+
+file(READ "${SOURCE_DIR}/docs/METRICS.md" metrics_doc)
+file(READ "${SOURCE_DIR}/src/obs/standard_metrics.cc" metrics_source)
+
+string(REGEX MATCHALL "\"dehealth_[a-z0-9_]+\"" metric_literals "${metrics_source}")
+set(all_metrics "")
+foreach(literal IN LISTS metric_literals)
+  string(REGEX REPLACE "\"" "" metric "${literal}")
+  list(APPEND all_metrics "${metric}")
+endforeach()
+list(REMOVE_DUPLICATES all_metrics)
+list(SORT all_metrics)
+
+foreach(metric IN LISTS all_metrics)
+  string(FIND "${metrics_doc}" "${metric}" pos)
+  if(pos EQUAL -1)
+    message(SEND_ERROR
+      "metric ${metric} is defined in standard_metrics.cc but missing from docs/METRICS.md")
+    math(EXPR failures "${failures} + 1")
+  endif()
+endforeach()
+list(LENGTH all_metrics num_metrics)
+message(STATUS "checked ${num_metrics} metrics against docs/METRICS.md")
+
+if(failures GREATER 0)
+  message(FATAL_ERROR "docs consistency check failed (${failures} problems)")
+endif()

@@ -1,0 +1,74 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "common/flag_catalog.h"
+#include "obs/standard_metrics.h"
+
+// Docs-consistency checks: the in-source catalogs (AllMetricDefs,
+// FlagCatalog) are the single source of truth, and these tests fail the
+// build-tree whenever docs/METRICS.md or docs/OPERATIONS.md falls behind
+// them. DEHEALTH_SOURCE_DIR is injected by tests/CMakeLists.txt.
+
+#ifndef DEHEALTH_SOURCE_DIR
+#error "DEHEALTH_SOURCE_DIR must be defined to locate docs/"
+#endif
+
+namespace dehealth {
+namespace {
+
+std::string ReadDoc(const std::string& relative_path) {
+  const std::string path = std::string(DEHEALTH_SOURCE_DIR) + "/" +
+                           relative_path;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing doc: " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(DocsTest, EveryMetricIsDocumented) {
+  const std::string doc = ReadDoc("docs/METRICS.md");
+  ASSERT_FALSE(doc.empty());
+  for (const obs::MetricDef* def : obs::AllMetricDefs())
+    EXPECT_NE(doc.find(def->name), std::string::npos)
+        << "metric `" << def->name
+        << "` is not documented in docs/METRICS.md";
+}
+
+TEST(DocsTest, EveryFlagIsDocumented) {
+  const std::string doc = ReadDoc("docs/OPERATIONS.md");
+  ASSERT_FALSE(doc.empty());
+  for (const FlagDoc& flag : FlagCatalog())
+    EXPECT_NE(doc.find("--" + std::string(flag.name)), std::string::npos)
+        << "flag `--" << flag.name
+        << "` is not documented in docs/OPERATIONS.md";
+}
+
+TEST(FlagCatalogTest, SortedAndUnique) {
+  const std::vector<FlagDoc>& catalog = FlagCatalog();
+  ASSERT_FALSE(catalog.empty());
+  for (size_t i = 1; i < catalog.size(); ++i)
+    EXPECT_LT(std::string(catalog[i - 1].name), std::string(catalog[i].name))
+        << "FlagCatalog() must stay sorted by name";
+}
+
+TEST(FlagCatalogTest, AttackBooleanFlagsDeriveFromCatalog) {
+  // ParseAttackFlags' value-less flags must match the catalog's boolean
+  // entries; the set is small and load-bearing enough to pin exactly.
+  const std::set<std::string> expected = {"filter", "idf", "index"};
+  EXPECT_EQ(AttackBooleanFlags(), expected);
+}
+
+TEST(FlagCatalogTest, EveryEntryHasHelpAndBinaries) {
+  for (const FlagDoc& flag : FlagCatalog()) {
+    EXPECT_NE(std::string(flag.help), "") << "--" << flag.name;
+    EXPECT_NE(std::string(flag.binaries), "") << "--" << flag.name;
+  }
+}
+
+}  // namespace
+}  // namespace dehealth

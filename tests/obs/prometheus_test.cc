@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace dehealth::obs {
+namespace {
+
+/// Golden test of the text exposition format (version 0.0.4): a fresh
+/// registry with one metric of each type renders byte-for-byte to the
+/// expected document. Metrics are ordered by name; histograms emit
+/// cumulative power-of-two buckets up to the last non-empty one, then
+/// +Inf, _sum, and _count.
+TEST(PrometheusTest, GoldenExposition) {
+  Registry registry;
+  Counter* requests = registry.GetCounter(
+      {"app_requests_total", MetricType::kCounter, "1", "test",
+       "Requests handled"});
+  Gauge* depth = registry.GetGauge(
+      {"app_queue_depth", MetricType::kGauge, "requests", "test",
+       "Requests waiting"});
+  Histogram* latency = registry.GetHistogram(
+      {"app_latency_micros", MetricType::kHistogram, "us", "test",
+       "Request latency"});
+
+  requests->Increment(3);
+  depth->Set(2);
+  latency->Record(1.0);    // bucket [1, 2)
+  latency->Record(3.0);    // bucket [2, 4)
+  latency->Record(100.0);  // bucket [64, 128)
+
+  const std::string expected =
+      "# HELP app_latency_micros Request latency\n"
+      "# TYPE app_latency_micros histogram\n"
+      "app_latency_micros_bucket{le=\"2\"} 1\n"
+      "app_latency_micros_bucket{le=\"4\"} 2\n"
+      "app_latency_micros_bucket{le=\"8\"} 2\n"
+      "app_latency_micros_bucket{le=\"16\"} 2\n"
+      "app_latency_micros_bucket{le=\"32\"} 2\n"
+      "app_latency_micros_bucket{le=\"64\"} 2\n"
+      "app_latency_micros_bucket{le=\"128\"} 3\n"
+      "app_latency_micros_bucket{le=\"+Inf\"} 3\n"
+      "app_latency_micros_sum 104\n"
+      "app_latency_micros_count 3\n"
+      "# HELP app_queue_depth Requests waiting\n"
+      "# TYPE app_queue_depth gauge\n"
+      "app_queue_depth 2\n"
+      "# HELP app_requests_total Requests handled\n"
+      "# TYPE app_requests_total counter\n"
+      "app_requests_total 3\n";
+  EXPECT_EQ(registry.RenderPrometheus(), expected);
+}
+
+TEST(PrometheusTest, EmptyHistogramRendersInfOnly) {
+  Registry registry;
+  registry.GetHistogram({"app_empty_micros", MetricType::kHistogram, "us",
+                         "test", "Never recorded"});
+  const std::string expected =
+      "# HELP app_empty_micros Never recorded\n"
+      "# TYPE app_empty_micros histogram\n"
+      "app_empty_micros_bucket{le=\"+Inf\"} 0\n"
+      "app_empty_micros_sum 0\n"
+      "app_empty_micros_count 0\n";
+  EXPECT_EQ(registry.RenderPrometheus(), expected);
+}
+
+TEST(PrometheusTest, EmptyRegistryRendersNothing) {
+  Registry registry;
+  EXPECT_EQ(registry.RenderPrometheus(), "");
+  EXPECT_EQ(registry.RenderNonZeroSummary(), "");
+}
+
+TEST(NonZeroSummaryTest, OnlyTouchedMetricsAppear) {
+  Registry registry;
+  registry.GetCounter({"app_untouched_total", MetricType::kCounter, "1",
+                       "test", "never incremented"});
+  Counter* c = registry.GetCounter(
+      {"app_touched_total", MetricType::kCounter, "1", "test", "incremented"});
+  c->Increment(5);
+  EXPECT_EQ(registry.RenderNonZeroSummary(), "  app_touched_total 5\n");
+}
+
+}  // namespace
+}  // namespace dehealth::obs

@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/standard_metrics.h"
+
+namespace dehealth::obs {
+namespace {
+
+MetricDef TestCounter(const char* name) {
+  return {name, MetricType::kCounter, "1", "test", "test counter"};
+}
+
+TEST(RegistryTest, CounterStartsAtZeroAndIncrements) {
+  Registry registry;
+  Counter* c = registry.GetCounter(TestCounter("t_counter_total"));
+  EXPECT_EQ(c->Value(), 0u);
+  c->Increment();
+  c->Increment(41);
+  EXPECT_EQ(c->Value(), 42u);
+}
+
+TEST(RegistryTest, SameNameReturnsSamePointer) {
+  Registry registry;
+  Counter* a = registry.GetCounter(TestCounter("t_same_total"));
+  Counter* b = registry.GetCounter(TestCounter("t_same_total"));
+  EXPECT_EQ(a, b);
+}
+
+TEST(RegistryTest, ConcurrentIncrementsLoseNothing) {
+  Registry registry;
+  Counter* c = registry.GetCounter(TestCounter("t_concurrent_total"));
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([c] {
+      for (int i = 0; i < kPerThread; ++i) c->Increment();
+    });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c->Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(RegistryTest, ConcurrentRegistrationIsSafe) {
+  Registry registry;
+  constexpr int kThreads = 8;
+  std::vector<Counter*> seen(kThreads, nullptr);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&registry, &seen, t] {
+      seen[static_cast<size_t>(t)] =
+          registry.GetCounter(TestCounter("t_race_total"));
+      seen[static_cast<size_t>(t)]->Increment();
+    });
+  for (std::thread& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) EXPECT_EQ(seen[0], seen[static_cast<size_t>(t)]);
+  EXPECT_EQ(seen[0]->Value(), static_cast<uint64_t>(kThreads));
+}
+
+TEST(RegistryTest, GaugeSetAddMax) {
+  Registry registry;
+  Gauge* g = registry.GetGauge(
+      {"t_gauge", MetricType::kGauge, "1", "test", "test gauge"});
+  EXPECT_EQ(g->Value(), 0);
+  g->Set(7);
+  EXPECT_EQ(g->Value(), 7);
+  g->Add(-3);
+  EXPECT_EQ(g->Value(), 4);
+  g->MaxWith(10);
+  EXPECT_EQ(g->Value(), 10);
+  g->MaxWith(2);  // lower: no effect
+  EXPECT_EQ(g->Value(), 10);
+}
+
+TEST(RegistryTest, HistogramEmpty) {
+  Registry registry;
+  Histogram* h = registry.GetHistogram(
+      {"t_hist_micros", MetricType::kHistogram, "us", "test", "test hist"});
+  EXPECT_EQ(h->Count(), 0u);
+  EXPECT_EQ(h->Sum(), 0u);
+  EXPECT_DOUBLE_EQ(h->Quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h->Quantile(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(h->Max(), 0.0);
+}
+
+TEST(RegistryTest, HistogramSingleSample) {
+  Registry registry;
+  Histogram* h = registry.GetHistogram(
+      {"t_hist1_micros", MetricType::kHistogram, "us", "test", "test hist"});
+  h->Record(100.0);
+  EXPECT_EQ(h->Count(), 1u);
+  EXPECT_EQ(h->Sum(), 100u);
+  // Every quantile of a 1-sample distribution is that sample's bucket
+  // upper bound ([64, 128) -> 128).
+  EXPECT_DOUBLE_EQ(h->Quantile(0.0), 128.0);
+  EXPECT_DOUBLE_EQ(h->Quantile(0.5), 128.0);
+  EXPECT_DOUBLE_EQ(h->Quantile(1.0), 128.0);
+  EXPECT_DOUBLE_EQ(h->Max(), 100.0);
+}
+
+TEST(RegistryTest, DefsAreSortedByName) {
+  Registry registry;
+  registry.GetCounter(TestCounter("t_b_total"));
+  registry.GetCounter(TestCounter("t_a_total"));
+  const std::vector<MetricDef> defs = registry.Defs();
+  ASSERT_EQ(defs.size(), 2u);
+  EXPECT_STREQ(defs[0].name, "t_a_total");
+  EXPECT_STREQ(defs[1].name, "t_b_total");
+}
+
+TEST(RegistryDeathTest, TypeMismatchAborts) {
+  Registry registry;
+  registry.GetCounter(TestCounter("t_mismatch"));
+  EXPECT_DEATH(
+      registry.GetGauge(
+          {"t_mismatch", MetricType::kGauge, "1", "test", "oops"}),
+      "t_mismatch");
+}
+
+TEST(StandardMetricsTest, RegisterAllIsIdempotentAndComplete) {
+  Registry registry;
+  RegisterAllMetrics(registry);
+  RegisterAllMetrics(registry);
+  EXPECT_EQ(registry.Defs().size(), AllMetricDefs().size());
+}
+
+TEST(StandardMetricsTest, NamesAreUniqueAndWellFormed) {
+  std::set<std::string> names;
+  for (const MetricDef* def : AllMetricDefs()) {
+    EXPECT_TRUE(names.insert(def->name).second)
+        << "duplicate metric name: " << def->name;
+    EXPECT_EQ(std::string(def->name).rfind("dehealth_", 0), 0u)
+        << def->name << " must carry the dehealth_ prefix";
+    if (def->type == MetricType::kCounter) {
+      EXPECT_TRUE(std::string(def->name).ends_with("_total"))
+          << "counter " << def->name << " must end in _total";
+    }
+  }
+}
+
+TEST(StandardMetricsTest, GlobalAccessorsAreBoundOnce) {
+  CoreMetrics& a = GetCoreMetrics();
+  CoreMetrics& b = GetCoreMetrics();
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.uda_builds,
+            Registry::Global().GetCounter(kCoreUdaBuilds));
+}
+
+}  // namespace
+}  // namespace dehealth::obs

@@ -242,6 +242,37 @@ TEST_F(ServeServerTest, ServedAnswersMatchOneShotPipeline) {
   EXPECT_TRUE(server.ShuttingDown());
 }
 
+TEST_F(ServeServerTest, MetricsQueryReturnsPrometheusExposition) {
+  auto engine = MakeEngine(FastConfig());
+  ASSERT_TRUE(engine.ok());
+  QueryServer server(**engine, ServerConfig());
+  ASSERT_TRUE(server.Start().ok());
+
+  auto client = QueryClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(client.ok());
+  ASSERT_TRUE(client->Refine({0, 1, 2}).ok());
+
+  auto metrics = client->Metrics();
+  ASSERT_TRUE(metrics.ok()) << metrics.status().ToString();
+  // Well-formed text exposition with the serve metrics present and live.
+  EXPECT_NE(metrics->find("# TYPE dehealth_serve_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(metrics->find("dehealth_serve_queries_total 3\n"),
+            std::string::npos);
+  EXPECT_NE(metrics->find("# TYPE dehealth_serve_latency_micros histogram"),
+            std::string::npos);
+  EXPECT_NE(metrics->find("dehealth_serve_latency_micros_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+
+  // kMetrics bypasses the queue, like kStats, and counts as a request.
+  auto stats = client->Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats->requests_total, 2u);
+
+  server.Shutdown();
+  server.Wait();
+}
+
 TEST_F(ServeServerTest, FullQueueAnswersOverloadedInsteadOfStalling) {
   auto engine = MakeEngine(FastConfig());
   ASSERT_TRUE(engine.ok());
