@@ -38,7 +38,12 @@ void Reproduce() {
     const auto counts = forum->dataset.PostCounts();
     std::vector<double> as_double(counts.begin(), counts.end());
     std::vector<double> cut(thresholds.begin(), thresholds.end());
-    bench::PrintSeries(d.name, EmpiricalCdf(as_double, cut));
+    auto cdf = EmpiricalCdf(as_double, cut);
+    if (!cdf.ok()) {
+      std::fprintf(stderr, "cdf: %s\n", cdf.status().ToString().c_str());
+      return;
+    }
+    bench::PrintSeries(d.name, *cdf);
 
     const DatasetStats stats = ComputeDatasetStats(forum->dataset);
     bench::Compare("fraction of users with < 5 posts", d.paper_under5,

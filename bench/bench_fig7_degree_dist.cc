@@ -39,7 +39,12 @@ void Reproduce() {
     for (NodeId u = 0; u < graph.num_nodes(); ++u)
       degrees.push_back(graph.Degree(u));
     std::vector<double> cut(thresholds.begin(), thresholds.end());
-    bench::PrintSeries(d.name, EmpiricalCdf(degrees, cut));
+    auto cdf = EmpiricalCdf(degrees, cut);
+    if (!cdf.ok()) {
+      std::fprintf(stderr, "cdf: %s\n", cdf.status().ToString().c_str());
+      return;
+    }
+    bench::PrintSeries(d.name, *cdf);
     const GraphSummary summary = SummarizeGraph(graph);
     bench::Compare("mean degree (paper: 'low')", 10.0, summary.mean_degree);
     std::printf(

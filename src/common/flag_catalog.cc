@@ -69,6 +69,9 @@ const std::vector<FlagDoc>& FlagCatalog() {
        "RNG seed (default 1); same seed => same dataset/split"},
       {"shard-size", "cli attack, serve", false,
        "Users per checkpoint shard under --job-dir (default 64)"},
+      {"simd", "cli attack, serve", false,
+       "Score-kernel instruction set: auto (default; DEHEALTH_SIMD env, "
+       "then cpuid), avx2, sse2, or scalar — all tiers score identically"},
       {"stats-period", "serve", false,
        "Seconds between periodic stats lines on stderr (0 = off)"},
       {"threads", "cli attack, serve", false,

@@ -61,9 +61,14 @@ SummaryStats Summarize(const std::vector<double>& v) {
   return s;
 }
 
-std::vector<double> EmpiricalCdf(const std::vector<double>& values,
-                                 const std::vector<double>& thresholds) {
-  assert(std::is_sorted(thresholds.begin(), thresholds.end()));
+StatusOr<std::vector<double>> EmpiricalCdf(
+    const std::vector<double>& values, const std::vector<double>& thresholds) {
+  // Checked in every build type: a Release build used to sail past the old
+  // `assert` and hand back fractions that no longer lined up with the
+  // thresholds the caller thought it asked about.
+  if (!std::is_sorted(thresholds.begin(), thresholds.end()))
+    return Status::InvalidArgument(
+        "EmpiricalCdf: thresholds must be sorted ascending");
   std::vector<double> sorted = values;
   std::sort(sorted.begin(), sorted.end());
   std::vector<double> out(thresholds.size(), 0.0);
@@ -82,12 +87,23 @@ Histogram::Histogram(double lo, double hi, size_t bins)
 }
 
 void Histogram::Add(double value) {
-  double t = (value - lo_) / (hi_ - lo_);
-  auto bin = static_cast<long>(t * static_cast<double>(counts_.size()));
-  if (bin < 0) bin = 0;
-  if (bin >= static_cast<long>(counts_.size()))
-    bin = static_cast<long>(counts_.size()) - 1;
-  ++counts_[static_cast<size_t>(bin)];
+  // Clamp in floating point BEFORE the integer cast: the old code computed
+  // the bucket as a `long` first, so a NaN value was undefined behavior on
+  // the cast and a hugely out-of-range `t` (e.g. +inf) was implementation-
+  // defined. NaN routes to the first bucket, mirroring
+  // LatencyHistogram::Record's "non-positive -> first bucket" contract.
+  const double scaled =
+      (value - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size());
+  size_t bin = 0;
+  if (std::isnan(scaled) || scaled <= 0.0) {
+    bin = 0;
+  } else if (scaled >= static_cast<double>(counts_.size())) {
+    bin = counts_.size() - 1;
+  } else {
+    bin = static_cast<size_t>(scaled);
+    if (bin >= counts_.size()) bin = counts_.size() - 1;
+  }
+  ++counts_[bin];
   ++total_;
 }
 

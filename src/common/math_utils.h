@@ -5,6 +5,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/status.h"
+
 namespace dehealth {
 
 /// Cosine similarity between two vectors. If lengths differ, the shorter is
@@ -38,9 +40,11 @@ SummaryStats Summarize(const std::vector<double>& v);
 
 /// Empirical CDF evaluated at caller-supplied thresholds:
 /// result[i] = fraction of `values` <= thresholds[i].
-/// `thresholds` must be sorted ascending.
-std::vector<double> EmpiricalCdf(const std::vector<double>& values,
-                                 const std::vector<double>& thresholds);
+/// `thresholds` must be sorted ascending — verified in every build type;
+/// unsorted thresholds fail with InvalidArgument instead of silently
+/// returning fractions that don't line up with the caller's axis.
+StatusOr<std::vector<double>> EmpiricalCdf(
+    const std::vector<double>& values, const std::vector<double>& thresholds);
 
 /// A fixed-width histogram over [lo, hi) with `bins` buckets; values outside
 /// the range are clamped into the first/last bucket.

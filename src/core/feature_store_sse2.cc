@@ -1,0 +1,102 @@
+// SSE2 block kernel (x86-64 baseline, so this TU needs no extra -m flags).
+// Bitwise-identity rules (see feature_store_kernels.h): vectorize across
+// candidate lanes only, sequential ascending-order accumulation per lane,
+// separate mul/add (explicit intrinsics are never contracted to FMA), zero
+// denominators blended to 1.0 before the divide.
+
+#include "core/feature_store_kernels.h"
+
+#if defined(__SSE2__) || defined(_M_X64)
+
+#include <emmintrin.h>
+
+#include <algorithm>
+
+namespace dehealth::internal {
+
+namespace {
+
+constexpr int kVec = 2;  // doubles per __m128d
+constexpr int kHalves = kScoreBlockWidth / kVec;
+
+/// min(a,b)/max(a,b) with MinMaxRatio's 0/0 -> 1 convention, two lanes at
+/// a time. Inputs are non-negative degrees, so _mm_min_pd/_mm_max_pd agree
+/// with std::min/std::max bitwise.
+inline __m128d MinMaxRatioVec(__m128d q, __m128d d) {
+  const __m128d zero = _mm_setzero_pd();
+  const __m128d one = _mm_set1_pd(1.0);
+  const __m128d mx = _mm_max_pd(q, d);
+  const __m128d mn = _mm_min_pd(q, d);
+  const __m128d both_zero = _mm_cmpeq_pd(mx, zero);
+  // Blend via and/andnot (SSE2 has no blendv): divide by 1 where max == 0,
+  // then overwrite the quotient with 1.0 there.
+  const __m128d safe_mx =
+      _mm_or_pd(_mm_andnot_pd(both_zero, mx), _mm_and_pd(both_zero, one));
+  const __m128d ratio = _mm_div_pd(mn, safe_mx);
+  return _mm_or_pd(_mm_andnot_pd(both_zero, ratio),
+                   _mm_and_pd(both_zero, one));
+}
+
+/// Cosine term for lanes [half*2, half*2+2): one accumulator per lane,
+/// elements added in ascending order.
+inline __m128d CosineVec(const double* q, int q_len, double q_norm,
+                         const double* data, int stride,
+                         const double* v_norm, int half) {
+  const __m128d zero = _mm_setzero_pd();
+  if (q_norm == 0.0) return zero;
+  const int n = std::min(q_len, stride);
+  __m128d dot = zero;
+  const double* base = data + half * kVec;
+  for (int i = 0; i < n; ++i) {
+    const __m128d qv = _mm_set1_pd(q[i]);
+    const __m128d x = _mm_loadu_pd(base + i * kScoreBlockWidth);
+    dot = _mm_add_pd(dot, _mm_mul_pd(qv, x));
+  }
+  const __m128d vn = _mm_loadu_pd(v_norm + half * kVec);
+  const __m128d vn_zero = _mm_cmpeq_pd(vn, zero);
+  __m128d denom = _mm_mul_pd(_mm_set1_pd(q_norm), vn);
+  // Where the candidate norm is 0 its lane's dot is +0.0 too; divide by
+  // 1.0 there so +0/1 reproduces the scalar early-return's 0.0 without a
+  // 0/0 NaN.
+  denom = _mm_or_pd(_mm_andnot_pd(vn_zero, denom),
+                    _mm_and_pd(vn_zero, _mm_set1_pd(1.0)));
+  return _mm_div_pd(dot, denom);
+}
+
+void ScoreBlockSse2(const BlockKernelArgs& a, double out[kScoreBlockWidth]) {
+  for (int h = 0; h < kHalves; ++h) {
+    const __m128d r1 = MinMaxRatioVec(_mm_set1_pd(a.q_degree),
+                                      _mm_loadu_pd(a.degree + h * kVec));
+    const __m128d r2 =
+        MinMaxRatioVec(_mm_set1_pd(a.q_weighted_degree),
+                       _mm_loadu_pd(a.weighted_degree + h * kVec));
+    const __m128d ncs = CosineVec(a.q_ncs, a.q_ncs_len, a.q_ncs_norm, a.ncs,
+                                  a.ncs_stride, a.ncs_norm, h);
+    const __m128d degree_sim = _mm_add_pd(_mm_add_pd(r1, r2), ncs);
+    const __m128d hop = CosineVec(a.q_hop, a.q_hop_len, a.q_hop_norm, a.hop,
+                                  a.hop_stride, a.hop_norm, h);
+    const __m128d whop = CosineVec(a.q_whop, a.q_whop_len, a.q_whop_norm,
+                                   a.whop, a.whop_stride, a.whop_norm, h);
+    const __m128d distance_sim = _mm_add_pd(hop, whop);
+    const __m128d attr = _mm_loadu_pd(a.attr_sim + h * kVec);
+    const __m128d score = _mm_add_pd(
+        _mm_add_pd(_mm_mul_pd(_mm_set1_pd(a.c1), degree_sim),
+                   _mm_mul_pd(_mm_set1_pd(a.c2), distance_sim)),
+        _mm_mul_pd(_mm_set1_pd(a.c3), attr));
+    _mm_storeu_pd(out + h * kVec, score);
+  }
+}
+
+}  // namespace
+
+BlockKernelFn Sse2BlockKernel() { return &ScoreBlockSse2; }
+
+}  // namespace dehealth::internal
+
+#else  // !__SSE2__
+
+namespace dehealth::internal {
+BlockKernelFn Sse2BlockKernel() { return nullptr; }
+}  // namespace dehealth::internal
+
+#endif

@@ -6,36 +6,49 @@
 
 #include "common/math_utils.h"
 #include "common/parallel.h"
+#include "core/feature_store.h"
 #include "graph/landmarks.h"
 #include "obs/standard_metrics.h"
 #include "obs/trace.h"
 
 namespace dehealth {
 
-double FlattenedAttributeSimilarity(
-    const std::vector<std::pair<int, double>>& a,
-    const std::vector<std::pair<int, double>>& b) {
+namespace {
+
+// Shared merge-join over (id, weight) lists sorted by id. Templated on the
+// weight type so the int overload runs the identical expression tree over
+// doubles (each weight cast at use) without materializing converted copies
+// — the old int overload heap-allocated two vectors per call, which
+// dominated scoring cost for high-attribute users.
+template <typename W1, typename W2>
+double FlattenedAttributeSimilarityImpl(
+    const std::vector<std::pair<int, W1>>& a,
+    const std::vector<std::pair<int, W2>>& b) {
   if (a.empty() && b.empty()) return 0.0;
   size_t set_intersection = 0;
   double weight_intersection = 0.0, weight_union = 0.0;
   size_t i = 0, j = 0;
   while (i < a.size() && j < b.size()) {
     if (a[i].first < b[j].first) {
-      weight_union += a[i].second;
+      weight_union += static_cast<double>(a[i].second);
       ++i;
     } else if (b[j].first < a[i].first) {
-      weight_union += b[j].second;
+      weight_union += static_cast<double>(b[j].second);
       ++j;
     } else {
       ++set_intersection;
-      weight_intersection += std::min(a[i].second, b[j].second);
-      weight_union += std::max(a[i].second, b[j].second);
+      weight_intersection += std::min(static_cast<double>(a[i].second),
+                                      static_cast<double>(b[j].second));
+      weight_union += std::max(static_cast<double>(a[i].second),
+                               static_cast<double>(b[j].second));
       ++i;
       ++j;
     }
   }
-  for (; i < a.size(); ++i) weight_union += a[i].second;
-  for (; j < b.size(); ++j) weight_union += b[j].second;
+  for (; i < a.size(); ++i)
+    weight_union += static_cast<double>(a[i].second);
+  for (; j < b.size(); ++j)
+    weight_union += static_cast<double>(b[j].second);
 
   const size_t set_union = a.size() + b.size() - set_intersection;
   double sim = 0.0;
@@ -46,12 +59,18 @@ double FlattenedAttributeSimilarity(
   return sim;
 }
 
+}  // namespace
+
+double FlattenedAttributeSimilarity(
+    const std::vector<std::pair<int, double>>& a,
+    const std::vector<std::pair<int, double>>& b) {
+  return FlattenedAttributeSimilarityImpl(a, b);
+}
+
 double FlattenedAttributeSimilarity(
     const std::vector<std::pair<int, int>>& a,
     const std::vector<std::pair<int, int>>& b) {
-  std::vector<std::pair<int, double>> da(a.begin(), a.end());
-  std::vector<std::pair<int, double>> db(b.begin(), b.end());
-  return FlattenedAttributeSimilarity(da, db);
+  return FlattenedAttributeSimilarityImpl(a, b);
 }
 
 StructuralSimilarity::StructuralSimilarity(const UdaGraph& anonymized,
@@ -167,14 +186,38 @@ std::vector<std::vector<double>> StructuralSimilarity::ComputeMatrix() const {
   metrics.similarity_rows->Increment(static_cast<uint64_t>(n1));
   std::vector<std::vector<double>> matrix(
       static_cast<size_t>(n1), std::vector<double>(static_cast<size_t>(n2)));
+
+  // Pack the auxiliary side into the blocked SoA store once, then score
+  // whole rows through the batched kernel — bitwise-identical to calling
+  // Combined() per pair (tests/core/feature_store_test.cc pins this).
+  std::vector<UserFeatureView> aux_views(static_cast<size_t>(n2));
+  for (NodeId v = 0; v < n2; ++v) {
+    UserFeatureView& view = aux_views[static_cast<size_t>(v)];
+    view.degree = auxiliary_.graph.Degree(v);
+    view.weighted_degree = auxiliary_.graph.WeightedDegree(v);
+    view.ncs = &ncs_vectors_[1][static_cast<size_t>(v)];
+    view.hop = &hop_vectors_[1][static_cast<size_t>(v)];
+    view.weighted_hop = &weighted_vectors_[1][static_cast<size_t>(v)];
+    view.attributes = &attributes_[1][static_cast<size_t>(v)];
+  }
+  const FeatureStore store = FeatureStore::Build(aux_views);
+
   // Row-parallel: each task owns exactly one preallocated row, so the
   // result is bitwise-identical for any thread count.
   ParallelFor(
       0, n1,
       [&](int64_t u) {
-        std::vector<double>& row = matrix[static_cast<size_t>(u)];
-        for (NodeId v = 0; v < n2; ++v)
-          row[static_cast<size_t>(v)] = Combined(static_cast<NodeId>(u), v);
+        UserFeatureView view_u;
+        const auto su = static_cast<size_t>(u);
+        view_u.degree = anonymized_.graph.Degree(static_cast<NodeId>(u));
+        view_u.weighted_degree =
+            anonymized_.graph.WeightedDegree(static_cast<NodeId>(u));
+        view_u.ncs = &ncs_vectors_[0][su];
+        view_u.hop = &hop_vectors_[0][su];
+        view_u.weighted_hop = &weighted_vectors_[0][su];
+        view_u.attributes = &attributes_[0][su];
+        const ScoreQuery query = store.MakeQuery(view_u);
+        store.ScoreRow(config_, query, matrix[su].data());
       },
       config_.num_threads);
   return matrix;

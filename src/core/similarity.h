@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/simd_dispatch.h"
 #include "core/uda_graph.h"
 
 namespace dehealth {
@@ -31,6 +32,11 @@ struct SimilarityConfig {
   /// (0 = hardware concurrency). Results are bitwise-identical for any
   /// value; see DESIGN.md "Threading model".
   int num_threads = 0;
+
+  /// Instruction-set tier of the batched score kernel (--simd). Purely a
+  /// throughput knob: every tier is bitwise-identical (DESIGN.md "Score
+  /// kernel"). kAuto honors DEHEALTH_SIMD, then CPU detection.
+  SimdMode simd = SimdMode::kAuto;
 };
 
 /// Borrowed view of one user's precomputed similarity features — the exact
@@ -78,7 +84,9 @@ class StructuralSimilarity {
 
   /// Full similarity matrix: result[u][v] = Combined(u, v). O(n1·n2) —
   /// row-parallel across config().num_threads threads; bitwise-identical
-  /// output for any thread count.
+  /// output for any thread count. Rows run through the batched FeatureStore
+  /// kernel (config().simd picks the tier), which is bitwise-identical to
+  /// the per-pair Combined().
   std::vector<std::vector<double>> ComputeMatrix() const;
 
   const SimilarityConfig& config() const { return config_; }

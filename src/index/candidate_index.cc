@@ -155,6 +155,7 @@ SimilarityConfig CandidateIndex::similarity_config() const {
   config.num_landmarks = data_.num_landmarks;
   config.idf_weight_attributes = data_.idf_weight_attributes;
   config.num_threads = 0;
+  config.simd = simd_mode_;
   return config;
 }
 
@@ -227,7 +228,9 @@ StatusOr<CandidateIndex> CandidateIndex::Build(
   };
   data.users = ComputeSideFeatures(auxiliary, data.num_landmarks,
                                    config.num_threads, idf);
-  return FromData(std::move(data));
+  StatusOr<CandidateIndex> index = FromData(std::move(data));
+  if (index.ok()) index->set_simd_mode(config.simd);
+  return index;
 }
 
 StatusOr<CandidateIndex> CandidateIndex::FromData(CandidateIndexData data) {
@@ -250,6 +253,10 @@ StatusOr<CandidateIndex> CandidateIndex::FromData(CandidateIndexData data) {
 
 void CandidateIndex::BuildDerived() {
   const size_t n2 = data_.users.size();
+  std::vector<UserFeatureView> views;
+  views.reserve(n2);
+  for (const IndexedUserFeatures& f : data_.users) views.push_back(ViewOf(f));
+  store_ = FeatureStore::Build(views);
   idf_lookup_.clear();
   idf_lookup_.reserve(data_.idf_table.size());
   for (const auto& [id, w] : data_.idf_table) idf_lookup_.emplace(id, w);
@@ -316,11 +323,9 @@ double CandidateIndex::ExactScore(const IndexedUserFeatures& query,
 void CandidateIndex::ExactRow(const IndexedUserFeatures& query,
                               std::vector<double>* row) const {
   const SimilarityConfig config = similarity_config();
-  const UserFeatureView query_view = ViewOf(query);
   row->resize(data_.users.size());
-  for (size_t v = 0; v < data_.users.size(); ++v)
-    (*row)[v] = CombinedStructuralScore(config, query_view,
-                                        ViewOf(data_.users[v]));
+  const ScoreQuery q = store_.MakeQuery(ViewOf(query));
+  store_.ScoreRow(config, q, row->data());
 }
 
 std::vector<int> CandidateIndex::TopKForQuery(const IndexedUserFeatures& query,
@@ -365,13 +370,17 @@ std::vector<int> CandidateIndex::TopKForQuery(const IndexedUserFeatures& query,
   std::sort(ws.touched.begin(), ws.touched.end());
 
   const SimilarityConfig config = similarity_config();
-  const UserFeatureView query_view = ViewOf(query);
+  // Per-query precompute (norms + dense attribute table) shared by every
+  // exact evaluation below; ScoreOne is bitwise-equal to the golden
+  // CombinedStructuralScore, so pruning decisions and results are
+  // unchanged — each evaluation just costs far less.
+  const ScoreQuery score_query = store_.MakeQuery(ViewOf(query));
   std::vector<ScoredCandidate> heap;
   heap.reserve(want);
   auto kth_score = [&] { return heap.front().score; };
   auto evaluate = [&](int32_t v) {
-    const double score = CombinedStructuralScore(
-        config, query_view, ViewOf(data_.users[static_cast<size_t>(v)]));
+    const double score =
+        store_.ScoreOne(config, score_query, static_cast<int>(v));
     ++evaluated;
     const ScoredCandidate c{score, v};
     if (heap.size() < want) {

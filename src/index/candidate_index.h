@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/feature_store.h"
 #include "core/similarity.h"
 #include "core/top_k.h"
 #include "core/uda_graph.h"
@@ -86,8 +87,16 @@ class CandidateIndex {
   int num_auxiliary() const { return static_cast<int>(data_.users.size()); }
   const CandidateIndexData& data() const { return data_; }
 
-  /// The score-shaping fields as a SimilarityConfig (num_threads = 0).
+  /// The score-shaping fields as a SimilarityConfig (num_threads = 0,
+  /// simd = the runtime simd_mode()).
   SimilarityConfig similarity_config() const;
+
+  /// Runtime SIMD tier for exact scoring (NOT persisted — a snapshot holds
+  /// features, and every tier scores them bitwise-identically). Defaults
+  /// to kAuto; Build() copies the config's choice, FromData callers (the
+  /// snapshot path) set it afterwards.
+  SimdMode simd_mode() const { return simd_mode_; }
+  void set_simd_mode(SimdMode mode) { simd_mode_ = mode; }
 
   /// IDF weight of an attribute id (1.0 when IDF scaling is off;
   /// default_idf for ids unseen on the auxiliary side).
@@ -103,7 +112,9 @@ class CandidateIndex {
   /// dense StructuralSimilarity::Combined).
   double ExactScore(const IndexedUserFeatures& query, NodeId v) const;
 
-  /// Exact scores of a query against every auxiliary user, in id order.
+  /// Exact scores of a query against every auxiliary user, in id order —
+  /// the verification path: one batched FeatureStore row scan, bitwise
+  /// equal to per-pair ExactScore calls.
   void ExactRow(const IndexedUserFeatures& query,
                 std::vector<double>* row) const;
 
@@ -145,6 +156,10 @@ class CandidateIndex {
   };
 
   CandidateIndexData data_;
+  SimdMode simd_mode_ = SimdMode::kAuto;
+  /// Blocked SoA mirror of data_.users for batched/precomputed exact
+  /// scoring (rebuilt by BuildDerived; never persisted).
+  FeatureStore store_;
   std::unordered_map<int, double> idf_lookup_;
   std::unordered_map<int, std::vector<Posting>> postings_;
   std::vector<DegreeBucket> buckets_;

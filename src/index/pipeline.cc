@@ -21,6 +21,9 @@ StatusOr<std::unique_ptr<AttackScoreSource>> BuildAttackScoreSource(
     if (index.ok()) {
       bundle->index =
           std::make_unique<CandidateIndex>(std::move(index).value());
+      // Snapshot loads come back with the default kAuto; the runtime SIMD
+      // choice is a per-run knob, never part of the persisted index.
+      bundle->index->set_simd_mode(sim_config.simd);
       bundle->source = std::make_unique<IndexedCandidateSource>(
           anonymized, *bundle->index, config.num_threads,
           config.index_max_candidates);

@@ -27,6 +27,12 @@ const MetricDef kCoreFilterRejected = {
 const MetricDef kCoreRefinedUsers = {
     "dehealth_core_refined_users_total", MetricType::kCounter, "users",
     "core", "Anonymized users processed by phase-2 refined DA"};
+const MetricDef kCoreSimdKernel = {
+    "dehealth_core_simd_kernel", MetricType::kGauge, "1", "core",
+    "Score-kernel SIMD tier last dispatched (1=scalar, 2=sse2, 3=avx2)"};
+const MetricDef kCoreScoreBlockSize = {
+    "dehealth_core_score_block_size", MetricType::kHistogram, "candidates",
+    "core", "Candidates per block handed to the batched score kernel"};
 
 // ---- index ----
 const MetricDef kIndexTopKQueries = {
@@ -101,6 +107,7 @@ const std::vector<const MetricDef*>& AllMetricDefs() {
           &kCoreSimilarityMatrices, &kCoreSimilarityRows,
           &kCoreTopKDenseRows,   &kCoreFilterRuns,
           &kCoreFilterRejected,  &kCoreRefinedUsers,
+          &kCoreSimdKernel,      &kCoreScoreBlockSize,
           &kIndexTopKQueries,    &kIndexExactEvals,
           &kIndexBoundPruned,    &kIndexSnapshotLoads,
           &kIndexSnapshotRebuilds, &kIndexDenseFallbacks,
@@ -127,6 +134,8 @@ CoreMetrics& GetCoreMetrics() {
         r.GetCounter(kCoreFilterRuns),
         r.GetCounter(kCoreFilterRejected),
         r.GetCounter(kCoreRefinedUsers),
+        r.GetGauge(kCoreSimdKernel),
+        r.GetHistogram(kCoreScoreBlockSize),
     };
   }();
   return *metrics;

@@ -24,6 +24,8 @@ extern const MetricDef kCoreTopKDenseRows;
 extern const MetricDef kCoreFilterRuns;
 extern const MetricDef kCoreFilterRejected;
 extern const MetricDef kCoreRefinedUsers;
+extern const MetricDef kCoreSimdKernel;
+extern const MetricDef kCoreScoreBlockSize;
 
 // ---- index: DHIX snapshot lifecycle + bound-pruned Top-K retrieval ----
 extern const MetricDef kIndexTopKQueries;
@@ -65,6 +67,8 @@ struct CoreMetrics {
   Counter* filter_runs;
   Counter* filter_rejected;
   Counter* refined_users;
+  Gauge* simd_kernel;
+  Histogram* score_block_size;
 };
 CoreMetrics& GetCoreMetrics();
 

@@ -27,6 +27,9 @@ StatusOr<DeHealthConfig> ParseAttackFlags(const FlagParser& flags) {
   config.top_k = k;
   config.num_threads = threads;
   config.similarity.idf_weight_attributes = flags.Has("idf");
+  OPTIONS_ASSIGN_OR_RETURN(
+      simd, ParseSimdMode(flags.Get("simd", "auto")));
+  config.similarity.simd = simd;
   config.enable_filtering = flags.Has("filter");
   config.index_snapshot_path = flags.Get("index-path");
   // --index-path implies the indexed path; --index alone keeps the index

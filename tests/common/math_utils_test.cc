@@ -1,6 +1,7 @@
 #include "common/math_utils.h"
 
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
@@ -92,17 +93,48 @@ TEST(SummarizeTest, EmptyInput) {
 TEST(EmpiricalCdfTest, StepFunction) {
   std::vector<double> values = {1.0, 2.0, 2.0, 5.0};
   auto cdf = EmpiricalCdf(values, {0.0, 1.0, 2.0, 4.0, 5.0});
-  EXPECT_DOUBLE_EQ(cdf[0], 0.0);
-  EXPECT_DOUBLE_EQ(cdf[1], 0.25);
-  EXPECT_DOUBLE_EQ(cdf[2], 0.75);
-  EXPECT_DOUBLE_EQ(cdf[3], 0.75);
-  EXPECT_DOUBLE_EQ(cdf[4], 1.0);
+  ASSERT_TRUE(cdf.ok());
+  EXPECT_DOUBLE_EQ((*cdf)[0], 0.0);
+  EXPECT_DOUBLE_EQ((*cdf)[1], 0.25);
+  EXPECT_DOUBLE_EQ((*cdf)[2], 0.75);
+  EXPECT_DOUBLE_EQ((*cdf)[3], 0.75);
+  EXPECT_DOUBLE_EQ((*cdf)[4], 1.0);
 }
 
 TEST(EmpiricalCdfTest, EmptyValues) {
   auto cdf = EmpiricalCdf({}, {1.0, 2.0});
-  EXPECT_EQ(cdf.size(), 2u);
-  EXPECT_EQ(cdf[0], 0.0);
+  ASSERT_TRUE(cdf.ok());
+  EXPECT_EQ(cdf->size(), 2u);
+  EXPECT_EQ((*cdf)[0], 0.0);
+}
+
+TEST(EmpiricalCdfTest, UnsortedThresholdsFailLoudly) {
+  // The precondition used to be an `assert`, so a Release build silently
+  // returned fractions misaligned with the thresholds. Now it is a typed
+  // error in every build type.
+  auto cdf = EmpiricalCdf({1.0, 2.0}, {5.0, 1.0});
+  ASSERT_FALSE(cdf.ok());
+  EXPECT_EQ(cdf.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(HistogramTest, NanAndExtremeValuesAreWellDefined) {
+  Histogram h(0.0, 10.0, 5);
+  // NaN used to be UB on the float->long cast; now it counts into the
+  // first bucket, mirroring LatencyHistogram::Record's contract.
+  h.Add(std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(h.count(0), 1u);
+  // Infinities and values far outside any representable long clamp to the
+  // edge buckets instead of riding an implementation-defined cast.
+  h.Add(std::numeric_limits<double>::infinity());
+  h.Add(-std::numeric_limits<double>::infinity());
+  h.Add(1e300);
+  h.Add(-1e300);
+  EXPECT_EQ(h.count(0), 3u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_EQ(h.total(), 5u);
+  // The boundary value lands in the last bucket (same as before the fix).
+  h.Add(10.0);
+  EXPECT_EQ(h.count(4), 3u);
 }
 
 TEST(HistogramTest, BinningAndClamping) {

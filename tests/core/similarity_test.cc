@@ -45,6 +45,29 @@ TEST(FlattenedAttributeSimilarityTest, MatchesUserProfileVersion) {
   EXPECT_NEAR(FlattenedAttributeSimilarity(a, c), 1.0 / 3.0 + 0.25, 1e-12);
 }
 
+TEST(FlattenedAttributeSimilarityTest, IntOverloadBitwiseMatchesDouble) {
+  // The int overload used to convert both lists into freshly allocated
+  // double vectors per call; it now runs the shared merge directly. Assert
+  // it is still bitwise-identical to converting up front and calling the
+  // double overload — with weights whose min/max and accumulation order
+  // exercise every branch of the merge.
+  const std::vector<std::pair<int, int>> ia = {
+      {0, 3}, {2, 7}, {5, 1}, {9, 11}, {14, 2}};
+  const std::vector<std::pair<int, int>> ib = {
+      {1, 4}, {2, 5}, {7, 6}, {9, 13}, {20, 1}};
+  const std::vector<std::pair<int, double>> da(ia.begin(), ia.end());
+  const std::vector<std::pair<int, double>> db(ib.begin(), ib.end());
+  EXPECT_EQ(FlattenedAttributeSimilarity(ia, ib),
+            FlattenedAttributeSimilarity(da, db));
+  EXPECT_EQ(FlattenedAttributeSimilarity(ib, ia),
+            FlattenedAttributeSimilarity(db, da));
+  // One-sided and empty shapes too.
+  const std::vector<std::pair<int, int>> iempty;
+  const std::vector<std::pair<int, double>> dempty;
+  EXPECT_EQ(FlattenedAttributeSimilarity(ia, iempty),
+            FlattenedAttributeSimilarity(da, dempty));
+}
+
 class StructuralSimilarityTest : public ::testing::Test {
  protected:
   StructuralSimilarityTest()
