@@ -11,7 +11,18 @@
 //   bench_index_scaling --out BENCH_index.json   # same, written to a file
 //   bench_index_scaling --n2 5000 --mode indexed # one cell, one JSON line
 //
-// Timings are wall-clock; `prepare` is index build (or similarity
+// Sharded cells (run automatically at the largest n2, or by hand):
+//
+//   bench_index_scaling --n2 20000 --mode shard-prep --shards 8 --dir D
+//   bench_index_scaling --mode sharded --shards 8 --dir D      # merged row
+//   bench_index_scaling --mode shard-slice --shards 8 --shard-index 0 --dir D
+//
+// `sharded` scatter-gathers over all N shard snapshots and must reproduce
+// the dense/indexed checksum; `shard-slice` loads exactly one shard, so
+// its peak RSS is the per-backend footprint of a router fleet (~1/N of
+// the indexed row's index share).
+//
+// Timings are wall-clock; `prepare` is index build/load (or similarity
 // precompute), `topk` is the 500 queries.
 
 #include <sys/resource.h>
@@ -20,16 +31,21 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
 
 #include "bench_common.h"
 #include "core/de_health.h"
+#include "core/top_k.h"
 #include "datagen/forum_generator.h"
 #include "datagen/split.h"
 #include "index/candidate_index.h"
 #include "index/indexed_source.h"
+#include "index/snapshot.h"
+#include "shard/partition.h"
+#include "shard/shard_index.h"
 
 namespace {
 
@@ -50,6 +66,14 @@ double MsSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::milli>(
              std::chrono::steady_clock::now() - start)
       .count();
+}
+
+uint64_t CandidatesChecksum(const CandidateSets& candidates) {
+  uint64_t checksum = 1469598103934665603ULL;
+  for (const auto& row : candidates)
+    for (int v : row)
+      checksum = (checksum ^ static_cast<uint64_t>(v)) * 1099511628211ULL;
+  return checksum;
 }
 
 /// Runs one (mode, n2) cell and prints a single-line JSON object.
@@ -116,10 +140,7 @@ int RunCell(int n2, const std::string& mode) {
 
   // Checksum over the candidate sets: identical between modes by the
   // exactness contract, and keeps the work from being optimized away.
-  uint64_t checksum = 1469598103934665603ULL;
-  for (const auto& row : candidates)
-    for (int v : row) checksum = (checksum ^ static_cast<uint64_t>(v)) *
-                                 1099511628211ULL;
+  const uint64_t checksum = CandidatesChecksum(candidates);
 
   std::printf(
       "{\"mode\": \"%s\", \"aux_users\": %d, \"anon_users\": %d, "
@@ -132,47 +153,233 @@ int RunCell(int n2, const std::string& mode) {
   return 0;
 }
 
+/// Generates the dataset once, writes the N shard snapshots plus a
+/// "queries" snapshot (the anonymized users' precomputed features smuggled
+/// through the DHIX format), so the per-shard cells below can run WITHOUT
+/// the forum generator or graphs resident — their peak RSS is the shard's.
+int RunShardPrep(int n2, int shards, const std::string& dir) {
+  auto forum = GenerateForum(WebMdLikeConfig(n2, kForumSeed));
+  if (!forum.ok()) {
+    std::fprintf(stderr, "generate: %s\n", forum.status().ToString().c_str());
+    return 1;
+  }
+  auto scenario = MakeClosedWorldScenario(forum->dataset, 0.5, kSplitSeed);
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "split: %s\n", scenario.status().ToString().c_str());
+    return 1;
+  }
+  const int num_queries = std::min(kNumQueries, n2);
+  ForumDataset anon_subset;
+  anon_subset.num_users = num_queries;
+  anon_subset.num_threads = scenario->anonymized.num_threads;
+  for (const Post& post : scenario->anonymized.posts)
+    if (post.user_id < num_queries) anon_subset.posts.push_back(post);
+  const UdaGraph anon = BuildUdaGraph(anon_subset);
+  const UdaGraph aux = BuildUdaGraph(scenario->auxiliary);
+
+  std::filesystem::create_directories(dir);
+  const SimilarityConfig config;
+  auto built = BuildShardIndexes(dir + "/aux.dhix", aux, config, shards);
+  if (!built.ok()) {
+    std::fprintf(stderr, "shards: %s\n", built.status().ToString().c_str());
+    return 1;
+  }
+  // Any shard can compute query features: the idf table is GLOBAL.
+  CandidateIndexData queries = (*built)[0].data();
+  queries.users = (*built)[0].ComputeQueryFeatures(anon);
+  queries.shard_index = 0;
+  queries.shard_count = 1;
+  queries.shard_begin = 0;
+  queries.shard_total = static_cast<uint32_t>(queries.users.size());
+  auto query_index = CandidateIndex::FromData(std::move(queries));
+  if (!query_index.ok()) {
+    std::fprintf(stderr, "queries: %s\n",
+                 query_index.status().ToString().c_str());
+    return 1;
+  }
+  Status saved = SaveIndexSnapshot(*query_index, dir + "/queries.dhix");
+  if (!saved.ok()) {
+    std::fprintf(stderr, "save: %s\n", saved.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+/// One shard slice in isolation: loads only its own snapshot (1/N of the
+/// universe) and the query features, then answers every query locally.
+/// peak_rss_kb here is THE sharding payoff — compare against the indexed
+/// row at the same n2.
+int RunShardSlice(int shards, int shard_index, const std::string& dir) {
+  auto start = std::chrono::steady_clock::now();
+  auto queries = LoadIndexSnapshot(dir + "/queries.dhix");
+  auto shard = LoadIndexSnapshot(
+      ShardSnapshotPath(dir + "/aux.dhix", shard_index, shards));
+  if (!queries.ok() || !shard.ok()) {
+    std::fprintf(stderr, "load failed\n");
+    return 1;
+  }
+  const double prepare_ms = MsSince(start);
+  const long setup_rss_kb = PeakRssKb();
+
+  start = std::chrono::steady_clock::now();
+  uint64_t checksum = 1469598103934665603ULL;
+  for (const IndexedUserFeatures& query : queries->data().users) {
+    const std::vector<ScoredUser> top = shard->TopKScoredForQuery(query, kTopK);
+    for (const ScoredUser& c : top) {
+      const uint64_t global =
+          static_cast<uint64_t>(c.user) + shard->data().shard_begin;
+      checksum = (checksum ^ global) * 1099511628211ULL;
+    }
+  }
+  const double topk_ms = MsSince(start);
+  std::printf(
+      "{\"mode\": \"shard-slice\", \"shards\": %d, \"shard_index\": %d, "
+      "\"aux_users\": %d, \"anon_users\": %d, "
+      "\"prepare_ms\": %.1f, \"topk_ms\": %.1f, \"total_ms\": %.1f, "
+      "\"setup_peak_rss_kb\": %ld, \"peak_rss_kb\": %ld, "
+      "\"candidates_checksum\": %llu}\n",
+      shards, shard_index, shard->num_auxiliary(),
+      static_cast<int>(queries->data().users.size()), prepare_ms, topk_ms,
+      prepare_ms + topk_ms, setup_rss_kb, PeakRssKb(),
+      static_cast<unsigned long long>(checksum));
+  return 0;
+}
+
+/// Scatter-gather over all N shard snapshots in one process: per-shard
+/// Top-K lists merged with the router's merge kernel. The checksum must
+/// equal the dense/indexed rows' at the same n2 — the bitwise-identity
+/// contract, measured rather than assumed.
+int RunShardedMerged(int shards, const std::string& dir) {
+  auto start = std::chrono::steady_clock::now();
+  auto queries = LoadIndexSnapshot(dir + "/queries.dhix");
+  if (!queries.ok()) {
+    std::fprintf(stderr, "queries: %s\n",
+                 queries.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<CandidateIndex> slices;
+  for (int i = 0; i < shards; ++i) {
+    auto shard =
+        LoadIndexSnapshot(ShardSnapshotPath(dir + "/aux.dhix", i, shards));
+    if (!shard.ok()) {
+      std::fprintf(stderr, "shard %d: %s\n", i,
+                   shard.status().ToString().c_str());
+      return 1;
+    }
+    slices.push_back(*std::move(shard));
+  }
+  const double prepare_ms = MsSince(start);
+  const long setup_rss_kb = PeakRssKb();
+
+  start = std::chrono::steady_clock::now();
+  CandidateSets candidates;
+  std::vector<std::vector<ScoredUser>> per_shard(
+      static_cast<size_t>(shards));
+  for (const IndexedUserFeatures& query : queries->data().users) {
+    for (int i = 0; i < shards; ++i) {
+      per_shard[static_cast<size_t>(i)] =
+          slices[static_cast<size_t>(i)].TopKScoredForQuery(query, kTopK);
+      for (ScoredUser& c : per_shard[static_cast<size_t>(i)])
+        c.user += static_cast<int>(
+            slices[static_cast<size_t>(i)].data().shard_begin);
+    }
+    const std::vector<ScoredUser> merged =
+        MergeScoredTopK(per_shard, kTopK);
+    candidates.emplace_back();
+    for (const ScoredUser& c : merged) candidates.back().push_back(c.user);
+  }
+  const double topk_ms = MsSince(start);
+  std::printf(
+      "{\"mode\": \"sharded\", \"shards\": %d, "
+      "\"aux_users\": %u, \"anon_users\": %d, "
+      "\"prepare_ms\": %.1f, \"topk_ms\": %.1f, \"total_ms\": %.1f, "
+      "\"setup_peak_rss_kb\": %ld, \"peak_rss_kb\": %ld, "
+      "\"candidates_checksum\": %llu}\n",
+      shards, slices.front().data().shard_total,
+      static_cast<int>(queries->data().users.size()), prepare_ms, topk_ms,
+      prepare_ms + topk_ms, setup_rss_kb, PeakRssKb(),
+      static_cast<unsigned long long>(CandidatesChecksum(candidates)));
+  return 0;
+}
+
+/// Re-execs this binary with `args`; the child's stdout (one JSON row, or
+/// nothing for prep cells) lands in *line. Each cell needs its own process
+/// because peak RSS is process-wide and monotone.
+int RunChild(const std::string& args, std::string* line) {
+  // /proc/self/exe must be resolved here: inside popen's shell it would
+  // point at the shell binary, not this benchmark.
+  char exe[4096];
+  const ssize_t len = readlink("/proc/self/exe", exe, sizeof exe - 1);
+  if (len <= 0) {
+    std::fprintf(stderr, "readlink(/proc/self/exe) failed\n");
+    return 1;
+  }
+  exe[len] = '\0';
+  const std::string command = "'" + std::string(exe) + "' " + args;
+  FILE* pipe = popen(command.c_str(), "r");
+  if (pipe == nullptr) {
+    std::fprintf(stderr, "popen failed\n");
+    return 1;
+  }
+  line->clear();
+  char buffer[512];
+  while (fgets(buffer, sizeof buffer, pipe) != nullptr) *line += buffer;
+  if (pclose(pipe) != 0) {
+    std::fprintf(stderr, "cell `%s` failed\n", args.c_str());
+    return 1;
+  }
+  while (!line->empty() && line->back() == '\n') line->pop_back();
+  return 0;
+}
+
 /// Re-runs this binary once per cell and assembles the JSON report.
 int RunAll(const std::string& out_path) {
   const std::vector<int> sizes = {1000, 5000, 20000};
   std::string runs;
+  std::string line;
   for (int n2 : sizes) {
     for (const char* mode : {"dense", "indexed"}) {
       std::fprintf(stderr, "running n2=%d mode=%s...\n", n2, mode);
-      // /proc/self/exe must be resolved here: inside popen's shell it
-      // would point at the shell binary, not this benchmark.
-      char exe[4096];
-      const ssize_t len = readlink("/proc/self/exe", exe, sizeof exe - 1);
-      if (len <= 0) {
-        std::fprintf(stderr, "readlink(/proc/self/exe) failed\n");
+      if (RunChild("--n2 " + std::to_string(n2) + " --mode " + mode,
+                   &line) != 0)
         return 1;
-      }
-      exe[len] = '\0';
-      const std::string command = "'" + std::string(exe) + "' --n2 " +
-                                  std::to_string(n2) + " --mode " + mode;
-      FILE* pipe = popen(command.c_str(), "r");
-      if (pipe == nullptr) {
-        std::fprintf(stderr, "popen failed\n");
-        return 1;
-      }
-      std::string line;
-      char buffer[512];
-      while (fgets(buffer, sizeof buffer, pipe) != nullptr) line += buffer;
-      if (pclose(pipe) != 0) {
-        std::fprintf(stderr, "cell n2=%d mode=%s failed\n", n2, mode);
-        return 1;
-      }
-      while (!line.empty() && line.back() == '\n') line.pop_back();
       if (!runs.empty()) runs += ",\n    ";
       runs += line;
     }
   }
+
+  // Sharded cells at the largest size: the merged scatter-gather row (its
+  // checksum must equal the dense/indexed rows above) and one shard slice
+  // per fleet size, whose peak RSS is ~1/N of the indexed row's.
+  const int shard_n2 = sizes.back();
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "bench_index_shards")
+          .string();
+  for (int shards : {2, 8}) {
+    std::fprintf(stderr, "running n2=%d shards=%d...\n", shard_n2, shards);
+    std::filesystem::remove_all(dir);
+    const std::string base = " --shards " + std::to_string(shards) +
+                             " --dir '" + dir + "'";
+    if (RunChild("--n2 " + std::to_string(shard_n2) +
+                     " --mode shard-prep" + base,
+                 &line) != 0)
+      return 1;
+    if (RunChild("--mode sharded" + base, &line) != 0) return 1;
+    runs += ",\n    " + line;
+    if (RunChild("--mode shard-slice --shard-index 0" + base, &line) != 0)
+      return 1;
+    runs += ",\n    " + line;
+  }
+  std::filesystem::remove_all(dir);
   const std::string report =
       "{\n  \"benchmark\": \"bench_index_scaling\",\n"
       "  \"description\": \"phase-1 Top-" + std::to_string(kTopK) +
       " for " + std::to_string(kNumQueries) +
-      " anonymized users: dense similarity matrix vs candidate index"
-      " (results bitwise-identical; see tests/index)\",\n"
+      " anonymized users: dense similarity matrix vs candidate index vs"
+      " sharded scatter-gather, all three bitwise-identical (see"
+      " tests/index and tests/shard). Exact-mode index queries take the"
+      " dense-scan crossover when posting volume is high; shard-slice"
+      " rows show the per-backend RSS of an N-shard fleet\",\n"
       "  \"config\": {\"num_queries\": " + std::to_string(kNumQueries) +
       ", \"top_k\": " + std::to_string(kTopK) +
       ", \"forum_seed\": " + std::to_string(kForumSeed) +
@@ -196,13 +403,24 @@ int RunAll(const std::string& out_path) {
 
 int main(int argc, char** argv) {
   int n2 = 0;
+  int shards = 0;
+  int shard_index = 0;
   std::string mode;
   std::string out_path;
+  std::string dir;
   for (int i = 1; i + 1 < argc; i += 2) {
     if (std::strcmp(argv[i], "--n2") == 0) n2 = std::atoi(argv[i + 1]);
     if (std::strcmp(argv[i], "--mode") == 0) mode = argv[i + 1];
     if (std::strcmp(argv[i], "--out") == 0) out_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--shards") == 0)
+      shards = std::atoi(argv[i + 1]);
+    if (std::strcmp(argv[i], "--shard-index") == 0)
+      shard_index = std::atoi(argv[i + 1]);
+    if (std::strcmp(argv[i], "--dir") == 0) dir = argv[i + 1];
   }
+  if (mode == "shard-prep") return RunShardPrep(n2, shards, dir);
+  if (mode == "sharded") return RunShardedMerged(shards, dir);
+  if (mode == "shard-slice") return RunShardSlice(shards, shard_index, dir);
   if (n2 > 0 && !mode.empty()) return RunCell(n2, mode);
   return RunAll(out_path);
 }

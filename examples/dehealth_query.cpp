@@ -183,6 +183,13 @@ int main(int argc, char** argv) {
     StatusOr<TopKAnswer> answer =
         client->TopK(*users, *k_or, *timeout_or);
     if (!answer.ok()) return Fail(answer.status().ToString());
+    // Stdout stays byte-identical between full and degraded answers (smoke
+    // tests cmp it); the degradation notice goes to stderr.
+    if (answer->partial)
+      std::fprintf(stderr,
+                   "warning: PARTIAL answer — at least one shard was "
+                   "unreachable, candidates from its user range are "
+                   "missing\n");
     for (size_t i = 0; i < users->size(); ++i)
       PrintCandidateLine((*users)[i], answer->candidates[i], false, false);
     return 0;

@@ -1,0 +1,108 @@
+// dehealth_router: the scatter-gather head of a sharded De-Health serving
+// fleet. Connects to N dehealth_serve backends — each started with
+// --shard-index i --shard-count N over the SAME auxiliary/anonymized
+// datasets — validates that they form exactly one partition of one
+// universe, then serves plain DHQP upstream: Top-K queries fan out to
+// every shard and the per-shard scored heaps merge into answers that are
+// bitwise-identical to one unsharded dehealth_serve (see DESIGN.md
+// "Sharding"). dehealth_query works against a router unchanged.
+//
+//   dehealth_router --backends host:port,host:port,...
+//                   [--require-all-shards] [--retries 3]
+//                   [--host 127.0.0.1] [--port 0] [--queue 64] [--batch 16]
+//                   [--timeout-ms 0] [--stats-period 0] [--port-file path]
+//
+// Degradation: by default a backend that stays unreachable through the
+// retry budget is dropped from the merge and answers go out as PARTIAL
+// frames (clients see answer.partial == true); --require-all-shards fails
+// such queries closed with UNAVAILABLE instead. Refined/filtered queries
+// are refused (both need universe-global state) — run an unsharded
+// dehealth_serve for those.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "common/fault_injection.h"
+#include "common/flags.h"
+#include "common/shutdown.h"
+#include "io/file_util.h"
+#include "obs/metrics.h"
+#include "serve/options.h"
+#include "serve/server.h"
+#include "shard/router.h"
+
+using namespace dehealth;
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const FlagParser flags(argc, argv, 1, AttackBooleanFlags());
+
+  const std::string backend_spec = flags.Get("backends");
+  if (backend_spec.empty())
+    return Fail("dehealth_router requires --backends host:port,...");
+  auto backends = ParseBackendList(backend_spec);
+  if (!backends.ok()) return Fail(backends.status().ToString());
+
+  auto server_config = ParseServerFlags(flags);
+  if (!server_config.ok()) return Fail(server_config.status().ToString());
+  server_config->registry = &obs::Registry::Global();
+
+  auto retries = flags.GetInt("retries", 3);
+  if (!retries.ok()) return Fail(retries.status().ToString());
+  if (*retries < 1) return Fail("--retries must be >= 1");
+
+  const std::string fault_spec = flags.Get("fault-spec");
+  if (!fault_spec.empty()) {
+    Status st = FaultInjector::Global().Configure(fault_spec);
+    if (!st.ok()) return Fail(st.ToString());
+  }
+
+  RouterOptions options;
+  options.retry.max_attempts = *retries;
+  options.require_all_shards = flags.Has("require-all-shards");
+  options.registry = server_config->registry;
+
+  InstallShutdownSignalHandlers();
+  auto router = RouterHandler::Connect(*backends, options);
+  if (!router.ok()) return Fail(router.status().ToString());
+
+  QueryServer server(**router, *server_config);
+  Status started = server.Start();
+  if (!started.ok()) return Fail(started.ToString());
+
+  const std::string port_file = flags.Get("port-file");
+  if (!port_file.empty()) {
+    Status written = WriteStringToFileAtomic(
+        std::to_string(server.port()) + "\n", port_file);
+    if (!written.ok()) return Fail(written.ToString());
+  }
+  std::printf(
+      "routing on %s:%d (%d shards, %llu auxiliary users, %d anonymized "
+      "users, K=%d%s)\n",
+      server_config->host.c_str(), server.port(),
+      (*router)->num_backends(),
+      static_cast<unsigned long long>((*router)->universe_size()),
+      (*router)->num_anonymized(), (*router)->default_top_k(),
+      options.require_all_shards ? ", fail-closed" : "");
+  std::fflush(stdout);
+
+  while (!ProcessShutdownRequested() && !server.ShuttingDown())
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  std::printf("draining...\n");
+  std::fflush(stdout);
+  server.Shutdown();
+  server.Wait();
+  std::fprintf(stderr, "%s\n", FormatStatsLine(server.Stats()).c_str());
+  return 0;
+}

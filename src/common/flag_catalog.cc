@@ -15,16 +15,19 @@ const std::vector<FlagDoc>& FlagCatalog() {
        "Output path for the auxiliary-side dataset"},
       {"auxiliary", "cli attack, serve", false,
        "Auxiliary-side forum dataset (JSONL)"},
-      {"batch", "serve", false,
+      {"backends", "router", false,
+       "Comma-separated host:port list of the shard backends to fan out "
+       "to (one dehealth_serve per shard)"},
+      {"batch", "router, serve", false,
        "Largest number of queued requests coalesced into one engine batch "
        "(default 16)"},
       {"dataset", "cli split", false, "Input forum dataset to split"},
-      {"fault-spec", "cli, serve", false,
+      {"fault-spec", "cli, router, serve", false,
        "Deterministic fault injection spec '<site>:<kind>:<hit>,...' "
        "(testing only)"},
       {"filter", "cli attack, serve", true,
        "Enable phase-1c candidate filtering (Algorithm 2)"},
-      {"host", "query, serve", false,
+      {"host", "query, router, serve", false,
        "Server address (default 127.0.0.1)"},
       {"idf", "cli attack, serve", true,
        "IDF-weight attribute similarity"},
@@ -52,32 +55,44 @@ const std::vector<FlagDoc>& FlagCatalog() {
       {"overlap", "cli split", false,
        "Open-world user overlap fraction; > 0 selects the open-world "
        "split"},
-      {"port", "query, serve", false,
-       "TCP port (serve: 0 binds an ephemeral port)"},
-      {"port-file", "serve", false,
+      {"port", "query, router, serve", false,
+       "TCP port (serve/router: 0 binds an ephemeral port)"},
+      {"port-file", "router, serve", false,
        "Write the bound port to this file once listening (for scripts "
        "using --port 0)"},
       {"preset", "cli generate", false,
        "Synthetic forum preset: webmd (default) or hb"},
-      {"queue", "serve", false,
+      {"queue", "router, serve", false,
        "Admission bound: requests beyond this many queued are rejected "
        "OVERLOADED (default 64)"},
-      {"retries", "query", false,
+      {"require-all-shards", "router", true,
+       "Fail-closed routing: any unreachable shard makes the whole query "
+       "UNAVAILABLE instead of a PARTIAL merge of the live shards"},
+      {"retries", "query, router", false,
        "Retry budget for transient failures (connection refused, "
        "overload)"},
       {"seed", "cli generate/split", false,
        "RNG seed (default 1); same seed => same dataset/split"},
+      {"shard-count", "serve", false,
+       "Serve ONE slice of a router-fronted fleet: total number of shards "
+       "the auxiliary universe is split into (default 1 = unsharded)"},
+      {"shard-index", "serve", false,
+       "Which contiguous shard of --shard-count this process owns "
+       "(default 0)"},
       {"shard-size", "cli attack, serve", false,
        "Users per checkpoint shard under --job-dir (default 64)"},
+      {"shards", "cli attack, serve", false,
+       "Partition the auxiliary universe across this many in-process "
+       "engine shards with bitwise-identical merged answers (default 1)"},
       {"simd", "cli attack, serve", false,
        "Score-kernel instruction set: auto (default; DEHEALTH_SIMD env, "
        "then cpuid), avx2, sse2, or scalar — all tiers score identically"},
-      {"stats-period", "serve", false,
+      {"stats-period", "router, serve", false,
        "Seconds between periodic stats lines on stderr (0 = off)"},
       {"threads", "cli attack, serve", false,
        "Worker threads (0 = all hardware threads); results are identical "
        "for any value"},
-      {"timeout-ms", "cli attack, serve, query", false,
+      {"timeout-ms", "cli attack, serve, router, query", false,
        "Server-side queue-wait deadline per request (0 = none)"},
       {"trace-out", "cli attack, serve", false,
        "Record a span trace of the run to this file (.json = Chrome "

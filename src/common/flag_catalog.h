@@ -26,14 +26,15 @@ struct FlagDoc {
   const char* help;
 };
 
-/// Every flag accepted by dehealth_cli, dehealth_serve, and
-/// dehealth_query, sorted by name.
+/// Every flag accepted by dehealth_cli, dehealth_serve, dehealth_router,
+/// and dehealth_query, sorted by name.
 const std::vector<FlagDoc>& FlagCatalog();
 
-/// The value-less flags of the shared attack-flag surface, derived from
-/// FlagCatalog() — what dehealth_cli and dehealth_serve pass to
-/// FlagParser. (Every boolean flag in the catalog is an attack flag;
-/// dehealth_query has none.)
+/// The value-less flags of the catalog, what dehealth_cli, dehealth_serve
+/// and dehealth_router pass to FlagParser so "--idf --k 10" parses
+/// correctly. (Declaring a boolean another binary owns — e.g. the
+/// router's --require-all-shards — is harmless: undeclared-but-unused
+/// flags are simply never looked up.)
 std::set<std::string> AttackBooleanFlags();
 
 }  // namespace dehealth

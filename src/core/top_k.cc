@@ -97,6 +97,22 @@ std::vector<int> TopKForRow(const std::vector<double>& row, int k) {
   return order;
 }
 
+std::vector<ScoredUser> MergeScoredTopK(
+    const std::vector<std::vector<ScoredUser>>& per_shard, int k) {
+  std::vector<ScoredUser> merged;
+  size_t total = 0;
+  for (const auto& shard : per_shard) total += shard.size();
+  merged.reserve(total);
+  for (const auto& shard : per_shard)
+    merged.insert(merged.end(), shard.begin(), shard.end());
+  const size_t take =
+      std::min(static_cast<size_t>(std::max(k, 0)), merged.size());
+  std::partial_sort(merged.begin(), merged.begin() + static_cast<long>(take),
+                    merged.end(), BetterScoredUser);
+  merged.resize(take);
+  return merged;
+}
+
 StatusOr<CandidateSets> SelectTopKCandidates(
     const std::vector<std::vector<double>>& similarity, int k,
     CandidateSelection method, int num_threads) {

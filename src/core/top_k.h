@@ -22,6 +22,32 @@ enum class CandidateSelection {
 /// A per-anonymized-user candidate list, ordered by decreasing similarity.
 using CandidateSets = std::vector<std::vector<int>>;
 
+/// One (score, auxiliary id) candidate. The score carries the full double
+/// so merged rankings (sharded Top-K, DHQP scored answers) reproduce the
+/// dense ordering bitwise.
+struct ScoredUser {
+  double score = 0.0;
+  int user = 0;
+};
+
+/// The direct-selection total order: larger score first, ties broken by
+/// the smaller auxiliary id — the ONE comparator every Top-K path (dense
+/// TopKForRow, the candidate index, the shard merge) ranks with.
+inline bool BetterScoredUser(const ScoredUser& a, const ScoredUser& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.user < b.user;
+}
+
+/// Merges per-shard Top-K lists into the global Top-K. Each input list
+/// must be sorted by BetterScoredUser and hold that shard's best
+/// min(k, shard size) candidates with GLOBAL auxiliary ids; the result is
+/// the best min(k, Σ sizes) across all lists, sorted by BetterScoredUser —
+/// bitwise-identical to ranking the concatenated universe directly,
+/// because any global Top-K member is necessarily in its own shard's local
+/// Top-K (see DESIGN.md "Sharding").
+std::vector<ScoredUser> MergeScoredTopK(
+    const std::vector<std::vector<ScoredUser>>& per_shard, int k);
+
 /// Computes Top-K candidate sets. `similarity[u][v]` scores anonymized u
 /// against auxiliary v. K must be >= 1 (it is capped at the number of
 /// auxiliary users). Direct selection is row-parallel across `num_threads`

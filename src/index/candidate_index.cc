@@ -21,6 +21,16 @@ namespace {
 /// to force meaningful extra evaluations.
 constexpr double kBoundSlack = 1e-9;
 
+/// Dense-scan crossover: when the query's posting lists would touch at
+/// least this fraction of the universe (counting duplicates — the actual
+/// accumulation work), best-first pruning cannot recoup its per-candidate
+/// ScoreOne overhead against the batched SIMD row kernel, so Top-K
+/// switches to one ExactRowTo scan + heap. Scores are identical either
+/// way, so the result is unchanged. Tuned with bench_index_scaling (see
+/// BENCH_index.json); at 0.25 the WebMD-like forums' Top-K drops the
+/// pre-SIMD regression while sparse queries keep their pruning win.
+constexpr double kDenseScanFraction = 0.25;
+
 constexpr uint64_t kFnvOffset = 1469598103934665603ull;
 constexpr uint64_t kFnvPrime = 1099511628211ull;
 
@@ -110,19 +120,6 @@ struct Workspace {
     touched.clear();
   }
 };
-
-/// Top-K scratch entry plus the DirectSelection total order: larger score
-/// first, ties to the smaller auxiliary id — identical to the comparator
-/// SelectTopKCandidates(kDirect) sorts with.
-struct ScoredCandidate {
-  double score;
-  int32_t user;
-};
-
-bool BetterCandidate(const ScoredCandidate& a, const ScoredCandidate& b) {
-  if (a.score != b.score) return a.score > b.score;
-  return a.user < b.user;
-}
 
 }  // namespace
 
@@ -228,6 +225,7 @@ StatusOr<CandidateIndex> CandidateIndex::Build(
   };
   data.users = ComputeSideFeatures(auxiliary, data.num_landmarks,
                                    config.num_threads, idf);
+  data.shard_total = static_cast<uint32_t>(data.users.size());
   StatusOr<CandidateIndex> index = FromData(std::move(data));
   if (index.ok()) index->set_simd_mode(config.simd);
   return index;
@@ -246,6 +244,16 @@ StatusOr<CandidateIndex> CandidateIndex::FromData(CandidateIndexData data) {
   }
   if (!std::is_sorted(data.idf_table.begin(), data.idf_table.end()))
     return Status::InvalidArgument("CandidateIndex: idf table not sorted");
+  // Hand-built unsharded data may leave shard_total at its zero default;
+  // an unsharded index's universe is its own user list.
+  if (data.shard_count == 1 && data.shard_begin == 0 && data.shard_total == 0)
+    data.shard_total = static_cast<uint32_t>(data.users.size());
+  if (data.shard_count == 0 || data.shard_index >= data.shard_count)
+    return Status::InvalidArgument("CandidateIndex: bad shard identity");
+  if (static_cast<uint64_t>(data.shard_begin) + data.users.size() >
+      data.shard_total)
+    return Status::InvalidArgument(
+        "CandidateIndex: shard range exceeds universe size");
   CandidateIndex index(std::move(data));
   index.BuildDerived();
   return index;
@@ -322,18 +330,72 @@ double CandidateIndex::ExactScore(const IndexedUserFeatures& query,
 
 void CandidateIndex::ExactRow(const IndexedUserFeatures& query,
                               std::vector<double>* row) const {
-  const SimilarityConfig config = similarity_config();
   row->resize(data_.users.size());
+  ExactRowTo(query, row->data());
+}
+
+void CandidateIndex::ExactRowTo(const IndexedUserFeatures& query,
+                                double* out) const {
+  const SimilarityConfig config = similarity_config();
   const ScoreQuery q = store_.MakeQuery(ViewOf(query));
-  store_.ScoreRow(config, q, row->data());
+  store_.ScoreRow(config, q, out);
 }
 
 std::vector<int> CandidateIndex::TopKForQuery(const IndexedUserFeatures& query,
                                               int k,
                                               int max_candidates) const {
+  const std::vector<ScoredUser> scored =
+      TopKScoredForQuery(query, k, max_candidates);
+  std::vector<int> result;
+  result.reserve(scored.size());
+  for (const ScoredUser& c : scored) result.push_back(c.user);
+  return result;
+}
+
+std::vector<ScoredUser> CandidateIndex::TopKScoredForQuery(
+    const IndexedUserFeatures& query, int k, int max_candidates) const {
   const size_t n2 = data_.users.size();
   const size_t want = std::min(static_cast<size_t>(std::max(k, 0)), n2);
   if (want == 0) return {};
+
+  // Dense-scan crossover (exact mode only — a max_candidates cap already
+  // bounds the work): the posting volume is a pre-accumulation estimate of
+  // phase 1's cost AND a lower bound on how many per-pair ScoreOne calls
+  // best-first would risk; past the threshold one batched ScoreRow over
+  // the whole universe is cheaper than pruning.
+  if (max_candidates <= 0) {
+    size_t posting_volume = 0;
+    for (const auto& [id, weight] : query.attributes) {
+      (void)weight;
+      auto it = postings_.find(id);
+      if (it != postings_.end()) posting_volume += it->second.size();
+    }
+    if (static_cast<double>(posting_volume) >=
+        kDenseScanFraction * static_cast<double>(n2)) {
+      static thread_local std::vector<double> row;
+      row.resize(n2);
+      ExactRowTo(query, row.data());
+      std::vector<ScoredUser> heap;
+      heap.reserve(want);
+      for (size_t v = 0; v < n2; ++v) {
+        const ScoredUser c{row[v], static_cast<int>(v)};
+        if (heap.size() < want) {
+          heap.push_back(c);
+          std::push_heap(heap.begin(), heap.end(), BetterScoredUser);
+        } else if (BetterScoredUser(c, heap.front())) {
+          std::pop_heap(heap.begin(), heap.end(), BetterScoredUser);
+          heap.back() = c;
+          std::push_heap(heap.begin(), heap.end(), BetterScoredUser);
+        }
+      }
+      std::sort(heap.begin(), heap.end(), BetterScoredUser);
+      obs::IndexMetrics& metrics = obs::GetIndexMetrics();
+      metrics.topk_queries->Increment();
+      metrics.exact_evals->Increment(n2);
+      metrics.dense_scans->Increment();
+      return heap;
+    }
+  }
   const int64_t budget =
       max_candidates > 0
           ? std::max<int64_t>(max_candidates, static_cast<int64_t>(want))
@@ -375,21 +437,21 @@ std::vector<int> CandidateIndex::TopKForQuery(const IndexedUserFeatures& query,
   // CombinedStructuralScore, so pruning decisions and results are
   // unchanged — each evaluation just costs far less.
   const ScoreQuery score_query = store_.MakeQuery(ViewOf(query));
-  std::vector<ScoredCandidate> heap;
+  std::vector<ScoredUser> heap;
   heap.reserve(want);
   auto kth_score = [&] { return heap.front().score; };
   auto evaluate = [&](int32_t v) {
     const double score =
         store_.ScoreOne(config, score_query, static_cast<int>(v));
     ++evaluated;
-    const ScoredCandidate c{score, v};
+    const ScoredUser c{score, v};
     if (heap.size() < want) {
       heap.push_back(c);
-      std::push_heap(heap.begin(), heap.end(), BetterCandidate);
-    } else if (BetterCandidate(c, heap.front())) {
-      std::pop_heap(heap.begin(), heap.end(), BetterCandidate);
+      std::push_heap(heap.begin(), heap.end(), BetterScoredUser);
+    } else if (BetterScoredUser(c, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), BetterScoredUser);
       heap.back() = c;
-      std::push_heap(heap.begin(), heap.end(), BetterCandidate);
+      std::push_heap(heap.begin(), heap.end(), BetterScoredUser);
     }
   };
   /// Structural-only upper bound c1·s^d + c2·s^s for one auxiliary user
@@ -411,7 +473,7 @@ std::vector<int> CandidateIndex::TopKForQuery(const IndexedUserFeatures& query,
   // pruned (and, since bounds are sorted descending, the scan stops) only
   // when the heap is full AND its bound falls strictly below the K-th
   // score — ties always evaluate, so exact tie-breaking is preserved.
-  std::vector<ScoredCandidate> sharers;
+  std::vector<ScoredUser> sharers;
   sharers.reserve(ws.touched.size());
   const double query_attr_count = static_cast<double>(query.attributes.size());
   for (int32_t v32 : ws.touched) {
@@ -431,8 +493,8 @@ std::vector<int> CandidateIndex::TopKForQuery(const IndexedUserFeatures& query,
         structural_bound(v) + data_.c3 * attr_bound + kBoundSlack;
     sharers.push_back({bound, v32});
   }
-  std::sort(sharers.begin(), sharers.end(), BetterCandidate);
-  for (const ScoredCandidate& s : sharers) {
+  std::sort(sharers.begin(), sharers.end(), BetterScoredUser);
+  for (const ScoredUser& s : sharers) {
     if (heap.size() == want && s.score < kth_score()) break;
     if (evaluated >= budget) break;
     evaluate(s.user);
@@ -474,10 +536,7 @@ std::vector<int> CandidateIndex::TopKForQuery(const IndexedUserFeatures& query,
     }
   }
 
-  std::sort(heap.begin(), heap.end(), BetterCandidate);
-  std::vector<int> result;
-  result.reserve(heap.size());
-  for (const ScoredCandidate& c : heap) result.push_back(c.user);
+  std::sort(heap.begin(), heap.end(), BetterScoredUser);
 
   // One atomic add per counter per query (never per candidate): the prune
   // hit/miss ratio is the number the bench reports, and this keeps the
@@ -487,7 +546,7 @@ std::vector<int> CandidateIndex::TopKForQuery(const IndexedUserFeatures& query,
   metrics.exact_evals->Increment(static_cast<uint64_t>(evaluated));
   metrics.bound_pruned->Increment(
       static_cast<uint64_t>(static_cast<int64_t>(n2) - evaluated));
-  return result;
+  return heap;
 }
 
 }  // namespace dehealth

@@ -39,7 +39,19 @@ struct CandidateIndexData {
   double c3 = 0.9;
   int num_landmarks = 50;
   bool idf_weight_attributes = false;
+  /// Fingerprint of the FULL auxiliary universe this index (or the index
+  /// this shard was sliced from) was built against — never the slice, so
+  /// shards of the same universe agree on it and a router can fail closed
+  /// on mismatched backends.
   uint64_t auxiliary_fingerprint = 0;
+  /// Shard identity (DHIX v2). An unsharded index is shard 0 of 1 covering
+  /// [0, users.size()). A shard holds the universe's contiguous id range
+  /// [shard_begin, shard_begin + users.size()); `users` is indexed by
+  /// LOCAL id (global id - shard_begin). shard_total is the universe size.
+  uint32_t shard_index = 0;
+  uint32_t shard_count = 1;
+  uint32_t shard_begin = 0;
+  uint32_t shard_total = 0;
   std::vector<IndexedUserFeatures> users;
   /// (attribute id, idf weight), sorted by id; empty when IDF is off.
   std::vector<std::pair<int, double>> idf_table;
@@ -118,6 +130,11 @@ class CandidateIndex {
   void ExactRow(const IndexedUserFeatures& query,
                 std::vector<double>* row) const;
 
+  /// ExactRow into a caller-provided buffer of num_auxiliary() doubles —
+  /// the allocation-free form the dense-scan Top-K path and the sharded
+  /// source's row assembly reuse.
+  void ExactRowTo(const IndexedUserFeatures& query, double* out) const;
+
   /// The query's Top-K candidate list: the min(k, n2) auxiliary ids with
   /// the largest exact scores, ordered by decreasing score with ties
   /// broken by smaller id — bitwise what SelectTopKCandidates(kDirect)
@@ -126,6 +143,18 @@ class CandidateIndex {
   /// may lose recall, 0 keeps the exact guarantee.
   std::vector<int> TopKForQuery(const IndexedUserFeatures& query, int k,
                                 int max_candidates = 0) const;
+
+  /// TopKForQuery keeping the exact scores — what shard merging needs
+  /// (MergeScoredTopK re-ranks candidates across shards by score, so ids
+  /// alone are not enough). `user` fields are LOCAL ids; the caller
+  /// translates by data().shard_begin. When max_candidates == 0 and the
+  /// inverted index would touch most of the universe anyway, this switches
+  /// to a dense scan through the batched row kernel (same scores, so the
+  /// result is unchanged; see the "dense-scan crossover" note in
+  /// DESIGN.md).
+  std::vector<ScoredUser> TopKScoredForQuery(const IndexedUserFeatures& query,
+                                             int k,
+                                             int max_candidates = 0) const;
 
  private:
   explicit CandidateIndex(CandidateIndexData data);

@@ -25,15 +25,30 @@ struct AttackScoreSource {
   /// loaded/built/persisted — the bundle degraded to the dense path with a
   /// warning on stderr instead of failing the whole attack.
   bool degraded_to_dense = false;
+  /// Shard identity of this bundle (filled in every mode; trivially 0 of 1
+  /// outside slice mode). `universe_size`/`universe_fingerprint` always
+  /// describe the FULL auxiliary side, and `shard_begin` is the global
+  /// auxiliary id of the source's local id 0 — what a slice-mode backend
+  /// adds back when answering DHQP clients, and what the router checks
+  /// across backends before serving.
+  int shard_index = 0;
+  int shard_count = 1;
+  int shard_begin = 0;
+  int universe_size = 0;
+  uint64_t universe_fingerprint = 0;
 };
 
 /// Builds the score source the config asks for: the dense similarity
-/// matrix, or the auxiliary-side candidate index (loaded from
+/// matrix, the auxiliary-side candidate index (loaded from
 /// config.index_snapshot_path when the snapshot matches, rebuilt + saved
-/// otherwise). Graceful degradation: an index that cannot be
+/// otherwise), the in-process sharded scatter-gather source
+/// (config.num_shards > 1, bitwise-identical answers), or a single-shard
+/// slice (config.shard_count > 1 — local auxiliary ids over that shard's
+/// range). Graceful degradation: an index that cannot be
 /// loaded/built/persisted falls back to the dense path with a warning
 /// (see `degraded_to_dense`) — an unusable snapshot file never takes the
-/// attack down with it.
+/// attack down with it. Defined in src/shard/attack_pipeline.cc (the
+/// sharded modes pull in src/shard/, which layers above src/index/).
 StatusOr<std::unique_ptr<AttackScoreSource>> BuildAttackScoreSource(
     const UdaGraph& anonymized, const UdaGraph& auxiliary,
     const DeHealthConfig& config);

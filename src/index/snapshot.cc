@@ -14,7 +14,9 @@ namespace dehealth {
 namespace {
 
 constexpr char kMagic[4] = {'D', 'H', 'I', 'X'};
-constexpr uint32_t kVersion = 1;
+/// v2 adds the shard-identity quad (index, count, begin, total) after the
+/// auxiliary fingerprint; v1 snapshots decode as shard 0 of 1.
+constexpr uint32_t kVersion = 2;
 
 uint64_t Fnv1a(const char* bytes, size_t n) {
   uint64_t h = 1469598103934665603ull;
@@ -116,6 +118,10 @@ std::string EncodeIndexSnapshot(const CandidateIndex& index) {
   Append(out, static_cast<int32_t>(data.num_landmarks));
   Append(out, static_cast<uint8_t>(data.idf_weight_attributes ? 1 : 0));
   Append(out, data.auxiliary_fingerprint);
+  Append(out, data.shard_index);
+  Append(out, data.shard_count);
+  Append(out, data.shard_begin);
+  Append(out, data.shard_total);
 
   Append(out, static_cast<uint32_t>(data.idf_table.size()));
   for (const auto& [id, w] : data.idf_table) {
@@ -154,7 +160,7 @@ StatusOr<CandidateIndex> DecodeIndexSnapshot(const std::string& bytes,
                        "bad magic (not a candidate-index snapshot)");
   uint32_t version = 0;
   std::memcpy(&version, bytes.data() + sizeof(kMagic), sizeof(version));
-  if (version != kVersion)
+  if (version < 1 || version > kVersion)
     return DecodeError(path, sizeof(kMagic),
                        "unsupported format version " +
                            std::to_string(version),
@@ -181,6 +187,16 @@ StatusOr<CandidateIndex> DecodeIndexSnapshot(const std::string& bytes,
   DEHEALTH_RETURN_IF_ERROR(reader.Read(&idf_flag));
   data.idf_weight_attributes = idf_flag != 0;
   DEHEALTH_RETURN_IF_ERROR(reader.Read(&data.auxiliary_fingerprint));
+  if (version >= 2) {
+    DEHEALTH_RETURN_IF_ERROR(reader.Read(&data.shard_index));
+    DEHEALTH_RETURN_IF_ERROR(reader.Read(&data.shard_count));
+    DEHEALTH_RETURN_IF_ERROR(reader.Read(&data.shard_begin));
+    DEHEALTH_RETURN_IF_ERROR(reader.Read(&data.shard_total));
+    if (data.shard_count == 0)
+      return reader.Fail("shard count must be >= 1");
+    if (data.shard_index >= data.shard_count)
+      return reader.Fail("shard index out of range");
+  }
 
   uint32_t idf_count = 0;
   DEHEALTH_RETURN_IF_ERROR(reader.Read(&idf_count));
@@ -224,6 +240,13 @@ StatusOr<CandidateIndex> DecodeIndexSnapshot(const std::string& bytes,
   }
   if (!reader.AtEnd())
     return reader.Fail("trailing bytes after payload");
+  // A v1 snapshot predates sharding: it is the whole universe by
+  // definition, so its shard_total is its own user count.
+  if (version < 2) data.shard_total = num_users;
+  if (data.shard_begin > data.shard_total ||
+      static_cast<uint64_t>(data.shard_begin) + num_users >
+          data.shard_total)
+    return reader.Fail("shard range exceeds universe size");
   return CandidateIndex::FromData(std::move(data));
 }
 
@@ -256,7 +279,10 @@ StatusOr<CandidateIndex> LoadOrBuildIndex(const std::string& path,
           data.c3 == config.c3 &&
           data.num_landmarks == config.num_landmarks &&
           data.idf_weight_attributes == config.idf_weight_attributes;
-      if (config_matches &&
+      // A shard-slice snapshot carries the UNIVERSE fingerprint, so the
+      // fingerprint check alone would wrongly accept it as a full index —
+      // only shard 0 of 1 is reusable here.
+      if (config_matches && data.shard_count == 1 && data.shard_index == 0 &&
           data.auxiliary_fingerprint == FingerprintForIndex(auxiliary)) {
         obs::GetIndexMetrics().snapshot_loads->Increment();
         return loaded;

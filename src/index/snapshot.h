@@ -41,9 +41,11 @@ StatusOr<CandidateIndex> LoadIndexSnapshot(const std::string& path);
 /// The load-or-rebuild entry point the pipeline uses: when `path` is empty,
 /// always builds from `auxiliary`. Otherwise tries to load `path` and
 /// reuses the snapshot only when its score-shaping config fields AND its
-/// auxiliary fingerprint match; on any mismatch, missing file, or decode
-/// error it rebuilds from `auxiliary` and overwrites the snapshot (a
-/// failing save is surfaced — the caller asked for persistence).
+/// auxiliary fingerprint match AND it is an unsharded (shard 0 of 1)
+/// index — a shard slice shares the universe fingerprint but covers only
+/// part of it; on any mismatch, missing file, or decode error it rebuilds
+/// from `auxiliary` and overwrites the snapshot (a failing save is
+/// surfaced — the caller asked for persistence).
 StatusOr<CandidateIndex> LoadOrBuildIndex(const std::string& path,
                                           const UdaGraph& auxiliary,
                                           const SimilarityConfig& config);

@@ -173,6 +173,14 @@ uint64_t JobConfigFingerprint(const DeHealthConfig& config) {
       config.use_index ? static_cast<int32_t>(config.index_max_candidates)
                        : 0;
   Append(buf, effective_cap);
+
+  // Slice identity: a job computed over shard i of N holds candidates for
+  // a DIFFERENT id space than shard j (or the whole universe), so slices
+  // never interchange checkpoints. num_shards (in-process sharding) is
+  // deliberately excluded — merged results are bitwise-identical to an
+  // unsharded run, so those checkpoints DO interchange.
+  Append(buf, static_cast<int32_t>(config.shard_index));
+  Append(buf, static_cast<int32_t>(config.shard_count));
   return Fnv1a(buf.data(), buf.size());
 }
 

@@ -53,6 +53,30 @@ const MetricDef kIndexSnapshotRebuilds = {
 const MetricDef kIndexDenseFallbacks = {
     "dehealth_index_dense_fallbacks_total", MetricType::kCounter, "1",
     "index", "Indexed runs degraded to the dense Top-K path"};
+const MetricDef kIndexDenseScans = {
+    "dehealth_index_dense_scans_total", MetricType::kCounter, "1", "index",
+    "Top-K queries answered by the dense-scan crossover (batched row "
+    "kernel instead of best-first pruning)"};
+
+// ---- shard ----
+const MetricDef kShardScatterRpcs = {
+    "dehealth_shard_scatter_rpcs_total", MetricType::kCounter, "1", "shard",
+    "Per-shard sub-queries fanned out by scatter-gather"};
+const MetricDef kShardScatterFailures = {
+    "dehealth_shard_scatter_failures_total", MetricType::kCounter, "1",
+    "shard", "Per-shard sub-queries that failed (backend down or errored)"};
+const MetricDef kShardPartialAnswers = {
+    "dehealth_shard_partial_answers_total", MetricType::kCounter, "1",
+    "shard", "Merged answers served from a subset of shards (degraded)"};
+const MetricDef kShardMergeMicros = {
+    "dehealth_shard_merge_micros", MetricType::kHistogram, "us", "shard",
+    "Time to merge per-shard Top-K heaps into the global answer"};
+const MetricDef kShardBackendLatency = {
+    "dehealth_shard_backend_latency_micros", MetricType::kHistogram, "us",
+    "shard", "Per-backend round-trip latency across all shards"};
+const MetricDef kShardSnapshotQuarantines = {
+    "dehealth_shard_snapshot_quarantines_total", MetricType::kCounter,
+    "files", "shard", "Corrupt per-shard DHIX snapshots quarantined"};
 
 // ---- job ----
 const MetricDef kJobShardsLoaded = {
@@ -111,6 +135,10 @@ const std::vector<const MetricDef*>& AllMetricDefs() {
           &kIndexTopKQueries,    &kIndexExactEvals,
           &kIndexBoundPruned,    &kIndexSnapshotLoads,
           &kIndexSnapshotRebuilds, &kIndexDenseFallbacks,
+          &kIndexDenseScans,     &kShardScatterRpcs,
+          &kShardScatterFailures, &kShardPartialAnswers,
+          &kShardMergeMicros,    &kShardBackendLatency,
+          &kShardSnapshotQuarantines,
           &kJobShardsLoaded,     &kJobShardsComputed,
           &kJobQuarantines,      &kServeRequests,
           &kServeQueries,        &kServeBatches,
@@ -151,8 +179,26 @@ IndexMetrics& GetIndexMetrics() {
         r.GetCounter(kIndexSnapshotLoads),
         r.GetCounter(kIndexSnapshotRebuilds),
         r.GetCounter(kIndexDenseFallbacks),
+        r.GetCounter(kIndexDenseScans),
     };
   }();
+  return *metrics;
+}
+
+ShardMetrics BindShardMetrics(Registry& registry) {
+  return ShardMetrics{
+      registry.GetCounter(kShardScatterRpcs),
+      registry.GetCounter(kShardScatterFailures),
+      registry.GetCounter(kShardPartialAnswers),
+      registry.GetHistogram(kShardMergeMicros),
+      registry.GetHistogram(kShardBackendLatency),
+      registry.GetCounter(kShardSnapshotQuarantines),
+  };
+}
+
+ShardMetrics& GetShardMetrics() {
+  static ShardMetrics* metrics =
+      new ShardMetrics(BindShardMetrics(Registry::Global()));
   return *metrics;
 }
 

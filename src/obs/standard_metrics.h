@@ -34,6 +34,15 @@ extern const MetricDef kIndexBoundPruned;
 extern const MetricDef kIndexSnapshotLoads;
 extern const MetricDef kIndexSnapshotRebuilds;
 extern const MetricDef kIndexDenseFallbacks;
+extern const MetricDef kIndexDenseScans;
+
+// ---- shard: scatter-gather over the partitioned auxiliary universe ----
+extern const MetricDef kShardScatterRpcs;
+extern const MetricDef kShardScatterFailures;
+extern const MetricDef kShardPartialAnswers;
+extern const MetricDef kShardMergeMicros;
+extern const MetricDef kShardBackendLatency;
+extern const MetricDef kShardSnapshotQuarantines;
 
 // ---- job: DHJB checkpoint/resume shard lifecycle ----
 extern const MetricDef kJobShardsLoaded;
@@ -79,8 +88,25 @@ struct IndexMetrics {
   Counter* snapshot_loads;
   Counter* snapshot_rebuilds;
   Counter* dense_fallbacks;
+  Counter* dense_scans;
 };
 IndexMetrics& GetIndexMetrics();
+
+/// Shard scatter-gather metrics. Router processes usually bind these to
+/// their server registry via GetShardMetrics(&registry); the in-process
+/// sharded source uses the Registry::Global() binding.
+struct ShardMetrics {
+  Counter* scatter_rpcs;
+  Counter* scatter_failures;
+  Counter* partial_answers;
+  Histogram* merge_micros;
+  Histogram* backend_latency;
+  Counter* snapshot_quarantines;
+};
+ShardMetrics& GetShardMetrics();
+/// A ShardMetrics bound to an explicit registry (no caching — call once
+/// and keep the struct).
+ShardMetrics BindShardMetrics(Registry& registry);
 
 struct JobMetrics {
   Counter* shards_loaded;

@@ -47,7 +47,7 @@ StatusOr<QueryClient> QueryClient::Connect(const std::string& host, int port,
 }
 
 StatusOr<std::string> QueryClient::RoundTripOnce(
-    RequestType type, const std::string& payload) {
+    RequestType type, const std::string& payload, bool* partial) {
   if (!fd_.valid()) {
     StatusOr<UniqueFd> fd = ConnectTcp(host_, port_);
     if (!fd.ok()) return fd.status();
@@ -57,10 +57,22 @@ StatusOr<std::string> QueryClient::RoundTripOnce(
       WriteFrame(fd_.get(), static_cast<uint8_t>(type), payload));
   uint8_t response_type = 0;
   std::string response_payload;
-  DEHEALTH_RETURN_IF_ERROR(
-      ReadFrame(fd_.get(), &response_type, &response_payload));
+  Status read = ReadFrame(fd_.get(), &response_type, &response_payload);
+  if (!read.ok()) {
+    // A clean EOF here is not an end-of-stream condition: we sent a
+    // request and the peer vanished before answering. That is a transport
+    // death — report it Unavailable so RoundTrip's retry loop reconnects
+    // and a router can degrade instead of failing hard.
+    if (read.code() == StatusCode::kOutOfRange)
+      return Status::Unavailable("connection closed mid-round-trip: " +
+                                 std::string(read.message()));
+    return read;
+  }
   switch (static_cast<ResponseType>(response_type)) {
     case ResponseType::kOk:
+      return response_payload;
+    case ResponseType::kPartial:
+      if (partial != nullptr) *partial = true;
       return response_payload;
     case ResponseType::kError:
     case ResponseType::kOverloaded:
@@ -78,14 +90,14 @@ StatusOr<std::string> QueryClient::RoundTripOnce(
 
 StatusOr<std::string> QueryClient::RoundTrip(RequestType type,
                                              const std::string& payload,
-                                             bool retryable) {
+                                             bool retryable, bool* partial) {
   const int max_attempts = retryable ? std::max(retry_.max_attempts, 1) : 1;
   StatusOr<std::string> result = Status::Internal("unreachable");
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
     if (attempt > 1)
       std::this_thread::sleep_for(
           std::chrono::milliseconds(BackoffMs(retry_, attempt)));
-    result = RoundTripOnce(type, payload);
+    result = RoundTripOnce(type, payload, partial);
     if (result.ok() || !Transient(result.status())) return result;
     // Transient failure. A mid-round-trip transport death leaves the
     // stream unsynchronized — drop the connection so the next attempt
@@ -99,21 +111,44 @@ StatusOr<std::string> QueryClient::RoundTrip(RequestType type,
 
 StatusOr<std::string> QueryClient::Query(RequestType type,
                                          const std::vector<int>& users,
-                                         int top_k, double timeout_ms) {
+                                         int top_k, double timeout_ms,
+                                         bool* partial) {
   QueryRequest request;
   request.type = type;
   request.users = users;
   request.top_k = top_k;
   request.timeout_ms = timeout_ms;
-  return RoundTrip(type, EncodeQueryPayload(request), /*retryable=*/true);
+  return RoundTrip(type, EncodeQueryPayload(request), /*retryable=*/true,
+                   partial);
 }
 
 StatusOr<TopKAnswer> QueryClient::TopK(const std::vector<int>& users, int k,
                                        double timeout_ms) {
+  bool partial = false;
   StatusOr<std::string> payload =
-      Query(RequestType::kTopK, users, k, timeout_ms);
+      Query(RequestType::kTopK, users, k, timeout_ms, &partial);
   if (!payload.ok()) return payload.status();
-  return DecodeTopKPayload(*payload);
+  StatusOr<TopKAnswer> answer = DecodeTopKPayload(*payload);
+  if (answer.ok()) answer->partial = partial;
+  return answer;
+}
+
+StatusOr<ScoredTopKAnswer> QueryClient::TopKScored(
+    const std::vector<int>& users, int k, double timeout_ms) {
+  bool partial = false;
+  StatusOr<std::string> payload =
+      Query(RequestType::kTopKScored, users, k, timeout_ms, &partial);
+  if (!payload.ok()) return payload.status();
+  StatusOr<ScoredTopKAnswer> answer = DecodeScoredTopKPayload(*payload);
+  if (answer.ok()) answer->partial = partial;
+  return answer;
+}
+
+StatusOr<ShardInfoAnswer> QueryClient::ShardInfo() {
+  StatusOr<std::string> payload =
+      RoundTrip(RequestType::kShardInfo, std::string(), /*retryable=*/true);
+  if (!payload.ok()) return payload.status();
+  return DecodeShardInfoPayload(*payload);
 }
 
 StatusOr<RefinedAnswer> QueryClient::Refine(const std::vector<int>& users,

@@ -53,6 +53,17 @@ class QueryClient {
   StatusOr<TopKAnswer> TopK(const std::vector<int>& users, int k = 0,
                             double timeout_ms = 0.0);
 
+  /// TopK carrying exact scores (kTopKScored) — what the router scatters
+  /// to its backends. The returned answer's `partial` flag is true when
+  /// the peer answered kPartial (a degraded router); a partial answer is
+  /// a success, never retried.
+  StatusOr<ScoredTopKAnswer> TopKScored(const std::vector<int>& users,
+                                        int k = 0, double timeout_ms = 0.0);
+
+  /// Shard identity + universe fingerprint of the peer (kShardInfo, never
+  /// queued). Unimplemented/kError from a pre-sharding server.
+  StatusOr<ShardInfoAnswer> ShardInfo();
+
   /// Phase-2 refined-DA predictions for `users`.
   StatusOr<RefinedAnswer> Refine(const std::vector<int>& users,
                                  double timeout_ms = 0.0);
@@ -83,17 +94,22 @@ class QueryClient {
   /// payload otherwise. When `retryable`, transient failures (transport
   /// Unavailable — after which the connection is re-established — or a
   /// transported Unavailable such as overload) are retried under the
-  /// policy with jittered exponential backoff.
+  /// policy with jittered exponential backoff. A kPartial response is a
+  /// success: the payload is returned and *partial (when non-null) set —
+  /// partial answers are never retried (the degradation is server-side
+  /// state, not a transient of this connection).
   StatusOr<std::string> RoundTrip(RequestType type, const std::string& payload,
-                                  bool retryable);
+                                  bool retryable, bool* partial = nullptr);
 
   /// One write/read exchange on the current connection, reconnecting
   /// first if a previous failure closed it.
   StatusOr<std::string> RoundTripOnce(RequestType type,
-                                      const std::string& payload);
+                                      const std::string& payload,
+                                      bool* partial);
 
   StatusOr<std::string> Query(RequestType type, const std::vector<int>& users,
-                              int top_k, double timeout_ms);
+                              int top_k, double timeout_ms,
+                              bool* partial = nullptr);
 
   std::string host_;
   int port_ = 0;

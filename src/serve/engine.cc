@@ -86,8 +86,8 @@ Status QueryEngine::ValidateUsers(const std::vector<int>& users) const {
   return Status();
 }
 
-StatusOr<TopKAnswer> QueryEngine::TopK(const std::vector<int>& users,
-                                       int k) const {
+StatusOr<TopKAnswer> QueryEngine::TopKLocal(const std::vector<int>& users,
+                                            int k) const {
   const DeHealthConfig& config = attack_.config();
   if (k == 0) k = config.top_k;
   if (k < 1)
@@ -112,8 +112,59 @@ StatusOr<TopKAnswer> QueryEngine::TopK(const std::vector<int>& users,
   return answer;
 }
 
+StatusOr<TopKAnswer> QueryEngine::TopK(const std::vector<int>& users,
+                                       int k) const {
+  StatusOr<TopKAnswer> answer = TopKLocal(users, k);
+  if (!answer.ok()) return answer.status();
+  // Slice mode: the score source holds the range [shard_begin,
+  // shard_begin + num_auxiliary) of the universe under LOCAL ids; answers
+  // leave the engine under GLOBAL auxiliary ids so a router (or a client
+  // comparing against a full run) never sees shard-relative ids.
+  if (bundle_->shard_begin != 0)
+    for (auto& list : answer->candidates)
+      for (int& v : list) v += bundle_->shard_begin;
+  return answer;
+}
+
+StatusOr<ScoredTopKAnswer> QueryEngine::TopKScored(
+    const std::vector<int>& users, int k) const {
+  // Resolve candidate LOCAL ids exactly like TopK (so the scored answer is
+  // the same sets, same order), then attach the exact per-pair score and
+  // translate to global ids last.
+  StatusOr<TopKAnswer> plain = TopKLocal(users, k);
+  if (!plain.ok()) return plain.status();
+  ScoredTopKAnswer answer;
+  answer.candidates.reserve(plain->candidates.size());
+  for (size_t i = 0; i < plain->candidates.size(); ++i) {
+    const int u = users[i];
+    std::vector<ScoredUser> scored;
+    scored.reserve(plain->candidates[i].size());
+    for (int v : plain->candidates[i])
+      scored.push_back(ScoredUser{scores().Score(u, v),
+                                  v + bundle_->shard_begin});
+    answer.candidates.push_back(std::move(scored));
+  }
+  return answer;
+}
+
+ShardInfoAnswer QueryEngine::ShardInfo() const {
+  ShardInfoAnswer info;
+  info.shard_index = static_cast<uint32_t>(bundle_->shard_index);
+  info.shard_count = static_cast<uint32_t>(bundle_->shard_count);
+  info.shard_begin = static_cast<uint64_t>(bundle_->shard_begin);
+  info.shard_total = static_cast<uint64_t>(bundle_->universe_size);
+  info.universe_fingerprint = bundle_->universe_fingerprint;
+  info.num_anonymized = static_cast<uint64_t>(num_anonymized());
+  info.default_top_k = static_cast<uint64_t>(attack_.config().top_k);
+  return info;
+}
+
 StatusOr<RefinedAnswer> QueryEngine::Refine(
     const std::vector<int>& users) const {
+  if (bundle_->shard_count > 1)
+    return Status::FailedPrecondition(
+        "QueryEngine::Refine: refined DA is universe-global and cannot run "
+        "on a shard slice (--shard-count > 1); query an unsharded server");
   StatusOr<RefinedDaResult> result =
       attack_.RefineUsers(anonymized_, auxiliary_, scores(), state_, users);
   if (!result.ok()) return result.status();
@@ -125,6 +176,10 @@ StatusOr<RefinedAnswer> QueryEngine::Refine(
 
 StatusOr<FilteredAnswer> QueryEngine::Filtered(
     const std::vector<int>& users) const {
+  if (bundle_->shard_count > 1)
+    return Status::FailedPrecondition(
+        "QueryEngine::Filtered: filtering thresholds are universe-global "
+        "and cannot run on a shard slice (--shard-count > 1)");
   if (!attack_.config().enable_filtering)
     return Status::FailedPrecondition(
         "QueryEngine::Filtered: the server was started without filtering "

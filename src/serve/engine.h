@@ -6,6 +6,7 @@
 
 #include "core/de_health.h"
 #include "index/pipeline.h"
+#include "serve/handler.h"
 #include "serve/protocol.h"
 
 namespace dehealth {
@@ -23,7 +24,14 @@ namespace dehealth {
 /// All query methods are const and thread-compatible; the server calls
 /// them from a single executor thread and parallelizes inside a batch via
 /// the library's ParallelFor.
-class QueryEngine {
+/// In slice mode (config.shard_count > 1) the engine owns one contiguous
+/// range of the auxiliary universe: scores are bitwise-equal to the full
+/// run restricted to that range (global features/IDF travel in the shard
+/// snapshot), and every answered candidate id is translated back to the
+/// GLOBAL auxiliary id (+ shard_begin) so a router can merge answers
+/// without knowing shard layouts. Refine/Filtered are refused in slice
+/// mode — their thresholds and matching are universe-global.
+class QueryEngine : public QueryHandler {
  public:
   /// Builds the engine: score source (phase 1a or index load/build, with
   /// graceful dense fallback when the index is unusable), phase-1b
@@ -41,18 +49,29 @@ class QueryEngine {
   /// configured K (answered from the precomputed sets); other k values
   /// re-query the score source (direct selection only — graph matching is
   /// global and precomputes exactly one K).
-  StatusOr<TopKAnswer> TopK(const std::vector<int>& users, int k) const;
+  StatusOr<TopKAnswer> TopK(const std::vector<int>& users,
+                            int k) const override;
+
+  /// TopK carrying exact scores (answers kTopKScored). Same k semantics as
+  /// TopK; candidate ids are global in slice mode.
+  StatusOr<ScoredTopKAnswer> TopKScored(const std::vector<int>& users,
+                                        int k) const override;
 
   /// Phase-2 refined-DA predictions for the listed users, against the
   /// precomputed (post-filtering) candidate state.
-  StatusOr<RefinedAnswer> Refine(const std::vector<int>& users) const;
+  StatusOr<RefinedAnswer> Refine(const std::vector<int>& users) const override;
 
   /// Post-filtering candidate sets + ⊥ verdicts. FailedPrecondition when
   /// the engine was built without enable_filtering.
-  StatusOr<FilteredAnswer> Filtered(const std::vector<int>& users) const;
+  StatusOr<FilteredAnswer> Filtered(
+      const std::vector<int>& users) const override;
 
-  int num_anonymized() const;
+  /// Shard identity (shard 0 of 1 unless built with --shard-count).
+  ShardInfoAnswer ShardInfo() const override;
+
+  int num_anonymized() const override;
   int num_auxiliary() const;
+  int default_top_k() const override { return attack_.config().top_k; }
   const DeHealthConfig& config() const { return attack_.config(); }
 
  private:
@@ -63,6 +82,10 @@ class QueryEngine {
   Status Init();
 
   Status ValidateUsers(const std::vector<int>& users) const;
+
+  /// TopK resolution under LOCAL candidate ids (shared by TopK and
+  /// TopKScored; the public methods translate to global ids afterwards).
+  StatusOr<TopKAnswer> TopKLocal(const std::vector<int>& users, int k) const;
 
   UdaGraph anonymized_;
   UdaGraph auxiliary_;

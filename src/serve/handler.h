@@ -1,0 +1,44 @@
+#ifndef DEHEALTH_SERVE_HANDLER_H_
+#define DEHEALTH_SERVE_HANDLER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "serve/protocol.h"
+
+namespace dehealth {
+
+/// What QueryServer needs from whatever answers its queries: the local
+/// QueryEngine (one process owns the whole universe, or one slice of it)
+/// or the scatter-gather RouterHandler (src/shard/router.h, fanning out to
+/// N backends). All methods are const and called from the server's single
+/// executor thread (plus kStats/kShardInfo reads from reader threads), so
+/// implementations must be thread-compatible for const calls.
+class QueryHandler {
+ public:
+  virtual ~QueryHandler() = default;
+
+  /// Anonymized-universe size — the bound admission validates ids against.
+  virtual int num_anonymized() const = 0;
+  /// The configured K that a top_k of 0 resolves to (reported in Stats).
+  virtual int default_top_k() const = 0;
+
+  /// Phase-1b Top-K candidate sets; candidates[i] belongs to users[i].
+  virtual StatusOr<TopKAnswer> TopK(const std::vector<int>& users,
+                                    int k) const = 0;
+  /// TopK keeping exact scores (kTopKScored) — what routers merge.
+  virtual StatusOr<ScoredTopKAnswer> TopKScored(const std::vector<int>& users,
+                                                int k) const = 0;
+  /// Phase-2 refined-DA predictions.
+  virtual StatusOr<RefinedAnswer> Refine(
+      const std::vector<int>& users) const = 0;
+  /// Post-filtering candidate sets + ⊥ verdicts.
+  virtual StatusOr<FilteredAnswer> Filtered(
+      const std::vector<int>& users) const = 0;
+  /// Shard identity (trivially shard 0 of 1 for an unsharded engine).
+  virtual ShardInfoAnswer ShardInfo() const = 0;
+};
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_SERVE_HANDLER_H_

@@ -130,7 +130,8 @@ void PutIntVector(std::string& out, const std::vector<int>& v) {
 
 bool IsQueryType(RequestType type) {
   return type == RequestType::kTopK || type == RequestType::kRefined ||
-         type == RequestType::kFiltered;
+         type == RequestType::kFiltered ||
+         type == RequestType::kTopKScored;
 }
 
 /// Encodes `candidates[i]` + optional per-user rejected flags — the shared
@@ -256,6 +257,72 @@ StatusOr<TopKAnswer> DecodeTopKPayload(const std::string& payload) {
   TopKAnswer answer;
   DEHEALTH_RETURN_IF_ERROR(
       DecodeCandidateSets(payload, &answer.candidates, nullptr));
+  return answer;
+}
+
+std::string EncodeScoredTopKPayload(const ScoredTopKAnswer& answer) {
+  std::string out;
+  PutU32(out, static_cast<uint32_t>(answer.candidates.size()));
+  for (const std::vector<ScoredUser>& list : answer.candidates) {
+    PutU32(out, static_cast<uint32_t>(list.size()));
+    for (const ScoredUser& c : list) {
+      PutI32(out, c.user);
+      PutDouble(out, c.score);
+    }
+  }
+  return out;
+}
+
+StatusOr<ScoredTopKAnswer> DecodeScoredTopKPayload(
+    const std::string& payload) {
+  ScoredTopKAnswer answer;
+  PayloadReader reader(payload);
+  uint32_t n = 0;
+  DEHEALTH_RETURN_IF_ERROR(reader.ReadCount(4, &n));
+  answer.candidates.resize(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    uint32_t m = 0;
+    DEHEALTH_RETURN_IF_ERROR(reader.ReadCount(12, &m));
+    std::vector<ScoredUser>& list = answer.candidates[i];
+    list.resize(m);
+    for (uint32_t j = 0; j < m; ++j) {
+      int32_t user = 0;
+      DEHEALTH_RETURN_IF_ERROR(reader.ReadI32(&user));
+      DEHEALTH_RETURN_IF_ERROR(reader.ReadDouble(&list[j].score));
+      list[j].user = user;
+    }
+  }
+  DEHEALTH_RETURN_IF_ERROR(reader.ExpectEnd());
+  return answer;
+}
+
+std::string EncodeShardInfoPayload(const ShardInfoAnswer& answer) {
+  std::string out;
+  PutU32(out, answer.shard_index);
+  PutU32(out, answer.shard_count);
+  PutU64(out, answer.shard_begin);
+  PutU64(out, answer.shard_total);
+  PutU64(out, answer.universe_fingerprint);
+  PutU64(out, answer.num_anonymized);
+  PutU64(out, answer.default_top_k);
+  return out;
+}
+
+StatusOr<ShardInfoAnswer> DecodeShardInfoPayload(const std::string& payload) {
+  ShardInfoAnswer answer;
+  PayloadReader reader(payload);
+  DEHEALTH_RETURN_IF_ERROR(reader.ReadU32(&answer.shard_index));
+  DEHEALTH_RETURN_IF_ERROR(reader.ReadU32(&answer.shard_count));
+  DEHEALTH_RETURN_IF_ERROR(reader.ReadU64(&answer.shard_begin));
+  DEHEALTH_RETURN_IF_ERROR(reader.ReadU64(&answer.shard_total));
+  DEHEALTH_RETURN_IF_ERROR(reader.ReadU64(&answer.universe_fingerprint));
+  DEHEALTH_RETURN_IF_ERROR(reader.ReadU64(&answer.num_anonymized));
+  DEHEALTH_RETURN_IF_ERROR(reader.ReadU64(&answer.default_top_k));
+  DEHEALTH_RETURN_IF_ERROR(reader.ExpectEnd());
+  if (answer.shard_count == 0)
+    return Status::InvalidArgument("DHQP: shard_count must be >= 1");
+  if (answer.shard_index >= answer.shard_count)
+    return Status::InvalidArgument("DHQP: shard_index out of range");
   return answer;
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/top_k.h"
 
 namespace dehealth {
 
@@ -35,6 +36,11 @@ enum class RequestType : uint8_t {
   kStats = 4,     // live server metrics (bypasses the request queue)
   kShutdown = 5,  // graceful drain: stop accepting, answer what's queued
   kMetrics = 6,   // Prometheus text exposition (bypasses the queue)
+  /// Sharding extensions. Still protocol version 1: a v1 server that
+  /// predates them answers kError (unknown/undecodable request), which the
+  /// router surfaces — no version bump needed for an additive type.
+  kTopKScored = 7,  // kTopK keeping exact scores (what a router merges)
+  kShardInfo = 8,   // shard identity + universe fingerprint (bypasses queue)
 };
 
 /// Server-to-client frame types.
@@ -43,9 +49,13 @@ enum class ResponseType : uint8_t {
   kError = 65,       // payload is an encoded Status
   kOverloaded = 66,  // rejected at admission: queue full (payload: Status)
   kTimeout = 67,     // deadline expired before execution (payload: Status)
+  /// A successful answer computed from a SUBSET of shards (some backends
+  /// were down and the router allows degraded answers). Payload is the
+  /// normal kOk payload for the request type; only the frame type differs.
+  kPartial = 68,
 };
 
-/// One query over the wire (kTopK / kRefined / kFiltered).
+/// One query over the wire (kTopK / kTopKScored / kRefined / kFiltered).
 struct QueryRequest {
   RequestType type = RequestType::kTopK;
   /// Anonymized user ids to answer; answers come back in the same order.
@@ -58,9 +68,36 @@ struct QueryRequest {
   double timeout_ms = 0.0;
 };
 
-/// Answer to kTopK: candidates[i] belongs to users[i].
+/// Answer to kTopK: candidates[i] belongs to users[i]. `partial` mirrors
+/// the frame type (kPartial vs kOk — set by a degraded router, never
+/// serialized in the payload).
 struct TopKAnswer {
   std::vector<std::vector<int>> candidates;
+  bool partial = false;
+};
+
+/// Answer to kTopKScored: candidates[i] belongs to users[i], each entry
+/// carrying the exact score's full IEEE-754 bits — what a scatter-gather
+/// router needs to re-rank per-shard heaps bitwise-identically to a
+/// single-process run. A backend answers with LOCAL candidate ids
+/// translated to GLOBAL ids (+ shard_begin). `partial` mirrors the frame
+/// type (kPartial vs kOk) and is never serialized in the payload.
+struct ScoredTopKAnswer {
+  std::vector<std::vector<ScoredUser>> candidates;
+  bool partial = false;
+};
+
+/// Answer to kShardInfo: which slice of which universe this server holds.
+/// The router fails closed unless its backends form exactly one partition
+/// of one universe (same fingerprint, ranges covering [0, shard_total)).
+struct ShardInfoAnswer {
+  uint32_t shard_index = 0;
+  uint32_t shard_count = 1;
+  uint64_t shard_begin = 0;
+  uint64_t shard_total = 0;       // universe size (all shards agree)
+  uint64_t universe_fingerprint = 0;
+  uint64_t num_anonymized = 0;
+  uint64_t default_top_k = 0;
 };
 
 /// Answer to kRefined: entry i belongs to users[i]; predictions use the
@@ -108,6 +145,13 @@ StatusOr<QueryRequest> DecodeQueryPayload(RequestType type,
 
 std::string EncodeTopKPayload(const TopKAnswer& answer);
 StatusOr<TopKAnswer> DecodeTopKPayload(const std::string& payload);
+
+std::string EncodeScoredTopKPayload(const ScoredTopKAnswer& answer);
+StatusOr<ScoredTopKAnswer> DecodeScoredTopKPayload(
+    const std::string& payload);
+
+std::string EncodeShardInfoPayload(const ShardInfoAnswer& answer);
+StatusOr<ShardInfoAnswer> DecodeShardInfoPayload(const std::string& payload);
 
 std::string EncodeRefinedPayload(const RefinedAnswer& answer);
 StatusOr<RefinedAnswer> DecodeRefinedPayload(const std::string& payload);

@@ -18,11 +18,12 @@ constexpr uint8_t kErrorByte = static_cast<uint8_t>(ResponseType::kError);
 constexpr uint8_t kOverloadedByte =
     static_cast<uint8_t>(ResponseType::kOverloaded);
 constexpr uint8_t kTimeoutByte = static_cast<uint8_t>(ResponseType::kTimeout);
+constexpr uint8_t kPartialByte = static_cast<uint8_t>(ResponseType::kPartial);
 
 }  // namespace
 
-QueryServer::QueryServer(const QueryEngine& engine, ServerConfig config)
-    : engine_(&engine),
+QueryServer::QueryServer(const QueryHandler& handler, ServerConfig config)
+    : engine_(&handler),
       config_(std::move(config)),
       owned_registry_(config_.registry ? nullptr : new obs::Registry()),
       metrics_(config_.registry ? config_.registry : owned_registry_.get()) {}
@@ -86,7 +87,7 @@ void QueryServer::Wait() {
 ServerStatsSnapshot QueryServer::Stats() const {
   ServerStatsSnapshot stats = metrics_.Snapshot();
   stats.num_anonymized = static_cast<uint64_t>(engine_->num_anonymized());
-  stats.default_top_k = static_cast<uint64_t>(engine_->config().top_k);
+  stats.default_top_k = static_cast<uint64_t>(engine_->default_top_k());
   return stats;
 }
 
@@ -123,6 +124,14 @@ void QueryServer::ConnectionLoop(UniqueFd fd) {
       // registry; like kStats it bypasses the queue, so scrapes keep
       // working while the executor is saturated.
       WriteFrame(raw_fd, kOkByte, metrics_.registry().RenderPrometheus());
+      continue;
+    }
+    if (type == static_cast<uint8_t>(RequestType::kShardInfo)) {
+      // Topology metadata is precomputed state, not engine work — answer
+      // from the reader thread like kStats, so a router can validate its
+      // backends even while their executors are busy.
+      WriteFrame(raw_fd, kOkByte,
+                 EncodeShardInfoPayload(engine_->ShardInfo()));
       continue;
     }
     if (type == static_cast<uint8_t>(RequestType::kShutdown)) {
@@ -256,7 +265,8 @@ void QueryServer::ExecuteBatch(
                   "deadline exceeded while queued")));
       continue;
     }
-    const int k = pending->request.type == RequestType::kTopK
+    const int k = (pending->request.type == RequestType::kTopK ||
+                   pending->request.type == RequestType::kTopKScored)
                       ? pending->request.top_k
                       : 0;
     groups[{static_cast<uint8_t>(pending->request.type), k}].push_back(
@@ -289,13 +299,34 @@ void QueryServer::ExecuteBatch(
           fail_group(answer.status());
           break;
         }
+        // A degraded (partial) merge applies to the whole engine call, so
+        // every member of the group gets the kPartial frame type.
+        const uint8_t ok_byte = answer->partial ? kPartialByte : kOkByte;
         for (size_t i = 0; i < members.size(); ++i) {
           TopKAnswer slice;
           slice.candidates.assign(
               answer->candidates.begin() + static_cast<long>(offsets[i]),
               answer->candidates.begin() +
                   static_cast<long>(offsets[i + 1]));
-          Fulfill(*members[i], kOkByte, EncodeTopKPayload(slice));
+          Fulfill(*members[i], ok_byte, EncodeTopKPayload(slice));
+        }
+        break;
+      }
+      case RequestType::kTopKScored: {
+        StatusOr<ScoredTopKAnswer> answer =
+            engine_->TopKScored(users, key.second);
+        if (!answer.ok()) {
+          fail_group(answer.status());
+          break;
+        }
+        const uint8_t ok_byte = answer->partial ? kPartialByte : kOkByte;
+        for (size_t i = 0; i < members.size(); ++i) {
+          ScoredTopKAnswer slice;
+          slice.candidates.assign(
+              answer->candidates.begin() + static_cast<long>(offsets[i]),
+              answer->candidates.begin() +
+                  static_cast<long>(offsets[i + 1]));
+          Fulfill(*members[i], ok_byte, EncodeScoredTopKPayload(slice));
         }
         break;
       }

@@ -15,6 +15,7 @@
 
 #include "io/socket.h"
 #include "serve/engine.h"
+#include "serve/handler.h"
 #include "serve/metrics.h"
 #include "serve/protocol.h"
 
@@ -60,8 +61,9 @@ struct ServerConfig {
 /// queued before the executor exits.
 class QueryServer {
  public:
-  /// Borrows the engine, which must outlive Wait().
-  QueryServer(const QueryEngine& engine, ServerConfig config);
+  /// Borrows the handler (a QueryEngine, or a router's scatter-gather
+  /// handler), which must outlive Wait().
+  QueryServer(const QueryHandler& handler, ServerConfig config);
   ~QueryServer();
 
   /// Binds and starts the accept/executor/reporter threads.
@@ -105,7 +107,7 @@ class QueryServer {
   void ExecuteBatch(std::vector<std::unique_ptr<Pending>>& batch);
   void Fulfill(Pending& pending, uint8_t type, std::string payload);
 
-  const QueryEngine* engine_;
+  const QueryHandler* engine_;
   ServerConfig config_;
   int port_ = 0;
 

@@ -1,0 +1,146 @@
+// Implements index/pipeline.h. Lives in src/shard/ (not src/index/)
+// because BuildAttackScoreSource is the one place all four score-source
+// modes meet — dense, indexed, in-process sharded, and shard slice — and
+// the sharded modes need src/shard/, which layers above src/index/.
+#include "index/pipeline.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "index/indexed_source.h"
+#include "index/snapshot.h"
+#include "obs/standard_metrics.h"
+#include "shard/partition.h"
+#include "shard/shard_index.h"
+#include "shard/sharded_source.h"
+
+namespace dehealth {
+
+namespace {
+
+void WarnDenseFallback(const Status& status) {
+  std::fprintf(stderr,
+               "warning: candidate index unavailable (%s); falling back "
+               "to dense similarity path\n",
+               status.ToString().c_str());
+  obs::GetIndexMetrics().dense_fallbacks->Increment();
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<AttackScoreSource>> BuildAttackScoreSource(
+    const UdaGraph& anonymized, const UdaGraph& auxiliary,
+    const DeHealthConfig& config) {
+  if (config.num_shards < 1)
+    return Status::InvalidArgument(
+        "BuildAttackScoreSource: num_shards must be >= 1");
+  if (config.shard_count < 1 || config.shard_index < 0 ||
+      config.shard_index >= config.shard_count)
+    return Status::InvalidArgument(
+        "BuildAttackScoreSource: shard_index must be in [0, shard_count)");
+  if (config.num_shards > 1 && config.shard_count > 1)
+    return Status::InvalidArgument(
+        "BuildAttackScoreSource: num_shards > 1 (in-process sharding) and "
+        "shard_count > 1 (slice mode) are mutually exclusive");
+  if (config.shard_count > 1 && config.enable_filtering)
+    return Status::InvalidArgument(
+        "BuildAttackScoreSource: filtering thresholds are global and cannot "
+        "be computed on a shard slice");
+
+  auto bundle = std::make_unique<AttackScoreSource>();
+  SimilarityConfig sim_config = config.similarity;
+  sim_config.num_threads = config.num_threads;
+  bundle->shard_index = config.shard_index;
+  bundle->shard_count = config.shard_count;
+  bundle->universe_size = auxiliary.num_users();
+  bundle->universe_fingerprint = FingerprintForIndex(auxiliary);
+
+  if (config.shard_count > 1) {
+    // Slice mode: this process serves only its shard's auxiliary range,
+    // with LOCAL ids — the router (or the operator) re-anchors answers at
+    // shard_begin. Always index-backed: the slice IS a candidate index.
+    const ShardRange range =
+        ComputeShardRanges(bundle->universe_size, config.shard_count)
+            [static_cast<size_t>(config.shard_index)];
+    bundle->shard_begin = range.begin;
+    StatusOr<CandidateIndex> index = LoadOrBuildShardIndex(
+        config.index_snapshot_path, auxiliary, sim_config,
+        config.shard_index, config.shard_count);
+    if (index.ok()) {
+      bundle->index =
+          std::make_unique<CandidateIndex>(std::move(index).value());
+      bundle->index->set_simd_mode(sim_config.simd);
+      bundle->source = std::make_unique<IndexedCandidateSource>(
+          anonymized, *bundle->index, config.num_threads,
+          config.index_max_candidates);
+      return bundle;
+    }
+    // Dense-slice fallback: compute the full matrix and keep only this
+    // shard's columns, so the slice still answers with local ids.
+    WarnDenseFallback(index.status());
+    bundle->degraded_to_dense = true;
+    const StructuralSimilarity similarity(anonymized, auxiliary, sim_config);
+    std::vector<std::vector<double>> full = similarity.ComputeMatrix();
+    bundle->similarity.resize(full.size());
+    for (size_t u = 0; u < full.size(); ++u)
+      bundle->similarity[u].assign(
+          full[u].begin() + range.begin, full[u].begin() + range.end);
+    bundle->source =
+        std::make_unique<DenseCandidateSource>(bundle->similarity);
+    return bundle;
+  }
+
+  if (config.num_shards > 1) {
+    // In-process sharding: N per-shard indexes behind scatter-gather.
+    // Answers are bitwise-identical to every other exact mode, so a
+    // failure here degrades to the dense path exactly like a failed index.
+    StatusOr<std::vector<CandidateIndex>> shards = BuildShardIndexes(
+        config.index_snapshot_path, auxiliary, sim_config, config.num_shards);
+    if (shards.ok()) {
+      bundle->source = std::make_unique<ShardedCandidateSource>(
+          anonymized, std::move(shards).value(), config.num_threads,
+          config.index_max_candidates);
+      return bundle;
+    }
+    WarnDenseFallback(shards.status());
+    bundle->degraded_to_dense = true;
+  } else if (config.use_index) {
+    StatusOr<CandidateIndex> index =
+        LoadOrBuildIndex(config.index_snapshot_path, auxiliary, sim_config);
+    if (index.ok()) {
+      bundle->index =
+          std::make_unique<CandidateIndex>(std::move(index).value());
+      // Snapshot loads come back with the default kAuto; the runtime SIMD
+      // choice is a per-run knob, never part of the persisted index.
+      bundle->index->set_simd_mode(sim_config.simd);
+      bundle->source = std::make_unique<IndexedCandidateSource>(
+          anonymized, *bundle->index, config.num_threads,
+          config.index_max_candidates);
+      return bundle;
+    }
+    // Graceful degradation: an index that cannot be loaded, built, or
+    // persisted is a performance feature failing, not a correctness one —
+    // warn and continue on the dense path instead of failing the attack.
+    // (With index_max_candidates > 0 the dense path is the exact variant
+    // of the recall-bounded answers the index would have given.)
+    WarnDenseFallback(index.status());
+    bundle->degraded_to_dense = true;
+  }
+
+  const StructuralSimilarity similarity(anonymized, auxiliary, sim_config);
+  bundle->similarity = similarity.ComputeMatrix();
+  bundle->source = std::make_unique<DenseCandidateSource>(bundle->similarity);
+  return bundle;
+}
+
+StatusOr<DeHealthResult> RunDeHealthAttack(const UdaGraph& anonymized,
+                                           const UdaGraph& auxiliary,
+                                           const DeHealthConfig& config) {
+  const DeHealth attack(config);
+  StatusOr<std::unique_ptr<AttackScoreSource>> scores =
+      BuildAttackScoreSource(anonymized, auxiliary, config);
+  if (!scores.ok()) return scores.status();
+  return attack.RunWithSource(anonymized, auxiliary, *(*scores)->source);
+}
+
+}  // namespace dehealth

@@ -1,0 +1,311 @@
+#include "shard/router.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <utility>
+
+#include "common/fault_injection.h"
+#include "common/parallel.h"
+#include "core/top_k.h"
+#include "shard/partition.h"
+
+namespace dehealth {
+
+namespace {
+
+double ElapsedMicros(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+/// Per-backend latency histogram in the router's registry. The MetricDef
+/// strings are leaked once per (registry, backend index) — registries keep
+/// the def by pointer and must outlive every render.
+obs::Histogram* BackendLatencyHistogram(obs::Registry& registry, int index) {
+  auto* name = new std::string("dehealth_shard_backend" +
+                               std::to_string(index) + "_latency_micros");
+  auto* help = new std::string(
+      "Round-trip latency of scatter RPCs to shard backend " +
+      std::to_string(index));
+  obs::MetricDef def{name->c_str(), obs::MetricType::kHistogram, "us",
+                     "shard", help->c_str()};
+  return registry.GetHistogram(def);
+}
+
+}  // namespace
+
+StatusOr<std::vector<BackendAddress>> ParseBackendList(
+    const std::string& spec) {
+  std::vector<BackendAddress> backends;
+  size_t pos = 0;
+  while (pos <= spec.size()) {
+    size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    const std::string entry = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (entry.empty())
+      return Status::InvalidArgument(
+          "--backends: empty entry in \"" + spec + "\"");
+    const size_t colon = entry.rfind(':');
+    if (colon == std::string::npos || colon == 0 ||
+        colon + 1 == entry.size())
+      return Status::InvalidArgument(
+          "--backends: \"" + entry + "\" is not host:port");
+    int port = 0;
+    for (size_t i = colon + 1; i < entry.size(); ++i) {
+      const char c = entry[i];
+      if (c < '0' || c > '9')
+        return Status::InvalidArgument(
+            "--backends: bad port in \"" + entry + "\"");
+      port = port * 10 + (c - '0');
+      if (port > 65535)
+        return Status::InvalidArgument(
+            "--backends: port out of range in \"" + entry + "\"");
+    }
+    if (port < 1)
+      return Status::InvalidArgument(
+          "--backends: port must be >= 1 in \"" + entry + "\"");
+    backends.push_back(BackendAddress{entry.substr(0, colon), port});
+  }
+  if (backends.empty())
+    return Status::InvalidArgument("--backends: no backends listed");
+  return backends;
+}
+
+RouterHandler::RouterHandler(std::vector<Backend> backends,
+                             RouterOptions options)
+    : backends_(std::move(backends)), options_(options) {
+  obs::Registry& registry =
+      options_.registry != nullptr ? *options_.registry
+                                   : obs::Registry::Global();
+  metrics_ = obs::BindShardMetrics(registry);
+  for (size_t i = 0; i < backends_.size(); ++i)
+    backends_[i].latency =
+        BackendLatencyHistogram(registry, static_cast<int>(i));
+  num_anonymized_ =
+      static_cast<int>(backends_.front().info.num_anonymized);
+  default_top_k_ = static_cast<int>(backends_.front().info.default_top_k);
+  universe_size_ = backends_.front().info.shard_total;
+  universe_fingerprint_ = backends_.front().info.universe_fingerprint;
+}
+
+StatusOr<std::unique_ptr<RouterHandler>> RouterHandler::Connect(
+    const std::vector<BackendAddress>& backends, RouterOptions options) {
+  if (backends.empty())
+    return Status::InvalidArgument("RouterHandler: no backends");
+  const int n = static_cast<int>(backends.size());
+
+  // Connect + interrogate every backend. Topology validation is
+  // fail-closed regardless of require_all_shards: a router that cannot
+  // see the whole fleet cannot prove the fleet is one universe.
+  std::vector<bool> claimed(static_cast<size_t>(n), false);
+  std::vector<std::pair<ShardInfoAnswer, QueryClient>> connected;
+  connected.reserve(backends.size());
+  for (const BackendAddress& address : backends) {
+    const std::string where =
+        address.host + ":" + std::to_string(address.port);
+    StatusOr<QueryClient> client =
+        QueryClient::Connect(address.host, address.port, options.retry);
+    if (!client.ok())
+      return Status(client.status().code(),
+                    "RouterHandler: backend " + where +
+                        " unreachable: " + client.status().message());
+    StatusOr<ShardInfoAnswer> info = client->ShardInfo();
+    if (!info.ok())
+      return Status(info.status().code(),
+                    "RouterHandler: backend " + where +
+                        " shard-info failed: " + info.status().message());
+    connected.emplace_back(*info, std::move(client).value());
+  }
+
+  // One canonical partition of one universe, or nothing.
+  const ShardInfoAnswer& head = connected.front().first;
+  if (head.shard_total >
+      static_cast<uint64_t>(std::numeric_limits<int>::max()))
+    return Status::InvalidArgument(
+        "RouterHandler: universe too large for int ids");
+  const std::vector<ShardRange> ranges =
+      ComputeShardRanges(static_cast<int>(head.shard_total), n);
+  // (shard index, backend), sorted into shard order once validated.
+  std::vector<std::pair<size_t, Backend>> tagged;
+  tagged.reserve(connected.size());
+  for (size_t b = 0; b < connected.size(); ++b) {
+    const ShardInfoAnswer& info = connected[b].first;
+    const std::string where = backends[b].host + ":" +
+                              std::to_string(backends[b].port);
+    if (static_cast<int>(info.shard_count) != n)
+      return Status::FailedPrecondition(
+          "RouterHandler: backend " + where + " is shard " +
+          std::to_string(info.shard_index) + " of " +
+          std::to_string(info.shard_count) + ", but " +
+          std::to_string(n) + " backends are configured");
+    if (info.universe_fingerprint != head.universe_fingerprint ||
+        info.shard_total != head.shard_total)
+      return Status::FailedPrecondition(
+          "RouterHandler: backend " + where +
+          " serves a different auxiliary universe (fingerprint/size "
+          "mismatch) — refusing to merge");
+    if (info.num_anonymized != head.num_anonymized)
+      return Status::FailedPrecondition(
+          "RouterHandler: backend " + where +
+          " serves a different anonymized dataset");
+    if (info.default_top_k != head.default_top_k)
+      return Status::FailedPrecondition(
+          "RouterHandler: backend " + where +
+          " is configured with a different default K");
+    const size_t index = info.shard_index;
+    if (index >= static_cast<size_t>(n) || claimed[index])
+      return Status::FailedPrecondition(
+          "RouterHandler: backend " + where + " claims shard " +
+          std::to_string(info.shard_index) +
+          (index < static_cast<size_t>(n) ? ", already claimed"
+                                          : ", out of range"));
+    if (info.shard_begin != static_cast<uint64_t>(ranges[index].begin))
+      return Status::FailedPrecondition(
+          "RouterHandler: backend " + where + " starts at auxiliary id " +
+          std::to_string(info.shard_begin) + "; the canonical shard " +
+          std::to_string(info.shard_index) + " of " + std::to_string(n) +
+          " starts at " + std::to_string(ranges[index].begin));
+    claimed[index] = true;
+    tagged.emplace_back(
+        index, Backend{backends[b], info, std::move(connected[b].second),
+                       nullptr});
+  }
+  std::sort(tagged.begin(), tagged.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<Backend> ordered;
+  ordered.reserve(tagged.size());
+  for (auto& [index, backend] : tagged) {
+    (void)index;
+    ordered.push_back(std::move(backend));
+  }
+
+  return std::unique_ptr<RouterHandler>(
+      new RouterHandler(std::move(ordered), options));
+}
+
+StatusOr<ScoredTopKAnswer> RouterHandler::TopKScored(
+    const std::vector<int>& users, int k) const {
+  if (k == 0) k = default_top_k_;
+  if (k < 1)
+    return Status::InvalidArgument("RouterHandler: k must be >= 1");
+  const size_t n = backends_.size();
+
+  // Scatter: one RPC per backend, concurrently (each task owns exactly
+  // one backend's client, so the ParallelFor write-your-own-slot contract
+  // holds). The request carries the caller's k verbatim — every backend
+  // resolves 0 to the same validated default.
+  std::vector<StatusOr<ScoredTopKAnswer>> answers(
+      n, StatusOr<ScoredTopKAnswer>(Status::Internal("not scattered")));
+  metrics_.scatter_rpcs->Increment(n);
+  ParallelFor(0, static_cast<int64_t>(n), [&](int64_t i) {
+    const Backend& backend = backends_[static_cast<size_t>(i)];
+    Status fault = InjectFaultPoint("router.scatter");
+    if (!fault.ok()) {
+      answers[static_cast<size_t>(i)] = fault;
+      return;
+    }
+    const auto start = std::chrono::steady_clock::now();
+    answers[static_cast<size_t>(i)] = backend.client.TopKScored(users, k);
+    const double micros = ElapsedMicros(start);
+    backend.latency->Record(micros);
+    metrics_.backend_latency->Record(micros);
+  });
+
+  // Gather: a shard that stayed unreachable through the client's retry
+  // policy (Unavailable) degrades the answer; any other error is the
+  // query's own fault (bad ids, wrong k for the selection mode) and every
+  // shard would agree, so it propagates as-is.
+  std::vector<const ScoredTopKAnswer*> live;
+  live.reserve(n);
+  bool partial = false;
+  for (size_t i = 0; i < n; ++i) {
+    if (answers[i].ok()) {
+      if (answers[i]->candidates.size() != users.size())
+        return Status::Internal(
+            "RouterHandler: shard " + std::to_string(i) +
+            " answered " + std::to_string(answers[i]->candidates.size()) +
+            " lists for " + std::to_string(users.size()) + " users");
+      partial |= answers[i]->partial;
+      live.push_back(&*answers[i]);
+      continue;
+    }
+    const Status& error = answers[i].status();
+    if (error.code() != StatusCode::kUnavailable) return error;
+    metrics_.scatter_failures->Increment();
+    if (options_.require_all_shards)
+      return Status::Unavailable(
+          "RouterHandler: shard " + std::to_string(i) + " (" +
+          backends_[i].address.host + ":" +
+          std::to_string(backends_[i].address.port) +
+          ") is down and --require-all-shards is set: " + error.message());
+    partial = true;
+  }
+  if (live.empty())
+    return Status::Unavailable("RouterHandler: all " + std::to_string(n) +
+                               " shards are down");
+
+  DEHEALTH_RETURN_IF_ERROR(InjectFaultPoint("router.merge"));
+  const auto merge_start = std::chrono::steady_clock::now();
+  ScoredTopKAnswer merged;
+  merged.partial = partial;
+  merged.candidates.reserve(users.size());
+  std::vector<std::vector<ScoredUser>> per_shard(live.size());
+  for (size_t u = 0; u < users.size(); ++u) {
+    for (size_t s = 0; s < live.size(); ++s)
+      per_shard[s] = live[s]->candidates[u];
+    merged.candidates.push_back(MergeScoredTopK(per_shard, k));
+  }
+  metrics_.merge_micros->Record(ElapsedMicros(merge_start));
+  if (partial) metrics_.partial_answers->Increment();
+  return merged;
+}
+
+StatusOr<TopKAnswer> RouterHandler::TopK(const std::vector<int>& users,
+                                         int k) const {
+  StatusOr<ScoredTopKAnswer> scored = TopKScored(users, k);
+  if (!scored.ok()) return scored.status();
+  TopKAnswer answer;
+  answer.partial = scored->partial;
+  answer.candidates.reserve(scored->candidates.size());
+  for (const std::vector<ScoredUser>& list : scored->candidates) {
+    std::vector<int> ids;
+    ids.reserve(list.size());
+    for (const ScoredUser& c : list) ids.push_back(c.user);
+    answer.candidates.push_back(std::move(ids));
+  }
+  return answer;
+}
+
+StatusOr<RefinedAnswer> RouterHandler::Refine(
+    const std::vector<int>& users) const {
+  (void)users;
+  return Status::Unimplemented(
+      "RouterHandler: refined DA needs universe-global training state no "
+      "shard holds; query an unsharded dehealth_serve instead");
+}
+
+StatusOr<FilteredAnswer> RouterHandler::Filtered(
+    const std::vector<int>& users) const {
+  (void)users;
+  return Status::Unimplemented(
+      "RouterHandler: filtering thresholds are universe-global; query an "
+      "unsharded dehealth_serve instead");
+}
+
+ShardInfoAnswer RouterHandler::ShardInfo() const {
+  // Upstream, the router IS the (whole) universe: shard 0 of 1.
+  ShardInfoAnswer info;
+  info.shard_index = 0;
+  info.shard_count = 1;
+  info.shard_begin = 0;
+  info.shard_total = universe_size_;
+  info.universe_fingerprint = universe_fingerprint_;
+  info.num_anonymized = static_cast<uint64_t>(num_anonymized_);
+  info.default_top_k = static_cast<uint64_t>(default_top_k_);
+  return info;
+}
+
+}  // namespace dehealth

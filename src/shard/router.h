@@ -1,0 +1,108 @@
+#ifndef DEHEALTH_SHARD_ROUTER_H_
+#define DEHEALTH_SHARD_ROUTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/standard_metrics.h"
+#include "serve/client.h"
+#include "serve/handler.h"
+#include "serve/protocol.h"
+
+namespace dehealth {
+
+/// One downstream dehealth_serve instance, addressed host:port.
+struct BackendAddress {
+  std::string host;
+  int port = 0;
+};
+
+/// Parses a comma-separated "host:port,host:port,..." list (what
+/// dehealth_router's --backends flag carries). A bare "host" is rejected —
+/// every backend needs an explicit port.
+StatusOr<std::vector<BackendAddress>> ParseBackendList(
+    const std::string& spec);
+
+struct RouterOptions {
+  /// Per-backend connect + round-trip retry (serve/client.h semantics).
+  RetryPolicy retry;
+  /// Fail-closed mode: any unreachable shard makes the whole query
+  /// Unavailable. Default is graceful degradation — answers merged from
+  /// the reachable shards go out as kPartial frames.
+  bool require_all_shards = false;
+  /// Registry the shard scatter/merge metrics record into; nullptr binds
+  /// Registry::Global().
+  obs::Registry* registry = nullptr;
+};
+
+/// The scatter-gather head of a sharded serving fleet: a QueryHandler that
+/// answers Top-K by fanning the query out to N dehealth_serve backends
+/// (each holding one contiguous slice of the auxiliary universe, started
+/// with --shard-index/--shard-count) and merging the per-shard scored
+/// heaps with MergeScoredTopK — bitwise-identical to one unsharded server
+/// (see DESIGN.md "Sharding"). Plugged into QueryServer, it speaks plain
+/// DHQP upstream, so dehealth_query and QueryClient work against a router
+/// unchanged.
+///
+/// Connect() is fail-closed on topology: it requires every backend
+/// reachable and their ShardInfo answers to form exactly one canonical
+/// partition (ComputeShardRanges) of one universe — same fingerprint, same
+/// anonymized side, same default K, shard indices covering 0..N-1. After
+/// that, a backend dying mid-service degrades per require_all_shards;
+/// reconnection is automatic on later queries (client-side retry).
+///
+/// Refine/Filtered are refused (Unimplemented): both phases need
+/// universe-global state no slice holds. Route those to an unsharded
+/// server.
+class RouterHandler final : public QueryHandler {
+ public:
+  /// Connects to every backend and validates the fleet topology.
+  static StatusOr<std::unique_ptr<RouterHandler>> Connect(
+      const std::vector<BackendAddress>& backends, RouterOptions options);
+
+  int num_anonymized() const override { return num_anonymized_; }
+  int default_top_k() const override { return default_top_k_; }
+
+  StatusOr<TopKAnswer> TopK(const std::vector<int>& users,
+                            int k) const override;
+  StatusOr<ScoredTopKAnswer> TopKScored(const std::vector<int>& users,
+                                        int k) const override;
+  StatusOr<RefinedAnswer> Refine(const std::vector<int>& users) const override;
+  StatusOr<FilteredAnswer> Filtered(
+      const std::vector<int>& users) const override;
+
+  /// The merged universe: the router presents itself as shard 0 of 1.
+  ShardInfoAnswer ShardInfo() const override;
+
+  int num_backends() const { return static_cast<int>(backends_.size()); }
+  uint64_t universe_size() const { return universe_size_; }
+
+ private:
+  struct Backend {
+    BackendAddress address;
+    ShardInfoAnswer info;
+    /// Mutated by const query methods (round-trips); safe because queries
+    /// run on the server's single executor thread and each ParallelFor
+    /// scatter task touches exactly one backend.
+    mutable QueryClient client;
+    mutable obs::Histogram* latency = nullptr;  // per-backend, router registry
+  };
+
+  RouterHandler(std::vector<Backend> backends, RouterOptions options);
+
+  /// Backends ordered by shard_index == position (validated by Connect).
+  std::vector<Backend> backends_;
+  RouterOptions options_;
+  obs::ShardMetrics metrics_;
+  int num_anonymized_ = 0;
+  int default_top_k_ = 0;
+  uint64_t universe_size_ = 0;
+  uint64_t universe_fingerprint_ = 0;
+};
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_SHARD_ROUTER_H_

@@ -1,0 +1,182 @@
+#include "shard/shard_index.h"
+
+#include <cstdio>
+#include <optional>
+#include <utility>
+
+#include "index/snapshot.h"
+#include "obs/standard_metrics.h"
+#include "obs/trace.h"
+
+namespace dehealth {
+
+namespace {
+
+/// True when a decoded snapshot is exactly the shard we were asked for:
+/// score-shaping config, universe fingerprint, and the full shard identity
+/// must all match — a fingerprint match alone would accept a slice of the
+/// right universe but the wrong range.
+bool ShardSnapshotMatches(const CandidateIndexData& data,
+                          const SimilarityConfig& config,
+                          uint64_t universe_fingerprint, ShardRange range,
+                          int shard_index, int shard_count,
+                          int universe_size) {
+  return data.c1 == config.c1 && data.c2 == config.c2 &&
+         data.c3 == config.c3 &&
+         data.num_landmarks == config.num_landmarks &&
+         data.idf_weight_attributes == config.idf_weight_attributes &&
+         data.auxiliary_fingerprint == universe_fingerprint &&
+         data.shard_index == static_cast<uint32_t>(shard_index) &&
+         data.shard_count == static_cast<uint32_t>(shard_count) &&
+         data.shard_begin == static_cast<uint32_t>(range.begin) &&
+         data.shard_total == static_cast<uint32_t>(universe_size) &&
+         data.users.size() == static_cast<size_t>(range.size());
+}
+
+/// Moves a corrupt shard snapshot out of the way so the rebuild's save
+/// cannot be confused with the bad bytes (and an operator can inspect
+/// them). Rename failure is non-fatal: the save overwrites in place.
+void QuarantineShardSnapshot(const std::string& path) {
+  const std::string quarantined = path + ".quarantined";
+  std::rename(path.c_str(), quarantined.c_str());
+  obs::GetShardMetrics().snapshot_quarantines->Increment();
+  std::fprintf(stderr,
+               "warning: corrupt shard snapshot '%s' quarantined to '%s'\n",
+               path.c_str(), quarantined.c_str());
+}
+
+/// Tries to satisfy shard (shard_index of shard_count) from its snapshot
+/// file. Returns the index on a fresh match; nullopt when the shard must
+/// be rebuilt (missing, stale, or corrupt-and-quarantined file).
+std::optional<CandidateIndex> TryLoadShard(const std::string& snapshot_path,
+                                           const SimilarityConfig& config,
+                                           uint64_t universe_fingerprint,
+                                           ShardRange range, int shard_index,
+                                           int shard_count,
+                                           int universe_size) {
+  if (snapshot_path.empty()) return std::nullopt;
+  const std::string path =
+      ShardSnapshotPath(snapshot_path, shard_index, shard_count);
+  StatusOr<CandidateIndex> loaded = LoadIndexSnapshot(path);
+  if (!loaded.ok()) {
+    // A missing file is the normal first run; anything else on disk is a
+    // damaged snapshot (bad magic/checksum/bounds) — quarantine it so only
+    // THIS shard pays the rebuild.
+    if (loaded.status().code() != StatusCode::kNotFound)
+      QuarantineShardSnapshot(path);
+    return std::nullopt;
+  }
+  if (!ShardSnapshotMatches(loaded->data(), config, universe_fingerprint,
+                            range, shard_index, shard_count, universe_size))
+    return std::nullopt;
+  loaded->set_simd_mode(config.simd);
+  obs::GetIndexMetrics().snapshot_loads->Increment();
+  return std::move(loaded).value();
+}
+
+/// The shared rebuild path: slice `full` (built once by the caller) into
+/// shard `shard_index` and persist it when a snapshot path is configured.
+StatusOr<CandidateIndex> SliceAndSave(const CandidateIndex& full,
+                                      const std::string& snapshot_path,
+                                      const SimilarityConfig& config,
+                                      ShardRange range, int shard_index,
+                                      int shard_count) {
+  StatusOr<CandidateIndex> shard = CandidateIndex::FromData(
+      SliceIndexData(full.data(), range, shard_index, shard_count));
+  if (!shard.ok()) return shard.status();
+  shard->set_simd_mode(config.simd);
+  obs::GetIndexMetrics().snapshot_rebuilds->Increment();
+  if (!snapshot_path.empty())
+    DEHEALTH_RETURN_IF_ERROR(SaveIndexSnapshot(
+        *shard, ShardSnapshotPath(snapshot_path, shard_index, shard_count)));
+  return shard;
+}
+
+}  // namespace
+
+CandidateIndexData SliceIndexData(const CandidateIndexData& full,
+                                  ShardRange range, int shard_index,
+                                  int shard_count) {
+  CandidateIndexData slice;
+  slice.c1 = full.c1;
+  slice.c2 = full.c2;
+  slice.c3 = full.c3;
+  slice.num_landmarks = full.num_landmarks;
+  slice.idf_weight_attributes = full.idf_weight_attributes;
+  slice.auxiliary_fingerprint = full.auxiliary_fingerprint;
+  slice.shard_index = static_cast<uint32_t>(shard_index);
+  slice.shard_count = static_cast<uint32_t>(shard_count);
+  slice.shard_begin = static_cast<uint32_t>(range.begin);
+  slice.shard_total = static_cast<uint32_t>(full.users.size());
+  slice.users.assign(full.users.begin() + range.begin,
+                     full.users.begin() + range.end);
+  // The GLOBAL idf table, verbatim: shard-local document frequencies would
+  // change attribute weights and break bitwise identity with N = 1.
+  slice.idf_table = full.idf_table;
+  slice.default_idf = full.default_idf;
+  return slice;
+}
+
+StatusOr<std::vector<CandidateIndex>> BuildShardIndexes(
+    const std::string& snapshot_path, const UdaGraph& auxiliary,
+    const SimilarityConfig& config, int num_shards) {
+  if (num_shards < 1)
+    return Status::InvalidArgument("BuildShardIndexes: num_shards must be >= 1");
+  obs::Span span("shard", "build_shard_indexes");
+  span.SetArg("shards", static_cast<int64_t>(num_shards));
+  const int universe_size = auxiliary.num_users();
+  const std::vector<ShardRange> ranges =
+      ComputeShardRanges(universe_size, num_shards);
+  const uint64_t universe_fingerprint = FingerprintForIndex(auxiliary);
+
+  std::vector<CandidateIndex> shards;
+  shards.reserve(static_cast<size_t>(num_shards));
+  // The full build is the expensive part (landmark BFS over the whole
+  // graph); do it at most once, and only if some shard misses its
+  // snapshot.
+  std::optional<CandidateIndex> full;
+  for (int i = 0; i < num_shards; ++i) {
+    const ShardRange range = ranges[static_cast<size_t>(i)];
+    std::optional<CandidateIndex> loaded =
+        TryLoadShard(snapshot_path, config, universe_fingerprint, range, i,
+                     num_shards, universe_size);
+    if (loaded.has_value()) {
+      shards.push_back(std::move(*loaded));
+      continue;
+    }
+    if (!full.has_value()) {
+      StatusOr<CandidateIndex> built =
+          CandidateIndex::Build(auxiliary, config);
+      if (!built.ok()) return built.status();
+      full = std::move(built).value();
+    }
+    StatusOr<CandidateIndex> shard =
+        SliceAndSave(*full, snapshot_path, config, range, i, num_shards);
+    if (!shard.ok()) return shard.status();
+    shards.push_back(std::move(shard).value());
+  }
+  return shards;
+}
+
+StatusOr<CandidateIndex> LoadOrBuildShardIndex(
+    const std::string& snapshot_path, const UdaGraph& auxiliary,
+    const SimilarityConfig& config, int shard_index, int shard_count) {
+  if (shard_count < 1 || shard_index < 0 || shard_index >= shard_count)
+    return Status::InvalidArgument(
+        "LoadOrBuildShardIndex: shard_index must be in [0, shard_count)");
+  const int universe_size = auxiliary.num_users();
+  const ShardRange range = ComputeShardRanges(
+      universe_size, shard_count)[static_cast<size_t>(shard_index)];
+  const uint64_t universe_fingerprint = FingerprintForIndex(auxiliary);
+  std::optional<CandidateIndex> loaded =
+      TryLoadShard(snapshot_path, config, universe_fingerprint, range,
+                   shard_index, shard_count, universe_size);
+  if (loaded.has_value()) return std::move(*loaded);
+  obs::Span span("shard", "shard_index_rebuild");
+  StatusOr<CandidateIndex> full = CandidateIndex::Build(auxiliary, config);
+  if (!full.ok()) return full.status();
+  return SliceAndSave(*full, snapshot_path, config, range, shard_index,
+                      shard_count);
+}
+
+}  // namespace dehealth

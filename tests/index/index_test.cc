@@ -12,6 +12,7 @@
 #include "index/candidate_index.h"
 #include "index/indexed_source.h"
 #include "index/pipeline.h"
+#include "obs/standard_metrics.h"
 
 namespace dehealth {
 namespace {
@@ -101,6 +102,38 @@ TEST(IndexEquivalenceTest, KLargerThanAuxiliarySideMatchesDense) {
   ASSERT_TRUE(dense.ok());
   ASSERT_TRUE(indexed.ok());
   EXPECT_EQ(*indexed, *dense);
+}
+
+TEST(IndexEquivalenceTest, DenseScanCrossoverKeepsRankingBitwise) {
+  // Generated forums share a small vocabulary, so realistic queries sit
+  // well past the 25% posting-volume crossover: the exact TopK path takes
+  // the batched dense scan. A max_candidates cap disables the crossover
+  // and walks postings best-first instead. Both must produce the same
+  // ranking bitwise when the cap does not prune (cap == universe).
+  const Scenario s = MakeScenario(60, 13);
+  SimilarityConfig sim;
+  sim.idf_weight_attributes = true;
+  auto index = CandidateIndex::Build(s.auxiliary, sim);
+  ASSERT_TRUE(index.ok());
+  const int n2 = index->num_auxiliary();
+  const std::vector<IndexedUserFeatures> queries =
+      index->ComputeQueryFeatures(s.anonymized);
+  obs::Counter* dense_scans = obs::GetIndexMetrics().dense_scans;
+  const uint64_t scans_before = dense_scans->Value();
+  for (size_t u = 0; u < queries.size(); u += 5) {
+    const std::vector<ScoredUser> exact =
+        index->TopKScoredForQuery(queries[u], 7, /*max_candidates=*/0);
+    const std::vector<ScoredUser> pruned =
+        index->TopKScoredForQuery(queries[u], 7, /*max_candidates=*/n2);
+    ASSERT_EQ(exact.size(), pruned.size()) << "u=" << u;
+    for (size_t i = 0; i < exact.size(); ++i) {
+      EXPECT_EQ(exact[i].user, pruned[i].user) << "u=" << u << " i=" << i;
+      EXPECT_EQ(exact[i].score, pruned[i].score);  // bitwise
+    }
+  }
+  // The crossover must actually have fired — otherwise this test compared
+  // the best-first path against itself.
+  EXPECT_GT(dense_scans->Value(), scans_before);
 }
 
 TEST(IndexEquivalenceTest, RejectsInvalidK) {

@@ -185,6 +185,78 @@ TEST(ServeProtocolPayloads, FilteredAnswerRoundTrips) {
   EXPECT_EQ(decoded->rejected, answer.rejected);
 }
 
+TEST(ServeProtocolPayloads, ScoredTopKAnswerRoundTrips) {
+  ScoredTopKAnswer answer;
+  answer.candidates = {{ScoredUser{0.75, 3}, ScoredUser{0.25, 1}},
+                       {},
+                       {ScoredUser{-1.5, 9}}};
+  auto decoded = DecodeScoredTopKPayload(EncodeScoredTopKPayload(answer));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->candidates.size(), answer.candidates.size());
+  for (size_t u = 0; u < answer.candidates.size(); ++u) {
+    ASSERT_EQ(decoded->candidates[u].size(), answer.candidates[u].size());
+    for (size_t i = 0; i < answer.candidates[u].size(); ++i) {
+      // Scores travel as raw IEEE-754 bits: bitwise equality, not approx.
+      EXPECT_EQ(decoded->candidates[u][i].score,
+                answer.candidates[u][i].score);
+      EXPECT_EQ(decoded->candidates[u][i].user,
+                answer.candidates[u][i].user);
+    }
+  }
+}
+
+TEST(ServeProtocolPayloads, TruncatedScoredTopKIsRejected) {
+  ScoredTopKAnswer answer;
+  answer.candidates = {{ScoredUser{0.5, 2}, ScoredUser{0.125, 7}}};
+  std::string payload = EncodeScoredTopKPayload(answer);
+  for (size_t len : {payload.size() - 1, payload.size() / 2, size_t{1}})
+    EXPECT_FALSE(DecodeScoredTopKPayload(payload.substr(0, len)).ok())
+        << "len=" << len;
+  EXPECT_FALSE(DecodeScoredTopKPayload(payload + "x").ok());
+}
+
+TEST(ServeProtocolPayloads, ShardInfoRoundTrips) {
+  ShardInfoAnswer info;
+  info.shard_index = 2;
+  info.shard_count = 5;
+  info.shard_begin = 4000;
+  info.shard_total = 10000;
+  info.universe_fingerprint = 0xDEADBEEFCAFEF00Dull;
+  info.num_anonymized = 123;
+  info.default_top_k = 20;
+  auto decoded = DecodeShardInfoPayload(EncodeShardInfoPayload(info));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->shard_index, info.shard_index);
+  EXPECT_EQ(decoded->shard_count, info.shard_count);
+  EXPECT_EQ(decoded->shard_begin, info.shard_begin);
+  EXPECT_EQ(decoded->shard_total, info.shard_total);
+  EXPECT_EQ(decoded->universe_fingerprint, info.universe_fingerprint);
+  EXPECT_EQ(decoded->num_anonymized, info.num_anonymized);
+  EXPECT_EQ(decoded->default_top_k, info.default_top_k);
+}
+
+TEST(ServeProtocolPayloads, CorruptShardInfoIsRejected) {
+  ShardInfoAnswer info;
+  info.shard_index = 0;
+  info.shard_count = 3;
+  std::string payload = EncodeShardInfoPayload(info);
+  EXPECT_FALSE(DecodeShardInfoPayload(payload.substr(0, 7)).ok());
+  EXPECT_FALSE(DecodeShardInfoPayload(payload + "zz").ok());
+  EXPECT_FALSE(DecodeShardInfoPayload(std::string()).ok());
+  // shard_index >= shard_count is a topology lie, not a transport error —
+  // but the decoder still refuses to construct the impossible answer.
+  ShardInfoAnswer liar;
+  liar.shard_index = 3;
+  liar.shard_count = 3;
+  EXPECT_FALSE(
+      DecodeShardInfoPayload(EncodeShardInfoPayload(liar)).ok());
+  ShardInfoAnswer zero;
+  zero.shard_index = 0;
+  zero.shard_count = 0;
+  EXPECT_FALSE(
+      DecodeShardInfoPayload(EncodeShardInfoPayload(zero)).ok());
+}
+
 TEST(ServeProtocolPayloads, StatsRoundTrips) {
   ServerStatsSnapshot stats;
   stats.requests_total = 100;

@@ -1,0 +1,336 @@
+#include "shard/router.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injection.h"
+#include "datagen/forum_generator.h"
+#include "datagen/split.h"
+#include "serve/engine.h"
+#include "serve/server.h"
+
+namespace dehealth {
+namespace {
+
+DeHealthConfig SliceConfig(int shard_index, int shard_count) {
+  DeHealthConfig config;
+  config.top_k = 5;
+  config.refined.learner = LearnerKind::kNearestCentroid;
+  config.num_threads = 2;
+  config.shard_index = shard_index;
+  config.shard_count = shard_count;
+  return config;
+}
+
+std::vector<int> AllUsers(int n) {
+  std::vector<int> users(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) users[static_cast<size_t>(i)] = i;
+  return users;
+}
+
+/// One live slice backend: a QueryEngine over shard i of n plus the
+/// QueryServer in front of it.
+struct Backend {
+  std::unique_ptr<QueryEngine> engine;
+  std::unique_ptr<QueryServer> server;
+
+  int port() const { return server->port(); }
+  void Stop() {
+    server->Shutdown();
+    server->Wait();
+  }
+};
+
+class RouterTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto forum = GenerateForum(WebMdLikeConfig(40, 23));
+    ASSERT_TRUE(forum.ok());
+    auto scenario = MakeClosedWorldScenario(forum->dataset, 0.5, 11);
+    ASSERT_TRUE(scenario.ok());
+    anon_ = new UdaGraph(BuildUdaGraph(scenario->anonymized));
+    aux_ = new UdaGraph(BuildUdaGraph(scenario->auxiliary));
+    // A second, unrelated universe for the mismatch tests.
+    auto other_forum = GenerateForum(WebMdLikeConfig(40, 99));
+    ASSERT_TRUE(other_forum.ok());
+    auto other = MakeClosedWorldScenario(other_forum->dataset, 0.5, 7);
+    ASSERT_TRUE(other.ok());
+    other_anon_ = new UdaGraph(BuildUdaGraph(other->anonymized));
+    other_aux_ = new UdaGraph(BuildUdaGraph(other->auxiliary));
+  }
+
+  void TearDown() override { FaultInjector::Global().Reset(); }
+
+  static StatusOr<Backend> StartSlice(const UdaGraph& anon,
+                                      const UdaGraph& aux, int shard_index,
+                                      int shard_count) {
+    Backend backend;
+    auto engine = QueryEngine::Create(
+        anon, aux, SliceConfig(shard_index, shard_count));
+    if (!engine.ok()) return engine.status();
+    backend.engine = std::move(engine).value();
+    backend.server =
+        std::make_unique<QueryServer>(*backend.engine, ServerConfig());
+    DEHEALTH_RETURN_IF_ERROR(backend.server->Start());
+    return backend;
+  }
+
+  static std::vector<BackendAddress> Addresses(
+      const std::vector<Backend>& backends) {
+    std::vector<BackendAddress> addresses;
+    for (const Backend& b : backends)
+      addresses.push_back(BackendAddress{"127.0.0.1", b.port()});
+    return addresses;
+  }
+
+  static StatusOr<std::vector<Backend>> StartFleet(int n) {
+    std::vector<Backend> backends;
+    for (int i = 0; i < n; ++i) {
+      auto backend = StartSlice(*anon_, *aux_, i, n);
+      if (!backend.ok()) return backend.status();
+      backends.push_back(std::move(backend).value());
+    }
+    return backends;
+  }
+
+  static void StopFleet(std::vector<Backend>& backends) {
+    for (Backend& b : backends) b.Stop();
+  }
+
+  static UdaGraph* anon_;
+  static UdaGraph* aux_;
+  static UdaGraph* other_anon_;
+  static UdaGraph* other_aux_;
+};
+
+UdaGraph* RouterTest::anon_ = nullptr;
+UdaGraph* RouterTest::aux_ = nullptr;
+UdaGraph* RouterTest::other_anon_ = nullptr;
+UdaGraph* RouterTest::other_aux_ = nullptr;
+
+TEST_F(RouterTest, ParseBackendList) {
+  auto two = ParseBackendList("127.0.0.1:19001,localhost:19002");
+  ASSERT_TRUE(two.ok());
+  ASSERT_EQ(two->size(), 2u);
+  EXPECT_EQ((*two)[0].host, "127.0.0.1");
+  EXPECT_EQ((*two)[0].port, 19001);
+  EXPECT_EQ((*two)[1].host, "localhost");
+  EXPECT_EQ((*two)[1].port, 19002);
+  EXPECT_FALSE(ParseBackendList("").ok());
+  EXPECT_FALSE(ParseBackendList("hostonly").ok());
+  EXPECT_FALSE(ParseBackendList("host:").ok());
+  EXPECT_FALSE(ParseBackendList(":123").ok());
+  EXPECT_FALSE(ParseBackendList("host:abc").ok());
+  EXPECT_FALSE(ParseBackendList("host:70000").ok());
+  EXPECT_FALSE(ParseBackendList("a:1,,b:2").ok());
+}
+
+TEST_F(RouterTest, MergedAnswersBitwiseMatchUnshardedServer) {
+  auto unsharded = QueryEngine::Create(*anon_, *aux_, SliceConfig(0, 1));
+  ASSERT_TRUE(unsharded.ok()) << unsharded.status().ToString();
+  const std::vector<int> users = AllUsers((*unsharded)->num_anonymized());
+  auto golden = (*unsharded)->TopK(users, 0);
+  ASSERT_TRUE(golden.ok());
+  auto golden_scored = (*unsharded)->TopKScored(users, 3);
+  ASSERT_TRUE(golden_scored.ok());
+
+  for (int n : {1, 2, 3}) {
+    auto fleet = StartFleet(n);
+    ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+    auto router = RouterHandler::Connect(Addresses(*fleet), RouterOptions());
+    ASSERT_TRUE(router.ok()) << router.status().ToString();
+    EXPECT_EQ((*router)->num_backends(), n);
+    EXPECT_EQ((*router)->num_anonymized(),
+              (*unsharded)->num_anonymized());
+
+    auto merged = (*router)->TopK(users, 0);
+    ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+    EXPECT_FALSE(merged->partial);
+    EXPECT_EQ(merged->candidates, golden->candidates) << "n=" << n;
+
+    auto merged_scored = (*router)->TopKScored(users, 3);
+    ASSERT_TRUE(merged_scored.ok());
+    ASSERT_EQ(merged_scored->candidates.size(),
+              golden_scored->candidates.size());
+    for (size_t u = 0; u < users.size(); ++u) {
+      const auto& got = merged_scored->candidates[u];
+      const auto& want = golden_scored->candidates[u];
+      ASSERT_EQ(got.size(), want.size()) << "n=" << n << " u=" << u;
+      for (size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].user, want[i].user);
+        EXPECT_EQ(got[i].score, want[i].score);  // bitwise
+      }
+    }
+    StopFleet(*fleet);
+  }
+}
+
+TEST_F(RouterTest, RouterBehindQueryServerSpeaksPlainDhqp) {
+  auto fleet = StartFleet(2);
+  ASSERT_TRUE(fleet.ok());
+  auto router = RouterHandler::Connect(Addresses(*fleet), RouterOptions());
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+  QueryServer front(**router, ServerConfig());
+  ASSERT_TRUE(front.Start().ok());
+
+  auto client = QueryClient::Connect("127.0.0.1", front.port());
+  ASSERT_TRUE(client.ok());
+  auto answer = client->TopK({0, 5, 9}, 0);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_FALSE(answer->partial);
+  ASSERT_EQ(answer->candidates.size(), 3u);
+
+  auto unsharded = QueryEngine::Create(*anon_, *aux_, SliceConfig(0, 1));
+  ASSERT_TRUE(unsharded.ok());
+  auto golden = (*unsharded)->TopK({0, 5, 9}, 0);
+  ASSERT_TRUE(golden.ok());
+  EXPECT_EQ(answer->candidates, golden->candidates);
+
+  // Refined/filtered cannot shard: the router refuses them upstream.
+  EXPECT_FALSE(client->Refine({0}).ok());
+  auto info = client->ShardInfo();
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->shard_count, 1u);  // the router IS the whole universe
+  front.Shutdown();
+  front.Wait();
+  StopFleet(*fleet);
+}
+
+TEST_F(RouterTest, BackendDownAtConnectFailsClosed) {
+  auto fleet = StartFleet(2);
+  ASSERT_TRUE(fleet.ok());
+  std::vector<BackendAddress> addresses = Addresses(*fleet);
+  // Kill backend 1 BEFORE the router connects: topology cannot be
+  // validated, so Connect fails regardless of require_all_shards.
+  (*fleet)[1].Stop();
+  auto router = RouterHandler::Connect(addresses, RouterOptions());
+  EXPECT_FALSE(router.ok());
+  (*fleet)[0].Stop();
+}
+
+TEST_F(RouterTest, BackendDownMidQueryDegradesToPartial) {
+  auto fleet = StartFleet(3);
+  ASSERT_TRUE(fleet.ok());
+  auto router = RouterHandler::Connect(Addresses(*fleet), RouterOptions());
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+
+  const std::vector<int> users = {0, 1, 2, 3};
+  auto before = (*router)->TopKScored(users, 0);
+  ASSERT_TRUE(before.ok());
+  EXPECT_FALSE(before->partial);
+
+  (*fleet)[2].Stop();
+  auto after = (*router)->TopKScored(users, 0);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_TRUE(after->partial);
+  // The merge over the two live shards is still exact over THEIR slice:
+  // every candidate now comes from shards 0-1's id ranges.
+  const uint64_t total = (*router)->universe_size();
+  ASSERT_EQ(after->candidates.size(), users.size());
+  for (const auto& list : after->candidates)
+    for (const ScoredUser& c : list)
+      EXPECT_LT(static_cast<uint64_t>(c.user), total);
+
+  StopFleet(*fleet);
+}
+
+TEST_F(RouterTest, RequireAllShardsFailsClosedMidQuery) {
+  auto fleet = StartFleet(2);
+  ASSERT_TRUE(fleet.ok());
+  RouterOptions options;
+  options.require_all_shards = true;
+  auto router = RouterHandler::Connect(Addresses(*fleet), options);
+  ASSERT_TRUE(router.ok());
+
+  auto ok = (*router)->TopK({0, 1}, 0);
+  ASSERT_TRUE(ok.ok());
+
+  (*fleet)[0].Stop();
+  auto refused = (*router)->TopK({0, 1}, 0);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kUnavailable);
+  StopFleet(*fleet);
+}
+
+TEST_F(RouterTest, MismatchedUniverseFailsClosed) {
+  // Backend 0 serves shard 0/2 of universe A; backend 1 serves shard 1/2
+  // of universe B. The fingerprints disagree → refuse to merge.
+  auto a = StartSlice(*anon_, *aux_, 0, 2);
+  ASSERT_TRUE(a.ok());
+  auto b = StartSlice(*other_anon_, *other_aux_, 1, 2);
+  ASSERT_TRUE(b.ok());
+  std::vector<BackendAddress> addresses = {
+      {"127.0.0.1", a->port()}, {"127.0.0.1", b->port()}};
+  auto router = RouterHandler::Connect(addresses, RouterOptions());
+  ASSERT_FALSE(router.ok());
+  EXPECT_EQ(router.status().code(), StatusCode::kFailedPrecondition);
+  a->Stop();
+  b->Stop();
+}
+
+TEST_F(RouterTest, WrongShardCountOrDuplicateShardFailsClosed) {
+  // Two backends both claiming shard 0 of 2: duplicate claim.
+  auto a = StartSlice(*anon_, *aux_, 0, 2);
+  auto b = StartSlice(*anon_, *aux_, 0, 2);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  std::vector<BackendAddress> duplicate = {
+      {"127.0.0.1", a->port()}, {"127.0.0.1", b->port()}};
+  auto router = RouterHandler::Connect(duplicate, RouterOptions());
+  ASSERT_FALSE(router.ok());
+  EXPECT_EQ(router.status().code(), StatusCode::kFailedPrecondition);
+
+  // One backend of a declared-2-shard fleet: count mismatch.
+  std::vector<BackendAddress> short_fleet = {{"127.0.0.1", a->port()}};
+  auto short_router = RouterHandler::Connect(short_fleet, RouterOptions());
+  ASSERT_FALSE(short_router.ok());
+  EXPECT_EQ(short_router.status().code(), StatusCode::kFailedPrecondition);
+  a->Stop();
+  b->Stop();
+}
+
+TEST_F(RouterTest, ScatterFaultInjectionDegrades) {
+  auto fleet = StartFleet(2);
+  ASSERT_TRUE(fleet.ok());
+  auto router = RouterHandler::Connect(Addresses(*fleet), RouterOptions());
+  ASSERT_TRUE(router.ok());
+
+  // One scatter RPC dies with a connection reset: partial answer.
+  ASSERT_TRUE(FaultInjector::Global()
+                  .Configure("router.scatter:reset:1")
+                  .ok());
+  auto partial = (*router)->TopKScored({0, 1}, 0);
+  ASSERT_TRUE(partial.ok()) << partial.status().ToString();
+  EXPECT_TRUE(partial->partial);
+
+  // The merge step itself failing is a hard error, not a degradation.
+  ASSERT_TRUE(
+      FaultInjector::Global().Configure("router.merge:fail:1").ok());
+  EXPECT_FALSE((*router)->TopKScored({0, 1}, 0).ok());
+
+  FaultInjector::Global().Reset();
+  auto healthy = (*router)->TopKScored({0, 1}, 0);
+  ASSERT_TRUE(healthy.ok());
+  EXPECT_FALSE(healthy->partial);
+  StopFleet(*fleet);
+}
+
+TEST_F(RouterTest, SliceEngineRefusesGlobalPhases) {
+  auto backend = StartSlice(*anon_, *aux_, 0, 2);
+  ASSERT_TRUE(backend.ok());
+  auto refined = backend->engine->Refine({0});
+  EXPECT_FALSE(refined.ok());
+  EXPECT_EQ(refined.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(backend->engine->Filtered({0}).ok());
+  const ShardInfoAnswer info = backend->engine->ShardInfo();
+  EXPECT_EQ(info.shard_index, 0u);
+  EXPECT_EQ(info.shard_count, 2u);
+  backend->Stop();
+}
+
+}  // namespace
+}  // namespace dehealth
