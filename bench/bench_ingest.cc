@@ -1,0 +1,271 @@
+// Streaming-ingestion cost model: what does advancing a serving universe
+// by a tail of appended posts cost, stage by stage, versus rebuilding it
+// from scratch — the number an operator needs to size segment cadence and
+// epoch-seal frequency.
+//
+// Stages measured on a WebMD-like forum (auxiliary half, base = first
+// half of the posts, tail = the rest, cut into equal chunks):
+//   producer:  CutSegment per chunk, WriteSegmentVerified (atomic write +
+//              read-back), LoadSegmentFile
+//   consumer:  IngestState::Apply of the whole chain (incremental
+//              feature extraction over only the new posts)
+//   compaction: CompactSegments of the chain + applying the merged segment
+//   epoch:     EpochHandler boot, kLoadSegment staging, kSealEpoch (the
+//              full engine rebuild queries keep serving through)
+// against the from-scratch baselines (IngestState::FromDataset over the
+// full log; QueryEngine::Create over the full universe).
+//
+//   bench_ingest                             # JSON to stdout
+//   bench_ingest --out BENCH_ingest.json     # written to a file
+//   bench_ingest --users 500                 # smaller forum
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/uda_graph.h"
+#include "datagen/forum_generator.h"
+#include "datagen/split.h"
+#include "ingest/epoch.h"
+#include "ingest/segment.h"
+#include "ingest/state.h"
+#include "serve/engine.h"
+
+namespace {
+
+using namespace dehealth;
+
+constexpr uint64_t kForumSeed = 77;
+constexpr uint64_t kSplitSeed = 5;
+constexpr int kChunks = 8;
+
+double MsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+ForumDataset Prefix(const ForumDataset& full, size_t posts) {
+  ForumDataset base;
+  base.num_users = full.num_users;
+  base.num_threads = full.num_threads;
+  base.posts.assign(full.posts.begin(),
+                    full.posts.begin() + static_cast<long>(posts));
+  return base;
+}
+
+int Run(int num_users, const std::string& out_path) {
+  std::fprintf(stderr, "generating %d-user forum...\n", num_users);
+  auto forum = GenerateForum(WebMdLikeConfig(num_users, kForumSeed));
+  if (!forum.ok()) {
+    std::fprintf(stderr, "generate: %s\n", forum.status().ToString().c_str());
+    return 1;
+  }
+  auto scenario = MakeClosedWorldScenario(forum->dataset, 0.5, kSplitSeed);
+  if (!scenario.ok()) {
+    std::fprintf(stderr, "split: %s\n", scenario.status().ToString().c_str());
+    return 1;
+  }
+  const ForumDataset& full = scenario->auxiliary;
+  const size_t total = full.posts.size();
+  const size_t base_posts = total / 2;
+  if (base_posts == 0 || base_posts == total) {
+    std::fprintf(stderr, "forum too small to split into base + tail\n");
+    return 1;
+  }
+  const ForumDataset base = Prefix(full, base_posts);
+  const size_t tail_posts = total - base_posts;
+  UdaGraph anon = BuildUdaGraph(scenario->anonymized);
+
+  DeHealthConfig config;
+  config.top_k = 10;
+  config.num_threads = 4;
+
+  // --- from-scratch baselines --------------------------------------------
+  std::fprintf(stderr, "from-scratch baselines...\n");
+  auto start = std::chrono::steady_clock::now();
+  ingest::IngestState scratch_state = ingest::IngestState::FromDataset(full);
+  const double scratch_state_ms = MsSince(start);
+
+  start = std::chrono::steady_clock::now();
+  auto scratch_engine = QueryEngine::Create(anon, BuildUdaGraph(full), config);
+  const double scratch_engine_ms = MsSince(start);
+  if (!scratch_engine.ok()) {
+    std::fprintf(stderr, "engine: %s\n",
+                 scratch_engine.status().ToString().c_str());
+    return 1;
+  }
+
+  // --- producer: cut, write (verified), load -----------------------------
+  std::fprintf(stderr, "producer chain (%d chunks)...\n", kChunks);
+  ingest::IngestState producer = ingest::IngestState::FromDataset(base);
+  std::vector<ingest::DeltaSegment> chain;
+  std::vector<std::string> files;
+  double cut_ms = 0.0, write_ms = 0.0, load_ms = 0.0;
+  size_t from = base_posts;
+  for (int i = 1; i <= kChunks; ++i) {
+    const size_t to = base_posts + tail_posts * static_cast<size_t>(i) /
+                                       static_cast<size_t>(kChunks);
+    if (from == to) continue;
+    std::vector<Post> tail(full.posts.begin() + static_cast<long>(from),
+                           full.posts.begin() + static_cast<long>(to));
+    start = std::chrono::steady_clock::now();
+    auto segment = ingest::CutSegment(&producer, tail);
+    cut_ms += MsSince(start);
+    if (!segment.ok()) {
+      std::fprintf(stderr, "cut: %s\n", segment.status().ToString().c_str());
+      return 1;
+    }
+    const std::string path =
+        "/tmp/bench_ingest_" + std::to_string(i) + ".dhsg";
+    start = std::chrono::steady_clock::now();
+    Status saved = ingest::WriteSegmentVerified(*segment, path);
+    write_ms += MsSince(start);
+    if (!saved.ok()) {
+      std::fprintf(stderr, "write: %s\n", saved.ToString().c_str());
+      return 1;
+    }
+    start = std::chrono::steady_clock::now();
+    auto loaded = ingest::LoadSegmentFile(path);
+    load_ms += MsSince(start);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "load: %s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    chain.push_back(std::move(loaded).value());
+    files.push_back(path);
+    from = to;
+  }
+
+  // --- consumer: apply the chain incrementally ---------------------------
+  std::fprintf(stderr, "consumer apply...\n");
+  ingest::IngestState consumer = ingest::IngestState::FromDataset(base);
+  start = std::chrono::steady_clock::now();
+  for (const ingest::DeltaSegment& segment : chain) {
+    Status applied = consumer.Apply(segment);
+    if (!applied.ok()) {
+      std::fprintf(stderr, "apply: %s\n", applied.ToString().c_str());
+      return 1;
+    }
+  }
+  const double apply_ms = MsSince(start);
+  if (consumer.fingerprint() != scratch_state.fingerprint()) {
+    std::fprintf(stderr, "BUG: incremental state != from-scratch state\n");
+    return 1;
+  }
+
+  // --- compaction --------------------------------------------------------
+  start = std::chrono::steady_clock::now();
+  auto compacted = ingest::CompactSegments(chain);
+  const double compact_ms = MsSince(start);
+  if (!compacted.ok()) {
+    std::fprintf(stderr, "compact: %s\n",
+                 compacted.status().ToString().c_str());
+    return 1;
+  }
+  const std::string compacted_path = "/tmp/bench_ingest_compacted.dhsg";
+  if (!ingest::WriteSegmentVerified(*compacted, compacted_path).ok()) {
+    std::fprintf(stderr, "cannot write %s\n", compacted_path.c_str());
+    return 1;
+  }
+  files.push_back(compacted_path);
+  ingest::IngestState merged_consumer = ingest::IngestState::FromDataset(base);
+  start = std::chrono::steady_clock::now();
+  Status merged_applied = merged_consumer.Apply(*compacted);
+  const double apply_compacted_ms = MsSince(start);
+  if (!merged_applied.ok()) {
+    std::fprintf(stderr, "apply compacted: %s\n",
+                 merged_applied.ToString().c_str());
+    return 1;
+  }
+
+  // --- epoch lifecycle: boot, stage, seal --------------------------------
+  std::fprintf(stderr, "epoch lifecycle...\n");
+  start = std::chrono::steady_clock::now();
+  auto handler = ingest::EpochHandler::Create(anon, base, config);
+  const double boot_ms = MsSince(start);
+  if (!handler.ok()) {
+    std::fprintf(stderr, "boot: %s\n", handler.status().ToString().c_str());
+    return 1;
+  }
+  start = std::chrono::steady_clock::now();
+  Status staged = (*handler)->LoadSegment(compacted_path);
+  const double stage_ms = MsSince(start);
+  if (!staged.ok()) {
+    std::fprintf(stderr, "stage: %s\n", staged.ToString().c_str());
+    return 1;
+  }
+  start = std::chrono::steady_clock::now();
+  Status sealed = (*handler)->SealEpoch();
+  const double seal_ms = MsSince(start);
+  if (!sealed.ok()) {
+    std::fprintf(stderr, "seal: %s\n", sealed.ToString().c_str());
+    return 1;
+  }
+  for (const std::string& path : files) std::remove(path.c_str());
+
+  // --- report ------------------------------------------------------------
+  char buffer[2048];
+  std::snprintf(
+      buffer, sizeof buffer,
+      "  \"from_scratch\": {\"state_ms\": %.1f, \"engine_ms\": %.1f},\n"
+      "  \"producer\": {\"chunks\": %d, \"posts_appended\": %zu, "
+      "\"cut_ms\": %.1f, \"write_verified_ms\": %.1f, \"load_ms\": %.1f},\n"
+      "  \"consumer\": {\"apply_ms\": %.1f, \"apply_us_per_post\": %.1f, "
+      "\"speedup_vs_scratch_state\": %.1f},\n"
+      "  \"compaction\": {\"chain_len\": %zu, \"compact_ms\": %.1f, "
+      "\"apply_compacted_ms\": %.1f},\n"
+      "  \"epoch\": {\"boot_ms\": %.1f, \"stage_ms\": %.1f, "
+      "\"seal_ms\": %.1f, \"seal_vs_scratch_engine\": %.2f}\n",
+      scratch_state_ms, scratch_engine_ms, kChunks, tail_posts, cut_ms,
+      write_ms, load_ms, apply_ms, 1000.0 * apply_ms / tail_posts,
+      scratch_state_ms / (apply_ms > 0.0 ? apply_ms : 1e-9), chain.size(),
+      compact_ms, apply_compacted_ms, boot_ms, stage_ms, seal_ms,
+      seal_ms / (scratch_engine_ms > 0.0 ? scratch_engine_ms : 1e-9));
+  const std::string report =
+      "{\n  \"benchmark\": \"bench_ingest\",\n"
+      "  \"description\": \"streaming-ingestion stage costs (segment cut, "
+      "verified write, chain apply, compaction, epoch seal) vs from-scratch "
+      "state and engine rebuilds on the WebMD-like auxiliary half\",\n"
+      "  \"config\": {\"forum_users\": " + std::to_string(num_users) +
+      ", \"base_posts\": " + std::to_string(base_posts) +
+      ", \"total_posts\": " + std::to_string(total) +
+      ", \"top_k\": 10, \"threads\": 4, \"forum_seed\": " +
+      std::to_string(kForumSeed) +
+      ", \"split_seed\": " + std::to_string(kSplitSeed) + "},\n" + buffer +
+      "}\n";
+  if (out_path.empty()) {
+    std::fputs(report.c_str(), stdout);
+  } else {
+    std::ofstream out(out_path);
+    out << report;
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int num_users = 2000;
+  std::string out_path;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--users") == 0)
+      num_users = std::atoi(argv[i + 1]);
+    if (std::strcmp(argv[i], "--out") == 0) out_path = argv[i + 1];
+  }
+  if (num_users < 2) {
+    std::fprintf(stderr, "--users must be >= 2\n");
+    return 1;
+  }
+  return Run(num_users, out_path);
+}

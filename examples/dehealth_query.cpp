@@ -6,6 +6,8 @@
 //   dehealth_query stats    --port P
 //   dehealth_query metrics  --port P [--out metrics.prom]
 //   dehealth_query dump     --port P [--out predictions.csv]
+//   dehealth_query load-segment --port P --segment delta.dhsg
+//   dehealth_query seal-epoch   --port P
 //   dehealth_query shutdown --port P
 //
 // --retries N (default 1 = fail fast) retries transient failures —
@@ -16,6 +18,10 @@
 // anonymized user and writes the same "anon_id,prediction,top_candidates"
 // CSV as `dehealth_cli attack --out` — diffing the two is the end-to-end
 // proof that the service answers bitwise-identically to the one-shot run.
+//
+// `load-segment` / `seal-epoch` drive a `dehealth_serve --ingest` server:
+// stage a DHSG delta (--segment names a path on the SERVER's filesystem)
+// and swap the next epoch in. Both print the server's post-op epoch line.
 
 #include <cerrno>
 #include <cstdio>
@@ -118,10 +124,11 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: dehealth_query "
-                 "<topk|refined|filtered|stats|metrics|dump|shutdown> "
+                 "<topk|refined|filtered|stats|metrics|dump|load-segment|"
+                 "seal-epoch|shutdown> "
                  "--port P "
                  "[--host H] [--users 0,1,2|all] [--k N] [--timeout-ms T] "
-                 "[--out file]\n");
+                 "[--out file] [--segment delta.dhsg]\n");
     return 1;
   }
   const std::string command = argv[1];
@@ -166,6 +173,26 @@ int main(int argc, char** argv) {
     std::ofstream out(out_path);
     if (!out) return Fail("cannot open for writing: " + out_path);
     out << *text;
+    return 0;
+  }
+  if (command == "load-segment" || command == "seal-epoch") {
+    StatusOr<ShardInfoAnswer> info = Status::Internal("unreachable");
+    if (command == "load-segment") {
+      const std::string segment = flags.Get("segment");
+      if (segment.empty())
+        return Fail("load-segment requires --segment (a path on the "
+                    "SERVER's filesystem)");
+      info = client->LoadSegment(segment);
+    } else {
+      info = client->SealEpoch();
+    }
+    if (!info.ok()) return Fail(info.status().ToString());
+    std::printf("epoch: seq=%llu staged=%llu universe=%llu "
+                "fingerprint=%016llx\n",
+                static_cast<unsigned long long>(info->epoch_seq),
+                static_cast<unsigned long long>(info->staged_segments),
+                static_cast<unsigned long long>(info->shard_total),
+                static_cast<unsigned long long>(info->universe_fingerprint));
     return 0;
   }
   if (command == "shutdown") {

@@ -8,7 +8,7 @@
 // "Sharding"). dehealth_query works against a router unchanged.
 //
 //   dehealth_router --backends host:port,host:port,...
-//                   [--require-all-shards] [--retries 3]
+//                   [--require-all-shards] [--allow-epoch-skew] [--retries 3]
 //                   [--host 127.0.0.1] [--port 0] [--queue 64] [--batch 16]
 //                   [--timeout-ms 0] [--stats-period 0] [--port-file path]
 //
@@ -18,6 +18,12 @@
 // such queries closed with UNAVAILABLE instead. Refined/filtered queries
 // are refused (both need universe-global state) — run an unsharded
 // dehealth_serve for those.
+//
+// Streaming ingestion: connect refuses a fleet whose backends report
+// different ingest epochs (their sealed segment chains diverge);
+// --allow-epoch-skew downgrades that to a warning so queries keep flowing
+// through an epoch rollout. `metrics` scrapes of the router re-export each
+// backend's dehealth_ingest_* series labeled {backend="i"}.
 
 #include <chrono>
 #include <cstdio>
@@ -70,6 +76,7 @@ int main(int argc, char** argv) {
   RouterOptions options;
   options.retry.max_attempts = *retries;
   options.require_all_shards = flags.Has("require-all-shards");
+  options.allow_epoch_skew = flags.Has("allow-epoch-skew");
   options.registry = server_config->registry;
 
   InstallShutdownSignalHandlers();

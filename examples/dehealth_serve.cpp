@@ -7,7 +7,7 @@
 //   dehealth_serve --anonymized anon.jsonl --auxiliary aux.jsonl
 //                  [--k 10 --learner smo --threads 0 --idf --filter]
 //                  [--index] [--index-path idx.dhix] [--max-candidates N]
-//                  [--job-dir dir] [--shard-size N]
+//                  [--job-dir dir] [--shard-size N] [--ingest]
 //                  [--host 127.0.0.1] [--port 0] [--queue 64] [--batch 16]
 //                  [--timeout-ms 0] [--stats-period 0] [--port-file path]
 //                  [--trace-out trace.json]
@@ -20,15 +20,25 @@
 // shards (possibly written by a dehealth_cli run with the same flags)
 // instead of recomputing, and a SIGTERM during warm start checkpoints and
 // exits cleanly.
+//
+// --ingest enables streaming ingestion: the server additionally accepts
+// `dehealth_query load-segment --segment delta.dhsg` (stage a DHSG delta
+// cut by dehealth_ingest) and `dehealth_query seal-epoch` (rebuild the
+// engine over the accumulated posts and swap it in without dropping
+// in-flight queries). Until a seal, answers stay bitwise-identical to
+// boot. See docs/OPERATIONS.md "Epoch swap runbook".
 
 #include <chrono>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <thread>
+#include <utility>
 
 #include "common/fault_injection.h"
 #include "common/flags.h"
 #include "common/shutdown.h"
+#include "ingest/epoch.h"
 #include "io/file_util.h"
 #include "io/forum_io.h"
 #include "obs/metrics.h"
@@ -96,22 +106,45 @@ int main(int argc, char** argv) {
   std::printf("loading: building UDA graphs (%zu + %zu posts)...\n",
               anon_data->posts.size(), aux_data->posts.size());
   UdaGraph anon = BuildUdaGraph(*anon_data);
-  UdaGraph aux = BuildUdaGraph(*aux_data);
 
   // Handlers go in BEFORE the (possibly long) warm start: with --job-dir a
   // SIGTERM mid-warm-start checkpoints the current shard and exits 0, and
   // the next launch resumes where this one stopped.
   InstallShutdownSignalHandlers();
-  auto engine = QueryEngine::Create(std::move(anon), std::move(aux),
-                                    *attack_config);
-  if (!engine.ok() &&
-      engine.status().code() == StatusCode::kCancelled) {
-    std::printf("checkpointed: %s\n", engine.status().message().c_str());
-    return 0;
-  }
-  if (!engine.ok()) return Fail(engine.status().ToString());
 
-  QueryServer server(**engine, *server_config);
+  // --ingest wraps the engine in the epoch layer: same boot semantics
+  // (EpochHandler::Create runs the identical QueryEngine::Create), plus
+  // the load-segment/seal-epoch admin surface.
+  const bool ingest = flags.Has("ingest");
+  std::unique_ptr<QueryEngine> engine;
+  std::unique_ptr<ingest::EpochHandler> epoch;
+  if (ingest) {
+    auto created = ingest::EpochHandler::Create(
+        std::move(anon), std::move(*aux_data), *attack_config);
+    if (!created.ok() &&
+        created.status().code() == StatusCode::kCancelled) {
+      std::printf("checkpointed: %s\n", created.status().message().c_str());
+      return 0;
+    }
+    if (!created.ok()) return Fail(created.status().ToString());
+    epoch = std::move(created).value();
+  } else {
+    UdaGraph aux = BuildUdaGraph(*aux_data);
+    auto created = QueryEngine::Create(std::move(anon), std::move(aux),
+                                       *attack_config);
+    if (!created.ok() &&
+        created.status().code() == StatusCode::kCancelled) {
+      std::printf("checkpointed: %s\n", created.status().message().c_str());
+      return 0;
+    }
+    if (!created.ok()) return Fail(created.status().ToString());
+    engine = std::move(created).value();
+  }
+  const QueryHandler& handler =
+      ingest ? static_cast<const QueryHandler&>(*epoch)
+             : static_cast<const QueryHandler&>(*engine);
+
+  QueryServer server(handler, *server_config);
   Status started = server.Start();
   if (!started.ok()) return Fail(started.ToString());
 
@@ -121,9 +154,10 @@ int main(int argc, char** argv) {
         std::to_string(server.port()) + "\n", port_file);
     if (!written.ok()) return Fail(written.ToString());
   }
-  std::printf("serving on %s:%d (%d anonymized users, K=%d)\n",
+  std::printf("serving on %s:%d (%d anonymized users, K=%d%s)\n",
               server_config->host.c_str(), server.port(),
-              (*engine)->num_anonymized(), (*engine)->config().top_k);
+              handler.num_anonymized(), handler.default_top_k(),
+              ingest ? ", ingest" : "");
   std::fflush(stdout);
 
   // SIGTERM/SIGINT flip a flag; the drain itself runs here, on a normal

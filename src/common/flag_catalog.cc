@@ -4,6 +4,10 @@ namespace dehealth {
 
 const std::vector<FlagDoc>& FlagCatalog() {
   static const std::vector<FlagDoc>* catalog = new std::vector<FlagDoc>{
+      {"allow-epoch-skew", "router", true,
+       "Accept a fleet whose backends report different ingest epochs "
+       "(mid-rollout); merged answers are transitional, not "
+       "bitwise-reproducible"},
       {"anon-out", "cli split", false,
        "Output path for the anonymized-side dataset"},
       {"anonymized", "cli attack, serve", false,
@@ -18,11 +22,14 @@ const std::vector<FlagDoc>& FlagCatalog() {
       {"backends", "router", false,
        "Comma-separated host:port list of the shard backends to fan out "
        "to (one dehealth_serve per shard)"},
+      {"base", "ingest", false,
+       "Base forum dataset (JSONL) a delta segment chain builds on — must "
+       "match the --auxiliary the servers were started with"},
       {"batch", "router, serve", false,
        "Largest number of queued requests coalesced into one engine batch "
        "(default 16)"},
       {"dataset", "cli split", false, "Input forum dataset to split"},
-      {"fault-spec", "cli, router, serve", false,
+      {"fault-spec", "cli, ingest, router, serve", false,
        "Deterministic fault injection spec '<site>:<kind>:<hit>,...' "
        "(testing only)"},
       {"filter", "cli attack, serve", true,
@@ -37,6 +44,9 @@ const std::vector<FlagDoc>& FlagCatalog() {
       {"index-path", "cli attack, serve", false,
        "DHIX snapshot path: load the index when fresh, else rebuild and "
        "persist (implies --index)"},
+      {"ingest", "serve", true,
+       "Enable streaming ingestion: accept load-segment/seal-epoch admin "
+       "requests and swap epochs without dropping in-flight queries"},
       {"job-dir", "cli attack, serve", false,
        "Run through the crash-safe job runner, checkpointing shards into "
        "this directory"},
@@ -50,8 +60,9 @@ const std::vector<FlagDoc>& FlagCatalog() {
       {"metrics-out", "cli attack", false,
        "Write the run's metrics registry to this file (Prometheus text "
        "format)"},
-      {"out", "cli generate/split/attack, query", false,
-       "Output path (dataset, predictions CSV, or query answers)"},
+      {"out", "cli generate/split/attack, query, ingest", false,
+       "Output path (dataset, predictions CSV, query answers, or DHSG "
+       "segment)"},
       {"overlap", "cli split", false,
        "Open-world user overlap fraction; > 0 selects the open-world "
        "split"},
@@ -73,10 +84,16 @@ const std::vector<FlagDoc>& FlagCatalog() {
        "overload)"},
       {"seed", "cli generate/split", false,
        "RNG seed (default 1); same seed => same dataset/split"},
-      {"shard-count", "serve", false,
+      {"segment", "query load-segment", false,
+       "DHSG delta-segment path to stage (a path on the SERVER's "
+       "filesystem)"},
+      {"segments", "ingest", false,
+       "Comma-separated chain of already-cut DHSG segments to replay "
+       "before --tail (segment) or to merge (compact)"},
+      {"shard-count", "serve, ingest", false,
        "Serve ONE slice of a router-fronted fleet: total number of shards "
        "the auxiliary universe is split into (default 1 = unsharded)"},
-      {"shard-index", "serve", false,
+      {"shard-index", "serve, ingest", false,
        "Which contiguous shard of --shard-count this process owns "
        "(default 0)"},
       {"shard-size", "cli attack, serve", false,
@@ -89,6 +106,12 @@ const std::vector<FlagDoc>& FlagCatalog() {
        "then cpuid), avx2, sse2, or scalar — all tiers score identically"},
       {"stats-period", "router, serve", false,
        "Seconds between periodic stats lines on stderr (0 = off)"},
+      {"tail", "ingest", false,
+       "JSONL file whose new posts (beyond --tail-offset) become the next "
+       "delta segment — typically the live append-only forum log"},
+      {"tail-offset", "ingest", false,
+       "Posts of --tail already covered by --base plus --segments; the "
+       "segment starts after them (default: computed from base+segments)"},
       {"threads", "cli attack, serve", false,
        "Worker threads (0 = all hardware threads); results are identical "
        "for any value"},

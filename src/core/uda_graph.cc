@@ -27,4 +27,49 @@ UdaGraph BuildUdaGraph(const ForumDataset& dataset) {
   return uda;
 }
 
+Status ApplyPostsToUdaGraph(UdaGraph* uda, ForumDataset* dataset,
+                            const std::vector<Post>& new_posts,
+                            int num_users_after, int num_threads_after) {
+  obs::Span span("core", "apply_posts_to_uda_graph");
+  span.SetArg("posts", static_cast<int64_t>(new_posts.size()));
+  if (num_users_after < dataset->num_users ||
+      num_threads_after < dataset->num_threads)
+    return Status::InvalidArgument(
+        "ApplyPostsToUdaGraph: universe must not shrink (" +
+        std::to_string(num_users_after) + " users after vs " +
+        std::to_string(dataset->num_users) + " before)");
+  for (const Post& post : new_posts) {
+    if (post.user_id < 0 || post.user_id >= num_users_after)
+      return Status::OutOfRange(
+          "ApplyPostsToUdaGraph: user_id " + std::to_string(post.user_id) +
+          " outside [0, " + std::to_string(num_users_after) + ")");
+    if (post.thread_id < 0 || post.thread_id >= num_threads_after)
+      return Status::OutOfRange(
+          "ApplyPostsToUdaGraph: thread_id " +
+          std::to_string(post.thread_id) + " outside [0, " +
+          std::to_string(num_threads_after) + ")");
+  }
+  obs::CoreMetrics& metrics = obs::GetCoreMetrics();
+  metrics.uda_posts->Increment(new_posts.size());
+  dataset->num_users = num_users_after;
+  dataset->num_threads = num_threads_after;
+  uda->profiles.resize(static_cast<size_t>(num_users_after));
+  uda->post_features.resize(static_cast<size_t>(num_users_after));
+  const FeatureExtractor extractor;
+  for (const Post& post : new_posts) {
+    dataset->posts.push_back(post);
+    SparseVector features = extractor.ExtractPost(post.text);
+    const auto uid = static_cast<size_t>(post.user_id);
+    uda->profiles[uid].AddPost(features);
+    uda->post_features[uid].push_back(std::move(features));
+  }
+  // The graph is rebuilt from the accumulated dataset rather than patched:
+  // BuildCorrelationGraph keys on thread->participant sets (order-free), so
+  // the rebuild is bitwise what a from-scratch build would produce, and it
+  // costs no text processing — the expensive part above touched only the
+  // new posts.
+  uda->graph = BuildCorrelationGraph(*dataset);
+  return Status::OK();
+}
+
 }  // namespace dehealth

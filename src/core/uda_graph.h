@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/status.h"
 #include "datagen/corpus.h"
 #include "graph/correlation_graph.h"
 #include "stylo/feature_vector.h"
@@ -28,6 +29,22 @@ struct UdaGraph {
 /// post, aggregates per-user attributes, and constructs the co-thread
 /// correlation graph. Cost: one extraction pass over all posts.
 UdaGraph BuildUdaGraph(const ForumDataset& dataset);
+
+/// Streaming-ingest entry point: appends `new_posts` to `dataset` (growing
+/// it to `num_users_after`/`num_threads_after`), extracts features for the
+/// NEW posts only, folds them into the existing profiles in post order, and
+/// rebuilds the co-thread correlation graph from the accumulated dataset.
+///
+/// Bitwise contract: after any sequence of Apply calls, `*uda` is
+/// byte-for-byte equal to `BuildUdaGraph(*dataset)` — per-user AddPost call
+/// sequences are identical (the full dataset lists base posts before
+/// appended posts), and BuildCorrelationGraph is insertion-order-
+/// independent by construction. Only the feature-extraction cost of the
+/// new posts is paid. Fails if any new post's ids fall outside the
+/// after-bounds or the bounds shrink.
+Status ApplyPostsToUdaGraph(UdaGraph* uda, ForumDataset* dataset,
+                            const std::vector<Post>& new_posts,
+                            int num_users_after, int num_threads_after);
 
 }  // namespace dehealth
 

@@ -1,0 +1,156 @@
+#include "ingest/epoch.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "obs/standard_metrics.h"
+#include "obs/trace.h"
+
+namespace dehealth {
+namespace ingest {
+
+EpochHandler::EpochHandler(UdaGraph anonymized, DeHealthConfig config)
+    : anonymized_(std::move(anonymized)), config_(std::move(config)) {}
+
+StatusOr<std::unique_ptr<EpochHandler>> EpochHandler::Create(
+    UdaGraph anonymized, ForumDataset auxiliary_dataset,
+    DeHealthConfig config) {
+  auto handler = std::unique_ptr<EpochHandler>(
+      new EpochHandler(std::move(anonymized), std::move(config)));
+  handler->staging_ = IngestState::FromDataset(std::move(auxiliary_dataset));
+  // The boot epoch honors the full config — warm starts from --job-dir and
+  // DHIX snapshot reuse work exactly as on a non-ingest server.
+  UdaGraph anon_copy = handler->anonymized_;
+  UdaGraph aux_copy = handler->staging_.uda();
+  StatusOr<std::unique_ptr<QueryEngine>> engine = QueryEngine::Create(
+      std::move(anon_copy), std::move(aux_copy), handler->config_);
+  if (!engine.ok()) return engine.status();
+  handler->current_ = std::shared_ptr<const QueryEngine>(
+      std::move(engine).value().release());
+  obs::IngestMetrics& metrics = obs::GetIngestMetrics();
+  metrics.epoch_seq->Set(0);
+  metrics.staged_segments->Set(0);
+  return handler;
+}
+
+std::shared_ptr<const QueryEngine> EpochHandler::Engine() const {
+  std::lock_guard<std::mutex> lock(epoch_mutex_);
+  return current_;
+}
+
+Status EpochHandler::LoadSegment(const std::string& segment_path) const {
+  std::lock_guard<std::mutex> lock(admin_mutex_);
+  obs::Span span("ingest", "epoch_load_segment");
+  StatusOr<DeltaSegment> segment = LoadSegmentFile(segment_path);
+  if (!segment.ok()) {
+    // A file that exists but does not decode is corrupt evidence —
+    // quarantine it (PR 4 contract) so a retry loop cannot spin on it and
+    // operators can post-mortem the bytes.
+    if (segment.status().code() != StatusCode::kNotFound) {
+      const std::string quarantine = segment_path + ".quarantined";
+      std::remove(quarantine.c_str());
+      if (std::rename(segment_path.c_str(), quarantine.c_str()) == 0) {
+        obs::GetIngestMetrics().quarantines->Increment();
+        std::fprintf(stderr,
+                     "warning: corrupt segment quarantined to %s (%s)\n",
+                     quarantine.c_str(),
+                     segment.status().ToString().c_str());
+      }
+    }
+    return segment.status();
+  }
+  // Shard gate: universal segments (0 of 1) apply everywhere — epoch
+  // rebuilds consume the full auxiliary universe even in slice mode — but
+  // a segment stamped for a specific slice must land on that slice.
+  const bool universal =
+      segment->shard_index == 0 && segment->shard_count == 1;
+  if (!universal &&
+      (segment->shard_index != static_cast<uint32_t>(config_.shard_index) ||
+       segment->shard_count != static_cast<uint32_t>(config_.shard_count)))
+    return Status::FailedPrecondition(
+        "segment is stamped for shard " +
+        std::to_string(segment->shard_index) + " of " +
+        std::to_string(segment->shard_count) + " but this server is shard " +
+        std::to_string(config_.shard_index) + " of " +
+        std::to_string(config_.shard_count));
+  DEHEALTH_RETURN_IF_ERROR(staging_.Apply(*segment));
+  obs::IngestMetrics& metrics = obs::GetIngestMetrics();
+  metrics.segments_loaded->Increment();
+  metrics.staged_segments->Set(
+      static_cast<int64_t>(staged_segments_.fetch_add(1) + 1));
+  return Status::OK();
+}
+
+Status EpochHandler::SealEpoch() const {
+  std::lock_guard<std::mutex> lock(admin_mutex_);
+  obs::Span span("ingest", "epoch_seal");
+  const auto start = std::chrono::steady_clock::now();
+  // Rebuild config: never resume from or overwrite the base run's durable
+  // artifacts — the staged universe has a different fingerprint, and a
+  // half-written snapshot named like the base one would poison the next
+  // boot.
+  DeHealthConfig rebuild = config_;
+  rebuild.job_dir.clear();
+  rebuild.index_snapshot_path.clear();
+  UdaGraph anon_copy = anonymized_;
+  UdaGraph aux_copy = staging_.uda();
+  StatusOr<std::unique_ptr<QueryEngine>> engine = QueryEngine::Create(
+      std::move(anon_copy), std::move(aux_copy), std::move(rebuild));
+  if (!engine.ok())
+    return Status(engine.status().code(),
+                  "epoch seal failed (still serving the previous epoch): " +
+                      std::string(engine.status().message()));
+  std::shared_ptr<const QueryEngine> fresh(
+      std::move(engine).value().release());
+  {
+    // The swap itself: queries that already copied the old pointer finish
+    // on the old epoch; everyone after this block sees the new one.
+    std::lock_guard<std::mutex> swap(epoch_mutex_);
+    current_ = std::move(fresh);
+  }
+  const uint64_t seq = epoch_seq_.fetch_add(1) + 1;
+  staged_segments_.store(0);
+  obs::IngestMetrics& metrics = obs::GetIngestMetrics();
+  metrics.epoch_seals->Increment();
+  metrics.epoch_seq->Set(static_cast<int64_t>(seq));
+  metrics.staged_segments->Set(0);
+  metrics.epoch_build_micros->Record(
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+  return Status::OK();
+}
+
+int EpochHandler::num_anonymized() const { return Engine()->num_anonymized(); }
+
+int EpochHandler::default_top_k() const { return Engine()->default_top_k(); }
+
+StatusOr<TopKAnswer> EpochHandler::TopK(const std::vector<int>& users,
+                                        int k) const {
+  return Engine()->TopK(users, k);
+}
+
+StatusOr<ScoredTopKAnswer> EpochHandler::TopKScored(
+    const std::vector<int>& users, int k) const {
+  return Engine()->TopKScored(users, k);
+}
+
+StatusOr<RefinedAnswer> EpochHandler::Refine(
+    const std::vector<int>& users) const {
+  return Engine()->Refine(users);
+}
+
+StatusOr<FilteredAnswer> EpochHandler::Filtered(
+    const std::vector<int>& users) const {
+  return Engine()->Filtered(users);
+}
+
+ShardInfoAnswer EpochHandler::ShardInfo() const {
+  ShardInfoAnswer info = Engine()->ShardInfo();
+  info.epoch_seq = epoch_seq_.load();
+  info.staged_segments = staged_segments_.load();
+  return info;
+}
+
+}  // namespace ingest
+}  // namespace dehealth

@@ -1,0 +1,298 @@
+#include "ingest/segment.h"
+
+#include <cstdio>
+#include <cstring>
+#include <type_traits>
+
+#include "common/fault_injection.h"
+#include "io/file_util.h"
+#include "obs/standard_metrics.h"
+#include "obs/trace.h"
+
+namespace dehealth {
+namespace ingest {
+
+namespace {
+
+constexpr char kMagic[4] = {'D', 'H', 'S', 'G'};
+constexpr uint32_t kVersion = 1;
+/// A post longer than this is binary garbage, not forum prose — same
+/// ceiling as the JSONL reader's line cap.
+constexpr uint32_t kMaxTextBytes = 16u << 20;
+
+uint64_t Fnv1a(const char* bytes, size_t n) {
+  uint64_t h = 1469598103934665603ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<unsigned char>(bytes[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+template <typename T>
+void Append(std::string& out, T value) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  char buf[sizeof(T)];
+  std::memcpy(buf, &value, sizeof(T));
+  out.append(buf, sizeof(T));
+}
+
+/// "delta segment 'path' (byte N): what" — like the DHIX decoder, every
+/// failure names the file (when known) and the offset where parsing
+/// stopped.
+Status DecodeError(const std::string& path, size_t offset,
+                   const std::string& what,
+                   StatusCode code = StatusCode::kInvalidArgument) {
+  std::string message = "delta segment ";
+  if (!path.empty()) message += "'" + path + "' ";
+  message += "(byte " + std::to_string(offset) + "): " + what;
+  return Status(code, std::move(message));
+}
+
+class Reader {
+ public:
+  Reader(const std::string& bytes, size_t begin, size_t end,
+         const std::string& path)
+      : bytes_(bytes), pos_(begin), end_(end), path_(path) {}
+
+  template <typename T>
+  Status Read(T* value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    if (pos_ + sizeof(T) > end_) return Fail("truncated payload");
+    std::memcpy(value, bytes_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return Status::OK();
+  }
+
+  Status Fail(const std::string& what) const {
+    return DecodeError(path_, pos_, what);
+  }
+
+  size_t pos() const { return pos_; }
+
+  bool CanHold(uint64_t count, size_t element_size) const {
+    return count <= (end_ - pos_) / element_size;
+  }
+
+  bool AtEnd() const { return pos_ == end_; }
+
+  Status ReadString(std::string* out, uint32_t length) {
+    if (pos_ + length > end_) return Fail("truncated text");
+    out->assign(bytes_.data() + pos_, length);
+    pos_ += length;
+    return Status::OK();
+  }
+
+ private:
+  const std::string& bytes_;
+  size_t pos_;
+  size_t end_;
+  const std::string& path_;
+};
+
+}  // namespace
+
+std::string EncodeSegment(const DeltaSegment& segment) {
+  std::string out(kMagic, sizeof(kMagic));
+  Append(out, kVersion);
+  const size_t payload_begin = out.size();
+
+  Append(out, segment.parent_fingerprint);
+  Append(out, segment.result_fingerprint);
+  Append(out, segment.shard_index);
+  Append(out, segment.shard_count);
+  Append(out, segment.base_posts);
+  Append(out, segment.num_users_after);
+  Append(out, segment.num_threads_after);
+  Append(out, static_cast<uint32_t>(segment.posts.size()));
+  for (const Post& post : segment.posts) {
+    Append(out, static_cast<int32_t>(post.user_id));
+    Append(out, static_cast<int32_t>(post.thread_id));
+    Append(out, static_cast<uint32_t>(post.text.size()));
+    out += post.text;
+  }
+
+  Append(out, Fnv1a(out.data() + payload_begin, out.size() - payload_begin));
+  return out;
+}
+
+StatusOr<DeltaSegment> DecodeSegment(const std::string& bytes,
+                                     const std::string& path) {
+  constexpr size_t kHeaderSize = sizeof(kMagic) + sizeof(uint32_t);
+  if (bytes.size() < kHeaderSize + sizeof(uint64_t))
+    return DecodeError(path, bytes.size(),
+                       "file shorter than header + checksum");
+  if (std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0)
+    return DecodeError(path, 0, "bad magic (not a DHSG delta segment)");
+  uint32_t version = 0;
+  std::memcpy(&version, bytes.data() + sizeof(kMagic), sizeof(version));
+  if (version > kVersion)
+    return DecodeError(path, sizeof(kMagic),
+                       "segment version " + std::to_string(version) +
+                           " is newer than this build supports (" +
+                           std::to_string(kVersion) + ")",
+                       StatusCode::kUnimplemented);
+  const size_t payload_end = bytes.size() - sizeof(uint64_t);
+  uint64_t stored_checksum = 0;
+  std::memcpy(&stored_checksum, bytes.data() + payload_end,
+              sizeof(stored_checksum));
+  const uint64_t actual_checksum =
+      Fnv1a(bytes.data() + kHeaderSize, payload_end - kHeaderSize);
+  if (stored_checksum != actual_checksum)
+    return DecodeError(path, payload_end,
+                       "checksum mismatch (file corrupted)");
+
+  Reader reader(bytes, kHeaderSize, payload_end, path);
+  DeltaSegment segment;
+  DEHEALTH_RETURN_IF_ERROR(reader.Read(&segment.parent_fingerprint));
+  DEHEALTH_RETURN_IF_ERROR(reader.Read(&segment.result_fingerprint));
+  DEHEALTH_RETURN_IF_ERROR(reader.Read(&segment.shard_index));
+  DEHEALTH_RETURN_IF_ERROR(reader.Read(&segment.shard_count));
+  DEHEALTH_RETURN_IF_ERROR(reader.Read(&segment.base_posts));
+  DEHEALTH_RETURN_IF_ERROR(reader.Read(&segment.num_users_after));
+  DEHEALTH_RETURN_IF_ERROR(reader.Read(&segment.num_threads_after));
+  if (segment.shard_count == 0)
+    return reader.Fail("shard_count must be >= 1");
+  if (segment.shard_index >= segment.shard_count)
+    return reader.Fail("shard_index out of range");
+  if (segment.num_users_after < 0 || segment.num_threads_after < 0)
+    return reader.Fail("negative universe bounds");
+  uint32_t num_posts = 0;
+  DEHEALTH_RETURN_IF_ERROR(reader.Read(&num_posts));
+  if (!reader.CanHold(num_posts, 12))
+    return reader.Fail("post count " + std::to_string(num_posts) +
+                       " exceeds remaining payload");
+  segment.posts.reserve(num_posts);
+  for (uint32_t i = 0; i < num_posts; ++i) {
+    int32_t user = 0;
+    int32_t thread = 0;
+    uint32_t text_len = 0;
+    DEHEALTH_RETURN_IF_ERROR(reader.Read(&user));
+    DEHEALTH_RETURN_IF_ERROR(reader.Read(&thread));
+    DEHEALTH_RETURN_IF_ERROR(reader.Read(&text_len));
+    if (user < 0 || user >= segment.num_users_after)
+      return reader.Fail("post user_id " + std::to_string(user) +
+                         " outside [0, " +
+                         std::to_string(segment.num_users_after) + ")");
+    if (thread < 0 || thread >= segment.num_threads_after)
+      return reader.Fail("post thread_id " + std::to_string(thread) +
+                         " outside [0, " +
+                         std::to_string(segment.num_threads_after) + ")");
+    if (text_len > kMaxTextBytes)
+      return reader.Fail("post text of " + std::to_string(text_len) +
+                         " bytes exceeds the " +
+                         std::to_string(kMaxTextBytes) + "-byte limit");
+    Post post;
+    post.user_id = user;
+    post.thread_id = thread;
+    DEHEALTH_RETURN_IF_ERROR(reader.ReadString(&post.text, text_len));
+    segment.posts.push_back(std::move(post));
+  }
+  if (!reader.AtEnd()) return reader.Fail("trailing bytes after posts");
+  return segment;
+}
+
+Status SaveSegmentFile(const DeltaSegment& segment,
+                       const std::string& path) {
+  obs::Span span("ingest", "save_segment");
+  span.SetArg("posts", static_cast<int64_t>(segment.posts.size()));
+  DEHEALTH_RETURN_IF_ERROR(InjectFaultPoint("segment.save"));
+  std::string bytes = EncodeSegment(segment);
+  // Simulated silent write corruption: the bytes that reach the disk are
+  // not the bytes we encoded. Only WriteSegmentVerified's read-back can
+  // catch this class of fault.
+  InjectDataFault("segment.write.data", &bytes);
+  return WriteStringToFileAtomic(bytes, path);
+}
+
+StatusOr<DeltaSegment> LoadSegmentFile(const std::string& path) {
+  obs::Span span("ingest", "load_segment");
+  DEHEALTH_RETURN_IF_ERROR(InjectFaultPoint("segment.load"));
+  StatusOr<std::string> bytes = ReadFileToString(path);
+  if (!bytes.ok()) return bytes.status();
+  // Simulated on-disk corruption of the segment; the checksum (or, for a
+  // very unlucky flip, the bounds checks) must turn it into a Status.
+  InjectDataFault("segment.load.data", &*bytes);
+  return DecodeSegment(*bytes, path);
+}
+
+Status WriteSegmentVerified(const DeltaSegment& segment,
+                            const std::string& path, int max_attempts) {
+  if (max_attempts < 1)
+    return Status::InvalidArgument(
+        "WriteSegmentVerified: max_attempts must be >= 1");
+  Status last;
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    DEHEALTH_RETURN_IF_ERROR(SaveSegmentFile(segment, path));
+    StatusOr<DeltaSegment> back = LoadSegmentFile(path);
+    if (back.ok() && back->result_fingerprint == segment.result_fingerprint)
+      return Status::OK();
+    last = back.ok() ? Status::Internal(
+                           "segment read back with a different result "
+                           "fingerprint (storage corrupted a valid frame)")
+                     : back.status();
+    // Quarantine the corrupt artifact for post-mortems (PR 4 contract:
+    // never delete evidence, never serve it) and recompute the write.
+    const std::string quarantine = path + ".quarantined";
+    std::remove(quarantine.c_str());
+    std::rename(path.c_str(), quarantine.c_str());
+    obs::GetIngestMetrics().quarantines->Increment();
+    std::fprintf(stderr,
+                 "warning: segment %s failed read-back verification (%s); "
+                 "quarantined to %s, rewriting\n",
+                 path.c_str(), last.message().c_str(), quarantine.c_str());
+  }
+  return Status(StatusCode::kInternal,
+                "WriteSegmentVerified: " + std::to_string(max_attempts) +
+                    " write attempts all failed read-back: " +
+                    std::string(last.message()));
+}
+
+StatusOr<DeltaSegment> CompactSegments(
+    const std::vector<DeltaSegment>& chain) {
+  obs::Span span("ingest", "compact_segments");
+  span.SetArg("segments", static_cast<int64_t>(chain.size()));
+  DEHEALTH_RETURN_IF_ERROR(InjectFaultPoint("segment.compact"));
+  if (chain.empty())
+    return Status::InvalidArgument("CompactSegments: empty chain");
+  DeltaSegment merged;
+  merged.parent_fingerprint = chain.front().parent_fingerprint;
+  merged.result_fingerprint = chain.back().result_fingerprint;
+  merged.shard_index = chain.front().shard_index;
+  merged.shard_count = chain.front().shard_count;
+  merged.base_posts = chain.front().base_posts;
+  merged.num_users_after = chain.back().num_users_after;
+  merged.num_threads_after = chain.back().num_threads_after;
+  size_t total_posts = 0;
+  for (size_t i = 0; i < chain.size(); ++i) {
+    const DeltaSegment& segment = chain[i];
+    if (segment.shard_index != merged.shard_index ||
+        segment.shard_count != merged.shard_count)
+      return Status::FailedPrecondition(
+          "CompactSegments: mixed shard identities at position " +
+          std::to_string(i) + " (segments from different slices do not "
+          "form one chain)");
+    if (i > 0) {
+      if (segment.parent_fingerprint != chain[i - 1].result_fingerprint)
+        return Status::FailedPrecondition(
+            "CompactSegments: broken chain at position " +
+            std::to_string(i) + ": parent fingerprint does not match the "
+            "previous segment's result");
+      if (segment.num_users_after < chain[i - 1].num_users_after ||
+          segment.num_threads_after < chain[i - 1].num_threads_after)
+        return Status::FailedPrecondition(
+            "CompactSegments: universe shrinks at position " +
+            std::to_string(i));
+    }
+    total_posts += segment.posts.size();
+  }
+  merged.posts.reserve(total_posts);
+  for (const DeltaSegment& segment : chain)
+    merged.posts.insert(merged.posts.end(), segment.posts.begin(),
+                        segment.posts.end());
+  obs::GetIngestMetrics().compactions->Increment();
+  return merged;
+}
+
+}  // namespace ingest
+}  // namespace dehealth

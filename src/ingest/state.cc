@@ -1,0 +1,90 @@
+#include "ingest/state.h"
+
+#include <algorithm>
+
+#include "index/candidate_index.h"
+#include "obs/standard_metrics.h"
+
+namespace dehealth {
+namespace ingest {
+
+IngestState IngestState::FromDataset(ForumDataset dataset) {
+  IngestState state;
+  state.uda_ = BuildUdaGraph(dataset);
+  state.dataset_ = std::move(dataset);
+  return state;
+}
+
+uint64_t IngestState::fingerprint() const {
+  return FingerprintForIndex(uda_);
+}
+
+Status IngestState::Advance(const std::vector<Post>& new_posts,
+                            int num_users_after, int num_threads_after) {
+  DEHEALTH_RETURN_IF_ERROR(ApplyPostsToUdaGraph(
+      &uda_, &dataset_, new_posts, num_users_after, num_threads_after));
+  obs::GetIngestMetrics().posts_applied->Increment(new_posts.size());
+  return Status::OK();
+}
+
+Status IngestState::Apply(const DeltaSegment& segment) {
+  if (segment.base_posts != dataset_.posts.size())
+    return Status::FailedPrecondition(
+        "IngestState::Apply: segment expects a parent with " +
+        std::to_string(segment.base_posts) + " posts, state has " +
+        std::to_string(dataset_.posts.size()));
+  const uint64_t current = fingerprint();
+  if (segment.parent_fingerprint != current)
+    return Status::FailedPrecondition(
+        "IngestState::Apply: segment parent fingerprint " +
+        std::to_string(segment.parent_fingerprint) +
+        " does not match the current state (" + std::to_string(current) +
+        ") — the segment was cut for a different logical forum or out of "
+        "chain order");
+  DEHEALTH_RETURN_IF_ERROR(Advance(segment.posts, segment.num_users_after,
+                                   segment.num_threads_after));
+  const uint64_t result = fingerprint();
+  if (segment.result_fingerprint != result)
+    return Status::InvalidArgument(
+        "IngestState::Apply: applied segment produced fingerprint " +
+        std::to_string(result) + " but claims " +
+        std::to_string(segment.result_fingerprint) +
+        " — the segment content does not match its manifest; discard this "
+        "state");
+  return Status::OK();
+}
+
+StatusOr<DeltaSegment> CutSegment(IngestState* state,
+                                  const std::vector<Post>& new_posts,
+                                  int num_users_after, int num_threads_after,
+                                  uint32_t shard_index,
+                                  uint32_t shard_count) {
+  if (shard_count == 0 || shard_index >= shard_count)
+    return Status::InvalidArgument(
+        "CutSegment: shard identity (" + std::to_string(shard_index) +
+        " of " + std::to_string(shard_count) + ") is invalid");
+  DeltaSegment segment;
+  segment.shard_index = shard_index;
+  segment.shard_count = shard_count;
+  segment.base_posts = state->posts();
+  segment.parent_fingerprint = state->fingerprint();
+  int users_after = std::max(num_users_after, state->dataset().num_users);
+  int threads_after =
+      std::max(num_threads_after, state->dataset().num_threads);
+  for (const Post& post : new_posts) {
+    users_after = std::max(users_after, post.user_id + 1);
+    threads_after = std::max(threads_after, post.thread_id + 1);
+  }
+  segment.num_users_after = users_after;
+  segment.num_threads_after = threads_after;
+  segment.posts = new_posts;
+  // Advance the producer's state through the same entry point the server
+  // uses, so producer and consumer fingerprints cannot diverge.
+  DEHEALTH_RETURN_IF_ERROR(
+      state->Advance(new_posts, users_after, threads_after));
+  segment.result_fingerprint = state->fingerprint();
+  return segment;
+}
+
+}  // namespace ingest
+}  // namespace dehealth

@@ -1,0 +1,69 @@
+#ifndef DEHEALTH_INGEST_STATE_H_
+#define DEHEALTH_INGEST_STATE_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "core/uda_graph.h"
+#include "datagen/corpus.h"
+#include "ingest/segment.h"
+
+namespace dehealth {
+namespace ingest {
+
+/// The accumulated auxiliary-side state a chain of delta segments grows:
+/// the forum dataset (posts in ingestion order) plus its UDA graph, kept
+/// bitwise-equal to BuildUdaGraph(dataset) after every Apply (see
+/// ApplyPostsToUdaGraph). The fingerprint pinning segments to states is
+/// FingerprintForIndex over the UDA graph — the same fingerprint DHIX
+/// snapshots and the router's universe validation use, so "the segment
+/// applies here" and "these backends serve the same universe" are one
+/// notion.
+class IngestState {
+ public:
+  /// Builds the state of a base forum (one full feature-extraction pass).
+  static IngestState FromDataset(ForumDataset dataset);
+
+  /// Applies one delta segment: validates the parent fingerprint against
+  /// the current state (FailedPrecondition on mismatch — the segment was
+  /// cut for a different state), folds the posts in incrementally, then
+  /// validates the result fingerprint (InvalidArgument on mismatch — the
+  /// segment lied about what it produces; the state is left applied, the
+  /// caller must discard it). Only the new posts' text is processed.
+  Status Apply(const DeltaSegment& segment);
+
+  /// Producer-side advance: folds posts in WITHOUT segment fingerprint
+  /// checks (CutSegment stamps the fingerprints around this). Consumers
+  /// applying untrusted segments must use Apply.
+  Status Advance(const std::vector<Post>& new_posts, int num_users_after,
+                 int num_threads_after);
+
+  /// FingerprintForIndex of the current UDA graph.
+  uint64_t fingerprint() const;
+
+  const ForumDataset& dataset() const { return dataset_; }
+  const UdaGraph& uda() const { return uda_; }
+  uint64_t posts() const { return dataset_.posts.size(); }
+
+ private:
+  ForumDataset dataset_;
+  UdaGraph uda_;
+};
+
+/// Cuts a delta segment that advances `state` by `new_posts`: stamps the
+/// parent fingerprint from the pre-apply state, applies the posts (the
+/// state IS advanced), and stamps the result fingerprint from the
+/// post-apply state. `num_users_after`/`num_threads_after` of 0 mean
+/// "grow to fit the new posts" (max id + 1, floored at the current
+/// bounds). The shard identity is stamped verbatim ((0, 1) = universal).
+StatusOr<DeltaSegment> CutSegment(IngestState* state,
+                                  const std::vector<Post>& new_posts,
+                                  int num_users_after = 0,
+                                  int num_threads_after = 0,
+                                  uint32_t shard_index = 0,
+                                  uint32_t shard_count = 1);
+
+}  // namespace ingest
+}  // namespace dehealth
+
+#endif  // DEHEALTH_INGEST_STATE_H_

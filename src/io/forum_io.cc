@@ -255,6 +255,77 @@ StatusOr<ForumDataset> ForumDatasetFromJsonl(const std::string& jsonl,
   return dataset;
 }
 
+StatusOr<std::vector<Post>> TailPostsFromJsonl(const std::string& jsonl,
+                                               size_t skip_posts,
+                                               const std::string& path) {
+  std::istringstream stream(jsonl);
+  std::string line;
+  std::vector<Post> posts;
+  size_t seen_posts = 0;
+  int line_number = 0;
+  while (std::getline(stream, line)) {
+    ++line_number;
+    if (line.size() > kMaxLineBytes)
+      return ParseError(path, line_number,
+                        "line exceeds " + std::to_string(kMaxLineBytes) +
+                            " bytes (binary garbage?)");
+    if (line.find('\0') != std::string::npos)
+      return ParseError(path, line_number,
+                        "NUL byte in input (binary garbage?)");
+    if (TrimAscii(line).empty()) continue;
+    // A full forum file starts with a header line; a tail fragment has
+    // none. Accept both by skipping anything that parses as a header.
+    if (line.find("\"num_users\"") != std::string::npos &&
+        line.find("\"user_id\"") == std::string::npos) {
+      StatusOr<int> users = FindIntValue(line, "num_users");
+      if (users.ok()) continue;
+    }
+    StatusOr<int> user = FindIntValue(line, "user_id");
+    StatusOr<int> thread = FindIntValue(line, "thread_id");
+    bool text_is_string = false;
+    StatusOr<std::string> raw_text =
+        FindRawValue(line, "text", &text_is_string);
+    if (!user.ok())
+      return ParseError(path, line_number, user.status().message());
+    if (!thread.ok())
+      return ParseError(path, line_number, thread.status().message());
+    if (!raw_text.ok())
+      return ParseError(path, line_number, raw_text.status().message());
+    if (!text_is_string)
+      return ParseError(path, line_number,
+                        "text must be a quoted JSON string");
+    if (*user < 0 || *user > kMaxHeaderCount)
+      return ParseError(path, line_number,
+                        StrFormat("user_id %d out of range", *user),
+                        StatusCode::kOutOfRange);
+    if (*thread < 0 || *thread > kMaxHeaderCount)
+      return ParseError(path, line_number,
+                        StrFormat("thread_id %d out of range", *thread),
+                        StatusCode::kOutOfRange);
+    if (seen_posts++ < skip_posts) continue;
+    StatusOr<std::string> text = UnescapeJson(*raw_text);
+    if (!text.ok())
+      return ParseError(path, line_number, text.status().message());
+    posts.push_back({*user, *thread, std::move(*text)});
+  }
+  if (seen_posts < skip_posts)
+    return ParseError(path, line_number,
+                      StrFormat("tail holds %zu posts but %zu were already "
+                                "ingested (file truncated or rotated?)",
+                                seen_posts, skip_posts));
+  return posts;
+}
+
+StatusOr<std::vector<Post>> LoadTailPosts(const std::string& path,
+                                          size_t skip_posts) {
+  StatusOr<std::string> content = ReadFileToString(path);
+  if (!content.ok()) return content.status();
+  // Simulated on-disk corruption of the tail file; the parser must fail
+  // with a path+line Status, never ingest garbage posts.
+  InjectDataFault("forum.tail.data", &*content);
+  return TailPostsFromJsonl(*content, skip_posts, path);
+}
+
 Status SaveForumDataset(const ForumDataset& dataset,
                         const std::string& path) {
   return WriteStringToFile(ForumDatasetToJsonl(dataset), path);

@@ -33,6 +33,24 @@ Status SaveForumDataset(const ForumDataset& dataset,
                         const std::string& path);
 StatusOr<ForumDataset> LoadForumDataset(const std::string& path);
 
+/// Streaming-ingest tail reader: parses a JSONL fragment containing ONLY
+/// post lines (no header — the tail of a growing forum file, or a
+/// standalone append file). `skip_posts` post lines are consumed without
+/// being returned, so a caller tailing the same file repeatedly passes the
+/// number of posts it has already ingested and receives just the new ones.
+/// Ids are validated as non-negative (upper bounds belong to the caller,
+/// who knows the grown universe); text hardening matches
+/// ForumDatasetFromJsonl. A line that parses as a header
+/// ({"num_users":...}) is skipped, so tailing a full forum file works too.
+StatusOr<std::vector<Post>> TailPostsFromJsonl(const std::string& jsonl,
+                                               size_t skip_posts = 0,
+                                               const std::string& path = "");
+
+/// File wrapper for TailPostsFromJsonl, with fault site
+/// `forum.tail.data` on the bytes read.
+StatusOr<std::vector<Post>> LoadTailPosts(const std::string& path,
+                                          size_t skip_posts = 0);
+
 /// JSON string escaping/unescaping used by the JSONL codec (exposed for
 /// testing). EscapeJson handles quotes, backslashes, and control
 /// characters; UnescapeJson fails on invalid escapes.

@@ -89,6 +89,32 @@ const MetricDef kJobQuarantines = {
     "dehealth_job_quarantines_total", MetricType::kCounter, "files", "job",
     "Corrupt checkpoint files quarantined during resume"};
 
+// ---- ingest ----
+const MetricDef kIngestSegmentsLoaded = {
+    "dehealth_ingest_segments_loaded_total", MetricType::kCounter, "1",
+    "ingest", "DHSG delta segments staged into the pending epoch"};
+const MetricDef kIngestPostsApplied = {
+    "dehealth_ingest_posts_applied_total", MetricType::kCounter, "posts",
+    "ingest", "Posts applied incrementally from delta segments"};
+const MetricDef kIngestEpochSeals = {
+    "dehealth_ingest_epoch_seals_total", MetricType::kCounter, "1", "ingest",
+    "Epoch seals: staged state rebuilt into a serving engine and swapped"};
+const MetricDef kIngestEpochSeq = {
+    "dehealth_ingest_epoch_seq", MetricType::kGauge, "1", "ingest",
+    "Current serving epoch sequence number (0 = boot epoch)"};
+const MetricDef kIngestStagedSegments = {
+    "dehealth_ingest_staged_segments", MetricType::kGauge, "segments",
+    "ingest", "Delta segments staged but not yet sealed into an epoch"};
+const MetricDef kIngestEpochBuildMicros = {
+    "dehealth_ingest_epoch_build_micros", MetricType::kHistogram, "us",
+    "ingest", "Time to rebuild the query engine at an epoch seal"};
+const MetricDef kIngestQuarantines = {
+    "dehealth_ingest_quarantines_total", MetricType::kCounter, "files",
+    "ingest", "Corrupt DHSG segment files quarantined"};
+const MetricDef kIngestCompactions = {
+    "dehealth_ingest_compactions_total", MetricType::kCounter, "1", "ingest",
+    "Segment chains merged by LSM-style compaction"};
+
 // ---- serve ----
 const MetricDef kServeRequests = {
     "dehealth_serve_requests_total", MetricType::kCounter, "1", "serve",
@@ -140,7 +166,11 @@ const std::vector<const MetricDef*>& AllMetricDefs() {
           &kShardMergeMicros,    &kShardBackendLatency,
           &kShardSnapshotQuarantines,
           &kJobShardsLoaded,     &kJobShardsComputed,
-          &kJobQuarantines,      &kServeRequests,
+          &kJobQuarantines,      &kIngestSegmentsLoaded,
+          &kIngestPostsApplied,  &kIngestEpochSeals,
+          &kIngestEpochSeq,      &kIngestStagedSegments,
+          &kIngestEpochBuildMicros, &kIngestQuarantines,
+          &kIngestCompactions,   &kServeRequests,
           &kServeQueries,        &kServeBatches,
           &kServeBatchSizeMax,   &kServeOverloaded,
           &kServeDeadlineExpired, &kServeQueueDepth,
@@ -209,6 +239,23 @@ JobMetrics& GetJobMetrics() {
         r.GetCounter(kJobShardsLoaded),
         r.GetCounter(kJobShardsComputed),
         r.GetCounter(kJobQuarantines),
+    };
+  }();
+  return *metrics;
+}
+
+IngestMetrics& GetIngestMetrics() {
+  static IngestMetrics* metrics = [] {
+    Registry& r = Registry::Global();
+    return new IngestMetrics{
+        r.GetCounter(kIngestSegmentsLoaded),
+        r.GetCounter(kIngestPostsApplied),
+        r.GetCounter(kIngestEpochSeals),
+        r.GetGauge(kIngestEpochSeq),
+        r.GetGauge(kIngestStagedSegments),
+        r.GetHistogram(kIngestEpochBuildMicros),
+        r.GetCounter(kIngestQuarantines),
+        r.GetCounter(kIngestCompactions),
     };
   }();
   return *metrics;

@@ -49,6 +49,16 @@ extern const MetricDef kJobShardsLoaded;
 extern const MetricDef kJobShardsComputed;
 extern const MetricDef kJobQuarantines;
 
+// ---- ingest: DHSG delta segments + epoch swaps ----
+extern const MetricDef kIngestSegmentsLoaded;
+extern const MetricDef kIngestPostsApplied;
+extern const MetricDef kIngestEpochSeals;
+extern const MetricDef kIngestEpochSeq;
+extern const MetricDef kIngestStagedSegments;
+extern const MetricDef kIngestEpochBuildMicros;
+extern const MetricDef kIngestQuarantines;
+extern const MetricDef kIngestCompactions;
+
 // ---- serve: request lifecycle of the query service ----
 extern const MetricDef kServeRequests;
 extern const MetricDef kServeQueries;
@@ -114,6 +124,21 @@ struct JobMetrics {
   Counter* quarantines;
 };
 JobMetrics& GetJobMetrics();
+
+/// Streaming-ingestion metrics. The epoch gauges (epoch_seq,
+/// staged_segments) are what the router re-exports per backend on its
+/// kMetrics scrape.
+struct IngestMetrics {
+  Counter* segments_loaded;
+  Counter* posts_applied;
+  Counter* epoch_seals;
+  Gauge* epoch_seq;
+  Gauge* staged_segments;
+  Histogram* epoch_build_micros;
+  Counter* quarantines;
+  Counter* compactions;
+};
+IngestMetrics& GetIngestMetrics();
 
 /// Registers every standard metric into `registry` (idempotent). The docs
 /// test uses this to enumerate the full exported surface; a process does

@@ -178,6 +178,22 @@ StatusOr<std::string> QueryClient::Metrics() {
   return RoundTrip(RequestType::kMetrics, std::string(), /*retryable=*/true);
 }
 
+StatusOr<ShardInfoAnswer> QueryClient::LoadSegment(
+    const std::string& segment_path) {
+  StatusOr<std::string> payload =
+      RoundTrip(RequestType::kLoadSegment,
+                EncodeLoadSegmentPayload(segment_path), /*retryable=*/false);
+  if (!payload.ok()) return payload.status();
+  return DecodeShardInfoPayload(*payload);
+}
+
+StatusOr<ShardInfoAnswer> QueryClient::SealEpoch() {
+  StatusOr<std::string> payload =
+      RoundTrip(RequestType::kSealEpoch, std::string(), /*retryable=*/false);
+  if (!payload.ok()) return payload.status();
+  return DecodeShardInfoPayload(*payload);
+}
+
 Status QueryClient::RequestShutdown() {
   StatusOr<std::string> payload =
       RoundTrip(RequestType::kShutdown, std::string(), /*retryable=*/false);

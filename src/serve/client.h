@@ -79,6 +79,16 @@ class QueryClient {
   /// format (see docs/METRICS.md). Never queued, like Stats().
   StatusOr<std::string> Metrics();
 
+  /// Streaming-ingestion admin (kLoadSegment / kSealEpoch; never queued).
+  /// Both answer the server's post-op ShardInfo — epoch_seq and
+  /// staged_segments show the effect immediately. NOT retried: segment
+  /// application mutates server state, and resending after an ambiguous
+  /// failure could double-apply (the server's parent-fingerprint check
+  /// would refuse, but the caller should see that refusal, not a retry
+  /// loop). `segment_path` is a path on the SERVER's filesystem.
+  StatusOr<ShardInfoAnswer> LoadSegment(const std::string& segment_path);
+  StatusOr<ShardInfoAnswer> SealEpoch();
+
   /// Asks the server to drain and exit; returns once the server acked.
   /// Never retried: a dead connection after sending probably means the
   /// shutdown took, and resending to a restarted server would kill it too.

@@ -37,6 +37,26 @@ class QueryHandler {
       const std::vector<int>& users) const = 0;
   /// Shard identity (trivially shard 0 of 1 for an unsharded engine).
   virtual ShardInfoAnswer ShardInfo() const = 0;
+
+  /// Streaming-ingestion admin surface (kLoadSegment / kSealEpoch). Called
+  /// from connection reader threads, NOT the executor — implementations
+  /// that support epochs (ingest::EpochHandler) serialize admin ops behind
+  /// their own mutex while queries proceed on the current epoch. The
+  /// default refuses: a plain engine or router has no mutable epoch.
+  virtual Status LoadSegment(const std::string& segment_path) const {
+    (void)segment_path;
+    return Status::Unimplemented(
+        "this server was not started with --ingest (no epoch state)");
+  }
+  virtual Status SealEpoch() const {
+    return Status::Unimplemented(
+        "this server was not started with --ingest (no epoch state)");
+  }
+
+  /// Extra Prometheus exposition lines appended to the server's own
+  /// registry render on kMetrics — how the router re-exports its backends'
+  /// ingest gauges. Empty for handlers with nothing to forward.
+  virtual std::string ForwardedMetrics() const { return std::string(); }
 };
 
 }  // namespace dehealth

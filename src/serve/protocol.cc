@@ -305,6 +305,8 @@ std::string EncodeShardInfoPayload(const ShardInfoAnswer& answer) {
   PutU64(out, answer.universe_fingerprint);
   PutU64(out, answer.num_anonymized);
   PutU64(out, answer.default_top_k);
+  PutU64(out, answer.epoch_seq);
+  PutU64(out, answer.staged_segments);
   return out;
 }
 
@@ -318,12 +320,35 @@ StatusOr<ShardInfoAnswer> DecodeShardInfoPayload(const std::string& payload) {
   DEHEALTH_RETURN_IF_ERROR(reader.ReadU64(&answer.universe_fingerprint));
   DEHEALTH_RETURN_IF_ERROR(reader.ReadU64(&answer.num_anonymized));
   DEHEALTH_RETURN_IF_ERROR(reader.ReadU64(&answer.default_top_k));
+  DEHEALTH_RETURN_IF_ERROR(reader.ReadU64(&answer.epoch_seq));
+  DEHEALTH_RETURN_IF_ERROR(reader.ReadU64(&answer.staged_segments));
   DEHEALTH_RETURN_IF_ERROR(reader.ExpectEnd());
   if (answer.shard_count == 0)
     return Status::InvalidArgument("DHQP: shard_count must be >= 1");
   if (answer.shard_index >= answer.shard_count)
     return Status::InvalidArgument("DHQP: shard_index out of range");
   return answer;
+}
+
+std::string EncodeLoadSegmentPayload(const std::string& segment_path) {
+  std::string out;
+  PutU32(out, static_cast<uint32_t>(segment_path.size()));
+  out += segment_path;
+  return out;
+}
+
+StatusOr<std::string> DecodeLoadSegmentPayload(const std::string& payload) {
+  PayloadReader reader(payload);
+  uint32_t length = 0;
+  DEHEALTH_RETURN_IF_ERROR(reader.ReadCount(1, &length));
+  if (payload.size() != 4 + static_cast<size_t>(length))
+    return reader.Fail("segment path length mismatch");
+  std::string path = payload.substr(4, length);
+  if (path.empty())
+    return Status::InvalidArgument("DHQP: kLoadSegment path is empty");
+  if (path.find('\0') != std::string::npos)
+    return Status::InvalidArgument("DHQP: kLoadSegment path has NUL byte");
+  return path;
 }
 
 std::string EncodeRefinedPayload(const RefinedAnswer& answer) {

@@ -41,6 +41,13 @@ enum class RequestType : uint8_t {
   /// router surfaces — no version bump needed for an additive type.
   kTopKScored = 7,  // kTopK keeping exact scores (what a router merges)
   kShardInfo = 8,   // shard identity + universe fingerprint (bypasses queue)
+  /// Streaming-ingestion admin messages (additive, still version 1).
+  /// Both bypass the request queue like kShardInfo: they are handled on
+  /// the connection's reader thread, so a rebuild never blocks queries —
+  /// in-flight queries keep the old epoch alive through its shared_ptr.
+  /// Both answer kOk with a ShardInfo payload (the post-op epoch state).
+  kLoadSegment = 9,  // stage + apply one DHSG delta segment (payload: path)
+  kSealEpoch = 10,   // rebuild the engine from staged state, swap epochs
 };
 
 /// Server-to-client frame types.
@@ -98,6 +105,13 @@ struct ShardInfoAnswer {
   uint64_t universe_fingerprint = 0;
   uint64_t num_anonymized = 0;
   uint64_t default_top_k = 0;
+  /// Streaming-ingestion epoch state: how many seals this server has
+  /// performed (0 = the boot epoch, or a server without --ingest) and how
+  /// many delta segments are staged but not yet sealed. The router refuses
+  /// a fleet whose backends disagree on epoch_seq unless
+  /// --allow-epoch-skew: mixed epochs serve from different logical forums.
+  uint64_t epoch_seq = 0;
+  uint64_t staged_segments = 0;
 };
 
 /// Answer to kRefined: entry i belongs to users[i]; predictions use the
@@ -152,6 +166,13 @@ StatusOr<ScoredTopKAnswer> DecodeScoredTopKPayload(
 
 std::string EncodeShardInfoPayload(const ShardInfoAnswer& answer);
 StatusOr<ShardInfoAnswer> DecodeShardInfoPayload(const std::string& payload);
+
+/// kLoadSegment carries the server-local path of the DHSG segment to
+/// stage: u32 length | bytes. (The segment file itself is read by the
+/// server — payloads stay small and the checksummed DHSG codec, not DHQP,
+/// validates the content.)
+std::string EncodeLoadSegmentPayload(const std::string& segment_path);
+StatusOr<std::string> DecodeLoadSegmentPayload(const std::string& payload);
 
 std::string EncodeRefinedPayload(const RefinedAnswer& answer);
 StatusOr<RefinedAnswer> DecodeRefinedPayload(const std::string& payload);

@@ -122,14 +122,38 @@ void QueryServer::ConnectionLoop(UniqueFd fd) {
     if (type == static_cast<uint8_t>(RequestType::kMetrics)) {
       // Prometheus text exposition of every metric in the server's
       // registry; like kStats it bypasses the queue, so scrapes keep
-      // working while the executor is saturated.
-      WriteFrame(raw_fd, kOkByte, metrics_.registry().RenderPrometheus());
+      // working while the executor is saturated. Handlers with remote
+      // state (the router) append re-exported backend lines.
+      WriteFrame(raw_fd, kOkByte, metrics_.registry().RenderPrometheus() +
+                                      engine_->ForwardedMetrics());
       continue;
     }
     if (type == static_cast<uint8_t>(RequestType::kShardInfo)) {
       // Topology metadata is precomputed state, not engine work — answer
       // from the reader thread like kStats, so a router can validate its
       // backends even while their executors are busy.
+      WriteFrame(raw_fd, kOkByte,
+                 EncodeShardInfoPayload(engine_->ShardInfo()));
+      continue;
+    }
+    if (type == static_cast<uint8_t>(RequestType::kLoadSegment) ||
+        type == static_cast<uint8_t>(RequestType::kSealEpoch)) {
+      // Epoch administration runs on the reader thread, never the
+      // executor: queries keep draining on the current epoch while a
+      // segment is staged or a rebuild runs (see ingest::EpochHandler).
+      // The answer is the post-op ShardInfo so the admin client sees the
+      // new epoch_seq / staged-segment count without a second round trip.
+      Status admin;
+      if (type == static_cast<uint8_t>(RequestType::kLoadSegment)) {
+        StatusOr<std::string> path = DecodeLoadSegmentPayload(payload);
+        admin = path.ok() ? engine_->LoadSegment(*path) : path.status();
+      } else {
+        admin = engine_->SealEpoch();
+      }
+      if (!admin.ok()) {
+        WriteFrame(raw_fd, kErrorByte, EncodeErrorPayload(admin));
+        continue;
+      }
       WriteFrame(raw_fd, kOkByte,
                  EncodeShardInfoPayload(engine_->ShardInfo()));
       continue;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <limits>
+#include <mutex>
 #include <utility>
 
 #include "common/fault_injection.h"
@@ -32,6 +34,31 @@ obs::Histogram* BackendLatencyHistogram(obs::Registry& registry, int index) {
   obs::MetricDef def{name->c_str(), obs::MetricType::kHistogram, "us",
                      "shard", help->c_str()};
   return registry.GetHistogram(def);
+}
+
+/// Per-backend gauge, same leaked-def pattern as the latency histogram.
+obs::Gauge* BackendGauge(obs::Registry& registry, int index,
+                         const std::string& what, const std::string& help) {
+  auto* name = new std::string("dehealth_shard_backend" +
+                               std::to_string(index) + "_" + what);
+  auto* help_text =
+      new std::string(help + " of shard backend " + std::to_string(index));
+  obs::MetricDef def{name->c_str(), obs::MetricType::kGauge, "1", "shard",
+                     help_text->c_str()};
+  return registry.GetGauge(def);
+}
+
+/// Re-labels one Prometheus sample line with {backend="i"} — inserted into
+/// an existing label set when the sample already carries one.
+std::string LabelSample(const std::string& line, size_t backend) {
+  const std::string label = "backend=\"" + std::to_string(backend) + "\"";
+  const size_t brace = line.find('{');
+  const size_t space = line.find(' ');
+  if (brace != std::string::npos && (space == std::string::npos ||
+                                     brace < space))
+    return line.substr(0, brace + 1) + label + "," + line.substr(brace + 1);
+  if (space == std::string::npos) return line;  // malformed; pass through
+  return line.substr(0, space) + "{" + label + "}" + line.substr(space);
 }
 
 }  // namespace
@@ -81,9 +108,20 @@ RouterHandler::RouterHandler(std::vector<Backend> backends,
       options_.registry != nullptr ? *options_.registry
                                    : obs::Registry::Global();
   metrics_ = obs::BindShardMetrics(registry);
-  for (size_t i = 0; i < backends_.size(); ++i)
+  for (size_t i = 0; i < backends_.size(); ++i) {
     backends_[i].latency =
         BackendLatencyHistogram(registry, static_cast<int>(i));
+    backends_[i].epoch_seq = BackendGauge(
+        registry, static_cast<int>(i), "epoch_seq", "Ingest epoch sequence");
+    backends_[i].staged_segments =
+        BackendGauge(registry, static_cast<int>(i), "staged_segments",
+                     "Unsealed staged delta segments");
+    backends_[i].epoch_seq->Set(
+        static_cast<int64_t>(backends_[i].info.epoch_seq));
+    backends_[i].staged_segments->Set(
+        static_cast<int64_t>(backends_[i].info.staged_segments));
+    epoch_seq_ = std::max(epoch_seq_, backends_[i].info.epoch_seq);
+  }
   num_anonymized_ =
       static_cast<int>(backends_.front().info.num_anonymized);
   default_top_k_ = static_cast<int>(backends_.front().info.default_top_k);
@@ -141,12 +179,28 @@ StatusOr<std::unique_ptr<RouterHandler>> RouterHandler::Connect(
           std::to_string(info.shard_index) + " of " +
           std::to_string(info.shard_count) + ", but " +
           std::to_string(n) + " backends are configured");
-    if (info.universe_fingerprint != head.universe_fingerprint ||
-        info.shard_total != head.shard_total)
+    if (info.shard_total != head.shard_total)
       return Status::FailedPrecondition(
           "RouterHandler: backend " + where +
-          " serves a different auxiliary universe (fingerprint/size "
-          "mismatch) — refusing to merge");
+          " serves a different-sized auxiliary universe — refusing to "
+          "merge (scatter ranges would not partition either universe)");
+    if (info.universe_fingerprint != head.universe_fingerprint) {
+      // Sealing an ingest epoch rewrites the aux content, so a fleet
+      // mid-rollout legitimately shows mixed fingerprints at equal size.
+      // Only --allow-epoch-skew accepts that; the merged answers are then
+      // transitional, not bitwise-reproducible.
+      if (!options.allow_epoch_skew)
+        return Status::FailedPrecondition(
+            "RouterHandler: backend " + where +
+            " serves a different auxiliary universe (fingerprint "
+            "mismatch) — refusing to merge (pass --allow-epoch-skew if "
+            "this fleet is mid-epoch-rollout)");
+      std::fprintf(stderr,
+                   "[dehealth_router] warning: backend %s universe "
+                   "fingerprint differs from the first backend "
+                   "(--allow-epoch-skew; merged answers are transitional)\n",
+                   where.c_str());
+    }
     if (info.num_anonymized != head.num_anonymized)
       return Status::FailedPrecondition(
           "RouterHandler: backend " + where +
@@ -155,6 +209,22 @@ StatusOr<std::unique_ptr<RouterHandler>> RouterHandler::Connect(
       return Status::FailedPrecondition(
           "RouterHandler: backend " + where +
           " is configured with a different default K");
+    // Mixed ingest epochs mean the backends sealed different segment
+    // chains — different logical forums. The fingerprint check above
+    // usually fires first (sealing changes the universe fingerprint), but
+    // epoch_seq names the actionable condition: a rollout mid-flight.
+    if (info.epoch_seq != head.epoch_seq) {
+      const std::string skew =
+          "RouterHandler: backend " + where + " is at ingest epoch " +
+          std::to_string(info.epoch_seq) + " but the first backend is at " +
+          std::to_string(head.epoch_seq);
+      if (!options.allow_epoch_skew)
+        return Status::FailedPrecondition(
+            skew + " — mixed-epoch fleet refused (pass --allow-epoch-skew "
+                   "to serve through a rollout)");
+      std::fprintf(stderr, "[dehealth_router] warning: %s "
+                           "(--allow-epoch-skew)\n", skew.c_str());
+    }
     const size_t index = info.shard_index;
     if (index >= static_cast<size_t>(n) || claimed[index])
       return Status::FailedPrecondition(
@@ -305,7 +375,60 @@ ShardInfoAnswer RouterHandler::ShardInfo() const {
   info.universe_fingerprint = universe_fingerprint_;
   info.num_anonymized = static_cast<uint64_t>(num_anonymized_);
   info.default_top_k = static_cast<uint64_t>(default_top_k_);
+  info.epoch_seq = epoch_seq_;
   return info;
+}
+
+std::string RouterHandler::ForwardedMetrics() const {
+  std::lock_guard<std::mutex> lock(scrape_mutex_);
+  std::string out = "# router: per-backend ingest metrics (label backend=shard index)\n";
+  bool described = false;
+  for (size_t i = 0; i < backends_.size(); ++i) {
+    const Backend& backend = backends_[i];
+    const std::string where = backend.address.host + ":" +
+                              std::to_string(backend.address.port);
+    // Fresh fail-fast connection per scrape: the scatter client belongs to
+    // the executor thread, and a scrape must not stall behind retry
+    // backoff while a shard restarts.
+    RetryPolicy fail_fast;
+    StatusOr<QueryClient> client = QueryClient::Connect(
+        backend.address.host, backend.address.port, fail_fast);
+    if (!client.ok()) {
+      out += "# backend " + std::to_string(i) + " (" + where +
+             ") unreachable: " + client.status().message() + "\n";
+      continue;
+    }
+    StatusOr<ShardInfoAnswer> info = client->ShardInfo();
+    if (info.ok()) {
+      backend.epoch_seq->Set(static_cast<int64_t>(info->epoch_seq));
+      backend.staged_segments->Set(
+          static_cast<int64_t>(info->staged_segments));
+    }
+    StatusOr<std::string> render = client->Metrics();
+    if (!render.ok()) {
+      out += "# backend " + std::to_string(i) + " (" + where +
+             ") scrape failed: " + render.status().message() + "\n";
+      continue;
+    }
+    // Re-export only the ingest subsystem, labeled per backend. HELP/TYPE
+    // headers come from the first backend that renders them — every
+    // backend shares the metric definitions.
+    size_t pos = 0;
+    while (pos < render->size()) {
+      size_t end = render->find('\n', pos);
+      if (end == std::string::npos) end = render->size();
+      const std::string line = render->substr(pos, end - pos);
+      pos = end + 1;
+      if (line.rfind("dehealth_ingest_", 0) == 0) {
+        out += LabelSample(line, i) + "\n";
+      } else if (!described && line.rfind("# ", 0) == 0 &&
+                 line.find(" dehealth_ingest_") != std::string::npos) {
+        out += line + "\n";
+      }
+    }
+    described = true;
+  }
+  return out;
 }
 
 }  // namespace dehealth

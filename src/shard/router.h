@@ -2,6 +2,7 @@
 #define DEHEALTH_SHARD_ROUTER_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -33,6 +34,13 @@ struct RouterOptions {
   /// Unavailable. Default is graceful degradation — answers merged from
   /// the reachable shards go out as kPartial frames.
   bool require_all_shards = false;
+  /// Streaming ingestion: by default Connect refuses a fleet whose
+  /// backends report different epoch_seq values — mixed epochs mean the
+  /// backends sealed different segment chains and serve different logical
+  /// forums (the universe-fingerprint check would usually also fire, but
+  /// epoch skew is the actionable diagnosis). --allow-epoch-skew downgrades
+  /// the refusal to a stderr warning for mid-rollout fleets.
+  bool allow_epoch_skew = false;
   /// Registry the shard scatter/merge metrics record into; nullptr binds
   /// Registry::Global().
   obs::Registry* registry = nullptr;
@@ -77,8 +85,18 @@ class RouterHandler final : public QueryHandler {
   /// The merged universe: the router presents itself as shard 0 of 1.
   ShardInfoAnswer ShardInfo() const override;
 
+  /// Forwarded kMetrics scrape: connects to every backend (fresh admin
+  /// connections — the scatter clients belong to the executor thread and
+  /// this runs on reader threads), pulls its Prometheus render, and
+  /// re-exports the `dehealth_ingest_*` lines labeled {backend="i"}, plus
+  /// per-backend epoch/staged-segment gauges in the router's own registry.
+  /// An unreachable backend becomes a comment line, never an error — a
+  /// scrape must not fail because one shard is mid-restart.
+  std::string ForwardedMetrics() const override;
+
   int num_backends() const { return static_cast<int>(backends_.size()); }
   uint64_t universe_size() const { return universe_size_; }
+  uint64_t epoch_seq() const { return epoch_seq_; }
 
  private:
   struct Backend {
@@ -89,6 +107,8 @@ class RouterHandler final : public QueryHandler {
     /// scatter task touches exactly one backend.
     mutable QueryClient client;
     mutable obs::Histogram* latency = nullptr;  // per-backend, router registry
+    mutable obs::Gauge* epoch_seq = nullptr;
+    mutable obs::Gauge* staged_segments = nullptr;
   };
 
   RouterHandler(std::vector<Backend> backends, RouterOptions options);
@@ -97,10 +117,15 @@ class RouterHandler final : public QueryHandler {
   std::vector<Backend> backends_;
   RouterOptions options_;
   obs::ShardMetrics metrics_;
+  /// Serializes ForwardedMetrics scrapes (reader threads).
+  mutable std::mutex scrape_mutex_;
   int num_anonymized_ = 0;
   int default_top_k_ = 0;
   uint64_t universe_size_ = 0;
   uint64_t universe_fingerprint_ = 0;
+  /// The fleet's epoch at connect time (backends agree, or
+  /// allow_epoch_skew accepted the max with a warning).
+  uint64_t epoch_seq_ = 0;
 };
 
 }  // namespace dehealth

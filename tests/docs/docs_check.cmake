@@ -27,6 +27,7 @@ set(flag_sources
   "${SOURCE_DIR}/examples/dehealth_serve.cpp"
   "${SOURCE_DIR}/examples/dehealth_query.cpp"
   "${SOURCE_DIR}/examples/dehealth_router.cpp"
+  "${SOURCE_DIR}/examples/dehealth_ingest.cpp"
   "${SOURCE_DIR}/src/serve/options.cc")
 
 set(all_flags "")

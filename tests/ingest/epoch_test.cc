@@ -1,0 +1,277 @@
+// EpochHandler semantics: staged segments leave served answers
+// bitwise-stable, a seal swaps epochs without failing concurrent queries,
+// and every refusal path (bad shard identity, stale parent, corrupt file)
+// fails closed while the old epoch keeps serving.
+
+#include "ingest/epoch.h"
+
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/uda_graph.h"
+#include "datagen/forum_generator.h"
+#include "datagen/split.h"
+#include "ingest/segment.h"
+#include "ingest/state.h"
+#include "serve/engine.h"
+
+namespace dehealth {
+namespace ingest {
+namespace {
+
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name) : path_("/tmp/" + name) {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".quarantined").c_str());
+  }
+  ~TempFile() {
+    std::remove(path_.c_str());
+    std::remove((path_ + ".quarantined").c_str());
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+struct Fixture {
+  ForumDataset anonymized;
+  ForumDataset base;          // aux prefix the server boots on
+  std::vector<Post> tail;     // aux posts that arrive later
+  ForumDataset full;          // base + tail
+};
+
+Fixture MakeFixture(int num_users, uint64_t seed) {
+  ForumConfig config;
+  config.num_users = num_users;
+  config.seed = seed;
+  config.style.vocabulary_size = 300;
+  auto forum = GenerateForum(config);
+  EXPECT_TRUE(forum.ok());
+  auto split = MakeClosedWorldScenario(forum->dataset, 0.5, 5);
+  EXPECT_TRUE(split.ok());
+
+  Fixture f;
+  f.anonymized = std::move(split->anonymized);
+  f.full = split->auxiliary;
+  const size_t cut = f.full.posts.size() / 2;
+  f.base.num_users = f.full.num_users;
+  f.base.num_threads = f.full.num_threads;
+  f.base.posts.assign(f.full.posts.begin(),
+                      f.full.posts.begin() + static_cast<long>(cut));
+  f.tail.assign(f.full.posts.begin() + static_cast<long>(cut),
+                f.full.posts.end());
+  return f;
+}
+
+DeHealthConfig SmallConfig() {
+  DeHealthConfig config;
+  config.top_k = 3;
+  config.num_threads = 2;
+  return config;
+}
+
+std::vector<int> AllUsers(const QueryHandler& handler) {
+  std::vector<int> users(static_cast<size_t>(handler.num_anonymized()));
+  for (size_t i = 0; i < users.size(); ++i) users[i] = static_cast<int>(i);
+  return users;
+}
+
+std::string Witness(const QueryHandler& handler) {
+  auto answer = handler.TopKScored(AllUsers(handler), 3);
+  EXPECT_TRUE(answer.ok()) << answer.status().ToString();
+  std::string witness;
+  for (const auto& list : answer->candidates)
+    for (const ScoredUser& c : list) {
+      uint64_t bits = 0;
+      __builtin_memcpy(&bits, &c.score, sizeof(bits));
+      witness += std::to_string(c.user) + ":" + std::to_string(bits) + " ";
+    }
+  return witness;
+}
+
+/// A segment advancing `base` by `tail`, written to `path`.
+DeltaSegment CutTailSegment(const Fixture& f, const std::string& path) {
+  IngestState state = IngestState::FromDataset(f.base);
+  auto segment = CutSegment(&state, f.tail);
+  EXPECT_TRUE(segment.ok()) << segment.status().ToString();
+  EXPECT_TRUE(WriteSegmentVerified(*segment, path).ok());
+  return std::move(segment).value();
+}
+
+std::unique_ptr<EpochHandler> MakeHandler(const Fixture& f,
+                                          DeHealthConfig config) {
+  auto handler = EpochHandler::Create(BuildUdaGraph(f.anonymized), f.base,
+                                      std::move(config));
+  EXPECT_TRUE(handler.ok()) << handler.status().ToString();
+  return std::move(handler).value();
+}
+
+TEST(EpochHandlerTest, BootEpochMatchesPlainEngine) {
+  const Fixture f = MakeFixture(12, 7);
+  auto handler = MakeHandler(f, SmallConfig());
+  auto engine = QueryEngine::Create(BuildUdaGraph(f.anonymized),
+                                    BuildUdaGraph(f.base), SmallConfig());
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ(Witness(*handler), Witness(**engine));
+  EXPECT_EQ(handler->epoch_seq(), 0u);
+  EXPECT_EQ(handler->staged_segments(), 0u);
+  EXPECT_EQ(handler->ShardInfo().epoch_seq, 0u);
+}
+
+TEST(EpochHandlerTest, StagedSegmentLeavesAnswersBitwiseStable) {
+  const Fixture f = MakeFixture(12, 7);
+  TempFile segment_file("epoch_staged.dhsg");
+  CutTailSegment(f, segment_file.path());
+  auto handler = MakeHandler(f, SmallConfig());
+
+  const std::string before = Witness(*handler);
+  ASSERT_TRUE(handler->LoadSegment(segment_file.path()).ok());
+  EXPECT_EQ(handler->staged_segments(), 1u);
+  EXPECT_EQ(handler->epoch_seq(), 0u);
+  // Staging is invisible to queries until the seal.
+  EXPECT_EQ(Witness(*handler), before);
+}
+
+TEST(EpochHandlerTest, SealSwapsToTheGrownUniverse) {
+  const Fixture f = MakeFixture(12, 7);
+  TempFile segment_file("epoch_seal.dhsg");
+  CutTailSegment(f, segment_file.path());
+  auto handler = MakeHandler(f, SmallConfig());
+  ASSERT_TRUE(handler->LoadSegment(segment_file.path()).ok());
+  ASSERT_TRUE(handler->SealEpoch().ok());
+  EXPECT_EQ(handler->epoch_seq(), 1u);
+  EXPECT_EQ(handler->staged_segments(), 0u);
+
+  // The sealed epoch answers exactly like an engine built from scratch
+  // over the full dataset.
+  auto full_engine = QueryEngine::Create(
+      BuildUdaGraph(f.anonymized), BuildUdaGraph(f.full), SmallConfig());
+  ASSERT_TRUE(full_engine.ok());
+  EXPECT_EQ(Witness(*handler), Witness(**full_engine));
+  // The universe fingerprint moved — this is what the router detects.
+  EXPECT_EQ(handler->ShardInfo().universe_fingerprint,
+            (*full_engine)->ShardInfo().universe_fingerprint);
+}
+
+TEST(EpochHandlerTest, SealWithoutStagedSegmentsStillIncrementsEpoch) {
+  const Fixture f = MakeFixture(10, 9);
+  auto handler = MakeHandler(f, SmallConfig());
+  const std::string before = Witness(*handler);
+  ASSERT_TRUE(handler->SealEpoch().ok());
+  EXPECT_EQ(handler->epoch_seq(), 1u);
+  EXPECT_EQ(Witness(*handler), before);
+}
+
+TEST(EpochHandlerTest, MissingSegmentFileIsNotFound) {
+  const Fixture f = MakeFixture(10, 9);
+  auto handler = MakeHandler(f, SmallConfig());
+  Status loaded = handler->LoadSegment("/tmp/no_such_segment.dhsg");
+  EXPECT_EQ(loaded.code(), StatusCode::kNotFound);
+  EXPECT_EQ(handler->staged_segments(), 0u);
+}
+
+TEST(EpochHandlerTest, CorruptSegmentIsQuarantined) {
+  const Fixture f = MakeFixture(10, 9);
+  TempFile segment_file("epoch_corrupt.dhsg");
+  CutTailSegment(f, segment_file.path());
+  // Poison one payload byte on disk.
+  {
+    std::ifstream in(segment_file.path(), std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    ASSERT_GT(bytes.size(), 16u);
+    bytes[16] = static_cast<char>(bytes[16] ^ 0x40);
+    std::ofstream out(segment_file.path(),
+                      std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+  auto handler = MakeHandler(f, SmallConfig());
+  EXPECT_FALSE(handler->LoadSegment(segment_file.path()).ok());
+  // The corrupt file was moved aside; the server keeps serving.
+  std::ifstream original(segment_file.path());
+  EXPECT_FALSE(original.good());
+  std::ifstream quarantined(segment_file.path() + ".quarantined");
+  EXPECT_TRUE(quarantined.good());
+  EXPECT_EQ(handler->staged_segments(), 0u);
+  EXPECT_TRUE(handler->TopKScored(AllUsers(*handler), 3).ok());
+}
+
+TEST(EpochHandlerTest, WrongShardIdentityIsRefused) {
+  const Fixture f = MakeFixture(10, 9);
+  TempFile segment_file("epoch_wrong_shard.dhsg");
+  IngestState state = IngestState::FromDataset(f.base);
+  auto segment = CutSegment(&state, f.tail, 0, 0, /*shard_index=*/2,
+                            /*shard_count=*/4);
+  ASSERT_TRUE(segment.ok());
+  ASSERT_TRUE(WriteSegmentVerified(*segment, segment_file.path()).ok());
+
+  // An unsharded server only accepts universal (0, 1) segments.
+  auto handler = MakeHandler(f, SmallConfig());
+  Status loaded = handler->LoadSegment(segment_file.path());
+  EXPECT_EQ(loaded.code(), StatusCode::kFailedPrecondition);
+
+  // The matching slice accepts the same file.
+  DeHealthConfig sliced = SmallConfig();
+  sliced.shard_index = 2;
+  sliced.shard_count = 4;
+  auto slice_handler = MakeHandler(f, sliced);
+  Status slice_loaded = slice_handler->LoadSegment(segment_file.path());
+  EXPECT_TRUE(slice_loaded.ok()) << slice_loaded.ToString();
+}
+
+TEST(EpochHandlerTest, StaleSegmentIsRefusedAndStagingSurvives) {
+  const Fixture f = MakeFixture(10, 9);
+  TempFile segment_file("epoch_stale.dhsg");
+  CutTailSegment(f, segment_file.path());
+  auto handler = MakeHandler(f, SmallConfig());
+  ASSERT_TRUE(handler->LoadSegment(segment_file.path()).ok());
+  // Applying the same segment again: its parent is the pre-apply state.
+  Status again = handler->LoadSegment(segment_file.path());
+  EXPECT_EQ(again.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(handler->staged_segments(), 1u);
+  // The once-applied staging still seals cleanly.
+  ASSERT_TRUE(handler->SealEpoch().ok());
+  EXPECT_EQ(handler->epoch_seq(), 1u);
+}
+
+// Queries racing a seal never fail and always see a complete epoch —
+// either the old one or the new one, nothing in between.
+TEST(EpochHandlerTest, QueriesSurviveConcurrentSeal) {
+  const Fixture f = MakeFixture(12, 13);
+  TempFile segment_file("epoch_race.dhsg");
+  CutTailSegment(f, segment_file.path());
+  auto handler = MakeHandler(f, SmallConfig());
+  const std::string old_witness = Witness(*handler);
+  ASSERT_TRUE(handler->LoadSegment(segment_file.path()).ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 3; ++t)
+    workers.emplace_back([&] {
+      const std::vector<int> users = AllUsers(*handler);
+      while (!stop.load()) {
+        auto answer = handler->TopKScored(users, 3);
+        if (!answer.ok()) failures.fetch_add(1);
+      }
+    });
+  ASSERT_TRUE(handler->SealEpoch().ok());
+  stop.store(true);
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_NE(Witness(*handler), old_witness);
+}
+
+}  // namespace
+}  // namespace ingest
+}  // namespace dehealth

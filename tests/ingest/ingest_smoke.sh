@@ -1,0 +1,146 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of streaming ingestion: a dehealth_serve --ingest
+# process boots on a base dataset, a delta segment cut by dehealth_ingest
+# is staged (answers must stay byte-identical to boot), the epoch is
+# sealed (answers must become byte-identical to a server booted on the
+# full dataset), and queries must keep succeeding throughout — no
+# OVERLOADED, no TIMEOUT, no dropped request during the swap.
+#
+# Usage: ingest_smoke.sh <dehealth_cli> <dehealth_serve> <dehealth_ingest> <dehealth_query> <work_dir>
+set -eu
+
+CLI="$1"
+SERVE="$2"
+INGEST="$3"
+QUERY="$4"
+WORK="$5"
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+PIDS=""
+cleanup() {
+  rm -f "$WORK/keep_querying"
+  for pid in $PIDS; do
+    kill -KILL "$pid" 2>/dev/null || true
+  done
+}
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  exit 1
+}
+
+# Starts a server, waits for its port file; sets PORT (runs in THIS shell,
+# not a command substitution, so the pid lands in PIDS for cleanup/wait).
+start_server() { # args: port_file log_file server-args...
+  local port_file="$1" log_file="$2"
+  shift 2
+  "$SERVE" "$@" --port 0 --port-file "$port_file" >"$log_file" 2>&1 &
+  local pid=$!
+  PIDS="$PIDS $pid"
+  PORT=""
+  for _ in $(seq 1 200); do
+    if [ -s "$port_file" ]; then
+      PORT=$(cat "$port_file")
+      break
+    fi
+    kill -0 "$pid" 2>/dev/null || {
+      cat "$log_file" >&2
+      fail "dehealth_serve exited before publishing its port"
+    }
+    sleep 0.1
+  done
+  [ -n "$PORT" ] || fail "timed out waiting for $port_file"
+}
+
+# --- datasets: a base prefix and the full append-only log ----------------
+"$CLI" generate --preset webmd --users 30 --seed 11 --out "$WORK/forum.jsonl"
+"$CLI" split --dataset "$WORK/forum.jsonl" --aux-fraction 0.5 --seed 3 \
+  --anon-out "$WORK/anon.jsonl" --aux-out "$WORK/aux.jsonl" \
+  --truth-out "$WORK/truth.csv"
+
+# aux.jsonl is header + one post per line; the base is the header plus the
+# first half of the posts, the tail is everything after (same header, so
+# the user universe is identical — late posts, not new users).
+TOTAL_LINES=$(wc -l <"$WORK/aux.jsonl")
+POSTS=$((TOTAL_LINES - 1))
+BASE_POSTS=$((POSTS / 2))
+[ "$BASE_POSTS" -ge 1 ] || fail "aux dataset too small to split"
+head -n "$((BASE_POSTS + 1))" "$WORK/aux.jsonl" >"$WORK/base.jsonl"
+
+COMMON_FLAGS="--anonymized $WORK/anon.jsonl --k 5 --learner centroid --threads 2"
+
+# --- the ingest server (base) and the golden full server -----------------
+start_server "$WORK/ingest.port" "$WORK/ingest_serve.log" \
+  $COMMON_FLAGS --auxiliary "$WORK/base.jsonl" --ingest
+INGEST_PORT="$PORT"
+start_server "$WORK/full.port" "$WORK/full_serve.log" \
+  $COMMON_FLAGS --auxiliary "$WORK/aux.jsonl"
+FULL_PORT="$PORT"
+
+"$QUERY" topk --port "$INGEST_PORT" --users all >"$WORK/boot.txt"
+"$QUERY" topk --port "$FULL_PORT" --users all >"$WORK/full_golden.txt"
+cmp -s "$WORK/boot.txt" "$WORK/full_golden.txt" &&
+  fail "base and full datasets answer identically — smoke test is vacuous"
+
+# --- cut the delta segment from the appended tail ------------------------
+"$INGEST" segment --base "$WORK/base.jsonl" --tail "$WORK/aux.jsonl" \
+  --out "$WORK/delta.dhsg" >"$WORK/segment.log"
+"$INGEST" info --segments "$WORK/delta.dhsg" >"$WORK/info.log"
+grep -q "posts" "$WORK/info.log" || fail "segment info output missing"
+"$INGEST" verify --base "$WORK/base.jsonl" --segments "$WORK/delta.dhsg" \
+  >/dev/null || fail "segment chain fails offline verification"
+
+# --- continuous query load across stage + seal ---------------------------
+touch "$WORK/keep_querying"
+: >"$WORK/query_failures"
+(
+  while [ -f "$WORK/keep_querying" ]; do
+    "$QUERY" topk --port "$INGEST_PORT" --users 0,1,2 \
+      >>"$WORK/query_stream.txt" 2>>"$WORK/query_errors.log" ||
+      echo "query failed" >>"$WORK/query_failures"
+  done
+) &
+PIDS="$PIDS $!"
+
+# --- stage: answers must stay bitwise-identical to boot ------------------
+"$QUERY" load-segment --port "$INGEST_PORT" --segment "$WORK/delta.dhsg" \
+  >"$WORK/load.out"
+grep -q "seq=0 staged=1" "$WORK/load.out" ||
+  fail "load-segment epoch line wrong: $(cat "$WORK/load.out")"
+"$QUERY" topk --port "$INGEST_PORT" --users all >"$WORK/staged.txt"
+cmp "$WORK/boot.txt" "$WORK/staged.txt" ||
+  fail "staged segment changed served answers before the seal"
+
+# --- seal: answers must become bitwise-identical to the full server ------
+"$QUERY" seal-epoch --port "$INGEST_PORT" >"$WORK/seal.out"
+grep -q "seq=1 staged=0" "$WORK/seal.out" ||
+  fail "seal-epoch epoch line wrong: $(cat "$WORK/seal.out")"
+"$QUERY" topk --port "$INGEST_PORT" --users all >"$WORK/sealed.txt"
+cmp "$WORK/sealed.txt" "$WORK/full_golden.txt" ||
+  fail "sealed epoch differs from a from-scratch server on the full log"
+
+# --- the query stream must have survived the swap untouched --------------
+rm -f "$WORK/keep_querying"
+sleep 0.3
+[ -s "$WORK/query_failures" ] && {
+  cat "$WORK/query_errors.log" >&2
+  fail "queries failed during stage/seal"
+}
+grep -qi "overloaded\|timeout" "$WORK/query_errors.log" 2>/dev/null &&
+  fail "continuous queries saw OVERLOADED/TIMEOUT during the epoch swap"
+
+# --- both servers drain cleanly ------------------------------------------
+"$QUERY" shutdown --port "$INGEST_PORT" >/dev/null
+"$QUERY" shutdown --port "$FULL_PORT" >/dev/null
+RC=0
+for pid in $PIDS; do
+  wait "$pid" 2>/dev/null || RC=$?
+done
+PIDS=""
+grep -q "draining" "$WORK/ingest_serve.log" ||
+  fail "ingest server log missing drain message"
+
+echo "ingest smoke test passed"

@@ -59,7 +59,8 @@ TEST(FlagCatalogTest, SortedAndUnique) {
 TEST(FlagCatalogTest, AttackBooleanFlagsDeriveFromCatalog) {
   // ParseAttackFlags' value-less flags must match the catalog's boolean
   // entries; the set is small and load-bearing enough to pin exactly.
-  const std::set<std::string> expected = {"filter", "idf", "index",
+  const std::set<std::string> expected = {"allow-epoch-skew", "filter",
+                                          "idf", "index", "ingest",
                                           "require-all-shards"};
   EXPECT_EQ(AttackBooleanFlags(), expected);
 }

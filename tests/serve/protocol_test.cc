@@ -224,6 +224,8 @@ TEST(ServeProtocolPayloads, ShardInfoRoundTrips) {
   info.universe_fingerprint = 0xDEADBEEFCAFEF00Dull;
   info.num_anonymized = 123;
   info.default_top_k = 20;
+  info.epoch_seq = 9;
+  info.staged_segments = 4;
   auto decoded = DecodeShardInfoPayload(EncodeShardInfoPayload(info));
   ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
   EXPECT_EQ(decoded->shard_index, info.shard_index);
@@ -233,6 +235,29 @@ TEST(ServeProtocolPayloads, ShardInfoRoundTrips) {
   EXPECT_EQ(decoded->universe_fingerprint, info.universe_fingerprint);
   EXPECT_EQ(decoded->num_anonymized, info.num_anonymized);
   EXPECT_EQ(decoded->default_top_k, info.default_top_k);
+  EXPECT_EQ(decoded->epoch_seq, info.epoch_seq);
+  EXPECT_EQ(decoded->staged_segments, info.staged_segments);
+}
+
+TEST(ServeProtocolPayloads, LoadSegmentRoundTrips) {
+  const std::string path = "/var/lib/dehealth/delta-0004.dhsg";
+  auto decoded = DecodeLoadSegmentPayload(EncodeLoadSegmentPayload(path));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(*decoded, path);
+}
+
+TEST(ServeProtocolPayloads, CorruptLoadSegmentIsRejected) {
+  const std::string payload = EncodeLoadSegmentPayload("delta.dhsg");
+  EXPECT_FALSE(DecodeLoadSegmentPayload(payload.substr(0, 3)).ok());
+  EXPECT_FALSE(DecodeLoadSegmentPayload(payload.substr(0, 7)).ok());
+  EXPECT_FALSE(DecodeLoadSegmentPayload(payload + "x").ok());
+  EXPECT_FALSE(DecodeLoadSegmentPayload(std::string()).ok());
+  // An empty path and an embedded NUL are refused before touching the fs.
+  EXPECT_FALSE(
+      DecodeLoadSegmentPayload(EncodeLoadSegmentPayload("")).ok());
+  EXPECT_FALSE(DecodeLoadSegmentPayload(
+                   EncodeLoadSegmentPayload(std::string("a\0b", 3)))
+                   .ok());
 }
 
 TEST(ServeProtocolPayloads, CorruptShardInfoIsRejected) {
