@@ -9,6 +9,27 @@
 namespace dehealth {
 namespace ingest {
 
+namespace {
+
+/// Renames a corrupt DHSG file to `<path>.quarantined` (PR 4 contract:
+/// keep the evidence, never serve it, never spin a retry loop on it).
+void QuarantineSegmentFile(const std::string& path, const Status& why) {
+  const std::string quarantine = path + ".quarantined";
+  std::remove(quarantine.c_str());
+  if (std::rename(path.c_str(), quarantine.c_str()) == 0) {
+    obs::GetIngestMetrics().quarantines->Increment();
+    std::fprintf(stderr, "warning: corrupt segment quarantined to %s (%s)\n",
+                 quarantine.c_str(), why.ToString().c_str());
+  } else {
+    std::fprintf(stderr,
+                 "warning: corrupt segment %s could not be quarantined; "
+                 "left in place (%s)\n",
+                 path.c_str(), why.ToString().c_str());
+  }
+}
+
+}  // namespace
+
 EpochHandler::EpochHandler(UdaGraph anonymized, DeHealthConfig config)
     : anonymized_(std::move(anonymized)), config_(std::move(config)) {}
 
@@ -43,20 +64,15 @@ Status EpochHandler::LoadSegment(const std::string& segment_path) const {
   obs::Span span("ingest", "epoch_load_segment");
   StatusOr<DeltaSegment> segment = LoadSegmentFile(segment_path);
   if (!segment.ok()) {
-    // A file that exists but does not decode is corrupt evidence —
-    // quarantine it (PR 4 contract) so a retry loop cannot spin on it and
-    // operators can post-mortem the bytes.
-    if (segment.status().code() != StatusCode::kNotFound) {
-      const std::string quarantine = segment_path + ".quarantined";
-      std::remove(quarantine.c_str());
-      if (std::rename(segment_path.c_str(), quarantine.c_str()) == 0) {
-        obs::GetIngestMetrics().quarantines->Increment();
-        std::fprintf(stderr,
-                     "warning: corrupt segment quarantined to %s (%s)\n",
-                     quarantine.c_str(),
-                     segment.status().ToString().c_str());
-      }
-    }
+    // A DHSG file that does not decode is corrupt evidence — quarantine
+    // it (PR 4 contract) so a retry loop cannot spin on it and operators
+    // can post-mortem the bytes. The magic gate matters: this path is
+    // named by an unauthenticated DHQP client, and a file that was never
+    // a segment (a typo'd path naming the server's own dataset, snapshot,
+    // or log) must be refused WITHOUT being renamed aside.
+    if (segment.status().code() != StatusCode::kNotFound &&
+        FileHasSegmentMagic(segment_path))
+      QuarantineSegmentFile(segment_path, segment.status());
     return segment.status();
   }
   // Shard gate: universal segments (0 of 1) apply everywhere — epoch
@@ -73,7 +89,19 @@ Status EpochHandler::LoadSegment(const std::string& segment_path) const {
         std::to_string(segment->shard_count) + " but this server is shard " +
         std::to_string(config_.shard_index) + " of " +
         std::to_string(config_.shard_count));
-  DEHEALTH_RETURN_IF_ERROR(staging_.Apply(*segment));
+  Status applied = staging_.Apply(*segment);
+  if (!applied.ok()) {
+    // Apply is transactional: on failure the staging state was rolled
+    // back (or, if rollback verification failed, marked poisoned — seals
+    // refuse until a clean state exists). A segment whose decoded content
+    // does not match its own result manifest (kInvalidArgument) is
+    // corrupt evidence just like an undecodable file; a stale/foreign
+    // segment (kFailedPrecondition) is a healthy file applied to the
+    // wrong state and stays where it is.
+    if (applied.code() == StatusCode::kInvalidArgument)
+      QuarantineSegmentFile(segment_path, applied);
+    return applied;
+  }
   obs::IngestMetrics& metrics = obs::GetIngestMetrics();
   metrics.segments_loaded->Increment();
   metrics.staged_segments->Set(
@@ -84,6 +112,14 @@ Status EpochHandler::LoadSegment(const std::string& segment_path) const {
 Status EpochHandler::SealEpoch() const {
   std::lock_guard<std::mutex> lock(admin_mutex_);
   obs::Span span("ingest", "epoch_seal");
+  // A poisoned staging state (a failed apply whose rollback could not be
+  // verified) must never be built into a serving epoch: an integrity
+  // failure fails CLOSED — the previous epoch keeps serving.
+  if (staging_.poisoned())
+    return Status::FailedPrecondition(
+        "epoch seal refused: the staging state is poisoned by an earlier "
+        "failed segment apply; restart the server to rebuild it (still "
+        "serving the previous epoch)");
   const auto start = std::chrono::steady_clock::now();
   // Rebuild config: never resume from or overwrite the base run's durable
   // artifacts — the staged universe has a different fingerprint, and a

@@ -126,12 +126,16 @@ StatusOr<DeltaSegment> DecodeSegment(const std::string& bytes,
     return DecodeError(path, 0, "bad magic (not a DHSG delta segment)");
   uint32_t version = 0;
   std::memcpy(&version, bytes.data() + sizeof(kMagic), sizeof(version));
-  if (version > kVersion)
+  if (version != kVersion)
+    // Strict equality: a future version is kUnimplemented (upgrade the
+    // build), anything else — including a zeroed byte where the version
+    // lives — is an invalid file, never silently parsed with this layout.
     return DecodeError(path, sizeof(kMagic),
                        "segment version " + std::to_string(version) +
-                           " is newer than this build supports (" +
+                           " is not the version this build supports (" +
                            std::to_string(kVersion) + ")",
-                       StatusCode::kUnimplemented);
+                       version > kVersion ? StatusCode::kUnimplemented
+                                          : StatusCode::kInvalidArgument);
   const size_t payload_end = bytes.size() - sizeof(uint64_t);
   uint64_t stored_checksum = 0;
   std::memcpy(&stored_checksum, bytes.data() + payload_end,
@@ -205,6 +209,16 @@ Status SaveSegmentFile(const DeltaSegment& segment,
   return WriteStringToFileAtomic(bytes, path);
 }
 
+bool FileHasSegmentMagic(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) return false;
+  char head[sizeof(kMagic)];
+  const size_t read = std::fread(head, 1, sizeof(head), file);
+  std::fclose(file);
+  return read == sizeof(head) &&
+         std::memcmp(head, kMagic, sizeof(kMagic)) == 0;
+}
+
 StatusOr<DeltaSegment> LoadSegmentFile(const std::string& path) {
   obs::Span span("ingest", "load_segment");
   DEHEALTH_RETURN_IF_ERROR(InjectFaultPoint("segment.load"));
@@ -232,10 +246,17 @@ Status WriteSegmentVerified(const DeltaSegment& segment,
                            "fingerprint (storage corrupted a valid frame)")
                      : back.status();
     // Quarantine the corrupt artifact for post-mortems (PR 4 contract:
-    // never delete evidence, never serve it) and recompute the write.
+    // never delete evidence, never serve it) and recompute the write. If
+    // the rename fails the corrupt file is still sitting at `path`;
+    // retrying would overwrite the evidence, so give up instead.
     const std::string quarantine = path + ".quarantined";
     std::remove(quarantine.c_str());
-    std::rename(path.c_str(), quarantine.c_str());
+    if (std::rename(path.c_str(), quarantine.c_str()) != 0)
+      return Status(StatusCode::kInternal,
+                    "WriteSegmentVerified: " + path +
+                        " failed read-back (" + std::string(last.message()) +
+                        ") and could not be quarantined to " + quarantine +
+                        "; the corrupt file is left in place as evidence");
     obs::GetIngestMetrics().quarantines->Increment();
     std::fprintf(stderr,
                  "warning: segment %s failed read-back verification (%s); "

@@ -73,6 +73,13 @@ Status SaveSegmentFile(const DeltaSegment& segment, const std::string& path);
 /// (the read) and `segment.load.data` (corruption of the bytes read).
 StatusOr<DeltaSegment> LoadSegmentFile(const std::string& path);
 
+/// True iff the file at `path` exists and begins with the DHSG magic.
+/// Gate quarantines on this: a failed decode of a magic-bearing file is
+/// corrupt segment evidence worth renaming aside, while a file that was
+/// never a segment (a typo'd path naming a dataset, snapshot, or log)
+/// must be left untouched.
+bool FileHasSegmentMagic(const std::string& path);
+
 /// Crash-and-corruption-safe producer write: saves, reads the file back,
 /// and decodes it. If the read-back fails (a `segment.write.data` bit flip,
 /// a lying disk), the corrupt file is quarantined to `<path>.quarantined`,

@@ -21,6 +21,10 @@ uint64_t IngestState::fingerprint() const {
 
 Status IngestState::Advance(const std::vector<Post>& new_posts,
                             int num_users_after, int num_threads_after) {
+  if (poisoned_)
+    return Status::FailedPrecondition(
+        "IngestState::Advance: state is poisoned by an earlier failed "
+        "apply whose rollback could not be verified; rebuild it");
   DEHEALTH_RETURN_IF_ERROR(ApplyPostsToUdaGraph(
       &uda_, &dataset_, new_posts, num_users_after, num_threads_after));
   obs::GetIngestMetrics().posts_applied->Increment(new_posts.size());
@@ -28,6 +32,10 @@ Status IngestState::Advance(const std::vector<Post>& new_posts,
 }
 
 Status IngestState::Apply(const DeltaSegment& segment) {
+  if (poisoned_)
+    return Status::FailedPrecondition(
+        "IngestState::Apply: state is poisoned by an earlier failed "
+        "apply whose rollback could not be verified; rebuild it");
   if (segment.base_posts != dataset_.posts.size())
     return Status::FailedPrecondition(
         "IngestState::Apply: segment expects a parent with " +
@@ -41,17 +49,37 @@ Status IngestState::Apply(const DeltaSegment& segment) {
         " does not match the current state (" + std::to_string(current) +
         ") — the segment was cut for a different logical forum or out of "
         "chain order");
-  DEHEALTH_RETURN_IF_ERROR(Advance(segment.posts, segment.num_users_after,
-                                   segment.num_threads_after));
-  const uint64_t result = fingerprint();
-  if (segment.result_fingerprint != result)
-    return Status::InvalidArgument(
+  const size_t base_posts = dataset_.posts.size();
+  const int base_users = dataset_.num_users;
+  const int base_threads = dataset_.num_threads;
+  Status failure = Advance(segment.posts, segment.num_users_after,
+                           segment.num_threads_after);
+  if (failure.ok()) {
+    const uint64_t result = fingerprint();
+    if (segment.result_fingerprint == result) return Status::OK();
+    failure = Status::InvalidArgument(
         "IngestState::Apply: applied segment produced fingerprint " +
         std::to_string(result) + " but claims " +
         std::to_string(segment.result_fingerprint) +
-        " — the segment content does not match its manifest; discard this "
-        "state");
-  return Status::OK();
+        " — the segment content does not match its manifest; it was "
+        "rolled back");
+  }
+  // Roll back: Advance only appends posts, grows the universe bounds, and
+  // appends per-user features (the graph is rebuilt from the dataset), so
+  // truncating the dataset and rebuilding restores the pre-apply state
+  // bitwise — verified against the parent fingerprint we already matched.
+  dataset_.posts.resize(base_posts);
+  dataset_.num_users = base_users;
+  dataset_.num_threads = base_threads;
+  uda_ = BuildUdaGraph(dataset_);
+  if (fingerprint() != current) {
+    poisoned_ = true;
+    return Status::Internal(
+        "IngestState::Apply: rollback after a failed apply did not "
+        "restore the parent state (" + std::string(failure.message()) +
+        "); the state is poisoned and must be rebuilt");
+  }
+  return failure;
 }
 
 StatusOr<DeltaSegment> CutSegment(IngestState* state,

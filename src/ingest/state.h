@@ -28,8 +28,12 @@ class IngestState {
   /// the current state (FailedPrecondition on mismatch — the segment was
   /// cut for a different state), folds the posts in incrementally, then
   /// validates the result fingerprint (InvalidArgument on mismatch — the
-  /// segment lied about what it produces; the state is left applied, the
-  /// caller must discard it). Only the new posts' text is processed.
+  /// segment lied about what it produces). Apply is transactional: on ANY
+  /// failure the state is rolled back to its pre-apply value (a rejected
+  /// segment never poisons the chain), verified by fingerprint. If that
+  /// verification itself fails the state is marked poisoned (kInternal)
+  /// and every later Apply/Advance refuses until it is rebuilt. Only the
+  /// new posts' text is processed.
   Status Apply(const DeltaSegment& segment);
 
   /// Producer-side advance: folds posts in WITHOUT segment fingerprint
@@ -41,6 +45,11 @@ class IngestState {
   /// FingerprintForIndex of the current UDA graph.
   uint64_t fingerprint() const;
 
+  /// True after a failed Apply whose rollback could not be verified: the
+  /// state no longer matches any known fingerprint and must not be
+  /// advanced, sealed, or served from. Rebuild via FromDataset.
+  bool poisoned() const { return poisoned_; }
+
   const ForumDataset& dataset() const { return dataset_; }
   const UdaGraph& uda() const { return uda_; }
   uint64_t posts() const { return dataset_.posts.size(); }
@@ -48,6 +57,7 @@ class IngestState {
  private:
   ForumDataset dataset_;
   UdaGraph uda_;
+  bool poisoned_ = false;
 };
 
 /// Cuts a delta segment that advances `state` by `new_posts`: stamps the

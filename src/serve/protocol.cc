@@ -118,6 +118,10 @@ class PayloadReader {
     return Status();
   }
 
+  /// True when the cursor has consumed the whole payload — how decoders
+  /// detect that an optional trailing extension is absent (older peer).
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
  private:
   const std::string& bytes_;
   size_t pos_ = 0;
@@ -305,8 +309,14 @@ std::string EncodeShardInfoPayload(const ShardInfoAnswer& answer) {
   PutU64(out, answer.universe_fingerprint);
   PutU64(out, answer.num_anonymized);
   PutU64(out, answer.default_top_k);
-  PutU64(out, answer.epoch_seq);
-  PutU64(out, answer.staged_segments);
+  // The ingest extension travels only when it says something: all-zero
+  // means "boot epoch, nothing staged", which is what a decoder assumes
+  // when the payload ends here — so a non-ingest (or not-yet-sealed)
+  // server stays byte-compatible with pre-ingest peers.
+  if (answer.epoch_seq != 0 || answer.staged_segments != 0) {
+    PutU64(out, answer.epoch_seq);
+    PutU64(out, answer.staged_segments);
+  }
   return out;
 }
 
@@ -320,8 +330,14 @@ StatusOr<ShardInfoAnswer> DecodeShardInfoPayload(const std::string& payload) {
   DEHEALTH_RETURN_IF_ERROR(reader.ReadU64(&answer.universe_fingerprint));
   DEHEALTH_RETURN_IF_ERROR(reader.ReadU64(&answer.num_anonymized));
   DEHEALTH_RETURN_IF_ERROR(reader.ReadU64(&answer.default_top_k));
-  DEHEALTH_RETURN_IF_ERROR(reader.ReadU64(&answer.epoch_seq));
-  DEHEALTH_RETURN_IF_ERROR(reader.ReadU64(&answer.staged_segments));
+  // Optional trailing extension (streaming ingestion, PR 8): a pre-ingest
+  // peer's 48-byte payload simply ends here and means "boot epoch,
+  // nothing staged" — exactly the defaults — so mixed-version fleets
+  // keep interoperating through a rolling upgrade without a version bump.
+  if (!reader.AtEnd()) {
+    DEHEALTH_RETURN_IF_ERROR(reader.ReadU64(&answer.epoch_seq));
+    DEHEALTH_RETURN_IF_ERROR(reader.ReadU64(&answer.staged_segments));
+  }
   DEHEALTH_RETURN_IF_ERROR(reader.ExpectEnd());
   if (answer.shard_count == 0)
     return Status::InvalidArgument("DHQP: shard_count must be >= 1");

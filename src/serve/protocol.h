@@ -110,6 +110,10 @@ struct ShardInfoAnswer {
   /// many delta segments are staged but not yet sealed. The router refuses
   /// a fleet whose backends disagree on epoch_seq unless
   /// --allow-epoch-skew: mixed epochs serve from different logical forums.
+  /// On the wire this pair is an OPTIONAL trailing extension: encoded only
+  /// when non-zero, defaulting to (0, 0) when the payload ends without it,
+  /// so pre-ingest peers interoperate with this build in both directions
+  /// during a rolling upgrade (no version bump).
   uint64_t epoch_seq = 0;
   uint64_t staged_segments = 0;
 };

@@ -194,6 +194,38 @@ TEST(DeltaGoldenTest, StaleSegmentRefusedCleanly) {
   EXPECT_EQ(consumer.fingerprint(), producer.fingerprint());
 }
 
+// Apply is transactional past the precondition checks too: a segment
+// whose content does not match its own result manifest is folded in,
+// detected, and rolled back BITWISE — the chain then continues with the
+// honest segment as if the liar never arrived.
+TEST(DeltaGoldenTest, LyingSegmentRollsBackBitwise) {
+  const Scenario s = MakeScenario(10, 55);
+  const size_t total = s.auxiliary.posts.size();
+  const size_t base_posts = total / 2;
+
+  IngestState producer =
+      IngestState::FromDataset(Prefix(s.auxiliary, base_posts));
+  auto honest = CutSegment(&producer, TailOf(s.auxiliary, base_posts, total));
+  ASSERT_TRUE(honest.ok());
+  DeltaSegment liar = *honest;
+  liar.result_fingerprint ^= 1;
+
+  IngestState consumer =
+      IngestState::FromDataset(Prefix(s.auxiliary, base_posts));
+  const uint64_t before = consumer.fingerprint();
+  const std::string before_bytes = IndexBytes(consumer.uda());
+  Status applied = consumer.Apply(liar);
+  EXPECT_EQ(applied.code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(consumer.poisoned());
+  EXPECT_EQ(consumer.posts(), base_posts);
+  EXPECT_EQ(consumer.fingerprint(), before);
+  EXPECT_EQ(IndexBytes(consumer.uda()), before_bytes);
+
+  // The rolled-back state is a valid parent for the honest segment.
+  ASSERT_TRUE(consumer.Apply(*honest).ok());
+  EXPECT_EQ(consumer.fingerprint(), producer.fingerprint());
+}
+
 // Served answers built from the incrementally-grown state match the
 // from-scratch engine exactly — for 1, 4, and 8 worker threads.
 TEST(DeltaGoldenTest, ServedAnswersThreadCountInvariant) {

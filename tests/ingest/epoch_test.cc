@@ -206,6 +206,70 @@ TEST(EpochHandlerTest, CorruptSegmentIsQuarantined) {
   EXPECT_TRUE(handler->TopKScored(AllUsers(*handler), 3).ok());
 }
 
+// The high-severity integrity case: a segment that decodes cleanly but
+// whose content does not match its own result manifest. Apply must roll
+// the staging state back, a later seal must not change served answers
+// (the bad posts never reach an epoch), and the chain must still accept
+// the honest segment afterwards.
+TEST(EpochHandlerTest, LyingSegmentIsRolledBackAndSealStaysStable) {
+  const Fixture f = MakeFixture(12, 7);
+  TempFile liar_file("epoch_liar.dhsg");
+  TempFile good_file("epoch_liar_good.dhsg");
+  DeltaSegment good = CutTailSegment(f, good_file.path());
+  // Valid frame (magic/version/checksum all fine), lying payload: the
+  // result fingerprint claims a state the posts do not produce.
+  DeltaSegment liar = good;
+  liar.result_fingerprint ^= 1;
+  ASSERT_TRUE(SaveSegmentFile(liar, liar_file.path()).ok());
+
+  auto handler = MakeHandler(f, SmallConfig());
+  const std::string before = Witness(*handler);
+  Status loaded = handler->LoadSegment(liar_file.path());
+  EXPECT_EQ(loaded.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(handler->staged_segments(), 0u);
+  // The lying file is corrupt evidence: quarantined like an undecodable one.
+  std::ifstream original(liar_file.path());
+  EXPECT_FALSE(original.good());
+  std::ifstream quarantined(liar_file.path() + ".quarantined");
+  EXPECT_TRUE(quarantined.good());
+
+  // Sealing the rolled-back staging state changes nothing: the poisoned
+  // posts were discarded, so the new epoch answers exactly like the old.
+  ASSERT_TRUE(handler->SealEpoch().ok());
+  EXPECT_EQ(Witness(*handler), before);
+
+  // The rollback restored the parent state bitwise: the honest segment
+  // still applies and seals to the same universe as a from-scratch build.
+  ASSERT_TRUE(handler->LoadSegment(good_file.path()).ok());
+  ASSERT_TRUE(handler->SealEpoch().ok());
+  auto full_engine = QueryEngine::Create(
+      BuildUdaGraph(f.anonymized), BuildUdaGraph(f.full), SmallConfig());
+  ASSERT_TRUE(full_engine.ok());
+  EXPECT_EQ(Witness(*handler), Witness(**full_engine));
+}
+
+// kLoadSegment paths come from unauthenticated clients: naming a file
+// that was never a DHSG segment must refuse WITHOUT renaming it aside —
+// quarantining it would let a typo'd path move the server's own
+// dataset/snapshot/log files.
+TEST(EpochHandlerTest, NonSegmentFileIsRefusedButNotQuarantined) {
+  const Fixture f = MakeFixture(10, 9);
+  TempFile not_a_segment("epoch_not_a_segment.jsonl");
+  {
+    std::ofstream out(not_a_segment.path(), std::ios::binary);
+    out << "{\"user_id\": 0, \"thread_id\": 0, \"text\": \"hello\"}\n";
+  }
+  auto handler = MakeHandler(f, SmallConfig());
+  Status loaded = handler->LoadSegment(not_a_segment.path());
+  EXPECT_FALSE(loaded.ok());
+  // The file is untouched, exactly where it was.
+  std::ifstream original(not_a_segment.path());
+  EXPECT_TRUE(original.good());
+  std::ifstream quarantined(not_a_segment.path() + ".quarantined");
+  EXPECT_FALSE(quarantined.good());
+  EXPECT_EQ(handler->staged_segments(), 0u);
+}
+
 TEST(EpochHandlerTest, WrongShardIdentityIsRefused) {
   const Fixture f = MakeFixture(10, 9);
   TempFile segment_file("epoch_wrong_shard.dhsg");

@@ -95,6 +95,30 @@ TEST_F(SegmentTest, DecodeRejectsFutureVersion) {
   EXPECT_EQ(decoded.status().code(), StatusCode::kUnimplemented);
 }
 
+TEST_F(SegmentTest, DecodeRejectsVersionZero) {
+  // A zeroed version byte is an invalid file, not "an old version" — it
+  // must never be silently parsed with the v1 layout.
+  std::string bytes = EncodeSegment(MakeSegment(1, 2));
+  bytes[4] = 0;
+  auto decoded = DecodeSegment(bytes);
+  EXPECT_EQ(decoded.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SegmentTest, FileMagicProbeDistinguishesSegments) {
+  TempFile segment_file("dhsg_magic_probe.dhsg");
+  ASSERT_TRUE(SaveSegmentFile(MakeSegment(1, 2), segment_file.path()).ok());
+  EXPECT_TRUE(FileHasSegmentMagic(segment_file.path()));
+  TempFile other_file("dhsg_magic_probe.txt");
+  ASSERT_TRUE(
+      WriteStringToFileAtomic("not a segment", other_file.path()).ok());
+  EXPECT_FALSE(FileHasSegmentMagic(other_file.path()));
+  EXPECT_FALSE(FileHasSegmentMagic("/tmp/definitely_missing.dhsg"));
+  // Shorter than the magic itself.
+  TempFile tiny_file("dhsg_magic_probe_tiny.bin");
+  ASSERT_TRUE(WriteStringToFileAtomic("DH", tiny_file.path()).ok());
+  EXPECT_FALSE(FileHasSegmentMagic(tiny_file.path()));
+}
+
 TEST_F(SegmentTest, DecodeRejectsFlippedBitAnywhere) {
   const std::string clean = EncodeSegment(MakeSegment(1, 2));
   // Flip one bit in every byte past the header; the checksum (or a bounds

@@ -239,6 +239,45 @@ TEST(ServeProtocolPayloads, ShardInfoRoundTrips) {
   EXPECT_EQ(decoded->staged_segments, info.staged_segments);
 }
 
+// Rolling-upgrade interop: the ingest epoch fields are an optional
+// trailing extension. A pre-ingest peer's 48-byte payload decodes with
+// (epoch_seq, staged_segments) = (0, 0), and a server with nothing to
+// report encodes exactly those 48 bytes so pre-ingest decoders (which
+// reject trailing bytes) still accept it.
+TEST(ServeProtocolPayloads, ShardInfoInteroperatesWithPreIngestPeers) {
+  ShardInfoAnswer info;
+  info.shard_index = 1;
+  info.shard_count = 4;
+  info.shard_begin = 250;
+  info.shard_total = 1000;
+  info.universe_fingerprint = 0x1234u;
+  info.num_anonymized = 77;
+  info.default_top_k = 10;
+  info.epoch_seq = 0;
+  info.staged_segments = 0;
+  const std::string legacy = EncodeShardInfoPayload(info);
+  EXPECT_EQ(legacy.size(), 48u);  // the pre-ingest wire layout, bit for bit
+  auto decoded = DecodeShardInfoPayload(legacy);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->shard_total, info.shard_total);
+  EXPECT_EQ(decoded->epoch_seq, 0u);
+  EXPECT_EQ(decoded->staged_segments, 0u);
+
+  // Non-zero epoch state appends the 16-byte extension; stripping it
+  // yields what an old encoder would have sent, and it must still decode.
+  info.epoch_seq = 3;
+  info.staged_segments = 2;
+  const std::string extended = EncodeShardInfoPayload(info);
+  EXPECT_EQ(extended.size(), 64u);
+  auto stripped = DecodeShardInfoPayload(extended.substr(0, 48));
+  ASSERT_TRUE(stripped.ok()) << stripped.status().ToString();
+  EXPECT_EQ(stripped->universe_fingerprint, info.universe_fingerprint);
+  EXPECT_EQ(stripped->epoch_seq, 0u);
+  EXPECT_EQ(stripped->staged_segments, 0u);
+  // A half-present extension is a transport error, not silently zero.
+  EXPECT_FALSE(DecodeShardInfoPayload(extended.substr(0, 56)).ok());
+}
+
 TEST(ServeProtocolPayloads, LoadSegmentRoundTrips) {
   const std::string path = "/var/lib/dehealth/delta-0004.dhsg";
   auto decoded = DecodeLoadSegmentPayload(EncodeLoadSegmentPayload(path));
