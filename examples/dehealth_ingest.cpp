@@ -10,6 +10,9 @@
 //   dehealth_ingest compact --segments s1,s2,... --out merged.dhsg
 //   dehealth_ingest info    --segments s1[,s2,...]
 //   dehealth_ingest verify  --base base.jsonl --segments s1[,s2,...]
+//   dehealth_ingest rollout --backends host:port[|host:port...],...
+//                           [--segments s1,s2,...] [--no-seal]
+//                           [--allow-epoch-skew] [--retries 3]
 //
 // `segment` replays the known history (--base, then the --segments chain
 // in order), then reads the posts of --tail beyond what that history
@@ -19,16 +22,28 @@
 // LSM-style into one segment whose application is bitwise-equivalent.
 // `verify` proves a chain applies cleanly to a base — every fingerprint
 // checked — without writing anything. All I/O honors --fault-spec.
+//
+// `rollout` drives a fleet-wide rolling ingestion (src/shard/rollout.h):
+// group by group, replica by replica (same '|'-within-',' spec as
+// dehealth_router --backends), it pushes every --segments path via
+// load-segment and seals, verifying after each group that all its
+// replicas converged to one (epoch_seq, fingerprint) before moving on —
+// so a serving router never sees more than one group mid-swap. --no-seal
+// stages without sealing; --allow-epoch-skew downgrades divergence to a
+// warning. Segment paths are on the BACKENDS' filesystem.
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "common/fault_injection.h"
+#include "common/flag_catalog.h"
 #include "common/flags.h"
 #include "ingest/segment.h"
 #include "ingest/state.h"
 #include "io/forum_io.h"
+#include "shard/rollout.h"
+#include "shard/router.h"
 
 using namespace dehealth;
 
@@ -197,19 +212,61 @@ int CmdVerify(const FlagParser& flags) {
   return 0;
 }
 
+int CmdRollout(const FlagParser& flags) {
+  const std::string backend_spec = flags.Get("backends");
+  if (backend_spec.empty())
+    return Fail("rollout requires --backends host:port[|host:port...],...");
+  auto groups = ParseBackendGroups(backend_spec);
+  if (!groups.ok()) return Fail(groups.status().ToString());
+
+  RolloutOptions options;
+  const std::string segments_spec = flags.Get("segments");
+  if (!segments_spec.empty()) {
+    auto paths = ParseSegmentPaths(segments_spec);
+    if (!paths.ok()) return Fail(paths.status().ToString());
+    options.segments = std::move(paths).value();
+  }
+  options.seal = !flags.Has("no-seal");
+  options.allow_epoch_skew = flags.Has("allow-epoch-skew");
+  if (options.segments.empty() && !options.seal)
+    return Fail("rollout with --no-seal and no --segments would do nothing");
+  auto retries = flags.GetInt("retries", 3);
+  if (!retries.ok()) return Fail(retries.status().ToString());
+  if (*retries < 1) return Fail("--retries must be >= 1");
+  options.retry.max_attempts = *retries;
+
+  auto report = RunRollout(*groups, options);
+  if (!report.ok()) return Fail(report.status().ToString());
+  for (size_t g = 0; g < report->groups.size(); ++g)
+    std::printf("group %zu: %d replicas at epoch %llu, fingerprint "
+                "%016llx\n",
+                g, report->groups[g].replicas,
+                static_cast<unsigned long long>(report->groups[g].epoch_seq),
+                static_cast<unsigned long long>(
+                    report->groups[g].universe_fingerprint));
+  std::printf("rollout complete: %d segment loads, %d seals across %zu "
+              "groups\n",
+              report->segments_loaded, report->seals,
+              report->groups.size());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: dehealth_ingest <segment|compact|info|verify> "
+                 "usage: dehealth_ingest <segment|compact|info|verify|"
+                 "rollout> "
                  "[--base base.jsonl] [--tail tail.jsonl] "
                  "[--tail-offset N] [--segments s1,s2,...] [--out out.dhsg] "
-                 "[--shard-index I] [--shard-count C] [--fault-spec spec]\n");
+                 "[--shard-index I] [--shard-count C] "
+                 "[--backends spec] [--no-seal] [--allow-epoch-skew] "
+                 "[--retries N] [--fault-spec spec]\n");
     return 1;
   }
   const std::string command = argv[1];
-  const FlagParser flags(argc, argv, 2);
+  const FlagParser flags(argc, argv, 2, AttackBooleanFlags());
 
   const std::string fault_spec = flags.Get("fault-spec");
   if (!fault_spec.empty()) {
@@ -221,6 +278,7 @@ int main(int argc, char** argv) {
   if (command == "compact") return CmdCompact(flags);
   if (command == "info") return CmdInfo(flags);
   if (command == "verify") return CmdVerify(flags);
+  if (command == "rollout") return CmdRollout(flags);
   std::fprintf(stderr, "unknown command: %s\n", command.c_str());
   return 1;
 }

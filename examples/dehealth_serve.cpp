@@ -27,6 +27,12 @@
 // engine over the accumulated posts and swap it in without dropping
 // in-flight queries). Until a seal, answers stay bitwise-identical to
 // boot. See docs/OPERATIONS.md "Epoch swap runbook".
+//
+// --auto-seal-posts N / --auto-seal-secs T (with --ingest) seal
+// automatically: N staged posts trigger a seal inside the load that
+// crosses the threshold; T seconds after the oldest staged segment
+// arrived, the serving loop seals. Either 0 (the default) disables that
+// trigger; manual seal-epoch keeps working alongside both.
 
 #include <chrono>
 #include <cstdio>
@@ -116,6 +122,14 @@ int main(int argc, char** argv) {
   // (EpochHandler::Create runs the identical QueryEngine::Create), plus
   // the load-segment/seal-epoch admin surface.
   const bool ingest = flags.Has("ingest");
+  auto auto_seal_posts = flags.GetInt("auto-seal-posts", 0);
+  if (!auto_seal_posts.ok()) return Fail(auto_seal_posts.status().ToString());
+  auto auto_seal_secs = flags.GetInt("auto-seal-secs", 0);
+  if (!auto_seal_secs.ok()) return Fail(auto_seal_secs.status().ToString());
+  if (*auto_seal_posts < 0 || *auto_seal_secs < 0)
+    return Fail("--auto-seal-posts/--auto-seal-secs must be >= 0");
+  if (!ingest && (*auto_seal_posts > 0 || *auto_seal_secs > 0))
+    return Fail("--auto-seal-posts/--auto-seal-secs require --ingest");
   std::unique_ptr<QueryEngine> engine;
   std::unique_ptr<ingest::EpochHandler> epoch;
   if (ingest) {
@@ -128,6 +142,12 @@ int main(int argc, char** argv) {
     }
     if (!created.ok()) return Fail(created.status().ToString());
     epoch = std::move(created).value();
+    if (*auto_seal_posts > 0 || *auto_seal_secs > 0) {
+      ingest::AutoSealPolicy policy;
+      policy.posts_threshold = *auto_seal_posts;
+      policy.secs_threshold = *auto_seal_secs;
+      epoch->ConfigureAutoSeal(std::move(policy));
+    }
   } else {
     UdaGraph aux = BuildUdaGraph(*aux_data);
     auto created = QueryEngine::Create(std::move(anon), std::move(aux),
@@ -162,8 +182,20 @@ int main(int argc, char** argv) {
 
   // SIGTERM/SIGINT flip a flag; the drain itself runs here, on a normal
   // thread — in-flight requests are answered before the process exits.
-  while (!ProcessShutdownRequested() && !server.ShuttingDown())
+  // The same loop ticks the age-triggered auto-seal (a no-op without
+  // --auto-seal-secs or with nothing staged).
+  while (!ProcessShutdownRequested() && !server.ShuttingDown()) {
+    if (epoch != nullptr) {
+      StatusOr<bool> sealed = epoch->MaybeAutoSeal();
+      if (!sealed.ok())
+        std::fprintf(stderr, "warning: auto-seal failed: %s\n",
+                     sealed.status().ToString().c_str());
+      else if (*sealed)
+        std::printf("auto-sealed epoch %llu\n",
+                    static_cast<unsigned long long>(epoch->epoch_seq()));
+    }
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
 
   std::printf("draining...\n");
   std::fflush(stdout);

@@ -4,7 +4,7 @@ namespace dehealth {
 
 const std::vector<FlagDoc>& FlagCatalog() {
   static const std::vector<FlagDoc>* catalog = new std::vector<FlagDoc>{
-      {"allow-epoch-skew", "router", true,
+      {"allow-epoch-skew", "router, ingest rollout", true,
        "Accept a fleet whose backends report different ingest epochs "
        "(mid-rollout); merged answers are transitional, not "
        "bitwise-reproducible"},
@@ -12,6 +12,12 @@ const std::vector<FlagDoc>& FlagCatalog() {
        "Output path for the anonymized-side dataset"},
       {"anonymized", "cli attack, serve", false,
        "Anonymized-side forum dataset (JSONL)"},
+      {"auto-seal-posts", "serve", false,
+       "With --ingest: seal a new epoch automatically once this many "
+       "staged posts accumulate (0 = off, the default)"},
+      {"auto-seal-secs", "serve", false,
+       "With --ingest: seal a new epoch automatically once the oldest "
+       "staged segment is this many seconds old (0 = off, the default)"},
       {"aux-fraction", "cli split", false,
        "Fraction of each user's posts routed to the auxiliary side "
        "(closed world; default 0.5)"},
@@ -19,9 +25,10 @@ const std::vector<FlagDoc>& FlagCatalog() {
        "Output path for the auxiliary-side dataset"},
       {"auxiliary", "cli attack, serve", false,
        "Auxiliary-side forum dataset (JSONL)"},
-      {"backends", "router", false,
-       "Comma-separated host:port list of the shard backends to fan out "
-       "to (one dehealth_serve per shard)"},
+      {"backends", "router, ingest rollout", false,
+       "Shard backends to fan out to: ',' separates shard groups, '|' "
+       "separates replicas within a group (each replica one "
+       "dehealth_serve)"},
       {"base", "ingest", false,
        "Base forum dataset (JSONL) a delta segment chain builds on — must "
        "match the --auxiliary the servers were started with"},
@@ -34,6 +41,10 @@ const std::vector<FlagDoc>& FlagCatalog() {
        "(testing only)"},
       {"filter", "cli attack, serve", true,
        "Enable phase-1c candidate filtering (Algorithm 2)"},
+      {"hedge-ms", "router", false,
+       "Hedged reads: fire a scatter leg that has not answered within "
+       "this many ms at a healthy sibling replica and take the first "
+       "answer (0 = off, the default)"},
       {"host", "query, router, serve", false,
        "Server address (default 127.0.0.1)"},
       {"idf", "cli attack, serve", true,
@@ -60,6 +71,9 @@ const std::vector<FlagDoc>& FlagCatalog() {
       {"metrics-out", "cli attack", false,
        "Write the run's metrics registry to this file (Prometheus text "
        "format)"},
+      {"no-seal", "ingest rollout", true,
+       "Stage --segments on every backend without sealing (a later "
+       "seal-only rollout or auto-seal performs the epoch swap)"},
       {"out", "cli generate/split/attack, query, ingest", false,
        "Output path (dataset, predictions CSV, query answers, or DHSG "
        "segment)"},
@@ -79,7 +93,7 @@ const std::vector<FlagDoc>& FlagCatalog() {
       {"require-all-shards", "router", true,
        "Fail-closed routing: any unreachable shard makes the whole query "
        "UNAVAILABLE instead of a PARTIAL merge of the live shards"},
-      {"retries", "query, router", false,
+      {"retries", "query, router, ingest rollout", false,
        "Retry budget for transient failures (connection refused, "
        "overload)"},
       {"seed", "cli generate/split", false,
@@ -89,7 +103,8 @@ const std::vector<FlagDoc>& FlagCatalog() {
        "filesystem)"},
       {"segments", "ingest", false,
        "Comma-separated chain of already-cut DHSG segments to replay "
-       "before --tail (segment) or to merge (compact)"},
+       "before --tail (segment), to merge (compact), or to push fleet-wide "
+       "(rollout; paths on the backends' filesystem)"},
       {"shard-count", "serve, ingest", false,
        "Serve ONE slice of a router-fronted fleet: total number of shards "
        "the auxiliary universe is split into (default 1 = unsharded)"},

@@ -1,5 +1,6 @@
 #include "ingest/epoch.h"
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 
@@ -32,6 +33,19 @@ void QuarantineSegmentFile(const std::string& path, const Status& why) {
 
 EpochHandler::EpochHandler(UdaGraph anonymized, DeHealthConfig config)
     : anonymized_(std::move(anonymized)), config_(std::move(config)) {}
+
+void EpochHandler::ConfigureAutoSeal(AutoSealPolicy policy) {
+  auto_seal_ = std::move(policy);
+  auto_seal_.posts_threshold = std::max(auto_seal_.posts_threshold, 0);
+  auto_seal_.secs_threshold = std::max(auto_seal_.secs_threshold, 0);
+}
+
+int64_t EpochHandler::NowMs() const {
+  if (auto_seal_.now_ms) return auto_seal_.now_ms();
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 StatusOr<std::unique_ptr<EpochHandler>> EpochHandler::Create(
     UdaGraph anonymized, ForumDataset auxiliary_dataset,
@@ -104,13 +118,44 @@ Status EpochHandler::LoadSegment(const std::string& segment_path) const {
   }
   obs::IngestMetrics& metrics = obs::GetIngestMetrics();
   metrics.segments_loaded->Increment();
+  if (staged_segments_.load() == 0) first_staged_ms_ = NowMs();
+  staged_posts_ += segment->posts.size();
   metrics.staged_segments->Set(
       static_cast<int64_t>(staged_segments_.fetch_add(1) + 1));
+  // Post-count auto-seal: the segment that crosses the threshold seals
+  // the epoch before its own response goes out, so the caller's post-op
+  // ShardInfo already shows the swap. A failed auto-seal is NOT this
+  // load's failure — the segment staged fine and the previous epoch keeps
+  // serving — so it only warns.
+  if (auto_seal_.posts_threshold > 0 &&
+      staged_posts_ >= static_cast<uint64_t>(auto_seal_.posts_threshold)) {
+    Status sealed = SealEpochLocked();
+    if (!sealed.ok())
+      std::fprintf(stderr, "warning: auto-seal (%llu staged posts) failed: "
+                           "%s\n",
+                   static_cast<unsigned long long>(staged_posts_),
+                   sealed.ToString().c_str());
+  }
   return Status::OK();
 }
 
 Status EpochHandler::SealEpoch() const {
   std::lock_guard<std::mutex> lock(admin_mutex_);
+  return SealEpochLocked();
+}
+
+StatusOr<bool> EpochHandler::MaybeAutoSeal() const {
+  if (auto_seal_.secs_threshold <= 0) return false;
+  std::lock_guard<std::mutex> lock(admin_mutex_);
+  if (staged_segments_.load() == 0) return false;
+  const int64_t age_ms = NowMs() - first_staged_ms_;
+  if (age_ms < static_cast<int64_t>(auto_seal_.secs_threshold) * 1000)
+    return false;
+  DEHEALTH_RETURN_IF_ERROR(SealEpochLocked());
+  return true;
+}
+
+Status EpochHandler::SealEpochLocked() const {
   obs::Span span("ingest", "epoch_seal");
   // A poisoned staging state (a failed apply whose rollback could not be
   // verified) must never be built into a serving epoch: an integrity
@@ -146,6 +191,7 @@ Status EpochHandler::SealEpoch() const {
   }
   const uint64_t seq = epoch_seq_.fetch_add(1) + 1;
   staged_segments_.store(0);
+  staged_posts_ = 0;
   obs::IngestMetrics& metrics = obs::GetIngestMetrics();
   metrics.epoch_seals->Increment();
   metrics.epoch_seq->Set(static_cast<int64_t>(seq));

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -17,6 +18,21 @@
 
 namespace dehealth {
 namespace ingest {
+
+/// When dehealth_serve --ingest seals a new epoch on its own, without an
+/// operator's kSealEpoch. Either trigger set to 0 is off (the default:
+/// fully manual). The clock is injectable so tests drive the age trigger
+/// by hand; the default reads std::chrono::steady_clock.
+struct AutoSealPolicy {
+  /// Seal once this many staged POSTS accumulate (across segments),
+  /// checked inside LoadSegment — the segment that crosses the threshold
+  /// is sealed into the new epoch before its response goes out.
+  int posts_threshold = 0;
+  /// Seal once the OLDEST staged segment is this many seconds old,
+  /// checked by MaybeAutoSeal() (the serving loop ticks it).
+  int secs_threshold = 0;
+  std::function<int64_t()> now_ms;
+};
 
 /// The zero-downtime epoch layer of dehealth_serve --ingest: a
 /// QueryHandler that delegates every query to the CURRENT epoch's
@@ -55,6 +71,19 @@ class EpochHandler : public QueryHandler {
       UdaGraph anonymized, ForumDataset auxiliary_dataset,
       DeHealthConfig config);
 
+  /// Installs the auto-seal policy (call before serving starts; not
+  /// thread-safe against in-flight admin ops).
+  void ConfigureAutoSeal(AutoSealPolicy policy);
+
+  /// Age-triggered auto-seal tick: seals iff policy.secs_threshold > 0,
+  /// something is staged, and the oldest staged segment's age crossed the
+  /// threshold. Returns true exactly when this call sealed. Safe to call
+  /// from the serving loop at any cadence — it takes the admin mutex, so
+  /// it serializes with (and never double-seals against) operator admin
+  /// ops. A failed seal is returned AND leaves the previous epoch
+  /// serving, exactly like a failed kSealEpoch.
+  StatusOr<bool> MaybeAutoSeal() const;
+
   // ---- admin (reader threads, serialized) ----
   Status LoadSegment(const std::string& segment_path) const override;
   Status SealEpoch() const override;
@@ -80,6 +109,10 @@ class EpochHandler : public QueryHandler {
   /// The current epoch's engine (shared_ptr copy under a short lock).
   std::shared_ptr<const QueryEngine> Engine() const;
 
+  /// SealEpoch's body; caller holds admin_mutex_.
+  Status SealEpochLocked() const;
+  int64_t NowMs() const;
+
   UdaGraph anonymized_;      // pristine copy for every rebuild
   DeHealthConfig config_;    // boot config; rebuilds drop job/index paths
 
@@ -95,6 +128,12 @@ class EpochHandler : public QueryHandler {
 
   mutable std::atomic<uint64_t> epoch_seq_{0};
   mutable std::atomic<uint64_t> staged_segments_{0};
+
+  AutoSealPolicy auto_seal_;
+  /// Posts applied since the last seal and the clock reading when the
+  /// first of them landed (guarded by admin_mutex_).
+  mutable uint64_t staged_posts_ = 0;
+  mutable int64_t first_staged_ms_ = 0;
 };
 
 }  // namespace ingest

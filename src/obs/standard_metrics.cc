@@ -78,6 +78,40 @@ const MetricDef kShardSnapshotQuarantines = {
     "dehealth_shard_snapshot_quarantines_total", MetricType::kCounter,
     "files", "shard", "Corrupt per-shard DHIX snapshots quarantined"};
 
+// ---- replica ----
+const MetricDef kReplicaFailovers = {
+    "dehealth_replica_failovers_total", MetricType::kCounter, "1", "replica",
+    "Scatter legs answered by a sibling replica after the first choice "
+    "failed (each one is a backend loss made invisible to the client)"};
+const MetricDef kReplicaEjections = {
+    "dehealth_replica_ejections_total", MetricType::kCounter, "1", "replica",
+    "Backends ejected from routing after consecutive failed exchanges"};
+const MetricDef kReplicaReadmissions = {
+    "dehealth_replica_readmissions_total", MetricType::kCounter, "1",
+    "replica", "Ejected backends readmitted after a validated probe"};
+const MetricDef kReplicaProbes = {
+    "dehealth_replica_probes_total", MetricType::kCounter, "1", "replica",
+    "Health probes (queue-bypassing kShardInfo) sent to ejected backends"};
+const MetricDef kReplicaProbeFailures = {
+    "dehealth_replica_probe_failures_total", MetricType::kCounter, "1",
+    "replica", "Health probes that failed or answered a mismatched "
+    "identity (the probe backoff grows after each)"};
+const MetricDef kReplicaHedges = {
+    "dehealth_replica_hedges_total", MetricType::kCounter, "1", "replica",
+    "Hedge RPCs fired at a sibling because the primary leg outlived "
+    "--hedge-ms"};
+const MetricDef kReplicaHedgeWins = {
+    "dehealth_replica_hedge_wins_total", MetricType::kCounter, "1",
+    "replica", "Hedge RPCs whose answer was used (the primary was "
+    "cancelled or lost the race)"};
+const MetricDef kReplicaHealthyBackends = {
+    "dehealth_replica_healthy_backends", MetricType::kGauge, "backends",
+    "replica", "Backends currently routable (fleet size minus ejected)"};
+const MetricDef kReplicaRolloutSeals = {
+    "dehealth_replica_rollout_seals_total", MetricType::kCounter, "1",
+    "replica", "Per-backend epoch seals driven by the rolling fleet-wide "
+    "ingestion driver"};
+
 // ---- job ----
 const MetricDef kJobShardsLoaded = {
     "dehealth_job_shards_loaded_total", MetricType::kCounter, "shards", "job",
@@ -165,6 +199,11 @@ const std::vector<const MetricDef*>& AllMetricDefs() {
           &kShardScatterFailures, &kShardPartialAnswers,
           &kShardMergeMicros,    &kShardBackendLatency,
           &kShardSnapshotQuarantines,
+          &kReplicaFailovers,    &kReplicaEjections,
+          &kReplicaReadmissions, &kReplicaProbes,
+          &kReplicaProbeFailures, &kReplicaHedges,
+          &kReplicaHedgeWins,    &kReplicaHealthyBackends,
+          &kReplicaRolloutSeals,
           &kJobShardsLoaded,     &kJobShardsComputed,
           &kJobQuarantines,      &kIngestSegmentsLoaded,
           &kIngestPostsApplied,  &kIngestEpochSeals,
@@ -229,6 +268,26 @@ ShardMetrics BindShardMetrics(Registry& registry) {
 ShardMetrics& GetShardMetrics() {
   static ShardMetrics* metrics =
       new ShardMetrics(BindShardMetrics(Registry::Global()));
+  return *metrics;
+}
+
+ReplicaMetrics BindReplicaMetrics(Registry& registry) {
+  return ReplicaMetrics{
+      registry.GetCounter(kReplicaFailovers),
+      registry.GetCounter(kReplicaEjections),
+      registry.GetCounter(kReplicaReadmissions),
+      registry.GetCounter(kReplicaProbes),
+      registry.GetCounter(kReplicaProbeFailures),
+      registry.GetCounter(kReplicaHedges),
+      registry.GetCounter(kReplicaHedgeWins),
+      registry.GetGauge(kReplicaHealthyBackends),
+      registry.GetCounter(kReplicaRolloutSeals),
+  };
+}
+
+ReplicaMetrics& GetReplicaMetrics() {
+  static ReplicaMetrics* metrics =
+      new ReplicaMetrics(BindReplicaMetrics(Registry::Global()));
   return *metrics;
 }
 

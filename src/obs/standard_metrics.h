@@ -44,6 +44,17 @@ extern const MetricDef kShardMergeMicros;
 extern const MetricDef kShardBackendLatency;
 extern const MetricDef kShardSnapshotQuarantines;
 
+// ---- replica: health-checked failover inside replicated shard groups ----
+extern const MetricDef kReplicaFailovers;
+extern const MetricDef kReplicaEjections;
+extern const MetricDef kReplicaReadmissions;
+extern const MetricDef kReplicaProbes;
+extern const MetricDef kReplicaProbeFailures;
+extern const MetricDef kReplicaHedges;
+extern const MetricDef kReplicaHedgeWins;
+extern const MetricDef kReplicaHealthyBackends;
+extern const MetricDef kReplicaRolloutSeals;
+
 // ---- job: DHJB checkpoint/resume shard lifecycle ----
 extern const MetricDef kJobShardsLoaded;
 extern const MetricDef kJobShardsComputed;
@@ -117,6 +128,24 @@ ShardMetrics& GetShardMetrics();
 /// A ShardMetrics bound to an explicit registry (no caching — call once
 /// and keep the struct).
 ShardMetrics BindShardMetrics(Registry& registry);
+
+/// Replicated-shard-group metrics: failover, health ejection/readmission,
+/// probing, hedged reads, and the rolling fleet seal. Routers bind these
+/// to their server registry like ShardMetrics; the rollout driver uses
+/// the Registry::Global() binding.
+struct ReplicaMetrics {
+  Counter* failovers;
+  Counter* ejections;
+  Counter* readmissions;
+  Counter* probes;
+  Counter* probe_failures;
+  Counter* hedges;
+  Counter* hedge_wins;
+  Gauge* healthy_backends;
+  Counter* rollout_seals;
+};
+ReplicaMetrics& GetReplicaMetrics();
+ReplicaMetrics BindReplicaMetrics(Registry& registry);
 
 struct JobMetrics {
   Counter* shards_loaded;

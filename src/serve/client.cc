@@ -1,5 +1,7 @@
 #include "serve/client.h"
 
+#include <sys/socket.h>
+
 #include <algorithm>
 #include <chrono>
 #include <thread>
@@ -11,32 +13,45 @@ namespace dehealth {
 
 namespace {
 
-/// Jittered backoff before 1-based attempt `attempt` (>= 2), in ms.
-int BackoffMs(const RetryPolicy& retry, int attempt) {
-  double backoff = retry.initial_backoff_ms;
-  for (int i = 2; i < attempt; ++i) backoff *= retry.multiplier;
-  backoff = std::min(backoff, static_cast<double>(retry.max_backoff_ms));
-  // Deterministic jitter in [0.5, 1.0]: a pure function of (seed,
-  // attempt), so tests can predict total retry time while distinct seeds
-  // decorrelate a thundering herd.
-  Rng rng(MixSeed(retry.seed, static_cast<uint64_t>(attempt)));
-  return static_cast<int>(backoff * (0.5 + 0.5 * rng.NextDouble()));
-}
-
 bool Transient(const Status& status) {
   return status.code() == StatusCode::kUnavailable;
 }
 
 }  // namespace
 
+RetryPolicy ClampRetryPolicy(RetryPolicy retry) {
+  retry.max_attempts = std::max(retry.max_attempts, 1);
+  retry.initial_backoff_ms = std::max(retry.initial_backoff_ms, 0);
+  retry.max_backoff_ms =
+      std::max(retry.max_backoff_ms, retry.initial_backoff_ms);
+  // `!(x >= 1)` also catches NaN, which `std::max` would propagate.
+  if (!(retry.multiplier >= 1.0)) retry.multiplier = 1.0;
+  return retry;
+}
+
+int RetryBackoffMs(const RetryPolicy& retry, int attempt) {
+  const RetryPolicy clamped = ClampRetryPolicy(retry);
+  double backoff = clamped.initial_backoff_ms;
+  for (int i = 2; i < attempt; ++i) {
+    backoff *= clamped.multiplier;
+    if (backoff >= clamped.max_backoff_ms) break;  // no overflow spiral
+  }
+  backoff = std::min(backoff, static_cast<double>(clamped.max_backoff_ms));
+  // Deterministic jitter in [0.5, 1.0]: a pure function of (seed,
+  // attempt), so tests can predict total retry time while distinct seeds
+  // decorrelate a thundering herd.
+  Rng rng(MixSeed(clamped.seed, static_cast<uint64_t>(attempt)));
+  return static_cast<int>(backoff * (0.5 + 0.5 * rng.NextDouble()));
+}
+
 StatusOr<QueryClient> QueryClient::Connect(const std::string& host, int port,
                                            RetryPolicy retry) {
-  retry.max_attempts = std::max(retry.max_attempts, 1);
+  retry = ClampRetryPolicy(retry);
   Status last;
   for (int attempt = 1; attempt <= retry.max_attempts; ++attempt) {
     if (attempt > 1)
       std::this_thread::sleep_for(
-          std::chrono::milliseconds(BackoffMs(retry, attempt)));
+          std::chrono::milliseconds(RetryBackoffMs(retry, attempt)));
     StatusOr<UniqueFd> fd = ConnectTcp(host, port);
     if (fd.ok())
       return QueryClient(host, port, retry, std::move(fd).value());
@@ -46,12 +61,26 @@ StatusOr<QueryClient> QueryClient::Connect(const std::string& host, int port,
   return last;
 }
 
+void QueryClient::CancelInFlight() {
+  cancel_->requested.store(true, std::memory_order_release);
+  // Shut down (not close — the owning thread still holds the fd) the
+  // published socket so a blocked read/write returns immediately.
+  const int fd = cancel_->fd.load(std::memory_order_acquire);
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+}
+
+void QueryClient::ResetConnection() {
+  cancel_->fd.store(-1, std::memory_order_release);
+  fd_.reset();
+}
+
 StatusOr<std::string> QueryClient::RoundTripOnce(
     RequestType type, const std::string& payload, bool* partial) {
   if (!fd_.valid()) {
     StatusOr<UniqueFd> fd = ConnectTcp(host_, port_);
     if (!fd.ok()) return fd.status();
     fd_ = std::move(fd).value();
+    cancel_->fd.store(fd_.get(), std::memory_order_release);
   }
   DEHEALTH_RETURN_IF_ERROR(
       WriteFrame(fd_.get(), static_cast<uint8_t>(type), payload));
@@ -92,19 +121,28 @@ StatusOr<std::string> QueryClient::RoundTrip(RequestType type,
                                              const std::string& payload,
                                              bool retryable, bool* partial) {
   const int max_attempts = retryable ? std::max(retry_.max_attempts, 1) : 1;
+  cancel_->requested.store(false, std::memory_order_release);
   StatusOr<std::string> result = Status::Internal("unreachable");
   for (int attempt = 1; attempt <= max_attempts; ++attempt) {
     if (attempt > 1)
       std::this_thread::sleep_for(
-          std::chrono::milliseconds(BackoffMs(retry_, attempt)));
+          std::chrono::milliseconds(RetryBackoffMs(retry_, attempt)));
     result = RoundTripOnce(type, payload, partial);
+    if (cancel_->requested.load(std::memory_order_acquire)) {
+      // The socket was shut down under us mid-round-trip: whatever came
+      // back (usually a transport error, possibly a complete answer that
+      // raced the shutdown) is abandoned, and we must NOT retry — the
+      // caller already took the answer from the hedged sibling.
+      ResetConnection();
+      return Status::Cancelled("request cancelled");
+    }
     if (result.ok() || !Transient(result.status())) return result;
     // Transient failure. A mid-round-trip transport death leaves the
     // stream unsynchronized — drop the connection so the next attempt
     // reconnects. A transported overload rejection leaves it healthy.
     // Queries are idempotent reads, so a resend is always safe.
     if (!result.status().message().starts_with("server overloaded"))
-      fd_.reset();
+      ResetConnection();
   }
   return result;
 }

@@ -1,7 +1,9 @@
 #ifndef DEHEALTH_SERVE_CLIENT_H_
 #define DEHEALTH_SERVE_CLIENT_H_
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -25,6 +27,18 @@ struct RetryPolicy {
   double multiplier = 2.0;
   uint64_t seed = 1;
 };
+
+/// Sanitized copy of `retry`: max_attempts >= 1, non-negative backoffs
+/// with max >= initial, multiplier >= 1 (NaN treated as 1). QueryClient
+/// applies this at Connect so a mis-set flag (zero or negative backoff, a
+/// shrinking multiplier) degrades to a sane bounded schedule instead of a
+/// zero-delay retry spin or a negative sleep cast.
+RetryPolicy ClampRetryPolicy(RetryPolicy retry);
+
+/// The jittered backoff before 1-based attempt `attempt` (>= 2) of
+/// `retry`, in ms — a pure function of (policy, attempt), clamped to
+/// [0, max_backoff_ms]. Exposed so tests can assert the schedule.
+int RetryBackoffMs(const RetryPolicy& retry, int attempt);
 
 /// Client side of the DHQP protocol: one blocking connection to a
 /// dehealth_serve instance, one request in flight at a time (run several
@@ -94,10 +108,30 @@ class QueryClient {
   /// shutdown took, and resending to a restarted server would kill it too.
   Status RequestShutdown();
 
+  /// Cancels the request currently in flight on this client, if any — the
+  /// ONE member safe to call from another thread. The blocked round trip
+  /// wakes promptly (the socket is shut down under it) and returns
+  /// Cancelled without retrying; the connection is dropped, so the next
+  /// request reconnects cleanly. This is how a hedged read cancels the
+  /// losing leg: the loser's answer is abandoned, never half-read.
+  void CancelInFlight();
+
  private:
+  /// Cross-thread cancellation rendezvous. The owning thread publishes the
+  /// live fd before blocking in a round trip; CancelInFlight (any thread)
+  /// flips `requested` and shuts the published socket down, which makes
+  /// the blocked read fail immediately.
+  struct CancelState {
+    std::atomic<bool> requested{false};
+    std::atomic<int> fd{-1};
+  };
+
   QueryClient(std::string host, int port, RetryPolicy retry, UniqueFd fd)
       : host_(std::move(host)), port_(port), retry_(retry),
-        fd_(std::move(fd)) {}
+        fd_(std::move(fd)),
+        cancel_(std::make_shared<CancelState>()) {
+    cancel_->fd.store(fd_.get(), std::memory_order_release);
+  }
 
   /// Writes one request frame, reads one response frame, maps kError /
   /// kOverloaded / kTimeout to the transported Status and returns the kOk
@@ -121,10 +155,16 @@ class QueryClient {
                               int top_k, double timeout_ms,
                               bool* partial = nullptr);
 
+  /// Drops the connection and clears the published cancel fd (in that
+  /// order's inverse: unpublish first so a racing cancel never shuts down
+  /// a recycled descriptor).
+  void ResetConnection();
+
   std::string host_;
   int port_ = 0;
   RetryPolicy retry_;
   UniqueFd fd_;
+  std::shared_ptr<CancelState> cancel_;
 };
 
 }  // namespace dehealth

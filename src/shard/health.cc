@@ -1,0 +1,143 @@
+#include "shard/health.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace dehealth {
+
+namespace {
+
+int64_t SteadyNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+HealthPolicy ClampHealthPolicy(HealthPolicy policy) {
+  policy.failure_threshold = std::max(policy.failure_threshold, 1);
+  policy.initial_probe_ms = std::max(policy.initial_probe_ms, 0);
+  policy.max_probe_ms =
+      std::max(policy.max_probe_ms, policy.initial_probe_ms);
+  if (!(policy.multiplier >= 1.0)) policy.multiplier = 1.0;  // NaN too
+  return policy;
+}
+
+HealthTracker::HealthTracker(std::vector<int> group_sizes,
+                             HealthPolicy policy,
+                             std::function<int64_t()> now_ms)
+    : sizes_(std::move(group_sizes)),
+      policy_(ClampHealthPolicy(policy)),
+      now_ms_(now_ms ? std::move(now_ms) : SteadyNowMs) {
+  offsets_.reserve(sizes_.size());
+  int flat = 0;
+  for (int size : sizes_) {
+    offsets_.push_back(flat);
+    flat += std::max(size, 0);
+  }
+  slots_.resize(static_cast<size_t>(flat));
+  cursors_.assign(sizes_.size(), 0);
+}
+
+int HealthTracker::FlatId(int group, int replica) const {
+  return offsets_[static_cast<size_t>(group)] + replica;
+}
+
+HealthTracker::Slot& HealthTracker::At(int group, int replica) {
+  return slots_[static_cast<size_t>(FlatId(group, replica))];
+}
+
+const HealthTracker::Slot& HealthTracker::At(int group, int replica) const {
+  return slots_[static_cast<size_t>(FlatId(group, replica))];
+}
+
+bool HealthTracker::healthy(int group, int replica) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return At(group, replica).healthy;
+}
+
+int HealthTracker::healthy_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int count = 0;
+  for (const Slot& slot : slots_) count += slot.healthy ? 1 : 0;
+  return count;
+}
+
+int HealthTracker::ProbeDelayMs(int backend, int attempt) const {
+  double delay = policy_.initial_probe_ms;
+  for (int i = 1; i < attempt; ++i) delay *= policy_.multiplier;
+  delay = std::min(delay, static_cast<double>(policy_.max_probe_ms));
+  // Same jitter shape as the client retry backoff: deterministic in
+  // (seed, backend, attempt). 1000003 keeps the (backend, attempt)
+  // streams of different backends disjoint for any sane attempt count.
+  Rng rng(MixSeed(policy_.seed,
+                  static_cast<uint64_t>(backend) * 1000003ULL +
+                      static_cast<uint64_t>(attempt)));
+  return static_cast<int>(delay * (0.5 + 0.5 * rng.NextDouble()));
+}
+
+bool HealthTracker::RecordSuccess(int group, int replica) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Slot& slot = At(group, replica);
+  slot.consecutive_failures = 0;
+  slot.probe_armed = false;
+  if (slot.healthy) return false;
+  slot.healthy = true;
+  slot.probe_attempt = 1;
+  return true;
+}
+
+bool HealthTracker::RecordFailure(int group, int replica) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Slot& slot = At(group, replica);
+  if (slot.healthy) {
+    if (++slot.consecutive_failures < policy_.failure_threshold)
+      return false;
+    slot.healthy = false;
+    slot.probe_attempt = 1;
+    slot.probe_armed = false;
+    slot.next_probe_ms =
+        now_ms_() + ProbeDelayMs(FlatId(group, replica), 1);
+    return true;
+  }
+  // A failed probe (or a last-resort leg that also failed): back off.
+  slot.probe_armed = false;
+  slot.probe_attempt += 1;
+  slot.next_probe_ms =
+      now_ms_() + ProbeDelayMs(FlatId(group, replica), slot.probe_attempt);
+  return false;
+}
+
+bool HealthTracker::ShouldProbe(int group, int replica) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Slot& slot = At(group, replica);
+  if (slot.healthy || slot.probe_armed) return false;
+  if (now_ms_() < slot.next_probe_ms) return false;
+  slot.probe_armed = true;
+  return true;
+}
+
+std::vector<int> HealthTracker::RouteOrder(int group) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int size = sizes_[static_cast<size_t>(group)];
+  std::vector<int> healthy_ids, ejected_ids;
+  healthy_ids.reserve(static_cast<size_t>(size));
+  for (int r = 0; r < size; ++r)
+    (At(group, r).healthy ? healthy_ids : ejected_ids).push_back(r);
+  std::vector<int> order;
+  order.reserve(static_cast<size_t>(size));
+  if (!healthy_ids.empty()) {
+    const size_t start = cursors_[static_cast<size_t>(group)]++ %
+                         healthy_ids.size();
+    for (size_t i = 0; i < healthy_ids.size(); ++i)
+      order.push_back(healthy_ids[(start + i) % healthy_ids.size()]);
+  }
+  order.insert(order.end(), ejected_ids.begin(), ejected_ids.end());
+  return order;
+}
+
+}  // namespace dehealth

@@ -1,0 +1,126 @@
+#ifndef DEHEALTH_SHARD_HEALTH_H_
+#define DEHEALTH_SHARD_HEALTH_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace dehealth {
+
+/// When the HealthTracker ejects a backend and how it schedules the
+/// probe-and-readmit cycle afterwards. The probe schedule is jittered
+/// exponential backoff exactly like the PR 4 client retry: the delay
+/// before 1-based probe attempt `a` of backend `b` is
+///   min(initial_probe_ms * multiplier^(a-1), max_probe_ms)
+/// scaled by a deterministic jitter factor in [0.5, 1.0] drawn from
+/// Rng(MixSeed(seed, b * 1000003 + a)) — a pure function of
+/// (seed, backend, attempt), so tests can predict every probe instant
+/// while distinct seeds decorrelate probing across real routers.
+struct HealthPolicy {
+  /// Consecutive failed exchanges that eject a backend. 1 (the default)
+  /// ejects on the first failure: the scatter layer already failed over,
+  /// so there is no reason to keep routing fresh legs at a dead peer.
+  int failure_threshold = 1;
+  int initial_probe_ms = 100;
+  int max_probe_ms = 2000;
+  double multiplier = 2.0;
+  uint64_t seed = 1;
+};
+
+/// Sanitized copy of `policy`: threshold >= 1, non-negative backoffs with
+/// max >= initial, multiplier >= 1 (NaN treated as 1). Same hygiene as
+/// ClampRetryPolicy in serve/client.h — a mis-set flag must degrade to a
+/// sane schedule, never a zero-delay probe spin.
+HealthPolicy ClampHealthPolicy(HealthPolicy policy);
+
+/// Per-backend health for a replicated scatter-gather fleet, indexed by
+/// (group, replica). Pure bookkeeping: the router records the outcome of
+/// every exchange and asks two questions — "which replicas of this group
+/// should a leg try, in what order?" and "is this ejected backend due for
+/// a probe?". The tracker never touches the network; probing (a
+/// queue-bypassing kShardInfo round trip) is the router's job.
+///
+/// Thread-safe: scatter legs run concurrently under ParallelFor and
+/// record outcomes from worker threads; one mutex guards all state (the
+/// operations are a few integer updates, far off any hot path).
+///
+/// Deterministic: the probe schedule depends only on (policy.seed,
+/// backend, attempt) and the injected clock, so a test driving the clock
+/// by hand sees the exact same ejection/probe/readmit trace every run.
+class HealthTracker {
+ public:
+  /// `group_sizes[g]` = number of replicas of shard group g. All backends
+  /// start healthy. `now_ms` overrides the clock (tests); the default
+  /// reads std::chrono::steady_clock.
+  HealthTracker(std::vector<int> group_sizes, HealthPolicy policy,
+                std::function<int64_t()> now_ms = {});
+
+  int num_groups() const { return static_cast<int>(sizes_.size()); }
+  int group_size(int group) const { return sizes_[static_cast<size_t>(group)]; }
+
+  bool healthy(int group, int replica) const;
+  /// Healthy backends across the whole fleet (the value of the
+  /// dehealth_replica_healthy_backends gauge).
+  int healthy_count() const;
+
+  /// Records a successful exchange with (group, replica): clears the
+  /// failure streak, and readmits the backend if it was ejected. Returns
+  /// true exactly when this call readmitted it (ejected -> healthy).
+  bool RecordSuccess(int group, int replica);
+
+  /// Records a failed exchange. For a healthy backend, grows the failure
+  /// streak and ejects once it reaches policy.failure_threshold; for an
+  /// ejected backend (a failed probe), advances the probe attempt so the
+  /// next probe backs off further. Returns true exactly when this call
+  /// ejected it (healthy -> ejected).
+  bool RecordFailure(int group, int replica);
+
+  /// True when (group, replica) is ejected and its probe delay has
+  /// elapsed. A true return ARMS the probe: the caller must follow up
+  /// with RecordSuccess (readmit) or RecordFailure (back off further);
+  /// until then, repeated calls return false so concurrent queries never
+  /// double-probe one backend.
+  bool ShouldProbe(int group, int replica);
+
+  /// The order a scatter leg for `group` should try replicas: healthy
+  /// replicas first, rotated by a per-group round-robin cursor (each call
+  /// advances it — replicas of a bitwise-identical group share load),
+  /// then ejected replicas in index order as a last resort (a leg with
+  /// no healthy replica left is still worth attempting everywhere before
+  /// the router degrades the answer).
+  std::vector<int> RouteOrder(int group);
+
+  /// Milliseconds between ejection (or the previous probe failure) and
+  /// 1-based probe attempt `attempt` of flat backend id `backend` —
+  /// exposed so tests can assert the schedule the tracker follows.
+  int ProbeDelayMs(int backend, int attempt) const;
+
+ private:
+  struct Slot {
+    int consecutive_failures = 0;
+    bool healthy = true;
+    /// 1-based probe attempt the next probe will be; valid when ejected.
+    int probe_attempt = 1;
+    /// Clock reading at/after which the next probe may fire.
+    int64_t next_probe_ms = 0;
+    /// A ShouldProbe() armed this slot; cleared by Record{Success,Failure}.
+    bool probe_armed = false;
+  };
+
+  Slot& At(int group, int replica);
+  const Slot& At(int group, int replica) const;
+  int FlatId(int group, int replica) const;
+
+  std::vector<int> sizes_;
+  std::vector<int> offsets_;  // flat id of each group's replica 0
+  HealthPolicy policy_;
+  std::function<int64_t()> now_ms_;
+  mutable std::mutex mutex_;
+  std::vector<Slot> slots_;
+  std::vector<size_t> cursors_;  // per-group round-robin cursor
+};
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_SHARD_HEALTH_H_

@@ -1,0 +1,139 @@
+#include "shard/rollout.h"
+
+#include <cstdio>
+#include <utility>
+
+#include "obs/standard_metrics.h"
+
+namespace dehealth {
+
+namespace {
+
+std::string Where(const BackendAddress& address) {
+  return address.host + ":" + std::to_string(address.port);
+}
+
+}  // namespace
+
+StatusOr<RolloutReport> RunRollout(
+    const std::vector<std::vector<BackendAddress>>& groups,
+    const RolloutOptions& options) {
+  if (groups.empty())
+    return Status::InvalidArgument("rollout: no backends");
+  for (const auto& group : groups)
+    if (group.empty())
+      return Status::InvalidArgument("rollout: empty shard group");
+
+  obs::ReplicaMetrics& metrics = obs::GetReplicaMetrics();
+  RolloutReport report;
+  report.groups.reserve(groups.size());
+
+  for (size_t g = 0; g < groups.size(); ++g) {
+    // Replica by replica: push the whole segment chain and seal, so each
+    // replica crosses the epoch boundary in one visit and the group's
+    // mixed-epoch window is as short as the slowest single rebuild.
+    std::vector<ShardInfoAnswer> landed;
+    landed.reserve(groups[g].size());
+    uint64_t group_shard_index = 0;
+    for (size_t r = 0; r < groups[g].size(); ++r) {
+      const std::string where = Where(groups[g][r]);
+      StatusOr<QueryClient> client = QueryClient::Connect(
+          groups[g][r].host, groups[g][r].port, options.retry);
+      if (!client.ok())
+        return Status(client.status().code(),
+                      "rollout: group " + std::to_string(g) + " replica " +
+                          std::to_string(r) + " (" + where +
+                          ") unreachable: " + client.status().message());
+      StatusOr<ShardInfoAnswer> info = client->ShardInfo();
+      if (!info.ok())
+        return Status(info.status().code(),
+                      "rollout: " + where + " shard-info failed: " +
+                          info.status().message());
+      // Replica discipline BEFORE mutating anything: a mis-grouped spec
+      // must not push one shard's rollout visit onto another shard.
+      if (r == 0) {
+        group_shard_index = info->shard_index;
+      } else if (info->shard_index != group_shard_index) {
+        return Status::FailedPrecondition(
+            "rollout: " + where + " claims shard " +
+            std::to_string(info->shard_index) +
+            " but its replica group's first backend claims shard " +
+            std::to_string(group_shard_index) +
+            " — refusing to mutate a mis-grouped fleet");
+      }
+      for (const std::string& segment : options.segments) {
+        StatusOr<ShardInfoAnswer> after = client->LoadSegment(segment);
+        if (!after.ok())
+          return Status(after.status().code(),
+                        "rollout: " + where + " refused segment " +
+                            segment + ": " + after.status().message());
+        info = after;
+      }
+      if (options.seal) {
+        StatusOr<ShardInfoAnswer> sealed = client->SealEpoch();
+        if (!sealed.ok())
+          return Status(sealed.status().code(),
+                        "rollout: " + where + " seal failed: " +
+                            sealed.status().message());
+        info = sealed;
+        metrics.rollout_seals->Increment();
+        ++report.seals;
+      }
+      report.segments_loaded += static_cast<int>(options.segments.size());
+      landed.push_back(*info);
+    }
+    // Group convergence gate: every replica at the same epoch and
+    // fingerprint before the next group starts — THIS is what keeps a
+    // serving router's --allow-epoch-skew window to one group at a time.
+    for (size_t r = 1; r < landed.size(); ++r) {
+      if (landed[r].epoch_seq == landed[0].epoch_seq &&
+          landed[r].universe_fingerprint ==
+              landed[0].universe_fingerprint)
+        continue;
+      const std::string divergence =
+          "rollout: group " + std::to_string(g) + " diverged: replica " +
+          std::to_string(r) + " (" + Where(groups[g][r]) +
+          ") landed at epoch " + std::to_string(landed[r].epoch_seq) +
+          " but replica 0 (" + Where(groups[g][0]) + ") is at epoch " +
+          std::to_string(landed[0].epoch_seq) +
+          (landed[r].epoch_seq == landed[0].epoch_seq
+               ? " with a different universe fingerprint"
+               : "");
+      if (!options.allow_epoch_skew)
+        return Status::FailedPrecondition(
+            divergence + " — fix the named replica and rerun (pass "
+                         "--allow-epoch-skew to proceed anyway)");
+      std::fprintf(stderr, "[dehealth_ingest] warning: %s "
+                           "(--allow-epoch-skew)\n", divergence.c_str());
+    }
+    RolloutGroupReport group_report;
+    group_report.replicas = static_cast<int>(landed.size());
+    group_report.epoch_seq = landed[0].epoch_seq;
+    group_report.universe_fingerprint = landed[0].universe_fingerprint;
+    report.groups.push_back(group_report);
+  }
+
+  // Fleet convergence: every group ends at the same epoch AND universe
+  // fingerprint — each backend stages the full auxiliary universe even in
+  // slice mode, so after identical segment chains the fingerprints agree
+  // fleet-wide, not just per group.
+  for (size_t g = 1; g < report.groups.size(); ++g) {
+    if (report.groups[g].epoch_seq == report.groups[0].epoch_seq &&
+        report.groups[g].universe_fingerprint ==
+            report.groups[0].universe_fingerprint)
+      continue;
+    const std::string divergence =
+        "rollout: fleet diverged after rollout: group " +
+        std::to_string(g) + " landed at epoch " +
+        std::to_string(report.groups[g].epoch_seq) + " but group 0 is at " +
+        std::to_string(report.groups[0].epoch_seq);
+    if (!options.allow_epoch_skew)
+      return Status::FailedPrecondition(
+          divergence + " (pass --allow-epoch-skew to accept)");
+    std::fprintf(stderr, "[dehealth_ingest] warning: %s "
+                         "(--allow-epoch-skew)\n", divergence.c_str());
+  }
+  return report;
+}
+
+}  // namespace dehealth

@@ -1,0 +1,72 @@
+#ifndef DEHEALTH_SHARD_ROLLOUT_H_
+#define DEHEALTH_SHARD_ROLLOUT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "serve/client.h"
+#include "shard/router.h"
+
+namespace dehealth {
+
+/// One fleet-wide rolling ingestion pass (dehealth_ingest rollout).
+struct RolloutOptions {
+  /// DHSG segment paths pushed to every backend, in order. Paths are on
+  /// the BACKENDS' filesystem (kLoadSegment semantics). May be empty —
+  /// a seal-only rollout re-seals whatever each backend has staged.
+  std::vector<std::string> segments;
+  /// Seal after loading (the epoch swap). false stages only.
+  bool seal = true;
+  /// Tolerate divergent (epoch_seq, fingerprint) after a group or the
+  /// fleet converges — downgraded to a stderr warning. Without it the
+  /// driver fails the rollout at the first replica that lands somewhere
+  /// its siblings did not (e.g. a backend that had extra segments
+  /// staged), leaving the fleet for the operator to reconcile.
+  bool allow_epoch_skew = false;
+  /// Per-backend connect retry (serve/client.h semantics). Admin ops
+  /// themselves are never retried — kLoadSegment/kSealEpoch mutate state.
+  RetryPolicy retry;
+};
+
+struct RolloutGroupReport {
+  int replicas = 0;
+  /// Where every replica of the group landed (post-verification).
+  uint64_t epoch_seq = 0;
+  uint64_t universe_fingerprint = 0;
+};
+
+struct RolloutReport {
+  std::vector<RolloutGroupReport> groups;
+  int segments_loaded = 0;  // across all replicas
+  int seals = 0;
+};
+
+/// Drives a rolling ingestion across a replicated fleet: group by group,
+/// replica by replica, push every segment (kLoadSegment) and seal
+/// (kSealEpoch), then verify the group CONVERGED — every replica at the
+/// same epoch_seq and universe fingerprint — before touching the next
+/// group. A replica group therefore serves mixed epochs only inside its
+/// own rollout window; a router pointed at the fleet needs
+/// --allow-epoch-skew exactly for that window, never across it. After the
+/// last group the same convergence check runs fleet-wide.
+///
+/// Fail-closed: any unreachable replica, refused segment, or
+/// post-group divergence (without options.allow_epoch_skew) aborts with
+/// the offending backend named and the already-converged groups left
+/// sealed. Recovery is manual by design — a backend's parent-fingerprint
+/// check refuses a re-pushed segment it already applied, so the operator
+/// reconciles the named backend (usually: restart it at the group's
+/// snapshot) and reruns; the driver never guesses which replica is the
+/// stale one.
+///
+/// Increments dehealth_replica_rollout_seals_total (Registry::Global())
+/// once per successful kSealEpoch.
+StatusOr<RolloutReport> RunRollout(
+    const std::vector<std::vector<BackendAddress>>& groups,
+    const RolloutOptions& options);
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_SHARD_ROLLOUT_H_

@@ -308,6 +308,145 @@ TEST(EpochHandlerTest, StaleSegmentIsRefusedAndStagingSurvives) {
   EXPECT_EQ(handler->epoch_seq(), 1u);
 }
 
+TEST(EpochHandlerTest, AutoSealPostsThresholdSealsInsideTheLoad) {
+  const Fixture f = MakeFixture(12, 7);
+  TempFile segment_file("epoch_auto_posts.dhsg");
+  const DeltaSegment segment = CutTailSegment(f, segment_file.path());
+  ASSERT_GT(segment.posts.size(), 0u);
+
+  auto handler = MakeHandler(f, SmallConfig());
+  AutoSealPolicy policy;
+  policy.posts_threshold = static_cast<int>(segment.posts.size());
+  handler->ConfigureAutoSeal(policy);
+
+  // The load that reaches the threshold seals before it returns: the
+  // caller's post-op ShardInfo already shows the new epoch.
+  ASSERT_TRUE(handler->LoadSegment(segment_file.path()).ok());
+  EXPECT_EQ(handler->epoch_seq(), 1u);
+  EXPECT_EQ(handler->staged_segments(), 0u);
+
+  // And the sealed epoch answers exactly like a manual-seal server.
+  auto full_engine = QueryEngine::Create(
+      BuildUdaGraph(f.anonymized), BuildUdaGraph(f.full), SmallConfig());
+  ASSERT_TRUE(full_engine.ok());
+  EXPECT_EQ(Witness(*handler), Witness(**full_engine));
+}
+
+TEST(EpochHandlerTest, AutoSealBelowPostsThresholdStaysStaged) {
+  const Fixture f = MakeFixture(12, 7);
+  TempFile segment_file("epoch_auto_below.dhsg");
+  const DeltaSegment segment = CutTailSegment(f, segment_file.path());
+
+  auto handler = MakeHandler(f, SmallConfig());
+  AutoSealPolicy policy;
+  policy.posts_threshold = static_cast<int>(segment.posts.size()) + 1;
+  handler->ConfigureAutoSeal(policy);
+
+  const std::string before = Witness(*handler);
+  ASSERT_TRUE(handler->LoadSegment(segment_file.path()).ok());
+  EXPECT_EQ(handler->epoch_seq(), 0u);
+  EXPECT_EQ(handler->staged_segments(), 1u);
+  EXPECT_EQ(Witness(*handler), before);  // staged, invisible, unsealed
+}
+
+TEST(EpochHandlerTest, AutoSealAgeThresholdSealsOnTheInjectedClock) {
+  const Fixture f = MakeFixture(12, 7);
+  TempFile segment_file("epoch_auto_age.dhsg");
+  CutTailSegment(f, segment_file.path());
+
+  auto handler = MakeHandler(f, SmallConfig());
+  int64_t now_ms = 1000;
+  AutoSealPolicy policy;
+  policy.secs_threshold = 5;
+  policy.now_ms = [&now_ms] { return now_ms; };
+  handler->ConfigureAutoSeal(policy);
+
+  // Nothing staged: the tick is a no-op at any clock reading.
+  auto idle = handler->MaybeAutoSeal();
+  ASSERT_TRUE(idle.ok());
+  EXPECT_FALSE(*idle);
+
+  ASSERT_TRUE(handler->LoadSegment(segment_file.path()).ok());
+  EXPECT_EQ(handler->epoch_seq(), 0u);
+
+  // One ms short of the threshold: still the old epoch.
+  now_ms += 4999;
+  auto early = handler->MaybeAutoSeal();
+  ASSERT_TRUE(early.ok());
+  EXPECT_FALSE(*early);
+  EXPECT_EQ(handler->epoch_seq(), 0u);
+
+  now_ms += 1;
+  auto sealed = handler->MaybeAutoSeal();
+  ASSERT_TRUE(sealed.ok());
+  EXPECT_TRUE(*sealed);
+  EXPECT_EQ(handler->epoch_seq(), 1u);
+  EXPECT_EQ(handler->staged_segments(), 0u);
+
+  // The clock keeps running but nothing new is staged: no re-seal.
+  now_ms += 100000;
+  auto again = handler->MaybeAutoSeal();
+  ASSERT_TRUE(again.ok());
+  EXPECT_FALSE(*again);
+  EXPECT_EQ(handler->epoch_seq(), 1u);
+
+  auto full_engine = QueryEngine::Create(
+      BuildUdaGraph(f.anonymized), BuildUdaGraph(f.full), SmallConfig());
+  ASSERT_TRUE(full_engine.ok());
+  EXPECT_EQ(Witness(*handler), Witness(**full_engine));
+}
+
+TEST(EpochHandlerTest, AutoSealAgeClockStartsAtFirstStagedSegment) {
+  // Two segments staged at different times: the age trigger measures from
+  // the FIRST, so a trickle of segments cannot postpone the seal forever.
+  const Fixture f = MakeFixture(12, 7);
+  TempFile first_file("epoch_auto_first.dhsg");
+  TempFile second_file("epoch_auto_second.dhsg");
+  // Chain: base -> (tail half 1) -> (tail half 2).
+  IngestState state = IngestState::FromDataset(f.base);
+  const size_t half = f.tail.size() / 2;
+  std::vector<Post> tail_a(f.tail.begin(),
+                           f.tail.begin() + static_cast<long>(half));
+  std::vector<Post> tail_b(f.tail.begin() + static_cast<long>(half),
+                           f.tail.end());
+  ASSERT_FALSE(tail_a.empty());
+  ASSERT_FALSE(tail_b.empty());
+  auto seg_a = CutSegment(&state, tail_a);
+  ASSERT_TRUE(seg_a.ok());
+  ASSERT_TRUE(WriteSegmentVerified(*seg_a, first_file.path()).ok());
+  auto seg_b = CutSegment(&state, tail_b);
+  ASSERT_TRUE(seg_b.ok());
+  ASSERT_TRUE(WriteSegmentVerified(*seg_b, second_file.path()).ok());
+
+  auto handler = MakeHandler(f, SmallConfig());
+  int64_t now_ms = 0;
+  AutoSealPolicy policy;
+  policy.secs_threshold = 10;
+  policy.now_ms = [&now_ms] { return now_ms; };
+  handler->ConfigureAutoSeal(policy);
+
+  ASSERT_TRUE(handler->LoadSegment(first_file.path()).ok());
+  now_ms += 9000;
+  ASSERT_TRUE(handler->LoadSegment(second_file.path()).ok());
+  EXPECT_EQ(handler->staged_segments(), 2u);
+
+  // 9s after the first segment: not due. 10s after: due, even though the
+  // second segment is only 1s old.
+  auto early = handler->MaybeAutoSeal();
+  ASSERT_TRUE(early.ok());
+  EXPECT_FALSE(*early);
+  now_ms += 1000;
+  auto sealed = handler->MaybeAutoSeal();
+  ASSERT_TRUE(sealed.ok());
+  EXPECT_TRUE(*sealed);
+  EXPECT_EQ(handler->epoch_seq(), 1u);
+
+  auto full_engine = QueryEngine::Create(
+      BuildUdaGraph(f.anonymized), BuildUdaGraph(f.full), SmallConfig());
+  ASSERT_TRUE(full_engine.ok());
+  EXPECT_EQ(Witness(*handler), Witness(**full_engine));
+}
+
 // Queries racing a seal never fail and always see a complete epoch —
 // either the old one or the new one, nothing in between.
 TEST(EpochHandlerTest, QueriesSurviveConcurrentSeal) {

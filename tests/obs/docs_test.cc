@@ -59,9 +59,10 @@ TEST(FlagCatalogTest, SortedAndUnique) {
 TEST(FlagCatalogTest, AttackBooleanFlagsDeriveFromCatalog) {
   // ParseAttackFlags' value-less flags must match the catalog's boolean
   // entries; the set is small and load-bearing enough to pin exactly.
-  const std::set<std::string> expected = {"allow-epoch-skew", "filter",
-                                          "idf", "index", "ingest",
-                                          "require-all-shards"};
+  const std::set<std::string> expected = {
+      "allow-epoch-skew", "filter",  "idf",
+      "index",            "ingest",  "no-seal",
+      "require-all-shards"};
   EXPECT_EQ(AttackBooleanFlags(), expected);
 }
 

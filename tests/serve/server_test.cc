@@ -1,5 +1,6 @@
 #include "serve/server.h"
 
+#include <cmath>
 #include <filesystem>
 #include <memory>
 #include <string>
@@ -320,6 +321,100 @@ TEST_F(ServeServerTest, ExpiredDeadlineAnswersTimeout) {
 
   server.Shutdown();
   server.Wait();
+}
+
+TEST(RetryPolicyTest, ClampSanitizesEveryField) {
+  RetryPolicy bad;
+  bad.max_attempts = 0;
+  bad.initial_backoff_ms = -50;
+  bad.max_backoff_ms = -1;
+  bad.multiplier = 0.5;  // shrinking backoff would converge on a spin
+  RetryPolicy clamped = ClampRetryPolicy(bad);
+  EXPECT_EQ(clamped.max_attempts, 1);
+  EXPECT_EQ(clamped.initial_backoff_ms, 0);
+  EXPECT_GE(clamped.max_backoff_ms, clamped.initial_backoff_ms);
+  EXPECT_GE(clamped.multiplier, 1.0);
+
+  // NaN multiplier must not propagate through std::max-style comparisons.
+  RetryPolicy nan_policy;
+  nan_policy.multiplier = std::nan("");
+  EXPECT_EQ(ClampRetryPolicy(nan_policy).multiplier, 1.0);
+
+  // max < initial is raised to initial, never inverted into a shrinking
+  // window.
+  RetryPolicy inverted;
+  inverted.initial_backoff_ms = 400;
+  inverted.max_backoff_ms = 10;
+  EXPECT_EQ(ClampRetryPolicy(inverted).max_backoff_ms, 400);
+
+  // A sane policy passes through untouched.
+  RetryPolicy sane;
+  sane.max_attempts = 5;
+  sane.initial_backoff_ms = 20;
+  sane.max_backoff_ms = 2000;
+  sane.multiplier = 3.0;
+  RetryPolicy same = ClampRetryPolicy(sane);
+  EXPECT_EQ(same.max_attempts, 5);
+  EXPECT_EQ(same.initial_backoff_ms, 20);
+  EXPECT_EQ(same.max_backoff_ms, 2000);
+  EXPECT_EQ(same.multiplier, 3.0);
+}
+
+TEST(RetryPolicyTest, BackoffScheduleIsBoundedAndDeterministic) {
+  RetryPolicy retry;
+  retry.initial_backoff_ms = 100;
+  retry.max_backoff_ms = 1000;
+  retry.multiplier = 2.0;
+  retry.seed = 3;
+
+  // Attempt 2 backs off [50, 100] (jitter halves at most), attempt 3
+  // [100, 200], and the schedule caps at max_backoff_ms forever after.
+  const int second = RetryBackoffMs(retry, 2);
+  EXPECT_GE(second, 50);
+  EXPECT_LE(second, 100);
+  EXPECT_EQ(second, RetryBackoffMs(retry, 2));  // pure function
+  const int third = RetryBackoffMs(retry, 3);
+  EXPECT_GE(third, 100);
+  EXPECT_LE(third, 200);
+  // Base backoff is 100 * 2^(attempt-2), so attempt 6 (1600) is the first
+  // to hit the 1000 cap; from there the jittered schedule stays in
+  // [500, 1000] forever (no overflow spiral at large attempt counts).
+  for (int attempt = 6; attempt < 64; ++attempt) {
+    const int backoff = RetryBackoffMs(retry, attempt);
+    EXPECT_GE(backoff, 500);
+    EXPECT_LE(backoff, 1000);
+  }
+
+  // Different seeds decorrelate the jitter of a retrying herd.
+  RetryPolicy other = retry;
+  other.seed = 77;
+  bool differs = false;
+  for (int attempt = 2; attempt < 10 && !differs; ++attempt)
+    differs = RetryBackoffMs(retry, attempt) != RetryBackoffMs(other, attempt);
+  EXPECT_TRUE(differs);
+}
+
+TEST(RetryPolicyTest, DegenerateBackoffsNeverGoNegativeOrSpin) {
+  // The regression this guards: non-positive backoff fields used to reach
+  // the sleep call unclamped, so a huge attempt count with multiplier < 1
+  // or negative initial backoff could spin with zero (or negative) sleeps.
+  RetryPolicy degenerate;
+  degenerate.initial_backoff_ms = -10;
+  degenerate.max_backoff_ms = -10;
+  degenerate.multiplier = 0.0;
+  for (int attempt = 2; attempt < 40; ++attempt) {
+    const int backoff = RetryBackoffMs(degenerate, attempt);
+    EXPECT_GE(backoff, 0);
+    EXPECT_LE(backoff, 0);  // clamped max is 0: bounded, not negative
+  }
+
+  // multiplier < 1 with a large max must still grow toward max, not
+  // shrink toward a zero-delay spin.
+  RetryPolicy shrinking;
+  shrinking.initial_backoff_ms = 100;
+  shrinking.max_backoff_ms = 1000;
+  shrinking.multiplier = 0.25;
+  EXPECT_GE(RetryBackoffMs(shrinking, 10), 50);  // >= jittered initial
 }
 
 TEST_F(ServeServerTest, ConnectRetriesTransientFailures) {

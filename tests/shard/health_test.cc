@@ -1,0 +1,179 @@
+// HealthTracker semantics: ejection on the failure threshold, jittered
+// exponential probe scheduling off an injected clock, single-arming of
+// probes under concurrency, and the healthy-first rotated route order —
+// all deterministic for a fixed (seed, backend, attempt).
+
+#include "shard/health.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace dehealth {
+namespace {
+
+/// A tracker over `sizes` replicas per group whose clock is the test's
+/// `now` variable.
+struct Fixture {
+  int64_t now = 0;
+  HealthTracker tracker;
+
+  Fixture(std::vector<int> sizes, HealthPolicy policy)
+      : tracker(std::move(sizes), policy, [this] { return now; }) {}
+};
+
+HealthPolicy FastPolicy() {
+  HealthPolicy policy;
+  policy.initial_probe_ms = 100;
+  policy.max_probe_ms = 1000;
+  policy.multiplier = 2.0;
+  policy.seed = 7;
+  return policy;
+}
+
+TEST(ClampHealthPolicyTest, SanitizesEveryField) {
+  HealthPolicy bad;
+  bad.failure_threshold = 0;
+  bad.initial_probe_ms = -5;
+  bad.max_probe_ms = -100;
+  bad.multiplier = 0.25;  // shrinking backoff
+  HealthPolicy clamped = ClampHealthPolicy(bad);
+  EXPECT_EQ(clamped.failure_threshold, 1);
+  EXPECT_EQ(clamped.initial_probe_ms, 0);
+  EXPECT_GE(clamped.max_probe_ms, clamped.initial_probe_ms);
+  EXPECT_GE(clamped.multiplier, 1.0);
+
+  HealthPolicy nan_mult;
+  nan_mult.multiplier = std::nan("");
+  EXPECT_GE(ClampHealthPolicy(nan_mult).multiplier, 1.0);
+
+  // max < initial is raised to initial, never inverted.
+  HealthPolicy inverted;
+  inverted.initial_probe_ms = 500;
+  inverted.max_probe_ms = 10;
+  EXPECT_EQ(ClampHealthPolicy(inverted).max_probe_ms, 500);
+}
+
+TEST(HealthTrackerTest, StartsHealthyAndEjectsOnThreshold) {
+  HealthPolicy policy = FastPolicy();
+  policy.failure_threshold = 3;
+  Fixture f({2, 1}, policy);
+  EXPECT_TRUE(f.tracker.healthy(0, 0));
+  EXPECT_EQ(f.tracker.healthy_count(), 3);
+
+  EXPECT_FALSE(f.tracker.RecordFailure(0, 1));
+  EXPECT_FALSE(f.tracker.RecordFailure(0, 1));
+  EXPECT_TRUE(f.tracker.healthy(0, 1));  // streak 2 of 3
+  EXPECT_TRUE(f.tracker.RecordFailure(0, 1));  // this call ejects
+  EXPECT_FALSE(f.tracker.healthy(0, 1));
+  EXPECT_EQ(f.tracker.healthy_count(), 2);
+
+  // A success in the middle of a streak resets it.
+  EXPECT_FALSE(f.tracker.RecordFailure(0, 0));
+  EXPECT_FALSE(f.tracker.RecordSuccess(0, 0));  // healthy -> healthy
+  EXPECT_FALSE(f.tracker.RecordFailure(0, 0));
+  EXPECT_FALSE(f.tracker.RecordFailure(0, 0));
+  EXPECT_TRUE(f.tracker.healthy(0, 0));
+}
+
+TEST(HealthTrackerTest, ProbeFollowsJitteredExponentialSchedule) {
+  Fixture f({1, 1}, FastPolicy());
+  ASSERT_TRUE(f.tracker.RecordFailure(1, 0));  // flat backend id 1 ejected
+
+  // The schedule is a pure function of (seed, backend, attempt): jittered
+  // base backoff 100, 200, 400, ... capped at 1000, jitter in [0.5, 1.0].
+  const int first = f.tracker.ProbeDelayMs(1, 1);
+  EXPECT_GE(first, 50);
+  EXPECT_LE(first, 100);
+  EXPECT_EQ(first, f.tracker.ProbeDelayMs(1, 1));  // deterministic
+  EXPECT_LE(f.tracker.ProbeDelayMs(1, 9), 1000);   // capped
+  EXPECT_GE(f.tracker.ProbeDelayMs(1, 9), 500);
+
+  // Not due yet: one tick before the delay elapses.
+  f.now = first - 1;
+  EXPECT_FALSE(f.tracker.ShouldProbe(1, 0));
+  f.now = first;
+  EXPECT_TRUE(f.tracker.ShouldProbe(1, 0));
+  // Armed: no double-probe until the caller records the outcome.
+  EXPECT_FALSE(f.tracker.ShouldProbe(1, 0));
+
+  // Probe failed: attempt 2's delay starts from NOW, and is longer.
+  ASSERT_FALSE(f.tracker.RecordFailure(1, 0));  // already ejected
+  const int second = f.tracker.ProbeDelayMs(1, 2);
+  EXPECT_GE(second, 100);
+  EXPECT_LE(second, 200);
+  f.now += second - 1;
+  EXPECT_FALSE(f.tracker.ShouldProbe(1, 0));
+  f.now += 1;
+  EXPECT_TRUE(f.tracker.ShouldProbe(1, 0));
+
+  // Probe succeeded: readmitted, and healthy backends never probe.
+  EXPECT_TRUE(f.tracker.RecordSuccess(1, 0));
+  EXPECT_TRUE(f.tracker.healthy(1, 0));
+  f.now += 100000;
+  EXPECT_FALSE(f.tracker.ShouldProbe(1, 0));
+
+  // A fresh ejection restarts the schedule at attempt 1.
+  ASSERT_TRUE(f.tracker.RecordFailure(1, 0));
+  f.now += f.tracker.ProbeDelayMs(1, 1);
+  EXPECT_TRUE(f.tracker.ShouldProbe(1, 0));
+}
+
+TEST(HealthTrackerTest, DistinctBackendsGetDecorrelatedJitter) {
+  // Not guaranteed pairwise-distinct, but over 8 backends the jitter draw
+  // must not collapse to one value (that would mean the mix is ignoring
+  // the backend id and the whole fleet probes in lockstep).
+  Fixture f({8}, FastPolicy());
+  std::set<int> delays;
+  for (int b = 0; b < 8; ++b) delays.insert(f.tracker.ProbeDelayMs(b, 1));
+  EXPECT_GT(delays.size(), 1u);
+}
+
+TEST(HealthTrackerTest, RouteOrderRotatesHealthyAndAppendsEjected) {
+  Fixture f({3}, FastPolicy());
+
+  // All healthy: every call is a rotation of {0,1,2}, cursor advancing.
+  std::vector<int> first = f.tracker.RouteOrder(0);
+  std::vector<int> second = f.tracker.RouteOrder(0);
+  ASSERT_EQ(first.size(), 3u);
+  ASSERT_EQ(second.size(), 3u);
+  EXPECT_NE(first[0], second[0]);  // load actually rotates
+  std::set<int> all(first.begin(), first.end());
+  EXPECT_EQ(all.size(), 3u);
+
+  // Eject replica 1: it moves to the back, healthy replicas stay first.
+  ASSERT_TRUE(f.tracker.RecordFailure(0, 1));
+  for (int i = 0; i < 4; ++i) {
+    std::vector<int> order = f.tracker.RouteOrder(0);
+    ASSERT_EQ(order.size(), 3u);
+    EXPECT_EQ(order.back(), 1) << "ejected replica must be last resort";
+    EXPECT_NE(order[0], 1);
+  }
+
+  // Everything ejected: the order still lists every replica (a leg with
+  // no healthy replica should try them all before degrading).
+  ASSERT_TRUE(f.tracker.RecordFailure(0, 0));
+  ASSERT_TRUE(f.tracker.RecordFailure(0, 2));
+  std::vector<int> order = f.tracker.RouteOrder(0);
+  std::set<int> everyone(order.begin(), order.end());
+  EXPECT_EQ(everyone.size(), 3u);
+  EXPECT_EQ(f.tracker.healthy_count(), 0);
+}
+
+TEST(HealthTrackerTest, PerGroupStateIsIndependent) {
+  Fixture f({2, 2}, FastPolicy());
+  ASSERT_TRUE(f.tracker.RecordFailure(0, 0));
+  EXPECT_FALSE(f.tracker.healthy(0, 0));
+  EXPECT_TRUE(f.tracker.healthy(1, 0));
+  EXPECT_TRUE(f.tracker.healthy(1, 1));
+  EXPECT_EQ(f.tracker.healthy_count(), 3);
+  // Group 1's route order is untouched by group 0's ejection.
+  std::vector<int> order = f.tracker.RouteOrder(1);
+  ASSERT_EQ(order.size(), 2u);
+}
+
+}  // namespace
+}  // namespace dehealth

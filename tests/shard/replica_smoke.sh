@@ -1,0 +1,156 @@
+#!/usr/bin/env bash
+# End-to-end smoke test of replicated shard groups: two shards x two
+# replicas behind dehealth_router. Killing any single backend must be
+# INVISIBLE to clients — a continuous query stream sees zero failures,
+# zero PARTIALs, and answers byte-identical to an unreplicated (R=1)
+# fleet — and a restarted backend must be probed, re-admitted, and serve
+# again (dehealth_replica_* metrics prove the cycle).
+#
+# Usage: replica_smoke.sh <dehealth_cli> <dehealth_serve> <dehealth_router>
+#                         <dehealth_query> <work_dir>
+set -eu
+
+CLI="$1"
+SERVE="$2"
+ROUTER="$3"
+QUERY="$4"
+WORK="$5"
+
+rm -rf "$WORK"
+mkdir -p "$WORK"
+
+PIDS=""
+cleanup() {
+  for pid in $PIDS; do
+    kill -KILL "$pid" 2>/dev/null || true
+  done
+}
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  exit 1
+}
+
+# Starts a server ($1=log tag, rest=command) and waits for its port file.
+# Sets LAST_PID and LAST_PORT.
+start_and_wait() {
+  local tag="$1"
+  shift
+  "$@" --port-file "$WORK/$tag.port" >"$WORK/$tag.log" 2>&1 &
+  LAST_PID=$!
+  PIDS="$PIDS $LAST_PID"
+  LAST_PORT=""
+  for _ in $(seq 1 300); do  # up to 30 s for load + phase-1 precompute
+    if [ -s "$WORK/$tag.port" ]; then
+      LAST_PORT=$(cat "$WORK/$tag.port")
+      break
+    fi
+    kill -0 "$LAST_PID" 2>/dev/null || {
+      cat "$WORK/$tag.log" >&2
+      fail "$tag exited before publishing its port"
+    }
+    sleep 0.1
+  done
+  [ -n "$LAST_PORT" ] || fail "timed out waiting for $tag port file"
+}
+
+# One query against the replicated router: must succeed, must not be
+# PARTIAL, must be byte-identical to the R=1 golden. $1 = context tag.
+assert_clean_query() {
+  local tag="$1"
+  "$QUERY" topk --port "$ROUTER_PORT" --users all \
+      >"$WORK/$tag.topk" 2>"$WORK/$tag.err" ||
+    fail "query failed during '$tag': $(cat "$WORK/$tag.err")"
+  if grep -q "PARTIAL" "$WORK/$tag.err"; then
+    fail "client saw PARTIAL during '$tag' (replica failover should hide it)"
+  fi
+  cmp "$WORK/golden.topk" "$WORK/$tag.topk" ||
+    fail "answer during '$tag' differs from the R=1 fleet byte-for-byte"
+}
+
+# --- shared dataset ------------------------------------------------------
+"$CLI" generate --preset webmd --users 30 --seed 7 --out "$WORK/forum.jsonl"
+"$CLI" split --dataset "$WORK/forum.jsonl" --aux-fraction 0.5 --seed 3 \
+  --anon-out "$WORK/anon.jsonl" --aux-out "$WORK/aux.jsonl" \
+  --truth-out "$WORK/truth.csv"
+
+DATA_FLAGS="--anonymized $WORK/anon.jsonl --auxiliary $WORK/aux.jsonl \
+  --k 5 --learner centroid --threads 2"
+
+# --- backends: 2 shards x 2 replicas ------------------------------------
+for i in 0 1; do
+  for r in 0 1; do
+    start_and_wait "shard$i-r$r" "$SERVE" $DATA_FLAGS --port 0 \
+      --shard-index "$i" --shard-count 2
+    eval "PORT_${i}_${r}=\$LAST_PORT"
+    eval "PID_${i}_${r}=\$LAST_PID"
+  done
+done
+
+# --- golden: the SAME slices as an unreplicated R=1 fleet ----------------
+start_and_wait golden_router "$ROUTER" --port 0 \
+  --backends "127.0.0.1:$PORT_0_0,127.0.0.1:$PORT_1_0"
+GOLDEN_ROUTER_PID="$LAST_PID"
+"$QUERY" topk --port "$LAST_PORT" --users all >"$WORK/golden.topk"
+[ -s "$WORK/golden.topk" ] || fail "R=1 fleet returned no topk output"
+kill -TERM "$GOLDEN_ROUTER_PID" 2>/dev/null || true
+wait "$GOLDEN_ROUTER_PID" 2>/dev/null || true
+
+# --- the replicated router ----------------------------------------------
+start_and_wait router "$ROUTER" --port 0 --hedge-ms 200 --backends \
+  "127.0.0.1:$PORT_0_0|127.0.0.1:$PORT_0_1,127.0.0.1:$PORT_1_0|127.0.0.1:$PORT_1_1"
+ROUTER_PID="$LAST_PID"
+ROUTER_PORT="$LAST_PORT"
+grep -q "2 shards, 4 backends" "$WORK/router.log" ||
+  fail "router log missing replica topology: $(cat "$WORK/router.log")"
+
+assert_clean_query healthy
+
+# --- kill ANY one backend mid-stream: clients must never notice ----------
+kill -KILL "$PID_0_1" 2>/dev/null || true
+for n in $(seq 1 10); do
+  assert_clean_query "kill0-q$n"
+done
+
+"$QUERY" metrics --port "$ROUTER_PORT" >"$WORK/after_kill.metrics"
+grep -Eq "^dehealth_replica_failovers_total [1-9]" "$WORK/after_kill.metrics" ||
+  fail "no failover recorded after killing a replica"
+grep -Eq "^dehealth_replica_ejections_total [1-9]" "$WORK/after_kill.metrics" ||
+  fail "dead replica was not ejected"
+
+# --- restart the dead backend on ITS OLD PORT: probe + readmission -------
+rm -f "$WORK/shard0-r1.port"
+start_and_wait "shard0-r1" "$SERVE" $DATA_FLAGS --port "$PORT_0_1" \
+  --shard-index 0 --shard-count 2
+READMITTED=""
+for _ in $(seq 1 100); do  # probes back off up to 2 s between attempts
+  assert_clean_query readmit-probe
+  "$QUERY" metrics --port "$ROUTER_PORT" >"$WORK/readmit.metrics"
+  if grep -Eq "^dehealth_replica_readmissions_total [1-9]" \
+      "$WORK/readmit.metrics"; then
+    READMITTED=yes
+    break
+  fi
+  sleep 0.2
+done
+[ -n "$READMITTED" ] || fail "restarted backend was never re-admitted"
+grep -Eq "^dehealth_replica_probes_total [1-9]" "$WORK/readmit.metrics" ||
+  fail "readmission happened without a probe being counted"
+
+# --- the restarted replica must actually SERVE: kill its sibling ---------
+kill -KILL "$PID_0_0" 2>/dev/null || true
+for n in $(seq 1 5); do
+  assert_clean_query "kill-sibling-q$n"
+done
+
+# --- drain ---------------------------------------------------------------
+kill -TERM "$ROUTER_PID"
+RC=0
+wait "$ROUTER_PID" || RC=$?
+[ "$RC" -eq 0 ] || {
+  cat "$WORK/router.log" >&2
+  fail "dehealth_router exited $RC after SIGTERM (expected graceful drain)"
+}
+
+echo "replica smoke test passed"

@@ -1,13 +1,17 @@
 #include "shard/router.h"
 
+#include <chrono>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "common/fault_injection.h"
+#include "obs/metrics.h"
+#include "obs/standard_metrics.h"
 #include "datagen/forum_generator.h"
 #include "datagen/split.h"
 #include "serve/engine.h"
@@ -67,14 +71,16 @@ class RouterTest : public ::testing::Test {
 
   static StatusOr<Backend> StartSlice(const UdaGraph& anon,
                                       const UdaGraph& aux, int shard_index,
-                                      int shard_count) {
+                                      int shard_count, int port = 0) {
     Backend backend;
     auto engine = QueryEngine::Create(
         anon, aux, SliceConfig(shard_index, shard_count));
     if (!engine.ok()) return engine.status();
     backend.engine = std::move(engine).value();
+    ServerConfig config;
+    config.port = port;
     backend.server =
-        std::make_unique<QueryServer>(*backend.engine, ServerConfig());
+        std::make_unique<QueryServer>(*backend.engine, config);
     DEHEALTH_RETURN_IF_ERROR(backend.server->Start());
     return backend;
   }
@@ -99,6 +105,50 @@ class RouterTest : public ::testing::Test {
 
   static void StopFleet(std::vector<Backend>& backends) {
     for (Backend& b : backends) b.Stop();
+  }
+
+  /// n shard groups of r replicas each — every replica of group g is an
+  /// independent engine over the identical slice (deterministic build, so
+  /// the replicas really are bitwise-identical copies).
+  static StatusOr<std::vector<std::vector<Backend>>> StartReplicaFleet(
+      int n, int r) {
+    std::vector<std::vector<Backend>> groups;
+    for (int g = 0; g < n; ++g) {
+      std::vector<Backend> replicas;
+      for (int i = 0; i < r; ++i) {
+        auto backend = StartSlice(*anon_, *aux_, g, n);
+        if (!backend.ok()) return backend.status();
+        replicas.push_back(std::move(backend).value());
+      }
+      groups.push_back(std::move(replicas));
+    }
+    return groups;
+  }
+
+  static std::vector<std::vector<BackendAddress>> GroupAddresses(
+      const std::vector<std::vector<Backend>>& groups) {
+    std::vector<std::vector<BackendAddress>> addresses;
+    for (const auto& group : groups) {
+      std::vector<BackendAddress> replicas;
+      for (const Backend& b : group)
+        replicas.push_back(BackendAddress{"127.0.0.1", b.port()});
+      addresses.push_back(std::move(replicas));
+    }
+    return addresses;
+  }
+
+  static void StopGroups(std::vector<std::vector<Backend>>& groups) {
+    for (auto& group : groups) StopFleet(group);
+  }
+
+  /// Probes fire on the first query after ~1ms — what the readmission
+  /// tests need to converge without real-time sleeps dominating.
+  static RouterOptions FastProbeOptions(obs::Registry* registry) {
+    RouterOptions options;
+    options.health.initial_probe_ms = 1;
+    options.health.max_probe_ms = 5;
+    options.registry = registry;
+    return options;
   }
 
   static UdaGraph* anon_;
@@ -317,6 +367,202 @@ TEST_F(RouterTest, ScatterFaultInjectionDegrades) {
   ASSERT_TRUE(healthy.ok());
   EXPECT_FALSE(healthy->partial);
   StopFleet(*fleet);
+}
+
+TEST_F(RouterTest, ParseBackendGroups) {
+  auto replicated = ParseBackendGroups("a:1|b:2,c:3|d:4|e:5");
+  ASSERT_TRUE(replicated.ok()) << replicated.status().ToString();
+  ASSERT_EQ(replicated->size(), 2u);
+  ASSERT_EQ((*replicated)[0].size(), 2u);
+  ASSERT_EQ((*replicated)[1].size(), 3u);
+  EXPECT_EQ((*replicated)[0][0].host, "a");
+  EXPECT_EQ((*replicated)[0][1].port, 2);
+  EXPECT_EQ((*replicated)[1][2].host, "e");
+
+  // A PR 7 flat spec parses as unreplicated groups, unchanged.
+  auto flat = ParseBackendGroups("a:1,b:2");
+  ASSERT_TRUE(flat.ok());
+  ASSERT_EQ(flat->size(), 2u);
+  EXPECT_EQ((*flat)[0].size(), 1u);
+  EXPECT_EQ((*flat)[1].size(), 1u);
+
+  EXPECT_FALSE(ParseBackendGroups("").ok());
+  EXPECT_FALSE(ParseBackendGroups("a:1|,b:2").ok());   // empty replica
+  EXPECT_FALSE(ParseBackendGroups("|a:1").ok());       // leading separator
+  EXPECT_FALSE(ParseBackendGroups("a:1,,b:2").ok());   // empty group
+  EXPECT_FALSE(ParseBackendGroups("a:1|b").ok());      // missing port
+  EXPECT_FALSE(ParseBackendGroups("a:1|b:70000").ok());
+}
+
+TEST_F(RouterTest, ReplicatedAnswersByteIdenticalUnderEveryKillSchedule) {
+  // The golden: an unreplicated (R=1) fleet of the same shape.
+  auto golden_fleet = StartFleet(2);
+  ASSERT_TRUE(golden_fleet.ok());
+  auto golden_router =
+      RouterHandler::Connect(Addresses(*golden_fleet), RouterOptions());
+  ASSERT_TRUE(golden_router.ok()) << golden_router.status().ToString();
+  const std::vector<int> users = AllUsers((*golden_router)->num_anonymized());
+  auto golden = (*golden_router)->TopKScored(users, 3);
+  ASSERT_TRUE(golden.ok());
+  EXPECT_FALSE(golden->partial);
+  StopFleet(*golden_fleet);
+
+  // Every schedule: which replica (if any) to kill, and whether reads
+  // hedge. The answer must be byte-identical and complete in all of them.
+  struct Schedule {
+    int kill_group;  // -1 = nobody dies
+    int kill_replica;
+    int hedge_ms;
+  };
+  const Schedule schedules[] = {
+      {-1, 0, 0}, {0, 0, 0}, {0, 1, 0}, {1, 1, 0}, {-1, 0, 1}, {1, 0, 1},
+  };
+  for (const Schedule& schedule : schedules) {
+    auto groups = StartReplicaFleet(2, 2);
+    ASSERT_TRUE(groups.ok()) << groups.status().ToString();
+    RouterOptions options;
+    options.hedge_ms = schedule.hedge_ms;
+    auto router =
+        RouterHandler::Connect(GroupAddresses(*groups), options);
+    ASSERT_TRUE(router.ok()) << router.status().ToString();
+    EXPECT_EQ((*router)->num_groups(), 2);
+    EXPECT_EQ((*router)->num_backends(), 4);
+
+    if (schedule.kill_group >= 0)
+      (*groups)[static_cast<size_t>(schedule.kill_group)]
+               [static_cast<size_t>(schedule.kill_replica)]
+                   .Stop();
+    for (int round = 0; round < 3; ++round) {
+      auto answer = (*router)->TopKScored(users, 3);
+      ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+      EXPECT_FALSE(answer->partial)
+          << "kill (" << schedule.kill_group << "," << schedule.kill_replica
+          << ") hedge " << schedule.hedge_ms << " round " << round;
+      ASSERT_EQ(answer->candidates.size(), golden->candidates.size());
+      for (size_t u = 0; u < users.size(); ++u) {
+        const auto& got = answer->candidates[u];
+        const auto& want = golden->candidates[u];
+        ASSERT_EQ(got.size(), want.size());
+        for (size_t i = 0; i < got.size(); ++i) {
+          EXPECT_EQ(got[i].user, want[i].user);
+          EXPECT_EQ(got[i].score, want[i].score);  // bitwise
+        }
+      }
+    }
+    StopGroups(*groups);
+  }
+}
+
+TEST_F(RouterTest, KilledReplicaFailsOverWithoutPartial) {
+  auto groups = StartReplicaFleet(2, 2);
+  ASSERT_TRUE(groups.ok());
+  obs::Registry registry;
+  RouterOptions options;
+  options.require_all_shards = true;  // failover must make this moot
+  options.registry = &registry;
+  auto router = RouterHandler::Connect(GroupAddresses(*groups), options);
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+
+  (*groups)[0][0].Stop();
+  auto answer = (*router)->TopKScored({0, 1, 2}, 0);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_FALSE(answer->partial);
+  EXPECT_GE(registry.GetCounter(obs::kReplicaFailovers)->Value(), 1u);
+  EXPECT_GE(registry.GetCounter(obs::kReplicaEjections)->Value(), 1u);
+  EXPECT_FALSE((*router)->replica_healthy(0, 0));
+  EXPECT_TRUE((*router)->replica_healthy(0, 1));
+  EXPECT_EQ(registry.GetGauge(obs::kReplicaHealthyBackends)->Value(), 3);
+
+  // The WHOLE group gone is still a hard stop under require_all_shards.
+  (*groups)[0][1].Stop();
+  auto refused = (*router)->TopKScored({0, 1, 2}, 0);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kUnavailable);
+  StopGroups(*groups);
+}
+
+TEST_F(RouterTest, RestartedReplicaIsProbedReadmittedAndServesAgain) {
+  auto groups = StartReplicaFleet(2, 2);
+  ASSERT_TRUE(groups.ok());
+  obs::Registry registry;
+  auto router = RouterHandler::Connect(GroupAddresses(*groups),
+                                       FastProbeOptions(&registry));
+  ASSERT_TRUE(router.ok()) << router.status().ToString();
+  const std::vector<int> users = {0, 1, 2, 3};
+  auto golden = (*router)->TopKScored(users, 0);
+  ASSERT_TRUE(golden.ok());
+
+  // Kill replica (0,1) and query until the health tracker ejects it (the
+  // rotation decides which query routes group 0's leg at the dead one).
+  const int dead_port = (*groups)[0][1].port();
+  (*groups)[0][1].Stop();
+  for (int i = 0; i < 4 && (*router)->replica_healthy(0, 1); ++i)
+    ASSERT_TRUE((*router)->TopKScored(users, 0).ok());
+  EXPECT_FALSE((*router)->replica_healthy(0, 1));
+  EXPECT_GE(registry.GetCounter(obs::kReplicaEjections)->Value(), 1u);
+
+  // While it is down, due probes fail and keep it ejected.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  ASSERT_TRUE((*router)->TopKScored(users, 0).ok());
+  EXPECT_GE(registry.GetCounter(obs::kReplicaProbes)->Value(), 1u);
+  EXPECT_GE(registry.GetCounter(obs::kReplicaProbeFailures)->Value(), 1u);
+  EXPECT_FALSE((*router)->replica_healthy(0, 1));
+
+  // Restart the SAME backend (same slice, same data, same port). The next
+  // due probe readmits it.
+  auto restarted = StartSlice(*anon_, *aux_, 0, 2, dead_port);
+  ASSERT_TRUE(restarted.ok()) << restarted.status().ToString();
+  (*groups)[0][1] = std::move(restarted).value();
+  const uint64_t readmissions_before =
+      registry.GetCounter(obs::kReplicaReadmissions)->Value();
+  for (int i = 0; i < 50 && !(*router)->replica_healthy(0, 1); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    ASSERT_TRUE((*router)->TopKScored(users, 0).ok());
+  }
+  EXPECT_TRUE((*router)->replica_healthy(0, 1));
+  EXPECT_GT(registry.GetCounter(obs::kReplicaReadmissions)->Value(),
+            readmissions_before);
+  EXPECT_EQ(registry.GetGauge(obs::kReplicaHealthyBackends)->Value(), 4);
+
+  // Prove it really serves: kill its sibling — the restarted replica is
+  // now group 0's only backend, and answers stay complete and identical.
+  (*groups)[0][0].Stop();
+  auto after = (*router)->TopKScored(users, 0);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_FALSE(after->partial);
+  ASSERT_EQ(after->candidates.size(), golden->candidates.size());
+  for (size_t u = 0; u < users.size(); ++u) {
+    const auto& got = after->candidates[u];
+    const auto& want = golden->candidates[u];
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].user, want[i].user);
+      EXPECT_EQ(got[i].score, want[i].score);
+    }
+  }
+  StopGroups(*groups);
+}
+
+TEST_F(RouterTest, MisGroupedReplicasRefusedAtConnect) {
+  // Group 0 pairs a shard-0 backend with a shard-1 backend: both healthy,
+  // both the right universe, but NOT copies of each other — failing over
+  // between them would silently swap which slice answers.
+  auto slice0 = StartSlice(*anon_, *aux_, 0, 2);
+  auto slice1 = StartSlice(*anon_, *aux_, 1, 2);
+  auto extra1 = StartSlice(*anon_, *aux_, 1, 2);
+  ASSERT_TRUE(slice0.ok());
+  ASSERT_TRUE(slice1.ok());
+  ASSERT_TRUE(extra1.ok());
+  std::vector<std::vector<BackendAddress>> mis_grouped = {
+      {{"127.0.0.1", slice0->port()}, {"127.0.0.1", slice1->port()}},
+      {{"127.0.0.1", extra1->port()}},
+  };
+  auto router = RouterHandler::Connect(mis_grouped, RouterOptions());
+  ASSERT_FALSE(router.ok());
+  EXPECT_EQ(router.status().code(), StatusCode::kFailedPrecondition);
+  slice0->Stop();
+  slice1->Stop();
+  extra1->Stop();
 }
 
 TEST_F(RouterTest, SliceEngineRefusesGlobalPhases) {
