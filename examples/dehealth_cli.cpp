@@ -6,13 +6,23 @@
 //                         --anon-out anon.jsonl --aux-out aux.jsonl
 //                         --truth-out truth.csv
 //   dehealth_cli attack   --anonymized anon.jsonl --auxiliary aux.jsonl
-//                         --k 10 --learner smo --threads 0 [--idf]
+//                         --k 10 --engine structural --learner smo
+//                         --threads 0 [--idf]
 //                         [--index] [--index-path idx.dhix]
 //                         [--max-candidates N]
 //                         [--job-dir dir] [--shard-size N]
 //                         [--truth truth.csv] [--out predictions.csv]
 //                         [--trace-out trace.json] [--metrics-out m.prom]
+//   dehealth_cli evaluate --anonymized anon.jsonl --auxiliary aux.jsonl
+//                         --truth truth.csv
+//                         [--engines structural,blind,community]
+//                         [--ks 1,2,5,10,20,50] [--out results.json]
 //
+// --engine selects the phase-1 attack engine: structural (default, the
+// paper's attack), blind (seed-free), or community (community-matched) —
+// see docs/ENGINES.md. `evaluate` runs several engines head-to-head over
+// the SAME forums and truth mapping and reports each engine's
+// success-rate/rank-CDF curve at the --ks cutoffs.
 // --threads N runs the whole pipeline on N threads (0 = all hardware
 // threads, the default); results are identical for any value.
 // --index answers phase 1 from the auxiliary-side candidate index instead
@@ -35,6 +45,9 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+
+#include <algorithm>
+#include <chrono>
 
 #include "common/fault_injection.h"
 #include "common/flags.h"
@@ -131,6 +144,27 @@ int CmdSplit(const Args& args) {
   return 0;
 }
 
+/// Loads a truth CSV written by `split` (header line, then
+/// "anon_id,aux_id" rows). Rows naming users outside [0, n) are ignored;
+/// absent users stay kNoTrueMapping.
+StatusOr<std::vector<int>> LoadTruthCsv(const std::string& path, size_t n) {
+  std::ifstream truth_file(path);
+  if (!truth_file)
+    return Status::InvalidArgument("cannot open truth file '" + path + "'");
+  std::vector<int> truth(n, DaScenario::kNoTrueMapping);
+  std::string line;
+  std::getline(truth_file, line);  // header
+  while (std::getline(truth_file, line)) {
+    std::istringstream row(line);
+    std::string a, b;
+    if (std::getline(row, a, ',') && std::getline(row, b)) {
+      const size_t u = static_cast<size_t>(std::atoi(a.c_str()));
+      if (u < truth.size()) truth[u] = std::atoi(b.c_str());
+    }
+  }
+  return truth;
+}
+
 /// Stops the tracer and flushes the trace file on every CmdAttack return
 /// path (success, failure, AND the checkpointed early return under
 /// SIGTERM — a resumable job should still leave a usable partial trace).
@@ -217,20 +251,10 @@ int CmdAttack(const Args& args) {
   // Optional evaluation against a truth CSV written by `split`.
   const std::string truth_path = args.Get("truth");
   if (!truth_path.empty()) {
-    std::ifstream truth_file(truth_path);
-    if (!truth_file) return Fail("cannot open truth file");
-    std::vector<int> truth(result->refined.predictions.size(),
-                           DaScenario::kNoTrueMapping);
-    std::string line;
-    std::getline(truth_file, line);  // header
-    while (std::getline(truth_file, line)) {
-      std::istringstream row(line);
-      std::string a, b;
-      if (std::getline(row, a, ',') && std::getline(row, b)) {
-        const size_t u = static_cast<size_t>(std::atoi(a.c_str()));
-        if (u < truth.size()) truth[u] = std::atoi(b.c_str());
-      }
-    }
+    auto truth_or =
+        LoadTruthCsv(truth_path, result->refined.predictions.size());
+    if (!truth_or.ok()) return Fail(truth_or.status().ToString());
+    const std::vector<int>& truth = *truth_or;
     const double top_k = TopKSuccessRate(result->candidates, truth);
     const OpenWorldCounts counts =
         EvaluateRefinedDa(result->refined, truth);
@@ -241,13 +265,183 @@ int CmdAttack(const Args& args) {
   return 0;
 }
 
+/// One engine's head-to-head numbers: the rank of every user's true
+/// auxiliary identity under that engine's exact scores, summarized as a
+/// success-rate curve (== the rank CDF sampled at the --ks cutoffs).
+struct EngineCurve {
+  EngineKind engine;
+  double build_seconds = 0.0;
+  int evaluated = 0;                // users with a true mapping
+  std::vector<double> success_at;   // success_at[i] = P(rank <= ks[i])
+  double mean_rank = 0.0;
+  double median_rank = 0.0;
+};
+
+int CmdEvaluate(const Args& args) {
+  const std::string anon_path = args.Get("anonymized");
+  const std::string aux_path = args.Get("auxiliary");
+  const std::string truth_path = args.Get("truth");
+  if (anon_path.empty() || aux_path.empty() || truth_path.empty())
+    return Fail("evaluate requires --anonymized, --auxiliary, --truth");
+
+  // The head-to-head contract is "same forums, same truth, exact scores":
+  // every engine ranks the full auxiliary universe for every user, so the
+  // curves differ only by engine. The approximate/partial knobs would
+  // break that, and are rejected rather than silently ignored.
+  auto config_or = ParseAttackFlags(args);
+  if (!config_or.ok()) return Fail(config_or.status().ToString());
+  DeHealthConfig config = *config_or;
+  if (config.use_index || config.index_max_candidates > 0)
+    return Fail("evaluate compares engines on exact full rankings; "
+                "--index/--index-path/--max-candidates do not apply");
+  if (config.shard_count > 1)
+    return Fail("evaluate needs the full auxiliary universe; "
+                "--shard-count does not apply (use --shards for "
+                "in-process parallel sharding)");
+  if (!config.job_dir.empty())
+    return Fail("evaluate is not checkpointable; --job-dir does not apply");
+
+  std::vector<EngineKind> engines;
+  {
+    std::istringstream list(
+        args.Get("engines", "structural,blind,community"));
+    std::string name;
+    while (std::getline(list, name, ',')) {
+      auto kind = ParseEngineKind(name);
+      if (!kind.ok()) return Fail(kind.status().ToString());
+      engines.push_back(*kind);
+    }
+    if (engines.empty()) return Fail("--engines names no engine");
+  }
+  std::vector<int> ks;
+  {
+    std::istringstream list(args.Get("ks", "1,2,5,10,20,50"));
+    std::string value;
+    while (std::getline(list, value, ',')) {
+      const int k = std::atoi(value.c_str());
+      if (k < 1) return Fail("--ks values must be integers >= 1");
+      if (!ks.empty() && k <= ks.back())
+        return Fail("--ks values must be strictly ascending");
+      ks.push_back(k);
+    }
+    if (ks.empty()) return Fail("--ks names no cutoff");
+  }
+
+  auto anon_data = LoadForumDataset(anon_path);
+  if (!anon_data.ok()) return Fail(anon_data.status().ToString());
+  auto aux_data = LoadForumDataset(aux_path);
+  if (!aux_data.ok()) return Fail(aux_data.status().ToString());
+  const UdaGraph anon = BuildUdaGraph(*anon_data);
+  const UdaGraph aux = BuildUdaGraph(*aux_data);
+  auto truth_or =
+      LoadTruthCsv(truth_path, static_cast<size_t>(anon.num_users()));
+  if (!truth_or.ok()) return Fail(truth_or.status().ToString());
+  const std::vector<int>& truth = *truth_or;
+
+  std::vector<EngineCurve> curves;
+  for (const EngineKind engine : engines) {
+    config.engine = engine;
+    const auto start = std::chrono::steady_clock::now();
+    auto bundle = BuildAttackScoreSource(anon, aux, config);
+    if (!bundle.ok()) return Fail(bundle.status().ToString());
+    EngineCurve curve;
+    curve.engine = engine;
+    curve.build_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    // The rank of u's true identity t under this engine: 1 + how many
+    // auxiliary users strictly outscore t + how many tie with a smaller
+    // id — the position TopK would surface t at, for any k.
+    const CandidateSource& source = *(*bundle)->source;
+    std::vector<double> scratch;
+    std::vector<int> ranks;
+    for (int u = 0; u < anon.num_users(); ++u) {
+      const int t = truth[static_cast<size_t>(u)];
+      if (t < 0 || t >= aux.num_users()) continue;
+      const std::vector<double>& row = source.Row(u, &scratch);
+      const double true_score = row[static_cast<size_t>(t)];
+      int rank = 1;
+      for (int v = 0; v < aux.num_users(); ++v) {
+        const double s = row[static_cast<size_t>(v)];
+        if (s > true_score || (s == true_score && v < t)) ++rank;
+      }
+      ranks.push_back(rank);
+    }
+    curve.evaluated = static_cast<int>(ranks.size());
+    if (ranks.empty())
+      return Fail("truth CSV maps no anonymized user into the auxiliary "
+                  "universe — nothing to evaluate");
+    for (const int k : ks) {
+      int hits = 0;
+      for (const int rank : ranks)
+        if (rank <= k) ++hits;
+      curve.success_at.push_back(static_cast<double>(hits) /
+                                 static_cast<double>(ranks.size()));
+    }
+    double sum = 0.0;
+    for (const int rank : ranks) sum += rank;
+    curve.mean_rank = sum / static_cast<double>(ranks.size());
+    std::vector<int> sorted = ranks;
+    std::sort(sorted.begin(), sorted.end());
+    const size_t mid = sorted.size() / 2;
+    curve.median_rank =
+        sorted.size() % 2 == 1
+            ? sorted[mid]
+            : (sorted[mid - 1] + sorted[mid]) / 2.0;
+    curves.push_back(std::move(curve));
+  }
+
+  // Table: one engine per row, one success@K column per cutoff.
+  std::printf("%-12s", "engine");
+  for (const int k : ks) std::printf("  s@%-5d", k);
+  std::printf("  %-10s  %-11s  %s\n", "mean-rank", "median-rank",
+              "build-s");
+  for (const EngineCurve& curve : curves) {
+    std::printf("%-12s", EngineKindName(curve.engine));
+    for (const double s : curve.success_at)
+      std::printf("  %6.1f%%", 100.0 * s);
+    std::printf("  %-10.1f  %-11.1f  %.2f\n", curve.mean_rank,
+                curve.median_rank, curve.build_seconds);
+  }
+  std::printf("(%d of %d anonymized users have a true auxiliary "
+              "identity)\n",
+              curves.front().evaluated, anon.num_users());
+
+  const std::string out = args.Get("out");
+  if (!out.empty()) {
+    std::ofstream json(out, std::ios::trunc);
+    json << "{\n  \"num_anonymized\": " << anon.num_users()
+         << ",\n  \"num_auxiliary\": " << aux.num_users()
+         << ",\n  \"evaluated\": " << curves.front().evaluated
+         << ",\n  \"ks\": [";
+    for (size_t i = 0; i < ks.size(); ++i) json << (i ? ", " : "") << ks[i];
+    json << "],\n  \"engines\": [\n";
+    for (size_t e = 0; e < curves.size(); ++e) {
+      const EngineCurve& curve = curves[e];
+      json << "    {\"engine\": \"" << EngineKindName(curve.engine)
+           << "\", \"success_at\": [";
+      for (size_t i = 0; i < curve.success_at.size(); ++i)
+        json << (i ? ", " : "") << curve.success_at[i];
+      json << "], \"mean_rank\": " << curve.mean_rank
+           << ", \"median_rank\": " << curve.median_rank
+           << ", \"build_seconds\": " << curve.build_seconds << "}"
+           << (e + 1 < curves.size() ? "," : "") << "\n";
+    }
+    json << "  ]\n}\n";
+    if (!json) return Fail("failed writing results to '" + out + "'");
+    std::printf("wrote results to %s\n", out.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
-                 "usage: dehealth_cli <generate|split|attack> [--flag "
-                 "value ...]\n");
+                 "usage: dehealth_cli <generate|split|attack|evaluate> "
+                 "[--flag value ...]\n");
     return 1;
   }
   const std::string command = argv[1];
@@ -262,6 +456,7 @@ int main(int argc, char** argv) {
   if (command == "generate") return CmdGenerate(args);
   if (command == "split") return CmdSplit(args);
   if (command == "attack") return CmdAttack(args);
+  if (command == "evaluate") return CmdEvaluate(args);
   std::fprintf(stderr, "unknown command: %s\n", command.c_str());
   return 1;
 }

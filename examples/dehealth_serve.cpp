@@ -5,7 +5,8 @@
 // across every query instead of redoing them per dehealth_cli run.
 //
 //   dehealth_serve --anonymized anon.jsonl --auxiliary aux.jsonl
-//                  [--k 10 --learner smo --threads 0 --idf --filter]
+//                  [--k 10 --engine structural --learner smo --threads 0
+//                  --idf --filter]
 //                  [--index] [--index-path idx.dhix] [--max-candidates N]
 //                  [--job-dir dir] [--shard-size N] [--ingest]
 //                  [--host 127.0.0.1] [--port 0] [--queue 64] [--batch 16]

@@ -36,6 +36,13 @@ const std::vector<FlagDoc>& FlagCatalog() {
        "Largest number of queued requests coalesced into one engine batch "
        "(default 16)"},
       {"dataset", "cli split", false, "Input forum dataset to split"},
+      {"engine", "cli attack, serve", false,
+       "Phase-1 attack engine: structural (default; the paper's attack), "
+       "blind (seed-free Lee et al.), or community (community-matched "
+       "Onaran et al.) — see docs/ENGINES.md"},
+      {"engines", "cli evaluate", false,
+       "Comma-separated engines to run head-to-head over the same "
+       "forums/truth (default: structural,blind,community)"},
       {"fault-spec", "cli, ingest, router, serve", false,
        "Deterministic fault injection spec '<site>:<kind>:<hit>,...' "
        "(testing only)"},
@@ -63,6 +70,9 @@ const std::vector<FlagDoc>& FlagCatalog() {
        "this directory"},
       {"k", "cli attack, serve, query", false,
        "Top-K candidate set size (default 10; query: 0 = server default)"},
+      {"ks", "cli evaluate", false,
+       "Comma-separated ascending K values of the evaluate success-rate/"
+       "rank-CDF curve (default 1,2,5,10,20,50)"},
       {"learner", "cli attack, serve", false,
        "Phase-2 learner: smo (default), knn, rlsc, centroid"},
       {"max-candidates", "cli attack, serve", false,

@@ -6,6 +6,7 @@
 
 #include "common/status.h"
 #include "core/candidate_source.h"
+#include "core/engine_kind.h"
 #include "core/filtering.h"
 #include "core/refined_da.h"
 #include "core/similarity.h"
@@ -18,6 +19,19 @@ namespace dehealth {
 struct DeHealthConfig {
   SimilarityConfig similarity;
   int top_k = 10;  // K
+
+  /// Which phase-1 attack engine scores anonymized-vs-auxiliary pairs
+  /// (--engine). kStructural is the paper's attack and the only engine the
+  /// candidate index accelerates; kBlind and kCommunity (src/engines/) are
+  /// matrix-backed and obey the same determinism/thread-invariance/
+  /// checkpoint contract (docs/ENGINES.md). Consumed by
+  /// BuildAttackScoreSource — DeHealth::Run itself always runs the
+  /// structural matrix.
+  EngineKind engine = EngineKind::kStructural;
+  /// Seed of the community engine's label-propagation passes (and any
+  /// future stochastic engine step). Result-shaping: part of the job
+  /// fingerprint for non-structural engines.
+  uint64_t engine_seed = 1;
   CandidateSelection selection = CandidateSelection::kDirect;
   /// The paper marks filtering optional ("no guarantee ... to improve the
   /// DA performance. Therefore, we set the filtering process as an

@@ -1,0 +1,32 @@
+#include "core/engine_kind.h"
+
+namespace dehealth {
+
+const char* EngineKindName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kStructural:
+      return "structural";
+    case EngineKind::kBlind:
+      return "blind";
+    case EngineKind::kCommunity:
+      return "community";
+  }
+  return "structural";
+}
+
+StatusOr<EngineKind> ParseEngineKind(const std::string& name) {
+  if (name == "structural") return EngineKind::kStructural;
+  if (name == "blind") return EngineKind::kBlind;
+  if (name == "community") return EngineKind::kCommunity;
+  return Status::InvalidArgument(
+      "unknown engine '" + name +
+      "' (valid: structural, blind, community)");
+}
+
+const std::vector<EngineKind>& AllEngineKinds() {
+  static const std::vector<EngineKind>* kinds = new std::vector<EngineKind>{
+      EngineKind::kStructural, EngineKind::kBlind, EngineKind::kCommunity};
+  return *kinds;
+}
+
+}  // namespace dehealth

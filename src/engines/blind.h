@@ -1,0 +1,56 @@
+#ifndef DEHEALTH_ENGINES_BLIND_H_
+#define DEHEALTH_ENGINES_BLIND_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/uda_graph.h"
+
+namespace dehealth {
+
+/// Knobs of the seed-free blind DA engine (Lee et al., Blind
+/// De-anonymization Attacks using Social Networks — PAPERS.md). The attack
+/// uses ONLY graph structure: no stylometric attributes, no seed mappings.
+struct BlindConfig {
+  /// Iterative-propagation rounds refining the structural seed scores
+  /// (0 = seed scores only). Each round mixes a pair's score with the
+  /// greedily matched scores of its neighborhoods, so agreeing neighbors
+  /// reinforce a mapping the way Lee et al.'s propagation step does.
+  int propagation_rounds = 2;
+  /// Weight of the propagated neighborhood evidence against the seed
+  /// structural score in each round (s ← (1-α)·s0 + α·prop). Must be in
+  /// [0, 1].
+  double alpha = 0.5;
+  /// Per-node neighborhood cap: propagation considers only this many
+  /// highest-degree neighbors (ties broken by smaller id), bounding the
+  /// per-pair cost at max_neighbors² score lookups. Must be >= 1.
+  int max_neighbors = 16;
+  /// Worker threads (0 = hardware concurrency). The matrix is
+  /// bitwise-identical for any value: rounds are double-buffered and each
+  /// row's arithmetic runs in one task in a fixed order.
+  int num_threads = 0;
+};
+
+/// Computes the |Δ1|×|Δ2| blind-DA score matrix:
+///
+///   seed score s0(u,v) — mean of three structural terms in [0, 1]:
+///     min/max degree ratio, min/max weighted-degree ratio, and 1 − L1/2
+///     distance between the nodes' log2-bucketed neighbor-degree
+///     distributions (both isolated ⇒ 1, exactly one isolated ⇒ 0);
+///   propagation     s_{t+1}(u,v) = (1−α)·s0(u,v) + α·prop_t(u,v)
+///     where prop_t greedily matches u's capped neighborhood against v's
+///     by descending s_t (ties: smaller anonymized id, then smaller
+///     auxiliary id) and averages the matched scores over
+///     max(|N(u)|, |N(v)|). Pairs where both sides are isolated propagate
+///     their own seed score; pairs where exactly one side is isolated
+///     propagate 0 (structural contradiction).
+///
+/// Deterministic — no RNG, fixed iteration order — and bitwise-identical
+/// for any thread count. InvalidArgument on out-of-range config values.
+StatusOr<std::vector<std::vector<double>>> BuildBlindMatrix(
+    const UdaGraph& anonymized, const UdaGraph& auxiliary,
+    const BlindConfig& config);
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_ENGINES_BLIND_H_

@@ -1,0 +1,131 @@
+#include "engines/community.h"
+
+#include <algorithm>
+
+#include "common/parallel.h"
+#include "common/rng.h"
+#include "graph/community.h"
+#include "obs/standard_metrics.h"
+
+namespace dehealth {
+
+namespace {
+
+/// One (mean affinity, anon label, aux label) matching candidate; ranked
+/// by descending affinity with label tie-breaks — a total order, so the
+/// greedy matching is deterministic.
+struct CommunityPair {
+  double affinity;
+  int anon_label;
+  int aux_label;
+};
+
+bool BetterCommunityPair(const CommunityPair& a, const CommunityPair& b) {
+  if (a.affinity != b.affinity) return a.affinity > b.affinity;
+  if (a.anon_label != b.anon_label) return a.anon_label < b.anon_label;
+  return a.aux_label < b.aux_label;
+}
+
+}  // namespace
+
+StatusOr<CommunityEngineResult> BuildCommunityMatrix(
+    const UdaGraph& anonymized, const UdaGraph& auxiliary,
+    const CommunityEngineConfig& config) {
+  if (config.max_iterations < 1)
+    return Status::InvalidArgument(
+        "BuildCommunityMatrix: max_iterations must be >= 1");
+  if (!(config.cross_community_factor >= 0.0 &&
+        config.cross_community_factor <= 1.0))
+    return Status::InvalidArgument(
+        "BuildCommunityMatrix: cross_community_factor must be in [0, 1]");
+
+  CommunityEngineResult result;
+
+  // Stage 1: communities. Label propagation is serial and deterministic
+  // given its Rng; each graph gets an independent MixSeed stream.
+  Rng anon_rng(MixSeed(config.seed, 0));
+  Rng aux_rng(MixSeed(config.seed, 1));
+  const CommunityResult anon_lp =
+      LabelPropagation(anonymized.graph, anon_rng, config.max_iterations);
+  const CommunityResult aux_lp =
+      LabelPropagation(auxiliary.graph, aux_rng, config.max_iterations);
+  result.anon_communities = anon_lp.num_communities;
+  result.aux_communities = aux_lp.num_communities;
+
+  // Stage 3a (computed before the matching that consumes it): the PR-6
+  // structural kernel matrix — bitwise thread-invariant (DESIGN.md "Score
+  // kernel"), and the sole score source both remaining stages read.
+  SimilarityConfig sim_config = config.similarity;
+  sim_config.num_threads = config.num_threads;
+  const StructuralSimilarity scorer(anonymized, auxiliary, sim_config);
+  std::vector<std::vector<double>> base = scorer.ComputeMatrix();
+
+  // Stage 2: community affinity = mean member-pair structural score.
+  // Accumulated serially in (u, v) order so the floating-point sums are a
+  // fixed-order reduction — never thread-dependent.
+  const int n1 = anonymized.num_users();
+  const int n2 = auxiliary.num_users();
+  std::vector<std::vector<double>> affinity(
+      static_cast<size_t>(anon_lp.num_communities),
+      std::vector<double>(static_cast<size_t>(aux_lp.num_communities), 0.0));
+  std::vector<int64_t> anon_sizes(static_cast<size_t>(anon_lp.num_communities),
+                                  0);
+  std::vector<int64_t> aux_sizes(static_cast<size_t>(aux_lp.num_communities),
+                                 0);
+  for (int u = 0; u < n1; ++u)
+    ++anon_sizes[static_cast<size_t>(anon_lp.label[static_cast<size_t>(u)])];
+  for (int v = 0; v < n2; ++v)
+    ++aux_sizes[static_cast<size_t>(aux_lp.label[static_cast<size_t>(v)])];
+  for (int u = 0; u < n1; ++u) {
+    const int la = anon_lp.label[static_cast<size_t>(u)];
+    const std::vector<double>& row = base[static_cast<size_t>(u)];
+    std::vector<double>& arow = affinity[static_cast<size_t>(la)];
+    for (int v = 0; v < n2; ++v)
+      arow[static_cast<size_t>(aux_lp.label[static_cast<size_t>(v)])] +=
+          row[static_cast<size_t>(v)];
+  }
+  std::vector<CommunityPair> pairs;
+  for (int a = 0; a < anon_lp.num_communities; ++a)
+    for (int b = 0; b < aux_lp.num_communities; ++b) {
+      const double sum = affinity[static_cast<size_t>(a)][static_cast<size_t>(b)];
+      if (sum <= 0.0) continue;  // no member pair looks alike — never match
+      pairs.push_back(
+          {sum / static_cast<double>(anon_sizes[static_cast<size_t>(a)] *
+                                     aux_sizes[static_cast<size_t>(b)]),
+           a, b});
+    }
+  std::sort(pairs.begin(), pairs.end(), BetterCommunityPair);
+  result.matched_aux_community.assign(
+      static_cast<size_t>(anon_lp.num_communities), -1);
+  std::vector<char> aux_taken(static_cast<size_t>(aux_lp.num_communities), 0);
+  for (const CommunityPair& p : pairs) {
+    if (result.matched_aux_community[static_cast<size_t>(p.anon_label)] != -1 ||
+        aux_taken[static_cast<size_t>(p.aux_label)])
+      continue;
+    result.matched_aux_community[static_cast<size_t>(p.anon_label)] =
+        p.aux_label;
+    aux_taken[static_cast<size_t>(p.aux_label)] = 1;
+    ++result.matched_communities;
+  }
+
+  // Stage 3b: damp cross-community pairs. Row-parallel; each row's
+  // arithmetic is a fixed per-element multiply.
+  ParallelFor(
+      0, n1,
+      [&](int64_t u) {
+        const int matched = result.matched_aux_community[static_cast<size_t>(
+            anon_lp.label[static_cast<size_t>(u)])];
+        std::vector<double>& row = base[static_cast<size_t>(u)];
+        for (int v = 0; v < n2; ++v)
+          if (aux_lp.label[static_cast<size_t>(v)] != matched)
+            row[static_cast<size_t>(v)] *= config.cross_community_factor;
+      },
+      config.num_threads);
+  result.similarity = std::move(base);
+
+  obs::GetEngineMetrics().community_matched->Increment(
+      static_cast<uint64_t>(result.matched_communities));
+  return result;
+}
+
+}  // namespace dehealth

@@ -1,0 +1,74 @@
+#ifndef DEHEALTH_ENGINES_COMMUNITY_H_
+#define DEHEALTH_ENGINES_COMMUNITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "core/similarity.h"
+#include "core/uda_graph.h"
+
+namespace dehealth {
+
+/// Knobs of the community-aware DA engine (Onaran et al., Optimal
+/// De-Anonymization in Random Graphs with Community Structure —
+/// PAPERS.md): detect communities on both graphs, match communities
+/// first, then de-anonymize within matched communities.
+struct CommunityEngineConfig {
+  /// Seed of the two label-propagation passes (one per graph, on
+  /// independent MixSeed streams). Result-shaping: same seed ⇒ same
+  /// communities ⇒ same scores.
+  uint64_t seed = 1;
+  /// Label-propagation round cap (graph/community.h). Must be >= 1.
+  int max_iterations = 50;
+  /// Score multiplier for pairs whose communities were NOT matched, in
+  /// [0, 1]: 0 annihilates cross-community candidates (pure Onaran-style
+  /// two-stage matching), 1 disables the community prior entirely.
+  /// Within-row order of same-community candidates is never changed.
+  double cross_community_factor = 0.25;
+  /// The within-community scorer: the PR-6 structural kernel
+  /// (CombinedStructuralScore through the batched SIMD FeatureStore).
+  /// num_threads/simd behave exactly as in the structural engine.
+  SimilarityConfig similarity;
+  /// Worker threads for the matrix passes (0 = hardware concurrency);
+  /// bitwise-identical output for any value.
+  int num_threads = 0;
+};
+
+/// What BuildCommunityMatrix computed, with the community bookkeeping the
+/// tests and `dehealth_cli evaluate` report on.
+struct CommunityEngineResult {
+  /// result[u][v]: the PR-6 structural score, damped by
+  /// cross_community_factor when u's community was not matched to v's.
+  std::vector<std::vector<double>> similarity;
+  int anon_communities = 0;
+  int aux_communities = 0;
+  /// One-to-one community matches made (<= min of the two counts).
+  int matched_communities = 0;
+  /// matched_aux_community[a] = aux community matched to anonymized
+  /// community a, or -1 when a went unmatched.
+  std::vector<int> matched_aux_community;
+};
+
+/// Runs the three deterministic stages:
+///   1. label-propagation communities on both correlation graphs
+///      (Rng(MixSeed(seed, 0)) / Rng(MixSeed(seed, 1)));
+///   2. community matching: mean structural score between the members of
+///      every (anonymized community, auxiliary community) pair, matched
+///      greedily one-to-one by descending mean (ties: smaller anonymized
+///      label, then smaller auxiliary label) — only pairs with positive
+///      affinity match;
+///   3. candidate scoring: the PR-6 kernel matrix, scaled by
+///      cross_community_factor outside matched communities.
+///
+/// Bitwise-deterministic for any thread count: label propagation is
+/// serial and seeded, the affinity accumulation runs in one fixed order,
+/// and the matrix passes are row-parallel with fixed per-row arithmetic.
+/// InvalidArgument on out-of-range config values.
+StatusOr<CommunityEngineResult> BuildCommunityMatrix(
+    const UdaGraph& anonymized, const UdaGraph& auxiliary,
+    const CommunityEngineConfig& config);
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_ENGINES_COMMUNITY_H_

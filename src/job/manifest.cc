@@ -181,6 +181,16 @@ uint64_t JobConfigFingerprint(const DeHealthConfig& config) {
   // unsharded run, so those checkpoints DO interchange.
   Append(buf, static_cast<int32_t>(config.shard_index));
   Append(buf, static_cast<int32_t>(config.shard_count));
+
+  // Engine identity: blind/community scores differ from structural, so
+  // their checkpoints must never interchange — with structural OR each
+  // other. The structural engine appends nothing, keeping every job
+  // directory written before --engine existed valid. engine_seed shapes
+  // the community engine's label-propagation result, so it travels too.
+  if (config.engine != EngineKind::kStructural) {
+    Append(buf, static_cast<int32_t>(config.engine));
+    Append(buf, config.engine_seed);
+  }
   return Fnv1a(buf.data(), buf.size());
 }
 

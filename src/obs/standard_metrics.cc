@@ -112,6 +112,23 @@ const MetricDef kReplicaRolloutSeals = {
     "replica", "Per-backend epoch seals driven by the rolling fleet-wide "
     "ingestion driver"};
 
+// ---- engines ----
+const MetricDef kEngineMatrixBuilds = {
+    "dehealth_engine_matrix_builds_total", MetricType::kCounter, "1",
+    "engines", "Non-structural engine score matrices built "
+    "(--engine=blind|community)"};
+const MetricDef kEngineActive = {
+    "dehealth_engine_active", MetricType::kGauge, "1", "engines",
+    "Attack engine that last built a matrix (0=structural, 1=blind, "
+    "2=community)"};
+const MetricDef kEngineBlindRounds = {
+    "dehealth_engine_blind_rounds_total", MetricType::kCounter, "rounds",
+    "engines", "Blind-engine similarity-propagation rounds executed"};
+const MetricDef kEngineCommunityMatched = {
+    "dehealth_engine_community_matched_total", MetricType::kCounter,
+    "communities", "engines",
+    "Community pairs matched one-to-one by the community engine"};
+
 // ---- job ----
 const MetricDef kJobShardsLoaded = {
     "dehealth_job_shards_loaded_total", MetricType::kCounter, "shards", "job",
@@ -204,6 +221,8 @@ const std::vector<const MetricDef*>& AllMetricDefs() {
           &kReplicaProbeFailures, &kReplicaHedges,
           &kReplicaHedgeWins,    &kReplicaHealthyBackends,
           &kReplicaRolloutSeals,
+          &kEngineMatrixBuilds,  &kEngineActive,
+          &kEngineBlindRounds,   &kEngineCommunityMatched,
           &kJobShardsLoaded,     &kJobShardsComputed,
           &kJobQuarantines,      &kIngestSegmentsLoaded,
           &kIngestPostsApplied,  &kIngestEpochSeals,
@@ -249,6 +268,19 @@ IndexMetrics& GetIndexMetrics() {
         r.GetCounter(kIndexSnapshotRebuilds),
         r.GetCounter(kIndexDenseFallbacks),
         r.GetCounter(kIndexDenseScans),
+    };
+  }();
+  return *metrics;
+}
+
+EngineMetrics& GetEngineMetrics() {
+  static EngineMetrics* metrics = [] {
+    Registry& r = Registry::Global();
+    return new EngineMetrics{
+        r.GetCounter(kEngineMatrixBuilds),
+        r.GetGauge(kEngineActive),
+        r.GetCounter(kEngineBlindRounds),
+        r.GetCounter(kEngineCommunityMatched),
     };
   }();
   return *metrics;

@@ -55,6 +55,12 @@ extern const MetricDef kReplicaHedgeWins;
 extern const MetricDef kReplicaHealthyBackends;
 extern const MetricDef kReplicaRolloutSeals;
 
+// ---- engines: pluggable phase-1 attack engines (blind, community) ----
+extern const MetricDef kEngineMatrixBuilds;
+extern const MetricDef kEngineActive;
+extern const MetricDef kEngineBlindRounds;
+extern const MetricDef kEngineCommunityMatched;
+
 // ---- job: DHJB checkpoint/resume shard lifecycle ----
 extern const MetricDef kJobShardsLoaded;
 extern const MetricDef kJobShardsComputed;
@@ -146,6 +152,16 @@ struct ReplicaMetrics {
 };
 ReplicaMetrics& GetReplicaMetrics();
 ReplicaMetrics BindReplicaMetrics(Registry& registry);
+
+/// Pluggable-engine metrics (src/engines/): matrix builds, which engine
+/// last ran, and per-engine progress counters.
+struct EngineMetrics {
+  Counter* matrix_builds;
+  Gauge* active_engine;
+  Counter* blind_rounds;
+  Counter* community_matched;
+};
+EngineMetrics& GetEngineMetrics();
 
 struct JobMetrics {
   Counter* shards_loaded;

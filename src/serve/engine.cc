@@ -156,6 +156,7 @@ ShardInfoAnswer QueryEngine::ShardInfo() const {
   info.universe_fingerprint = bundle_->universe_fingerprint;
   info.num_anonymized = static_cast<uint64_t>(num_anonymized());
   info.default_top_k = static_cast<uint64_t>(attack_.config().top_k);
+  info.engine = static_cast<uint32_t>(attack_.config().engine);
   return info;
 }
 

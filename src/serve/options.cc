@@ -26,6 +26,9 @@ StatusOr<DeHealthConfig> ParseAttackFlags(const FlagParser& flags) {
     return Status::InvalidArgument("--max-candidates must be >= 0");
   config.top_k = k;
   config.num_threads = threads;
+  OPTIONS_ASSIGN_OR_RETURN(
+      engine, ParseEngineKind(flags.Get("engine", "structural")));
+  config.engine = engine;
   config.similarity.idf_weight_attributes = flags.Has("idf");
   OPTIONS_ASSIGN_OR_RETURN(
       simd, ParseSimdMode(flags.Get("simd", "auto")));
@@ -37,6 +40,15 @@ StatusOr<DeHealthConfig> ParseAttackFlags(const FlagParser& flags) {
   config.use_index =
       flags.Has("index") || !config.index_snapshot_path.empty();
   config.index_max_candidates = max_candidates;
+  // The candidate index is a structural-kernel artifact; the matrix-backed
+  // engines have nothing to load from it, so combining them is a config
+  // error, not a degradation.
+  if (config.engine != EngineKind::kStructural &&
+      (config.use_index || config.index_max_candidates > 0))
+    return Status::InvalidArgument(
+        std::string("--index/--index-path/--max-candidates only apply to "
+                    "--engine=structural, not --engine=") +
+        EngineKindName(config.engine));
   // Crash-safe checkpoint/resume (src/job/): both binaries accept the same
   // job flags so a serve warm start can reuse shards a CLI run committed.
   config.job_dir = flags.Get("job-dir");

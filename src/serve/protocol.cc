@@ -313,10 +313,15 @@ std::string EncodeShardInfoPayload(const ShardInfoAnswer& answer) {
   // means "boot epoch, nothing staged", which is what a decoder assumes
   // when the payload ends here — so a non-ingest (or not-yet-sealed)
   // server stays byte-compatible with pre-ingest peers.
-  if (answer.epoch_seq != 0 || answer.staged_segments != 0) {
+  if (answer.epoch_seq != 0 || answer.staged_segments != 0 ||
+      answer.engine != 0) {
     PutU64(out, answer.epoch_seq);
     PutU64(out, answer.staged_segments);
   }
+  // Second trailing extension (pluggable engines, PR 10): non-structural
+  // servers announce their engine; a structural server ends the payload
+  // early, which is exactly what a pre-engine decoder assumes.
+  if (answer.engine != 0) PutU32(out, answer.engine);
   return out;
 }
 
@@ -338,6 +343,10 @@ StatusOr<ShardInfoAnswer> DecodeShardInfoPayload(const std::string& payload) {
     DEHEALTH_RETURN_IF_ERROR(reader.ReadU64(&answer.epoch_seq));
     DEHEALTH_RETURN_IF_ERROR(reader.ReadU64(&answer.staged_segments));
   }
+  // Second optional extension (pluggable engines, PR 10): absent means
+  // structural, which is all a pre-engine peer can be.
+  if (!reader.AtEnd())
+    DEHEALTH_RETURN_IF_ERROR(reader.ReadU32(&answer.engine));
   DEHEALTH_RETURN_IF_ERROR(reader.ExpectEnd());
   if (answer.shard_count == 0)
     return Status::InvalidArgument("DHQP: shard_count must be >= 1");

@@ -116,6 +116,16 @@ struct ShardInfoAnswer {
   /// during a rolling upgrade (no version bump).
   uint64_t epoch_seq = 0;
   uint64_t staged_segments = 0;
+  /// Which phase-1 attack engine built this server's score source
+  /// (EngineKind as a small integer: 0 = structural, 1 = blind,
+  /// 2 = community). A second optional trailing extension after the epoch
+  /// pair: encoded only when non-zero (forcing the epoch pair onto the
+  /// wire first so field positions stay fixed), defaulting to structural
+  /// when the payload ends early — pre-engine peers are all structural,
+  /// so rolling upgrades keep interoperating. The router refuses a fleet
+  /// whose backends report different engines: their scores live on
+  /// different scales and a merged ranking would be meaningless.
+  uint32_t engine = 0;
 };
 
 /// Answer to kRefined: entry i belongs to users[i]; predictions use the

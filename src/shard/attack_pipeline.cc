@@ -7,9 +7,11 @@
 #include <cstdio>
 #include <utility>
 
+#include "engines/pipeline.h"
 #include "index/indexed_source.h"
 #include "index/snapshot.h"
 #include "obs/standard_metrics.h"
+#include "shard/matrix_sharded_source.h"
 #include "shard/partition.h"
 #include "shard/shard_index.h"
 #include "shard/sharded_source.h"
@@ -54,6 +56,50 @@ StatusOr<std::unique_ptr<AttackScoreSource>> BuildAttackScoreSource(
   bundle->shard_count = config.shard_count;
   bundle->universe_size = auxiliary.num_users();
   bundle->universe_fingerprint = FingerprintForIndex(auxiliary);
+
+  if (config.engine != EngineKind::kStructural) {
+    // Matrix-backed engines (--engine=blind|community, src/engines/): the
+    // score matrix is built once over the FULL universe, then served
+    // dense, scatter-gathered (--shards N, candidate selection only), or
+    // column-sliced (--shard-count fleet mode) — all bitwise-identical
+    // rankings by the shard-merge argument (DESIGN.md "Sharding"). The
+    // candidate index is a structural-kernel artifact, so the index knobs
+    // are meaningless here and fail fast instead of silently degrading.
+    if (config.use_index || !config.index_snapshot_path.empty() ||
+        config.index_max_candidates > 0)
+      return Status::InvalidArgument(
+          std::string("BuildAttackScoreSource: --index/--index-path/"
+                      "--max-candidates only apply to the structural "
+                      "engine, not --engine=") +
+          EngineKindName(config.engine));
+    StatusOr<std::vector<std::vector<double>>> matrix =
+        BuildEngineMatrix(anonymized, auxiliary, config);
+    if (!matrix.ok()) return matrix.status();
+    if (config.shard_count > 1) {
+      // Slice mode: keep only this shard's columns, exactly like the
+      // structural dense-slice path — local ids over [begin, end).
+      const ShardRange range =
+          ComputeShardRanges(bundle->universe_size, config.shard_count)
+              [static_cast<size_t>(config.shard_index)];
+      bundle->shard_begin = range.begin;
+      bundle->similarity.resize(matrix->size());
+      for (size_t u = 0; u < matrix->size(); ++u)
+        bundle->similarity[u].assign(
+            (*matrix)[u].begin() + range.begin,
+            (*matrix)[u].begin() + range.end);
+      bundle->source =
+          std::make_unique<DenseCandidateSource>(bundle->similarity);
+      return bundle;
+    }
+    bundle->similarity = std::move(matrix).value();
+    if (config.num_shards > 1)
+      bundle->source = std::make_unique<MatrixShardedSource>(
+          bundle->similarity, config.num_shards);
+    else
+      bundle->source =
+          std::make_unique<DenseCandidateSource>(bundle->similarity);
+    return bundle;
+  }
 
   if (config.shard_count > 1) {
     // Slice mode: this process serves only its shard's auxiliary range,

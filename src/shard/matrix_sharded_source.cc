@@ -1,0 +1,74 @@
+#include "shard/matrix_sharded_source.h"
+
+#include <algorithm>
+
+#include "common/parallel.h"
+
+namespace dehealth {
+
+MatrixShardedSource::MatrixShardedSource(
+    const std::vector<std::vector<double>>& matrix, int num_shards)
+    : matrix_(&matrix) {
+  const int n2 = matrix.empty() ? 0 : static_cast<int>(matrix.front().size());
+  ranges_ = ComputeShardRanges(n2, num_shards);
+}
+
+int MatrixShardedSource::num_anonymized() const {
+  return static_cast<int>(matrix_->size());
+}
+
+int MatrixShardedSource::num_auxiliary() const {
+  return matrix_->empty() ? 0 : static_cast<int>(matrix_->front().size());
+}
+
+double MatrixShardedSource::Score(NodeId u, NodeId v) const {
+  return (*matrix_)[static_cast<size_t>(u)][static_cast<size_t>(v)];
+}
+
+const std::vector<double>& MatrixShardedSource::Row(
+    NodeId u, std::vector<double>* /*scratch*/) const {
+  return (*matrix_)[static_cast<size_t>(u)];
+}
+
+StatusOr<CandidateSets> MatrixShardedSource::TopK(int k,
+                                                  int num_threads) const {
+  if (k < 1)
+    return Status::InvalidArgument("MatrixShardedSource::TopK: k must be >= 1");
+  const int n1 = num_anonymized();
+  CandidateSets result(static_cast<size_t>(n1));
+  // Row-parallel like every other Top-K path; inside a row, each shard
+  // ranks its column range locally and MergeScoredTopK rebuilds the
+  // global order — proven bitwise-identical to ranking the whole row
+  // (any global Top-K member is in its own shard's local Top-K).
+  ParallelFor(
+      0, n1,
+      [&](int64_t u) {
+        const std::vector<double>& row = (*matrix_)[static_cast<size_t>(u)];
+        std::vector<std::vector<ScoredUser>> per_shard(ranges_.size());
+        for (size_t s = 0; s < ranges_.size(); ++s) {
+          const ShardRange& range = ranges_[s];
+          std::vector<double> local(row.begin() + range.begin,
+                                    row.begin() + range.end);
+          if (local.empty()) continue;
+          const std::vector<int> local_ids = TopKForRow(local, k);
+          std::vector<ScoredUser>& scored = per_shard[s];
+          scored.reserve(local_ids.size());
+          for (int id : local_ids)
+            scored.push_back(
+                {local[static_cast<size_t>(id)], id + range.begin});
+        }
+        const std::vector<ScoredUser> merged = MergeScoredTopK(per_shard, k);
+        std::vector<int>& out = result[static_cast<size_t>(u)];
+        out.reserve(merged.size());
+        for (const ScoredUser& su : merged) out.push_back(su.user);
+      },
+      num_threads);
+  return result;
+}
+
+const std::vector<std::vector<double>>* MatrixShardedSource::DenseMatrix()
+    const {
+  return matrix_;
+}
+
+}  // namespace dehealth

@@ -1,0 +1,48 @@
+#ifndef DEHEALTH_SHARD_MATRIX_SHARDED_SOURCE_H_
+#define DEHEALTH_SHARD_MATRIX_SHARDED_SOURCE_H_
+
+#include <vector>
+
+#include "core/candidate_source.h"
+#include "shard/partition.h"
+
+namespace dehealth {
+
+/// CandidateSource over a borrowed, already-materialized score matrix that
+/// answers TopK by scatter-gather across `num_shards` contiguous
+/// auxiliary-id column ranges: per shard the local Top-K of the range,
+/// merged with MergeScoredTopK — bitwise-identical to ranking the whole
+/// row at once (the shard-merge argument in DESIGN.md "Sharding").
+///
+/// This is how the matrix-backed engines (--engine=blind|community, whose
+/// scores have no persistent index) honor --shards N: the matrix is built
+/// once over the full universe, and only candidate SELECTION is sharded.
+/// With num_shards == 1 it degenerates to exactly DenseCandidateSource
+/// behavior. The matrix must outlive this object; rows must be uniform
+/// length.
+class MatrixShardedSource final : public CandidateSource {
+ public:
+  /// num_shards must be >= 1 (clamped to the universe size internally the
+  /// same way ComputeShardRanges splits small universes).
+  MatrixShardedSource(const std::vector<std::vector<double>>& matrix,
+                      int num_shards);
+
+  int num_anonymized() const override;
+  int num_auxiliary() const override;
+  double Score(NodeId u, NodeId v) const override;
+  const std::vector<double>& Row(NodeId u,
+                                 std::vector<double>* scratch) const override;
+  StatusOr<CandidateSets> TopK(int k, int num_threads) const override;
+  /// Exposed so graph-matching selection (inherently global) still works.
+  const std::vector<std::vector<double>>* DenseMatrix() const override;
+
+  int num_shards() const { return static_cast<int>(ranges_.size()); }
+
+ private:
+  const std::vector<std::vector<double>>* matrix_;
+  std::vector<ShardRange> ranges_;
+};
+
+}  // namespace dehealth
+
+#endif  // DEHEALTH_SHARD_MATRIX_SHARDED_SOURCE_H_

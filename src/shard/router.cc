@@ -11,6 +11,7 @@
 
 #include "common/fault_injection.h"
 #include "common/parallel.h"
+#include "core/engine_kind.h"
 #include "core/top_k.h"
 #include "shard/partition.h"
 
@@ -22,6 +23,14 @@ double ElapsedMicros(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::micro>(
              std::chrono::steady_clock::now() - start)
       .count();
+}
+
+/// Names a wire engine value for an error message; unknown values (a
+/// newer peer's engine) stay numeric instead of masquerading as a name.
+std::string EngineLabel(uint32_t engine) {
+  if (engine <= static_cast<uint32_t>(EngineKind::kCommunity))
+    return EngineKindName(static_cast<EngineKind>(engine));
+  return "unknown(" + std::to_string(engine) + ")";
 }
 
 /// Parses one "host:port" entry of a --backends spec.
@@ -294,6 +303,18 @@ StatusOr<std::unique_ptr<RouterHandler>> RouterHandler::Connect(
         return Status::FailedPrecondition(
             "RouterHandler: backend " + where +
             " is configured with a different default K");
+      // Mixed engines are refused unconditionally (no skew escape
+      // hatch): each engine scores on its own scale, so merging a
+      // blind shard's heap with a structural shard's heap would rank
+      // candidates by which backend they happened to live on.
+      if (info.engine != head.engine)
+        return Status::FailedPrecondition(
+            "RouterHandler: backend " + where + " runs --engine=" +
+            EngineLabel(info.engine) +
+            " but the first backend runs --engine=" +
+            EngineLabel(head.engine) +
+            " — a fleet must agree on one attack engine (scores from "
+            "different engines are not comparable)");
       // Mixed ingest epochs mean the backends sealed different segment
       // chains — different logical forums. The fingerprint check above
       // usually fires first (sealing changes the universe fingerprint),

@@ -1,0 +1,241 @@
+// Unit coverage of the pluggable phase-1 engines (src/engines/): the
+// EngineKind vocabulary, the blind (seed-free) score matrix, the
+// community-matched score matrix, and the BuildEngineMatrix dispatcher.
+
+#include <gtest/gtest.h>
+
+#include "core/engine_kind.h"
+#include "core/similarity.h"
+#include "datagen/forum_generator.h"
+#include "datagen/split.h"
+#include "engines/blind.h"
+#include "engines/community.h"
+#include "engines/pipeline.h"
+
+namespace dehealth {
+namespace {
+
+// ------------------------------------------------------------ EngineKind
+
+TEST(EngineKindTest, ParsesEveryValidName) {
+  for (const EngineKind kind : AllEngineKinds()) {
+    auto parsed = ParseEngineKind(EngineKindName(kind));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kind);
+  }
+}
+
+TEST(EngineKindTest, RejectsUnknownNames) {
+  for (const char* bad : {"", "Structural", "BLIND", "graph", "none"}) {
+    auto parsed = ParseEngineKind(bad);
+    ASSERT_FALSE(parsed.ok()) << "'" << bad << "' should not parse";
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(EngineKindTest, AllKindsAreDistinctAndStructuralIsDefault) {
+  ASSERT_EQ(AllEngineKinds().size(), 3u);
+  EXPECT_EQ(AllEngineKinds().front(), EngineKind::kStructural);
+  EXPECT_EQ(DeHealthConfig{}.engine, EngineKind::kStructural);
+}
+
+// ---------------------------------------------------------------- fixture
+
+/// One small closed-world scenario shared by the matrix tests.
+class EngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto forum = GenerateForum(WebMdLikeConfig(40, 23));
+    ASSERT_TRUE(forum.ok());
+    auto scenario = MakeClosedWorldScenario(forum->dataset, 0.5, 11);
+    ASSERT_TRUE(scenario.ok());
+    anon_ = new UdaGraph(BuildUdaGraph(scenario->anonymized));
+    aux_ = new UdaGraph(BuildUdaGraph(scenario->auxiliary));
+  }
+
+  static UdaGraph* anon_;
+  static UdaGraph* aux_;
+};
+
+UdaGraph* EngineTest::anon_ = nullptr;
+UdaGraph* EngineTest::aux_ = nullptr;
+
+void ExpectShape(const std::vector<std::vector<double>>& matrix, int rows,
+                 int cols) {
+  ASSERT_EQ(matrix.size(), static_cast<size_t>(rows));
+  for (const auto& row : matrix)
+    ASSERT_EQ(row.size(), static_cast<size_t>(cols));
+}
+
+void ExpectUnitRange(const std::vector<std::vector<double>>& matrix) {
+  for (const auto& row : matrix)
+    for (const double s : row) {
+      ASSERT_GE(s, 0.0);
+      ASSERT_LE(s, 1.0);
+    }
+}
+
+// ------------------------------------------------------------------ blind
+
+TEST_F(EngineTest, BlindMatrixHasFullShapeAndUnitRange) {
+  auto matrix = BuildBlindMatrix(*anon_, *aux_, BlindConfig{});
+  ASSERT_TRUE(matrix.ok()) << matrix.status().ToString();
+  ExpectShape(*matrix, anon_->num_users(), aux_->num_users());
+  ExpectUnitRange(*matrix);
+}
+
+TEST_F(EngineTest, BlindSelfComparisonScoresOne) {
+  // A graph against itself: every node's degree, weighted degree, and
+  // neighbor-degree histogram match its own exactly, and propagation
+  // matches its neighborhood onto itself — the diagonal stays exactly 1.
+  auto matrix = BuildBlindMatrix(*aux_, *aux_, BlindConfig{});
+  ASSERT_TRUE(matrix.ok());
+  for (int u = 0; u < aux_->num_users(); ++u)
+    EXPECT_DOUBLE_EQ((*matrix)[u][u], 1.0) << "user " << u;
+}
+
+TEST_F(EngineTest, BlindZeroRoundsIsSeedScoresOnly) {
+  BlindConfig seeds_only;
+  seeds_only.propagation_rounds = 0;
+  BlindConfig zero_alpha;
+  zero_alpha.alpha = 0.0;
+  // α = 0 makes every round a no-op, so any round count must reproduce
+  // the bare seed matrix bitwise.
+  auto a = BuildBlindMatrix(*anon_, *aux_, seeds_only);
+  auto b = BuildBlindMatrix(*anon_, *aux_, zero_alpha);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST_F(EngineTest, BlindRejectsOutOfRangeConfig) {
+  BlindConfig negative_rounds;
+  negative_rounds.propagation_rounds = -1;
+  BlindConfig bad_alpha;
+  bad_alpha.alpha = 1.5;
+  BlindConfig no_neighbors;
+  no_neighbors.max_neighbors = 0;
+  for (const BlindConfig& config :
+       {negative_rounds, bad_alpha, no_neighbors}) {
+    auto matrix = BuildBlindMatrix(*anon_, *aux_, config);
+    ASSERT_FALSE(matrix.ok());
+    EXPECT_EQ(matrix.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+// -------------------------------------------------------------- community
+
+TEST_F(EngineTest, CommunityMatrixHasFullShapeAndBookkeeping) {
+  auto result = BuildCommunityMatrix(*anon_, *aux_, CommunityEngineConfig{});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectShape(result->similarity, anon_->num_users(), aux_->num_users());
+  EXPECT_GT(result->anon_communities, 0);
+  EXPECT_GT(result->aux_communities, 0);
+  EXPECT_GE(result->matched_communities, 0);
+  EXPECT_LE(result->matched_communities,
+            std::min(result->anon_communities, result->aux_communities));
+  ASSERT_EQ(result->matched_aux_community.size(),
+            static_cast<size_t>(result->anon_communities));
+  int matched = 0;
+  for (const int aux_label : result->matched_aux_community) {
+    EXPECT_GE(aux_label, -1);
+    EXPECT_LT(aux_label, result->aux_communities);
+    if (aux_label >= 0) ++matched;
+  }
+  EXPECT_EQ(matched, result->matched_communities);
+}
+
+TEST_F(EngineTest, CommunityFactorOneIsTheBareStructuralKernel) {
+  CommunityEngineConfig config;
+  config.cross_community_factor = 1.0;
+  auto result = BuildCommunityMatrix(*anon_, *aux_, config);
+  ASSERT_TRUE(result.ok());
+  const auto base =
+      StructuralSimilarity(*anon_, *aux_, config.similarity).ComputeMatrix();
+  EXPECT_EQ(result->similarity, base);
+}
+
+TEST_F(EngineTest, CommunityFactorZeroAnnihilatesCrossCommunityScores) {
+  CommunityEngineConfig config;
+  config.cross_community_factor = 0.0;
+  auto result = BuildCommunityMatrix(*anon_, *aux_, config);
+  ASSERT_TRUE(result.ok());
+  const auto base =
+      StructuralSimilarity(*anon_, *aux_, config.similarity).ComputeMatrix();
+  // Every entry is either the undamped kernel score (matched communities)
+  // or exactly zero; at least one side of the split must occur.
+  bool saw_kept = false, saw_zeroed = false;
+  for (int u = 0; u < anon_->num_users(); ++u)
+    for (int v = 0; v < aux_->num_users(); ++v) {
+      const double s = result->similarity[u][v];
+      if (s == base[u][v] && s != 0.0) saw_kept = true;
+      if (s == 0.0 && base[u][v] != 0.0) saw_zeroed = true;
+      ASSERT_TRUE(s == base[u][v] || s == 0.0)
+          << "entry (" << u << "," << v << ") is neither kept nor zeroed";
+    }
+  EXPECT_TRUE(saw_kept);
+  EXPECT_TRUE(saw_zeroed);
+}
+
+TEST_F(EngineTest, CommunitySameSeedSameResultDifferentSeedAllowed) {
+  CommunityEngineConfig config;
+  auto first = BuildCommunityMatrix(*anon_, *aux_, config);
+  auto second = BuildCommunityMatrix(*anon_, *aux_, config);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->similarity, second->similarity);
+  EXPECT_EQ(first->matched_aux_community, second->matched_aux_community);
+}
+
+TEST_F(EngineTest, CommunityRejectsOutOfRangeConfig) {
+  CommunityEngineConfig no_iterations;
+  no_iterations.max_iterations = 0;
+  CommunityEngineConfig bad_factor;
+  bad_factor.cross_community_factor = -0.5;
+  for (const CommunityEngineConfig& config : {no_iterations, bad_factor}) {
+    auto result = BuildCommunityMatrix(*anon_, *aux_, config);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+// ------------------------------------------------------------- dispatcher
+
+TEST_F(EngineTest, BuildEngineMatrixRejectsStructural) {
+  DeHealthConfig config;
+  config.engine = EngineKind::kStructural;
+  auto matrix = BuildEngineMatrix(*anon_, *aux_, config);
+  ASSERT_FALSE(matrix.ok());
+  EXPECT_EQ(matrix.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(EngineTest, BuildEngineMatrixDispatchesBlindAndCommunity) {
+  DeHealthConfig config;
+  config.engine = EngineKind::kBlind;
+  auto blind = BuildEngineMatrix(*anon_, *aux_, config);
+  ASSERT_TRUE(blind.ok());
+  EXPECT_EQ(*blind, *BuildBlindMatrix(*anon_, *aux_, BlindConfig{}));
+
+  config.engine = EngineKind::kCommunity;
+  auto community = BuildEngineMatrix(*anon_, *aux_, config);
+  ASSERT_TRUE(community.ok());
+  CommunityEngineConfig reference;
+  reference.seed = config.engine_seed;
+  EXPECT_EQ(*community,
+            BuildCommunityMatrix(*anon_, *aux_, reference)->similarity);
+}
+
+TEST_F(EngineTest, BuildEngineMatrixHonorsEngineSeed) {
+  DeHealthConfig config;
+  config.engine = EngineKind::kCommunity;
+  config.engine_seed = 99;
+  auto matrix = BuildEngineMatrix(*anon_, *aux_, config);
+  ASSERT_TRUE(matrix.ok());
+  CommunityEngineConfig reference;
+  reference.seed = 99;
+  EXPECT_EQ(*matrix,
+            BuildCommunityMatrix(*anon_, *aux_, reference)->similarity);
+}
+
+}  // namespace
+}  // namespace dehealth

@@ -1,11 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <fstream>
 #include <set>
 #include <sstream>
 #include <string>
 
 #include "common/flag_catalog.h"
+#include "core/engine_kind.h"
 #include "obs/standard_metrics.h"
 
 // Docs-consistency checks: the in-source catalogs (AllMetricDefs,
@@ -46,6 +48,61 @@ TEST(DocsTest, EveryFlagIsDocumented) {
     EXPECT_NE(doc.find("--" + std::string(flag.name)), std::string::npos)
         << "flag `--" << flag.name
         << "` is not documented in docs/OPERATIONS.md";
+}
+
+TEST(DocsTest, EveryDocumentedFlagIsStillRegistered) {
+  // The reverse direction of EveryFlagIsDocumented: a flag named in the
+  // first cell of an OPERATIONS.md table row must still exist in the
+  // FlagCatalog, so removing a flag from a binary forces its runbook row
+  // out too (stale rows teach operators flags that no longer parse).
+  // Flags mentioned in description cells are cross-references, not
+  // definitions, and are not checked.
+  std::set<std::string> registered;
+  for (const FlagDoc& flag : FlagCatalog())
+    registered.insert(flag.name);
+  const std::string doc = ReadDoc("docs/OPERATIONS.md");
+  std::istringstream lines(doc);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("| `--", 0) != 0) continue;
+    const size_t cell_end = line.find('|', 1);
+    const std::string cell = line.substr(0, cell_end);
+    // Every `--name` token in the defining cell (rows like
+    // "| `--shard-index` / `--shard-count` |" define two flags).
+    size_t pos = 0;
+    while ((pos = cell.find("`--", pos)) != std::string::npos) {
+      pos += 3;
+      size_t end = pos;
+      while (end < cell.size() &&
+             (std::isalnum(static_cast<unsigned char>(cell[end])) ||
+              cell[end] == '-'))
+        ++end;
+      const std::string name = cell.substr(pos, end - pos);
+      EXPECT_TRUE(registered.count(name))
+          << "docs/OPERATIONS.md documents `--" << name
+          << "` but no binary registers it in FlagCatalog() — delete the "
+             "row or restore the flag";
+      pos = end;
+    }
+  }
+}
+
+TEST(DocsTest, EngineDocCoversEveryEngineAndItsFlags) {
+  // docs/ENGINES.md is the contract document for the pluggable engines:
+  // it must name every EngineKind, the selection and evaluation flags,
+  // and the CandidateSource interface it documents.
+  const std::string doc = ReadDoc("docs/ENGINES.md");
+  ASSERT_FALSE(doc.empty());
+  for (const EngineKind kind : AllEngineKinds())
+    EXPECT_NE(doc.find("`" + std::string(EngineKindName(kind)) + "`"),
+              std::string::npos)
+        << "engine `" << EngineKindName(kind)
+        << "` is not documented in docs/ENGINES.md";
+  for (const char* required :
+       {"--engine", "--engines", "--ks", "CandidateSource",
+        "BuildAttackScoreSource", "engine_seed"})
+    EXPECT_NE(doc.find(required), std::string::npos)
+        << "docs/ENGINES.md no longer mentions " << required;
 }
 
 TEST(FlagCatalogTest, SortedAndUnique) {

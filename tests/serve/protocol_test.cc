@@ -278,6 +278,58 @@ TEST(ServeProtocolPayloads, ShardInfoInteroperatesWithPreIngestPeers) {
   EXPECT_FALSE(DecodeShardInfoPayload(extended.substr(0, 56)).ok());
 }
 
+// Second optional trailing extension (pluggable engines): absent means
+// structural — all a pre-engine peer can be — and a non-structural server
+// forces the epoch pair onto the wire first so field positions never
+// shift.
+TEST(ServeProtocolPayloads, ShardInfoEngineExtensionRoundTrips) {
+  ShardInfoAnswer info;
+  info.shard_index = 0;
+  info.shard_count = 2;
+  info.shard_total = 500;
+  info.num_anonymized = 50;
+  info.default_top_k = 10;
+
+  // Structural server, boot epoch: the pre-engine 48-byte layout exactly.
+  const std::string structural = EncodeShardInfoPayload(info);
+  EXPECT_EQ(structural.size(), 48u);
+  auto decoded = DecodeShardInfoPayload(structural);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->engine, 0u);
+
+  // Non-structural at boot epoch: the epoch pair is encoded (as zeros)
+  // before the engine word, keeping every field at a fixed offset.
+  info.engine = 2;
+  const std::string with_engine = EncodeShardInfoPayload(info);
+  EXPECT_EQ(with_engine.size(), 68u);
+  decoded = DecodeShardInfoPayload(with_engine);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->engine, 2u);
+  EXPECT_EQ(decoded->epoch_seq, 0u);
+  EXPECT_EQ(decoded->staged_segments, 0u);
+
+  // Both extensions at once.
+  info.epoch_seq = 5;
+  info.staged_segments = 1;
+  decoded = DecodeShardInfoPayload(EncodeShardInfoPayload(info));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->engine, 2u);
+  EXPECT_EQ(decoded->epoch_seq, 5u);
+  EXPECT_EQ(decoded->staged_segments, 1u);
+
+  // What a pre-engine (PR-8) peer would send — epoch pair, no engine
+  // word — decodes as structural.
+  auto stripped = DecodeShardInfoPayload(
+      EncodeShardInfoPayload(info).substr(0, 64));
+  ASSERT_TRUE(stripped.ok()) << stripped.status().ToString();
+  EXPECT_EQ(stripped->engine, 0u);
+  EXPECT_EQ(stripped->epoch_seq, 5u);
+  // A half-present engine word is a transport error.
+  EXPECT_FALSE(
+      DecodeShardInfoPayload(EncodeShardInfoPayload(info).substr(0, 66))
+          .ok());
+}
+
 TEST(ServeProtocolPayloads, LoadSegmentRoundTrips) {
   const std::string path = "/var/lib/dehealth/delta-0004.dhsg";
   auto decoded = DecodeLoadSegmentPayload(EncodeLoadSegmentPayload(path));

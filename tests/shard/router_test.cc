@@ -322,6 +322,51 @@ TEST_F(RouterTest, MismatchedUniverseFailsClosed) {
   b->Stop();
 }
 
+TEST_F(RouterTest, MixedEngineFleetFailsClosed) {
+  // Shard 0 runs the structural engine, shard 1 the blind engine: their
+  // scores live on different scales, so a merged ranking would order
+  // candidates by which backend they happened to live on. Refused hard —
+  // there is deliberately no --allow-* escape hatch for this one.
+  auto structural = StartSlice(*anon_, *aux_, 0, 2);
+  ASSERT_TRUE(structural.ok());
+  Backend blind;
+  {
+    DeHealthConfig config = SliceConfig(1, 2);
+    config.engine = EngineKind::kBlind;
+    auto engine = QueryEngine::Create(*anon_, *aux_, config);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    blind.engine = std::move(engine).value();
+    blind.server =
+        std::make_unique<QueryServer>(*blind.engine, ServerConfig());
+    ASSERT_TRUE(blind.server->Start().ok());
+  }
+  std::vector<BackendAddress> addresses = {
+      {"127.0.0.1", structural->port()}, {"127.0.0.1", blind.port()}};
+  auto router = RouterHandler::Connect(addresses, RouterOptions());
+  ASSERT_FALSE(router.ok());
+  EXPECT_EQ(router.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(router.status().message().find("engine"), std::string::npos);
+  // An all-blind fleet is fine: the engines agree, so the merge is valid.
+  Backend blind0;
+  {
+    DeHealthConfig config = SliceConfig(0, 2);
+    config.engine = EngineKind::kBlind;
+    auto engine = QueryEngine::Create(*anon_, *aux_, config);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    blind0.engine = std::move(engine).value();
+    blind0.server =
+        std::make_unique<QueryServer>(*blind0.engine, ServerConfig());
+    ASSERT_TRUE(blind0.server->Start().ok());
+  }
+  std::vector<BackendAddress> all_blind = {
+      {"127.0.0.1", blind0.port()}, {"127.0.0.1", blind.port()}};
+  auto agreed = RouterHandler::Connect(all_blind, RouterOptions());
+  EXPECT_TRUE(agreed.ok()) << agreed.status().ToString();
+  structural->Stop();
+  blind.Stop();
+  blind0.Stop();
+}
+
 TEST_F(RouterTest, WrongShardCountOrDuplicateShardFailsClosed) {
   // Two backends both claiming shard 0 of 2: duplicate claim.
   auto a = StartSlice(*anon_, *aux_, 0, 2);
